@@ -1,0 +1,58 @@
+//! Numerical-substrate benchmarks: the multivariate regression and rank
+//! correlation at the heart of the Figure 1 learning process. Model
+//! learning happens offline, but re-fits must stay cheap enough to run
+//! online (the paper aims at automatic, continuous profile learning).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mathkit::correlation::spearman;
+use mathkit::linreg::{FitOptions, LinearModel, Solver};
+use mathkit::matrix::Matrix;
+
+/// Deterministic pseudo-random design of `n` rows by `p` columns.
+fn design(n: usize, p: usize) -> (Matrix, Vec<f64>) {
+    let mut state = 0x1234_5678_9abc_def0u64;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    let rows: Vec<Vec<f64>> = (0..n).map(|_| (0..p).map(|_| next() * 1e9).collect()).collect();
+    let y: Vec<f64> = rows
+        .iter()
+        .map(|r| 30.0 + r.iter().enumerate().map(|(i, v)| v * (i + 1) as f64 * 1e-9).sum::<f64>())
+        .collect();
+    (Matrix::from_rows(&rows).expect("rectangular"), y)
+}
+
+fn bench_regression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("regression");
+    group.sample_size(30);
+
+    let (x, y) = design(800, 3);
+    group.bench_function("ols_qr_800x3", |b| {
+        b.iter(|| LinearModel::fit(&x, &y).expect("fit"));
+    });
+    group.bench_function("ols_normal_eq_800x3", |b| {
+        b.iter(|| {
+            LinearModel::fit_with(&x, &y, &FitOptions::new().solver(Solver::NormalEquations))
+                .expect("fit")
+        });
+    });
+
+    let (x12, y12) = design(800, 12);
+    group.bench_function("ols_qr_800x12", |b| {
+        b.iter(|| LinearModel::fit(&x12, &y12).expect("fit"));
+    });
+
+    let a: Vec<f64> = (0..10_000).map(|i| ((i * 37) % 1000) as f64).collect();
+    let bvec: Vec<f64> = (0..10_000).map(|i| ((i * 91) % 997) as f64).collect();
+    group.bench_function("spearman_10k", |b| {
+        b.iter(|| spearman(&a, &bvec).expect("correlation"));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_regression);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Substrate benchmarks: how fast the simulated machine and kernel
+//! advance. These bound how much simulated time the experiments can
+//! cover; they also double as regression guards against accidental
+//! per-tick blowups.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use os_sim::kernel::Kernel;
+use os_sim::task::SteadyTask;
+use simcpu::machine::Machine;
+use simcpu::presets;
+use simcpu::units::Nanos;
+use simcpu::workunit::WorkUnit;
+
+const TICKS: u64 = 1_000;
+const MS: u64 = 1_000_000;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.throughput(Throughput::Elements(TICKS));
+    group.sample_size(20);
+
+    group.bench_function("machine_tick_idle", |b| {
+        let mut m = Machine::new(presets::intel_i3_2120());
+        b.iter(|| {
+            for _ in 0..TICKS {
+                m.tick(&[None, None, None, None], MS);
+            }
+        });
+    });
+
+    group.bench_function("machine_tick_full_load", |b| {
+        let mut m = Machine::new(presets::intel_i3_2120());
+        let w = WorkUnit::cpu_intensive(1.0);
+        b.iter(|| {
+            for _ in 0..TICKS {
+                m.tick(&[Some(&w), Some(&w), Some(&w), Some(&w)], MS);
+            }
+        });
+    });
+
+    group.bench_function("kernel_tick_4_threads", |b| {
+        let mut k = Kernel::new(presets::intel_i3_2120());
+        let w = WorkUnit::mixed(0.5, 16384.0, 1.0);
+        k.spawn("bench", (0..4).map(|_| SteadyTask::boxed(w)).collect());
+        b.iter(|| {
+            for _ in 0..TICKS {
+                k.tick(Nanos(MS));
+            }
+        });
+    });
+
+    group.bench_function("kernel_tick_oversubscribed_16_threads", |b| {
+        let mut k = Kernel::new(presets::intel_i3_2120());
+        let w = WorkUnit::cpu_intensive(1.0);
+        k.spawn("bench", (0..16).map(|_| SteadyTask::boxed(w)).collect());
+        b.iter(|| {
+            for _ in 0..TICKS {
+                k.tick(Nanos(MS));
+            }
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

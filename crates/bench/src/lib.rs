@@ -1,0 +1,147 @@
+//! Shared harness for the experiment binaries (`e1`–`e5`, one per paper
+//! table/figure) and the Criterion micro-benchmarks. Each binary prints
+//! the paper's numbers next to the reproduction's so the comparison is
+//! one `cargo run` away.
+
+use mathkit::metrics::ErrorReport;
+use os_sim::kernel::Kernel;
+use os_sim::task::TaskBehavior;
+use perf_sim::events::{Event, PAPER_EVENTS};
+use powerapi::formula::PowerFormula;
+use powerapi::runtime::{PowerApi, RunOutcome};
+use simcpu::machine::MachineConfig;
+use simcpu::units::Nanos;
+
+/// Everything an estimation-accuracy evaluation needs.
+pub struct Evaluation {
+    /// Machine to run on.
+    pub machine: MachineConfig,
+    /// Process name for the workload.
+    pub name: String,
+    /// The workload's threads.
+    pub tasks: Vec<Box<dyn TaskBehavior>>,
+    /// How long to run.
+    pub duration: Nanos,
+    /// Scheduler quantum.
+    pub quantum: Nanos,
+    /// Monitoring/estimation period.
+    pub clock: Nanos,
+    /// HPC events the sensor counts (must cover the formula's needs).
+    pub events: Vec<Event>,
+    /// PMU slots available.
+    pub slots: usize,
+}
+
+impl Evaluation {
+    /// A default evaluation harness: 1 ms quantum, 1 s estimates.
+    pub fn new(
+        machine: MachineConfig,
+        name: impl Into<String>,
+        tasks: Vec<Box<dyn TaskBehavior>>,
+        duration: Nanos,
+    ) -> Evaluation {
+        Evaluation {
+            machine,
+            name: name.into(),
+            tasks,
+            duration,
+            quantum: Nanos::from_millis(1),
+            clock: Nanos::from_secs(1),
+            events: PAPER_EVENTS.to_vec(),
+            slots: 4,
+        }
+    }
+
+    /// Runs the workload under a formula and returns the raw outcome
+    /// (estimate + meter traces).
+    ///
+    /// # Errors
+    ///
+    /// Propagates middleware errors.
+    pub fn run(
+        self,
+        formula: impl PowerFormula + 'static,
+    ) -> Result<RunOutcome, powerapi::Error> {
+        let mut kernel = Kernel::new(self.machine);
+        let pid = kernel.spawn(self.name, self.tasks);
+        let mut papi = PowerApi::builder(kernel)
+            .formula(formula)
+            .events(self.events)
+            .slots(self.slots)
+            .report_to_memory()
+            .quantum(self.quantum)
+            .clock_period(self.clock)
+            .build()?;
+        papi.monitor(pid)?;
+        papi.run_for(self.duration)?;
+        papi.finish()
+    }
+
+    /// Runs and scores the formula against the meter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates middleware/metric errors.
+    pub fn score(
+        self,
+        formula: impl PowerFormula + 'static,
+    ) -> Result<ErrorReport, powerapi::Error> {
+        let outcome = self.run(formula)?;
+        score_outcome(&outcome)
+    }
+}
+
+/// Aligns an outcome's meter and estimate traces and computes the error
+/// metrics (meter = actual, estimate = predicted).
+///
+/// # Errors
+///
+/// Metric errors propagate (e.g. empty traces).
+pub fn score_outcome(outcome: &RunOutcome) -> Result<ErrorReport, powerapi::Error> {
+    let meter = outcome.meter_trace();
+    let est = outcome.estimate_trace();
+    let (actual, predicted) = meter.align(&est);
+    Ok(ErrorReport::compute(&actual, &predicted)?)
+}
+
+/// Prints a two-column ruled table row.
+pub fn row(label: &str, value: impl std::fmt::Display) {
+    println!("  {label:<42} {value}");
+}
+
+/// Prints a section header.
+pub fn section(title: &str) {
+    println!();
+    println!("== {title} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use os_sim::task::SteadyTask;
+    use powerapi::formula::per_freq::PerFrequencyFormula;
+    use powerapi::model::power_model::PerFrequencyPowerModel;
+    use simcpu::presets;
+    use simcpu::workunit::WorkUnit;
+
+    #[test]
+    fn evaluation_produces_scores() {
+        let eval = Evaluation {
+            quantum: Nanos::from_millis(5),
+            clock: Nanos::from_millis(500),
+            ..Evaluation::new(
+                presets::intel_i3_2120(),
+                "t",
+                vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))],
+                Nanos::from_secs(3),
+            )
+        };
+        let report = eval
+            .score(PerFrequencyFormula::new(
+                PerFrequencyPowerModel::paper_i3_example(),
+            ))
+            .unwrap();
+        assert!(report.median_ape.is_finite());
+        assert!(report.median_ape >= 0.0);
+    }
+}

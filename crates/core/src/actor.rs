@@ -1,0 +1,289 @@
+//! The lightweight actor runtime: each actor owns a FIFO mailbox and runs
+//! on its own thread, processing messages event-driven — the property the
+//! paper leans on for real-time estimation ("an actor … can handle
+//! millions of messages per second"; see the `middleware` bench).
+//!
+//! Shutdown is ordered: [`ActorSystem::shutdown`] stops actors in spawn
+//! order, joining each before stopping the next. Spawning pipeline stages
+//! upstream-first therefore guarantees every in-flight message drains
+//! through the whole pipeline before the system stops.
+
+use crate::bus::EventBus;
+use crate::msg::Message;
+use crossbeam_channel::{unbounded, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A unit of concurrent, event-driven message processing.
+pub trait Actor: Send {
+    /// Handles one message. Publishing to `ctx.bus()` is how results move
+    /// down the pipeline.
+    fn handle(&mut self, msg: Message, ctx: &Context);
+
+    /// Called once after the last message, before the thread exits.
+    fn on_stop(&mut self, _ctx: &Context) {}
+}
+
+/// Execution context handed to [`Actor::handle`].
+#[derive(Debug, Clone)]
+pub struct Context {
+    bus: EventBus,
+    name: Arc<str>,
+}
+
+impl Context {
+    /// The system's event bus.
+    pub fn bus(&self) -> &EventBus {
+        &self.bus
+    }
+
+    /// This actor's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+enum Envelope {
+    Message(Message),
+    Stop,
+}
+
+/// Address of a running actor: send it messages, or hold it in the bus's
+/// subscription lists.
+#[derive(Debug, Clone)]
+pub struct ActorRef {
+    tx: Sender<Envelope>,
+    name: Arc<str>,
+}
+
+impl ActorRef {
+    /// Enqueues a message; returns `false` when the actor has stopped.
+    pub fn send(&self, msg: Message) -> bool {
+        self.tx.send(Envelope::Message(msg)).is_ok()
+    }
+
+    /// The actor's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn stop(&self) {
+        let _ = self.tx.send(Envelope::Stop);
+    }
+}
+
+/// Owns the actor threads and the event bus.
+pub struct ActorSystem {
+    bus: EventBus,
+    actors: Vec<(ActorRef, JoinHandle<()>)>,
+}
+
+impl ActorSystem {
+    /// Creates an empty system with a fresh bus.
+    pub fn new() -> ActorSystem {
+        ActorSystem {
+            bus: EventBus::new(),
+            actors: Vec::new(),
+        }
+    }
+
+    /// The system's event bus.
+    pub fn bus(&self) -> &EventBus {
+        &self.bus
+    }
+
+    /// Number of live actors.
+    pub fn len(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Whether no actors run.
+    pub fn is_empty(&self) -> bool {
+        self.actors.is_empty()
+    }
+
+    /// Spawns an actor on its own thread. **Spawn pipeline stages in
+    /// upstream-to-downstream order** so shutdown drains correctly.
+    pub fn spawn(&mut self, name: impl Into<String>, mut actor: Box<dyn Actor>) -> ActorRef {
+        let name: Arc<str> = Arc::from(name.into());
+        let (tx, rx) = unbounded::<Envelope>();
+        let actor_ref = ActorRef {
+            tx,
+            name: name.clone(),
+        };
+        let ctx = Context {
+            bus: self.bus.clone(),
+            name: name.clone(),
+        };
+        let handle = std::thread::Builder::new()
+            .name(format!("actor-{name}"))
+            .spawn(move || {
+                while let Ok(env) = rx.recv() {
+                    match env {
+                        Envelope::Message(msg) => actor.handle(msg, &ctx),
+                        Envelope::Stop => break,
+                    }
+                }
+                actor.on_stop(&ctx);
+            })
+            .expect("spawning an actor thread");
+        self.actors.push((actor_ref.clone(), handle));
+        actor_ref
+    }
+
+    /// Stops every actor in spawn order, joining each before stopping the
+    /// next, so in-flight messages drain through the pipeline.
+    pub fn shutdown(self) {
+        for (actor_ref, handle) in self.actors {
+            actor_ref.stop();
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Default for ActorSystem {
+    fn default() -> ActorSystem {
+        ActorSystem::new()
+    }
+}
+
+impl std::fmt::Debug for ActorSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActorSystem")
+            .field("actors", &self.actors.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::{PowerReport, Scope, Topic};
+    use os_sim::process::Pid;
+    use simcpu::units::{Nanos, Watts};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    struct Counter {
+        hits: Arc<AtomicU64>,
+        stopped: Arc<AtomicU64>,
+    }
+
+    impl Actor for Counter {
+        fn handle(&mut self, _msg: Message, _ctx: &Context) {
+            self.hits.fetch_add(1, Ordering::SeqCst);
+        }
+        fn on_stop(&mut self, _ctx: &Context) {
+            self.stopped.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn power_msg(w: f64) -> Message {
+        Message::Power(PowerReport {
+            timestamp: Nanos(1),
+            pid: Pid(1),
+            power: Watts(w),
+            formula: "test",
+        })
+    }
+
+    #[test]
+    fn messages_are_delivered_and_drained_on_shutdown() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let stopped = Arc::new(AtomicU64::new(0));
+        let mut sys = ActorSystem::new();
+        let a = sys.spawn(
+            "counter",
+            Box::new(Counter {
+                hits: hits.clone(),
+                stopped: stopped.clone(),
+            }),
+        );
+        assert_eq!(a.name(), "counter");
+        for i in 0..1000 {
+            assert!(a.send(power_msg(i as f64)));
+        }
+        sys.shutdown();
+        assert_eq!(hits.load(Ordering::SeqCst), 1000, "drain before stop");
+        assert_eq!(stopped.load(Ordering::SeqCst), 1, "on_stop ran once");
+    }
+
+    #[test]
+    fn send_after_shutdown_returns_false() {
+        let mut sys = ActorSystem::new();
+        let a = sys.spawn(
+            "c",
+            Box::new(Counter {
+                hits: Arc::new(AtomicU64::new(0)),
+                stopped: Arc::new(AtomicU64::new(0)),
+            }),
+        );
+        sys.shutdown();
+        assert!(!a.send(power_msg(1.0)));
+    }
+
+    /// A two-stage pipeline: stage 1 republishes every Power message to
+    /// the Aggregate topic; stage 2 records what it sees. Shutdown order
+    /// must drain stage 1 into stage 2.
+    struct Relay;
+    impl Actor for Relay {
+        fn handle(&mut self, msg: Message, ctx: &Context) {
+            if let Message::Power(p) = msg {
+                ctx.bus().publish(Message::Aggregate(crate::msg::AggregateReport {
+                    timestamp: p.timestamp,
+                    scope: Scope::Process(p.pid),
+                    power: p.power,
+                }));
+            }
+        }
+    }
+
+    struct Sink {
+        seen: Arc<Mutex<Vec<f64>>>,
+    }
+    impl Actor for Sink {
+        fn handle(&mut self, msg: Message, _ctx: &Context) {
+            if let Message::Aggregate(a) = msg {
+                self.seen.lock().unwrap().push(a.power.as_f64());
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_drains_in_spawn_order() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut sys = ActorSystem::new();
+        // Upstream first.
+        let relay = sys.spawn("relay", Box::new(Relay));
+        let sink = sys.spawn("sink", Box::new(Sink { seen: seen.clone() }));
+        sys.bus().subscribe(Topic::Power, &relay);
+        sys.bus().subscribe(Topic::Aggregate, &sink);
+        for i in 0..500 {
+            sys.bus().publish(power_msg(i as f64));
+        }
+        sys.shutdown();
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 500, "all messages flowed through both stages");
+        // FIFO order preserved end to end.
+        for (i, v) in seen.iter().enumerate() {
+            assert_eq!(*v, i as f64);
+        }
+    }
+
+    #[test]
+    fn system_accessors() {
+        let mut sys = ActorSystem::new();
+        assert!(sys.is_empty());
+        sys.spawn(
+            "x",
+            Box::new(Counter {
+                hits: Arc::new(AtomicU64::new(0)),
+                stopped: Arc::new(AtomicU64::new(0)),
+            }),
+        );
+        assert_eq!(sys.len(), 1);
+        assert!(!sys.is_empty());
+        assert!(format!("{sys:?}").contains("ActorSystem"));
+        sys.shutdown();
+    }
+}

@@ -1,0 +1,353 @@
+//! The aggregator actor: "aggregates the power estimations according to a
+//! dimension, like the PID or the timestamp" (§3).
+//!
+//! * **PID dimension** — forwards each process estimate as a
+//!   process-scoped aggregate;
+//! * **timestamp dimension** — folds all estimates sharing a timestamp
+//!   into one machine-scoped aggregate, adding the machine idle floor
+//!   once (the paper's `31.48 + Σ…` form, comparable to the wall meter).
+//!
+//! Timestamp aggregation flushes a window when a newer timestamp arrives
+//! and on shutdown, so no interval is lost.
+
+use crate::actor::{Actor, Context};
+use crate::msg::{AggregateReport, Message, PowerReport, Scope};
+use simcpu::units::{Nanos, Watts};
+
+/// Which dimensions to aggregate along (both may be enabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dimension {
+    /// Emit one aggregate per (timestamp, pid).
+    pub per_process: bool,
+    /// Emit one machine aggregate per timestamp (idle + Σ processes).
+    pub machine: bool,
+}
+
+impl Dimension {
+    /// Per-process aggregates only.
+    pub fn pid() -> Dimension {
+        Dimension {
+            per_process: true,
+            machine: false,
+        }
+    }
+
+    /// Machine aggregates only.
+    pub fn timestamp() -> Dimension {
+        Dimension {
+            per_process: false,
+            machine: true,
+        }
+    }
+
+    /// Both dimensions.
+    pub fn both() -> Dimension {
+        Dimension {
+            per_process: true,
+            machine: true,
+        }
+    }
+}
+
+/// The actor.
+#[derive(Debug, Clone)]
+pub struct Aggregator {
+    dimension: Dimension,
+    idle_w: f64,
+    window: Option<(Nanos, Watts)>,
+}
+
+impl Aggregator {
+    /// Creates an aggregator. `idle_w` is added once to every machine
+    /// aggregate (0 for purely relative reporting).
+    pub fn new(dimension: Dimension, idle_w: f64) -> Aggregator {
+        Aggregator {
+            dimension,
+            idle_w,
+            window: None,
+        }
+    }
+
+    fn fold(&mut self, p: &PowerReport, ctx: &Context) {
+        if self.dimension.per_process {
+            ctx.bus().publish(Message::Aggregate(AggregateReport {
+                timestamp: p.timestamp,
+                scope: Scope::Process(p.pid),
+                power: p.power,
+            }));
+        }
+        if self.dimension.machine {
+            match &mut self.window {
+                Some((ts, acc)) if *ts == p.timestamp => *acc += p.power,
+                Some((ts, acc)) => {
+                    let done = AggregateReport {
+                        timestamp: *ts,
+                        scope: Scope::Machine,
+                        power: Watts(acc.as_f64() + self.idle_w),
+                    };
+                    *ts = p.timestamp;
+                    *acc = p.power;
+                    ctx.bus().publish(Message::Aggregate(done));
+                }
+                None => self.window = Some((p.timestamp, p.power)),
+            }
+        }
+    }
+}
+
+impl Actor for Aggregator {
+    fn handle(&mut self, msg: Message, ctx: &Context) {
+        if let Message::Power(p) = msg {
+            self.fold(&p, ctx);
+        }
+    }
+
+    fn on_stop(&mut self, ctx: &Context) {
+        if let Some((ts, acc)) = self.window.take() {
+            ctx.bus().publish(Message::Aggregate(AggregateReport {
+                timestamp: ts,
+                scope: Scope::Machine,
+                power: Watts(acc.as_f64() + self.idle_w),
+            }));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::ActorSystem;
+    use crate::msg::Topic;
+    use os_sim::process::Pid;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    struct Capture(Arc<Mutex<Vec<AggregateReport>>>);
+    impl Actor for Capture {
+        fn handle(&mut self, msg: Message, _ctx: &Context) {
+            if let Message::Aggregate(a) = msg {
+                self.0.lock().push(a);
+            }
+        }
+    }
+
+    fn power(ts: u64, pid: u32, w: f64) -> Message {
+        Message::Power(PowerReport {
+            timestamp: Nanos::from_secs(ts),
+            pid: Pid(pid),
+            power: Watts(w),
+            formula: "t",
+        })
+    }
+
+    fn run(dim: Dimension, idle: f64, msgs: Vec<Message>) -> Vec<AggregateReport> {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut sys = ActorSystem::new();
+        let agg = sys.spawn("agg", Box::new(Aggregator::new(dim, idle)));
+        let sink = sys.spawn("sink", Box::new(Capture(seen.clone())));
+        sys.bus().subscribe(Topic::Power, &agg);
+        sys.bus().subscribe(Topic::Aggregate, &sink);
+        for m in msgs {
+            sys.bus().publish(m);
+        }
+        sys.shutdown();
+        let out = seen.lock().clone();
+        out
+    }
+
+    #[test]
+    fn pid_dimension_forwards_per_process() {
+        let out = run(
+            Dimension::pid(),
+            31.48,
+            vec![power(1, 10, 2.0), power(1, 11, 3.0)],
+        );
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|a| matches!(a.scope, Scope::Process(_))));
+        assert!(out.iter().any(|a| a.scope == Scope::Process(Pid(10))
+            && (a.power.as_f64() - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn machine_dimension_sums_and_adds_idle() {
+        let out = run(
+            Dimension::timestamp(),
+            31.48,
+            vec![
+                power(1, 10, 2.0),
+                power(1, 11, 3.0),
+                power(2, 10, 4.0), // triggers flush of ts=1
+            ],
+        );
+        // ts=1 flushed by ts=2's arrival; ts=2 flushed on shutdown.
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].timestamp, Nanos::from_secs(1));
+        assert_eq!(out[0].scope, Scope::Machine);
+        assert!((out[0].power.as_f64() - 36.48).abs() < 1e-12);
+        assert!((out[1].power.as_f64() - 35.48).abs() < 1e-12);
+    }
+
+    #[test]
+    fn both_dimensions_interleave() {
+        let out = run(Dimension::both(), 0.0, vec![power(1, 10, 2.0)]);
+        assert_eq!(out.len(), 2, "one process scope + one machine flush");
+        assert!(out.iter().any(|a| a.scope == Scope::Process(Pid(10))));
+        assert!(out.iter().any(|a| a.scope == Scope::Machine));
+    }
+
+    #[test]
+    fn empty_run_emits_nothing() {
+        let out = run(Dimension::both(), 10.0, vec![]);
+        assert!(out.is_empty());
+    }
+}
+
+/// Aggregates process estimates into named control groups (cgroups /
+/// virtual machines) — the §5 target unit ("one of the suitable examples
+/// could be the virtual machines"). One aggregate per (timestamp, group);
+/// pids outside every group are ignored here (the plain [`Aggregator`]
+/// still covers them).
+#[derive(Debug, Clone)]
+pub struct GroupAggregator {
+    membership: std::collections::BTreeMap<os_sim::process::Pid, std::sync::Arc<str>>,
+    window: std::collections::BTreeMap<std::sync::Arc<str>, (Nanos, Watts)>,
+}
+
+impl GroupAggregator {
+    /// Creates the aggregator from a pid → group-name mapping.
+    pub fn new<I, S>(membership: I) -> GroupAggregator
+    where
+        I: IntoIterator<Item = (os_sim::process::Pid, S)>,
+        S: Into<String>,
+    {
+        GroupAggregator {
+            membership: membership
+                .into_iter()
+                .map(|(p, g)| (p, std::sync::Arc::from(g.into())))
+                .collect(),
+            window: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Number of grouped pids.
+    pub fn len(&self) -> usize {
+        self.membership.len()
+    }
+
+    /// Whether no pids are grouped.
+    pub fn is_empty(&self) -> bool {
+        self.membership.is_empty()
+    }
+
+    fn flush(&mut self, group: &std::sync::Arc<str>, ctx: &Context) {
+        if let Some((ts, acc)) = self.window.remove(group) {
+            ctx.bus().publish(Message::Aggregate(AggregateReport {
+                timestamp: ts,
+                scope: Scope::Group(group.clone()),
+                power: acc,
+            }));
+        }
+    }
+}
+
+impl Actor for GroupAggregator {
+    fn handle(&mut self, msg: Message, ctx: &Context) {
+        let Message::Power(p) = msg else { return };
+        let Some(group) = self.membership.get(&p.pid).cloned() else {
+            return;
+        };
+        match self.window.get_mut(&group) {
+            Some((ts, acc)) if *ts == p.timestamp => *acc += p.power,
+            Some(_) => {
+                self.flush(&group, ctx);
+                self.window.insert(group, (p.timestamp, p.power));
+            }
+            None => {
+                self.window.insert(group, (p.timestamp, p.power));
+            }
+        }
+    }
+
+    fn on_stop(&mut self, ctx: &Context) {
+        let groups: Vec<std::sync::Arc<str>> = self.window.keys().cloned().collect();
+        for g in groups {
+            self.flush(&g, ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod group_tests {
+    use super::*;
+    use crate::actor::ActorSystem;
+    use crate::msg::Topic;
+    use os_sim::process::Pid;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    struct Capture(Arc<Mutex<Vec<AggregateReport>>>);
+    impl Actor for Capture {
+        fn handle(&mut self, msg: Message, _ctx: &Context) {
+            if let Message::Aggregate(a) = msg {
+                self.0.lock().push(a);
+            }
+        }
+    }
+
+    fn power(ts: u64, pid: u32, w: f64) -> Message {
+        Message::Power(crate::msg::PowerReport {
+            timestamp: Nanos::from_secs(ts),
+            pid: Pid(pid),
+            power: Watts(w),
+            formula: "t",
+        })
+    }
+
+    #[test]
+    fn groups_sum_their_members_per_timestamp() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut sys = ActorSystem::new();
+        let agg = sys.spawn(
+            "groups",
+            Box::new(GroupAggregator::new(vec![
+                (Pid(1), "vm-alpha"),
+                (Pid(2), "vm-alpha"),
+                (Pid(3), "vm-beta"),
+            ])),
+        );
+        let sink = sys.spawn("sink", Box::new(Capture(seen.clone())));
+        sys.bus().subscribe(Topic::Power, &agg);
+        sys.bus().subscribe(Topic::Aggregate, &sink);
+        // ts=1: alpha gets 2+3 W, beta gets 4 W; pid 9 is ungrouped.
+        sys.bus().publish(power(1, 1, 2.0));
+        sys.bus().publish(power(1, 2, 3.0));
+        sys.bus().publish(power(1, 3, 4.0));
+        sys.bus().publish(power(1, 9, 100.0));
+        // ts=2 flushes ts=1 windows.
+        sys.bus().publish(power(2, 1, 1.0));
+        sys.bus().publish(power(2, 3, 1.5));
+        sys.shutdown();
+        let seen = seen.lock();
+        let get = |name: &str, ts: u64| {
+            seen.iter()
+                .find(|a| {
+                    a.timestamp == Nanos::from_secs(ts)
+                        && matches!(&a.scope, Scope::Group(g) if &**g == name)
+                })
+                .map(|a| a.power.as_f64())
+        };
+        assert_eq!(get("vm-alpha", 1), Some(5.0));
+        assert_eq!(get("vm-beta", 1), Some(4.0));
+        // Shutdown flushed the ts=2 windows too.
+        assert_eq!(get("vm-alpha", 2), Some(1.0));
+        assert_eq!(get("vm-beta", 2), Some(1.5));
+        assert_eq!(seen.len(), 4, "ungrouped pid 9 produced nothing");
+    }
+
+    #[test]
+    fn empty_membership_is_inert() {
+        let agg = GroupAggregator::new(Vec::<(Pid, String)>::new());
+        assert!(agg.is_empty());
+        assert_eq!(agg.len(), 0);
+    }
+}

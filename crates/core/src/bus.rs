@@ -1,0 +1,169 @@
+//! The event bus of Figure 2: topic-based publish/subscribe connecting
+//! Sensors → Formulas → Aggregators → Reporters. Publishing clones the
+//! message into every subscriber's mailbox (messages are `Arc`-backed, so
+//! clones are cheap).
+
+use crate::actor::ActorRef;
+use crate::msg::{Message, Topic};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[derive(Default)]
+struct BusInner {
+    subs: HashMap<Topic, Vec<ActorRef>>,
+}
+
+/// A cloneable handle to the shared bus.
+#[derive(Clone, Default)]
+pub struct EventBus {
+    inner: Arc<Mutex<BusInner>>,
+}
+
+impl EventBus {
+    /// Creates an empty bus.
+    pub fn new() -> EventBus {
+        EventBus::default()
+    }
+
+    /// Subscribes an actor to a topic. Duplicate subscriptions deliver
+    /// duplicate messages (like any pub/sub, subscribe once).
+    pub fn subscribe(&self, topic: Topic, actor: &ActorRef) {
+        self.inner.lock().subs.entry(topic).or_default().push(actor.clone());
+    }
+
+    /// Removes every subscription of the named actor from a topic.
+    pub fn unsubscribe(&self, topic: Topic, actor: &ActorRef) {
+        if let Some(list) = self.inner.lock().subs.get_mut(&topic) {
+            list.retain(|a| a.name() != actor.name());
+        }
+    }
+
+    /// Publishes a message to its topic ([`Message::topic`]); returns how
+    /// many subscribers received it.
+    pub fn publish(&self, msg: Message) -> usize {
+        let topic = msg.topic();
+        let subs: Vec<ActorRef> = {
+            let inner = self.inner.lock();
+            match inner.subs.get(&topic) {
+                Some(list) => list.clone(),
+                None => return 0,
+            }
+        };
+        let mut delivered = 0;
+        for actor in &subs {
+            if actor.send(msg.clone()) {
+                delivered += 1;
+            }
+        }
+        delivered
+    }
+
+    /// Number of subscribers on a topic.
+    pub fn subscriber_count(&self, topic: Topic) -> usize {
+        self.inner.lock().subs.get(&topic).map_or(0, |l| l.len())
+    }
+}
+
+impl std::fmt::Debug for EventBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        let mut total = 0;
+        for list in inner.subs.values() {
+            total += list.len();
+        }
+        f.debug_struct("EventBus")
+            .field("topics", &inner.subs.len())
+            .field("subscriptions", &total)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::{Actor, ActorSystem, Context};
+    use crate::msg::{AggregateReport, PowerReport, Scope};
+    use os_sim::process::Pid;
+    use simcpu::units::{Nanos, Watts};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct Tally(Arc<AtomicU64>);
+    impl Actor for Tally {
+        fn handle(&mut self, _msg: Message, _ctx: &Context) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn power_msg() -> Message {
+        Message::Power(PowerReport {
+            timestamp: Nanos(1),
+            pid: Pid(1),
+            power: Watts(1.0),
+            formula: "t",
+        })
+    }
+
+    fn agg_msg() -> Message {
+        Message::Aggregate(AggregateReport {
+            timestamp: Nanos(1),
+            scope: Scope::Machine,
+            power: Watts(1.0),
+        })
+    }
+
+    #[test]
+    fn publish_routes_by_topic_only() {
+        let mut sys = ActorSystem::new();
+        let n_power = Arc::new(AtomicU64::new(0));
+        let n_agg = Arc::new(AtomicU64::new(0));
+        let a = sys.spawn("p", Box::new(Tally(n_power.clone())));
+        let b = sys.spawn("a", Box::new(Tally(n_agg.clone())));
+        sys.bus().subscribe(Topic::Power, &a);
+        sys.bus().subscribe(Topic::Aggregate, &b);
+        assert_eq!(sys.bus().publish(power_msg()), 1);
+        assert_eq!(sys.bus().publish(agg_msg()), 1);
+        assert_eq!(sys.bus().publish(Message::Meter(Nanos(1), Watts(1.0))), 0);
+        sys.shutdown();
+        assert_eq!(n_power.load(Ordering::SeqCst), 1);
+        assert_eq!(n_agg.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn fanout_to_multiple_subscribers() {
+        let mut sys = ActorSystem::new();
+        let n1 = Arc::new(AtomicU64::new(0));
+        let n2 = Arc::new(AtomicU64::new(0));
+        let a = sys.spawn("s1", Box::new(Tally(n1.clone())));
+        let b = sys.spawn("s2", Box::new(Tally(n2.clone())));
+        sys.bus().subscribe(Topic::Power, &a);
+        sys.bus().subscribe(Topic::Power, &b);
+        assert_eq!(sys.bus().subscriber_count(Topic::Power), 2);
+        for _ in 0..10 {
+            assert_eq!(sys.bus().publish(power_msg()), 2);
+        }
+        sys.shutdown();
+        assert_eq!(n1.load(Ordering::SeqCst), 10);
+        assert_eq!(n2.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let mut sys = ActorSystem::new();
+        let n = Arc::new(AtomicU64::new(0));
+        let a = sys.spawn("s", Box::new(Tally(n.clone())));
+        sys.bus().subscribe(Topic::Power, &a);
+        sys.bus().publish(power_msg());
+        sys.bus().unsubscribe(Topic::Power, &a);
+        assert_eq!(sys.bus().subscriber_count(Topic::Power), 0);
+        assert_eq!(sys.bus().publish(power_msg()), 0);
+        sys.shutdown();
+        assert_eq!(n.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn debug_format() {
+        let bus = EventBus::new();
+        assert!(format!("{bus:?}").contains("EventBus"));
+    }
+}

@@ -1,0 +1,114 @@
+use std::fmt;
+
+/// Error type for fallible `powerapi` operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// The numerical substrate failed (regression, metrics, …).
+    Math(mathkit::Error),
+    /// The OS substrate failed (unknown pid, bad frequency, …).
+    Os(os_sim::Error),
+    /// The perf substrate failed (unknown event, bad counter, …).
+    Perf(perf_sim::Error),
+    /// The measurement substrate failed (RAPL gate, bad frame, …).
+    Meter(powermeter::Error),
+    /// The middleware was (mis)used: message explains how.
+    Middleware(String),
+    /// Not enough calibration samples were collected to fit a model.
+    InsufficientSamples {
+        /// Samples gathered.
+        got: usize,
+        /// Samples needed.
+        needed: usize,
+    },
+    /// Writing a report failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Math(e) => write!(f, "math error: {e}"),
+            Error::Os(e) => write!(f, "os error: {e}"),
+            Error::Perf(e) => write!(f, "perf error: {e}"),
+            Error::Meter(e) => write!(f, "meter error: {e}"),
+            Error::Middleware(msg) => write!(f, "middleware error: {msg}"),
+            Error::InsufficientSamples { got, needed } => {
+                write!(f, "insufficient calibration samples: {got} of {needed}")
+            }
+            Error::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Math(e) => Some(e),
+            Error::Os(e) => Some(e),
+            Error::Perf(e) => Some(e),
+            Error::Meter(e) => Some(e),
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mathkit::Error> for Error {
+    fn from(e: mathkit::Error) -> Error {
+        Error::Math(e)
+    }
+}
+
+impl From<os_sim::Error> for Error {
+    fn from(e: os_sim::Error) -> Error {
+        Error::Os(e)
+    }
+}
+
+impl From<perf_sim::Error> for Error {
+    fn from(e: perf_sim::Error) -> Error {
+        Error::Perf(e)
+    }
+}
+
+impl From<powermeter::Error> for Error {
+    fn from(e: powermeter::Error) -> Error {
+        Error::Meter(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Error {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: Error = mathkit::Error::Singular.into();
+        assert!(e.source().is_some());
+        let e: Error = os_sim::Error::InvalidConfig("x").into();
+        assert!(e.to_string().contains("os error"));
+        let e: Error = perf_sim::Error::UnknownEvent("x".into()).into();
+        assert!(e.to_string().contains("perf error"));
+        let e: Error = powermeter::Error::InvalidConfig("x").into();
+        assert!(e.to_string().contains("meter error"));
+        let e: Error = std::io::Error::other("x").into();
+        assert!(e.source().is_some());
+        let e = Error::InsufficientSamples { got: 3, needed: 10 };
+        assert!(e.to_string().contains("3 of 10"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,234 @@
+//! The HaPPy baseline (Zhai et al.): a **hyperthread-aware** model. Power
+//! per event differs between a thread running *alone* on a physical core
+//! and one *sharing* it — the shared pipeline is already powered, so
+//! co-run events are cheaper. The model therefore keeps two coefficient
+//! vectors per frequency and the sensor supplies counter deltas split by
+//! sibling state ([`CorunSplit`]).
+//!
+//! [`CorunSplit`]: crate::msg::CorunSplit
+
+use crate::formula::PowerFormula;
+use crate::msg::SensorReport;
+use crate::{Error, Result};
+use simcpu::counters::HwCounter;
+use simcpu::units::{MegaHertz, Watts};
+use std::collections::BTreeMap;
+
+/// The hyperthread-aware model: per frequency, one coefficient per event
+/// for solo execution and one for co-run execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HappyModel {
+    idle_w: f64,
+    events: Vec<HwCounter>,
+    per_freq: BTreeMap<u32, (Vec<f64>, Vec<f64>)>,
+}
+
+impl HappyModel {
+    /// Assembles a model.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Middleware`] for empty parts or arity mismatches.
+    pub fn from_parts(
+        idle_w: f64,
+        events: Vec<HwCounter>,
+        per_freq: Vec<(MegaHertz, Vec<f64>, Vec<f64>)>,
+    ) -> Result<HappyModel> {
+        if events.is_empty() {
+            return Err(Error::Middleware("happy model needs events".into()));
+        }
+        if per_freq.is_empty() {
+            return Err(Error::Middleware("happy model needs frequencies".into()));
+        }
+        let mut map = BTreeMap::new();
+        for (f, solo, corun) in per_freq {
+            if solo.len() != events.len() || corun.len() != events.len() {
+                return Err(Error::Middleware(format!(
+                    "happy coefficient arity mismatch at {f}"
+                )));
+            }
+            map.insert(f.as_u32(), (solo, corun));
+        }
+        Ok(HappyModel {
+            idle_w,
+            events,
+            per_freq: map,
+        })
+    }
+
+    /// The machine idle floor.
+    pub fn idle_w(&self) -> f64 {
+        self.idle_w
+    }
+
+    /// The model's events.
+    pub fn events(&self) -> &[HwCounter] {
+        &self.events
+    }
+
+    /// Solo/corun coefficients at the nearest modeled frequency.
+    pub fn nearest(&self, f: MegaHertz) -> (&[f64], &[f64]) {
+        let (_, (solo, corun)) = self
+            .per_freq
+            .iter()
+            .min_by_key(|(&k, _)| k.abs_diff(f.as_u32()))
+            .expect("non-empty by construction");
+        (solo.as_slice(), corun.as_slice())
+    }
+
+    /// Active power from solo and co-run event rates (events/second).
+    pub fn predict_active(&self, f: MegaHertz, solo: &[f64], corun: &[f64]) -> Result<f64> {
+        if solo.len() != self.events.len() || corun.len() != self.events.len() {
+            return Err(Error::Middleware("happy rate arity mismatch".into()));
+        }
+        let (cs, cc) = self.nearest(f);
+        let p: f64 = cs.iter().zip(solo).map(|(c, r)| c * r).sum::<f64>()
+            + cc.iter().zip(corun).map(|(c, r)| c * r).sum::<f64>();
+        Ok(p.max(0.0))
+    }
+}
+
+/// The formula wrapper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HappyFormula {
+    model: HappyModel,
+}
+
+impl HappyFormula {
+    /// Wraps a model.
+    pub fn new(model: HappyModel) -> HappyFormula {
+        HappyFormula { model }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &HappyModel {
+        &self.model
+    }
+}
+
+impl PowerFormula for HappyFormula {
+    fn name(&self) -> &'static str {
+        "happy-ht-aware"
+    }
+
+    fn idle_w(&self) -> f64 {
+        self.model.idle_w()
+    }
+
+    fn estimate(&mut self, report: &SensorReport) -> Option<Watts> {
+        let interval_s = report.interval.as_secs_f64();
+        if interval_s <= 0.0 {
+            return None;
+        }
+        let solo: Vec<f64> = self
+            .model
+            .events()
+            .iter()
+            .map(|&c| report.corun.solo.get(c) as f64 / interval_s)
+            .collect();
+        let corun: Vec<f64> = self
+            .model
+            .events()
+            .iter()
+            .map(|&c| report.corun.corun.get(c) as f64 / interval_s)
+            .collect();
+        // Dominant frequency over the interval (HaPPy assumes a fixed
+        // operating point; we take the residency-weighted mode).
+        let freq = report
+            .time
+            .by_freq
+            .iter()
+            .max_by_key(|(_, t)| t.as_u64())
+            .map(|(f, _)| *f)
+            .unwrap_or(MegaHertz(self.model.per_freq.keys().next().copied().unwrap_or(1000)));
+        Some(Watts(self.model.predict_active(freq, &solo, &corun).ok()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::{CorunSplit, ProcTimeDelta};
+    use os_sim::process::Pid;
+    use simcpu::counters::ExecDelta;
+    use simcpu::units::Nanos;
+
+    fn model() -> HappyModel {
+        HappyModel::from_parts(
+            30.0,
+            vec![HwCounter::Instructions],
+            vec![(MegaHertz(2600), vec![2.0e-9], vec![1.0e-9])],
+        )
+        .unwrap()
+    }
+
+    fn report(solo_inst: u64, corun_inst: u64) -> SensorReport {
+        SensorReport {
+            source: crate::sensor::hpc::SOURCE,
+            timestamp: Nanos::from_secs(1),
+            interval: Nanos::from_secs(1),
+            pid: Pid(1),
+            counters: Vec::new(),
+            time: ProcTimeDelta {
+                busy: Nanos::from_secs(1),
+                by_freq: vec![(MegaHertz(2600), Nanos::from_secs(1))],
+            },
+            corun: CorunSplit {
+                solo: ExecDelta {
+                    instructions: solo_inst,
+                    ..ExecDelta::zero()
+                },
+                corun: ExecDelta {
+                    instructions: corun_inst,
+                    ..ExecDelta::zero()
+                },
+                solo_time: Nanos::from_millis(500),
+                corun_time: Nanos::from_millis(500),
+            },
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(HappyModel::from_parts(1.0, vec![], vec![]).is_err());
+        assert!(HappyModel::from_parts(1.0, vec![HwCounter::Cycles], vec![]).is_err());
+        assert!(HappyModel::from_parts(
+            1.0,
+            vec![HwCounter::Cycles],
+            vec![(MegaHertz(1000), vec![1.0, 2.0], vec![1.0])]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn corun_instructions_are_cheaper() {
+        let mut f = HappyFormula::new(model());
+        assert_eq!(f.name(), "happy-ht-aware");
+        assert_eq!(f.idle_w(), 30.0);
+        let solo_only = f.estimate(&report(1_000_000_000, 0)).unwrap().as_f64();
+        let corun_only = f.estimate(&report(0, 1_000_000_000)).unwrap().as_f64();
+        assert!((solo_only - 2.0).abs() < 1e-9);
+        assert!((corun_only - 1.0).abs() < 1e-9);
+        let mixed = f
+            .estimate(&report(500_000_000, 500_000_000))
+            .unwrap()
+            .as_f64();
+        assert!((mixed - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predict_validates_arity() {
+        let m = model();
+        assert!(m.predict_active(MegaHertz(2600), &[1.0, 2.0], &[1.0]).is_err());
+        assert!(m.predict_active(MegaHertz(2600), &[1.0], &[1.0]).is_ok());
+    }
+
+    #[test]
+    fn missing_freq_split_falls_back() {
+        let mut f = HappyFormula::new(model());
+        let mut r = report(1_000_000_000, 0);
+        r.time.by_freq.clear();
+        let p = f.estimate(&r).unwrap().as_f64();
+        assert!((p - 2.0).abs() < 1e-9, "uses the model's own frequency");
+    }
+}

@@ -1,0 +1,142 @@
+//! Formula actors: "Formula get the sensor messages from the event bus in
+//! order to estimate the power consumption of a given process" (§3).
+//!
+//! The primary formula is [`per_freq::PerFrequencyFormula`] — the paper's
+//! learned model. The baselines the paper compares against are here too:
+//! [`cpuload::CpuLoadFormula`] (Versick et al.), [`bertran`]
+//! (decomposable counter model on simple architectures), and
+//! [`happy::HappyFormula`] (hyperthread-aware split coefficients).
+
+pub mod bertran;
+pub mod cpuload;
+pub mod happy;
+pub mod per_freq;
+
+use crate::actor::{Actor, Context};
+use crate::msg::{Message, PowerReport, SensorReport};
+use simcpu::units::Watts;
+
+/// A power-estimation strategy fed by sensor reports.
+pub trait PowerFormula: Send {
+    /// The formula's name (carried on every [`PowerReport`]).
+    fn name(&self) -> &'static str;
+
+    /// The sensor source this formula consumes (default: the HPC sensor).
+    fn source(&self) -> &'static str {
+        crate::sensor::hpc::SOURCE
+    }
+
+    /// The machine idle floor the aggregator should add once per interval.
+    fn idle_w(&self) -> f64;
+
+    /// Estimates the *active* power of the reported process over the
+    /// report's interval, or `None` when the report is unusable.
+    fn estimate(&mut self, report: &SensorReport) -> Option<Watts>;
+}
+
+/// Hosts any [`PowerFormula`] as a bus actor: subscribes to sensor
+/// reports, filters by source, publishes power reports.
+pub struct FormulaActor {
+    formula: Box<dyn PowerFormula>,
+}
+
+impl FormulaActor {
+    /// Wraps a formula.
+    pub fn new(formula: Box<dyn PowerFormula>) -> FormulaActor {
+        FormulaActor { formula }
+    }
+}
+
+impl Actor for FormulaActor {
+    fn handle(&mut self, msg: Message, ctx: &Context) {
+        let Message::Sensor(report) = msg else { return };
+        if report.source != self.formula.source() {
+            return;
+        }
+        if let Some(power) = self.formula.estimate(&report) {
+            ctx.bus().publish(Message::Power(PowerReport {
+                timestamp: report.timestamp,
+                pid: report.pid,
+                power,
+                formula: self.formula.name(),
+            }));
+        }
+    }
+}
+
+impl std::fmt::Debug for FormulaActor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FormulaActor")
+            .field("formula", &self.formula.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::ActorSystem;
+    use crate::msg::{CorunSplit, ProcTimeDelta, Topic};
+    use os_sim::process::Pid;
+    use parking_lot::Mutex;
+    use simcpu::units::Nanos;
+    use std::sync::Arc;
+
+    struct Fixed;
+    impl PowerFormula for Fixed {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn idle_w(&self) -> f64 {
+            30.0
+        }
+        fn estimate(&mut self, _r: &SensorReport) -> Option<Watts> {
+            Some(Watts(4.2))
+        }
+    }
+
+    struct Capture(Arc<Mutex<Vec<PowerReport>>>);
+    impl Actor for Capture {
+        fn handle(&mut self, msg: Message, _ctx: &Context) {
+            if let Message::Power(p) = msg {
+                self.0.lock().push(p);
+            }
+        }
+    }
+
+    fn sensor_msg(source: &'static str) -> Message {
+        Message::Sensor(Arc::new(SensorReport {
+            source,
+            timestamp: Nanos::from_secs(1),
+            interval: Nanos::from_secs(1),
+            pid: Pid(9),
+            counters: Vec::new(),
+            time: ProcTimeDelta::default(),
+            corun: CorunSplit::default(),
+        }))
+    }
+
+    #[test]
+    fn estimates_matching_source_only() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut sys = ActorSystem::new();
+        let formula = sys.spawn("formula", Box::new(FormulaActor::new(Box::new(Fixed))));
+        let sink = sys.spawn("sink", Box::new(Capture(seen.clone())));
+        sys.bus().subscribe(Topic::Sensor, &formula);
+        sys.bus().subscribe(Topic::Power, &sink);
+        sys.bus().publish(sensor_msg(crate::sensor::hpc::SOURCE));
+        sys.bus().publish(sensor_msg(crate::sensor::procfs::SOURCE));
+        sys.shutdown();
+        let seen = seen.lock();
+        assert_eq!(seen.len(), 1, "procfs report filtered out");
+        assert_eq!(seen[0].formula, "fixed");
+        assert_eq!(seen[0].pid, Pid(9));
+        assert!((seen[0].power.as_f64() - 4.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn debug_names_the_formula() {
+        let fa = FormulaActor::new(Box::new(Fixed));
+        assert!(format!("{fa:?}").contains("fixed"));
+    }
+}

@@ -1,0 +1,204 @@
+//! The paper's formula: the learned per-frequency linear model. Counter
+//! deltas are attributed to the frequencies the process actually ran at
+//! (proportionally to its `time_in_state` split) and each frequency's
+//! model is applied to its share — `Power = idle + Σ_f Power_f` with the
+//! idle added later, once per machine, by the aggregator.
+
+use crate::formula::PowerFormula;
+use crate::model::power_model::PerFrequencyPowerModel;
+use crate::msg::SensorReport;
+use simcpu::units::Watts;
+
+/// The formula actor state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerFrequencyFormula {
+    model: PerFrequencyPowerModel,
+}
+
+impl PerFrequencyFormula {
+    /// Wraps a learned model.
+    pub fn new(model: PerFrequencyPowerModel) -> PerFrequencyFormula {
+        PerFrequencyFormula { model }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &PerFrequencyPowerModel {
+        &self.model
+    }
+
+    /// Extracts the report's counter deltas in model-event order
+    /// (`None` when any model event is missing from the report).
+    fn deltas_in_model_order(&self, report: &SensorReport) -> Option<Vec<f64>> {
+        self.model
+            .event_names()
+            .iter()
+            .map(|name| {
+                report
+                    .counters
+                    .iter()
+                    .find(|(e, _)| e.to_string() == *name)
+                    .map(|(_, v)| *v as f64)
+            })
+            .collect()
+    }
+}
+
+impl PowerFormula for PerFrequencyFormula {
+    fn name(&self) -> &'static str {
+        "per-frequency-hpc"
+    }
+
+    fn idle_w(&self) -> f64 {
+        self.model.idle_w()
+    }
+
+    fn estimate(&mut self, report: &SensorReport) -> Option<Watts> {
+        let interval_s = report.interval.as_secs_f64();
+        if interval_s <= 0.0 {
+            return None;
+        }
+        let deltas = self.deltas_in_model_order(report)?;
+        let busy = report.time.busy.as_u64();
+        if busy == 0 || deltas.iter().all(|d| *d == 0.0) {
+            return Some(Watts::ZERO);
+        }
+
+        // Attribute counters to frequencies by residency share, then sum
+        // each frequency's model contribution: Σ_f model_f(rates · share_f).
+        let mut total = 0.0;
+        let mut attributed = 0u64;
+        for &(f, t) in &report.time.by_freq {
+            let share = t.as_u64() as f64 / busy as f64;
+            attributed += t.as_u64();
+            let rates: Vec<f64> = deltas.iter().map(|d| d * share / interval_s).collect();
+            total += self.model.predict_active(f, &rates).ok()?;
+        }
+        // Any residue not covered by the per-frequency split (first-tick
+        // truncation) falls to the nearest model of the first frequency.
+        if attributed == 0 {
+            let rates: Vec<f64> = deltas.iter().map(|d| d / interval_s).collect();
+            let f = self.model.frequencies()[0];
+            total += self.model.predict_active(f, &rates).ok()?;
+        }
+        Some(Watts(total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::{CorunSplit, ProcTimeDelta};
+    use os_sim::process::Pid;
+    use perf_sim::events::PAPER_EVENTS;
+    use simcpu::units::{MegaHertz, Nanos};
+
+    fn model_two_freqs() -> PerFrequencyPowerModel {
+        PerFrequencyPowerModel::from_parts(
+            31.48,
+            vec![
+                "instructions".to_string(),
+                "cache-references".to_string(),
+                "cache-misses".to_string(),
+            ],
+            vec![
+                (MegaHertz(1600), vec![1.0e-9, 1.0e-8, 1.0e-7]),
+                (MegaHertz(3300), vec![2.22e-9, 2.48e-8, 1.87e-7]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn report(
+        counters: &[u64; 3],
+        by_freq: Vec<(MegaHertz, Nanos)>,
+        busy: Nanos,
+    ) -> SensorReport {
+        SensorReport {
+            source: crate::sensor::hpc::SOURCE,
+            timestamp: Nanos::from_secs(1),
+            interval: Nanos::from_secs(1),
+            pid: Pid(1),
+            counters: PAPER_EVENTS
+                .iter()
+                .zip(counters)
+                .map(|(e, v)| (*e, *v))
+                .collect(),
+            time: ProcTimeDelta { busy, by_freq },
+            corun: CorunSplit::default(),
+        }
+    }
+
+    #[test]
+    fn single_frequency_matches_paper_equation() {
+        let mut f = PerFrequencyFormula::new(model_two_freqs());
+        assert!((f.idle_w() - 31.48).abs() < 1e-12);
+        let r = report(
+            &[1_000_000_000, 100_000_000, 10_000_000],
+            vec![(MegaHertz(3300), Nanos::from_secs(1))],
+            Nanos::from_secs(1),
+        );
+        let p = f.estimate(&r).unwrap();
+        // 2.22 + 2.48 + 1.87 = 6.57 W active.
+        assert!((p.as_f64() - 6.57).abs() < 1e-9, "{p}");
+    }
+
+    #[test]
+    fn split_residency_blends_models() {
+        let mut f = PerFrequencyFormula::new(model_two_freqs());
+        // Half the busy time at each frequency.
+        let r = report(
+            &[1_000_000_000, 0, 0],
+            vec![
+                (MegaHertz(1600), Nanos::from_millis(500)),
+                (MegaHertz(3300), Nanos::from_millis(500)),
+            ],
+            Nanos::from_secs(1),
+        );
+        let p = f.estimate(&r).unwrap().as_f64();
+        // 0.5·1e9·1e-9 + 0.5·1e9·2.22e-9 = 0.5 + 1.11.
+        assert!((p - 1.61).abs() < 1e-9, "{p}");
+    }
+
+    #[test]
+    fn idle_report_is_zero_watts() {
+        let mut f = PerFrequencyFormula::new(model_two_freqs());
+        let r = report(&[0, 0, 0], Vec::new(), Nanos::ZERO);
+        assert_eq!(f.estimate(&r).unwrap(), Watts::ZERO);
+    }
+
+    #[test]
+    fn missing_model_event_yields_none() {
+        let mut f = PerFrequencyFormula::new(model_two_freqs());
+        let mut r = report(
+            &[1, 1, 1],
+            vec![(MegaHertz(3300), Nanos::from_secs(1))],
+            Nanos::from_secs(1),
+        );
+        r.counters.remove(2);
+        assert!(f.estimate(&r).is_none());
+    }
+
+    #[test]
+    fn turbo_frequency_uses_nearest_model() {
+        let mut f = PerFrequencyFormula::new(model_two_freqs());
+        let r = report(
+            &[1_000_000_000, 0, 0],
+            vec![(MegaHertz(3700), Nanos::from_secs(1))],
+            Nanos::from_secs(1),
+        );
+        let p = f.estimate(&r).unwrap().as_f64();
+        assert!((p - 2.22).abs() < 1e-9, "nearest is the 3.3 GHz model");
+    }
+
+    #[test]
+    fn counters_without_residency_split_still_estimate() {
+        let mut f = PerFrequencyFormula::new(model_two_freqs());
+        let r = report(
+            &[1_000_000_000, 0, 0],
+            Vec::new(),
+            Nanos::from_secs(1),
+        );
+        let p = f.estimate(&r).unwrap().as_f64();
+        assert!(p > 0.0, "fallback path produces an estimate");
+    }
+}

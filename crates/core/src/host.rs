@@ -1,0 +1,328 @@
+//! The host under observation: the simulated kernel plus every
+//! measurement attachment (perf session, PowerSpy meter, RAPL MSR, SMT
+//! co-run tracker). [`SimHost::step`] advances simulated time;
+//! [`SimHost::snapshot`] atomically harvests one monitoring interval for
+//! the sensor actors.
+//!
+//! On real hardware this role is played by the operating system itself;
+//! here it is explicit so that simulated time only advances between
+//! snapshots, never during one.
+
+use crate::msg::{CorunSplit, HostSnapshot, ProcTimeDelta};
+use os_sim::kernel::Kernel;
+use os_sim::process::Pid;
+use perf_sim::events::Event;
+use perf_sim::monitor::ProcessMonitor;
+use powermeter::powerspy::{PowerSpy, PowerSpyConfig};
+use powermeter::rapl::Rapl;
+use simcpu::units::{MegaHertz, Nanos, Watts};
+use std::collections::BTreeMap;
+
+/// The kernel plus its measurement harness.
+pub struct SimHost {
+    kernel: Kernel,
+    monitor: ProcessMonitor,
+    meter: PowerSpy,
+    rapl: Option<Rapl>,
+    rapl_prev: u32,
+    meter_buf: Vec<(Nanos, Watts)>,
+    corun_acc: BTreeMap<Pid, CorunSplit>,
+    proc_prev: BTreeMap<Pid, (Nanos, BTreeMap<MegaHertz, Nanos>)>,
+    last_snapshot: Nanos,
+}
+
+impl SimHost {
+    /// Wires a kernel to a perf session (counting `events` on a PMU with
+    /// `slots` counters), a PowerSpy meter, and — where the architecture
+    /// allows — a RAPL MSR.
+    pub fn new(
+        kernel: Kernel,
+        events: Vec<Event>,
+        slots: usize,
+        meter_config: PowerSpyConfig,
+    ) -> SimHost {
+        let rapl = Rapl::open(kernel.machine().config()).ok();
+        SimHost {
+            monitor: ProcessMonitor::new(slots, events),
+            meter: PowerSpy::new(meter_config),
+            rapl,
+            rapl_prev: 0,
+            meter_buf: Vec::new(),
+            corun_acc: BTreeMap::new(),
+            proc_prev: BTreeMap::new(),
+            last_snapshot: kernel.machine().now(),
+            kernel,
+        }
+    }
+
+    /// The kernel under observation.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Mutable kernel access (spawn/kill processes, change governors).
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        &mut self.kernel
+    }
+
+    /// Whether the machine exposes RAPL.
+    pub fn has_rapl(&self) -> bool {
+        self.rapl.is_some()
+    }
+
+    /// Starts monitoring a process's counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates perf-session errors.
+    pub fn monitor(&mut self, pid: Pid) -> crate::Result<()> {
+        self.monitor.track(pid)?;
+        Ok(())
+    }
+
+    /// Stops monitoring a process.
+    pub fn unmonitor(&mut self, pid: Pid) {
+        self.monitor.untrack(pid);
+    }
+
+    /// Pids currently monitored.
+    pub fn monitored(&self) -> Vec<Pid> {
+        self.monitor.tracked()
+    }
+
+    /// Advances the world one scheduler quantum, feeding every attachment.
+    pub fn step(&mut self, dt: Nanos) {
+        let report = self.kernel.tick(dt);
+        self.monitor.observe(&report);
+
+        // Meter integrates the true machine power.
+        let truth = self.kernel.machine().last_power();
+        for s in self.meter.observe(truth, report.now) {
+            self.meter_buf.push((s.at, s.power));
+        }
+
+        // RAPL integrates the true package power.
+        if let Some(rapl) = &mut self.rapl {
+            rapl.observe(report.package_power, dt);
+        }
+
+        // SMT co-run split: a record co-runs when another record shares
+        // its physical core this tick.
+        let smt = self.kernel.machine().topology().threads_per_core();
+        for rec in &report.records {
+            let core = rec.cpu.as_usize() / smt;
+            let has_sibling = smt > 1
+                && report
+                    .records
+                    .iter()
+                    .any(|o| o.tid != rec.tid && o.cpu.as_usize() / smt == core);
+            let split = self.corun_acc.entry(rec.pid).or_default();
+            if has_sibling {
+                split.corun += rec.delta;
+                split.corun_time += rec.busy;
+            } else {
+                split.solo += rec.delta;
+                split.solo_time += rec.busy;
+            }
+        }
+    }
+
+    /// Harvests the monitoring interval since the previous snapshot.
+    pub fn snapshot(&mut self) -> HostSnapshot {
+        let now = self.kernel.machine().now();
+        let interval = now - self.last_snapshot;
+        self.last_snapshot = now;
+
+        let hpc = self
+            .monitor
+            .sample()
+            .into_iter()
+            .map(|s| (s.pid, s.deltas))
+            .collect();
+
+        // Per-process CPU-time deltas against the previous snapshot.
+        let mut proc_times = Vec::new();
+        for pid in self.monitor.tracked() {
+            let Some(times) = self.kernel.accounting().process(pid) else {
+                continue;
+            };
+            let (prev_busy, prev_freq) = self
+                .proc_prev
+                .entry(pid)
+                .or_insert_with(|| (Nanos::ZERO, BTreeMap::new()));
+            let busy = times.utime.saturating_sub(*prev_busy);
+            let mut by_freq = Vec::new();
+            for (&f, &t) in &times.utime_per_freq {
+                let prev = prev_freq.get(&f).copied().unwrap_or(Nanos::ZERO);
+                let d = t.saturating_sub(prev);
+                if d > Nanos::ZERO {
+                    by_freq.push((f, d));
+                }
+            }
+            *prev_busy = times.utime;
+            *prev_freq = times.utime_per_freq.clone();
+            proc_times.push((pid, ProcTimeDelta { busy, by_freq }));
+        }
+
+        let corun = std::mem::take(&mut self.corun_acc).into_iter().collect();
+        let meter = std::mem::take(&mut self.meter_buf);
+
+        let rapl_joules = self.rapl.as_ref().map(|r| {
+            let cur = r.read_raw();
+            let d = Rapl::delta_joules(self.rapl_prev, cur);
+            self.rapl_prev = cur;
+            d
+        });
+
+        HostSnapshot {
+            timestamp: now,
+            interval,
+            hpc,
+            proc_times,
+            corun,
+            meter,
+            rapl_joules,
+        }
+    }
+}
+
+impl std::fmt::Debug for SimHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimHost")
+            .field("now", &self.kernel.machine().now())
+            .field("monitored", &self.monitor.tracked().len())
+            .field("rapl", &self.rapl.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use os_sim::task::SteadyTask;
+    use perf_sim::events::PAPER_EVENTS;
+    use simcpu::presets;
+    use simcpu::workunit::WorkUnit;
+
+    const MS: Nanos = Nanos(1_000_000);
+
+    fn host_with(work: WorkUnit, threads: usize) -> (SimHost, Pid) {
+        let mut kernel = Kernel::new(presets::intel_i3_2120());
+        let pid = kernel.spawn(
+            "app",
+            (0..threads).map(|_| SteadyTask::boxed(work)).collect(),
+        );
+        let mut host = SimHost::new(
+            kernel,
+            PAPER_EVENTS.to_vec(),
+            4,
+            PowerSpyConfig::default().with_sample_period(Nanos::from_millis(100)),
+        );
+        host.monitor(pid).unwrap();
+        (host, pid)
+    }
+
+    #[test]
+    fn snapshot_carries_hpc_and_time_deltas() {
+        let (mut host, pid) = host_with(WorkUnit::cpu_intensive(1.0), 1);
+        for _ in 0..100 {
+            host.step(MS);
+        }
+        let snap = host.snapshot();
+        assert_eq!(snap.interval, Nanos::from_millis(100));
+        let (p, counters) = &snap.hpc[0];
+        assert_eq!(*p, pid);
+        assert!(counters.iter().any(|(_, v)| *v > 0));
+        let (_, times) = &snap.proc_times[0];
+        assert_eq!(times.busy, Nanos::from_millis(100));
+        assert!(!times.by_freq.is_empty());
+        assert!(!snap.meter.is_empty(), "meter sampled at 10 Hz");
+        assert_eq!(snap.timestamp, Nanos::from_millis(100));
+    }
+
+    #[test]
+    fn second_snapshot_is_a_fresh_interval() {
+        let (mut host, _) = host_with(WorkUnit::cpu_intensive(0.5), 1);
+        for _ in 0..50 {
+            host.step(MS);
+        }
+        let s1 = host.snapshot();
+        for _ in 0..50 {
+            host.step(MS);
+        }
+        let s2 = host.snapshot();
+        let b1 = s1.proc_times[0].1.busy.as_u64() as f64;
+        let b2 = s2.proc_times[0].1.busy.as_u64() as f64;
+        assert!((b2 / b1 - 1.0).abs() < 0.2, "deltas, not cumulative");
+    }
+
+    #[test]
+    fn corun_split_detects_smt_sharing() {
+        // 4 threads on a 2-core/4-thread machine: everything co-runs.
+        let (mut host, pid) = host_with(WorkUnit::cpu_intensive(1.0), 4);
+        for _ in 0..20 {
+            host.step(MS);
+        }
+        let snap = host.snapshot();
+        let (p, split) = &snap.corun[0];
+        assert_eq!(*p, pid);
+        assert!(split.corun_time > Nanos::ZERO);
+        assert!(split.corun.instructions > 0);
+        assert_eq!(split.solo_time, Nanos::ZERO, "no solo time at full load");
+
+        // 1 thread: always solo.
+        let (mut host, _) = host_with(WorkUnit::cpu_intensive(1.0), 1);
+        for _ in 0..20 {
+            host.step(MS);
+        }
+        let snap = host.snapshot();
+        let (_, split) = &snap.corun[0];
+        assert!(split.solo_time > Nanos::ZERO);
+        assert_eq!(split.corun_time, Nanos::ZERO);
+    }
+
+    #[test]
+    fn rapl_present_on_sandy_bridge_absent_on_core2() {
+        let (mut host, _) = host_with(WorkUnit::cpu_intensive(1.0), 1);
+        assert!(host.has_rapl());
+        for _ in 0..100 {
+            host.step(MS);
+        }
+        let snap = host.snapshot();
+        let j = snap.rapl_joules.unwrap();
+        // 100 ms of a busy i3 package: between 0.3 J (idle-ish) and 5 J.
+        assert!(j > 0.3 && j < 5.0, "rapl measured {j} J");
+
+        let kernel = Kernel::new(presets::core2duo_e6600());
+        let host = SimHost::new(
+            kernel,
+            PAPER_EVENTS.to_vec(),
+            4,
+            PowerSpyConfig::default(),
+        );
+        assert!(!host.has_rapl());
+    }
+
+    #[test]
+    fn unmonitor_removes_from_snapshots() {
+        let (mut host, pid) = host_with(WorkUnit::cpu_intensive(1.0), 1);
+        host.step(MS);
+        host.unmonitor(pid);
+        let snap = host.snapshot();
+        assert!(snap.hpc.is_empty());
+        assert!(snap.proc_times.is_empty());
+        assert!(host.monitored().is_empty());
+    }
+
+    #[test]
+    fn meter_samples_drain_once() {
+        let (mut host, _) = host_with(WorkUnit::cpu_intensive(1.0), 1);
+        for _ in 0..200 {
+            host.step(MS);
+        }
+        let s1 = host.snapshot();
+        assert!(!s1.meter.is_empty());
+        let s2 = host.snapshot();
+        assert!(s2.meter.is_empty(), "already drained");
+    }
+}

@@ -1,0 +1,16 @@
+//! Power-model learning: the paper's Figure 1 pipeline.
+//!
+//! * [`power_model`] — the learned artifact: one linear model per DVFS
+//!   frequency over hardware-counter rates, plus the machine idle floor;
+//! * [`sampling`] — running the calibration workloads and collecting
+//!   `(counter rates, wall power)` observations through the full sensor
+//!   stack (perf session + PowerSpy);
+//! * [`learn`] — the multivariate-regression fit per frequency;
+//! * [`selection`] — automatic counter selection by Spearman rank
+//!   correlation (the §5 future-work item) and greedy cross-validated
+//!   forward selection.
+
+pub mod learn;
+pub mod power_model;
+pub mod sampling;
+pub mod selection;

@@ -1,0 +1,328 @@
+//! The learned power model: `Power = idle + Σ_f Power_f`, with
+//! `Power_f = Σ_e coef_{f,e} · rate_e` — the paper's §4 equations. One
+//! coefficient vector per nominal DVFS frequency, over a fixed event list.
+
+use crate::{Error, Result};
+use serde::{Deserialize, Serialize};
+use simcpu::units::MegaHertz;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A per-frequency linear power model over hardware-counter rates.
+///
+/// Rates are in events **per second**; coefficients are in watts per
+/// (event/second) — i.e. joules per event, like the paper's
+/// `2.22 / 10⁹ · i` term (2.22 nJ per instruction).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerFrequencyPowerModel {
+    idle_w: f64,
+    events: Vec<String>,
+    per_freq: BTreeMap<u32, Vec<f64>>,
+}
+
+impl PerFrequencyPowerModel {
+    /// Assembles a model from its parts.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Middleware`] when the parts are inconsistent (no events,
+    /// no frequencies, or a coefficient vector of the wrong arity).
+    pub fn from_parts(
+        idle_w: f64,
+        events: Vec<String>,
+        per_freq: Vec<(MegaHertz, Vec<f64>)>,
+    ) -> Result<PerFrequencyPowerModel> {
+        if events.is_empty() {
+            return Err(Error::Middleware("power model needs at least one event".into()));
+        }
+        if per_freq.is_empty() {
+            return Err(Error::Middleware(
+                "power model needs at least one frequency".into(),
+            ));
+        }
+        let mut map = BTreeMap::new();
+        for (f, coefs) in per_freq {
+            if coefs.len() != events.len() {
+                return Err(Error::Middleware(format!(
+                    "coefficient arity {} does not match {} events at {f}",
+                    coefs.len(),
+                    events.len()
+                )));
+            }
+            map.insert(f.as_u32(), coefs);
+        }
+        Ok(PerFrequencyPowerModel {
+            idle_w,
+            events,
+            per_freq: map,
+        })
+    }
+
+    /// The paper's published i3-2120 example: idle 31.48 W and, at
+    /// 3.30 GHz, `2.22e-9·i + 2.48e-8·r + 1.87e-7·m`.
+    pub fn paper_i3_example() -> PerFrequencyPowerModel {
+        PerFrequencyPowerModel::from_parts(
+            31.48,
+            vec![
+                "instructions".to_string(),
+                "cache-references".to_string(),
+                "cache-misses".to_string(),
+            ],
+            vec![(MegaHertz(3300), vec![2.22e-9, 2.48e-8, 1.87e-7])],
+        )
+        .expect("published constants are consistent")
+    }
+
+    /// The machine idle floor in watts (the paper's 31.48 constant).
+    pub fn idle_w(&self) -> f64 {
+        self.idle_w
+    }
+
+    /// The event names, in coefficient order.
+    pub fn event_names(&self) -> &[String] {
+        &self.events
+    }
+
+    /// The modeled frequencies, ascending.
+    pub fn frequencies(&self) -> Vec<MegaHertz> {
+        self.per_freq.keys().map(|&f| MegaHertz(f)).collect()
+    }
+
+    /// Coefficients for an exact frequency.
+    pub fn coefficients(&self, f: MegaHertz) -> Option<&[f64]> {
+        self.per_freq.get(&f.as_u32()).map(|v| v.as_slice())
+    }
+
+    /// Coefficients for the nearest modeled frequency — how the formula
+    /// copes with operating points it never sampled (e.g. opportunistic
+    /// turbo bins).
+    pub fn nearest_coefficients(&self, f: MegaHertz) -> (&[f64], MegaHertz) {
+        let (freq, coefs) = self
+            .per_freq
+            .iter()
+            .min_by_key(|(&k, _)| k.abs_diff(f.as_u32()))
+            .expect("non-empty by construction");
+        (coefs.as_slice(), MegaHertz(*freq))
+    }
+
+    /// Active power (above idle) for event rates observed at a frequency,
+    /// using the nearest modeled frequency.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Middleware`] when `rates` has the wrong arity.
+    pub fn predict_active(&self, f: MegaHertz, rates_per_sec: &[f64]) -> Result<f64> {
+        if rates_per_sec.len() != self.events.len() {
+            return Err(Error::Middleware(format!(
+                "rate arity {} does not match {} events",
+                rates_per_sec.len(),
+                self.events.len()
+            )));
+        }
+        let (coefs, _) = self.nearest_coefficients(f);
+        Ok(coefs
+            .iter()
+            .zip(rates_per_sec)
+            .map(|(c, r)| c * r)
+            .sum::<f64>()
+            .max(0.0))
+    }
+
+    /// Serializes to the on-disk text format (see [`Self::from_text`]).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("idle {:.6}\n", self.idle_w));
+        out.push_str(&format!("events {}\n", self.events.join(" ")));
+        for (f, coefs) in &self.per_freq {
+            out.push_str(&format!("freq {f}"));
+            for c in coefs {
+                out.push_str(&format!(" {c:e}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the text format produced by [`Self::to_text`]:
+    ///
+    /// ```text
+    /// idle 31.48
+    /// events instructions cache-references cache-misses
+    /// freq 3300 2.22e-9 2.48e-8 1.87e-7
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Middleware`] on any malformed line.
+    pub fn from_text(text: &str) -> Result<PerFrequencyPowerModel> {
+        let bad = |what: &str| Error::Middleware(format!("bad power model text: {what}"));
+        let mut idle = None;
+        let mut events: Vec<String> = Vec::new();
+        let mut per_freq = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("idle") => {
+                    idle = Some(
+                        parts
+                            .next()
+                            .ok_or_else(|| bad("idle needs a value"))?
+                            .parse::<f64>()
+                            .map_err(|_| bad("idle value"))?,
+                    );
+                }
+                Some("events") => {
+                    events = parts.map(str::to_string).collect();
+                }
+                Some("freq") => {
+                    let f: u32 = parts
+                        .next()
+                        .ok_or_else(|| bad("freq needs a value"))?
+                        .parse()
+                        .map_err(|_| bad("freq value"))?;
+                    let coefs: std::result::Result<Vec<f64>, _> =
+                        parts.map(str::parse::<f64>).collect();
+                    per_freq.push((MegaHertz(f), coefs.map_err(|_| bad("coefficient"))?));
+                }
+                Some(other) => return Err(bad(other)),
+                None => {}
+            }
+        }
+        PerFrequencyPowerModel::from_parts(
+            idle.ok_or_else(|| bad("missing idle line"))?,
+            events,
+            per_freq,
+        )
+    }
+}
+
+impl fmt::Display for PerFrequencyPowerModel {
+    /// Renders the model in the paper's equation style.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Power = {:.2} + sum over frequencies of:", self.idle_w)?;
+        for (freq, coefs) in &self.per_freq {
+            write!(f, "  P_{:.2}GHz =", *freq as f64 / 1000.0)?;
+            for (i, (c, e)) in coefs.iter().zip(&self.events).enumerate() {
+                if i > 0 {
+                    write!(f, " +")?;
+                }
+                write!(f, " {c:.3e}*{e}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_reproduces_published_equation() {
+        let m = PerFrequencyPowerModel::paper_i3_example();
+        assert!((m.idle_w() - 31.48).abs() < 1e-12);
+        let coefs = m.coefficients(MegaHertz(3300)).unwrap();
+        assert_eq!(coefs, &[2.22e-9, 2.48e-8, 1.87e-7]);
+        // 1e9 inst/s, 1e8 refs/s, 1e7 misses/s → 2.22+2.48+1.87 W active.
+        let p = m
+            .predict_active(MegaHertz(3300), &[1e9, 1e8, 1e7])
+            .unwrap();
+        assert!((p - 6.57).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_rejects_inconsistencies() {
+        assert!(PerFrequencyPowerModel::from_parts(1.0, vec![], vec![]).is_err());
+        assert!(PerFrequencyPowerModel::from_parts(
+            1.0,
+            vec!["instructions".into()],
+            vec![]
+        )
+        .is_err());
+        assert!(PerFrequencyPowerModel::from_parts(
+            1.0,
+            vec!["instructions".into()],
+            vec![(MegaHertz(1000), vec![1.0, 2.0])]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn nearest_coefficients_handles_turbo_bins() {
+        let m = PerFrequencyPowerModel::from_parts(
+            10.0,
+            vec!["instructions".into()],
+            vec![
+                (MegaHertz(1600), vec![1.0]),
+                (MegaHertz(3300), vec![3.0]),
+            ],
+        )
+        .unwrap();
+        let (c, f) = m.nearest_coefficients(MegaHertz(3700));
+        assert_eq!(f, MegaHertz(3300));
+        assert_eq!(c, &[3.0]);
+        let (c, f) = m.nearest_coefficients(MegaHertz(1700));
+        assert_eq!(f, MegaHertz(1600));
+        assert_eq!(c, &[1.0]);
+    }
+
+    #[test]
+    fn predict_validates_arity() {
+        let m = PerFrequencyPowerModel::paper_i3_example();
+        assert!(m.predict_active(MegaHertz(3300), &[1.0]).is_err());
+    }
+
+    #[test]
+    fn negative_predictions_clamp_to_zero() {
+        let m = PerFrequencyPowerModel::from_parts(
+            5.0,
+            vec!["instructions".into()],
+            vec![(MegaHertz(1000), vec![-1.0])],
+        )
+        .unwrap();
+        assert_eq!(m.predict_active(MegaHertz(1000), &[10.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let m = PerFrequencyPowerModel::paper_i3_example();
+        let text = m.to_text();
+        let back = PerFrequencyPowerModel::from_text(&text).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn text_parser_rejects_garbage() {
+        assert!(PerFrequencyPowerModel::from_text("nonsense 1 2 3").is_err());
+        assert!(PerFrequencyPowerModel::from_text("idle abc").is_err());
+        assert!(PerFrequencyPowerModel::from_text("idle 1\nevents e\nfreq x 1").is_err());
+        assert!(
+            PerFrequencyPowerModel::from_text("events e\nfreq 1000 1").is_err(),
+            "missing idle"
+        );
+        // Comments and blank lines are fine.
+        let ok = "# comment\n\nidle 2.0\nevents instructions\nfreq 1000 1e-9\n";
+        assert!(PerFrequencyPowerModel::from_text(ok).is_ok());
+    }
+
+    #[test]
+    fn display_is_paper_shaped() {
+        let s = PerFrequencyPowerModel::paper_i3_example().to_string();
+        assert!(s.contains("Power = 31.48"));
+        assert!(s.contains("P_3.30GHz"));
+        assert!(s.contains("instructions"));
+    }
+
+    #[test]
+    fn accessors() {
+        let m = PerFrequencyPowerModel::paper_i3_example();
+        assert_eq!(m.event_names().len(), 3);
+        assert_eq!(m.frequencies(), vec![MegaHertz(3300)]);
+        assert!(m.coefficients(MegaHertz(1600)).is_none());
+    }
+}

@@ -1,0 +1,169 @@
+//! Automatic counter selection — the paper's §5 future-work item ("we
+//! plan to improve our learning algorithm by using the Spearman rank
+//! correlation for finding automatically the most correlated ones with
+//! the power consumption"), implemented here, plus a stronger greedy
+//! cross-validated strategy. Experiment E5 compares all three.
+
+use crate::model::sampling::SampleSet;
+use crate::{Error, Result};
+use perf_sim::events::{Event, PAPER_EVENTS};
+
+/// How to pick the counters the model is built on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Strategy {
+    /// The paper's fixed generic triple: `instructions`,
+    /// `cache-references`, `cache-misses`.
+    FixedGeneric,
+    /// Rank every sampled counter by `|Spearman(rate, power)|` over the
+    /// pooled campaign and keep the top `k` (the §5 proposal).
+    SpearmanTopK(usize),
+    /// Greedy forward selection scored by k-fold cross-validated RMSE.
+    GreedyCv {
+        /// Maximum counters to select.
+        max_features: usize,
+        /// Cross-validation folds.
+        folds: usize,
+    },
+}
+
+impl Strategy {
+    /// Short label for experiment tables.
+    pub fn label(&self) -> String {
+        match self {
+            Strategy::FixedGeneric => "fixed-generic".to_string(),
+            Strategy::SpearmanTopK(k) => format!("spearman-top{k}"),
+            Strategy::GreedyCv { max_features, folds } => {
+                format!("greedy-cv{folds}-max{max_features}")
+            }
+        }
+    }
+}
+
+/// Applies a strategy to a sampled campaign, returning the chosen events
+/// (order matters: it becomes the model's coefficient order).
+///
+/// # Errors
+///
+/// [`Error::Middleware`] when the fixed triple is absent from the
+/// campaign; math errors propagate.
+pub fn select_events(set: &SampleSet, strategy: &Strategy) -> Result<Vec<Event>> {
+    match strategy {
+        Strategy::FixedGeneric => {
+            let missing: Vec<String> = PAPER_EVENTS
+                .iter()
+                .filter(|e| !set.events.contains(e))
+                .map(|e| e.to_string())
+                .collect();
+            if !missing.is_empty() {
+                return Err(Error::Middleware(format!(
+                    "campaign did not sample fixed events: {missing:?}"
+                )));
+            }
+            Ok(PAPER_EVENTS.to_vec())
+        }
+        Strategy::SpearmanTopK(k) => {
+            let (x, y) = set.pooled()?;
+            let idx = mathkit::select::spearman_top_k(&x, &y, *k)?;
+            Ok(idx.into_iter().map(|i| set.events[i]).collect())
+        }
+        Strategy::GreedyCv { max_features, folds } => {
+            let (x, y) = set.pooled()?;
+            let sel = mathkit::select::greedy_forward(&x, &y, *max_features, *folds, 0.01)?;
+            Ok(sel.features.into_iter().map(|i| set.events[i]).collect())
+        }
+    }
+}
+
+/// Spearman correlation of every sampled counter with power, in campaign
+/// event order — the ranking table experiment E5 prints.
+///
+/// # Errors
+///
+/// Math errors propagate.
+pub fn spearman_ranking(set: &SampleSet) -> Result<Vec<(Event, f64)>> {
+    let (x, y) = set.pooled()?;
+    let scores = mathkit::select::spearman_scores(&x, &y)?;
+    Ok(set.events.iter().copied().zip(scores).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::sampling::{collect, SamplingConfig};
+    use perf_sim::pfm::Pfm;
+    use simcpu::presets;
+
+    fn wide_campaign() -> SampleSet {
+        let machine = presets::intel_i3_2120();
+        let mut cfg = SamplingConfig::quick();
+        // Sample every generic event the PMU offers, with enough slots
+        // to avoid multiplexing noise in this test.
+        cfg.events = Pfm::for_machine(&machine).available_generic();
+        cfg.slots = cfg.events.len();
+        collect(&machine, &cfg).unwrap()
+    }
+
+    #[test]
+    fn strategy_labels() {
+        assert_eq!(Strategy::FixedGeneric.label(), "fixed-generic");
+        assert_eq!(Strategy::SpearmanTopK(3).label(), "spearman-top3");
+        assert_eq!(
+            Strategy::GreedyCv {
+                max_features: 4,
+                folds: 5
+            }
+            .label(),
+            "greedy-cv5-max4"
+        );
+    }
+
+    #[test]
+    fn fixed_generic_returns_paper_triple() {
+        let set = wide_campaign();
+        let events = select_events(&set, &Strategy::FixedGeneric).unwrap();
+        assert_eq!(events.to_vec(), PAPER_EVENTS.to_vec());
+    }
+
+    #[test]
+    fn fixed_generic_requires_the_triple_sampled() {
+        let set = wide_campaign();
+        let narrow = set.project(&[set.events[0]]).unwrap();
+        assert!(select_events(&narrow, &Strategy::FixedGeneric).is_err());
+    }
+
+    #[test]
+    fn spearman_selects_power_correlated_counters() {
+        let set = wide_campaign();
+        let top = select_events(&set, &Strategy::SpearmanTopK(3)).unwrap();
+        assert_eq!(top.len(), 3);
+        // Instructions or cycles must rank among the top: they drive the
+        // dominant dynamic-power term.
+        let names: Vec<String> = top.iter().map(|e| e.to_string()).collect();
+        assert!(
+            names.iter().any(|n| n == "instructions" || n == "cycles" || n == "ref-cycles"),
+            "top-3 = {names:?}"
+        );
+    }
+
+    #[test]
+    fn greedy_cv_selects_nonempty_subset() {
+        let set = wide_campaign();
+        let chosen = select_events(
+            &set,
+            &Strategy::GreedyCv {
+                max_features: 4,
+                folds: 4,
+            },
+        )
+        .unwrap();
+        assert!(!chosen.is_empty() && chosen.len() <= 4, "{chosen:?}");
+    }
+
+    #[test]
+    fn ranking_covers_every_event() {
+        let set = wide_campaign();
+        let ranking = spearman_ranking(&set).unwrap();
+        assert_eq!(ranking.len(), set.events.len());
+        assert!(ranking.iter().all(|(_, s)| (-1.0..=1.0).contains(s)));
+    }
+}

@@ -1,0 +1,224 @@
+//! Bus message types. One enum covers every topic so actors stay
+//! object-safe and the bus stays simple; each variant is cheap to clone
+//! (snapshots travel behind `Arc`).
+
+use os_sim::process::Pid;
+use perf_sim::events::Event;
+use simcpu::counters::ExecDelta;
+use simcpu::units::{MegaHertz, Nanos, Watts};
+use std::sync::Arc;
+
+/// Topics actors can subscribe to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Topic {
+    /// Monitoring clock ticks (carrying the host snapshot).
+    Tick,
+    /// Per-process sensor reports.
+    Sensor,
+    /// Per-process power estimations.
+    Power,
+    /// Aggregated estimations.
+    Aggregate,
+    /// Physical meter samples (ground-truth side of Figure 3).
+    Meter,
+    /// RAPL package-power samples (the architecture-gated baseline).
+    Rapl,
+}
+
+/// Everything a monitoring tick observed about the host, gathered
+/// atomically while simulated time was paused. Sensors slice it into
+/// per-process reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostSnapshot {
+    /// End of the monitoring interval.
+    pub timestamp: Nanos,
+    /// Interval length.
+    pub interval: Nanos,
+    /// Per-process HPC interval samples (multiplex-scaled deltas).
+    pub hpc: Vec<(Pid, Vec<(Event, u64)>)>,
+    /// Per-process CPU time consumed this interval, split by frequency.
+    pub proc_times: Vec<(Pid, ProcTimeDelta)>,
+    /// Per-process raw event deltas split by SMT co-run state (the
+    /// HT-aware sensor extension HaPPy-style formulas need).
+    pub corun: Vec<(Pid, CorunSplit)>,
+    /// Wall-power meter samples that completed during the interval.
+    pub meter: Vec<(Nanos, Watts)>,
+    /// RAPL package energy consumed during the interval, when supported.
+    pub rapl_joules: Option<f64>,
+}
+
+/// Per-process CPU time deltas for one interval.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProcTimeDelta {
+    /// Total CPU time consumed.
+    pub busy: Nanos,
+    /// CPU time split by core frequency.
+    pub by_freq: Vec<(MegaHertz, Nanos)>,
+}
+
+/// Raw event deltas split by whether the SMT sibling was busy.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CorunSplit {
+    /// Events retired while the sibling hardware thread was idle.
+    pub solo: ExecDelta,
+    /// Events retired while the sibling hardware thread was busy.
+    pub corun: ExecDelta,
+    /// Busy time with an idle sibling.
+    pub solo_time: Nanos,
+    /// Busy time with a busy sibling.
+    pub corun_time: Nanos,
+}
+
+/// A sensor's per-process observation for one interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorReport {
+    /// Which sensor produced the report (formulas filter on this so the
+    /// HPC formula never consumes a CPU-load report and vice versa).
+    pub source: &'static str,
+    /// End of the interval.
+    pub timestamp: Nanos,
+    /// Interval length.
+    pub interval: Nanos,
+    /// The observed process.
+    pub pid: Pid,
+    /// Scaled HPC deltas (empty for non-HPC sensors).
+    pub counters: Vec<(Event, u64)>,
+    /// CPU time consumed, split by frequency.
+    pub time: ProcTimeDelta,
+    /// SMT co-run split (zeroed when the sensor does not track it).
+    pub corun: CorunSplit,
+}
+
+/// A formula's per-process power estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerReport {
+    /// End of the interval.
+    pub timestamp: Nanos,
+    /// The estimated process.
+    pub pid: Pid,
+    /// Estimated *active* power attributable to the process (the machine
+    /// idle floor is added once, at aggregation).
+    pub power: Watts,
+    /// Name of the formula that produced the estimate.
+    pub formula: &'static str,
+}
+
+/// What an aggregate describes.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Scope {
+    /// One process.
+    Process(Pid),
+    /// A named control group of processes (a cgroup / virtual machine —
+    /// the attribution unit the paper's §5 targets next).
+    Group(std::sync::Arc<str>),
+    /// The whole machine (idle floor + every monitored process).
+    Machine,
+}
+
+/// An aggregated estimation, ready for reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateReport {
+    /// End of the interval.
+    pub timestamp: Nanos,
+    /// What the value covers.
+    pub scope: Scope,
+    /// Aggregated power.
+    pub power: Watts,
+}
+
+/// The bus message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// A monitoring tick with its snapshot.
+    Tick(Arc<HostSnapshot>),
+    /// A sensor report.
+    Sensor(Arc<SensorReport>),
+    /// A power estimation.
+    Power(PowerReport),
+    /// An aggregated estimation.
+    Aggregate(AggregateReport),
+    /// A meter sample (timestamp, watts).
+    Meter(Nanos, Watts),
+    /// A RAPL package-power sample (timestamp, average watts over the
+    /// interval).
+    Rapl(Nanos, Watts),
+}
+
+impl Message {
+    /// The topic a message belongs on.
+    pub fn topic(&self) -> Topic {
+        match self {
+            Message::Tick(_) => Topic::Tick,
+            Message::Sensor(_) => Topic::Sensor,
+            Message::Power(_) => Topic::Power,
+            Message::Aggregate(_) => Topic::Aggregate,
+            Message::Meter(_, _) => Topic::Meter,
+            Message::Rapl(_, _) => Topic::Rapl,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topics_match_variants() {
+        let snap = Arc::new(HostSnapshot {
+            timestamp: Nanos(1),
+            interval: Nanos(1),
+            hpc: Vec::new(),
+            proc_times: Vec::new(),
+            corun: Vec::new(),
+            meter: Vec::new(),
+            rapl_joules: None,
+        });
+        assert_eq!(Message::Tick(snap.clone()).topic(), Topic::Tick);
+        let sr = Arc::new(SensorReport {
+            source: "hpc",
+            timestamp: Nanos(1),
+            interval: Nanos(1),
+            pid: Pid(1),
+            counters: Vec::new(),
+            time: ProcTimeDelta::default(),
+            corun: CorunSplit::default(),
+        });
+        assert_eq!(Message::Sensor(sr).topic(), Topic::Sensor);
+        assert_eq!(
+            Message::Power(PowerReport {
+                timestamp: Nanos(1),
+                pid: Pid(1),
+                power: Watts(1.0),
+                formula: "x",
+            })
+            .topic(),
+            Topic::Power
+        );
+        assert_eq!(
+            Message::Aggregate(AggregateReport {
+                timestamp: Nanos(1),
+                scope: Scope::Machine,
+                power: Watts(1.0),
+            })
+            .topic(),
+            Topic::Aggregate
+        );
+        assert_eq!(Message::Meter(Nanos(1), Watts(2.0)).topic(), Topic::Meter);
+        assert_eq!(Message::Rapl(Nanos(1), Watts(2.0)).topic(), Topic::Rapl);
+    }
+
+    #[test]
+    fn messages_are_cheaply_clonable_and_send() {
+        fn assert_send_clone<T: Send + Clone + 'static>() {}
+        assert_send_clone::<Message>();
+    }
+
+    #[test]
+    fn scope_ordering_for_btree_use() {
+        assert!(Scope::Process(Pid(1)) < Scope::Process(Pid(2)));
+        assert_ne!(Scope::Machine, Scope::Process(Pid(1)));
+        let g: Scope = Scope::Group(Arc::from("vm-1"));
+        assert_eq!(g.clone(), g);
+        assert_ne!(g, Scope::Machine);
+    }
+}

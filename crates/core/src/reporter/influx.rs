@@ -1,0 +1,132 @@
+//! InfluxDB line-protocol reporter — the time-series-database format the
+//! production PowerAPI ecosystem exports to. One point per message:
+//!
+//! ```text
+//! power,scope=pid42,kind=estimate power_w=3.500 1000000000
+//! ```
+//!
+//! (measurement `power`, tags `scope`/`kind`, field `power_w`, nanosecond
+//! timestamp — ready for `influx write` or Telegraf.)
+
+use crate::actor::{Actor, Context};
+use crate::msg::{Message, Scope};
+use std::io::Write;
+
+/// The reporter actor.
+pub struct InfluxReporter<W: Write + Send> {
+    out: W,
+    measurement: &'static str,
+}
+
+impl<W: Write + Send> InfluxReporter<W> {
+    /// Reports to any writer under the default measurement name `power`.
+    pub fn new(out: W) -> InfluxReporter<W> {
+        InfluxReporter {
+            out,
+            measurement: "power",
+        }
+    }
+
+    /// Takes the writer back.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+
+    fn point(&mut self, scope: &str, kind: &str, power_w: f64, ts_ns: u64) {
+        let _ = writeln!(
+            self.out,
+            "{},scope={},kind={} power_w={:.3} {}",
+            self.measurement, scope, kind, power_w, ts_ns
+        );
+    }
+}
+
+impl<W: Write + Send> Actor for InfluxReporter<W> {
+    fn handle(&mut self, msg: Message, _ctx: &Context) {
+        match msg {
+            Message::Aggregate(a) => {
+                let scope = match &a.scope {
+                    Scope::Process(pid) => format!("pid{}", pid.0),
+                    Scope::Group(g) => g.to_string(),
+                    Scope::Machine => "machine".to_string(),
+                };
+                self.point(&scope, "estimate", a.power.as_f64(), a.timestamp.as_u64());
+            }
+            Message::Meter(at, w) => self.point("machine", "powerspy", w.as_f64(), at.as_u64()),
+            Message::Rapl(at, w) => self.point("package", "rapl", w.as_f64(), at.as_u64()),
+            _ => {}
+        }
+    }
+
+    fn on_stop(&mut self, _ctx: &Context) {
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::ActorSystem;
+    use crate::msg::{AggregateReport, Topic};
+    use os_sim::process::Pid;
+    use parking_lot::Mutex;
+    use simcpu::units::{Nanos, Watts};
+    use std::sync::Arc;
+
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn emits_line_protocol_points() {
+        let buf = SharedBuf::default();
+        let inner = buf.clone();
+        let mut sys = ActorSystem::new();
+        let r = sys.spawn("influx", Box::new(InfluxReporter::new(buf)));
+        for t in [Topic::Aggregate, Topic::Meter, Topic::Rapl] {
+            sys.bus().subscribe(t, &r);
+        }
+        sys.bus().publish(Message::Aggregate(AggregateReport {
+            timestamp: Nanos::from_secs(1),
+            scope: Scope::Process(Pid(42)),
+            power: Watts(3.5),
+        }));
+        sys.bus().publish(Message::Aggregate(AggregateReport {
+            timestamp: Nanos::from_secs(1),
+            scope: Scope::Group(Arc::from("vm-alpha")),
+            power: Watts(7.25),
+        }));
+        sys.bus().publish(Message::Meter(Nanos::from_secs(1), Watts(35.1)));
+        sys.shutdown();
+        let text = String::from_utf8(inner.0.lock().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines[0],
+            "power,scope=pid42,kind=estimate power_w=3.500 1000000000"
+        );
+        assert_eq!(
+            lines[1],
+            "power,scope=vm-alpha,kind=estimate power_w=7.250 1000000000"
+        );
+        assert_eq!(
+            lines[2],
+            "power,scope=machine,kind=powerspy power_w=35.100 1000000000"
+        );
+        // Line protocol sanity: measurement,tags fields timestamp.
+        for l in lines {
+            let parts: Vec<&str> = l.split(' ').collect();
+            assert_eq!(parts.len(), 3, "{l}");
+            assert!(parts[0].starts_with("power,scope="));
+            assert!(parts[1].starts_with("power_w="));
+            assert!(parts[2].parse::<u64>().is_ok());
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! JSON-lines reporter: one self-describing object per message. The
+//! encoder is hand-rolled — the schema is flat (numbers and two known-safe
+//! string fields), so a format crate would be dead weight.
+
+use crate::actor::{Actor, Context};
+use crate::msg::{Message, Scope};
+use std::io::Write;
+
+/// The reporter actor.
+pub struct JsonReporter<W: Write + Send> {
+    out: W,
+}
+
+impl<W: Write + Send> JsonReporter<W> {
+    /// Reports to any writer.
+    pub fn new(out: W) -> JsonReporter<W> {
+        JsonReporter { out }
+    }
+
+    /// Takes the writer back.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+fn obj(time_s: f64, kind: &str, scope: &str, power_w: f64) -> String {
+    // `kind` and `scope` are generated identifiers ([a-z0-9]+), never
+    // user input, so no escaping is required.
+    format!(
+        "{{\"time_s\":{time_s:.3},\"kind\":\"{kind}\",\"scope\":\"{scope}\",\"power_w\":{power_w:.3}}}"
+    )
+}
+
+impl<W: Write + Send> Actor for JsonReporter<W> {
+    fn handle(&mut self, msg: Message, _ctx: &Context) {
+        let line = match msg {
+            Message::Aggregate(a) => {
+                let scope = match &a.scope {
+                    Scope::Process(pid) => format!("pid{}", pid.0),
+                    Scope::Group(g) => g.to_string(),
+                    Scope::Machine => "machine".to_string(),
+                };
+                obj(
+                    a.timestamp.as_secs_f64(),
+                    "estimate",
+                    &scope,
+                    a.power.as_f64(),
+                )
+            }
+            Message::Meter(at, w) => obj(at.as_secs_f64(), "powerspy", "machine", w.as_f64()),
+            Message::Rapl(at, w) => obj(at.as_secs_f64(), "rapl", "package", w.as_f64()),
+            _ => return,
+        };
+        let _ = writeln!(self.out, "{line}");
+    }
+
+    fn on_stop(&mut self, _ctx: &Context) {
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::ActorSystem;
+    use crate::msg::{AggregateReport, Topic};
+    use parking_lot::Mutex;
+    use simcpu::units::{Nanos, Watts};
+    use std::sync::Arc;
+
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn emits_valid_json_lines() {
+        let buf = SharedBuf::default();
+        let inner = buf.clone();
+        let mut sys = ActorSystem::new();
+        let r = sys.spawn("json", Box::new(JsonReporter::new(buf)));
+        sys.bus().subscribe(Topic::Aggregate, &r);
+        sys.bus().subscribe(Topic::Rapl, &r);
+        sys.bus().publish(Message::Aggregate(AggregateReport {
+            timestamp: Nanos::from_millis(1500),
+            scope: Scope::Machine,
+            power: Watts(36.48),
+        }));
+        sys.bus().publish(Message::Rapl(Nanos::from_secs(2), Watts(9.0)));
+        sys.shutdown();
+        let text = String::from_utf8(inner.0.lock().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"time_s\":1.500,\"kind\":\"estimate\",\"scope\":\"machine\",\"power_w\":36.480}"
+        );
+        // Minimal well-formedness checks.
+        for l in lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+            assert_eq!(l.matches('"').count() % 2, 0);
+        }
+    }
+}

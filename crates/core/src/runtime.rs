@@ -1,0 +1,583 @@
+//! The toolkit facade: wire a simulated kernel, sensors, a formula, an
+//! aggregator and reporters into a running PowerAPI instance, drive
+//! simulated time, and collect the estimates.
+//!
+//! ```
+//! use powerapi::prelude::*;
+//! use powerapi::model::power_model::PerFrequencyPowerModel;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut kernel = os_sim::kernel::Kernel::new(simcpu::presets::intel_i3_2120());
+//! let pid = kernel.spawn(
+//!     "worker",
+//!     vec![os_sim::task::SteadyTask::boxed(
+//!         simcpu::workunit::WorkUnit::cpu_intensive(1.0),
+//!     )],
+//! );
+//! let mut papi = PowerApi::builder(kernel)
+//!     .formula(PerFrequencyFormula::new(PerFrequencyPowerModel::paper_i3_example()))
+//!     .report_to_memory()
+//!     .build()?;
+//! papi.monitor(pid)?;
+//! papi.run_for(simcpu::Nanos::from_secs(3))?;
+//! let outcome = papi.finish()?;
+//! assert_eq!(outcome.machine_estimates().len(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::actor::ActorSystem;
+use crate::aggregator::{Aggregator, Dimension};
+use crate::formula::{FormulaActor, PowerFormula};
+use crate::host::SimHost;
+use crate::msg::{AggregateReport, Message, Scope, Topic};
+use crate::reporter::{
+    ConsoleReporter, CsvReporter, InfluxReporter, JsonReporter, MemoryHandle, MemoryReporter,
+};
+use crate::sensor::{HpcSensor, PowerSpySensor, ProcfsSensor, RaplSensor};
+use crate::{Error, Result};
+use os_sim::kernel::Kernel;
+use os_sim::process::Pid;
+use perf_sim::events::{Event, PAPER_EVENTS};
+use powermeter::powerspy::PowerSpyConfig;
+use simcpu::units::{Nanos, Watts};
+use std::io::Write;
+use std::sync::Arc;
+
+/// Builder for a [`PowerApi`] instance.
+pub struct PowerApiBuilder {
+    kernel: Kernel,
+    formulas: Vec<Box<dyn PowerFormula>>,
+    events: Vec<Event>,
+    slots: usize,
+    quantum: Nanos,
+    clock_period: Nanos,
+    meter: PowerSpyConfig,
+    dimension: Option<Dimension>,
+    idle_override: Option<f64>,
+    memory: bool,
+    console: bool,
+    csv: Option<Box<dyn Write + Send>>,
+    json: Option<Box<dyn Write + Send>>,
+    influx: Option<Box<dyn Write + Send>>,
+    extra: Vec<(String, Box<dyn crate::actor::Actor>, Vec<Topic>)>,
+}
+
+impl PowerApiBuilder {
+    fn new(kernel: Kernel) -> PowerApiBuilder {
+        PowerApiBuilder {
+            kernel,
+            formulas: Vec::new(),
+            events: PAPER_EVENTS.to_vec(),
+            slots: 4,
+            quantum: Nanos::from_millis(1),
+            clock_period: Nanos::from_secs(1),
+            meter: PowerSpyConfig::default(),
+            dimension: None,
+            idle_override: None,
+            memory: false,
+            console: false,
+            csv: None,
+            json: None,
+            influx: None,
+            extra: Vec::new(),
+        }
+    }
+
+    /// Adds a formula (at least one is required). Multiple formulas run
+    /// side by side but then only per-process aggregation is allowed.
+    pub fn formula(mut self, formula: impl PowerFormula + 'static) -> PowerApiBuilder {
+        self.formulas.push(Box::new(formula));
+        self
+    }
+
+    /// Overrides the HPC events the sensor counts.
+    pub fn events(mut self, events: Vec<Event>) -> PowerApiBuilder {
+        self.events = events;
+        self
+    }
+
+    /// Overrides the PMU slot count.
+    pub fn slots(mut self, slots: usize) -> PowerApiBuilder {
+        self.slots = slots.max(1);
+        self
+    }
+
+    /// Overrides the scheduler quantum driving the simulation.
+    pub fn quantum(mut self, quantum: Nanos) -> PowerApiBuilder {
+        self.quantum = if quantum == Nanos::ZERO { Nanos(1) } else { quantum };
+        self
+    }
+
+    /// Overrides the monitoring clock period (default 1 s, the paper's
+    /// trace granularity).
+    pub fn clock_period(mut self, period: Nanos) -> PowerApiBuilder {
+        self.clock_period = if period == Nanos::ZERO {
+            Nanos::from_secs(1)
+        } else {
+            period
+        };
+        self
+    }
+
+    /// Overrides the meter configuration.
+    pub fn meter(mut self, config: PowerSpyConfig) -> PowerApiBuilder {
+        self.meter = config;
+        self
+    }
+
+    /// Overrides the aggregation dimension (default: per-process and
+    /// machine for a single formula, per-process only for several).
+    pub fn dimension(mut self, dimension: Dimension) -> PowerApiBuilder {
+        self.dimension = Some(dimension);
+        self
+    }
+
+    /// Overrides the idle floor the machine aggregate adds (default: the
+    /// first formula's `idle_w`).
+    pub fn idle_w(mut self, idle_w: f64) -> PowerApiBuilder {
+        self.idle_override = Some(idle_w);
+        self
+    }
+
+    /// Adds the in-memory reporter (required for [`PowerApi::finish`] to
+    /// return data).
+    pub fn report_to_memory(mut self) -> PowerApiBuilder {
+        self.memory = true;
+        self
+    }
+
+    /// Adds the console reporter (stdout).
+    pub fn report_to_console(mut self) -> PowerApiBuilder {
+        self.console = true;
+        self
+    }
+
+    /// Adds a CSV reporter writing to `out`.
+    pub fn report_to_csv(mut self, out: impl Write + Send + 'static) -> PowerApiBuilder {
+        self.csv = Some(Box::new(out));
+        self
+    }
+
+    /// Adds a JSON-lines reporter writing to `out`.
+    pub fn report_to_json(mut self, out: impl Write + Send + 'static) -> PowerApiBuilder {
+        self.json = Some(Box::new(out));
+        self
+    }
+
+    /// Adds an InfluxDB line-protocol reporter writing to `out`.
+    pub fn report_to_influx(mut self, out: impl Write + Send + 'static) -> PowerApiBuilder {
+        self.influx = Some(Box::new(out));
+        self
+    }
+
+    /// Plugs a custom actor into the pipeline, subscribed to the given
+    /// topics — the extension point for controllers (e.g.
+    /// [`CapControlActor`]) and bespoke reporters. Extra actors are
+    /// spawned downstream of the built-in stages.
+    ///
+    /// [`CapControlActor`]: crate::control::CapControlActor
+    pub fn with_actor(
+        mut self,
+        name: impl Into<String>,
+        actor: Box<dyn crate::actor::Actor>,
+        topics: Vec<Topic>,
+    ) -> PowerApiBuilder {
+        self.extra.push((name.into(), actor, topics));
+        self
+    }
+
+    /// Assembles and starts the actor pipeline.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Middleware`] when no formula was added, or when machine
+    /// aggregation is combined with multiple formulas (their estimates
+    /// would be double-counted).
+    pub fn build(self) -> Result<PowerApi> {
+        if self.formulas.is_empty() {
+            return Err(Error::Middleware("at least one formula is required".into()));
+        }
+        let dimension = self.dimension.unwrap_or(if self.formulas.len() == 1 {
+            Dimension::both()
+        } else {
+            Dimension::pid()
+        });
+        if dimension.machine && self.formulas.len() > 1 {
+            return Err(Error::Middleware(
+                "machine aggregation supports exactly one formula".into(),
+            ));
+        }
+        let idle_w = self
+            .idle_override
+            .unwrap_or_else(|| self.formulas[0].idle_w());
+
+        let host = SimHost::new(self.kernel, self.events, self.slots, self.meter);
+
+        // Spawn pipeline stages upstream-first so shutdown drains them.
+        let mut system = ActorSystem::new();
+        let bus = system.bus().clone();
+        for (name, actor) in [
+            ("sensor-hpc", Box::new(HpcSensor::new()) as Box<dyn crate::actor::Actor>),
+            ("sensor-procfs", Box::new(ProcfsSensor::new())),
+            ("sensor-powerspy", Box::new(PowerSpySensor::new())),
+            ("sensor-rapl", Box::new(RaplSensor::new())),
+        ] {
+            let r = system.spawn(name, actor);
+            bus.subscribe(Topic::Tick, &r);
+        }
+        for (i, formula) in self.formulas.into_iter().enumerate() {
+            let name = format!("formula-{}-{}", i, formula.name());
+            let r = system.spawn(name, Box::new(FormulaActor::new(formula)));
+            bus.subscribe(Topic::Sensor, &r);
+        }
+        let agg = system.spawn("aggregator", Box::new(Aggregator::new(dimension, idle_w)));
+        bus.subscribe(Topic::Power, &agg);
+
+        // Extra actors (controllers, custom aggregators) sit between the
+        // built-in pipeline and the reporters so their final flushes still
+        // reach the reporters during ordered shutdown.
+        for (name, actor, topics) in self.extra {
+            let r = system.spawn(name, actor);
+            for t in topics {
+                bus.subscribe(t, &r);
+            }
+        }
+
+        let mut memory_handle = None;
+        if self.memory {
+            let reporter = MemoryReporter::new();
+            memory_handle = Some(reporter.handle());
+            let r = system.spawn("reporter-memory", Box::new(reporter));
+            for t in [Topic::Aggregate, Topic::Meter, Topic::Rapl] {
+                bus.subscribe(t, &r);
+            }
+        }
+        if self.console {
+            let r = system.spawn("reporter-console", Box::new(ConsoleReporter::stdout()));
+            for t in [Topic::Aggregate, Topic::Meter, Topic::Rapl] {
+                bus.subscribe(t, &r);
+            }
+        }
+        if let Some(out) = self.csv {
+            let r = system.spawn("reporter-csv", Box::new(CsvReporter::new(out)));
+            for t in [Topic::Aggregate, Topic::Meter, Topic::Rapl] {
+                bus.subscribe(t, &r);
+            }
+        }
+        if let Some(out) = self.json {
+            let r = system.spawn("reporter-json", Box::new(JsonReporter::new(out)));
+            for t in [Topic::Aggregate, Topic::Meter, Topic::Rapl] {
+                bus.subscribe(t, &r);
+            }
+        }
+        if let Some(out) = self.influx {
+            let r = system.spawn("reporter-influx", Box::new(InfluxReporter::new(out)));
+            for t in [Topic::Aggregate, Topic::Meter, Topic::Rapl] {
+                bus.subscribe(t, &r);
+            }
+        }
+
+        let next_boundary = host.kernel().machine().now() + self.clock_period;
+        Ok(PowerApi {
+            host,
+            system: Some(system),
+            quantum: self.quantum,
+            clock_period: self.clock_period,
+            next_boundary,
+            memory: memory_handle,
+        })
+    }
+}
+
+/// A running PowerAPI instance.
+pub struct PowerApi {
+    host: SimHost,
+    system: Option<ActorSystem>,
+    quantum: Nanos,
+    clock_period: Nanos,
+    next_boundary: Nanos,
+    memory: Option<MemoryHandle>,
+}
+
+impl PowerApi {
+    /// Starts the builder.
+    pub fn builder(kernel: Kernel) -> PowerApiBuilder {
+        PowerApiBuilder::new(kernel)
+    }
+
+    /// The kernel under observation (spawn/kill processes here).
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        self.host.kernel_mut()
+    }
+
+    /// Read-only kernel access.
+    pub fn kernel(&self) -> &Kernel {
+        self.host.kernel()
+    }
+
+    /// Starts estimating a process.
+    ///
+    /// # Errors
+    ///
+    /// Propagates perf-session errors.
+    pub fn monitor(&mut self, pid: Pid) -> Result<()> {
+        self.host.monitor(pid)
+    }
+
+    /// Stops estimating a process.
+    pub fn unmonitor(&mut self, pid: Pid) {
+        self.host.unmonitor(pid);
+    }
+
+    /// Advances simulated time by `duration`, publishing a monitoring
+    /// tick (and thus a round of estimates) every clock period.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Middleware`] when called after [`PowerApi::finish`].
+    pub fn run_for(&mut self, duration: Nanos) -> Result<()> {
+        let system = self
+            .system
+            .as_ref()
+            .ok_or_else(|| Error::Middleware("run_for after finish".into()))?;
+        let deadline = self.host.kernel().machine().now() + duration;
+        while self.host.kernel().machine().now() < deadline {
+            let remaining = deadline - self.host.kernel().machine().now();
+            let step = Nanos(remaining.as_u64().min(self.quantum.as_u64()));
+            self.host.step(step);
+            if self.host.kernel().machine().now() >= self.next_boundary {
+                let snapshot = self.host.snapshot();
+                system.bus().publish(Message::Tick(Arc::new(snapshot)));
+                self.next_boundary += self.clock_period;
+            }
+        }
+        Ok(())
+    }
+
+    /// Stops the pipeline, drains in-flight messages, and returns every
+    /// collected report (empty unless `report_to_memory` was enabled).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Middleware`] when called twice.
+    pub fn finish(mut self) -> Result<RunOutcome> {
+        let system = self
+            .system
+            .take()
+            .ok_or_else(|| Error::Middleware("finish called twice".into()))?;
+        system.shutdown();
+        let (reports, meter, rapl) = match &self.memory {
+            Some(h) => (h.aggregates(), h.meter(), h.rapl()),
+            None => (Vec::new(), Vec::new(), Vec::new()),
+        };
+        Ok(RunOutcome {
+            reports,
+            meter,
+            rapl,
+        })
+    }
+}
+
+impl std::fmt::Debug for PowerApi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PowerApi")
+            .field("now", &self.host.kernel().machine().now())
+            .field("clock_period", &self.clock_period)
+            .field("running", &self.system.is_some())
+            .finish()
+    }
+}
+
+/// Everything a run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// All aggregate reports, in arrival order.
+    pub reports: Vec<AggregateReport>,
+    /// Meter (PowerSpy) samples.
+    pub meter: Vec<(Nanos, Watts)>,
+    /// RAPL package-power samples (empty on unsupported machines).
+    pub rapl: Vec<(Nanos, Watts)>,
+}
+
+impl RunOutcome {
+    /// Machine-scope estimates as `(timestamp, watts)`, time-ordered.
+    pub fn machine_estimates(&self) -> Vec<(Nanos, Watts)> {
+        let mut v: Vec<(Nanos, Watts)> = self
+            .reports
+            .iter()
+            .filter(|r| r.scope == Scope::Machine)
+            .map(|r| (r.timestamp, r.power))
+            .collect();
+        v.sort_by_key(|(t, _)| *t);
+        v
+    }
+
+    /// One process's estimates as `(timestamp, watts)`, time-ordered.
+    pub fn process_estimates(&self, pid: Pid) -> Vec<(Nanos, Watts)> {
+        let mut v: Vec<(Nanos, Watts)> = self
+            .reports
+            .iter()
+            .filter(|r| r.scope == Scope::Process(pid))
+            .map(|r| (r.timestamp, r.power))
+            .collect();
+        v.sort_by_key(|(t, _)| *t);
+        v
+    }
+
+    /// One named group's estimates as `(timestamp, watts)`, time-ordered
+    /// (see [`crate::aggregator::GroupAggregator`]).
+    pub fn group_estimates(&self, group: &str) -> Vec<(Nanos, Watts)> {
+        let mut v: Vec<(Nanos, Watts)> = self
+            .reports
+            .iter()
+            .filter(|r| matches!(&r.scope, Scope::Group(g) if &**g == group))
+            .map(|r| (r.timestamp, r.power))
+            .collect();
+        v.sort_by_key(|(t, _)| *t);
+        v
+    }
+
+    /// Machine estimates as a [`powermeter::trace::PowerTrace`].
+    pub fn estimate_trace(&self) -> powermeter::trace::PowerTrace {
+        let mut t = powermeter::trace::PowerTrace::new();
+        for (at, w) in self.machine_estimates() {
+            t.push_at(at, w);
+        }
+        t
+    }
+
+    /// Meter samples as a [`powermeter::trace::PowerTrace`].
+    pub fn meter_trace(&self) -> powermeter::trace::PowerTrace {
+        let mut t = powermeter::trace::PowerTrace::new();
+        for &(at, w) in &self.meter {
+            t.push_at(at, w);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::per_freq::PerFrequencyFormula;
+    use crate::model::power_model::PerFrequencyPowerModel;
+    use os_sim::task::SteadyTask;
+    use simcpu::presets;
+    use simcpu::workunit::WorkUnit;
+
+    fn busy_kernel() -> (Kernel, Pid) {
+        let mut kernel = Kernel::new(presets::intel_i3_2120());
+        let pid = kernel.spawn(
+            "app",
+            vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))],
+        );
+        (kernel, pid)
+    }
+
+    fn paper_formula() -> PerFrequencyFormula {
+        PerFrequencyFormula::new(PerFrequencyPowerModel::paper_i3_example())
+    }
+
+    #[test]
+    fn build_requires_a_formula() {
+        let (kernel, _) = busy_kernel();
+        assert!(matches!(
+            PowerApi::builder(kernel).build(),
+            Err(Error::Middleware(_))
+        ));
+    }
+
+    #[test]
+    fn machine_aggregation_rejects_multiple_formulas() {
+        let (kernel, _) = busy_kernel();
+        let err = PowerApi::builder(kernel)
+            .formula(paper_formula())
+            .formula(paper_formula())
+            .dimension(Dimension::both())
+            .build();
+        assert!(matches!(err, Err(Error::Middleware(_))));
+    }
+
+    #[test]
+    fn multiple_formulas_allowed_per_pid() {
+        let (kernel, pid) = busy_kernel();
+        let mut papi = PowerApi::builder(kernel)
+            .formula(paper_formula())
+            .formula(crate::formula::cpuload::CpuLoadFormula::new(31.5, 12.0))
+            .report_to_memory()
+            .quantum(Nanos::from_millis(5))
+            .clock_period(Nanos::from_millis(500))
+            .build()
+            .unwrap();
+        papi.monitor(pid).unwrap();
+        papi.run_for(Nanos::from_secs(2)).unwrap();
+        let out = papi.finish().unwrap();
+        // Two formulas → two process-scope reports per tick.
+        let mine = out.process_estimates(pid);
+        assert_eq!(mine.len(), 8, "4 ticks × 2 formulas: {}", mine.len());
+        assert!(out.machine_estimates().is_empty());
+    }
+
+    #[test]
+    fn end_to_end_estimates_track_the_meter() {
+        let (kernel, pid) = busy_kernel();
+        let mut papi = PowerApi::builder(kernel)
+            .formula(paper_formula())
+            .report_to_memory()
+            .quantum(Nanos::from_millis(2))
+            .clock_period(Nanos::from_millis(500))
+            .build()
+            .unwrap();
+        papi.monitor(pid).unwrap();
+        papi.run_for(Nanos::from_secs(4)).unwrap();
+        let out = papi.finish().unwrap();
+
+        let est = out.machine_estimates();
+        assert_eq!(est.len(), 8, "one machine estimate per tick");
+        // Estimates = idle + active > idle.
+        assert!(est.iter().all(|(_, w)| w.as_f64() > 31.48));
+        // Meter (1 Hz default) produced samples too.
+        assert_eq!(out.meter.len(), 4);
+        // RAPL present on the i3.
+        assert!(!out.rapl.is_empty());
+        // Both traces convertible.
+        assert_eq!(out.estimate_trace().len(), 8);
+        assert_eq!(out.meter_trace().len(), 4);
+        // The paper-constant model on simulated counters won't be exact,
+        // but it must land in a plausible band of the measured power.
+        let (a, b) = out.meter_trace().align(&out.estimate_trace());
+        let report = mathkit::metrics::ErrorReport::compute(&a, &b).unwrap();
+        assert!(report.median_ape < 40.0, "median err {}", report.median_ape);
+    }
+
+    #[test]
+    fn finish_twice_and_run_after_finish_error() {
+        let (kernel, _) = busy_kernel();
+        let papi = PowerApi::builder(kernel)
+            .formula(paper_formula())
+            .build()
+            .unwrap();
+        let debug = format!("{papi:?}");
+        assert!(debug.contains("running: true"));
+        let out = papi.finish().unwrap();
+        assert!(out.reports.is_empty(), "no memory reporter configured");
+    }
+
+    #[test]
+    fn unmonitored_runs_produce_zero_active_power() {
+        let (kernel, _) = busy_kernel();
+        let mut papi = PowerApi::builder(kernel)
+            .formula(paper_formula())
+            .report_to_memory()
+            .quantum(Nanos::from_millis(5))
+            .clock_period(Nanos::from_millis(500))
+            .build()
+            .unwrap();
+        // Nothing monitored: ticks happen, but no sensor reports flow.
+        papi.run_for(Nanos::from_secs(1)).unwrap();
+        let out = papi.finish().unwrap();
+        assert!(out.machine_estimates().is_empty());
+        assert!(!out.meter.is_empty() || !out.rapl.is_empty());
+    }
+}

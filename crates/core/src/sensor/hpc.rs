@@ -1,0 +1,129 @@
+//! The hardware-performance-counter sensor: the paper's primary metric
+//! source. For every monitored process it publishes the interval's scaled
+//! counter deltas together with the per-frequency CPU-time split the
+//! per-frequency formula weights by, and the SMT co-run split HT-aware
+//! formulas need.
+
+use crate::actor::{Actor, Context};
+use crate::msg::{CorunSplit, Message, SensorReport};
+use std::sync::Arc;
+
+/// Source tag carried on this sensor's reports.
+pub const SOURCE: &str = "hpc";
+
+/// The sensor actor. Stateless: everything it needs arrives in the tick
+/// snapshot.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HpcSensor;
+
+impl HpcSensor {
+    /// Creates the sensor.
+    pub fn new() -> HpcSensor {
+        HpcSensor
+    }
+}
+
+impl Actor for HpcSensor {
+    fn handle(&mut self, msg: Message, ctx: &Context) {
+        let Message::Tick(snap) = msg else { return };
+        for (pid, counters) in &snap.hpc {
+            let time = snap
+                .proc_times
+                .iter()
+                .find(|(p, _)| p == pid)
+                .map(|(_, t)| t.clone())
+                .unwrap_or_default();
+            let corun = snap
+                .corun
+                .iter()
+                .find(|(p, _)| p == pid)
+                .map(|(_, c)| *c)
+                .unwrap_or_else(CorunSplit::default);
+            ctx.bus().publish(Message::Sensor(Arc::new(SensorReport {
+                source: SOURCE,
+                timestamp: snap.timestamp,
+                interval: snap.interval,
+                pid: *pid,
+                counters: counters.clone(),
+                time,
+                corun,
+            })));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::ActorSystem;
+    use crate::msg::{HostSnapshot, ProcTimeDelta, Topic};
+    use os_sim::process::Pid;
+    use perf_sim::events::PAPER_EVENTS;
+    use parking_lot::Mutex;
+    use simcpu::units::{MegaHertz, Nanos};
+
+    struct Capture(Arc<Mutex<Vec<SensorReport>>>);
+    impl Actor for Capture {
+        fn handle(&mut self, msg: Message, _ctx: &Context) {
+            if let Message::Sensor(r) = msg {
+                self.0.lock().push((*r).clone());
+            }
+        }
+    }
+
+    fn snapshot_with_two_pids() -> Arc<HostSnapshot> {
+        Arc::new(HostSnapshot {
+            timestamp: Nanos::from_secs(1),
+            interval: Nanos::from_secs(1),
+            hpc: vec![
+                (Pid(1), vec![(PAPER_EVENTS[0], 100)]),
+                (Pid(2), vec![(PAPER_EVENTS[0], 200)]),
+            ],
+            proc_times: vec![(
+                Pid(1),
+                ProcTimeDelta {
+                    busy: Nanos(500),
+                    by_freq: vec![(MegaHertz(3300), Nanos(500))],
+                },
+            )],
+            corun: Vec::new(),
+            meter: Vec::new(),
+            rapl_joules: None,
+        })
+    }
+
+    #[test]
+    fn publishes_one_report_per_monitored_pid() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut sys = ActorSystem::new();
+        let sensor = sys.spawn("hpc", Box::new(HpcSensor::new()));
+        let sink = sys.spawn("sink", Box::new(Capture(seen.clone())));
+        sys.bus().subscribe(Topic::Tick, &sensor);
+        sys.bus().subscribe(Topic::Sensor, &sink);
+        sys.bus().publish(Message::Tick(snapshot_with_two_pids()));
+        sys.shutdown();
+        let seen = seen.lock();
+        assert_eq!(seen.len(), 2);
+        assert!(seen.iter().all(|r| r.source == SOURCE));
+        let r1 = seen.iter().find(|r| r.pid == Pid(1)).unwrap();
+        assert_eq!(r1.counters[0].1, 100);
+        assert_eq!(r1.time.busy, Nanos(500));
+        // Pid 2 had no proc-time entry: defaults to zero time.
+        let r2 = seen.iter().find(|r| r.pid == Pid(2)).unwrap();
+        assert_eq!(r2.time.busy, Nanos::ZERO);
+    }
+
+    #[test]
+    fn ignores_non_tick_messages() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut sys = ActorSystem::new();
+        let sensor = sys.spawn("hpc", Box::new(HpcSensor::new()));
+        let sink = sys.spawn("sink", Box::new(Capture(seen.clone())));
+        sys.bus().subscribe(Topic::Meter, &sensor);
+        sys.bus().subscribe(Topic::Sensor, &sink);
+        sys.bus()
+            .publish(Message::Meter(Nanos(1), simcpu::Watts(1.0)));
+        sys.shutdown();
+        assert!(seen.lock().is_empty());
+    }
+}

@@ -1,0 +1,93 @@
+//! The CPU-load sensor: publishes per-process CPU-time reports *without*
+//! hardware counters — the metric Versick et al. use and the paper argues
+//! is inferior ("the CPU load mostly indicates whether the processor
+//! executes a job"). Feeds the [`CpuLoadFormula`] baseline.
+//!
+//! [`CpuLoadFormula`]: crate::formula::cpuload::CpuLoadFormula
+
+use crate::actor::{Actor, Context};
+use crate::msg::{CorunSplit, Message, SensorReport};
+use std::sync::Arc;
+
+/// Source tag carried on this sensor's reports.
+pub const SOURCE: &str = "procfs";
+
+/// The sensor actor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProcfsSensor;
+
+impl ProcfsSensor {
+    /// Creates the sensor.
+    pub fn new() -> ProcfsSensor {
+        ProcfsSensor
+    }
+}
+
+impl Actor for ProcfsSensor {
+    fn handle(&mut self, msg: Message, ctx: &Context) {
+        let Message::Tick(snap) = msg else { return };
+        for (pid, time) in &snap.proc_times {
+            ctx.bus().publish(Message::Sensor(Arc::new(SensorReport {
+                source: SOURCE,
+                timestamp: snap.timestamp,
+                interval: snap.interval,
+                pid: *pid,
+                counters: Vec::new(),
+                time: time.clone(),
+                corun: CorunSplit::default(),
+            })));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::ActorSystem;
+    use crate::msg::{HostSnapshot, ProcTimeDelta, Topic};
+    use os_sim::process::Pid;
+    use parking_lot::Mutex;
+    use simcpu::units::Nanos;
+
+    struct Capture(Arc<Mutex<Vec<SensorReport>>>);
+    impl Actor for Capture {
+        fn handle(&mut self, msg: Message, _ctx: &Context) {
+            if let Message::Sensor(r) = msg {
+                self.0.lock().push((*r).clone());
+            }
+        }
+    }
+
+    #[test]
+    fn publishes_time_only_reports() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut sys = ActorSystem::new();
+        let sensor = sys.spawn("procfs", Box::new(ProcfsSensor::new()));
+        let sink = sys.spawn("sink", Box::new(Capture(seen.clone())));
+        sys.bus().subscribe(Topic::Tick, &sensor);
+        sys.bus().subscribe(Topic::Sensor, &sink);
+        let snap = Arc::new(HostSnapshot {
+            timestamp: Nanos::from_secs(2),
+            interval: Nanos::from_secs(1),
+            hpc: Vec::new(),
+            proc_times: vec![(
+                Pid(7),
+                ProcTimeDelta {
+                    busy: Nanos(900),
+                    by_freq: Vec::new(),
+                },
+            )],
+            corun: Vec::new(),
+            meter: Vec::new(),
+            rapl_joules: None,
+        });
+        sys.bus().publish(Message::Tick(snap));
+        sys.shutdown();
+        let seen = seen.lock();
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].source, SOURCE);
+        assert_eq!(seen[0].pid, Pid(7));
+        assert!(seen[0].counters.is_empty(), "no HPC data on this source");
+        assert_eq!(seen[0].time.busy, Nanos(900));
+    }
+}

@@ -1,0 +1,180 @@
+//! Correlation coefficients: Pearson (linear), Spearman (rank, the paper's
+//! proposed counter-selection criterion), and Kendall's tau-b.
+
+use crate::stats::{mean, ranks};
+use crate::{Error, Result};
+
+fn check_pair(x: &[f64], y: &[f64]) -> Result<()> {
+    if x.is_empty() || y.is_empty() {
+        return Err(Error::Empty("correlation input"));
+    }
+    if x.len() != y.len() {
+        return Err(Error::DimensionMismatch {
+            op: "correlation",
+            lhs: (x.len(), 1),
+            rhs: (y.len(), 1),
+        });
+    }
+    if x.len() < 2 {
+        return Err(Error::Empty("correlation needs >= 2 samples"));
+    }
+    Ok(())
+}
+
+/// Pearson product-moment correlation in `[-1, 1]`.
+///
+/// Returns `0.0` when either variable is constant (zero variance), which is
+/// the pragmatic convention for feature screening: a constant counter
+/// carries no information about power.
+///
+/// # Errors
+///
+/// [`Error::Empty`] / [`Error::DimensionMismatch`] for degenerate input.
+pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64> {
+    check_pair(x, y)?;
+    let mx = mean(x)?;
+    let my = mean(y)?;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Ok(0.0);
+    }
+    Ok(sxy / (sxx * syy).sqrt())
+}
+
+/// Spearman rank correlation: Pearson correlation of the rank variables,
+/// with average ranks for ties.
+///
+/// This is the statistic the paper proposes (§5) for automatically finding
+/// the hardware counters most correlated with power, because it is robust
+/// to the nonlinear (but monotonic) counter→power relationships that
+/// voltage/frequency scaling introduces.
+///
+/// # Errors
+///
+/// Same as [`pearson`].
+pub fn spearman(x: &[f64], y: &[f64]) -> Result<f64> {
+    check_pair(x, y)?;
+    pearson(&ranks(x), &ranks(y))
+}
+
+/// Kendall's tau-b (handles ties in both variables). O(n²) — fine for the
+/// sample counts used in model learning.
+///
+/// # Errors
+///
+/// Same as [`pearson`].
+pub fn kendall(x: &[f64], y: &[f64]) -> Result<f64> {
+    check_pair(x, y)?;
+    let n = x.len();
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_x = 0i64;
+    let mut ties_y = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = x[i] - x[j];
+            let dy = y[i] - y[j];
+            if dx == 0.0 && dy == 0.0 {
+                // Tied in both; contributes to neither.
+            } else if dx == 0.0 {
+                ties_x += 1;
+            } else if dy == 0.0 {
+                ties_y += 1;
+            } else if dx * dy > 0.0 {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let n0 = (n * (n - 1) / 2) as i64;
+    let denom = (((n0 - ties_x) as f64) * ((n0 - ties_y) as f64)).sqrt();
+    if denom == 0.0 {
+        return Ok(0.0);
+    }
+    Ok((concordant - discordant) as f64 / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_linear() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let yn: Vec<f64> = y.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &yn).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn pearson_mismatch_rejected() {
+        assert!(pearson(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(pearson(&[], &[]).is_err());
+        assert!(pearson(&[1.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        // y = x³ is nonlinear but perfectly monotone: Spearman = 1,
+        // Pearson < 1. This is exactly why the paper picks Spearman.
+        let x: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v.powi(3)).collect();
+        let s = spearman(&x, &y).unwrap();
+        let p = pearson(&x, &y).unwrap();
+        assert!((s - 1.0).abs() < 1e-12);
+        assert!(p < 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn spearman_known_value_with_ties() {
+        // Hand-computed: x ranks [1, 2.5, 2.5, 4], y ranks [1,2,3,4].
+        let x = [10.0, 20.0, 20.0, 30.0];
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let s = spearman(&x, &y).unwrap();
+        // Pearson of [1,2.5,2.5,4] vs [1,2,3,4] = (cov)/(sd*sd).
+        assert!((s - 0.9486832980505138).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kendall_perfect_orders() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [10.0, 20.0, 30.0, 40.0];
+        assert!((kendall(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let yr = [40.0, 30.0, 20.0, 10.0];
+        assert!((kendall(&x, &yr).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_with_ties_stays_bounded() {
+        let x = [1.0, 1.0, 2.0, 3.0];
+        let y = [5.0, 6.0, 6.0, 7.0];
+        let t = kendall(&x, &y).unwrap();
+        assert!((-1.0..=1.0).contains(&t));
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn all_correlations_symmetric() {
+        let x = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6];
+        let y = [2.0, 7.0, 1.0, 8.0, 2.0, 8.0];
+        assert!((pearson(&x, &y).unwrap() - pearson(&y, &x).unwrap()).abs() < 1e-12);
+        assert!((spearman(&x, &y).unwrap() - spearman(&y, &x).unwrap()).abs() < 1e-12);
+        assert!((kendall(&x, &y).unwrap() - kendall(&y, &x).unwrap()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,177 @@
+//! K-fold cross-validation over a design matrix, used by the greedy
+//! forward feature-selection strategy to score candidate counter sets
+//! without overfitting the training grid.
+
+use crate::linreg::{FitOptions, LinearModel};
+use crate::matrix::Matrix;
+use crate::{Error, Result};
+
+/// Deterministic k-fold split: observation `i` goes to fold `i % k`.
+/// The calibration grid interleaves workload intensities, so striding is a
+/// reasonable shuffle-free stratification and keeps runs reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KFold {
+    k: usize,
+}
+
+impl KFold {
+    /// Creates a splitter with `k` folds.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidArgument`] when `k < 2`.
+    pub fn new(k: usize) -> Result<KFold> {
+        if k < 2 {
+            return Err(Error::InvalidArgument("k-fold needs k >= 2"));
+        }
+        Ok(KFold { k })
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Returns `(train, test)` index sets for fold `fold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fold >= k`.
+    pub fn split(&self, n: usize, fold: usize) -> (Vec<usize>, Vec<usize>) {
+        assert!(fold < self.k, "fold {fold} out of range ({})", self.k);
+        let mut train = Vec::with_capacity(n);
+        let mut test = Vec::with_capacity(n / self.k + 1);
+        for i in 0..n {
+            if i % self.k == fold {
+                test.push(i);
+            } else {
+                train.push(i);
+            }
+        }
+        (train, test)
+    }
+}
+
+fn subset(x: &Matrix, y: &[f64], idx: &[usize]) -> Result<(Matrix, Vec<f64>)> {
+    let rows: Vec<Vec<f64>> = idx.iter().map(|&i| x.row(i).to_vec()).collect();
+    let ys: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
+    Ok((Matrix::from_rows(&rows)?, ys))
+}
+
+/// Mean out-of-fold RMSE of a linear model over `k` folds.
+///
+/// # Errors
+///
+/// Propagates fit errors; [`Error::Empty`]/[`Error::Underdetermined`] when
+/// folds are too small to fit the model.
+pub fn cross_val_rmse(x: &Matrix, y: &[f64], opts: &FitOptions, k: usize) -> Result<f64> {
+    let folds = KFold::new(k)?;
+    let n = x.rows();
+    if y.len() != n {
+        return Err(Error::DimensionMismatch {
+            op: "cross_val",
+            lhs: x.shape(),
+            rhs: (y.len(), 1),
+        });
+    }
+    let mut total_sq = 0.0;
+    let mut total_n = 0usize;
+    for fold in 0..k {
+        let (train, test) = folds.split(n, fold);
+        if test.is_empty() {
+            continue;
+        }
+        let (xt, yt) = subset(x, y, &train)?;
+        let model = LinearModel::fit_with(&xt, &yt, opts)?;
+        for &i in &test {
+            let e = y[i] - model.predict(x.row(i))?;
+            total_sq += e * e;
+            total_n += 1;
+        }
+    }
+    if total_n == 0 {
+        return Err(Error::Empty("no test observations in any fold"));
+    }
+    Ok((total_sq / total_n as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kfold_validates_k() {
+        assert!(KFold::new(1).is_err());
+        assert!(KFold::new(0).is_err());
+        assert_eq!(KFold::new(5).unwrap().k(), 5);
+    }
+
+    #[test]
+    fn split_partitions_everything_exactly_once() {
+        let kf = KFold::new(4).unwrap();
+        let n = 13;
+        let mut seen = vec![0u32; n];
+        for fold in 0..4 {
+            let (train, test) = kf.split(n, fold);
+            assert_eq!(train.len() + test.len(), n);
+            for &i in &test {
+                seen[i] += 1;
+            }
+            // Disjoint.
+            for &i in &test {
+                assert!(!train.contains(&i));
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each index tested once");
+    }
+
+    #[test]
+    fn cv_rmse_near_zero_on_exact_data() {
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![(i % 7) as f64, (i % 4) as f64]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| 1.0 + 2.0 * r[0] - r[1]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let rmse = cross_val_rmse(&x, &y, &FitOptions::default(), 5).unwrap();
+        assert!(rmse < 1e-9, "exact linear data should cross-validate to ~0");
+    }
+
+    #[test]
+    fn cv_penalizes_irrelevant_noisy_feature_sets() {
+        // y depends only on column 0; adding a pure-noise column should not
+        // *improve* CV error (and usually worsens it slightly).
+        let mut state = 7u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut rows_good = Vec::new();
+        let mut rows_noisy = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..60 {
+            let a = (i % 10) as f64;
+            rows_good.push(vec![a]);
+            rows_noisy.push(vec![a, next() * 100.0]);
+            y.push(3.0 * a + 0.01 * next());
+        }
+        let good = cross_val_rmse(
+            &Matrix::from_rows(&rows_good).unwrap(),
+            &y,
+            &FitOptions::default(),
+            5,
+        )
+        .unwrap();
+        let noisy = cross_val_rmse(
+            &Matrix::from_rows(&rows_noisy).unwrap(),
+            &y,
+            &FitOptions::default(),
+            5,
+        )
+        .unwrap();
+        assert!(good <= noisy * 1.5, "good={good} noisy={noisy}");
+    }
+
+    #[test]
+    fn cv_rejects_mismatched_target() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        assert!(cross_val_rmse(&x, &[1.0], &FitOptions::default(), 2).is_err());
+    }
+}

@@ -1,0 +1,113 @@
+use std::fmt;
+
+/// Error type for all fallible `mathkit` operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Matrix dimensions are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Dimensions of the left/first operand, `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Dimensions of the right/second operand, `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// The input collection was empty where at least one element is needed.
+    Empty(&'static str),
+    /// A linear system was singular (or numerically so) and cannot be solved.
+    Singular,
+    /// A matrix expected to be positive-definite was not.
+    NotPositiveDefinite,
+    /// Ragged input: rows of differing lengths where a rectangle is needed.
+    Ragged {
+        /// Index of the first offending row.
+        row: usize,
+        /// Expected row length.
+        expected: usize,
+        /// Observed row length.
+        found: usize,
+    },
+    /// Not enough observations to fit the requested model.
+    Underdetermined {
+        /// Number of observations provided.
+        observations: usize,
+        /// Number of parameters the model needs.
+        parameters: usize,
+    },
+    /// An argument was out of its valid range.
+    InvalidArgument(&'static str),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            Error::Empty(what) => write!(f, "empty input: {what}"),
+            Error::Singular => write!(f, "matrix is singular to working precision"),
+            Error::NotPositiveDefinite => write!(f, "matrix is not positive-definite"),
+            Error::Ragged {
+                row,
+                expected,
+                found,
+            } => write!(
+                f,
+                "ragged input: row {row} has length {found}, expected {expected}"
+            ),
+            Error::Underdetermined {
+                observations,
+                parameters,
+            } => write!(
+                f,
+                "underdetermined system: {observations} observations for {parameters} parameters"
+            ),
+            Error::InvalidArgument(what) => write!(f, "invalid argument: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            Error::DimensionMismatch {
+                op: "matmul",
+                lhs: (2, 3),
+                rhs: (4, 5),
+            },
+            Error::Empty("samples"),
+            Error::Singular,
+            Error::NotPositiveDefinite,
+            Error::Ragged {
+                row: 1,
+                expected: 3,
+                found: 2,
+            },
+            Error::Underdetermined {
+                observations: 2,
+                parameters: 5,
+            },
+            Error::InvalidArgument("k must be > 0"),
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<Error>();
+    }
+}

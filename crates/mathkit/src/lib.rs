@@ -1,0 +1,49 @@
+//! # mathkit
+//!
+//! Numerical substrate for the PowerAPI reproduction: dense linear algebra,
+//! linear regression (ordinary, ridge, weighted), rank/linear correlation,
+//! descriptive statistics, model-quality metrics, k-fold cross-validation,
+//! and feature-selection strategies (Spearman top-k, greedy forward
+//! selection).
+//!
+//! The paper learns per-frequency CPU power models with a *multivariate
+//! regression* over hardware-performance-counter rates, and proposes (as
+//! future work) *Spearman rank correlation* to automatically pick the
+//! counters most correlated with power. Everything needed for both lives
+//! here, self-contained and dependency-free.
+//!
+//! ```
+//! use mathkit::linreg::LinearModel;
+//! use mathkit::matrix::Matrix;
+//!
+//! # fn main() -> Result<(), mathkit::Error> {
+//! // y = 1 + 2*x0 + 3*x1
+//! let x = Matrix::from_rows(&[
+//!     vec![0.0, 0.0],
+//!     vec![1.0, 0.0],
+//!     vec![0.0, 1.0],
+//!     vec![1.0, 1.0],
+//! ])?;
+//! let y = vec![1.0, 3.0, 4.0, 6.0];
+//! let model = LinearModel::fit(&x, &y)?;
+//! assert!((model.intercept() - 1.0).abs() < 1e-9);
+//! assert!((model.coefficients()[0] - 2.0).abs() < 1e-9);
+//! assert!((model.coefficients()[1] - 3.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod correlation;
+pub mod cv;
+pub mod linreg;
+pub mod matrix;
+pub mod metrics;
+pub mod select;
+pub mod stats;
+
+mod error;
+
+pub use error::Error;
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,684 @@
+//! Dense row-major matrices with just enough linear algebra for regression:
+//! products, transpose, LU solve with partial pivoting, Cholesky and
+//! Householder QR factorizations.
+
+use crate::{Error, Result};
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense, row-major matrix of `f64`.
+///
+/// ```
+/// use mathkit::matrix::Matrix;
+///
+/// # fn main() -> Result<(), mathkit::Error> {
+/// let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])?;
+/// let b = a.transpose();
+/// assert_eq!(b[(0, 1)], 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(8) {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:.6}", self[(r, c)])?;
+            }
+            writeln!(f, "{}]", if self.cols > 8 { ", …" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Matrix {
+    /// Creates a matrix of zeros.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Empty`] if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Result<Matrix> {
+        if rows == 0 || cols == 0 {
+            return Err(Error::Empty("matrix dimension"));
+        }
+        Ok(Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        })
+    }
+
+    /// Creates the `n`-by-`n` identity matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Empty`] if `n` is zero.
+    pub fn identity(n: usize) -> Result<Matrix> {
+        let mut m = Matrix::zeros(n, n)?;
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        Ok(m)
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Empty`] for no rows / empty rows and
+    /// [`Error::Ragged`] when rows have differing lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Matrix> {
+        if rows.is_empty() {
+            return Err(Error::Empty("rows"));
+        }
+        let cols = rows[0].len();
+        if cols == 0 {
+            return Err(Error::Empty("columns"));
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != cols {
+                return Err(Error::Ragged {
+                    row: i,
+                    expected: cols,
+                    found: row.len(),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Builds a single-column matrix from a slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Empty`] when `v` is empty.
+    pub fn column(v: &[f64]) -> Result<Matrix> {
+        if v.is_empty() {
+            return Err(Error::Empty("column vector"));
+        }
+        Ok(Matrix {
+            rows: v.len(),
+            cols: 1,
+            data: v.to_vec(),
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of bounds.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        assert!(c < self.cols, "col index {c} out of bounds ({})", self.cols);
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix {
+            rows: self.cols,
+            cols: self.rows,
+            data: vec![0.0; self.data.len()],
+        };
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] unless `self.cols == rhs.rows`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(Error::DimensionMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols)?;
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let v = self[(r, k)];
+                if v == 0.0 {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    out[(r, c)] += v * rhs[(k, c)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] unless `self.cols == v.len()`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if self.cols != v.len() {
+            return Err(Error::DimensionMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// `Aᵀ A`, the Gram matrix — the core of the normal equations.
+    pub fn gram(&self) -> Matrix {
+        let mut g = Matrix::zeros(self.cols, self.cols).expect("cols > 0 by invariant");
+        for i in 0..self.cols {
+            for j in i..self.cols {
+                let mut s = 0.0;
+                for r in 0..self.rows {
+                    s += self[(r, i)] * self[(r, j)];
+                }
+                g[(i, j)] = s;
+                g[(j, i)] = s;
+            }
+        }
+        g
+    }
+
+    /// `Aᵀ y` for a vector `y`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] unless `self.rows == y.len()`.
+    pub fn tr_matvec(&self, y: &[f64]) -> Result<Vec<f64>> {
+        if self.rows != y.len() {
+            return Err(Error::DimensionMismatch {
+                op: "tr_matvec",
+                lhs: self.shape(),
+                rhs: (y.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let w = y[r];
+            for c in 0..self.cols {
+                out[c] += self[(r, c)] * w;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Solves `self * x = b` by LU decomposition with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DimensionMismatch`] for a non-square system or wrong `b`
+    /// length; [`Error::Singular`] when a pivot collapses below `1e-12`
+    /// relative tolerance.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if self.rows != self.cols {
+            return Err(Error::DimensionMismatch {
+                op: "solve (square required)",
+                lhs: self.shape(),
+                rhs: (b.len(), 1),
+            });
+        }
+        if b.len() != self.rows {
+            return Err(Error::DimensionMismatch {
+                op: "solve rhs",
+                lhs: self.shape(),
+                rhs: (b.len(), 1),
+            });
+        }
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        let scale = a.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1.0);
+        let tol = 1e-12 * scale;
+
+        for k in 0..n {
+            // Partial pivot: largest magnitude in column k at/below row k.
+            let mut piv = k;
+            let mut best = a[k * n + k].abs();
+            for r in (k + 1)..n {
+                let v = a[r * n + k].abs();
+                if v > best {
+                    best = v;
+                    piv = r;
+                }
+            }
+            if best <= tol {
+                return Err(Error::Singular);
+            }
+            if piv != k {
+                for c in 0..n {
+                    a.swap(k * n + c, piv * n + c);
+                }
+                x.swap(k, piv);
+            }
+            let d = a[k * n + k];
+            for r in (k + 1)..n {
+                let f = a[r * n + k] / d;
+                if f == 0.0 {
+                    continue;
+                }
+                for c in k..n {
+                    a[r * n + c] -= f * a[k * n + c];
+                }
+                x[r] -= f * x[k];
+            }
+        }
+        // Back substitution.
+        for k in (0..n).rev() {
+            let mut s = x[k];
+            for c in (k + 1)..n {
+                s -= a[k * n + c] * x[c];
+            }
+            x[k] = s / a[k * n + k];
+        }
+        Ok(x)
+    }
+
+    /// Cholesky factorization `self = L Lᵀ` for a symmetric
+    /// positive-definite matrix; returns the lower-triangular `L`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DimensionMismatch`] for non-square input and
+    /// [`Error::NotPositiveDefinite`] when a diagonal pivot is not positive.
+    pub fn cholesky(&self) -> Result<Matrix> {
+        if self.rows != self.cols {
+            return Err(Error::DimensionMismatch {
+                op: "cholesky (square required)",
+                lhs: self.shape(),
+                rhs: self.shape(),
+            });
+        }
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n)?;
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = self[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if s <= 0.0 {
+                        return Err(Error::NotPositiveDefinite);
+                    }
+                    l[(i, j)] = s.sqrt();
+                } else {
+                    l[(i, j)] = s / l[(j, j)];
+                }
+            }
+        }
+        Ok(l)
+    }
+
+    /// Householder QR factorization; returns `(Q, R)` with `Q` of shape
+    /// `rows × cols` (thin) and `R` upper-triangular `cols × cols`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Underdetermined`] when `rows < cols`.
+    pub fn qr(&self) -> Result<(Matrix, Matrix)> {
+        let (m, n) = self.shape();
+        if m < n {
+            return Err(Error::Underdetermined {
+                observations: m,
+                parameters: n,
+            });
+        }
+        let mut r = self.clone();
+        // Accumulate Q as a product of Householder reflectors applied to I.
+        let mut q = Matrix::zeros(m, m)?;
+        for i in 0..m {
+            q[(i, i)] = 1.0;
+        }
+        for k in 0..n {
+            // Householder vector for column k.
+            let mut norm = 0.0;
+            for i in k..m {
+                norm += r[(i, k)] * r[(i, k)];
+            }
+            let norm = norm.sqrt();
+            if norm == 0.0 {
+                continue;
+            }
+            let alpha = if r[(k, k)] > 0.0 { -norm } else { norm };
+            let mut v = vec![0.0; m];
+            for i in k..m {
+                v[i] = r[(i, k)];
+            }
+            v[k] -= alpha;
+            let vnorm2: f64 = v[k..].iter().map(|x| x * x).sum();
+            if vnorm2 == 0.0 {
+                continue;
+            }
+            // R <- (I - 2 v vᵀ / |v|²) R
+            for c in k..n {
+                let dot: f64 = (k..m).map(|i| v[i] * r[(i, c)]).sum();
+                let f = 2.0 * dot / vnorm2;
+                for i in k..m {
+                    r[(i, c)] -= f * v[i];
+                }
+            }
+            // Q <- Q (I - 2 v vᵀ / |v|²)
+            for row in 0..m {
+                let dot: f64 = (k..m).map(|i| q[(row, i)] * v[i]).sum();
+                let f = 2.0 * dot / vnorm2;
+                for i in k..m {
+                    q[(row, i)] -= f * v[i];
+                }
+            }
+        }
+        // Thin Q (m × n) and square R (n × n).
+        let mut qt = Matrix::zeros(m, n)?;
+        for i in 0..m {
+            for j in 0..n {
+                qt[(i, j)] = q[(i, j)];
+            }
+        }
+        let mut rt = Matrix::zeros(n, n)?;
+        for i in 0..n {
+            for j in i..n {
+                rt[(i, j)] = r[(i, j)];
+            }
+        }
+        Ok((qt, rt))
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute element.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "add shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "sub shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, rhs: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| v * rhs).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, eps: f64) -> bool {
+        (a - b).abs() <= eps
+    }
+
+    #[test]
+    fn zeros_rejects_empty() {
+        assert!(matches!(Matrix::zeros(0, 3), Err(Error::Empty(_))));
+        assert!(matches!(Matrix::zeros(3, 0), Err(Error::Empty(_))));
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let e = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]).unwrap_err();
+        assert!(matches!(e, Error::Ragged { row: 1, .. }));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().shape(), (3, 2));
+        assert_eq!(a.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let i = Matrix::identity(2).unwrap();
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn matmul_dimension_mismatch() {
+        let a = Matrix::zeros(2, 3).unwrap();
+        let b = Matrix::zeros(2, 3).unwrap();
+        assert!(matches!(
+            a.matmul(&b),
+            Err(Error::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5; x + 3y = 10  => x = 1, y = 3
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let x = a.solve(&[5.0, 10.0]).unwrap();
+        assert!(approx(x[0], 1.0, 1e-12));
+        assert!(approx(x[1], 3.0, 1e-12));
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero pivot forces a row swap.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert!(approx(x[0], 3.0, 1e-12));
+        assert!(approx(x[1], 2.0, 1e-12));
+    }
+
+    #[test]
+    fn solve_singular_detected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert_eq!(a.solve(&[1.0, 2.0]).unwrap_err(), Error::Singular);
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_diagonal() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let g = a.gram();
+        assert_eq!(g.shape(), (2, 2));
+        assert_eq!(g[(0, 1)], g[(1, 0)]);
+        assert!(g[(0, 0)] > 0.0 && g[(1, 1)] > 0.0);
+        // Gram = AᵀA exactly.
+        let expect = a.transpose().matmul(&a).unwrap();
+        assert!((&g - &expect).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]).unwrap();
+        let l = a.cholesky().unwrap();
+        let back = l.matmul(&l.transpose()).unwrap();
+        assert!((&a - &back).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap();
+        assert_eq!(a.cholesky().unwrap_err(), Error::NotPositiveDefinite);
+    }
+
+    #[test]
+    fn qr_reconstructs_and_r_triangular() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![3.0, 4.0],
+            vec![5.0, 6.0],
+            vec![7.0, 9.0],
+        ])
+        .unwrap();
+        let (q, r) = a.qr().unwrap();
+        let back = q.matmul(&r).unwrap();
+        assert!((&a - &back).max_abs() < 1e-9);
+        for i in 1..r.rows() {
+            for j in 0..i {
+                assert!(r[(i, j)].abs() < 1e-12);
+            }
+        }
+        // Q has orthonormal columns.
+        let qtq = q.transpose().matmul(&q).unwrap();
+        let eye = Matrix::identity(2).unwrap();
+        assert!((&qtq - &eye).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn qr_underdetermined_rejected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]).unwrap();
+        assert!(matches!(a.qr(), Err(Error::Underdetermined { .. })));
+    }
+
+    #[test]
+    fn matvec_and_tr_matvec() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        assert_eq!(a.matvec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0, 11.0]);
+        assert_eq!(a.tr_matvec(&[1.0, 1.0, 1.0]).unwrap(), vec![9.0, 12.0]);
+        assert!(a.matvec(&[1.0]).is_err());
+        assert!(a.tr_matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn operators_add_sub_scale() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![3.0, 4.0]]).unwrap();
+        assert_eq!((&a + &b).row(0), &[4.0, 6.0]);
+        assert_eq!((&b - &a).row(0), &[2.0, 2.0]);
+        assert_eq!((&a * 2.0).row(0), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn norms() {
+        let a = Matrix::from_rows(&[vec![3.0, -4.0]]).unwrap();
+        assert!(approx(a.norm(), 5.0, 1e-12));
+        assert_eq!(a.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let a = Matrix::identity(3).unwrap();
+        assert!(format!("{a:?}").contains("Matrix 3x3"));
+    }
+}

@@ -1,0 +1,239 @@
+//! Model-quality metrics. The paper reports *median error* (15 % on
+//! SPECjbb2013) and cites competitors by *average error* (Bertran 4.63 %,
+//! HaPPy 7.5 %); both are absolute-percentage-error statistics, implemented
+//! here alongside the usual MAE/RMSE/R².
+
+use crate::stats::{mean, median};
+use crate::{Error, Result};
+
+fn check(actual: &[f64], predicted: &[f64]) -> Result<()> {
+    if actual.is_empty() {
+        return Err(Error::Empty("metric input"));
+    }
+    if actual.len() != predicted.len() {
+        return Err(Error::DimensionMismatch {
+            op: "metric",
+            lhs: (actual.len(), 1),
+            rhs: (predicted.len(), 1),
+        });
+    }
+    Ok(())
+}
+
+/// Mean absolute error.
+///
+/// # Errors
+///
+/// [`Error::Empty`] / [`Error::DimensionMismatch`] on degenerate input.
+pub fn mae(actual: &[f64], predicted: &[f64]) -> Result<f64> {
+    check(actual, predicted)?;
+    mean(
+        &actual
+            .iter()
+            .zip(predicted)
+            .map(|(a, p)| (a - p).abs())
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Root mean squared error.
+///
+/// # Errors
+///
+/// Same as [`mae`].
+pub fn rmse(actual: &[f64], predicted: &[f64]) -> Result<f64> {
+    check(actual, predicted)?;
+    Ok(mean(
+        &actual
+            .iter()
+            .zip(predicted)
+            .map(|(a, p)| (a - p) * (a - p))
+            .collect::<Vec<_>>(),
+    )?
+    .sqrt())
+}
+
+/// Absolute percentage errors `|a − p| / |a| · 100`, skipping zero actuals.
+///
+/// # Errors
+///
+/// [`Error::Empty`] when input is empty or every actual is zero.
+pub fn absolute_percentage_errors(actual: &[f64], predicted: &[f64]) -> Result<Vec<f64>> {
+    check(actual, predicted)?;
+    let ape: Vec<f64> = actual
+        .iter()
+        .zip(predicted)
+        .filter(|(a, _)| **a != 0.0)
+        .map(|(a, p)| (a - p).abs() / a.abs() * 100.0)
+        .collect();
+    if ape.is_empty() {
+        return Err(Error::Empty("all actual values are zero"));
+    }
+    Ok(ape)
+}
+
+/// Mean absolute percentage error (percent). The statistic behind the
+/// “average error of 4.63 %” comparisons in §4.
+///
+/// # Errors
+///
+/// Same as [`absolute_percentage_errors`].
+pub fn mape(actual: &[f64], predicted: &[f64]) -> Result<f64> {
+    mean(&absolute_percentage_errors(actual, predicted)?)
+}
+
+/// Median absolute percentage error (percent) — the paper's Figure 3
+/// headline statistic ("median error of 15 %").
+///
+/// # Errors
+///
+/// Same as [`absolute_percentage_errors`].
+pub fn median_ape(actual: &[f64], predicted: &[f64]) -> Result<f64> {
+    median(&absolute_percentage_errors(actual, predicted)?)
+}
+
+/// Coefficient of determination R² (1 when `actual` is constant and exactly
+/// predicted; can be negative for models worse than the mean).
+///
+/// # Errors
+///
+/// Same as [`mae`].
+pub fn r_squared(actual: &[f64], predicted: &[f64]) -> Result<f64> {
+    check(actual, predicted)?;
+    let m = mean(actual)?;
+    let ss_res: f64 = actual
+        .iter()
+        .zip(predicted)
+        .map(|(a, p)| (a - p) * (a - p))
+        .sum();
+    let ss_tot: f64 = actual.iter().map(|a| (a - m) * (a - m)).sum();
+    if ss_tot == 0.0 {
+        return Ok(if ss_res == 0.0 { 1.0 } else { 0.0 });
+    }
+    Ok(1.0 - ss_res / ss_tot)
+}
+
+/// Bundle of every metric for one (actual, predicted) pair — the row format
+/// the experiment harness prints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorReport {
+    /// Mean absolute error in the target's unit (watts, here).
+    pub mae: f64,
+    /// Root mean squared error.
+    pub rmse: f64,
+    /// Mean absolute percentage error, percent.
+    pub mape: f64,
+    /// Median absolute percentage error, percent.
+    pub median_ape: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+}
+
+impl ErrorReport {
+    /// Computes all metrics at once.
+    ///
+    /// # Errors
+    ///
+    /// Same as the individual metric functions.
+    pub fn compute(actual: &[f64], predicted: &[f64]) -> Result<ErrorReport> {
+        Ok(ErrorReport {
+            mae: mae(actual, predicted)?,
+            rmse: rmse(actual, predicted)?,
+            mape: mape(actual, predicted)?,
+            median_ape: median_ape(actual, predicted)?,
+            r_squared: r_squared(actual, predicted)?,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MAE={:.3} RMSE={:.3} MAPE={:.2}% medAPE={:.2}% R2={:.4}",
+            self.mae, self.rmse, self.mape, self.median_ape, self.r_squared
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_zero_error() {
+        let a = [1.0, 2.0, 3.0];
+        let r = ErrorReport::compute(&a, &a).unwrap();
+        assert_eq!(r.mae, 0.0);
+        assert_eq!(r.rmse, 0.0);
+        assert_eq!(r.mape, 0.0);
+        assert_eq!(r.median_ape, 0.0);
+        assert_eq!(r.r_squared, 1.0);
+    }
+
+    #[test]
+    fn mae_rmse_known() {
+        let a = [0.0, 0.0, 0.0, 0.0];
+        let p = [1.0, -1.0, 1.0, -1.0];
+        assert_eq!(mae(&a, &p).unwrap(), 1.0);
+        assert_eq!(rmse(&a, &p).unwrap(), 1.0);
+        let p2 = [2.0, 0.0, 0.0, 0.0];
+        assert_eq!(mae(&a, &p2).unwrap(), 0.5);
+        assert_eq!(rmse(&a, &p2).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn mape_and_median_ape_known() {
+        let a = [100.0, 100.0, 100.0];
+        let p = [110.0, 90.0, 100.0];
+        assert!((mape(&a, &p).unwrap() - 20.0 / 3.0).abs() < 1e-12);
+        assert!((median_ape(&a, &p).unwrap() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ape_skips_zero_actuals() {
+        let a = [0.0, 100.0];
+        let p = [5.0, 120.0];
+        assert!((mape(&a, &p).unwrap() - 20.0).abs() < 1e-12);
+        assert!(mape(&[0.0, 0.0], &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn median_ape_robust_to_outlier() {
+        // One wild sample barely moves the median while it wrecks the mean —
+        // the reason the paper quotes a median.
+        let a = vec![100.0; 9];
+        let mut p = vec![101.0; 9];
+        p[0] = 500.0;
+        let med = median_ape(&a, &p).unwrap();
+        let avg = mape(&a, &p).unwrap();
+        assert!((med - 1.0).abs() < 1e-12);
+        assert!(avg > 40.0);
+    }
+
+    #[test]
+    fn r_squared_behaviour() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        // Predicting the mean gives R² = 0.
+        let m = [2.5, 2.5, 2.5, 2.5];
+        assert!((r_squared(&a, &m).unwrap()).abs() < 1e-12);
+        // Anti-correlated predictions go negative.
+        let bad = [4.0, 3.0, 2.0, 1.0];
+        assert!(r_squared(&a, &bad).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn mismatch_rejected() {
+        assert!(mae(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(ErrorReport::compute(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn display_contains_all_fields() {
+        let r = ErrorReport::compute(&[1.0, 2.0], &[1.1, 1.9]).unwrap();
+        let s = r.to_string();
+        for key in ["MAE", "RMSE", "MAPE", "medAPE", "R2"] {
+            assert!(s.contains(key), "{s} missing {key}");
+        }
+    }
+}

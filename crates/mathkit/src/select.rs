@@ -1,0 +1,231 @@
+//! Feature (counter) selection strategies.
+//!
+//! The paper fixes the generic counters `instructions`, `cache-references`,
+//! `cache-misses`, observes that fixed generic counters "is not necessarily
+//! the most reliable solution", and announces Spearman-based automatic
+//! selection as future work (§5). Both that strategy and a stronger
+//! greedy-forward/cross-validated variant are implemented here; experiment
+//! E5 compares them.
+
+use crate::correlation::spearman;
+use crate::cv::cross_val_rmse;
+use crate::linreg::FitOptions;
+use crate::matrix::Matrix;
+use crate::{Error, Result};
+
+/// Ranks features by `|Spearman(feature, target)|` and returns the indices
+/// of the top `k`, most-correlated first.
+///
+/// # Errors
+///
+/// [`Error::InvalidArgument`] when `k` is zero or exceeds the feature
+/// count; correlation errors propagate.
+pub fn spearman_top_k(x: &Matrix, y: &[f64], k: usize) -> Result<Vec<usize>> {
+    if k == 0 || k > x.cols() {
+        return Err(Error::InvalidArgument("k must be in 1..=feature count"));
+    }
+    let mut scored: Vec<(usize, f64)> = (0..x.cols())
+        .map(|c| Ok((c, spearman(&x.col(c), y)?.abs())))
+        .collect::<Result<_>>()?;
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN correlation"));
+    Ok(scored.into_iter().take(k).map(|(c, _)| c).collect())
+}
+
+/// Absolute Spearman correlation of every feature column against the
+/// target, in column order. Useful for reporting the full ranking.
+///
+/// # Errors
+///
+/// Propagates correlation errors.
+pub fn spearman_scores(x: &Matrix, y: &[f64]) -> Result<Vec<f64>> {
+    (0..x.cols()).map(|c| spearman(&x.col(c), y)).collect()
+}
+
+/// Result of a greedy forward-selection run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    /// Chosen feature indices in the order they were added.
+    pub features: Vec<usize>,
+    /// Cross-validated RMSE of the final feature set.
+    pub cv_rmse: f64,
+}
+
+/// Greedy forward selection: starting from the empty set, repeatedly adds
+/// the feature that most reduces k-fold cross-validated RMSE, stopping when
+/// no addition improves by more than `min_improvement` (relative) or when
+/// `max_features` are selected.
+///
+/// # Errors
+///
+/// [`Error::InvalidArgument`] for a zero `max_features`; fit/CV errors
+/// propagate.
+pub fn greedy_forward(
+    x: &Matrix,
+    y: &[f64],
+    max_features: usize,
+    folds: usize,
+    min_improvement: f64,
+) -> Result<Selection> {
+    if max_features == 0 {
+        return Err(Error::InvalidArgument("max_features must be > 0"));
+    }
+    let max_features = max_features.min(x.cols());
+    let opts = FitOptions::default();
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut best_rmse = f64::INFINITY;
+
+    loop {
+        if chosen.len() >= max_features {
+            break;
+        }
+        let mut round_best: Option<(usize, f64)> = None;
+        for cand in 0..x.cols() {
+            if chosen.contains(&cand) {
+                continue;
+            }
+            let mut cols = chosen.clone();
+            cols.push(cand);
+            let sub = project(x, &cols)?;
+            let rmse = match cross_val_rmse(&sub, y, &opts, folds) {
+                Ok(v) => v,
+                // A singular candidate set (collinear counters) is simply
+                // not eligible this round.
+                Err(Error::Singular) => continue,
+                Err(e) => return Err(e),
+            };
+            if round_best.is_none_or(|(_, b)| rmse < b) {
+                round_best = Some((cand, rmse));
+            }
+        }
+        let Some((cand, rmse)) = round_best else { break };
+        let improved = best_rmse.is_infinite()
+            || (best_rmse - rmse) > min_improvement * best_rmse.max(f64::MIN_POSITIVE);
+        if !improved {
+            break;
+        }
+        chosen.push(cand);
+        best_rmse = rmse;
+    }
+
+    if chosen.is_empty() {
+        return Err(Error::Empty("greedy selection found no usable feature"));
+    }
+    Ok(Selection {
+        features: chosen,
+        cv_rmse: best_rmse,
+    })
+}
+
+/// Copies the named columns of `x` into a new matrix (column order given by
+/// `cols`).
+///
+/// # Errors
+///
+/// [`Error::InvalidArgument`] when a column index is out of range.
+pub fn project(x: &Matrix, cols: &[usize]) -> Result<Matrix> {
+    if cols.is_empty() {
+        return Err(Error::Empty("projection columns"));
+    }
+    if cols.iter().any(|&c| c >= x.cols()) {
+        return Err(Error::InvalidArgument("projection column out of range"));
+    }
+    let rows: Vec<Vec<f64>> = (0..x.rows())
+        .map(|r| cols.iter().map(|&c| x[(r, c)]).collect())
+        .collect();
+    Matrix::from_rows(&rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 3 informative columns + 2 noise columns; y = 2*c0 + c1 + 0.5*c2.
+    fn dataset() -> (Matrix, Vec<f64>) {
+        let mut state = 99u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..120 {
+            let c0 = (i % 11) as f64;
+            let c1 = ((i * 3) % 7) as f64;
+            let c2 = ((i * 5) % 13) as f64;
+            let n0 = next() * 10.0;
+            let n1 = next() * 10.0;
+            rows.push(vec![c0, c1, c2, n0, n1]);
+            y.push(2.0 * c0 + c1 + 0.5 * c2 + 0.01 * next());
+        }
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn spearman_top_k_finds_informative_columns() {
+        let (x, y) = dataset();
+        let top = spearman_top_k(&x, &y, 3).unwrap();
+        // The strongest single predictor (c0) must rank first.
+        assert_eq!(top[0], 0);
+        // Noise columns must not dominate the top-3.
+        let noise_in_top = top.iter().filter(|&&c| c >= 3).count();
+        assert!(noise_in_top <= 1, "top-3 = {top:?}");
+    }
+
+    #[test]
+    fn spearman_top_k_validates_k() {
+        let (x, y) = dataset();
+        assert!(spearman_top_k(&x, &y, 0).is_err());
+        assert!(spearman_top_k(&x, &y, 6).is_err());
+    }
+
+    #[test]
+    fn spearman_scores_shape() {
+        let (x, y) = dataset();
+        let scores = spearman_scores(&x, &y).unwrap();
+        assert_eq!(scores.len(), 5);
+        assert!(scores[0] > scores[3].abs(), "informative beats noise");
+    }
+
+    #[test]
+    fn greedy_forward_selects_informative_set() {
+        let (x, y) = dataset();
+        let sel = greedy_forward(&x, &y, 5, 4, 0.01).unwrap();
+        assert!(sel.features.contains(&0), "{:?}", sel.features);
+        assert!(sel.features.contains(&1), "{:?}", sel.features);
+        assert!(sel.features.contains(&2), "{:?}", sel.features);
+        assert!(!sel.features.contains(&3) && !sel.features.contains(&4));
+        assert!(sel.cv_rmse < 0.1, "cv_rmse = {}", sel.cv_rmse);
+    }
+
+    #[test]
+    fn greedy_forward_respects_max_features() {
+        let (x, y) = dataset();
+        let sel = greedy_forward(&x, &y, 1, 4, 0.0).unwrap();
+        assert_eq!(sel.features.len(), 1);
+        assert_eq!(sel.features[0], 0);
+    }
+
+    #[test]
+    fn greedy_forward_skips_collinear_duplicates() {
+        // Column 1 duplicates column 0: adding both is singular and must be
+        // skipped, not fatal.
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| {
+            let a = (i % 6) as f64;
+            vec![a, a]
+        }).collect();
+        let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] + 1.0).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let sel = greedy_forward(&x, &y, 2, 3, 0.0).unwrap();
+        assert_eq!(sel.features.len(), 1, "only one of two twins selected");
+    }
+
+    #[test]
+    fn project_validates_columns() {
+        let (x, _) = dataset();
+        assert!(project(&x, &[]).is_err());
+        assert!(project(&x, &[9]).is_err());
+        let p = project(&x, &[2, 0]).unwrap();
+        assert_eq!(p.cols(), 2);
+        assert_eq!(p[(0, 1)], x[(0, 0)]);
+    }
+}

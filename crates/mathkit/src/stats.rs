@@ -1,0 +1,246 @@
+//! Descriptive statistics used throughout the learning pipeline and the
+//! experiment harness: means, variance, quantiles, ranking with ties.
+
+use crate::{Error, Result};
+
+/// Arithmetic mean.
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] on an empty slice.
+pub fn mean(xs: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(Error::Empty("mean input"));
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Unbiased sample variance (n − 1 denominator).
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] when fewer than two samples are given.
+pub fn variance(xs: &[f64]) -> Result<f64> {
+    if xs.len() < 2 {
+        return Err(Error::Empty("variance needs >= 2 samples"));
+    }
+    let m = mean(xs)?;
+    Ok(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// Sample standard deviation.
+///
+/// # Errors
+///
+/// Same as [`variance`].
+pub fn std_dev(xs: &[f64]) -> Result<f64> {
+    Ok(variance(xs)?.sqrt())
+}
+
+/// Median (average of the two central elements for even lengths).
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] on an empty slice.
+pub fn median(xs: &[f64]) -> Result<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Linear-interpolated quantile, `q` in `[0, 1]`.
+///
+/// # Errors
+///
+/// [`Error::Empty`] on empty input, [`Error::InvalidArgument`] when `q` is
+/// outside `[0, 1]` or not finite.
+pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(Error::Empty("quantile input"));
+    }
+    if !(0.0..=1.0).contains(&q) || !q.is_finite() {
+        return Err(Error::InvalidArgument("quantile q must be in [0, 1]"));
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Ok(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Minimum and maximum of a slice.
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] on an empty slice.
+pub fn min_max(xs: &[f64]) -> Result<(f64, f64)> {
+    if xs.is_empty() {
+        return Err(Error::Empty("min_max input"));
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in xs {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    Ok((lo, hi))
+}
+
+/// Fractional ranks with ties assigned the average rank (1-based), the
+/// convention Spearman correlation requires.
+///
+/// ```
+/// let r = mathkit::stats::ranks(&[10.0, 20.0, 20.0, 30.0]);
+/// assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+/// ```
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in ranks input"));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Average of 1-based ranks i+1 ..= j+1.
+        let avg = (i + 1 + j + 1) as f64 / 2.0;
+        for k in i..=j {
+            out[idx[k]] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Online mean/variance accumulator (Welford's algorithm), handy for
+/// streaming sensors that cannot buffer every sample.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Running {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Running {
+    /// Creates an empty accumulator.
+    pub fn new() -> Running {
+        Running::default()
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Number of observations seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Current mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Current unbiased sample variance (0.0 with fewer than 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Current sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+impl Extend<f64> for Running {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_median_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]).unwrap(), 2.0);
+        assert_eq!(median(&[1.0, 3.0, 2.0]).unwrap(), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]).unwrap(), 2.5);
+        assert!(mean(&[]).is_err());
+    }
+
+    #[test]
+    fn variance_known_value() {
+        // Var of [2,4,4,4,5,5,7,9] = 32/7 (sample).
+        let v = variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((v - 32.0 / 7.0).abs() < 1e-12);
+        assert!(variance(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn quantile_bounds_and_interpolation() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 10.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 40.0);
+        assert_eq!(quantile(&xs, 0.5).unwrap(), 25.0);
+        assert!(quantile(&xs, 1.5).is_err());
+        assert!(quantile(&xs, -0.1).is_err());
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let xs = [40.0, 10.0, 30.0, 20.0];
+        assert_eq!(quantile(&xs, 0.5).unwrap(), 25.0);
+    }
+
+    #[test]
+    fn min_max_basic() {
+        assert_eq!(min_max(&[3.0, -1.0, 7.0]).unwrap(), (-1.0, 7.0));
+        assert!(min_max(&[]).is_err());
+    }
+
+    #[test]
+    fn ranks_without_ties() {
+        assert_eq!(ranks(&[30.0, 10.0, 20.0]), vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn ranks_with_ties_average() {
+        assert_eq!(ranks(&[1.0, 1.0, 1.0]), vec![2.0, 2.0, 2.0]);
+        assert_eq!(ranks(&[5.0, 5.0, 1.0, 9.0]), vec![2.5, 2.5, 1.0, 4.0]);
+    }
+
+    #[test]
+    fn running_matches_batch() {
+        let xs = [1.5, 2.5, 3.5, 10.0, -4.0];
+        let mut r = Running::new();
+        r.extend(xs.iter().copied());
+        assert_eq!(r.count(), 5);
+        assert!((r.mean() - mean(&xs).unwrap()).abs() < 1e-12);
+        assert!((r.variance() - variance(&xs).unwrap()).abs() < 1e-9);
+        assert!((r.std_dev() - std_dev(&xs).unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_empty_and_single() {
+        let mut r = Running::new();
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.variance(), 0.0);
+        r.push(42.0);
+        assert_eq!(r.mean(), 42.0);
+        assert_eq!(r.variance(), 0.0);
+    }
+}

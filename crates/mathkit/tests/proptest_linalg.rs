@@ -1,0 +1,172 @@
+//! Property-based tests for the linear-algebra and statistics substrate.
+
+use mathkit::correlation::{kendall, pearson, spearman};
+use mathkit::linreg::LinearModel;
+use mathkit::matrix::Matrix;
+use mathkit::stats::{mean, median, quantile, ranks, Running};
+use proptest::prelude::*;
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, len)
+}
+
+fn small_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..6, 1usize..6).prop_flat_map(|(r, c)| {
+        prop::collection::vec(prop::collection::vec(-100.0f64..100.0, c..=c), r..=r)
+            .prop_map(|rows| Matrix::from_rows(&rows).expect("rectangular"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_involution(m in small_matrix()) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn product_transpose_identity(
+        rows in prop::collection::vec(prop::collection::vec(-50.0f64..50.0, 3), 2..5),
+        rhs in prop::collection::vec(prop::collection::vec(-50.0f64..50.0, 4), 3),
+    ) {
+        let a = Matrix::from_rows(&rows).expect("rectangular");
+        let b = Matrix::from_rows(&rhs).expect("rectangular");
+        let ab_t = a.matmul(&b).expect("conformable").transpose();
+        let bt_at = b.transpose().matmul(&a.transpose()).expect("conformable");
+        prop_assert!((&ab_t - &bt_at).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_recovers_solution(
+        x in prop::collection::vec(-10.0f64..10.0, 3),
+        noise in prop::collection::vec(0.1f64..5.0, 3),
+    ) {
+        // Diagonally dominant matrix: guaranteed well-conditioned.
+        let mut rows = vec![vec![0.0; 3]; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                rows[i][j] = if i == j { 20.0 + noise[i] } else { noise[(i + j) % 3] };
+            }
+        }
+        let a = Matrix::from_rows(&rows).expect("square");
+        let b = a.matvec(&x).expect("conformable");
+        let got = a.solve(&b).expect("well-conditioned");
+        for (g, w) in got.iter().zip(&x) {
+            prop_assert!((g - w).abs() < 1e-6, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn qr_reconstructs(
+        rows in prop::collection::vec(prop::collection::vec(-50.0f64..50.0, 3), 4..8),
+    ) {
+        let a = Matrix::from_rows(&rows).expect("rectangular");
+        let (q, r) = a.qr().expect("tall matrix");
+        let back = q.matmul(&r).expect("conformable");
+        prop_assert!((&a - &back).max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn ols_residuals_orthogonal_to_fit(
+        xs in prop::collection::vec(-100.0f64..100.0, 8..20),
+        slope in -5.0f64..5.0,
+        intercept in -50.0f64..50.0,
+    ) {
+        // y has an exact linear part plus deterministic wiggle.
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+        let y: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| intercept + slope * x + ((i % 3) as f64 - 1.0))
+            .collect();
+        let x = Matrix::from_rows(&rows).expect("rectangular");
+        if let Ok(model) = LinearModel::fit(&x, &y) {
+            // Normal equations ⇒ residuals sum to ~0 and are orthogonal
+            // to the regressor.
+            let res = model.residuals();
+            let sum: f64 = res.iter().sum();
+            let dot: f64 = res.iter().zip(&xs).map(|(r, x)| r * x).sum();
+            let scale = 1.0 + xs.iter().map(|v| v.abs()).fold(0.0, f64::max);
+            prop_assert!(sum.abs() < 1e-6 * res.len() as f64 * scale);
+            prop_assert!(dot.abs() < 1e-5 * res.len() as f64 * scale * scale);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded(v in finite_vec(1..50), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        let a = quantile(&v, lo).expect("valid");
+        let b = quantile(&v, hi).expect("valid");
+        prop_assert!(a <= b);
+        let min = v.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= min && b <= max);
+    }
+
+    #[test]
+    fn median_between_min_and_max(v in finite_vec(1..50)) {
+        let m = median(&v).expect("non-empty");
+        let min = v.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= min && m <= max);
+    }
+
+    #[test]
+    fn ranks_are_a_weak_ordering(v in finite_vec(1..40)) {
+        let r = ranks(&v);
+        prop_assert_eq!(r.len(), v.len());
+        // Rank sum is invariant: n(n+1)/2.
+        let n = v.len() as f64;
+        let sum: f64 = r.iter().sum();
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-9);
+        // Order-consistency.
+        for i in 0..v.len() {
+            for j in 0..v.len() {
+                if v[i] < v[j] {
+                    prop_assert!(r[i] < r[j]);
+                }
+                if v[i] == v[j] {
+                    prop_assert!((r[i] - r[j]).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn correlations_bounded(a in finite_vec(2..40), b in finite_vec(2..40)) {
+        let n = a.len().min(b.len());
+        if n >= 2 {
+            let (a, b) = (&a[..n], &b[..n]);
+            for r in [pearson(a, b), spearman(a, b), kendall(a, b)] {
+                let r = r.expect("valid inputs");
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "{r}");
+            }
+        }
+    }
+
+    #[test]
+    fn spearman_invariant_under_monotone_transform(v in prop::collection::vec(-100.0f64..100.0, 3..30)) {
+        let y: Vec<f64> = v.iter().map(|x| x * 3.0 + 7.0).collect();
+        // exp is strictly monotone: Spearman(v, exp-ish(v)) == Spearman(v, v) == 1 when no ties.
+        let mut distinct = v.clone();
+        distinct.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        distinct.dedup();
+        if distinct.len() == v.len() {
+            let s1 = spearman(&v, &y).expect("valid");
+            prop_assert!((s1 - 1.0).abs() < 1e-9);
+            let z: Vec<f64> = v.iter().map(|x| (x / 50.0).exp()).collect();
+            let s2 = spearman(&v, &z).expect("valid");
+            prop_assert!((s2 - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn running_matches_batch_stats(v in finite_vec(2..60)) {
+        let mut r = Running::new();
+        r.extend(v.iter().copied());
+        prop_assert!((r.mean() - mean(&v).expect("non-empty")).abs() < 1e-6);
+        let batch_var = mathkit::stats::variance(&v).expect("n >= 2");
+        prop_assert!((r.variance() - batch_var).abs() < 1e-4 * (1.0 + batch_var));
+    }
+}

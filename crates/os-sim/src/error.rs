@@ -1,0 +1,63 @@
+use crate::process::{Pid, Tid};
+use std::fmt;
+
+/// Error type for fallible `os-sim` operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// No process with this pid exists (it may have exited).
+    NoSuchProcess(Pid),
+    /// No thread with this tid exists.
+    NoSuchThread(Tid),
+    /// The underlying machine rejected an operation.
+    Machine(simcpu::Error),
+    /// A configuration value was invalid.
+    InvalidConfig(&'static str),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NoSuchProcess(pid) => write!(f, "no such process: {pid}"),
+            Error::NoSuchThread(tid) => write!(f, "no such thread: {tid}"),
+            Error::Machine(e) => write!(f, "machine error: {e}"),
+            Error::InvalidConfig(msg) => write!(f, "invalid kernel config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Machine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<simcpu::Error> for Error {
+    fn from(e: simcpu::Error) -> Error {
+        Error::Machine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let e = Error::NoSuchProcess(Pid(42));
+        assert!(e.to_string().contains("42"));
+        assert!(e.source().is_none());
+        let m: Error = simcpu::Error::InvalidConfig("x").into();
+        assert!(m.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,197 @@
+//! cpufreq governors: the policy layer that drives the machine's DVFS —
+//! the "different frequencies whether is necessary" knob the paper's
+//! motivation section describes.
+
+use simcpu::freq::PStateTable;
+use simcpu::units::MegaHertz;
+
+/// A per-core frequency-selection policy.
+pub trait CpufreqGovernor: Send {
+    /// Chooses the next requested frequency for `core`, given the busy
+    /// fraction observed over the last sampling period.
+    fn select(&mut self, core: usize, utilization: f64, table: &PStateTable) -> MegaHertz;
+
+    /// Governor name as it would appear in
+    /// `/sys/devices/system/cpu/cpufreq/scaling_governor`.
+    fn name(&self) -> &'static str;
+}
+
+/// Always runs at the highest nominal frequency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Performance;
+
+impl CpufreqGovernor for Performance {
+    fn select(&mut self, _core: usize, _utilization: f64, table: &PStateTable) -> MegaHertz {
+        table.max().frequency()
+    }
+
+    fn name(&self) -> &'static str {
+        "performance"
+    }
+}
+
+/// Always runs at the lowest frequency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Powersave;
+
+impl CpufreqGovernor for Powersave {
+    fn select(&mut self, _core: usize, _utilization: f64, table: &PStateTable) -> MegaHertz {
+        table.min().frequency()
+    }
+
+    fn name(&self) -> &'static str {
+        "powersave"
+    }
+}
+
+/// Pins a fixed frequency chosen by user space — what the model-learning
+/// pipeline uses to sample each frequency in turn (Figure 1: "benchmarks
+/// are executed for each frequency made available by the processor").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Userspace {
+    frequency: MegaHertz,
+}
+
+impl Userspace {
+    /// Pins `frequency` (validated by the machine when applied).
+    pub fn new(frequency: MegaHertz) -> Userspace {
+        Userspace { frequency }
+    }
+
+    /// Re-pins a different frequency.
+    pub fn set(&mut self, frequency: MegaHertz) {
+        self.frequency = frequency;
+    }
+}
+
+impl CpufreqGovernor for Userspace {
+    fn select(&mut self, _core: usize, _utilization: f64, _table: &PStateTable) -> MegaHertz {
+        self.frequency
+    }
+
+    fn name(&self) -> &'static str {
+        "userspace"
+    }
+}
+
+/// The classic `ondemand` policy: jump straight to the maximum when
+/// utilization crosses `up_threshold`, then step down one state at a time
+/// while utilization stays low.
+#[derive(Debug, Clone)]
+pub struct Ondemand {
+    up_threshold: f64,
+    down_threshold: f64,
+    current: Vec<Option<MegaHertz>>,
+}
+
+impl Ondemand {
+    /// Creates the governor with the Linux-default 80 % up threshold and a
+    /// 30 % down threshold.
+    pub fn new(cores: usize) -> Ondemand {
+        Ondemand {
+            up_threshold: 0.80,
+            down_threshold: 0.30,
+            current: vec![None; cores],
+        }
+    }
+
+    /// Overrides the thresholds (clamped to `[0, 1]`, down ≤ up).
+    pub fn with_thresholds(mut self, up: f64, down: f64) -> Ondemand {
+        self.up_threshold = up.clamp(0.0, 1.0);
+        self.down_threshold = down.clamp(0.0, self.up_threshold);
+        self
+    }
+}
+
+impl CpufreqGovernor for Ondemand {
+    fn select(&mut self, core: usize, utilization: f64, table: &PStateTable) -> MegaHertz {
+        if core >= self.current.len() {
+            self.current.resize(core + 1, None);
+        }
+        let cur = self.current[core].unwrap_or_else(|| table.min().frequency());
+        let freqs = table.frequencies();
+        let idx = freqs.iter().position(|&f| f == cur).unwrap_or(0);
+        let next = if utilization > self.up_threshold {
+            *freqs.last().expect("non-empty table")
+        } else if utilization < self.down_threshold && idx > 0 {
+            freqs[idx - 1]
+        } else {
+            cur
+        };
+        self.current[core] = Some(next);
+        next
+    }
+
+    fn name(&self) -> &'static str {
+        "ondemand"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcpu::freq::ladder;
+
+    fn table() -> PStateTable {
+        PStateTable::without_turbo(ladder(&[1600, 2000, 2400, 2800, 3300], 0.85, 1.05).unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn performance_and_powersave_extremes() {
+        let t = table();
+        assert_eq!(
+            Performance.select(0, 0.0, &t),
+            MegaHertz(3300)
+        );
+        assert_eq!(Powersave.select(0, 1.0, &t), MegaHertz(1600));
+        assert_eq!(Performance.name(), "performance");
+        assert_eq!(Powersave.name(), "powersave");
+    }
+
+    #[test]
+    fn userspace_pins_and_repins() {
+        let t = table();
+        let mut g = Userspace::new(MegaHertz(2400));
+        assert_eq!(g.select(0, 1.0, &t), MegaHertz(2400));
+        g.set(MegaHertz(2800));
+        assert_eq!(g.select(0, 0.0, &t), MegaHertz(2800));
+        assert_eq!(g.name(), "userspace");
+    }
+
+    #[test]
+    fn ondemand_jumps_up_steps_down() {
+        let t = table();
+        let mut g = Ondemand::new(1);
+        // Starts at min.
+        assert_eq!(g.select(0, 0.5, &t), MegaHertz(1600));
+        // High load: straight to max.
+        assert_eq!(g.select(0, 0.95, &t), MegaHertz(3300));
+        // Stays at max while load is moderate.
+        assert_eq!(g.select(0, 0.5, &t), MegaHertz(3300));
+        // Low load: steps down one state at a time.
+        assert_eq!(g.select(0, 0.1, &t), MegaHertz(2800));
+        assert_eq!(g.select(0, 0.1, &t), MegaHertz(2400));
+        assert_eq!(g.select(0, 0.1, &t), MegaHertz(2000));
+        assert_eq!(g.select(0, 0.1, &t), MegaHertz(1600));
+        // Floor.
+        assert_eq!(g.select(0, 0.1, &t), MegaHertz(1600));
+    }
+
+    #[test]
+    fn ondemand_tracks_cores_independently() {
+        let t = table();
+        let mut g = Ondemand::new(2);
+        assert_eq!(g.select(0, 0.95, &t), MegaHertz(3300));
+        assert_eq!(g.select(1, 0.05, &t), MegaHertz(1600));
+        // Auto-resizes for unseen cores.
+        assert_eq!(g.select(5, 0.95, &t), MegaHertz(3300));
+    }
+
+    #[test]
+    fn thresholds_clamped() {
+        let g = Ondemand::new(1).with_thresholds(2.0, 5.0);
+        assert!((g.up_threshold - 1.0).abs() < 1e-12);
+        assert!(g.down_threshold <= g.up_threshold);
+    }
+}

@@ -1,0 +1,125 @@
+//! The cpuidle governor: predicts how long a core will stay idle (EWMA of
+//! recent idle streaks, like the Linux *menu* governor's correction
+//! factors) and feeds the prediction to the machine, which picks the
+//! deepest C-state whose target residency fits.
+
+use simcpu::units::Nanos;
+
+/// Per-core idle-duration predictor.
+#[derive(Debug, Clone)]
+pub struct IdlePredictor {
+    ewma_ns: Vec<f64>,
+    streak_ns: Vec<u64>,
+    alpha: f64,
+}
+
+impl IdlePredictor {
+    /// Creates a predictor for `cores` cores with a default smoothing
+    /// factor of 0.3.
+    pub fn new(cores: usize) -> IdlePredictor {
+        IdlePredictor {
+            ewma_ns: vec![0.0; cores],
+            streak_ns: vec![0; cores],
+            alpha: 0.3,
+        }
+    }
+
+    /// Feeds one observation: whether the core was busy during the last
+    /// slice of length `dt`. Ends of idle streaks update the EWMA.
+    pub fn observe(&mut self, core: usize, busy: bool, dt: Nanos) {
+        if core >= self.ewma_ns.len() {
+            return;
+        }
+        if busy {
+            if self.streak_ns[core] > 0 {
+                let s = self.streak_ns[core] as f64;
+                self.ewma_ns[core] = if self.ewma_ns[core] == 0.0 {
+                    s
+                } else {
+                    self.alpha * s + (1.0 - self.alpha) * self.ewma_ns[core]
+                };
+                self.streak_ns[core] = 0;
+            }
+        } else {
+            self.streak_ns[core] += dt.as_u64();
+        }
+    }
+
+    /// Predicted duration of the *next* idle period for a core. While an
+    /// idle streak is in progress the prediction grows with it (a core
+    /// that has already idled 10 ms will likely idle longer).
+    pub fn predict(&self, core: usize) -> Nanos {
+        if core >= self.ewma_ns.len() {
+            return Nanos::ZERO;
+        }
+        let base = self.ewma_ns[core].max(self.streak_ns[core] as f64);
+        Nanos(base as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: Nanos = Nanos(1_000_000);
+
+    #[test]
+    fn fresh_predictor_predicts_zero() {
+        let p = IdlePredictor::new(2);
+        assert_eq!(p.predict(0), Nanos::ZERO);
+        assert_eq!(p.predict(1), Nanos::ZERO);
+        assert_eq!(p.predict(99), Nanos::ZERO, "out of range is harmless");
+    }
+
+    #[test]
+    fn learns_idle_streak_lengths() {
+        let mut p = IdlePredictor::new(1);
+        // Three idle slices then busy: streak of 3 ms recorded.
+        for _ in 0..3 {
+            p.observe(0, false, MS);
+        }
+        p.observe(0, true, MS);
+        let predicted = p.predict(0).as_u64();
+        assert_eq!(predicted, 3_000_000);
+    }
+
+    #[test]
+    fn ewma_blends_history() {
+        let mut p = IdlePredictor::new(1);
+        // First streak: 10 ms.
+        for _ in 0..10 {
+            p.observe(0, false, MS);
+        }
+        p.observe(0, true, MS);
+        // Second streak: 2 ms.
+        p.observe(0, false, MS);
+        p.observe(0, false, MS);
+        p.observe(0, true, MS);
+        let predicted = p.predict(0).as_u64() as f64;
+        // EWMA(α=0.3): 0.3·2 ms + 0.7·10 ms = 7.6 ms.
+        assert!((predicted - 7.6e6).abs() < 1e3, "predicted {predicted}");
+    }
+
+    #[test]
+    fn ongoing_streak_raises_prediction() {
+        let mut p = IdlePredictor::new(1);
+        p.observe(0, false, MS);
+        p.observe(0, true, MS); // ewma = 1 ms
+        // Now idle for 5 ms without ending the streak.
+        for _ in 0..5 {
+            p.observe(0, false, MS);
+        }
+        assert_eq!(p.predict(0).as_u64(), 5_000_000);
+    }
+
+    #[test]
+    fn cores_are_independent() {
+        let mut p = IdlePredictor::new(2);
+        for _ in 0..4 {
+            p.observe(0, false, MS);
+        }
+        p.observe(0, true, MS);
+        assert_eq!(p.predict(0).as_u64(), 4_000_000);
+        assert_eq!(p.predict(1).as_u64(), 0);
+    }
+}

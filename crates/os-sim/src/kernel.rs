@@ -1,0 +1,614 @@
+//! The kernel: owns the machine, schedules threads onto logical CPUs tick
+//! by tick, applies the cpufreq and cpuidle governors, maintains `/proc`
+//! accounting, and emits per-slice [`RunRecord`]s — the attribution stream
+//! the perf subsystem and PowerAPI sensors consume.
+
+use crate::governor::{CpufreqGovernor, Ondemand};
+use crate::idle::IdlePredictor;
+use crate::process::{Pid, Process, ProcessState, ThreadStats, Tid};
+use crate::procfs::Accounting;
+use crate::scheduler::Scheduler;
+use crate::task::{Slice, TaskBehavior};
+use crate::{Error, Result};
+use simcpu::counters::ExecDelta;
+use simcpu::machine::{Machine, MachineConfig};
+use simcpu::units::{CpuId, MegaHertz, Nanos, Watts};
+use simcpu::workunit::WorkUnit;
+use std::collections::BTreeMap;
+
+/// One thread's execution during one tick: who ran, where, at which DVFS
+/// state, and what it retired. Exactly the information a per-process HPC
+/// sensor needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Owning process.
+    pub pid: Pid,
+    /// The thread that ran.
+    pub tid: Tid,
+    /// Logical CPU it ran on.
+    pub cpu: CpuId,
+    /// Requested (nominal) frequency of the hosting core during the slice.
+    pub frequency: MegaHertz,
+    /// Hardware events retired by this thread during the slice.
+    pub delta: ExecDelta,
+    /// Scheduling quantum length.
+    pub slice: Nanos,
+    /// CPU time actually consumed within the quantum.
+    pub busy: Nanos,
+}
+
+/// Everything that happened during one kernel tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelReport {
+    /// Per-thread execution records.
+    pub records: Vec<RunRecord>,
+    /// Average whole-machine power over the tick (ground truth; only the
+    /// power meter may look at this).
+    pub power: Watts,
+    /// Average package power over the tick (the RAPL view).
+    pub package_power: Watts,
+    /// Time at the end of the tick.
+    pub now: Nanos,
+}
+
+struct ThreadEntry {
+    pid: Pid,
+    behavior: Box<dyn TaskBehavior>,
+    stats: ThreadStats,
+}
+
+/// The simulated OS kernel.
+pub struct Kernel {
+    machine: Machine,
+    scheduler: Scheduler,
+    groups: BTreeMap<Pid, String>,
+    governor: Box<dyn CpufreqGovernor>,
+    idle: IdlePredictor,
+    accounting: Accounting,
+    threads: BTreeMap<Tid, ThreadEntry>,
+    processes: BTreeMap<Pid, Process>,
+    next_pid: u32,
+    next_tid: u32,
+}
+
+impl Kernel {
+    /// Boots a kernel on a fresh machine with the `ondemand` governor.
+    pub fn new(config: MachineConfig) -> Kernel {
+        let machine = Machine::new(config);
+        let cpus = machine.topology().logical_cpus();
+        let cores = machine.topology().physical_cores();
+        Kernel {
+            scheduler: Scheduler::new(cpus)
+                .with_smt(machine.topology().threads_per_core()),
+            groups: BTreeMap::new(),
+            governor: Box::new(Ondemand::new(cores)),
+            idle: IdlePredictor::new(cores),
+            accounting: Accounting::new(cpus),
+            threads: BTreeMap::new(),
+            processes: BTreeMap::new(),
+            next_pid: 100,
+            next_tid: 1000,
+            machine,
+        }
+    }
+
+    /// Read access to the machine (for meters and diagnostics).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// `/proc` accounting views.
+    pub fn accounting(&self) -> &Accounting {
+        &self.accounting
+    }
+
+    /// Replaces the cpufreq governor.
+    pub fn set_governor(&mut self, governor: Box<dyn CpufreqGovernor>) {
+        self.governor = governor;
+    }
+
+    /// Name of the active cpufreq governor.
+    pub fn governor_name(&self) -> &'static str {
+        self.governor.name()
+    }
+
+    /// Pins every core to a fixed frequency via the `userspace` governor —
+    /// how the learning pipeline samples each DVFS state in turn.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Machine`] when the frequency is not a nominal P-state.
+    pub fn pin_frequency(&mut self, f: MegaHertz) -> Result<()> {
+        // Validate eagerly against the machine.
+        for core in 0..self.machine.topology().physical_cores() {
+            self.machine.set_frequency(core, f)?;
+        }
+        self.governor = Box::new(crate::governor::Userspace::new(f));
+        Ok(())
+    }
+
+    /// Spawns a process inside a named control group (a cgroup/VM-style
+    /// container) — the unit the paper's §5 wants to attribute power to
+    /// next ("one of the suitable examples could be the virtual
+    /// machines"). Returns its pid.
+    pub fn spawn_in_group(
+        &mut self,
+        name: impl Into<String>,
+        group: impl Into<String>,
+        behaviors: Vec<Box<dyn TaskBehavior>>,
+    ) -> Pid {
+        let pid = self.spawn(name, behaviors);
+        self.groups.insert(pid, group.into());
+        pid
+    }
+
+    /// The control group a process belongs to, if any.
+    pub fn group_of(&self, pid: Pid) -> Option<&str> {
+        self.groups.get(&pid).map(String::as_str)
+    }
+
+    /// Pids of every live process in a group.
+    pub fn pids_in_group(&self, group: &str) -> Vec<Pid> {
+        self.processes
+            .values()
+            .filter(|p| {
+                p.state() == ProcessState::Alive
+                    && self.groups.get(&p.pid()).is_some_and(|g| g == group)
+            })
+            .map(|p| p.pid())
+            .collect()
+    }
+
+    /// Restricts a thread to a CPU set (`sched_setaffinity`).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NoSuchThread`] for unknown (or reaped) tids.
+    pub fn set_affinity(&mut self, tid: Tid, cpus: Option<Vec<usize>>) -> Result<()> {
+        if !self.threads.contains_key(&tid) {
+            return Err(Error::NoSuchThread(tid));
+        }
+        self.scheduler.set_affinity(tid, cpus);
+        Ok(())
+    }
+
+    /// Pins every thread of a process to a CPU set.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NoSuchProcess`] for unknown or exited pids.
+    pub fn pin_process(&mut self, pid: Pid, cpus: Vec<usize>) -> Result<()> {
+        let tids: Vec<Tid> = self
+            .processes
+            .get(&pid)
+            .filter(|p| p.state() == ProcessState::Alive)
+            .ok_or(Error::NoSuchProcess(pid))?
+            .threads()
+            .to_vec();
+        for tid in tids {
+            if self.threads.contains_key(&tid) {
+                self.scheduler.set_affinity(tid, Some(cpus.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Spawns a process with one thread per behaviour. Returns its pid.
+    pub fn spawn(&mut self, name: impl Into<String>, behaviors: Vec<Box<dyn TaskBehavior>>) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        let mut tids = Vec::with_capacity(behaviors.len());
+        for behavior in behaviors {
+            let tid = Tid(self.next_tid);
+            self.next_tid += 1;
+            self.scheduler.add(tid, 0);
+            self.threads.insert(
+                tid,
+                ThreadEntry {
+                    pid,
+                    behavior,
+                    stats: ThreadStats::new(),
+                },
+            );
+            tids.push(tid);
+        }
+        self.processes.insert(pid, Process::new(pid, name, tids));
+        pid
+    }
+
+    /// Terminates a process, reaping all of its threads.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NoSuchProcess`] when the pid is unknown or already exited.
+    pub fn kill(&mut self, pid: Pid) -> Result<()> {
+        let proc = self
+            .processes
+            .get_mut(&pid)
+            .filter(|p| p.state() == ProcessState::Alive)
+            .ok_or(Error::NoSuchProcess(pid))?;
+        proc.mark_exited();
+        let tids: Vec<Tid> = proc.threads().to_vec();
+        for tid in tids {
+            self.scheduler.remove(tid);
+            self.threads.remove(&tid);
+        }
+        Ok(())
+    }
+
+    /// Looks up a process record.
+    pub fn process(&self, pid: Pid) -> Option<&Process> {
+        self.processes.get(&pid)
+    }
+
+    /// Pids of all live processes.
+    pub fn live_pids(&self) -> Vec<Pid> {
+        self.processes
+            .values()
+            .filter(|p| p.state() == ProcessState::Alive)
+            .map(|p| p.pid())
+            .collect()
+    }
+
+    /// Scheduler statistics of a thread.
+    pub fn thread_stats(&self, tid: Tid) -> Option<&ThreadStats> {
+        self.threads.get(&tid).map(|t| &t.stats)
+    }
+
+    /// Advances the world by `dt`: schedule → govern → execute → account.
+    pub fn tick(&mut self, dt: Nanos) -> KernelReport {
+        let topo = self.machine.topology().clone();
+        let n_cpus = topo.logical_cpus();
+        let smt = topo.threads_per_core();
+        let now = self.machine.now();
+
+        // 1. Scheduling decisions.
+        let picks = self.scheduler.pick();
+        let mut work: Vec<Option<WorkUnit>> = vec![None; n_cpus];
+        let mut who: Vec<Option<Tid>> = vec![None; n_cpus];
+        let mut done: Vec<Tid> = Vec::new();
+        for (cpu, pick) in picks.into_iter().enumerate() {
+            let Some(tid) = pick else { continue };
+            let entry = self.threads.get_mut(&tid).expect("scheduler is in sync");
+            match entry.behavior.next_slice(now, dt) {
+                Slice::Run(w) => {
+                    work[cpu] = Some(w);
+                    who[cpu] = Some(tid);
+                }
+                Slice::Sleep => {
+                    // The slot idles this tick; charging the sleeper keeps
+                    // it from monopolizing future picks.
+                    self.scheduler.charge(tid, dt);
+                }
+                Slice::Done => done.push(tid),
+            }
+        }
+        for tid in done {
+            self.reap(tid);
+        }
+
+        // 2. Governors: frequency from last tick's utilization, C-state
+        // hint from the idle predictor.
+        for core in topo.cores() {
+            let c = core.as_usize();
+            let util = topo
+                .threads_of(core)
+                .iter()
+                .map(|t| self.machine.utilization(*t).unwrap_or(0.0))
+                .fold(0.0f64, f64::max);
+            let f = self
+                .governor
+                .select(c, util, self.machine.pstates());
+            self.machine
+                .set_frequency(c, f)
+                .expect("governor returned an unsupported frequency");
+            self.machine
+                .set_idle_hint(c, self.idle.predict(c))
+                .expect("core index in range");
+        }
+
+        // 3. Execute on the machine.
+        let assignment: Vec<Option<&WorkUnit>> = work.iter().map(|w| w.as_ref()).collect();
+        let report = self.machine.tick(&assignment, dt.as_u64());
+
+        // 4. Attribution + accounting.
+        let mut records = Vec::new();
+        let cpu_freqs: Vec<MegaHertz> = (0..n_cpus)
+            .map(|cpu| self.machine.frequency(cpu / smt))
+            .collect();
+        for cpu in 0..n_cpus {
+            let Some(tid) = who[cpu] else { continue };
+            let entry = self.threads.get_mut(&tid).expect("ran this tick");
+            let busy = Nanos(
+                (dt.as_u64() as f64 * work[cpu].as_ref().expect("ran").intensity()) as u64,
+            );
+            entry
+                .stats
+                .record_run(CpuId(cpu), dt, busy);
+            self.scheduler.charge(tid, dt);
+            self.accounting
+                .record_run(entry.pid, CpuId(cpu), cpu_freqs[cpu], dt, busy);
+            records.push(RunRecord {
+                pid: entry.pid,
+                tid,
+                cpu: CpuId(cpu),
+                frequency: cpu_freqs[cpu],
+                delta: report.deltas[cpu],
+                slice: dt,
+                busy,
+            });
+        }
+        self.accounting.tick(dt, &cpu_freqs);
+        for core in topo.cores() {
+            let c = core.as_usize();
+            let busy = topo
+                .threads_of(core)
+                .iter()
+                .any(|t| who[t.as_usize()].is_some());
+            self.idle.observe(c, busy, dt);
+        }
+
+        KernelReport {
+            records,
+            power: report.power,
+            package_power: report.package_power,
+            now: report.now,
+        }
+    }
+
+    /// Runs `n` ticks of length `dt`, returning the last report.
+    pub fn run(&mut self, n: usize, dt: Nanos) -> Option<KernelReport> {
+        let mut last = None;
+        for _ in 0..n {
+            last = Some(self.tick(dt));
+        }
+        last
+    }
+
+    fn reap(&mut self, tid: Tid) {
+        self.scheduler.remove(tid);
+        let Some(entry) = self.threads.remove(&tid) else {
+            return;
+        };
+        let pid = entry.pid;
+        let all_done = self
+            .processes
+            .get(&pid)
+            .map(|p| {
+                p.threads()
+                    .iter()
+                    .all(|t| *t == tid || !self.threads.contains_key(t))
+            })
+            .unwrap_or(false);
+        if all_done {
+            if let Some(p) = self.processes.get_mut(&pid) {
+                p.mark_exited();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("now", &self.machine.now())
+            .field("processes", &self.processes.len())
+            .field("threads", &self.threads.len())
+            .field("governor", &self.governor.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::governor::Performance;
+    use crate::task::{PeriodicTask, SteadyTask, TimedTask};
+    use simcpu::presets;
+
+    const MS: Nanos = Nanos(1_000_000);
+
+    #[test]
+    fn spawn_run_and_records() {
+        let mut k = Kernel::new(presets::intel_i3_2120());
+        let pid = k.spawn("stress", vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))]);
+        let r = k.tick(MS);
+        assert_eq!(r.records.len(), 1);
+        assert_eq!(r.records[0].pid, pid);
+        assert!(r.records[0].delta.instructions > 0);
+        assert_eq!(r.records[0].slice, MS);
+        assert_eq!(r.now, MS);
+        assert!(r.power.as_f64() > 30.0);
+    }
+
+    #[test]
+    fn ondemand_ramps_up_under_load() {
+        let mut k = Kernel::new(presets::intel_i3_2120());
+        assert_eq!(k.governor_name(), "ondemand");
+        k.spawn("stress", vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))]);
+        let first = k.tick(MS).records[0].frequency;
+        // After the first busy tick, ondemand sees 100 % and jumps to max.
+        k.tick(MS);
+        let later = k.tick(MS).records[0].frequency;
+        assert_eq!(first, MegaHertz(1600), "boots at min");
+        assert_eq!(later, MegaHertz(3300), "ramps to max under load");
+    }
+
+    #[test]
+    fn pin_frequency_switches_to_userspace() {
+        let mut k = Kernel::new(presets::intel_i3_2120());
+        k.pin_frequency(MegaHertz(2400)).unwrap();
+        assert_eq!(k.governor_name(), "userspace");
+        k.spawn("stress", vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))]);
+        for _ in 0..5 {
+            let r = k.tick(MS);
+            assert_eq!(r.records[0].frequency, MegaHertz(2400));
+        }
+        assert!(k.pin_frequency(MegaHertz(1234)).is_err());
+    }
+
+    #[test]
+    fn multi_thread_process_spreads_over_cpus() {
+        let mut k = Kernel::new(presets::intel_i3_2120());
+        let w = WorkUnit::cpu_intensive(1.0);
+        let pid = k.spawn(
+            "jbb",
+            (0..4).map(|_| SteadyTask::boxed(w)).collect(),
+        );
+        let r = k.tick(MS);
+        assert_eq!(r.records.len(), 4, "4 threads on 4 logical cpus");
+        let cpus: std::collections::BTreeSet<_> = r.records.iter().map(|x| x.cpu).collect();
+        assert_eq!(cpus.len(), 4, "each on a distinct cpu");
+        assert!(r.records.iter().all(|x| x.pid == pid));
+    }
+
+    #[test]
+    fn timed_task_finishes_and_process_exits() {
+        let mut k = Kernel::new(presets::intel_i3_2120());
+        let pid = k.spawn(
+            "burst",
+            vec![TimedTask::boxed(WorkUnit::cpu_intensive(1.0), Nanos(3_000_000))],
+        );
+        for _ in 0..6 {
+            k.tick(MS);
+        }
+        assert_eq!(k.process(pid).unwrap().state(), ProcessState::Exited);
+        assert!(k.live_pids().is_empty());
+        let r = k.tick(MS);
+        assert!(r.records.is_empty());
+    }
+
+    #[test]
+    fn kill_stops_scheduling() {
+        let mut k = Kernel::new(presets::intel_i3_2120());
+        let pid = k.spawn("victim", vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))]);
+        k.tick(MS);
+        k.kill(pid).unwrap();
+        let r = k.tick(MS);
+        assert!(r.records.is_empty());
+        assert!(matches!(k.kill(pid), Err(Error::NoSuchProcess(_))));
+        assert!(matches!(k.kill(Pid(9999)), Err(Error::NoSuchProcess(_))));
+    }
+
+    #[test]
+    fn periodic_task_produces_idle_gaps() {
+        let mut k = Kernel::new(presets::intel_i3_2120());
+        k.spawn(
+            "bursty",
+            vec![PeriodicTask::boxed(
+                WorkUnit::cpu_intensive(1.0),
+                Nanos(10_000_000),
+                0.5,
+            )],
+        );
+        let mut busy_ticks = 0;
+        for _ in 0..20 {
+            if !k.tick(MS).records.is_empty() {
+                busy_ticks += 1;
+            }
+        }
+        assert!((8..=12).contains(&busy_ticks), "≈50 % duty: {busy_ticks}");
+    }
+
+    #[test]
+    fn accounting_integrates_with_ticks() {
+        let mut k = Kernel::new(presets::intel_i3_2120());
+        k.set_governor(Box::new(Performance));
+        let pid = k.spawn("acct", vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))]);
+        k.run(10, MS);
+        let t = k.accounting().process(pid).unwrap();
+        assert_eq!(t.utime, Nanos(10_000_000));
+        // All busy time at the performance governor's max frequency.
+        assert_eq!(t.utime_per_freq[&MegaHertz(3300)], Nanos(10_000_000));
+        assert_eq!(k.accounting().uptime(), Nanos(10_000_000));
+    }
+
+    #[test]
+    fn thread_stats_reachable() {
+        let mut k = Kernel::new(presets::intel_i3_2120());
+        let pid = k.spawn("s", vec![SteadyTask::boxed(WorkUnit::cpu_intensive(0.5))]);
+        k.tick(MS);
+        let tid = k.process(pid).unwrap().threads()[0];
+        let stats = k.thread_stats(tid).unwrap();
+        assert_eq!(stats.sched_time, MS);
+        assert_eq!(stats.utime, Nanos(500_000));
+        assert!(k.thread_stats(Tid(1)).is_none());
+    }
+
+    #[test]
+    fn debug_shows_state() {
+        let k = Kernel::new(presets::intel_i3_2120());
+        let s = format!("{k:?}");
+        assert!(s.contains("Kernel"));
+        assert!(s.contains("ondemand"));
+    }
+}
+
+#[cfg(test)]
+mod group_affinity_tests {
+    use super::*;
+    use crate::task::SteadyTask;
+    use simcpu::presets;
+
+    const MS: Nanos = Nanos(1_000_000);
+
+    #[test]
+    fn groups_track_membership_and_lifecycle() {
+        let mut k = Kernel::new(presets::intel_i3_2120());
+        let w = WorkUnit::cpu_intensive(0.5);
+        let a = k.spawn_in_group("db", "vm-alpha", vec![SteadyTask::boxed(w)]);
+        let b = k.spawn_in_group("web", "vm-alpha", vec![SteadyTask::boxed(w)]);
+        let c = k.spawn_in_group("batch", "vm-beta", vec![SteadyTask::boxed(w)]);
+        let loose = k.spawn("loose", vec![SteadyTask::boxed(w)]);
+
+        assert_eq!(k.group_of(a), Some("vm-alpha"));
+        assert_eq!(k.group_of(loose), None);
+        let mut alpha = k.pids_in_group("vm-alpha");
+        alpha.sort();
+        assert_eq!(alpha, vec![a, b]);
+        assert_eq!(k.pids_in_group("vm-beta"), vec![c]);
+        assert!(k.pids_in_group("vm-gamma").is_empty());
+
+        k.kill(b).unwrap();
+        assert_eq!(k.pids_in_group("vm-alpha"), vec![a], "dead pids drop out");
+    }
+
+    #[test]
+    fn pinned_process_stays_on_its_cpus() {
+        let mut k = Kernel::new(presets::intel_i3_2120());
+        let w = WorkUnit::cpu_intensive(1.0);
+        let pid = k.spawn("pinned", vec![SteadyTask::boxed(w), SteadyTask::boxed(w)]);
+        k.pin_process(pid, vec![2, 3]).unwrap();
+        for _ in 0..50 {
+            let r = k.tick(MS);
+            for rec in &r.records {
+                assert!(
+                    rec.cpu.as_usize() >= 2,
+                    "pinned thread ran on {}",
+                    rec.cpu
+                );
+            }
+        }
+        assert!(matches!(
+            k.pin_process(Pid(9999), vec![0]),
+            Err(Error::NoSuchProcess(_))
+        ));
+    }
+
+    #[test]
+    fn set_affinity_validates_tid() {
+        let mut k = Kernel::new(presets::intel_i3_2120());
+        assert!(matches!(
+            k.set_affinity(Tid(1), None),
+            Err(Error::NoSuchThread(_))
+        ));
+        let pid = k.spawn(
+            "p",
+            vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))],
+        );
+        let tid = k.process(pid).unwrap().threads()[0];
+        assert!(k.set_affinity(tid, Some(vec![1])).is_ok());
+        let r = k.tick(MS);
+        assert_eq!(r.records[0].cpu.as_usize(), 1);
+    }
+}

@@ -1,0 +1,41 @@
+//! # os-sim
+//!
+//! A simulated operating-system kernel over a [`simcpu::Machine`]:
+//! processes and threads, a weighted-fair scheduler with per-CPU runqueues
+//! and idle stealing, cpufreq governors (`performance`, `powersave`,
+//! `ondemand`, `userspace`), a menu-style cpuidle governor, and
+//! `/proc`-style accounting (per-process CPU time, per-CPU
+//! `time_in_state`).
+//!
+//! PowerAPI needs exactly this substrate: its sensors attribute hardware
+//! events to *processes*, and its per-frequency power model needs to know
+//! which DVFS state each core was in while those events retired.
+//!
+//! ```
+//! use os_sim::kernel::Kernel;
+//! use os_sim::task::SteadyTask;
+//! use simcpu::presets;
+//! use simcpu::workunit::WorkUnit;
+//!
+//! let mut kernel = Kernel::new(presets::intel_i3_2120());
+//! let pid = kernel.spawn("worker", vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))]);
+//! let report = kernel.tick(simcpu::Nanos::from_millis(10));
+//! assert!(report.records.iter().any(|r| r.pid == pid));
+//! ```
+
+pub mod governor;
+pub mod idle;
+pub mod kernel;
+pub mod process;
+pub mod procfs;
+pub mod scheduler;
+pub mod task;
+
+mod error;
+
+pub use error::Error;
+pub use kernel::{Kernel, KernelReport, RunRecord};
+pub use process::{Pid, Tid};
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,160 @@
+//! Processes and threads. A process is a named group of threads; threads
+//! carry the schedulable behaviour and the accounting.
+
+use simcpu::units::{CpuId, Nanos};
+use std::fmt;
+
+/// Process identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub u32);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid {}", self.0)
+    }
+}
+
+/// Thread identifier (kernel-global, like Linux tids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tid(pub u32);
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tid {}", self.0)
+    }
+}
+
+/// Lifecycle state of a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcessState {
+    /// Has at least one live thread.
+    Alive,
+    /// All threads finished or the process was killed.
+    Exited,
+}
+
+/// Kernel bookkeeping for one process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Process {
+    pid: Pid,
+    name: String,
+    threads: Vec<Tid>,
+    state: ProcessState,
+}
+
+impl Process {
+    /// Creates a live process record.
+    pub fn new(pid: Pid, name: impl Into<String>, threads: Vec<Tid>) -> Process {
+        Process {
+            pid,
+            name: name.into(),
+            threads,
+            state: ProcessState::Alive,
+        }
+    }
+
+    /// The process id.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// The command name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Thread ids belonging to this process.
+    pub fn threads(&self) -> &[Tid] {
+        &self.threads
+    }
+
+    /// Lifecycle state.
+    pub fn state(&self) -> ProcessState {
+        self.state
+    }
+
+    /// Marks the process exited.
+    pub fn mark_exited(&mut self) {
+        self.state = ProcessState::Exited;
+    }
+}
+
+/// Per-thread accounting the scheduler and `/proc` maintain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadStats {
+    /// CPU time actually consumed (scaled by workload duty cycle).
+    pub utime: Nanos,
+    /// Time the thread was scheduled on a CPU (wall slice time).
+    pub sched_time: Nanos,
+    /// The CPU the thread last ran on.
+    pub last_cpu: Option<CpuId>,
+    /// Number of times the thread was migrated between CPUs.
+    pub migrations: u64,
+}
+
+impl ThreadStats {
+    /// Zeroed stats.
+    pub fn new() -> ThreadStats {
+        ThreadStats {
+            utime: Nanos::ZERO,
+            sched_time: Nanos::ZERO,
+            last_cpu: None,
+            migrations: 0,
+        }
+    }
+
+    /// Records a slice run on `cpu` that consumed `busy` of `slice` time.
+    pub fn record_run(&mut self, cpu: CpuId, slice: Nanos, busy: Nanos) {
+        if let Some(prev) = self.last_cpu {
+            if prev != cpu {
+                self.migrations += 1;
+            }
+        }
+        self.last_cpu = Some(cpu);
+        self.sched_time += slice;
+        self.utime += busy;
+    }
+}
+
+impl Default for ThreadStats {
+    fn default() -> ThreadStats {
+        ThreadStats::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_lifecycle() {
+        let mut p = Process::new(Pid(10), "jbb", vec![Tid(1), Tid(2)]);
+        assert_eq!(p.pid(), Pid(10));
+        assert_eq!(p.name(), "jbb");
+        assert_eq!(p.threads().len(), 2);
+        assert_eq!(p.state(), ProcessState::Alive);
+        p.mark_exited();
+        assert_eq!(p.state(), ProcessState::Exited);
+    }
+
+    #[test]
+    fn thread_stats_track_migrations() {
+        let mut s = ThreadStats::new();
+        assert_eq!(s.migrations, 0);
+        s.record_run(CpuId(0), Nanos(100), Nanos(80));
+        assert_eq!(s.migrations, 0, "first placement is not a migration");
+        s.record_run(CpuId(0), Nanos(100), Nanos(100));
+        assert_eq!(s.migrations, 0);
+        s.record_run(CpuId(2), Nanos(100), Nanos(50));
+        assert_eq!(s.migrations, 1);
+        assert_eq!(s.utime, Nanos(230));
+        assert_eq!(s.sched_time, Nanos(300));
+        assert_eq!(s.last_cpu, Some(CpuId(2)));
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(Pid(7).to_string(), "pid 7");
+        assert_eq!(Tid(9).to_string(), "tid 9");
+    }
+}

@@ -1,0 +1,202 @@
+//! `/proc`-style accounting: per-process CPU time (what a CPU-load sensor
+//! reads), per-CPU DVFS residency (`time_in_state`, what a per-frequency
+//! power formula weights by), and machine uptime.
+
+use crate::process::Pid;
+use simcpu::units::{CpuId, MegaHertz, Nanos};
+use std::collections::BTreeMap;
+
+/// Cumulative per-process times.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProcessTimes {
+    /// CPU time actually consumed across all threads.
+    pub utime: Nanos,
+    /// Wall time the process's threads were scheduled on CPUs.
+    pub sched_time: Nanos,
+    /// CPU time split by the frequency the hosting core ran at.
+    pub utime_per_freq: BTreeMap<MegaHertz, Nanos>,
+}
+
+/// The accounting store the kernel updates every tick.
+#[derive(Debug, Clone)]
+pub struct Accounting {
+    uptime: Nanos,
+    cpu_busy: Vec<Nanos>,
+    time_in_state: Vec<BTreeMap<MegaHertz, Nanos>>,
+    processes: BTreeMap<Pid, ProcessTimes>,
+    loadavg_1m: f64,
+    interval_busy: Nanos,
+}
+
+impl Accounting {
+    /// Creates accounting for `cpus` logical CPUs.
+    pub fn new(cpus: usize) -> Accounting {
+        Accounting {
+            uptime: Nanos::ZERO,
+            cpu_busy: vec![Nanos::ZERO; cpus],
+            time_in_state: vec![BTreeMap::new(); cpus],
+            processes: BTreeMap::new(),
+            loadavg_1m: 0.0,
+            interval_busy: Nanos::ZERO,
+        }
+    }
+
+    /// Advances uptime and records each CPU's DVFS state for the slice.
+    pub fn tick(&mut self, dt: Nanos, cpu_freqs: &[MegaHertz]) {
+        self.uptime += dt;
+        for (cpu, &f) in cpu_freqs.iter().enumerate() {
+            if cpu < self.time_in_state.len() {
+                *self.time_in_state[cpu].entry(f).or_insert(Nanos::ZERO) += dt;
+            }
+        }
+        // Exponentially-decayed 1-minute load average over the busy
+        // CPU-time recorded since the previous tick (`/proc/loadavg`
+        // style, with dt-exact decay instead of 5 s sampling).
+        if dt > Nanos::ZERO {
+            let instantaneous =
+                self.interval_busy.as_secs_f64() / dt.as_secs_f64();
+            let alpha = (-dt.as_secs_f64() / 60.0).exp();
+            self.loadavg_1m = self.loadavg_1m * alpha + instantaneous * (1.0 - alpha);
+            self.interval_busy = Nanos::ZERO;
+        }
+    }
+
+    /// The exponentially-decayed 1-minute load average (busy CPUs).
+    pub fn loadavg_1m(&self) -> f64 {
+        self.loadavg_1m
+    }
+
+    /// Records a thread of `pid` running on `cpu` at `freq`, consuming
+    /// `busy` out of a `slice`-long quantum.
+    pub fn record_run(&mut self, pid: Pid, cpu: CpuId, freq: MegaHertz, slice: Nanos, busy: Nanos) {
+        if let Some(b) = self.cpu_busy.get_mut(cpu.as_usize()) {
+            *b += busy;
+        }
+        self.interval_busy += busy;
+        let times = self.processes.entry(pid).or_default();
+        times.utime += busy;
+        times.sched_time += slice;
+        *times.utime_per_freq.entry(freq).or_insert(Nanos::ZERO) += busy;
+    }
+
+    /// Machine uptime.
+    pub fn uptime(&self) -> Nanos {
+        self.uptime
+    }
+
+    /// Cumulative busy time of one CPU (0 for unknown CPUs).
+    pub fn cpu_busy(&self, cpu: CpuId) -> Nanos {
+        self.cpu_busy
+            .get(cpu.as_usize())
+            .copied()
+            .unwrap_or(Nanos::ZERO)
+    }
+
+    /// Overall CPU utilization since boot, in `[0, 1]`.
+    pub fn global_utilization(&self) -> f64 {
+        if self.uptime == Nanos::ZERO || self.cpu_busy.is_empty() {
+            return 0.0;
+        }
+        let busy: u64 = self.cpu_busy.iter().map(|b| b.as_u64()).sum();
+        busy as f64 / (self.uptime.as_u64() as f64 * self.cpu_busy.len() as f64)
+    }
+
+    /// `time_in_state` of one CPU: cumulative residency per frequency.
+    pub fn time_in_state(&self, cpu: CpuId) -> Option<&BTreeMap<MegaHertz, Nanos>> {
+        self.time_in_state.get(cpu.as_usize())
+    }
+
+    /// Per-process cumulative times (`None` for never-scheduled pids).
+    pub fn process(&self, pid: Pid) -> Option<&ProcessTimes> {
+        self.processes.get(&pid)
+    }
+
+    /// Every accounted process id.
+    pub fn pids(&self) -> impl Iterator<Item = Pid> + '_ {
+        self.processes.keys().copied()
+    }
+
+    /// Drops a process's records (after reaping).
+    pub fn forget(&mut self, pid: Pid) {
+        self.processes.remove(&pid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: Nanos = Nanos(1_000_000);
+
+    #[test]
+    fn uptime_and_time_in_state() {
+        let mut a = Accounting::new(2);
+        a.tick(MS, &[MegaHertz(1600), MegaHertz(3300)]);
+        a.tick(MS, &[MegaHertz(3300), MegaHertz(3300)]);
+        assert_eq!(a.uptime(), Nanos(2_000_000));
+        let t0 = a.time_in_state(CpuId(0)).unwrap();
+        assert_eq!(t0[&MegaHertz(1600)], MS);
+        assert_eq!(t0[&MegaHertz(3300)], MS);
+        let t1 = a.time_in_state(CpuId(1)).unwrap();
+        assert_eq!(t1[&MegaHertz(3300)], Nanos(2_000_000));
+        assert!(a.time_in_state(CpuId(5)).is_none());
+    }
+
+    #[test]
+    fn process_times_accumulate_per_frequency() {
+        let mut a = Accounting::new(2);
+        let pid = Pid(100);
+        a.record_run(pid, CpuId(0), MegaHertz(1600), MS, Nanos(800_000));
+        a.record_run(pid, CpuId(1), MegaHertz(3300), MS, MS);
+        let t = a.process(pid).unwrap();
+        assert_eq!(t.utime, Nanos(1_800_000));
+        assert_eq!(t.sched_time, Nanos(2_000_000));
+        assert_eq!(t.utime_per_freq[&MegaHertz(1600)], Nanos(800_000));
+        assert_eq!(t.utime_per_freq[&MegaHertz(3300)], MS);
+        assert!(a.process(Pid(999)).is_none());
+    }
+
+    #[test]
+    fn global_utilization_bounds() {
+        let mut a = Accounting::new(2);
+        assert_eq!(a.global_utilization(), 0.0);
+        a.tick(MS, &[MegaHertz(1600), MegaHertz(1600)]);
+        a.record_run(Pid(1), CpuId(0), MegaHertz(1600), MS, MS);
+        // 1 of 2 cpu-ms busy = 50 %.
+        assert!((a.global_utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forget_drops_process() {
+        let mut a = Accounting::new(1);
+        a.record_run(Pid(1), CpuId(0), MegaHertz(1600), MS, MS);
+        assert_eq!(a.pids().count(), 1);
+        a.forget(Pid(1));
+        assert_eq!(a.pids().count(), 0);
+    }
+
+    #[test]
+    fn loadavg_converges_to_busy_cpus() {
+        let mut a = Accounting::new(4);
+        // 3 of 4 CPUs busy for 5 simulated minutes.
+        for _ in 0..300 {
+            for cpu in 0..3 {
+                a.record_run(Pid(1), CpuId(cpu), MegaHertz(3300), Nanos::from_secs(1), Nanos::from_secs(1));
+            }
+            a.tick(Nanos::from_secs(1), &[MegaHertz(3300); 4]);
+        }
+        assert!((a.loadavg_1m() - 3.0).abs() < 0.05, "{}", a.loadavg_1m());
+        // Load decays once the machine goes idle.
+        for _ in 0..60 {
+            a.tick(Nanos::from_secs(1), &[MegaHertz(3300); 4]);
+        }
+        assert!(a.loadavg_1m() < 1.2, "decayed to {}", a.loadavg_1m());
+        assert!(a.loadavg_1m() > 0.5, "but not instantly: {}", a.loadavg_1m());
+    }
+
+    #[test]
+    fn cpu_busy_out_of_range_is_zero() {
+        let a = Accounting::new(1);
+        assert_eq!(a.cpu_busy(CpuId(9)), Nanos::ZERO);
+    }
+}

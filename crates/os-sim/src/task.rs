@@ -1,0 +1,262 @@
+//! Schedulable behaviours. A [`TaskBehavior`] tells the kernel, tick by
+//! tick, what instruction stream its thread wants to execute next — or
+//! that it is sleeping, or finished. The `workloads` crate builds rich
+//! multi-phase applications out of this trait.
+
+use simcpu::units::Nanos;
+use simcpu::workunit::WorkUnit;
+
+/// What a thread wants to do during the next slice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Slice {
+    /// Execute this work.
+    Run(WorkUnit),
+    /// Block (sleep/IO wait) for this slice.
+    Sleep,
+    /// The thread has finished and should be reaped.
+    Done,
+}
+
+/// A thread's behaviour over time. Implementations must be `Send` so the
+/// actor middleware can host kernels on worker threads.
+pub trait TaskBehavior: Send {
+    /// Called once per scheduling decision: what should the thread do for
+    /// the slice starting at `now` and lasting (at most) `dt`?
+    fn next_slice(&mut self, now: Nanos, dt: Nanos) -> Slice;
+
+    /// Human-readable label for diagnostics.
+    fn label(&self) -> &str {
+        "task"
+    }
+}
+
+/// Runs one fixed work unit forever.
+#[derive(Debug, Clone)]
+pub struct SteadyTask {
+    work: WorkUnit,
+}
+
+impl SteadyTask {
+    /// Creates the task.
+    pub fn new(work: WorkUnit) -> SteadyTask {
+        SteadyTask { work }
+    }
+
+    /// Creates the task already boxed for [`Kernel::spawn`].
+    ///
+    /// [`Kernel::spawn`]: crate::kernel::Kernel::spawn
+    pub fn boxed(work: WorkUnit) -> Box<dyn TaskBehavior> {
+        Box::new(SteadyTask::new(work))
+    }
+}
+
+impl TaskBehavior for SteadyTask {
+    fn next_slice(&mut self, _now: Nanos, _dt: Nanos) -> Slice {
+        Slice::Run(self.work)
+    }
+
+    fn label(&self) -> &str {
+        "steady"
+    }
+}
+
+/// Runs a fixed work unit for a set duration, then finishes.
+#[derive(Debug, Clone)]
+pub struct TimedTask {
+    work: WorkUnit,
+    remaining: Nanos,
+}
+
+impl TimedTask {
+    /// Creates a task that runs for `duration` of scheduled time.
+    pub fn new(work: WorkUnit, duration: Nanos) -> TimedTask {
+        TimedTask {
+            work,
+            remaining: duration,
+        }
+    }
+
+    /// Boxed convenience constructor.
+    pub fn boxed(work: WorkUnit, duration: Nanos) -> Box<dyn TaskBehavior> {
+        Box::new(TimedTask::new(work, duration))
+    }
+}
+
+impl TaskBehavior for TimedTask {
+    fn next_slice(&mut self, _now: Nanos, dt: Nanos) -> Slice {
+        if self.remaining == Nanos::ZERO {
+            return Slice::Done;
+        }
+        self.remaining = self.remaining.saturating_sub(dt);
+        Slice::Run(self.work)
+    }
+
+    fn label(&self) -> &str {
+        "timed"
+    }
+}
+
+/// Alternates between running and sleeping with a fixed period and duty
+/// cycle — a bursty/interactive thread.
+#[derive(Debug, Clone)]
+pub struct PeriodicTask {
+    work: WorkUnit,
+    period: Nanos,
+    duty: f64,
+}
+
+impl PeriodicTask {
+    /// Creates a task that runs the first `duty` (0..=1, clamped) of every
+    /// `period` and sleeps the rest.
+    pub fn new(work: WorkUnit, period: Nanos, duty: f64) -> PeriodicTask {
+        PeriodicTask {
+            work,
+            period: if period == Nanos::ZERO { Nanos(1) } else { period },
+            duty: duty.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Boxed convenience constructor.
+    pub fn boxed(work: WorkUnit, period: Nanos, duty: f64) -> Box<dyn TaskBehavior> {
+        Box::new(PeriodicTask::new(work, period, duty))
+    }
+}
+
+impl TaskBehavior for PeriodicTask {
+    fn next_slice(&mut self, now: Nanos, _dt: Nanos) -> Slice {
+        let phase = (now.as_u64() % self.period.as_u64()) as f64 / self.period.as_u64() as f64;
+        if phase < self.duty {
+            Slice::Run(self.work)
+        } else {
+            Slice::Sleep
+        }
+    }
+
+    fn label(&self) -> &str {
+        "periodic"
+    }
+}
+
+/// Drives a task from a closure — the escape hatch the workload crate uses
+/// for scripted, phase-varying applications.
+pub struct FnTask<F> {
+    f: F,
+    label: String,
+}
+
+impl<F> FnTask<F>
+where
+    F: FnMut(Nanos, Nanos) -> Slice + Send + 'static,
+{
+    /// Wraps a closure.
+    pub fn new(label: impl Into<String>, f: F) -> FnTask<F> {
+        FnTask {
+            f,
+            label: label.into(),
+        }
+    }
+
+    /// Boxed convenience constructor.
+    pub fn boxed(label: impl Into<String>, f: F) -> Box<dyn TaskBehavior> {
+        Box::new(FnTask::new(label, f))
+    }
+}
+
+impl<F> TaskBehavior for FnTask<F>
+where
+    F: FnMut(Nanos, Nanos) -> Slice + Send + 'static,
+{
+    fn next_slice(&mut self, now: Nanos, dt: Nanos) -> Slice {
+        (self.f)(now, dt)
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl<F> std::fmt::Debug for FnTask<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnTask").field("label", &self.label).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: Nanos = Nanos(1_000_000);
+
+    #[test]
+    fn steady_never_stops() {
+        let mut t = SteadyTask::new(WorkUnit::cpu_intensive(1.0));
+        for i in 0..100 {
+            assert!(matches!(t.next_slice(Nanos(i), MS), Slice::Run(_)));
+        }
+        assert_eq!(t.label(), "steady");
+    }
+
+    #[test]
+    fn timed_finishes_after_duration() {
+        let mut t = TimedTask::new(WorkUnit::cpu_intensive(1.0), Nanos(2_500_000));
+        assert!(matches!(t.next_slice(Nanos::ZERO, MS), Slice::Run(_)));
+        assert!(matches!(t.next_slice(MS, MS), Slice::Run(_)));
+        assert!(matches!(t.next_slice(Nanos(2_000_000), MS), Slice::Run(_)));
+        assert_eq!(t.next_slice(Nanos(3_000_000), MS), Slice::Done);
+        assert_eq!(t.next_slice(Nanos(4_000_000), MS), Slice::Done);
+    }
+
+    #[test]
+    fn periodic_respects_duty_cycle() {
+        let period = Nanos(10_000_000);
+        let mut t = PeriodicTask::new(WorkUnit::cpu_intensive(1.0), period, 0.3);
+        let mut running = 0;
+        for i in 0..10 {
+            let now = Nanos(i * 1_000_000);
+            if matches!(t.next_slice(now, MS), Slice::Run(_)) {
+                running += 1;
+            }
+        }
+        assert_eq!(running, 3, "30 % duty over a 10-slice period");
+    }
+
+    #[test]
+    fn periodic_duty_extremes() {
+        let p = Nanos(1_000_000);
+        let mut always = PeriodicTask::new(WorkUnit::cpu_intensive(1.0), p, 2.0);
+        assert!(matches!(always.next_slice(Nanos(999_999), p), Slice::Run(_)));
+        let mut never = PeriodicTask::new(WorkUnit::cpu_intensive(1.0), p, 0.0);
+        assert_eq!(never.next_slice(Nanos::ZERO, p), Slice::Sleep);
+    }
+
+    #[test]
+    fn fn_task_drives_from_closure() {
+        let mut calls = 0u32;
+        let mut t = FnTask::new("scripted", move |_, _| {
+            calls += 1;
+            if calls > 2 {
+                Slice::Done
+            } else {
+                Slice::Sleep
+            }
+        });
+        assert_eq!(t.label(), "scripted");
+        assert_eq!(t.next_slice(Nanos::ZERO, MS), Slice::Sleep);
+        assert_eq!(t.next_slice(Nanos::ZERO, MS), Slice::Sleep);
+        assert_eq!(t.next_slice(Nanos::ZERO, MS), Slice::Done);
+        assert!(format!("{t:?}").contains("scripted"));
+    }
+
+    #[test]
+    fn behaviors_are_boxable_and_send() {
+        fn assert_send<T: Send + ?Sized>() {}
+        assert_send::<dyn TaskBehavior>();
+        let boxed: Vec<Box<dyn TaskBehavior>> = vec![
+            SteadyTask::boxed(WorkUnit::cpu_intensive(0.5)),
+            TimedTask::boxed(WorkUnit::cpu_intensive(0.5), MS),
+            PeriodicTask::boxed(WorkUnit::cpu_intensive(0.5), MS, 0.5),
+            FnTask::boxed("f", |_, _| Slice::Done),
+        ];
+        assert_eq!(boxed.len(), 4);
+    }
+}

@@ -1,0 +1,85 @@
+//! Event descriptors: the generic hardware events of
+//! `perf_event_open(2)`, the L1-data cache pair, and raw
+//! architecture-specific encodings.
+
+use simcpu::counters::HwCounter;
+use std::fmt;
+
+/// A perf event as user space selects it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Event {
+    /// A generic (portable) hardware event.
+    Hardware(HwCounter),
+    /// A raw, architecture-specific encoding (like `perf -e rNNNN`). The
+    /// simulated PMU maps known codes onto the counters it implements.
+    Raw(u64),
+}
+
+impl Event {
+    /// The underlying machine counter this event observes.
+    ///
+    /// Raw events use the vendor encoding registered in [`crate::pfm`];
+    /// unknown raw codes observe nothing and always read zero (like
+    /// programming a bogus event on real hardware).
+    pub fn counter(&self) -> Option<HwCounter> {
+        match self {
+            Event::Hardware(c) => Some(*c),
+            Event::Raw(code) => crate::pfm::raw_code_target(*code),
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Hardware(c) => f.write_str(c.name()),
+            Event::Raw(code) => write!(f, "r{code:x}"),
+        }
+    }
+}
+
+impl From<HwCounter> for Event {
+    fn from(c: HwCounter) -> Event {
+        Event::Hardware(c)
+    }
+}
+
+/// The three generic counters the paper selects for its power model
+/// (§3: "the counters instructions, cache-references, cache-misses as the
+/// ones which are the most correlated with the power consumption").
+pub const PAPER_EVENTS: [Event; 3] = [
+    Event::Hardware(HwCounter::Instructions),
+    Event::Hardware(HwCounter::CacheReferences),
+    Event::Hardware(HwCounter::CacheMisses),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hardware_event_maps_to_counter() {
+        let e = Event::Hardware(HwCounter::Instructions);
+        assert_eq!(e.counter(), Some(HwCounter::Instructions));
+        assert_eq!(e.to_string(), "instructions");
+    }
+
+    #[test]
+    fn from_counter() {
+        let e: Event = HwCounter::CacheMisses.into();
+        assert_eq!(e, Event::Hardware(HwCounter::CacheMisses));
+    }
+
+    #[test]
+    fn unknown_raw_maps_to_nothing() {
+        let e = Event::Raw(0xdead_beef);
+        assert_eq!(e.counter(), None);
+        assert_eq!(e.to_string(), "rdeadbeef");
+    }
+
+    #[test]
+    fn paper_events_are_the_published_triple() {
+        let names: Vec<String> = PAPER_EVENTS.iter().map(|e| e.to_string()).collect();
+        assert_eq!(names, ["instructions", "cache-references", "cache-misses"]);
+    }
+}

@@ -1,0 +1,283 @@
+//! libpfm4-style event-name resolution with per-architecture availability.
+//!
+//! Real HPC stacks face exactly the portability problem the paper
+//! describes: every vendor/generation exposes a different event set under
+//! different names, and only a small *generic* subset is portable. `Pfm`
+//! models that — generic names resolve everywhere, vendor-specific names
+//! resolve only on matching architectures, and some generic events are
+//! missing on older PMUs.
+
+use crate::events::Event;
+use crate::{Error, Result};
+use simcpu::counters::HwCounter;
+use simcpu::machine::MachineConfig;
+
+/// Processor microarchitecture class, derived from the machine config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Arch {
+    /// Intel Sandy Bridge generation and later (i3-2120, Xeon sims):
+    /// full generic event set, RAPL available.
+    IntelSandyBridge,
+    /// Intel Core 2 generation: no stalled-cycle events, no RAPL.
+    IntelCore2,
+    /// AMD family 15h-ish: full generic set, different raw encodings,
+    /// no RAPL.
+    Amd15h,
+}
+
+impl Arch {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Arch::IntelSandyBridge => "Intel Sandy Bridge",
+            Arch::IntelCore2 => "Intel Core 2",
+            Arch::Amd15h => "AMD Family 15h",
+        }
+    }
+
+    /// Whether the architecture exposes RAPL energy MSRs — the
+    /// "architecture dependent and limited to few architectures" caveat
+    /// the paper raises about RAPL.
+    pub fn has_rapl(self) -> bool {
+        matches!(self, Arch::IntelSandyBridge)
+    }
+
+    /// Whether this PMU implements a generic event. Core 2's PMU predates
+    /// the stalled-cycles events and `ref-cycles`.
+    pub fn supports(self, counter: HwCounter) -> bool {
+        match self {
+            Arch::IntelSandyBridge | Arch::Amd15h => true,
+            Arch::IntelCore2 => !matches!(
+                counter,
+                HwCounter::StalledCyclesFrontend
+                    | HwCounter::StalledCyclesBackend
+                    | HwCounter::RefCycles
+            ),
+        }
+    }
+}
+
+/// Maps a raw vendor event code to the machine counter it observes.
+/// Unknown codes observe nothing.
+pub fn raw_code_target(code: u64) -> Option<HwCounter> {
+    match code {
+        // Intel-style encodings (event | umask<<8).
+        0x00c0 => Some(HwCounter::Instructions),
+        0x003c => Some(HwCounter::Cycles),
+        0x4f2e => Some(HwCounter::CacheReferences), // LONGEST_LAT_CACHE.REFERENCE
+        0x412e => Some(HwCounter::CacheMisses),     // LONGEST_LAT_CACHE.MISS
+        0x00c4 => Some(HwCounter::BranchInstructions),
+        0x00c5 => Some(HwCounter::BranchMisses),
+        // AMD-style encodings.
+        0x00c1 => Some(HwCounter::Instructions),
+        0x0076 => Some(HwCounter::Cycles),
+        _ => None,
+    }
+}
+
+/// The resolver: a table of names valid for one architecture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pfm {
+    arch: Arch,
+}
+
+impl Pfm {
+    /// Creates a resolver for an explicit architecture.
+    pub fn new(arch: Arch) -> Pfm {
+        Pfm { arch }
+    }
+
+    /// Derives the architecture from a simulated machine's identity
+    /// strings (the way libpfm4 sniffs `/proc/cpuinfo`).
+    pub fn for_machine(config: &MachineConfig) -> Pfm {
+        let arch = match (config.vendor.as_str(), config.family.as_str()) {
+            ("Intel", f) if f.contains("Core 2") => Arch::IntelCore2,
+            ("Intel", _) => Arch::IntelSandyBridge,
+            ("AMD", _) => Arch::Amd15h,
+            _ => Arch::IntelSandyBridge,
+        };
+        Pfm::new(arch)
+    }
+
+    /// The detected architecture.
+    pub fn arch(&self) -> Arch {
+        self.arch
+    }
+
+    /// Resolves an event name.
+    ///
+    /// Accepted forms: perf-tool generic names (`"instructions"`),
+    /// `PERF_COUNT_HW_*` constants, raw `rNNNN` hex codes, and a few
+    /// vendor-specific mnemonic names valid only on their vendor.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownEvent`] for unresolvable names and
+    /// [`Error::UnsupportedEvent`] for events this PMU lacks.
+    pub fn resolve(&self, name: &str) -> Result<Event> {
+        if let Some(hex) = name.strip_prefix('r') {
+            if let Ok(code) = u64::from_str_radix(hex, 16) {
+                return Ok(Event::Raw(code));
+            }
+        }
+        let counter = match name {
+            "cycles" | "cpu-cycles" | "PERF_COUNT_HW_CPU_CYCLES" => HwCounter::Cycles,
+            "ref-cycles" | "PERF_COUNT_HW_REF_CPU_CYCLES" => HwCounter::RefCycles,
+            "instructions" | "PERF_COUNT_HW_INSTRUCTIONS" => HwCounter::Instructions,
+            "cache-references" | "PERF_COUNT_HW_CACHE_REFERENCES" => HwCounter::CacheReferences,
+            "cache-misses" | "PERF_COUNT_HW_CACHE_MISSES" => HwCounter::CacheMisses,
+            "branch-instructions" | "branches" | "PERF_COUNT_HW_BRANCH_INSTRUCTIONS" => {
+                HwCounter::BranchInstructions
+            }
+            "branch-misses" | "PERF_COUNT_HW_BRANCH_MISSES" => HwCounter::BranchMisses,
+            "bus-cycles" | "PERF_COUNT_HW_BUS_CYCLES" => HwCounter::BusCycles,
+            "stalled-cycles-frontend" | "PERF_COUNT_HW_STALLED_CYCLES_FRONTEND" => {
+                HwCounter::StalledCyclesFrontend
+            }
+            "stalled-cycles-backend" | "PERF_COUNT_HW_STALLED_CYCLES_BACKEND" => {
+                HwCounter::StalledCyclesBackend
+            }
+            "L1-dcache-loads" => HwCounter::L1dAccesses,
+            "L1-dcache-load-misses" => HwCounter::L1dMisses,
+            // Vendor mnemonics.
+            "LONGEST_LAT_CACHE.MISS" if self.arch != Arch::Amd15h => {
+                return Ok(Event::Raw(0x412e));
+            }
+            "LONGEST_LAT_CACHE.REFERENCE" if self.arch != Arch::Amd15h => {
+                return Ok(Event::Raw(0x4f2e));
+            }
+            "RETIRED_INSTRUCTIONS" if self.arch == Arch::Amd15h => {
+                return Ok(Event::Raw(0x00c1));
+            }
+            other => return Err(Error::UnknownEvent(other.to_string())),
+        };
+        if !self.arch.supports(counter) {
+            return Err(Error::UnsupportedEvent {
+                event: name.to_string(),
+                arch: self.arch.name().to_string(),
+            });
+        }
+        Ok(Event::Hardware(counter))
+    }
+
+    /// All generic event names this PMU supports — what the calibration
+    /// pipeline screens with Spearman correlation.
+    pub fn available_generic(&self) -> Vec<Event> {
+        HwCounter::ALL
+            .iter()
+            .filter(|c| self.arch.supports(**c))
+            .map(|c| Event::Hardware(*c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcpu::presets;
+
+    #[test]
+    fn arch_detection_from_presets() {
+        assert_eq!(
+            Pfm::for_machine(&presets::intel_i3_2120()).arch(),
+            Arch::IntelSandyBridge
+        );
+        assert_eq!(
+            Pfm::for_machine(&presets::core2duo_e6600()).arch(),
+            Arch::IntelCore2
+        );
+        assert_eq!(
+            Pfm::for_machine(&presets::xeon_smt_turbo()).arch(),
+            Arch::IntelSandyBridge
+        );
+    }
+
+    #[test]
+    fn rapl_gating_matches_paper_claim() {
+        assert!(Arch::IntelSandyBridge.has_rapl());
+        assert!(!Arch::IntelCore2.has_rapl());
+        assert!(!Arch::Amd15h.has_rapl());
+    }
+
+    #[test]
+    fn generic_names_resolve_everywhere() {
+        for arch in [Arch::IntelSandyBridge, Arch::IntelCore2, Arch::Amd15h] {
+            let pfm = Pfm::new(arch);
+            for name in ["instructions", "cache-references", "cache-misses"] {
+                let e = pfm.resolve(name).unwrap();
+                assert!(e.counter().is_some(), "{name} on {arch:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn perf_count_hw_aliases() {
+        let pfm = Pfm::new(Arch::IntelSandyBridge);
+        assert_eq!(
+            pfm.resolve("PERF_COUNT_HW_INSTRUCTIONS").unwrap(),
+            pfm.resolve("instructions").unwrap()
+        );
+        assert_eq!(
+            pfm.resolve("branches").unwrap(),
+            pfm.resolve("branch-instructions").unwrap()
+        );
+    }
+
+    #[test]
+    fn core2_lacks_modern_events() {
+        let pfm = Pfm::new(Arch::IntelCore2);
+        assert!(matches!(
+            pfm.resolve("stalled-cycles-backend"),
+            Err(Error::UnsupportedEvent { .. })
+        ));
+        assert!(matches!(
+            pfm.resolve("ref-cycles"),
+            Err(Error::UnsupportedEvent { .. })
+        ));
+        assert!(pfm.resolve("cycles").is_ok());
+    }
+
+    #[test]
+    fn vendor_mnemonics_gated_by_vendor() {
+        let intel = Pfm::new(Arch::IntelSandyBridge);
+        let amd = Pfm::new(Arch::Amd15h);
+        assert_eq!(
+            intel.resolve("LONGEST_LAT_CACHE.MISS").unwrap().counter(),
+            Some(HwCounter::CacheMisses)
+        );
+        assert!(amd.resolve("LONGEST_LAT_CACHE.MISS").is_err());
+        assert_eq!(
+            amd.resolve("RETIRED_INSTRUCTIONS").unwrap().counter(),
+            Some(HwCounter::Instructions)
+        );
+        assert!(intel.resolve("RETIRED_INSTRUCTIONS").is_err());
+    }
+
+    #[test]
+    fn raw_hex_form() {
+        let pfm = Pfm::new(Arch::IntelSandyBridge);
+        let e = pfm.resolve("r412e").unwrap();
+        assert_eq!(e, Event::Raw(0x412e));
+        assert_eq!(e.counter(), Some(HwCounter::CacheMisses));
+        // Unknown but well-formed raw codes are accepted and count nothing.
+        assert_eq!(pfm.resolve("rffff").unwrap().counter(), None);
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        let pfm = Pfm::new(Arch::IntelSandyBridge);
+        assert!(matches!(
+            pfm.resolve("definitely-not-an-event"),
+            Err(Error::UnknownEvent(_))
+        ));
+    }
+
+    #[test]
+    fn available_generic_differs_by_arch() {
+        let sb = Pfm::new(Arch::IntelSandyBridge).available_generic();
+        let c2 = Pfm::new(Arch::IntelCore2).available_generic();
+        assert_eq!(sb.len(), HwCounter::ALL.len());
+        assert_eq!(c2.len(), HwCounter::ALL.len() - 3);
+    }
+}

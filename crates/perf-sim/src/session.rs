@@ -1,0 +1,478 @@
+//! The counting session: open per-process counters, feed it the kernel's
+//! run records, read scaled values back. Models the finite PMU: only
+//! `slots` events per logical CPU can count at once; oversubscribed
+//! sessions are time-multiplexed group-by-group with
+//! `time_enabled`/`time_running` scaling, like the Linux perf core.
+
+use crate::events::Event;
+use crate::{Error, Result};
+use os_sim::kernel::KernelReport;
+use os_sim::process::Pid;
+use simcpu::units::Nanos;
+use std::collections::BTreeMap;
+
+/// Handle to an open counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CounterId(pub u64);
+
+/// Handle to an event group (members are scheduled on the PMU atomically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupId(u64);
+
+/// A counter read-out with multiplexing metadata, mirroring the
+/// `PERF_FORMAT_TOTAL_TIME_ENABLED|RUNNING` read format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaledValue {
+    /// Events actually counted while scheduled on the PMU.
+    pub raw: u64,
+    /// Estimate extrapolated to the full enabled time:
+    /// `raw · time_enabled / time_running`.
+    pub scaled: u64,
+    /// Time the counter was enabled with its target running.
+    pub time_enabled: Nanos,
+    /// Time the counter was actually counting on the PMU.
+    pub time_running: Nanos,
+}
+
+#[derive(Debug, Clone)]
+struct CounterState {
+    pid: Pid,
+    event: Event,
+    group: GroupId,
+    enabled: bool,
+    value: u64,
+    time_enabled: Nanos,
+    time_running: Nanos,
+}
+
+/// A perf session over one simulated kernel.
+#[derive(Debug, Clone)]
+pub struct PerfSession {
+    slots: usize,
+    counters: BTreeMap<CounterId, CounterState>,
+    next_id: u64,
+    rotation: BTreeMap<Pid, u64>,
+}
+
+impl PerfSession {
+    /// Creates a session with `slots` hardware counters per logical CPU
+    /// (Sandy Bridge exposes 4 programmable + fixed counters; 4 is a
+    /// realistic default).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slots` is zero.
+    pub fn new(slots: usize) -> PerfSession {
+        assert!(slots > 0, "a pmu needs at least one counter slot");
+        PerfSession {
+            slots,
+            counters: BTreeMap::new(),
+            next_id: 1,
+            rotation: BTreeMap::new(),
+        }
+    }
+
+    /// Opens a counter for `event` attached to process `pid`, enabled
+    /// immediately. Each solo counter forms its own scheduling group.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice; returns `Result` for parity with
+    /// the real syscall (and future validation).
+    pub fn open(&mut self, pid: Pid, event: Event) -> Result<CounterId> {
+        let ids = self.open_group(pid, &[event])?;
+        Ok(ids[0])
+    }
+
+    /// Opens a group of counters scheduled atomically (all-or-nothing on
+    /// the PMU), attached to `pid`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] for an empty group or one larger than the
+    /// PMU slot count (it could never be scheduled).
+    pub fn open_group(&mut self, pid: Pid, events: &[Event]) -> Result<Vec<CounterId>> {
+        if events.is_empty() {
+            return Err(Error::InvalidConfig("event group must not be empty"));
+        }
+        if events.len() > self.slots {
+            return Err(Error::InvalidConfig(
+                "event group exceeds pmu slot count and could never schedule",
+            ));
+        }
+        let group = GroupId(self.next_id);
+        let mut ids = Vec::with_capacity(events.len());
+        for &event in events {
+            let id = CounterId(self.next_id);
+            self.next_id += 1;
+            self.counters.insert(
+                id,
+                CounterState {
+                    pid,
+                    event,
+                    group,
+                    enabled: true,
+                    value: 0,
+                    time_enabled: Nanos::ZERO,
+                    time_running: Nanos::ZERO,
+                },
+            );
+            ids.push(id);
+        }
+        Ok(ids)
+    }
+
+    /// Enables or disables a counter.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::BadCounter`] for unknown ids.
+    pub fn set_enabled(&mut self, id: CounterId, enabled: bool) -> Result<()> {
+        self.counters
+            .get_mut(&id)
+            .map(|c| c.enabled = enabled)
+            .ok_or(Error::BadCounter(id))
+    }
+
+    /// Closes a counter, releasing its slot demand.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::BadCounter`] for unknown ids.
+    pub fn close(&mut self, id: CounterId) -> Result<()> {
+        self.counters
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(Error::BadCounter(id))
+    }
+
+    /// Number of open counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether no counters are open.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Reads a counter with scaling metadata.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::BadCounter`] for unknown ids.
+    pub fn read(&self, id: CounterId) -> Result<ScaledValue> {
+        let c = self.counters.get(&id).ok_or(Error::BadCounter(id))?;
+        let scaled = if c.time_running == Nanos::ZERO {
+            0
+        } else {
+            (c.value as f64 * c.time_enabled.as_u64() as f64 / c.time_running.as_u64() as f64)
+                as u64
+        };
+        Ok(ScaledValue {
+            raw: c.value,
+            scaled,
+            time_enabled: c.time_enabled,
+            time_running: c.time_running,
+        })
+    }
+
+    /// Resets a counter's value and times to zero (like
+    /// `PERF_EVENT_IOC_RESET`).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::BadCounter`] for unknown ids.
+    pub fn reset(&mut self, id: CounterId) -> Result<()> {
+        let c = self.counters.get_mut(&id).ok_or(Error::BadCounter(id))?;
+        c.value = 0;
+        c.time_enabled = Nanos::ZERO;
+        c.time_running = Nanos::ZERO;
+        Ok(())
+    }
+
+    /// Feeds one kernel tick's attribution records into the session. Call
+    /// once per [`os_sim::kernel::Kernel::tick`].
+    pub fn observe(&mut self, report: &KernelReport) {
+        // Aggregate per pid: a multi-threaded process contributes the sum
+        // of its threads' deltas but only one slice of wall time.
+        let mut per_pid: BTreeMap<Pid, (simcpu::counters::ExecDelta, Nanos)> = BTreeMap::new();
+        for rec in &report.records {
+            let entry = per_pid
+                .entry(rec.pid)
+                .or_insert((simcpu::counters::ExecDelta::zero(), Nanos::ZERO));
+            entry.0 += rec.delta;
+            entry.1 = entry.1.max(rec.slice);
+        }
+
+        for (pid, (delta, slice)) in per_pid {
+            // Groups attached to this pid with at least one enabled member.
+            let mut groups: Vec<GroupId> = self
+                .counters
+                .values()
+                .filter(|c| c.pid == pid && c.enabled)
+                .map(|c| c.group)
+                .collect();
+            groups.sort_unstable();
+            groups.dedup();
+            if groups.is_empty() {
+                continue;
+            }
+
+            // Round-robin group scheduling under the slot budget.
+            let rot = self.rotation.entry(pid).or_insert(0);
+            let start = (*rot as usize) % groups.len();
+            *rot += 1;
+            let mut scheduled: Vec<GroupId> = Vec::new();
+            let mut used = 0usize;
+            for i in 0..groups.len() {
+                let g = groups[(start + i) % groups.len()];
+                let size = self
+                    .counters
+                    .values()
+                    .filter(|c| c.group == g && c.enabled)
+                    .count();
+                if used + size <= self.slots {
+                    scheduled.push(g);
+                    used += size;
+                }
+                if used == self.slots {
+                    break;
+                }
+            }
+
+            for c in self.counters.values_mut() {
+                if c.pid != pid || !c.enabled {
+                    continue;
+                }
+                c.time_enabled += slice;
+                if scheduled.contains(&c.group) {
+                    c.time_running += slice;
+                    if let Some(target) = c.event.counter() {
+                        c.value += delta.get(target);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::PAPER_EVENTS;
+    use os_sim::kernel::Kernel;
+    use os_sim::task::SteadyTask;
+    use simcpu::counters::HwCounter;
+    use simcpu::presets;
+    use simcpu::workunit::WorkUnit;
+
+    const MS: Nanos = Nanos(1_000_000);
+
+    fn busy_kernel() -> (Kernel, Pid) {
+        let mut k = Kernel::new(presets::intel_i3_2120());
+        let pid = k.spawn("app", vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))]);
+        (k, pid)
+    }
+
+    #[test]
+    fn counts_only_target_pid() {
+        let (mut k, pid) = busy_kernel();
+        let other = k.spawn("idle-proc", vec![]);
+        let mut s = PerfSession::new(4);
+        let mine = s.open(pid, Event::Hardware(HwCounter::Instructions)).unwrap();
+        let theirs = s
+            .open(other, Event::Hardware(HwCounter::Instructions))
+            .unwrap();
+        for _ in 0..5 {
+            let r = k.tick(MS);
+            s.observe(&r);
+        }
+        assert!(s.read(mine).unwrap().raw > 0);
+        assert_eq!(s.read(theirs).unwrap().raw, 0);
+    }
+
+    #[test]
+    fn undersubscribed_session_never_scales() {
+        let (mut k, pid) = busy_kernel();
+        let mut s = PerfSession::new(4);
+        let ids = s.open_group(pid, &PAPER_EVENTS).unwrap();
+        for _ in 0..10 {
+            let r = k.tick(MS);
+            s.observe(&r);
+        }
+        for id in ids {
+            let v = s.read(id).unwrap();
+            assert_eq!(v.time_enabled, v.time_running, "no multiplexing needed");
+            assert_eq!(v.raw, v.scaled);
+        }
+    }
+
+    #[test]
+    fn oversubscription_multiplexes_and_scales() {
+        // Memory-heavy work so every monitored event (incl. LLC refs)
+        // retires in quantity.
+        let mut k = Kernel::new(presets::intel_i3_2120());
+        let pid = k.spawn(
+            "memhog",
+            vec![SteadyTask::boxed(WorkUnit::memory_intensive(65536.0, 1.0))],
+        );
+        // 2 slots, 4 solo counters → each runs ~half the time.
+        let mut s = PerfSession::new(2);
+        let events = [
+            HwCounter::Instructions,
+            HwCounter::Cycles,
+            HwCounter::CacheReferences,
+            HwCounter::BranchInstructions,
+        ];
+        let ids: Vec<CounterId> = events
+            .iter()
+            .map(|&e| s.open(pid, Event::Hardware(e)).unwrap())
+            .collect();
+        for _ in 0..40 {
+            let r = k.tick(MS);
+            s.observe(&r);
+        }
+        for &id in &ids {
+            let v = s.read(id).unwrap();
+            assert!(v.time_running < v.time_enabled, "must have been rotated out");
+            assert!(v.time_running > Nanos::ZERO, "must have run sometimes");
+            let ratio = v.time_running.as_u64() as f64 / v.time_enabled.as_u64() as f64;
+            assert!((0.35..=0.65).contains(&ratio), "fair rotation, got {ratio}");
+            assert!(v.scaled > v.raw, "scaling extrapolates");
+        }
+        // Scaled instructions should approximate an unmultiplexed count.
+        let mut full = PerfSession::new(4);
+        let mut k2 = Kernel::new(presets::intel_i3_2120());
+        let pid2 = k2.spawn(
+            "memhog",
+            vec![SteadyTask::boxed(WorkUnit::memory_intensive(65536.0, 1.0))],
+        );
+        let fid = full.open(pid2, Event::Hardware(HwCounter::Instructions)).unwrap();
+        for _ in 0..40 {
+            let r = k2.tick(MS);
+            full.observe(&r);
+        }
+        let truth = full.read(fid).unwrap().raw as f64;
+        let est = s.read(ids[0]).unwrap().scaled as f64;
+        assert!(
+            (est - truth).abs() / truth < 0.15,
+            "scaled {est} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn groups_schedule_atomically() {
+        let (mut k, pid) = busy_kernel();
+        // 3 slots: a 2-event group + 2 solo counters. Whenever the group
+        // runs, both members run together (equal time_running).
+        let mut s = PerfSession::new(3);
+        let grp = s
+            .open_group(
+                pid,
+                &[
+                    Event::Hardware(HwCounter::Instructions),
+                    Event::Hardware(HwCounter::Cycles),
+                ],
+            )
+            .unwrap();
+        s.open(pid, Event::Hardware(HwCounter::CacheMisses)).unwrap();
+        s.open(pid, Event::Hardware(HwCounter::BranchMisses)).unwrap();
+        for _ in 0..30 {
+            let r = k.tick(MS);
+            s.observe(&r);
+        }
+        let a = s.read(grp[0]).unwrap();
+        let b = s.read(grp[1]).unwrap();
+        assert_eq!(a.time_running, b.time_running, "group members inseparable");
+    }
+
+    #[test]
+    fn group_validation() {
+        let mut s = PerfSession::new(2);
+        assert!(matches!(
+            s.open_group(Pid(1), &[]),
+            Err(Error::InvalidConfig(_))
+        ));
+        let too_big = [
+            Event::Hardware(HwCounter::Instructions),
+            Event::Hardware(HwCounter::Cycles),
+            Event::Hardware(HwCounter::CacheMisses),
+        ];
+        assert!(matches!(
+            s.open_group(Pid(1), &too_big),
+            Err(Error::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn disable_pauses_counting() {
+        let (mut k, pid) = busy_kernel();
+        let mut s = PerfSession::new(4);
+        let id = s.open(pid, Event::Hardware(HwCounter::Instructions)).unwrap();
+        let r = k.tick(MS);
+        s.observe(&r);
+        let v1 = s.read(id).unwrap();
+        s.set_enabled(id, false).unwrap();
+        for _ in 0..5 {
+            let r = k.tick(MS);
+            s.observe(&r);
+        }
+        let v2 = s.read(id).unwrap();
+        assert_eq!(v1.raw, v2.raw, "disabled counter is frozen");
+        assert_eq!(v1.time_enabled, v2.time_enabled);
+        s.set_enabled(id, true).unwrap();
+        let r = k.tick(MS);
+        s.observe(&r);
+        assert!(s.read(id).unwrap().raw > v2.raw);
+    }
+
+    #[test]
+    fn reset_and_close() {
+        let (mut k, pid) = busy_kernel();
+        let mut s = PerfSession::new(4);
+        let id = s.open(pid, Event::Hardware(HwCounter::Instructions)).unwrap();
+        let r = k.tick(MS);
+        s.observe(&r);
+        assert!(s.read(id).unwrap().raw > 0);
+        s.reset(id).unwrap();
+        let v = s.read(id).unwrap();
+        assert_eq!((v.raw, v.time_enabled), (0, Nanos::ZERO));
+        assert_eq!(s.len(), 1);
+        s.close(id).unwrap();
+        assert!(s.is_empty());
+        assert!(matches!(s.read(id), Err(Error::BadCounter(_))));
+        assert!(matches!(s.close(id), Err(Error::BadCounter(_))));
+        assert!(matches!(s.reset(id), Err(Error::BadCounter(_))));
+        assert!(matches!(s.set_enabled(id, true), Err(Error::BadCounter(_))));
+    }
+
+    #[test]
+    fn unknown_raw_event_counts_zero_but_schedules() {
+        let (mut k, pid) = busy_kernel();
+        let mut s = PerfSession::new(4);
+        let id = s.open(pid, Event::Raw(0xbad0)).unwrap();
+        for _ in 0..3 {
+            let r = k.tick(MS);
+            s.observe(&r);
+        }
+        let v = s.read(id).unwrap();
+        assert_eq!(v.raw, 0);
+        assert!(v.time_running > Nanos::ZERO);
+    }
+
+    #[test]
+    fn multithreaded_pid_aggregates_threads() {
+        let mut k = Kernel::new(presets::intel_i3_2120());
+        let w = WorkUnit::cpu_intensive(1.0);
+        let pid = k.spawn("mt", vec![SteadyTask::boxed(w), SteadyTask::boxed(w)]);
+        let mut s = PerfSession::new(4);
+        let id = s.open(pid, Event::Hardware(HwCounter::Instructions)).unwrap();
+        let r = k.tick(MS);
+        s.observe(&r);
+        let per_thread: u64 = r.records.iter().map(|x| x.delta.instructions).sum();
+        assert_eq!(s.read(id).unwrap().raw, per_thread);
+        // time_enabled advanced once, not twice.
+        assert_eq!(s.read(id).unwrap().time_enabled, MS);
+    }
+}

@@ -1,0 +1,233 @@
+//! The PowerSpy device session: the command/response protocol a client
+//! speaks to the meter over its serial-over-bluetooth link. The real
+//! device understands single-letter commands; this emulation keeps that
+//! shape:
+//!
+//! | command | reply | meaning |
+//! |---|---|---|
+//! | `V` | `ID <model> <fw>` | identify |
+//! | `C` | `CAL <uscale> <iscale>` | calibration factors |
+//! | `S` | `OK` | start streaming measurement frames |
+//! | `X` | `OK` | stop streaming |
+//!
+//! While streaming, every completed meter window is emitted as a
+//! [`encode_frame`] line in the session's output queue. Unknown commands
+//! get `ERR`; the device is strict, like the real firmware.
+//!
+//! [`encode_frame`]: crate::powerspy::encode_frame
+
+use crate::powerspy::{encode_frame, PowerSpy, PowerSpyConfig};
+use crate::{Error, Result};
+use simcpu::units::{Nanos, Watts};
+use std::collections::VecDeque;
+
+/// The emulated device endpoint.
+#[derive(Debug, Clone)]
+pub struct DeviceSession {
+    meter: PowerSpy,
+    streaming: bool,
+    outbox: VecDeque<String>,
+    calibration: (f64, f64),
+}
+
+impl DeviceSession {
+    /// Powers the device on.
+    pub fn new(config: PowerSpyConfig) -> DeviceSession {
+        DeviceSession {
+            meter: PowerSpy::new(config),
+            streaming: false,
+            outbox: VecDeque::new(),
+            calibration: (1.0215, 0.9987),
+        }
+    }
+
+    /// Whether the device is currently streaming frames.
+    pub fn is_streaming(&self) -> bool {
+        self.streaming
+    }
+
+    /// Handles one client command line, queueing the reply.
+    pub fn command(&mut self, cmd: &str) {
+        let reply = match cmd.trim() {
+            "V" => "ID POWERSPY2-SIM FW1.08".to_string(),
+            "C" => format!("CAL {:.4} {:.4}", self.calibration.0, self.calibration.1),
+            "S" => {
+                self.streaming = true;
+                "OK".to_string()
+            }
+            "X" => {
+                self.streaming = false;
+                "OK".to_string()
+            }
+            _ => "ERR".to_string(),
+        };
+        self.outbox.push_back(reply);
+    }
+
+    /// Feeds the true power up to `now` (call every simulation step).
+    /// Completed windows become frames only while streaming.
+    pub fn observe(&mut self, truth: Watts, now: Nanos) {
+        for sample in self.meter.observe(truth, now) {
+            if self.streaming {
+                self.outbox.push_back(encode_frame(&sample));
+            }
+        }
+    }
+
+    /// Pops the next queued line (reply or frame), if any.
+    pub fn read_line(&mut self) -> Option<String> {
+        self.outbox.pop_front()
+    }
+
+    /// Number of queued lines.
+    pub fn pending(&self) -> usize {
+        self.outbox.len()
+    }
+}
+
+/// A minimal client for the protocol: tracks the handshake and parses
+/// streamed frames back into samples.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceClient {
+    identity: Option<String>,
+    calibration: Option<(f64, f64)>,
+}
+
+impl DeviceClient {
+    /// Creates an unconnected client.
+    pub fn new() -> DeviceClient {
+        DeviceClient::default()
+    }
+
+    /// The device identity, once `V` has been answered.
+    pub fn identity(&self) -> Option<&str> {
+        self.identity.as_deref()
+    }
+
+    /// The calibration factors, once `C` has been answered.
+    pub fn calibration(&self) -> Option<(f64, f64)> {
+        self.calibration
+    }
+
+    /// Performs the standard handshake (`V`, `C`, `S`) against a device,
+    /// draining its replies.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::BadFrame`] when the device answers out of protocol.
+    pub fn handshake(&mut self, device: &mut DeviceSession) -> Result<()> {
+        device.command("V");
+        device.command("C");
+        device.command("S");
+        for _ in 0..3 {
+            let line = device
+                .read_line()
+                .ok_or_else(|| Error::BadFrame("missing reply".to_string()))?;
+            self.consume(&line)?;
+        }
+        if self.identity.is_none() || self.calibration.is_none() {
+            return Err(Error::BadFrame("incomplete handshake".to_string()));
+        }
+        Ok(())
+    }
+
+    /// Consumes one line from the device: protocol replies update client
+    /// state and return `None`; measurement frames decode to a sample.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::BadFrame`] on malformed lines.
+    pub fn consume(&mut self, line: &str) -> Result<Option<crate::powerspy::PowerSample>> {
+        if let Some(id) = line.strip_prefix("ID ") {
+            self.identity = Some(id.to_string());
+            return Ok(None);
+        }
+        if let Some(cal) = line.strip_prefix("CAL ") {
+            let mut parts = cal.split_whitespace();
+            let u: f64 = parts
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| Error::BadFrame(line.to_string()))?;
+            let i: f64 = parts
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| Error::BadFrame(line.to_string()))?;
+            self.calibration = Some((u, i));
+            return Ok(None);
+        }
+        if line == "OK" {
+            return Ok(None);
+        }
+        if line == "ERR" {
+            return Err(Error::BadFrame("device rejected a command".to_string()));
+        }
+        crate::powerspy::decode_frame(line).map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_config() -> PowerSpyConfig {
+        PowerSpyConfig::default()
+            .with_sample_period(Nanos::from_millis(100))
+            .with_noise_std_w(0.0)
+            .with_quantization_w(0.0)
+    }
+
+    #[test]
+    fn handshake_and_streaming_roundtrip() {
+        let mut dev = DeviceSession::new(quiet_config());
+        let mut client = DeviceClient::new();
+        client.handshake(&mut dev).expect("handshake");
+        assert_eq!(client.identity(), Some("POWERSPY2-SIM FW1.08"));
+        let (u, i) = client.calibration().expect("calibrated");
+        assert!(u > 1.0 && i < 1.0);
+        assert!(dev.is_streaming());
+
+        // One second of 30 W → ten frames.
+        dev.observe(Watts(30.0), Nanos::from_secs(1));
+        let mut samples = Vec::new();
+        while let Some(line) = dev.read_line() {
+            if let Some(s) = client.consume(&line).expect("valid line") {
+                samples.push(s);
+            }
+        }
+        assert_eq!(samples.len(), 10);
+        assert!(samples.iter().all(|s| (s.power.as_f64() - 30.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn no_frames_before_start_or_after_stop() {
+        let mut dev = DeviceSession::new(quiet_config());
+        dev.observe(Watts(30.0), Nanos::from_millis(500));
+        assert_eq!(dev.pending(), 0, "not streaming yet");
+        dev.command("S");
+        let _ = dev.read_line();
+        dev.observe(Watts(30.0), Nanos::from_millis(1000));
+        assert_eq!(dev.pending(), 5);
+        dev.command("X");
+        while dev.read_line().is_some() {}
+        dev.observe(Watts(30.0), Nanos::from_millis(1500));
+        assert_eq!(dev.pending(), 0, "stopped");
+        assert!(!dev.is_streaming());
+    }
+
+    #[test]
+    fn unknown_commands_error() {
+        let mut dev = DeviceSession::new(quiet_config());
+        dev.command("Z");
+        let mut client = DeviceClient::new();
+        let line = dev.read_line().expect("reply");
+        assert!(matches!(client.consume(&line), Err(Error::BadFrame(_))));
+    }
+
+    #[test]
+    fn malformed_cal_rejected() {
+        let mut client = DeviceClient::new();
+        assert!(client.consume("CAL abc").is_err());
+        assert!(client.consume("CAL 1.0").is_err());
+        assert!(client.consume("CAL 1.0 0.9").unwrap().is_none());
+    }
+}

@@ -1,0 +1,55 @@
+use std::fmt;
+
+/// Error type for fallible `powermeter` operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// RAPL is not available on this processor generation — the
+    /// architecture-dependence limitation the paper highlights.
+    RaplUnsupported {
+        /// The machine's identity string.
+        machine: String,
+    },
+    /// A received meter frame failed to parse or checksum.
+    BadFrame(String),
+    /// A configuration value was invalid.
+    InvalidConfig(&'static str),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::RaplUnsupported { machine } => {
+                write!(f, "rapl is not supported on {machine}")
+            }
+            Error::BadFrame(frame) => write!(f, "malformed meter frame: {frame:?}"),
+            Error::InvalidConfig(msg) => write!(f, "invalid meter config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            Error::RaplUnsupported {
+                machine: "Intel Core 2 Duo E6600".to_string(),
+            },
+            Error::BadFrame("PWR x y".to_string()),
+            Error::InvalidConfig("sample rate must be positive"),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<Error>();
+    }
+}

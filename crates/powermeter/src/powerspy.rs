@@ -1,0 +1,312 @@
+//! The PowerSpy-like wall-socket meter: integrates true machine power
+//! between sample boundaries, then emits a reading corrupted by Gaussian
+//! noise and ADC quantization, framed like a serial-over-bluetooth device.
+
+use crate::{Error, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simcpu::units::{Nanos, Watts};
+
+/// Meter configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerSpyConfig {
+    sample_period: Nanos,
+    noise_std_w: f64,
+    quantization_w: f64,
+    seed: u64,
+}
+
+impl Default for PowerSpyConfig {
+    /// 1 Hz sampling (the rate the paper's trace uses), 0.35 W RMS noise,
+    /// 0.1 W quantization.
+    fn default() -> PowerSpyConfig {
+        PowerSpyConfig {
+            sample_period: Nanos::from_secs(1),
+            noise_std_w: 0.35,
+            quantization_w: 0.1,
+            seed: 0xB1_7E,
+        }
+    }
+}
+
+impl PowerSpyConfig {
+    /// Starts from the defaults.
+    pub fn new() -> PowerSpyConfig {
+        PowerSpyConfig::default()
+    }
+
+    /// Sets the sampling period.
+    pub fn with_sample_period(mut self, period: Nanos) -> PowerSpyConfig {
+        self.sample_period = if period == Nanos::ZERO { Nanos(1) } else { period };
+        self
+    }
+
+    /// Sets the Gaussian noise standard deviation in watts.
+    pub fn with_noise_std_w(mut self, std: f64) -> PowerSpyConfig {
+        self.noise_std_w = std.max(0.0);
+        self
+    }
+
+    /// Sets the ADC quantization step in watts (0 disables).
+    pub fn with_quantization_w(mut self, q: f64) -> PowerSpyConfig {
+        self.quantization_w = q.max(0.0);
+        self
+    }
+
+    /// Sets the RNG seed (simulations are deterministic per seed).
+    pub fn with_seed(mut self, seed: u64) -> PowerSpyConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+/// One meter reading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerSample {
+    /// Timestamp of the end of the integration window.
+    pub at: Nanos,
+    /// Measured (noisy) power.
+    pub power: Watts,
+}
+
+/// The meter itself. Feed it the true power every simulation step via
+/// [`PowerSpy::observe`]; it emits samples at its own rate.
+#[derive(Debug, Clone)]
+pub struct PowerSpy {
+    config: PowerSpyConfig,
+    rng: StdRng,
+    window_energy: f64,
+    window_elapsed: Nanos,
+    last_time: Nanos,
+    next_boundary: Nanos,
+}
+
+impl PowerSpy {
+    /// Plugs in the meter.
+    pub fn new(config: PowerSpyConfig) -> PowerSpy {
+        let next = config.sample_period;
+        PowerSpy {
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+            window_energy: 0.0,
+            window_elapsed: Nanos::ZERO,
+            last_time: Nanos::ZERO,
+            next_boundary: next,
+        }
+    }
+
+    /// The meter's configuration.
+    pub fn config(&self) -> &PowerSpyConfig {
+        &self.config
+    }
+
+    /// Feeds the true power that was drawn from `last observed time` to
+    /// `now`. Returns every sample whose window completed in the interval
+    /// (typically zero or one).
+    pub fn observe(&mut self, truth: Watts, now: Nanos) -> Vec<PowerSample> {
+        let mut out = Vec::new();
+        if now <= self.last_time {
+            return out;
+        }
+        let mut t = self.last_time;
+        while t < now {
+            let seg_end = self.next_boundary.min(now);
+            let seg = seg_end - t;
+            self.window_energy += truth.as_f64() * seg.as_secs_f64();
+            self.window_elapsed += seg;
+            t = seg_end;
+            if t == self.next_boundary {
+                out.push(self.emit(t));
+                self.next_boundary += self.config.sample_period;
+            }
+        }
+        self.last_time = now;
+        out
+    }
+
+    fn emit(&mut self, at: Nanos) -> PowerSample {
+        let avg = if self.window_elapsed == Nanos::ZERO {
+            0.0
+        } else {
+            self.window_energy / self.window_elapsed.as_secs_f64()
+        };
+        self.window_energy = 0.0;
+        self.window_elapsed = Nanos::ZERO;
+        // Box-Muller Gaussian from two uniforms (keeps us off rand_distr).
+        let noise = if self.config.noise_std_w > 0.0 {
+            let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = self.rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos() * self.config.noise_std_w
+        } else {
+            0.0
+        };
+        let mut w = (avg + noise).max(0.0);
+        if self.config.quantization_w > 0.0 {
+            w = (w / self.config.quantization_w).round() * self.config.quantization_w;
+        }
+        PowerSample {
+            at,
+            power: Watts(w),
+        }
+    }
+}
+
+/// Encodes a sample as the device's ASCII line frame:
+/// `PWR <millis> <milliwatts> *<checksum>` where the checksum is the XOR
+/// of all preceding bytes, in hex.
+pub fn encode_frame(sample: &PowerSample) -> String {
+    let body = format!(
+        "PWR {} {}",
+        sample.at.as_u64() / 1_000_000,
+        (sample.power.as_f64() * 1000.0).round() as u64
+    );
+    let checksum = body.bytes().fold(0u8, |a, b| a ^ b);
+    format!("{body} *{checksum:02x}")
+}
+
+/// Decodes a frame produced by [`encode_frame`].
+///
+/// # Errors
+///
+/// [`Error::BadFrame`] on malformed syntax or checksum mismatch.
+pub fn decode_frame(frame: &str) -> Result<PowerSample> {
+    let bad = || Error::BadFrame(frame.to_string());
+    let (body, check) = frame.rsplit_once(" *").ok_or_else(bad)?;
+    let expected = body.bytes().fold(0u8, |a, b| a ^ b);
+    let got = u8::from_str_radix(check, 16).map_err(|_| bad())?;
+    if expected != got {
+        return Err(bad());
+    }
+    let mut parts = body.split(' ');
+    if parts.next() != Some("PWR") {
+        return Err(bad());
+    }
+    let millis: u64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    let milliwatts: u64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    if parts.next().is_some() {
+        return Err(bad());
+    }
+    Ok(PowerSample {
+        at: Nanos::from_millis(millis),
+        power: Watts(milliwatts as f64 / 1000.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_power_measured_within_noise() {
+        let mut m = PowerSpy::new(PowerSpyConfig::default().with_seed(1));
+        let mut samples = Vec::new();
+        for i in 1..=5000 {
+            samples.extend(m.observe(Watts(31.5), Nanos::from_millis(i)));
+        }
+        assert_eq!(samples.len(), 5, "1 Hz over 5 s");
+        let mean: f64 = samples.iter().map(|s| s.power.as_f64()).sum::<f64>() / 5.0;
+        assert!((mean - 31.5).abs() < 0.5, "mean = {mean}");
+        for s in &samples {
+            assert!((s.power.as_f64() - 31.5).abs() < 2.0);
+        }
+    }
+
+    #[test]
+    fn integrates_varying_power() {
+        // 500 ms at 20 W then 500 ms at 40 W → sample ≈ 30 W.
+        let mut m = PowerSpy::new(
+            PowerSpyConfig::default()
+                .with_noise_std_w(0.0)
+                .with_quantization_w(0.0),
+        );
+        let s1 = m.observe(Watts(20.0), Nanos::from_millis(500));
+        assert!(s1.is_empty());
+        let s2 = m.observe(Watts(40.0), Nanos::from_millis(1000));
+        assert_eq!(s2.len(), 1);
+        assert!((s2[0].power.as_f64() - 30.0).abs() < 1e-9);
+        assert_eq!(s2[0].at, Nanos::from_secs(1));
+    }
+
+    #[test]
+    fn multiple_windows_in_one_observation() {
+        let mut m = PowerSpy::new(
+            PowerSpyConfig::default()
+                .with_noise_std_w(0.0)
+                .with_quantization_w(0.0),
+        );
+        let s = m.observe(Watts(10.0), Nanos::from_secs(3));
+        assert_eq!(s.len(), 3);
+        assert!(s.iter().all(|x| (x.power.as_f64() - 10.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut m = PowerSpy::new(PowerSpyConfig::default().with_seed(seed));
+            let mut v = Vec::new();
+            for i in 1..=3000 {
+                v.extend(m.observe(Watts(25.0), Nanos::from_millis(i)));
+            }
+            v.iter().map(|s| s.power.as_f64()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn quantization_snaps_to_grid() {
+        let mut m = PowerSpy::new(
+            PowerSpyConfig::default()
+                .with_noise_std_w(0.0)
+                .with_quantization_w(0.5),
+        );
+        let s = m.observe(Watts(30.3), Nanos::from_secs(1));
+        assert!((s[0].power.as_f64() - 30.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_monotone_time_ignored() {
+        let mut m = PowerSpy::new(PowerSpyConfig::default());
+        m.observe(Watts(10.0), Nanos::from_millis(10));
+        assert!(m.observe(Watts(10.0), Nanos::from_millis(5)).is_empty());
+        assert!(m.observe(Watts(10.0), Nanos::from_millis(10)).is_empty());
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let s = PowerSample {
+            at: Nanos::from_millis(123456),
+            power: Watts(31.48),
+        };
+        let f = encode_frame(&s);
+        let back = decode_frame(&f).unwrap();
+        assert_eq!(back.at, s.at);
+        assert!((back.power.as_f64() - 31.48).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frame_corruption_detected() {
+        let s = PowerSample {
+            at: Nanos::from_millis(1000),
+            power: Watts(30.0),
+        };
+        let f = encode_frame(&s);
+        // Flip a digit in the payload.
+        let corrupted = f.replace("30000", "31000");
+        assert!(matches!(decode_frame(&corrupted), Err(Error::BadFrame(_))));
+        for bad in ["", "PWR 1", "PWR a b *00", "PWR 1 2 3 *??", "X 1 2 *33"] {
+            assert!(decode_frame(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn config_builders_clamp() {
+        let c = PowerSpyConfig::new()
+            .with_sample_period(Nanos::ZERO)
+            .with_noise_std_w(-1.0)
+            .with_quantization_w(-1.0);
+        assert_eq!(c.sample_period, Nanos(1));
+        assert_eq!(c.noise_std_w, 0.0);
+        assert_eq!(c.quantization_w, 0.0);
+    }
+}

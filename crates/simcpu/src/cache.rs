@@ -1,0 +1,219 @@
+//! Analytic cache-hierarchy model. Given a workload's working-set size and
+//! temporal locality it yields per-level hit fractions, which drive both
+//! the stall model (execution speed) and the `cache-references` /
+//! `cache-misses` counters that the paper's power model consumes.
+
+use crate::{Error, Result};
+
+/// Static description of a three-level cache hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheHierarchy {
+    l1d_kb: u32,
+    l2_kb: u32,
+    l3_kb: u32,
+    /// L2 hit latency in core cycles.
+    l2_latency_cycles: f64,
+    /// L3 hit latency in core cycles.
+    l3_latency_cycles: f64,
+    /// DRAM latency in nanoseconds (frequency-independent — the memory
+    /// wall: at higher core clocks a miss costs *more* cycles).
+    dram_latency_ns: f64,
+}
+
+impl CacheHierarchy {
+    /// Creates a hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] when capacities are zero or not strictly
+    /// increasing (L1 < L2 < L3).
+    pub fn new(l1d_kb: u32, l2_kb: u32, l3_kb: u32) -> Result<CacheHierarchy> {
+        if l1d_kb == 0 || l2_kb == 0 || l3_kb == 0 {
+            return Err(Error::InvalidConfig("cache sizes must be non-zero"));
+        }
+        if !(l1d_kb < l2_kb && l2_kb < l3_kb) {
+            return Err(Error::InvalidConfig("cache sizes must strictly increase"));
+        }
+        Ok(CacheHierarchy {
+            l1d_kb,
+            l2_kb,
+            l3_kb,
+            l2_latency_cycles: 12.0,
+            l3_latency_cycles: 30.0,
+            dram_latency_ns: 65.0,
+        })
+    }
+
+    /// L1 data capacity per core in KB.
+    pub fn l1d_kb(&self) -> u32 {
+        self.l1d_kb
+    }
+
+    /// L2 capacity per core in KB.
+    pub fn l2_kb(&self) -> u32 {
+        self.l2_kb
+    }
+
+    /// Shared L3 capacity in KB.
+    pub fn l3_kb(&self) -> u32 {
+        self.l3_kb
+    }
+
+    /// L2 hit latency (cycles).
+    pub fn l2_latency_cycles(&self) -> f64 {
+        self.l2_latency_cycles
+    }
+
+    /// L3 hit latency (cycles).
+    pub fn l3_latency_cycles(&self) -> f64 {
+        self.l3_latency_cycles
+    }
+
+    /// DRAM latency (ns).
+    pub fn dram_latency_ns(&self) -> f64 {
+        self.dram_latency_ns
+    }
+
+    /// Computes the access profile for a workload with the given working
+    /// set (`footprint_kb`) and temporal `locality` in `[0, 1]`.
+    ///
+    /// Misses at each level follow a capacity model: the fraction of the
+    /// working set that does not fit misses, attenuated by locality (hot
+    /// subsets get re-referenced before eviction).
+    pub fn profile(&self, footprint_kb: f64, locality: f64) -> AccessProfile {
+        let locality = locality.clamp(0.0, 1.0);
+        let footprint = footprint_kb.max(1.0);
+        let miss = |capacity_kb: u32| -> f64 {
+            let cap = capacity_kb as f64;
+            if footprint <= cap {
+                // Tiny compulsory-miss floor even for fitting sets.
+                0.001
+            } else {
+                let capacity_miss = 1.0 - cap / footprint;
+                (capacity_miss * (1.0 - 0.85 * locality)).clamp(0.001, 1.0)
+            }
+        };
+        let m1 = miss(self.l1d_kb);
+        let m2 = miss(self.l2_kb);
+        let m3 = miss(self.l3_kb);
+        AccessProfile {
+            l1_miss: m1,
+            l2_miss: m2,
+            l3_miss: m3,
+        }
+    }
+}
+
+/// Per-level conditional miss ratios for one workload (each conditioned on
+/// missing the previous level), plus helpers for the absolute fractions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccessProfile {
+    /// P(miss L1).
+    pub l1_miss: f64,
+    /// P(miss L2 | miss L1).
+    pub l2_miss: f64,
+    /// P(miss L3 | miss L2).
+    pub l3_miss: f64,
+}
+
+impl AccessProfile {
+    /// Fraction of memory accesses that reach the LLC
+    /// (= `cache-references` per access).
+    pub fn llc_reference_rate(&self) -> f64 {
+        self.l1_miss * self.l2_miss
+    }
+
+    /// Fraction of memory accesses that miss the LLC and go to DRAM
+    /// (= `cache-misses` per access).
+    pub fn llc_miss_rate(&self) -> f64 {
+        self.l1_miss * self.l2_miss * self.l3_miss
+    }
+
+    /// Average stall cycles per memory access, assuming `overlap` of the
+    /// latency is hidden by out-of-order execution (0 = fully exposed,
+    /// 1 = fully hidden).
+    pub fn stall_cycles_per_access(
+        &self,
+        hierarchy: &CacheHierarchy,
+        core_ghz: f64,
+        overlap: f64,
+    ) -> f64 {
+        let exposed = (1.0 - overlap).clamp(0.0, 1.0);
+        let l2 = self.l1_miss * (1.0 - self.l2_miss) * hierarchy.l2_latency_cycles();
+        let l3 = self.llc_reference_rate() * (1.0 - self.l3_miss) * hierarchy.l3_latency_cycles();
+        let dram = self.llc_miss_rate() * hierarchy.dram_latency_ns() * core_ghz;
+        (l2 + l3 + dram) * exposed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i3_caches() -> CacheHierarchy {
+        // Table 1: L1 64 KB/core (32 KB data side), L2 256 KB/core, L3 3 MB.
+        CacheHierarchy::new(32, 256, 3072).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(CacheHierarchy::new(0, 256, 3072).is_err());
+        assert!(CacheHierarchy::new(256, 256, 3072).is_err());
+        assert!(CacheHierarchy::new(512, 256, 3072).is_err());
+        assert!(i3_caches().l1d_kb() == 32);
+    }
+
+    #[test]
+    fn fitting_working_set_barely_misses() {
+        let p = i3_caches().profile(16.0, 0.5);
+        assert!(p.l1_miss <= 0.001 + 1e-12);
+        assert!(p.llc_miss_rate() < 1e-6);
+    }
+
+    #[test]
+    fn miss_rates_grow_with_footprint() {
+        let h = i3_caches();
+        let small = h.profile(64.0, 0.3);
+        let large = h.profile(65536.0, 0.3);
+        assert!(large.l1_miss > small.l1_miss);
+        assert!(large.llc_miss_rate() > small.llc_miss_rate());
+        assert!(large.llc_miss_rate() > 0.1, "64 MB set thrashes a 3 MB LLC");
+    }
+
+    #[test]
+    fn locality_reduces_misses() {
+        let h = i3_caches();
+        let stream = h.profile(8192.0, 0.0);
+        let hot = h.profile(8192.0, 0.9);
+        assert!(hot.l1_miss < stream.l1_miss);
+        assert!(hot.llc_miss_rate() < stream.llc_miss_rate());
+    }
+
+    #[test]
+    fn hierarchy_ordering_of_rates() {
+        let p = i3_caches().profile(4096.0, 0.4);
+        // Absolute rates must be a decreasing chain.
+        assert!(p.l1_miss >= p.llc_reference_rate());
+        assert!(p.llc_reference_rate() >= p.llc_miss_rate());
+        assert!(p.llc_miss_rate() > 0.0);
+    }
+
+    #[test]
+    fn dram_stalls_scale_with_frequency() {
+        let h = i3_caches();
+        let p = h.profile(65536.0, 0.0);
+        let slow = p.stall_cycles_per_access(&h, 1.6, 0.6);
+        let fast = p.stall_cycles_per_access(&h, 3.3, 0.6);
+        assert!(fast > slow, "memory wall: higher clock, more stall cycles");
+    }
+
+    #[test]
+    fn overlap_hides_latency() {
+        let h = i3_caches();
+        let p = h.profile(65536.0, 0.0);
+        let exposed = p.stall_cycles_per_access(&h, 3.3, 0.0);
+        let hidden = p.stall_cycles_per_access(&h, 3.3, 1.0);
+        assert!(exposed > 0.0);
+        assert_eq!(hidden, 0.0);
+    }
+}

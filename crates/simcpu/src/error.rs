@@ -1,0 +1,66 @@
+use crate::units::{CpuId, MegaHertz};
+use std::fmt;
+
+/// Error type for fallible `simcpu` operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A logical CPU index was out of range for the machine's topology.
+    NoSuchCpu {
+        /// The offending index.
+        cpu: CpuId,
+        /// Number of logical CPUs the machine has.
+        available: usize,
+    },
+    /// A frequency not present in the P-state table was requested.
+    UnsupportedFrequency {
+        /// The requested frequency.
+        requested: MegaHertz,
+    },
+    /// A configuration value was invalid (message explains which).
+    InvalidConfig(&'static str),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NoSuchCpu { cpu, available } => {
+                write!(f, "no such cpu {cpu}: machine has {available} logical cpus")
+            }
+            Error::UnsupportedFrequency { requested } => {
+                write!(f, "frequency {requested} is not in the p-state table")
+            }
+            Error::InvalidConfig(msg) => write!(f, "invalid machine config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errors = [
+            Error::NoSuchCpu {
+                cpu: CpuId(9),
+                available: 4,
+            },
+            Error::UnsupportedFrequency {
+                requested: MegaHertz(1234),
+            },
+            Error::InvalidConfig("threads_per_core must be 1 or 2"),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<Error>();
+    }
+}

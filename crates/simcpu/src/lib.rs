@@ -1,0 +1,61 @@
+//! # simcpu
+//!
+//! A cycle-approximate multi-core CPU and machine simulator: the "Machine /
+//! CPU" box of the paper's Figure 1. It stands in for the physical Intel
+//! Core i3-2120 testbed (and the comparison machines) that the original
+//! work measured with a PowerSpy meter.
+//!
+//! The simulator models the architectural features the paper calls out:
+//!
+//! * **multi-core topology** with **SMT** (HyperThreading) sibling threads
+//!   sharing a core's pipeline and caches;
+//! * **DVFS** (SpeedStep): per-core P-states with a frequency/voltage table;
+//! * **TurboBoost**: opportunistic frequency bins that depend on how many
+//!   cores are active (disabled on the i3-2120 preset, as in Table 1);
+//! * **C-states**: idle states with distinct power levels and residencies;
+//! * a three-level **cache hierarchy** whose miss behaviour is driven by
+//!   each workload's footprint and locality;
+//! * **hardware performance counters** per logical CPU (instructions,
+//!   cycles, cache references/misses, branches, …).
+//!
+//! Crucially, the machine contains a **hidden ground-truth power model**
+//! ([`power::PowerModel`]) combining leakage, per-core `C·V²·f` dynamic
+//! power, per-event energies, uncore activity and SMT sharing. Client
+//! crates (the power-model learner, the meter, RAPL) only observe counters
+//! and watts — never the model itself — exactly like software on real
+//! hardware.
+//!
+//! ```
+//! use simcpu::machine::Machine;
+//! use simcpu::presets;
+//! use simcpu::workunit::WorkUnit;
+//!
+//! let mut machine = Machine::new(presets::intel_i3_2120());
+//! let cpu_bound = WorkUnit::cpu_intensive(1.0);
+//! // Run the work on logical CPU 0 for one millisecond; others idle.
+//! let report = machine.tick(&[Some(&cpu_bound), None, None, None], 1_000_000);
+//! assert!(report.power.as_f64() > 0.0);
+//! assert!(report.deltas[0].instructions > 0);
+//! assert_eq!(report.deltas[1].instructions, 0);
+//! ```
+
+pub mod cache;
+pub mod counters;
+pub mod cstate;
+pub mod exec;
+pub mod freq;
+pub mod machine;
+pub mod power;
+pub mod presets;
+pub mod topology;
+pub mod units;
+pub mod workunit;
+
+mod error;
+
+pub use error::Error;
+pub use machine::{Machine, TickReport};
+pub use units::{CpuId, Joules, MegaHertz, Nanos, Watts};
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;

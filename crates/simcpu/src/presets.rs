@@ -1,0 +1,267 @@
+//! Ready-made machine configurations for the paper's experiments, plus the
+//! [`Spec`] view that regenerates Table 1.
+
+use crate::cache::CacheHierarchy;
+use crate::cstate::CStateMenu;
+use crate::freq::{ladder, PState, PStateTable};
+use crate::machine::MachineConfig;
+use crate::power::PowerModel;
+use crate::topology::Topology;
+use crate::units::MegaHertz;
+
+/// The paper's testbed (Table 1): Intel Core i3-2120 — 2 cores × 2 SMT
+/// threads, 1.6–3.3 GHz SpeedStep, HyperThreading, **no** TurboBoost,
+/// C-states, 65 W TDP, 32 KB L1d + 256 KB L2 per core, 3 MB shared L3.
+pub fn intel_i3_2120() -> MachineConfig {
+    let freqs = [1600, 1800, 2000, 2200, 2400, 2600, 2800, 3000, 3200, 3300];
+    MachineConfig {
+        vendor: "Intel".to_string(),
+        family: "i3".to_string(),
+        model: "2120".to_string(),
+        topology: Topology::new(1, 2, 2).expect("valid topology"),
+        pstates: PStateTable::without_turbo(
+            ladder(&freqs, 0.85, 1.05).expect("valid ladder"),
+        )
+        .expect("valid table"),
+        cstates: CStateMenu::sandy_bridge(),
+        caches: CacheHierarchy::new(32, 256, 3072).expect("valid caches"),
+        power: PowerModel::builder()
+            .platform_idle_w(26.0)
+            .package_idle_w(5.5)
+            .core_baseline_w_per_ghz_v2(2.7)
+            .smt_second_thread_factor(0.10)
+            .vref(1.05)
+            .thermal_tau_s(30.0)
+            .thermal_resistance_c_per_w(1.2)
+            .thermal_leak_w_per_c(0.30)
+            .build(),
+        tdp_w: 65.0,
+    }
+}
+
+/// The Bertran et al. comparison platform: Intel Core 2 Duo E6600 — a
+/// "simple architecture without any features for improving performances
+/// (no HyperThreading, no TurboBoost)", which is why counter-linear models
+/// fit it so well (§4).
+pub fn core2duo_e6600() -> MachineConfig {
+    MachineConfig {
+        vendor: "Intel".to_string(),
+        family: "Core 2 Duo".to_string(),
+        model: "E6600".to_string(),
+        topology: Topology::new(1, 2, 1).expect("valid topology"),
+        pstates: PStateTable::without_turbo(
+            ladder(&[1600, 1867, 2133, 2400], 1.10, 1.25).expect("valid ladder"),
+        )
+        .expect("valid table"),
+        cstates: CStateMenu::halt_only(),
+        caches: CacheHierarchy::new(32, 1024, 4096).expect("valid caches"),
+        power: PowerModel::builder()
+            .platform_idle_w(38.0)
+            .package_idle_w(9.0)
+            .core_baseline_w_per_ghz_v2(3.4)
+            // No SMT on this part; the factor is irrelevant but harmless.
+            .smt_second_thread_factor(0.25)
+            .uncore_active_w(1.0)
+            .vref(1.25)
+            // Small die, generous heatsink for its era: little thermal
+            // leakage swing — part of why linear models fit it so well.
+            .thermal_tau_s(25.0)
+            .thermal_resistance_c_per_w(0.5)
+            .thermal_leak_w_per_c(0.05)
+            .build(),
+        tdp_w: 65.0,
+    }
+}
+
+/// An SMT + TurboBoost server part in the spirit of the HaPPy evaluation
+/// machines (Zhai et al.): 4 cores × 2 threads with active-core-dependent
+/// turbo bins — the architecture class where HT-oblivious models go wrong.
+pub fn xeon_smt_turbo() -> MachineConfig {
+    let turbo = vec![
+        PState::new(MegaHertz(3200), 1.16).expect("valid"),
+        PState::new(MegaHertz(3100), 1.14).expect("valid"),
+        PState::new(MegaHertz(3000), 1.12).expect("valid"),
+        PState::new(MegaHertz(2900), 1.10).expect("valid"),
+    ];
+    MachineConfig {
+        vendor: "Intel".to_string(),
+        family: "Xeon".to_string(),
+        model: "E5-sim".to_string(),
+        topology: Topology::new(1, 4, 2).expect("valid topology"),
+        pstates: PStateTable::new(
+            ladder(&[1200, 1600, 2000, 2300, 2600], 0.80, 1.02).expect("valid ladder"),
+            turbo,
+        )
+        .expect("valid table"),
+        cstates: CStateMenu::sandy_bridge(),
+        caches: CacheHierarchy::new(32, 256, 8192).expect("valid caches"),
+        power: PowerModel::builder()
+            .platform_idle_w(55.0)
+            .package_idle_w(11.0)
+            .core_baseline_w_per_ghz_v2(3.1)
+            .smt_second_thread_factor(0.12)
+            .uncore_active_w(4.5)
+            .vref(1.02)
+            .thermal_tau_s(40.0)
+            .thermal_resistance_c_per_w(0.9)
+            .thermal_leak_w_per_c(0.30)
+            .build(),
+        tdp_w: 95.0,
+    }
+}
+
+/// The Table-1 style specification sheet of a machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spec {
+    /// Vendor name.
+    pub vendor: String,
+    /// Processor family.
+    pub processor: String,
+    /// Model designation.
+    pub model: String,
+    /// Hardware-thread count ("Design" row of Table 1).
+    pub design_threads: usize,
+    /// Maximum nominal frequency.
+    pub frequency: MegaHertz,
+    /// Thermal design power, watts.
+    pub tdp_w: f64,
+    /// SpeedStep / DVFS support.
+    pub speedstep: bool,
+    /// HyperThreading / SMT support.
+    pub hyperthreading: bool,
+    /// TurboBoost / overclocking support.
+    pub turboboost: bool,
+    /// Idle C-state support (beyond plain C1 halt).
+    pub cstates: bool,
+    /// L1 cache per core in KB (instruction + data sides).
+    pub l1_per_core_kb: u32,
+    /// L2 cache per core in KB.
+    pub l2_per_core_kb: u32,
+    /// Shared L3 in KB.
+    pub l3_kb: u32,
+}
+
+impl Spec {
+    /// Extracts the spec sheet from a machine configuration.
+    pub fn of(config: &MachineConfig) -> Spec {
+        Spec {
+            vendor: config.vendor.clone(),
+            processor: config.family.clone(),
+            model: config.model.clone(),
+            design_threads: config.topology.logical_cpus(),
+            frequency: config.pstates.max().frequency(),
+            tdp_w: config.tdp_w,
+            speedstep: config.pstates.states().len() > 1,
+            hyperthreading: config.topology.has_smt(),
+            turboboost: config.pstates.has_turbo(),
+            cstates: config.cstates.len() > 1,
+            // Table 1 counts both I and D sides: 2 × L1d.
+            l1_per_core_kb: config.caches.l1d_kb() * 2,
+            l2_per_core_kb: config.caches.l2_kb(),
+            l3_kb: config.caches.l3_kb(),
+        }
+    }
+
+    /// The spec as (label, value) rows in Table 1's order.
+    pub fn rows(&self) -> Vec<(String, String)> {
+        let mark = |b: bool| if b { "yes" } else { "no" }.to_string();
+        vec![
+            ("Vendor".to_string(), self.vendor.clone()),
+            ("Processor".to_string(), self.processor.clone()),
+            ("Model".to_string(), self.model.clone()),
+            (
+                "Design".to_string(),
+                format!("{} threads", self.design_threads),
+            ),
+            ("Frequency".to_string(), self.frequency.to_string()),
+            ("TDP".to_string(), format!("{:.0} W", self.tdp_w)),
+            ("SpeedStep (DVFS)".to_string(), mark(self.speedstep)),
+            ("HyperThreading (SMT)".to_string(), mark(self.hyperthreading)),
+            ("TurboBoost (Overclocking)".to_string(), mark(self.turboboost)),
+            ("C-states (Idle states)".to_string(), mark(self.cstates)),
+            (
+                "L1 cache".to_string(),
+                format!("{} KB / core", self.l1_per_core_kb),
+            ),
+            (
+                "L2 cache".to_string(),
+                format!("{} KB / core", self.l2_per_core_kb),
+            ),
+            ("L3 cache".to_string(), format!("{} MB", self.l3_kb / 1024)),
+        ]
+    }
+}
+
+impl std::fmt::Display for Spec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (label, value) in self.rows() {
+            writeln!(f, "{label:<28} {value}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i3_matches_table_1() {
+        let spec = Spec::of(&intel_i3_2120());
+        assert_eq!(spec.vendor, "Intel");
+        assert_eq!(spec.processor, "i3");
+        assert_eq!(spec.model, "2120");
+        assert_eq!(spec.design_threads, 4);
+        assert_eq!(spec.frequency, MegaHertz(3300));
+        assert_eq!(spec.tdp_w, 65.0);
+        assert!(spec.speedstep, "Table 1: SpeedStep yes");
+        assert!(spec.hyperthreading, "Table 1: HyperThreading yes");
+        assert!(!spec.turboboost, "Table 1: TurboBoost no");
+        assert!(spec.cstates, "Table 1: C-states yes");
+        assert_eq!(spec.l1_per_core_kb, 64, "Table 1: L1 64 KB / core");
+        assert_eq!(spec.l2_per_core_kb, 256, "Table 1: L2 256 KB / core");
+        assert_eq!(spec.l3_kb, 3072, "Table 1: L3 3 MB");
+    }
+
+    #[test]
+    fn core2duo_is_simple() {
+        let spec = Spec::of(&core2duo_e6600());
+        assert!(!spec.hyperthreading);
+        assert!(!spec.turboboost);
+        assert!(!spec.cstates, "halt-only menu counts as no deep C-states");
+        assert_eq!(spec.design_threads, 2);
+    }
+
+    #[test]
+    fn xeon_has_everything() {
+        let spec = Spec::of(&xeon_smt_turbo());
+        assert!(spec.hyperthreading);
+        assert!(spec.turboboost);
+        assert!(spec.cstates);
+        assert_eq!(spec.design_threads, 8);
+    }
+
+    #[test]
+    fn spec_rows_match_table_1_layout() {
+        let rows = Spec::of(&intel_i3_2120()).rows();
+        assert_eq!(rows.len(), 13);
+        assert_eq!(rows[0].0, "Vendor");
+        assert_eq!(rows[4].1, "3.30 GHz");
+        assert_eq!(rows[12].1, "3 MB");
+        let display = Spec::of(&intel_i3_2120()).to_string();
+        let turbo_line = display
+            .lines()
+            .find(|l| l.starts_with("TurboBoost"))
+            .expect("turbo row present");
+        assert!(turbo_line.ends_with("no"));
+    }
+
+    #[test]
+    fn presets_boot() {
+        use crate::machine::Machine;
+        for cfg in [intel_i3_2120(), core2duo_e6600(), xeon_smt_turbo()] {
+            let m = Machine::new(cfg);
+            assert!(m.last_power().as_f64() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Workload descriptions as the CPU sees them: an instruction mix, a
+//! memory footprint/locality pair and a duty cycle. The `workloads` crate
+//! composes these into full applications (stress grids, SPECjbb-like
+//! phases, …); `simcpu` only needs the per-slice characteristics.
+
+use crate::{Error, Result};
+
+/// The characteristics of the instruction stream a thread wants to run.
+///
+/// All `*_ratio` fields are fractions of retired instructions and must sum
+/// to at most 1; the remainder is plain integer ALU work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkUnit {
+    mem_ratio: f64,
+    branch_ratio: f64,
+    fp_ratio: f64,
+    branch_miss_rate: f64,
+    footprint_kb: f64,
+    locality: f64,
+    base_ipc: f64,
+    intensity: f64,
+}
+
+impl WorkUnit {
+    /// Creates a fully-specified work unit.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] when ratios are outside `[0, 1]`, their sum
+    /// exceeds 1, `base_ipc` is non-positive, or `footprint_kb` is
+    /// negative.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        mem_ratio: f64,
+        branch_ratio: f64,
+        fp_ratio: f64,
+        branch_miss_rate: f64,
+        footprint_kb: f64,
+        locality: f64,
+        base_ipc: f64,
+        intensity: f64,
+    ) -> Result<WorkUnit> {
+        let in_unit = |v: f64| (0.0..=1.0).contains(&v) && v.is_finite();
+        if !in_unit(mem_ratio) || !in_unit(branch_ratio) || !in_unit(fp_ratio) {
+            return Err(Error::InvalidConfig("instruction mix ratios must be in [0, 1]"));
+        }
+        if mem_ratio + branch_ratio + fp_ratio > 1.0 + 1e-9 {
+            return Err(Error::InvalidConfig("instruction mix ratios must sum to <= 1"));
+        }
+        if !in_unit(branch_miss_rate) {
+            return Err(Error::InvalidConfig("branch miss rate must be in [0, 1]"));
+        }
+        if !in_unit(locality) {
+            return Err(Error::InvalidConfig("locality must be in [0, 1]"));
+        }
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must be rejected too
+        if !(base_ipc > 0.0) || base_ipc > 8.0 {
+            return Err(Error::InvalidConfig("base ipc must be in (0, 8]"));
+        }
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must be rejected too
+        if !(footprint_kb >= 0.0) || !footprint_kb.is_finite() {
+            return Err(Error::InvalidConfig("footprint must be non-negative"));
+        }
+        if !in_unit(intensity) {
+            return Err(Error::InvalidConfig("intensity must be in [0, 1]"));
+        }
+        Ok(WorkUnit {
+            mem_ratio,
+            branch_ratio,
+            fp_ratio,
+            branch_miss_rate,
+            footprint_kb,
+            locality,
+            base_ipc,
+            intensity,
+        })
+    }
+
+    /// A compute-bound kernel: tiny footprint, high ILP, few memory ops.
+    /// `intensity` is the duty cycle in `[0, 1]` (clamped).
+    pub fn cpu_intensive(intensity: f64) -> WorkUnit {
+        WorkUnit::new(0.08, 0.15, 0.20, 0.01, 16.0, 0.95, 2.6, intensity.clamp(0.0, 1.0))
+            .expect("hardcoded parameters are valid")
+    }
+
+    /// A memory-streaming kernel: large footprint, low locality, lots of
+    /// loads/stores. `footprint_kb` sets the working set.
+    pub fn memory_intensive(footprint_kb: f64, intensity: f64) -> WorkUnit {
+        WorkUnit::new(
+            0.45,
+            0.10,
+            0.05,
+            0.02,
+            footprint_kb.max(1.0),
+            0.10,
+            1.8,
+            intensity.clamp(0.0, 1.0),
+        )
+        .expect("hardcoded parameters are valid")
+    }
+
+    /// A balanced mix between the two extremes; `mem_weight` in `[0, 1]`
+    /// slides from compute-bound (0) to memory-bound (1).
+    pub fn mixed(mem_weight: f64, footprint_kb: f64, intensity: f64) -> WorkUnit {
+        let w = mem_weight.clamp(0.0, 1.0);
+        WorkUnit::new(
+            0.08 + w * (0.45 - 0.08),
+            0.15 - w * 0.05,
+            0.20 - w * 0.15,
+            0.01 + w * 0.01,
+            footprint_kb.max(1.0),
+            0.95 - w * 0.85,
+            2.6 - w * 0.8,
+            intensity.clamp(0.0, 1.0),
+        )
+        .expect("interpolated parameters are valid")
+    }
+
+    /// Fraction of instructions that touch memory.
+    pub fn mem_ratio(&self) -> f64 {
+        self.mem_ratio
+    }
+
+    /// Fraction of instructions that are branches.
+    pub fn branch_ratio(&self) -> f64 {
+        self.branch_ratio
+    }
+
+    /// Fraction of instructions that are floating-point.
+    pub fn fp_ratio(&self) -> f64 {
+        self.fp_ratio
+    }
+
+    /// Misprediction rate among branches.
+    pub fn branch_miss_rate(&self) -> f64 {
+        self.branch_miss_rate
+    }
+
+    /// Working-set size in KB.
+    pub fn footprint_kb(&self) -> f64 {
+        self.footprint_kb
+    }
+
+    /// Temporal locality in `[0, 1]`.
+    pub fn locality(&self) -> f64 {
+        self.locality
+    }
+
+    /// Ideal (stall-free, single-thread) instructions per cycle.
+    pub fn base_ipc(&self) -> f64 {
+        self.base_ipc
+    }
+
+    /// Duty cycle in `[0, 1]`: fraction of the slice actually executing.
+    pub fn intensity(&self) -> f64 {
+        self.intensity
+    }
+
+    /// Returns a copy with a different intensity (clamped to `[0, 1]`).
+    pub fn with_intensity(mut self, intensity: f64) -> WorkUnit {
+        self.intensity = intensity.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Returns a copy with a different footprint (min 1 KB).
+    pub fn with_footprint_kb(mut self, footprint_kb: f64) -> WorkUnit {
+        self.footprint_kb = footprint_kb.max(1.0);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rejects_bad_mixes() {
+        assert!(WorkUnit::new(0.6, 0.3, 0.3, 0.0, 1.0, 0.5, 1.0, 1.0).is_err());
+        assert!(WorkUnit::new(-0.1, 0.0, 0.0, 0.0, 1.0, 0.5, 1.0, 1.0).is_err());
+        assert!(WorkUnit::new(0.1, 0.1, 0.1, 1.5, 1.0, 0.5, 1.0, 1.0).is_err());
+        assert!(WorkUnit::new(0.1, 0.1, 0.1, 0.0, 1.0, 2.0, 1.0, 1.0).is_err());
+        assert!(WorkUnit::new(0.1, 0.1, 0.1, 0.0, 1.0, 0.5, 0.0, 1.0).is_err());
+        assert!(WorkUnit::new(0.1, 0.1, 0.1, 0.0, 1.0, 0.5, 9.0, 1.0).is_err());
+        assert!(WorkUnit::new(0.1, 0.1, 0.1, 0.0, -1.0, 0.5, 1.0, 1.0).is_err());
+        assert!(WorkUnit::new(0.1, 0.1, 0.1, 0.0, 1.0, 0.5, 1.0, 1.1).is_err());
+    }
+
+    #[test]
+    fn presets_are_distinct() {
+        let cpu = WorkUnit::cpu_intensive(1.0);
+        let mem = WorkUnit::memory_intensive(65536.0, 1.0);
+        assert!(cpu.mem_ratio() < mem.mem_ratio());
+        assert!(cpu.locality() > mem.locality());
+        assert!(cpu.base_ipc() > mem.base_ipc());
+        assert!(cpu.footprint_kb() < mem.footprint_kb());
+    }
+
+    #[test]
+    fn mixed_interpolates_monotonically() {
+        let a = WorkUnit::mixed(0.0, 1024.0, 1.0);
+        let b = WorkUnit::mixed(0.5, 1024.0, 1.0);
+        let c = WorkUnit::mixed(1.0, 1024.0, 1.0);
+        assert!(a.mem_ratio() < b.mem_ratio() && b.mem_ratio() < c.mem_ratio());
+        assert!(a.locality() > b.locality() && b.locality() > c.locality());
+        // End points line up with the named presets' mixes.
+        assert!((a.mem_ratio() - WorkUnit::cpu_intensive(1.0).mem_ratio()).abs() < 1e-12);
+        assert!((c.mem_ratio() - WorkUnit::memory_intensive(1.0, 1.0).mem_ratio()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intensity_clamped() {
+        assert_eq!(WorkUnit::cpu_intensive(7.0).intensity(), 1.0);
+        assert_eq!(WorkUnit::cpu_intensive(-1.0).intensity(), 0.0);
+        let w = WorkUnit::cpu_intensive(1.0).with_intensity(0.25);
+        assert_eq!(w.intensity(), 0.25);
+    }
+
+    #[test]
+    fn with_footprint_floors_at_1kb() {
+        let w = WorkUnit::cpu_intensive(1.0).with_footprint_kb(0.0);
+        assert_eq!(w.footprint_kb(), 1.0);
+    }
+}

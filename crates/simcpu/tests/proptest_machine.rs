@@ -1,0 +1,111 @@
+//! Property-based tests for the CPU simulator: counter-chain invariants,
+//! power bounds and monotonicity over arbitrary workloads.
+
+use proptest::prelude::*;
+use simcpu::machine::Machine;
+use simcpu::presets;
+use simcpu::units::Nanos;
+use simcpu::workunit::WorkUnit;
+
+/// An arbitrary-but-valid work unit.
+fn work_unit() -> impl Strategy<Value = WorkUnit> {
+    (
+        0.0f64..0.5,   // mem
+        0.0f64..0.3,   // branch
+        0.0f64..0.2,   // fp
+        0.0f64..0.2,   // branch miss rate
+        1.0f64..524_288.0, // footprint KB
+        0.0f64..1.0,   // locality
+        0.5f64..4.0,   // base ipc
+        0.0f64..1.0,   // intensity
+    )
+        .prop_map(|(m, b, f, bm, fp, loc, ipc, int)| {
+            WorkUnit::new(m, b, f, bm, fp, loc, ipc, int).expect("ranges are valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn counter_chain_invariants(w in work_unit()) {
+        let mut m = Machine::new(presets::intel_i3_2120());
+        let r = m.tick(&[Some(&w), None, None, None], 10_000_000);
+        let d = &r.deltas[0];
+        // Hierarchy: accesses ≥ L1 misses ≥ LLC refs ≥ LLC misses.
+        prop_assert!(d.l1d_accesses >= d.l1d_misses);
+        prop_assert!(d.l1d_misses >= d.cache_references);
+        prop_assert!(d.cache_references >= d.cache_misses);
+        // Sub-populations of instructions.
+        prop_assert!(d.branch_instructions <= d.instructions);
+        prop_assert!(d.branch_misses <= d.branch_instructions);
+        prop_assert!(d.fp_instructions <= d.instructions);
+        prop_assert!(d.l1d_accesses <= d.instructions);
+        // Cycles bounded by the frequency budget.
+        let budget = m.pstates().min().frequency().cycles_over(Nanos(10_000_000));
+        prop_assert!(d.cycles <= budget);
+    }
+
+    #[test]
+    fn power_bounded_between_idle_and_ceiling(w in work_unit()) {
+        let mut m = Machine::new(presets::intel_i3_2120());
+        for c in 0..2 {
+            m.set_frequency(c, simcpu::MegaHertz(3300)).expect("nominal");
+        }
+        let r = m.tick(&[Some(&w), Some(&w), Some(&w), Some(&w)], 10_000_000);
+        let p = r.power.as_f64();
+        prop_assert!(p >= 31.0, "above the idle floor: {p}");
+        prop_assert!(p <= 110.0, "below platform + TDP headroom: {p}");
+        prop_assert!(r.package_power.as_f64() <= p);
+    }
+
+    #[test]
+    fn power_monotone_in_intensity(w in work_unit(), lo in 0.0f64..0.5, delta in 0.1f64..0.5) {
+        let mut m1 = Machine::new(presets::intel_i3_2120());
+        let mut m2 = Machine::new(presets::intel_i3_2120());
+        let weak = w.with_intensity(lo);
+        let strong = w.with_intensity(lo + delta);
+        let p1 = m1.tick(&[Some(&weak), None, None, None], 10_000_000).power;
+        let p2 = m2.tick(&[Some(&strong), None, None, None], 10_000_000).power;
+        prop_assert!(p2.as_f64() >= p1.as_f64() - 1e-9, "{p1} -> {p2}");
+    }
+
+    #[test]
+    fn energy_equals_integrated_power(w in work_unit(), ticks in 1usize..20) {
+        let mut m = Machine::new(presets::intel_i3_2120());
+        let mut sum = 0.0;
+        for _ in 0..ticks {
+            let r = m.tick(&[Some(&w), None, None, None], 5_000_000);
+            sum += r.power.as_f64() * 0.005;
+        }
+        prop_assert!((m.machine_energy().as_f64() - sum).abs() < 1e-6 * (1.0 + sum));
+    }
+
+    #[test]
+    fn determinism_same_inputs_same_outputs(w in work_unit()) {
+        let run = || {
+            let mut m = Machine::new(presets::xeon_smt_turbo());
+            let mut out = Vec::new();
+            for i in 0..5 {
+                let assign: Vec<Option<&WorkUnit>> = (0..8)
+                    .map(|c| if c % 2 == i % 2 { Some(&w) } else { None })
+                    .collect();
+                let r = m.tick(&assign, 2_000_000);
+                out.push((r.power, r.deltas));
+            }
+            out
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn smt_corun_power_below_two_cores(w in work_unit()) {
+        prop_assume!(w.intensity() > 0.2);
+        let mut corun = Machine::new(presets::intel_i3_2120());
+        let mut spread = Machine::new(presets::intel_i3_2120());
+        // Same two threads: siblings (cpu0+1) vs separate cores (cpu0+2).
+        let pc = corun.tick(&[Some(&w), Some(&w), None, None], 10_000_000).power;
+        let ps = spread.tick(&[Some(&w), None, Some(&w), None], 10_000_000).power;
+        prop_assert!(pc.as_f64() <= ps.as_f64() + 1e-9, "corun {pc} vs spread {ps}");
+    }
+}

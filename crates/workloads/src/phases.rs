@@ -1,0 +1,182 @@
+//! Phase scripting: a workload as a time-ordered sequence of
+//! `(work unit, duration)` phases, optionally looping, runnable as an
+//! [`os_sim::task::TaskBehavior`].
+
+use os_sim::task::{Slice, TaskBehavior};
+use simcpu::units::Nanos;
+use simcpu::workunit::WorkUnit;
+
+/// One phase of a scripted workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase {
+    /// What to execute during the phase.
+    pub work: WorkUnit,
+    /// How long the phase lasts.
+    pub duration: Nanos,
+}
+
+impl Phase {
+    /// Creates a phase.
+    pub fn new(work: WorkUnit, duration: Nanos) -> Phase {
+        Phase { work, duration }
+    }
+}
+
+/// An ordered list of phases.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PhaseScript {
+    phases: Vec<Phase>,
+    repeat: bool,
+}
+
+impl PhaseScript {
+    /// An empty, non-repeating script.
+    pub fn new() -> PhaseScript {
+        PhaseScript::default()
+    }
+
+    /// Appends a phase (builder style).
+    pub fn then(mut self, work: WorkUnit, duration: Nanos) -> PhaseScript {
+        self.phases.push(Phase::new(work, duration));
+        self
+    }
+
+    /// Makes the script loop forever.
+    pub fn repeating(mut self) -> PhaseScript {
+        self.repeat = true;
+        self
+    }
+
+    /// The phases.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Total scripted duration (one iteration).
+    pub fn total_duration(&self) -> Nanos {
+        Nanos(self.phases.iter().map(|p| p.duration.as_u64()).sum())
+    }
+
+    /// The work unit active `elapsed` into the script, or `None` when the
+    /// script has finished (never `None` for repeating scripts unless the
+    /// script is empty).
+    pub fn at(&self, elapsed: Nanos) -> Option<WorkUnit> {
+        let total = self.total_duration();
+        if total == Nanos::ZERO {
+            return None;
+        }
+        let t = if self.repeat {
+            Nanos(elapsed.as_u64() % total.as_u64())
+        } else if elapsed >= total {
+            return None;
+        } else {
+            elapsed
+        };
+        let mut acc = Nanos::ZERO;
+        for p in &self.phases {
+            acc += p.duration;
+            if t < acc {
+                return Some(p.work);
+            }
+        }
+        None
+    }
+}
+
+/// Runs a [`PhaseScript`] as a schedulable task. The script clock starts
+/// at the first scheduling decision, so spawn time does not shift phases.
+#[derive(Debug, Clone)]
+pub struct PhasedTask {
+    script: PhaseScript,
+    label: String,
+    started: Option<Nanos>,
+}
+
+impl PhasedTask {
+    /// Wraps a script.
+    pub fn new(label: impl Into<String>, script: PhaseScript) -> PhasedTask {
+        PhasedTask {
+            script,
+            label: label.into(),
+            started: None,
+        }
+    }
+
+    /// Boxed convenience constructor.
+    pub fn boxed(label: impl Into<String>, script: PhaseScript) -> Box<dyn TaskBehavior> {
+        Box::new(PhasedTask::new(label, script))
+    }
+}
+
+impl TaskBehavior for PhasedTask {
+    fn next_slice(&mut self, now: Nanos, _dt: Nanos) -> Slice {
+        let started = *self.started.get_or_insert(now);
+        match self.script.at(now - started) {
+            Some(work) => Slice::Run(work),
+            None => Slice::Done,
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: Nanos = Nanos(1_000_000_000);
+
+    fn cpu(i: f64) -> WorkUnit {
+        WorkUnit::cpu_intensive(i)
+    }
+
+    #[test]
+    fn script_lookup_by_elapsed() {
+        let s = PhaseScript::new().then(cpu(0.2), SEC).then(cpu(0.8), SEC);
+        assert_eq!(s.total_duration(), Nanos(2_000_000_000));
+        assert_eq!(s.at(Nanos::ZERO).unwrap().intensity(), 0.2);
+        assert_eq!(s.at(Nanos(999_999_999)).unwrap().intensity(), 0.2);
+        assert_eq!(s.at(SEC).unwrap().intensity(), 0.8);
+        assert_eq!(s.at(Nanos(2_000_000_000)), None, "finished");
+    }
+
+    #[test]
+    fn repeating_script_wraps() {
+        let s = PhaseScript::new()
+            .then(cpu(0.1), SEC)
+            .then(cpu(0.9), SEC)
+            .repeating();
+        assert_eq!(s.at(Nanos(2_500_000_000)).unwrap().intensity(), 0.1);
+        assert_eq!(s.at(Nanos(3_500_000_000)).unwrap().intensity(), 0.9);
+    }
+
+    #[test]
+    fn empty_script_yields_nothing() {
+        assert_eq!(PhaseScript::new().at(Nanos::ZERO), None);
+        assert_eq!(PhaseScript::new().repeating().at(Nanos::ZERO), None);
+    }
+
+    #[test]
+    fn phased_task_is_spawn_time_relative() {
+        let s = PhaseScript::new().then(cpu(0.5), SEC);
+        let mut t = PhasedTask::new("p", s);
+        // First consultation at t = 10 s: phase clock starts there.
+        let late = Nanos(10_000_000_000);
+        assert!(matches!(t.next_slice(late, Nanos(1)), Slice::Run(_)));
+        assert!(matches!(
+            t.next_slice(late + Nanos(999_999_999), Nanos(1)),
+            Slice::Run(_)
+        ));
+        assert_eq!(t.next_slice(late + SEC, Nanos(1)), Slice::Done);
+        assert_eq!(t.label(), "p");
+    }
+
+    #[test]
+    fn phases_accessor() {
+        let s = PhaseScript::new().then(cpu(1.0), SEC);
+        assert_eq!(s.phases().len(), 1);
+        assert_eq!(s.phases()[0], Phase::new(cpu(1.0), SEC));
+    }
+}

@@ -1,0 +1,91 @@
+//! Trace replay: turn a recorded utilization trace (one load sample per
+//! period, as a datacenter monitoring system would export) into a
+//! runnable [`PhaseScript`]. This is how real traces — the kind of
+//! "private Google benchmarks" the paper laments it cannot reproduce —
+//! get replayed against the simulator.
+
+use crate::phases::PhaseScript;
+use simcpu::units::Nanos;
+use simcpu::workunit::WorkUnit;
+
+/// Builds a phase script that replays `utilization` (values in `[0, 1]`,
+/// clamped) with `period` per sample, applying each load level to the
+/// given base workload.
+pub fn from_utilization_trace(
+    base: WorkUnit,
+    utilization: &[f64],
+    period: Nanos,
+) -> PhaseScript {
+    let mut script = PhaseScript::new();
+    for &u in utilization {
+        script = script.then(base.with_intensity(u.clamp(0.0, 1.0)), period);
+    }
+    script
+}
+
+/// A synthetic diurnal load curve: `samples` points of a day/night cycle
+/// with the given `peak` and `trough` utilization — a stand-in for the
+/// classic datacenter load shape.
+pub fn diurnal(samples: usize, trough: f64, peak: f64) -> Vec<f64> {
+    let (lo, hi) = (trough.clamp(0.0, 1.0), peak.clamp(0.0, 1.0));
+    (0..samples)
+        .map(|i| {
+            let phase = i as f64 / samples.max(1) as f64 * std::f64::consts::TAU;
+            // Peak mid-cycle; sharper peaks than troughs, like real DCs.
+            let s = (0.5 - 0.5 * phase.cos()).powf(1.5);
+            lo + (hi - lo) * s
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: Nanos = Nanos(1_000_000_000);
+
+    #[test]
+    fn replay_preserves_the_trace() {
+        let base = WorkUnit::mixed(0.4, 8192.0, 1.0);
+        let trace = [0.2, 0.9, 0.5];
+        let script = from_utilization_trace(base, &trace, SEC);
+        assert_eq!(script.total_duration(), Nanos(3_000_000_000));
+        for (i, &u) in trace.iter().enumerate() {
+            let w = script.at(Nanos(i as u64 * 1_000_000_000 + 1)).unwrap();
+            assert!((w.intensity() - u).abs() < 1e-12);
+            // The base mix is untouched; only intensity varies.
+            assert_eq!(w.mem_ratio(), base.mem_ratio());
+        }
+    }
+
+    #[test]
+    fn replay_clamps_out_of_range_samples() {
+        let base = WorkUnit::cpu_intensive(1.0);
+        let script = from_utilization_trace(base, &[-0.5, 2.0], SEC);
+        assert_eq!(script.at(Nanos(1)).unwrap().intensity(), 0.0);
+        assert_eq!(script.at(Nanos(1_500_000_000)).unwrap().intensity(), 1.0);
+    }
+
+    #[test]
+    fn diurnal_shape() {
+        let curve = diurnal(24, 0.1, 0.9);
+        assert_eq!(curve.len(), 24);
+        // Starts and ends at the trough, peaks mid-cycle.
+        assert!((curve[0] - 0.1).abs() < 1e-9);
+        let peak_idx = curve
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        assert!((10..=14).contains(&peak_idx), "peak at {peak_idx}");
+        assert!(curve[peak_idx] <= 0.9 + 1e-9);
+        assert!(curve.iter().all(|&u| (0.0..=1.0).contains(&u)));
+    }
+
+    #[test]
+    fn empty_trace_is_an_empty_script() {
+        let script = from_utilization_trace(WorkUnit::cpu_intensive(1.0), &[], SEC);
+        assert_eq!(script.at(Nanos::ZERO), None);
+    }
+}

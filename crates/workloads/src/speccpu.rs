@@ -1,0 +1,130 @@
+//! Six SPEC CPU2006-like application mixes — the suite Bertran et al.
+//! evaluate on (the paper quotes their 4.63 % average error over "six
+//! applications taken from the SPEC CPU2006 suite"). Mixes follow the
+//! published characterization of each benchmark: `mcf` is a pointer-chasing
+//! memory monster, `perlbench` is branchy integer code, `lbm`/`milc`
+//! stream floating-point data, and so on.
+
+use simcpu::units::Nanos;
+use simcpu::workunit::WorkUnit;
+
+/// One benchmark of the suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecBenchmark {
+    /// SPEC-style name, e.g. `"429.mcf"`.
+    pub name: &'static str,
+    /// Its steady-state behaviour.
+    pub work: WorkUnit,
+    /// Reference run length in the simulated harness.
+    pub duration: Nanos,
+}
+
+/// The six-application suite.
+pub fn suite() -> Vec<SpecBenchmark> {
+    let run = Nanos::from_secs(60);
+    vec![
+        SpecBenchmark {
+            name: "400.perlbench",
+            // Branchy integer interpreter, modest working set.
+            work: WorkUnit::new(0.22, 0.24, 0.01, 0.05, 24_576.0, 0.65, 2.2, 1.0)
+                .expect("valid mix"),
+            duration: run,
+        },
+        SpecBenchmark {
+            name: "401.bzip2",
+            // Integer compression, medium locality.
+            work: WorkUnit::new(0.28, 0.16, 0.0, 0.06, 8_192.0, 0.55, 2.0, 1.0)
+                .expect("valid mix"),
+            duration: run,
+        },
+        SpecBenchmark {
+            name: "403.gcc",
+            // Large code+data footprint, branchy.
+            work: WorkUnit::new(0.26, 0.22, 0.01, 0.07, 49_152.0, 0.45, 1.9, 1.0)
+                .expect("valid mix"),
+            duration: run,
+        },
+        SpecBenchmark {
+            name: "429.mcf",
+            // Pointer chasing over a huge graph: memory-bound.
+            work: WorkUnit::new(0.42, 0.12, 0.0, 0.04, 393_216.0, 0.05, 1.2, 1.0)
+                .expect("valid mix"),
+            duration: run,
+        },
+        SpecBenchmark {
+            name: "433.milc",
+            // FP lattice QCD, streaming access.
+            work: WorkUnit::new(0.38, 0.06, 0.35, 0.01, 131_072.0, 0.15, 1.7, 1.0)
+                .expect("valid mix"),
+            duration: run,
+        },
+        SpecBenchmark {
+            name: "470.lbm",
+            // FP fluid dynamics, bandwidth-bound streaming.
+            work: WorkUnit::new(0.40, 0.04, 0.40, 0.005, 262_144.0, 0.08, 1.6, 1.0)
+                .expect("valid mix"),
+            duration: run,
+        },
+    ]
+}
+
+/// Looks a benchmark up by (suffix of its) name.
+pub fn by_name(name: &str) -> Option<SpecBenchmark> {
+    suite().into_iter().find(|b| b.name.ends_with(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_six_applications() {
+        assert_eq!(suite().len(), 6, "Bertran et al. evaluated six apps");
+    }
+
+    #[test]
+    fn names_are_spec_style_and_unique() {
+        let s = suite();
+        let mut names: Vec<&str> = s.iter().map(|b| b.name).collect();
+        assert!(names.iter().all(|n| n.contains('.')));
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn mcf_is_the_memory_monster() {
+        let mcf = by_name("mcf").unwrap();
+        for b in suite() {
+            if b.name != mcf.name {
+                assert!(mcf.work.footprint_kb() >= b.work.footprint_kb());
+            }
+        }
+        assert!(mcf.work.locality() < 0.1);
+    }
+
+    #[test]
+    fn perlbench_is_the_branchiest() {
+        let perl = by_name("perlbench").unwrap();
+        for b in suite() {
+            if b.name != perl.name {
+                assert!(perl.work.branch_ratio() >= b.work.branch_ratio());
+            }
+        }
+    }
+
+    #[test]
+    fn fp_benchmarks_have_fp() {
+        assert!(by_name("milc").unwrap().work.fp_ratio() > 0.3);
+        assert!(by_name("lbm").unwrap().work.fp_ratio() > 0.3);
+        assert!(by_name("bzip2").unwrap().work.fp_ratio() < 0.01);
+    }
+
+    #[test]
+    fn lookup_by_suffix() {
+        assert!(by_name("403.gcc").is_some());
+        assert!(by_name("gcc").is_some());
+        assert!(by_name("nope").is_none());
+    }
+}

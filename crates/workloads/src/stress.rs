@@ -1,0 +1,144 @@
+//! The calibration stress grid of Figure 1: "specific CPU and memory
+//! intensive workloads" swept over intensity, footprint and mix so the
+//! regression sees the full counter-rate space at every frequency.
+
+use simcpu::workunit::WorkUnit;
+
+/// A named calibration point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StressPoint {
+    /// Human-readable label, e.g. `"cpu-70%"` or `"mem-64MB"`.
+    pub name: String,
+    /// The workload itself.
+    pub work: WorkUnit,
+}
+
+/// The paper's calibration grid ("we defined specific CPU and memory
+/// intensive workloads", §3): an idle anchor, a CPU-intensity sweep and a
+/// memory-footprint sweep — deliberately *no* mixed workloads, which is
+/// part of why the paper's fixed-generic-counter model shows double-digit
+/// error on a mixed application like SPECjbb (Figure 3).
+pub fn calibration_grid() -> Vec<StressPoint> {
+    let mut grid = Vec::new();
+    grid.push(StressPoint {
+        name: "idle".to_string(),
+        work: WorkUnit::cpu_intensive(0.0),
+    });
+    for pct in [10, 25, 40, 55, 70, 85, 100] {
+        grid.push(StressPoint {
+            name: format!("cpu-{pct}%"),
+            work: WorkUnit::cpu_intensive(pct as f64 / 100.0),
+        });
+    }
+    for footprint_kb in [128.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0] {
+        grid.push(StressPoint {
+            name: format!("mem-{}MB", footprint_kb as u64 / 1024),
+            work: WorkUnit::memory_intensive(footprint_kb, 1.0),
+        });
+    }
+    grid
+}
+
+/// An extended grid (beyond the paper): mixed-mix points and throttled
+/// memory bursts on top of [`calibration_grid`]. Covering the space
+/// between the pure extremes is one of the ways a learner can beat the
+/// paper's setup — the E5 ablation quantifies it.
+pub fn extended_grid() -> Vec<StressPoint> {
+    let mut grid = calibration_grid();
+    for (i, w) in [0.2, 0.4, 0.6, 0.8].iter().enumerate() {
+        grid.push(StressPoint {
+            name: format!("mix-{}", i + 1),
+            work: WorkUnit::mixed(*w, 8192.0 * (i + 1) as f64, 1.0),
+        });
+    }
+    for pct in [30, 60, 90] {
+        grid.push(StressPoint {
+            name: format!("mem-burst-{pct}%"),
+            work: WorkUnit::memory_intensive(32768.0, pct as f64 / 100.0),
+        });
+    }
+    grid
+}
+
+/// A smaller grid for fast tests and examples (idle + 2 CPU + 2 memory +
+/// 1 mixed point).
+pub fn quick_grid() -> Vec<StressPoint> {
+    vec![
+        StressPoint {
+            name: "idle".to_string(),
+            work: WorkUnit::cpu_intensive(0.0),
+        },
+        StressPoint {
+            name: "cpu-50%".to_string(),
+            work: WorkUnit::cpu_intensive(0.5),
+        },
+        StressPoint {
+            name: "cpu-100%".to_string(),
+            work: WorkUnit::cpu_intensive(1.0),
+        },
+        StressPoint {
+            name: "mem-4MB".to_string(),
+            work: WorkUnit::memory_intensive(4096.0, 1.0),
+        },
+        StressPoint {
+            name: "mem-64MB".to_string(),
+            work: WorkUnit::memory_intensive(65536.0, 1.0),
+        },
+        StressPoint {
+            name: "mix".to_string(),
+            work: WorkUnit::mixed(0.5, 16384.0, 1.0),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_rich_and_labeled() {
+        let g = extended_grid();
+        assert!(g.len() >= 20, "grid has {} points", g.len());
+        let mut names: Vec<&str> = g.iter().map(|p| p.name.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "labels unique");
+    }
+
+    #[test]
+    fn grid_spans_intensity_space() {
+        let g = calibration_grid();
+        let intensities: Vec<f64> = g.iter().map(|p| p.work.intensity()).collect();
+        assert!(intensities.contains(&0.0), "has idle anchor");
+        assert!(intensities.contains(&1.0), "has full load");
+        assert!(intensities.iter().any(|&i| (0.2..0.8).contains(&i)));
+    }
+
+    #[test]
+    fn grid_spans_memory_space() {
+        let g = calibration_grid();
+        let footprints: Vec<f64> = g.iter().map(|p| p.work.footprint_kb()).collect();
+        assert!(footprints.iter().any(|&f| f <= 128.0), "cache-resident");
+        assert!(footprints.iter().any(|&f| f >= 262144.0), "DRAM-thrashing");
+    }
+
+    #[test]
+    fn quick_grid_is_subset_sized() {
+        let q = quick_grid();
+        assert_eq!(q.len(), 6);
+        assert!(q.len() < calibration_grid().len());
+    }
+
+    #[test]
+    fn extended_grid_supersets_paper_grid() {
+        let paper = calibration_grid();
+        let ext = extended_grid();
+        assert!(ext.len() > paper.len());
+        for p in &paper {
+            assert!(ext.iter().any(|e| e.name == p.name));
+        }
+        assert!(ext.iter().any(|e| e.name.starts_with("mix-")));
+        assert!(!paper.iter().any(|e| e.name.starts_with("mix-")));
+    }
+}

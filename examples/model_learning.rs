@@ -1,0 +1,63 @@
+//! The Figure 1 learning process, end to end, with full visibility:
+//! stress workloads × every DVFS frequency × (HPC rates, PowerSpy watts)
+//! → multivariate regression → one linear power model per frequency —
+//! then save/load the profile and sanity-check it against the meter.
+//!
+//! Run: `cargo run --release --example model_learning`
+
+use powerapi_suite::powerapi::model::learn::{learn_model, measure_idle_power, LearnConfig};
+use powerapi_suite::powerapi::model::power_model::PerFrequencyPowerModel;
+use powerapi_suite::powerapi::model::sampling::{collect, pick_frequencies};
+use powerapi_suite::simcpu::presets;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let machine = presets::intel_i3_2120();
+    let cfg = LearnConfig::default();
+
+    println!("Step 1 — measure the idle floor (the paper's 31.48 W term):");
+    let idle = measure_idle_power(&machine, &cfg)?;
+    println!("  idle = {idle:.2} W\n");
+
+    println!("Step 2 — stress the processor at every frequency:");
+    let freqs = pick_frequencies(&machine, cfg.sampling.max_frequencies);
+    println!(
+        "  {} workloads x {} frequencies x {} windows",
+        cfg.sampling.grid.len(),
+        freqs.len(),
+        cfg.sampling.samples_per_point
+    );
+    let set = collect(&machine, &cfg.sampling)?;
+    println!("  collected {} (rates, watts) observations\n", set.samples.len());
+
+    // A peek at the raw data the regression sees.
+    println!("  sample observations at {}:", freqs[freqs.len() - 1]);
+    println!(
+        "  {:<16} {:>14} {:>14} {:>12} {:>9}",
+        "workload", "inst/s", "llc_ref/s", "llc_miss/s", "watts"
+    );
+    for s in set
+        .samples
+        .iter()
+        .filter(|s| s.frequency == freqs[freqs.len() - 1])
+        .take(6)
+    {
+        println!(
+            "  {:<16} {:>14.3e} {:>14.3e} {:>12.3e} {:>9.2}",
+            s.workload, s.rates[0], s.rates[1], s.rates[2], s.power_w
+        );
+    }
+
+    println!("\nStep 3 — multivariate regression per frequency:");
+    let model = learn_model(machine, &cfg)?;
+    print!("{model}");
+
+    println!("Step 4 — persist and reload the profile:");
+    let text = model.to_text();
+    let reloaded = PerFrequencyPowerModel::from_text(&text)?;
+    assert_eq!(reloaded, model);
+    println!("  round-tripped {} bytes of profile text\n", text.len());
+
+    println!("The paper's published 3.30 GHz equation, for comparison:");
+    print!("{}", PerFrequencyPowerModel::paper_i3_example());
+    Ok(())
+}

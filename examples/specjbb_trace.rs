@@ -1,0 +1,62 @@
+//! A compact Figure 3: run a SPECjbb2013-like benchmark under live
+//! estimation and print an ASCII chart of measured vs estimated power.
+//! (The full 2500 s version with gnuplot output is
+//! `cargo run --release -p bench-suite --bin e3_figure3`.)
+//!
+//! Run: `cargo run --release --example specjbb_trace`
+
+use powerapi_suite::os_sim::kernel::Kernel;
+use powerapi_suite::powerapi::formula::per_freq::PerFrequencyFormula;
+use powerapi_suite::powerapi::model::learn::{learn_model, LearnConfig};
+use powerapi_suite::powerapi::runtime::PowerApi;
+use powerapi_suite::simcpu::presets;
+use powerapi_suite::simcpu::units::Nanos;
+use powerapi_suite::workloads::specjbb::{self, SpecJbbConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Learning the energy profile…");
+    let model = learn_model(presets::intel_i3_2120(), &LearnConfig::default())?;
+
+    println!("Running a 300 s SPECjbb2013 excerpt under live estimation…\n");
+    let jbb = SpecJbbConfig {
+        duration: Nanos::from_secs(300),
+        ..SpecJbbConfig::default()
+    };
+    let mut kernel = Kernel::new(presets::intel_i3_2120());
+    let pid = kernel.spawn("specjbb2013", specjbb::tasks(&jbb));
+    let mut papi = PowerApi::builder(kernel)
+        .formula(PerFrequencyFormula::new(model))
+        .report_to_memory()
+        .build()?;
+    papi.monitor(pid)?;
+    papi.run_for(jbb.duration)?;
+    let outcome = papi.finish()?;
+
+    let meter = outcome.meter_trace();
+    let est = outcome.estimate_trace();
+    let (actual, predicted) = meter.align(&est);
+
+    // ASCII chart: one row per 10 s, 'o' = meter, 'x' = estimate.
+    let (lo, hi) = (25.0, 90.0);
+    let width = 60usize;
+    let col = |w: f64| -> usize {
+        (((w - lo) / (hi - lo)).clamp(0.0, 1.0) * (width - 1) as f64) as usize
+    };
+    println!("power (W): {lo:>5.0} {:->width$} {hi:.0}", "");
+    for (i, (a, p)) in actual.iter().zip(&predicted).enumerate() {
+        if i % 10 != 0 {
+            continue;
+        }
+        let mut line = vec![b' '; width];
+        line[col(*a)] = b'o';
+        let cp = col(*p);
+        line[cp] = if cp == col(*a) { b'*' } else { b'x' };
+        println!("t={:>4}s    |{}|", i + 1, String::from_utf8_lossy(&line));
+    }
+    println!("\n  o = PowerSpy (measured)   x = PowerAPI (estimated)   * = overlap");
+
+    let report = powerapi_suite::mathkit::metrics::ErrorReport::compute(&actual, &predicted)?;
+    println!("\n  {report}");
+    println!("  (the paper reports a 15 % median error on the full run)");
+    Ok(())
+}

@@ -1,0 +1,10 @@
+//! Umbrella crate for the PowerAPI reproduction workspace. Re-exports every
+//! member crate so examples and integration tests can use one dependency.
+
+pub use mathkit;
+pub use os_sim;
+pub use perf_sim;
+pub use powerapi;
+pub use powermeter;
+pub use simcpu;
+pub use workloads;

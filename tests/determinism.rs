@@ -1,0 +1,94 @@
+//! Reproducibility tests: the entire stack — simulation, measurement
+//! noise, learning, estimation — must be a pure function of its seeds.
+//! (Actor scheduling is concurrent, but message *content* and per-scope
+//! ordering are deterministic; these tests pin that down.)
+
+use powerapi_suite::os_sim::kernel::Kernel;
+use powerapi_suite::os_sim::task::SteadyTask;
+use powerapi_suite::powerapi::formula::per_freq::PerFrequencyFormula;
+use powerapi_suite::powerapi::model::learn::{learn_model, LearnConfig};
+use powerapi_suite::powerapi::model::power_model::PerFrequencyPowerModel;
+use powerapi_suite::powerapi::runtime::{PowerApi, RunOutcome};
+use powerapi_suite::simcpu::presets;
+use powerapi_suite::simcpu::units::Nanos;
+use powerapi_suite::simcpu::workunit::WorkUnit;
+use powerapi_suite::workloads::specjbb::{self, SpecJbbConfig};
+
+fn run_once(seed: u64) -> RunOutcome {
+    let jbb = SpecJbbConfig {
+        duration: Nanos::from_secs(20),
+        threads: 2,
+        seed,
+        ..SpecJbbConfig::default()
+    };
+    let mut kernel = Kernel::new(presets::intel_i3_2120());
+    let pid = kernel.spawn("jbb", specjbb::tasks(&jbb));
+    let mut papi = PowerApi::builder(kernel)
+        .formula(PerFrequencyFormula::new(
+            PerFrequencyPowerModel::paper_i3_example(),
+        ))
+        .report_to_memory()
+        .quantum(Nanos::from_millis(2))
+        .build()
+        .expect("pipeline builds");
+    papi.monitor(pid).expect("monitor");
+    papi.run_for(jbb.duration).expect("run");
+    papi.finish().expect("shutdown")
+}
+
+#[test]
+fn identical_seeds_identical_traces() {
+    let a = run_once(7);
+    let b = run_once(7);
+    assert_eq!(a.meter, b.meter, "meter noise is seed-deterministic");
+    assert_eq!(
+        a.machine_estimates(),
+        b.machine_estimates(),
+        "estimates are deterministic"
+    );
+    assert_eq!(a.rapl, b.rapl);
+}
+
+#[test]
+fn different_workload_seeds_differ() {
+    let a = run_once(7);
+    let b = run_once(8);
+    assert_ne!(
+        a.machine_estimates(),
+        b.machine_estimates(),
+        "the workload seed matters"
+    );
+}
+
+#[test]
+fn learning_is_deterministic() {
+    let m1 = learn_model(presets::intel_i3_2120(), &LearnConfig::quick()).expect("learn");
+    let m2 = learn_model(presets::intel_i3_2120(), &LearnConfig::quick()).expect("learn");
+    assert_eq!(m1, m2);
+    let mut cfg = LearnConfig::quick();
+    cfg.sampling.seed ^= 0xFF;
+    let m3 = learn_model(presets::intel_i3_2120(), &cfg).expect("learn");
+    assert_ne!(m1, m3, "meter noise seed shifts the fit slightly");
+}
+
+#[test]
+fn kernel_simulation_is_deterministic_without_any_seed() {
+    // The simulation itself (no meters) uses no randomness at all.
+    let run = || {
+        let mut k = Kernel::new(presets::xeon_smt_turbo());
+        k.spawn(
+            "mixed",
+            vec![
+                SteadyTask::boxed(WorkUnit::cpu_intensive(0.9)),
+                SteadyTask::boxed(WorkUnit::memory_intensive(131_072.0, 0.7)),
+                SteadyTask::boxed(WorkUnit::mixed(0.5, 8_192.0, 0.5)),
+            ],
+        );
+        let mut powers = Vec::new();
+        for _ in 0..200 {
+            powers.push(k.tick(Nanos::from_millis(1)).power);
+        }
+        (powers, k.machine().machine_energy())
+    };
+    assert_eq!(run(), run());
+}

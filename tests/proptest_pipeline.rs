@@ -1,0 +1,142 @@
+//! Cross-crate property tests: invariants of the full monitoring pipeline
+//! under arbitrary workloads and configurations.
+
+use powerapi_suite::os_sim::kernel::Kernel;
+use powerapi_suite::os_sim::task::SteadyTask;
+use powerapi_suite::powerapi::formula::per_freq::PerFrequencyFormula;
+use powerapi_suite::powerapi::model::power_model::PerFrequencyPowerModel;
+use powerapi_suite::powerapi::msg::Scope;
+use powerapi_suite::powerapi::runtime::PowerApi;
+use powerapi_suite::simcpu::presets;
+use powerapi_suite::simcpu::units::{MegaHertz, Nanos};
+use powerapi_suite::simcpu::workunit::WorkUnit;
+use proptest::prelude::*;
+
+fn work_unit() -> impl Strategy<Value = WorkUnit> {
+    (
+        0.0f64..0.5,
+        0.0f64..0.3,
+        0.0f64..0.2,
+        0.0f64..0.1,
+        1.0f64..262_144.0,
+        0.0f64..1.0,
+        0.8f64..3.0,
+        0.05f64..1.0,
+    )
+        .prop_map(|(m, b, f, bm, fp, loc, ipc, int)| {
+            WorkUnit::new(m, b, f, bm, fp, loc, ipc, int).expect("valid ranges")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn machine_estimate_is_idle_plus_process_sum(
+        works in prop::collection::vec(work_unit(), 1..4),
+    ) {
+        let model = PerFrequencyPowerModel::paper_i3_example();
+        let idle = model.idle_w();
+        let mut kernel = Kernel::new(presets::intel_i3_2120());
+        let pids: Vec<_> = works
+            .iter()
+            .enumerate()
+            .map(|(i, w)| kernel.spawn(format!("p{i}"), vec![SteadyTask::boxed(*w)]))
+            .collect();
+        let mut papi = PowerApi::builder(kernel)
+            .formula(PerFrequencyFormula::new(model))
+            .report_to_memory()
+            .quantum(Nanos::from_millis(5))
+            .clock_period(Nanos::from_millis(500))
+            .build()
+            .expect("pipeline builds");
+        for &pid in &pids {
+            papi.monitor(pid).expect("monitor");
+        }
+        papi.run_for(Nanos::from_secs(2)).expect("run");
+        let outcome = papi.finish().expect("shutdown");
+
+        // For every timestamped machine aggregate: machine = idle + Σ
+        // process estimates at that timestamp.
+        for (ts, machine_w) in outcome.machine_estimates() {
+            let process_sum: f64 = outcome
+                .reports
+                .iter()
+                .filter(|r| r.timestamp == ts && matches!(r.scope, Scope::Process(_)))
+                .map(|r| r.power.as_f64())
+                .sum();
+            prop_assert!(
+                (machine_w.as_f64() - idle - process_sum).abs() < 1e-6,
+                "machine {} != idle {idle} + Σ {process_sum}",
+                machine_w.as_f64()
+            );
+        }
+        // Estimates are non-negative and finite.
+        for r in &outcome.reports {
+            prop_assert!(r.power.as_f64().is_finite());
+            prop_assert!(r.power.as_f64() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn estimates_arrive_once_per_clock_period(
+        w in work_unit(),
+        periods in 2u64..6,
+    ) {
+        let mut kernel = Kernel::new(presets::intel_i3_2120());
+        let pid = kernel.spawn("p", vec![SteadyTask::boxed(w)]);
+        let clock = Nanos::from_millis(250);
+        let mut papi = PowerApi::builder(kernel)
+            .formula(PerFrequencyFormula::new(
+                PerFrequencyPowerModel::paper_i3_example(),
+            ))
+            .report_to_memory()
+            .quantum(Nanos::from_millis(5))
+            .clock_period(clock)
+            .build()
+            .expect("pipeline builds");
+        papi.monitor(pid).expect("monitor");
+        papi.run_for(Nanos(250_000_000 * periods)).expect("run");
+        let outcome = papi.finish().expect("shutdown");
+        let est = outcome.machine_estimates();
+        prop_assert_eq!(est.len() as u64, periods, "one estimate per tick");
+        // Timestamps are exactly the clock boundaries.
+        for (i, (ts, _)) in est.iter().enumerate() {
+            prop_assert_eq!(ts.as_u64(), (i as u64 + 1) * 250_000_000);
+        }
+    }
+
+    #[test]
+    fn paper_model_estimate_bounded_by_physics(
+        w in work_unit(),
+        freq_idx in 0usize..10,
+    ) {
+        // Whatever the workload, an estimate from sane coefficients must
+        // stay within physical bounds for this machine class.
+        let freqs = [
+            1600u32, 1800, 2000, 2200, 2400, 2600, 2800, 3000, 3200, 3300,
+        ];
+        let mut kernel = Kernel::new(presets::intel_i3_2120());
+        kernel
+            .pin_frequency(MegaHertz(freqs[freq_idx]))
+            .expect("nominal frequency");
+        let pid = kernel.spawn("p", vec![SteadyTask::boxed(w)]);
+        let mut papi = PowerApi::builder(kernel)
+            .formula(PerFrequencyFormula::new(
+                PerFrequencyPowerModel::paper_i3_example(),
+            ))
+            .report_to_memory()
+            .quantum(Nanos::from_millis(5))
+            .clock_period(Nanos::from_millis(500))
+            .build()
+            .expect("pipeline builds");
+        papi.monitor(pid).expect("monitor");
+        papi.run_for(Nanos::from_secs(1)).expect("run");
+        let outcome = papi.finish().expect("shutdown");
+        for (_, machine_w) in outcome.machine_estimates() {
+            let p = machine_w.as_f64();
+            prop_assert!(p >= 31.48 - 1e-9, "never below the idle constant: {p}");
+            prop_assert!(p < 120.0, "never beyond physical headroom: {p}");
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Reporter integration: every output format wired through the full
+//! runtime produces coherent, parseable output for the same run.
+
+use powerapi_suite::os_sim::kernel::Kernel;
+use powerapi_suite::os_sim::task::SteadyTask;
+use powerapi_suite::powerapi::formula::per_freq::PerFrequencyFormula;
+use powerapi_suite::powerapi::model::power_model::PerFrequencyPowerModel;
+use powerapi_suite::powerapi::runtime::PowerApi;
+use powerapi_suite::simcpu::presets;
+use powerapi_suite::simcpu::units::Nanos;
+use powerapi_suite::simcpu::workunit::WorkUnit;
+use std::io::Write;
+use std::sync::Arc;
+
+/// A `Write` target whose contents outlive the reporter actor.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<std::sync::Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("unpoisoned").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl SharedBuf {
+    fn text(&self) -> String {
+        String::from_utf8(self.0.lock().expect("unpoisoned").clone()).expect("utf8 output")
+    }
+}
+
+#[test]
+fn csv_json_and_influx_agree_on_the_same_run() {
+    let mut kernel = Kernel::new(presets::intel_i3_2120());
+    let pid = kernel.spawn(
+        "app",
+        vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))],
+    );
+    let csv = SharedBuf::default();
+    let json = SharedBuf::default();
+    let influx = SharedBuf::default();
+    let mut papi = PowerApi::builder(kernel)
+        .formula(PerFrequencyFormula::new(
+            PerFrequencyPowerModel::paper_i3_example(),
+        ))
+        .report_to_memory()
+        .report_to_csv(csv.clone())
+        .report_to_json(json.clone())
+        .report_to_influx(influx.clone())
+        .quantum(Nanos::from_millis(2))
+        .clock_period(Nanos::from_millis(500))
+        .build()
+        .expect("pipeline builds");
+    papi.monitor(pid).expect("monitor");
+    papi.run_for(Nanos::from_secs(3)).expect("run");
+    let outcome = papi.finish().expect("shutdown");
+
+    // Ground truth for the comparison: the memory reporter.
+    let estimates = outcome.machine_estimates();
+    assert_eq!(estimates.len(), 6);
+
+    // CSV: header + one row per message; machine rows match memory.
+    let csv_text = csv.text();
+    let mut lines = csv_text.lines();
+    assert_eq!(lines.next(), Some("time_s,kind,scope,power_w"));
+    let machine_rows: Vec<&str> = csv_text
+        .lines()
+        .filter(|l| l.contains(",estimate,machine,"))
+        .collect();
+    assert_eq!(machine_rows.len(), estimates.len());
+    for (row, (ts, w)) in machine_rows.iter().zip(&estimates) {
+        let cols: Vec<&str> = row.split(',').collect();
+        assert_eq!(cols.len(), 4);
+        assert!((cols[0].parse::<f64>().expect("time") - ts.as_secs_f64()).abs() < 1e-9);
+        assert!((cols[3].parse::<f64>().expect("power") - w.as_f64()).abs() < 0.001);
+    }
+
+    // JSON lines: same count of machine estimates, balanced braces/quotes.
+    let json_text = json.text();
+    let machine_objs: Vec<&str> = json_text
+        .lines()
+        .filter(|l| l.contains("\"scope\":\"machine\"") && l.contains("\"kind\":\"estimate\""))
+        .collect();
+    assert_eq!(machine_objs.len(), estimates.len());
+    for l in json_text.lines() {
+        assert!(l.starts_with('{') && l.ends_with('}'), "{l}");
+        assert_eq!(l.matches('"').count() % 2, 0, "{l}");
+    }
+
+    // Influx line protocol: measurement,tags fields timestamp.
+    let influx_text = influx.text();
+    let machine_points: Vec<&str> = influx_text
+        .lines()
+        .filter(|l| l.starts_with("power,scope=machine,kind=estimate "))
+        .collect();
+    assert_eq!(machine_points.len(), estimates.len());
+    for (point, (ts, w)) in machine_points.iter().zip(&estimates) {
+        let parts: Vec<&str> = point.split(' ').collect();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[2].parse::<u64>().expect("ns ts"), ts.as_u64());
+        let field = parts[1].strip_prefix("power_w=").expect("field");
+        assert!((field.parse::<f64>().expect("watts") - w.as_f64()).abs() < 0.001);
+    }
+
+    // Every format also carried the meter stream.
+    assert!(csv_text.contains(",powerspy,machine,"));
+    assert!(json_text.contains("\"kind\":\"powerspy\""));
+    assert!(influx_text.contains("kind=powerspy"));
+}

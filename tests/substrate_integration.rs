@@ -1,0 +1,195 @@
+//! Cross-substrate integration tests: the OS, perf, meter and RAPL layers
+//! must agree with each other about what the machine did.
+
+use powerapi_suite::os_sim::governor::Performance;
+use powerapi_suite::os_sim::kernel::Kernel;
+use powerapi_suite::os_sim::task::{SteadyTask, TimedTask};
+use powerapi_suite::perf_sim::events::{Event, PAPER_EVENTS};
+use powerapi_suite::perf_sim::pfm::Pfm;
+use powerapi_suite::perf_sim::session::PerfSession;
+use powerapi_suite::powermeter::powerspy::{PowerSpy, PowerSpyConfig};
+use powerapi_suite::powermeter::rapl::Rapl;
+use powerapi_suite::simcpu::counters::HwCounter;
+use powerapi_suite::simcpu::presets;
+use powerapi_suite::simcpu::units::{CpuId, Nanos, Watts};
+use powerapi_suite::simcpu::workunit::WorkUnit;
+
+const MS: Nanos = Nanos(1_000_000);
+
+#[test]
+fn meter_energy_matches_machine_energy() {
+    // A noiseless meter integrating kernel power must reproduce the
+    // machine's own energy ledger.
+    let mut kernel = Kernel::new(presets::intel_i3_2120());
+    kernel.spawn(
+        "app",
+        vec![SteadyTask::boxed(WorkUnit::mixed(0.5, 16_384.0, 0.8))],
+    );
+    let mut meter = PowerSpy::new(
+        PowerSpyConfig::default()
+            .with_sample_period(Nanos::from_millis(100))
+            .with_noise_std_w(0.0)
+            .with_quantization_w(0.0),
+    );
+    let mut meter_energy = 0.0;
+    for _ in 0..3_000 {
+        let r = kernel.tick(MS);
+        for s in meter.observe(kernel.machine().last_power(), r.now) {
+            meter_energy += s.power.as_f64() * 0.1;
+        }
+    }
+    let machine_energy = kernel.machine().machine_energy().as_f64();
+    assert!(
+        (meter_energy - machine_energy).abs() / machine_energy < 0.01,
+        "meter {meter_energy:.2} J vs machine {machine_energy:.2} J"
+    );
+}
+
+#[test]
+fn rapl_energy_matches_package_energy() {
+    let mut kernel = Kernel::new(presets::intel_i3_2120());
+    kernel.spawn(
+        "app",
+        vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))],
+    );
+    let mut rapl = Rapl::open(kernel.machine().config()).expect("sandy bridge");
+    for _ in 0..2_000 {
+        let r = kernel.tick(MS);
+        rapl.observe(r.package_power, MS);
+    }
+    let pkg = kernel.machine().package_energy().as_f64();
+    assert!(
+        (rapl.read_joules() - pkg).abs() / pkg < 0.01,
+        "rapl {:.2} J vs package ledger {pkg:.2} J",
+        rapl.read_joules()
+    );
+    // And the package is a strict subset of the machine.
+    assert!(pkg < kernel.machine().machine_energy().as_f64());
+}
+
+#[test]
+fn perf_attribution_partitions_machine_counters() {
+    // Two monitored processes: their perf counts must sum to the machine
+    // bank totals (single-tenant machine, no unmonitored work).
+    let mut kernel = Kernel::new(presets::intel_i3_2120());
+    kernel.set_governor(Box::new(Performance));
+    let a = kernel.spawn(
+        "a",
+        vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))],
+    );
+    let b = kernel.spawn(
+        "b",
+        vec![SteadyTask::boxed(WorkUnit::memory_intensive(65_536.0, 1.0))],
+    );
+    let mut session = PerfSession::new(4);
+    let ia = session
+        .open(a, Event::Hardware(HwCounter::Instructions))
+        .expect("open");
+    let ib = session
+        .open(b, Event::Hardware(HwCounter::Instructions))
+        .expect("open");
+    for _ in 0..500 {
+        let r = kernel.tick(MS);
+        session.observe(&r);
+    }
+    let perf_total =
+        session.read(ia).expect("open").raw + session.read(ib).expect("open").raw;
+    let bank_total: u64 = (0..4)
+        .map(|c| {
+            kernel
+                .machine()
+                .counters(CpuId(c))
+                .expect("valid cpu")
+                .read(HwCounter::Instructions)
+        })
+        .sum();
+    assert_eq!(perf_total, bank_total);
+}
+
+#[test]
+fn pfm_resolves_everything_the_sensor_needs() {
+    for machine in [
+        presets::intel_i3_2120(),
+        presets::core2duo_e6600(),
+        presets::xeon_smt_turbo(),
+    ] {
+        let pfm = Pfm::for_machine(&machine);
+        for e in PAPER_EVENTS {
+            let resolved = pfm.resolve(&e.to_string()).expect("paper events are generic");
+            assert_eq!(resolved, e);
+        }
+    }
+}
+
+#[test]
+fn process_exit_reflected_in_power_and_counters() {
+    // A timed burst: power returns to idle after the process exits, and
+    // counters stop advancing.
+    let mut kernel = Kernel::new(presets::intel_i3_2120());
+    kernel.spawn(
+        "burst",
+        vec![TimedTask::boxed(
+            WorkUnit::cpu_intensive(1.0),
+            Nanos::from_millis(200),
+        )],
+    );
+    let mut busy_power = Watts::ZERO;
+    for _ in 0..200 {
+        busy_power = kernel.tick(MS).power;
+    }
+    // Drain: the task is done; give the governor time to step down and
+    // the die time to cool.
+    let mut tail_power = Watts::ZERO;
+    for _ in 0..2_000 {
+        tail_power = kernel.tick(MS).power;
+    }
+    assert!(busy_power.as_f64() > tail_power.as_f64() + 5.0);
+    assert!(
+        (tail_power.as_f64() - 31.6).abs() < 2.0,
+        "back to idle: {tail_power}"
+    );
+    let snapshot_a: u64 = (0..4)
+        .map(|c| {
+            kernel
+                .machine()
+                .counters(CpuId(c))
+                .expect("valid cpu")
+                .read(HwCounter::Instructions)
+        })
+        .sum();
+    kernel.tick(MS);
+    let snapshot_b: u64 = (0..4)
+        .map(|c| {
+            kernel
+                .machine()
+                .counters(CpuId(c))
+                .expect("valid cpu")
+                .read(HwCounter::Instructions)
+        })
+        .sum();
+    assert_eq!(snapshot_a, snapshot_b, "no zombie execution");
+}
+
+#[test]
+fn ondemand_saves_energy_versus_performance_on_light_load() {
+    let energy = |perf: bool| {
+        let mut kernel = Kernel::new(presets::intel_i3_2120());
+        if perf {
+            kernel.set_governor(Box::new(Performance));
+        }
+        kernel.spawn(
+            "light",
+            vec![SteadyTask::boxed(WorkUnit::cpu_intensive(0.15))],
+        );
+        for _ in 0..5_000 {
+            kernel.tick(MS);
+        }
+        kernel.machine().machine_energy().as_f64()
+    };
+    let perf = energy(true);
+    let ondemand = energy(false);
+    assert!(
+        ondemand < perf,
+        "DVFS saves energy on light load: ondemand {ondemand:.1} J vs performance {perf:.1} J"
+    );
+}

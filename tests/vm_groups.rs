@@ -1,0 +1,113 @@
+//! VM-level power attribution end to end (§5 future work): control
+//! groups in the kernel, group aggregation in the middleware.
+
+use powerapi_suite::os_sim::kernel::Kernel;
+use powerapi_suite::os_sim::task::SteadyTask;
+use powerapi_suite::powerapi::aggregator::GroupAggregator;
+use powerapi_suite::powerapi::formula::per_freq::PerFrequencyFormula;
+use powerapi_suite::powerapi::model::power_model::PerFrequencyPowerModel;
+use powerapi_suite::powerapi::msg::Topic;
+use powerapi_suite::powerapi::runtime::PowerApi;
+use powerapi_suite::simcpu::presets;
+use powerapi_suite::simcpu::units::Nanos;
+use powerapi_suite::simcpu::workunit::WorkUnit;
+
+#[test]
+fn group_power_equals_sum_of_member_processes() {
+    let mut kernel = Kernel::new(presets::intel_i3_2120());
+    let a = kernel.spawn_in_group(
+        "a",
+        "vm-alpha",
+        vec![SteadyTask::boxed(WorkUnit::cpu_intensive(0.9))],
+    );
+    let b = kernel.spawn_in_group(
+        "b",
+        "vm-alpha",
+        vec![SteadyTask::boxed(WorkUnit::memory_intensive(65_536.0, 0.7))],
+    );
+    let c = kernel.spawn_in_group(
+        "c",
+        "vm-beta",
+        vec![SteadyTask::boxed(WorkUnit::cpu_intensive(0.4))],
+    );
+    let membership: Vec<_> = [("vm-alpha", a), ("vm-alpha", b), ("vm-beta", c)]
+        .into_iter()
+        .map(|(g, p)| (p, g.to_string()))
+        .collect();
+
+    let mut papi = PowerApi::builder(kernel)
+        .formula(PerFrequencyFormula::new(
+            PerFrequencyPowerModel::paper_i3_example(),
+        ))
+        .report_to_memory()
+        .quantum(Nanos::from_millis(2))
+        .clock_period(Nanos::from_millis(500))
+        .with_actor(
+            "vm-aggregator",
+            Box::new(GroupAggregator::new(membership)),
+            vec![Topic::Power],
+        )
+        .build()
+        .expect("pipeline builds");
+    for pid in [a, b, c] {
+        papi.monitor(pid).expect("monitor");
+    }
+    papi.run_for(Nanos::from_secs(4)).expect("run");
+    let outcome = papi.finish().expect("shutdown");
+
+    let alpha = outcome.group_estimates("vm-alpha");
+    let beta = outcome.group_estimates("vm-beta");
+    assert_eq!(alpha.len(), 8, "one alpha aggregate per tick");
+    assert_eq!(beta.len(), 8);
+
+    // Group = Σ member processes at each timestamp.
+    for (ts, gw) in &alpha {
+        let sum: f64 = [a, b]
+            .iter()
+            .flat_map(|pid| outcome.process_estimates(*pid))
+            .filter(|(t, _)| t == ts)
+            .map(|(_, w)| w.as_f64())
+            .sum();
+        assert!(
+            (gw.as_f64() - sum).abs() < 1e-9,
+            "vm-alpha {} != Σ members {sum}",
+            gw.as_f64()
+        );
+    }
+
+    // Two active workers dwarf one light worker.
+    let avg = |v: &[(Nanos, powerapi_suite::simcpu::Watts)]| {
+        v.iter().map(|(_, w)| w.as_f64()).sum::<f64>() / v.len() as f64
+    };
+    assert!(avg(&alpha) > avg(&beta));
+    assert!(outcome.group_estimates("vm-gamma").is_empty());
+}
+
+#[test]
+fn pinned_groups_respect_their_cpu_budgets() {
+    // Pin each VM to its own core; counters must show the separation.
+    let mut kernel = Kernel::new(presets::intel_i3_2120());
+    let alpha = kernel.spawn_in_group(
+        "alpha",
+        "vm-alpha",
+        vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))],
+    );
+    let beta = kernel.spawn_in_group(
+        "beta",
+        "vm-beta",
+        vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))],
+    );
+    kernel.pin_process(alpha, vec![0, 1]).expect("pin alpha");
+    kernel.pin_process(beta, vec![2, 3]).expect("pin beta");
+    for _ in 0..100 {
+        let r = kernel.tick(Nanos::from_millis(1));
+        for rec in &r.records {
+            let cpu = rec.cpu.as_usize();
+            if rec.pid == alpha {
+                assert!(cpu < 2, "alpha escaped to cpu{cpu}");
+            } else {
+                assert!(cpu >= 2, "beta escaped to cpu{cpu}");
+            }
+        }
+    }
+}
