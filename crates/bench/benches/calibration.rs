@@ -1,0 +1,35 @@
+//! Calibration-sweep benchmark: the quick-grid sweep run serially versus
+//! fanned across every core. The parallel path must be bit-identical to
+//! the serial one (covered by unit tests); this benchmark tracks the
+//! wall-clock side of that bargain — the fan-out should pay, and the
+//! `parallelism = 1` fast path must not regress against the old loop.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use powerapi::model::sampling::{collect, SamplingConfig};
+use simcpu::presets;
+
+fn sweep_cfg(parallelism: usize) -> SamplingConfig {
+    let mut cfg = SamplingConfig::quick();
+    cfg.parallelism = parallelism;
+    cfg
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let machine = presets::intel_i3_2120();
+    // Quick grid: 3 frequencies × 2 SMT levels × 6 points.
+    let cells = 36u64;
+
+    let mut group = c.benchmark_group("calibration");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(cells));
+    group.bench_function("sweep_serial", |b| {
+        b.iter(|| collect(&machine, &sweep_cfg(1)).expect("serial sweep"));
+    });
+    group.bench_function("sweep_parallel_all_cores", |b| {
+        b.iter(|| collect(&machine, &sweep_cfg(0)).expect("parallel sweep"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_calibration);
+criterion_main!(benches);

@@ -25,11 +25,12 @@ struct Relay;
 impl Actor for Relay {
     fn handle(&mut self, msg: Message, ctx: &Context) {
         if let Message::Power(p) = msg {
-            ctx.bus().publish(Message::Aggregate(powerapi::msg::AggregateReport {
-                timestamp: p.timestamp,
-                scope: powerapi::msg::Scope::Process(p.pid),
-                power: p.power,
-            }));
+            ctx.bus()
+                .publish(Message::Aggregate(powerapi::msg::AggregateReport {
+                    timestamp: p.timestamp,
+                    scope: powerapi::msg::Scope::Process(p.pid),
+                    power: p.power,
+                }));
         }
     }
 }

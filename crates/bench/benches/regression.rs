@@ -17,10 +17,18 @@ fn design(n: usize, p: usize) -> (Matrix, Vec<f64>) {
             .wrapping_add(1442695040888963407);
         (state >> 33) as f64 / (1u64 << 31) as f64
     };
-    let rows: Vec<Vec<f64>> = (0..n).map(|_| (0..p).map(|_| next() * 1e9).collect()).collect();
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..p).map(|_| next() * 1e9).collect())
+        .collect();
     let y: Vec<f64> = rows
         .iter()
-        .map(|r| 30.0 + r.iter().enumerate().map(|(i, v)| v * (i + 1) as f64 * 1e-9).sum::<f64>())
+        .map(|r| {
+            30.0 + r
+                .iter()
+                .enumerate()
+                .map(|(i, v)| v * (i + 1) as f64 * 1e-9)
+                .sum::<f64>()
+        })
         .collect();
     (Matrix::from_rows(&rows).expect("rectangular"), y)
 }

@@ -13,28 +13,68 @@
 //! Run: `cargo run --release -p bench-suite --bin e2_model`
 
 use bench_suite::{row, section};
-use powerapi::model::learn::{learn_model, LearnConfig};
+use powerapi::model::learn::{fit_from_samples, measure_idle_power, LearnConfig};
+use powerapi::model::sampling::collect;
 use simcpu::presets;
 use simcpu::units::MegaHertz;
+use std::io::Write;
+use std::time::Instant;
 
 fn main() {
     section("E2: learning the i3-2120 energy profile (Figure 1 pipeline)");
+    let machine = presets::intel_i3_2120();
     let cfg = LearnConfig::default();
     println!(
         "  grid: {} workloads x {} frequencies x {} samples of {}",
         cfg.sampling.grid.len(),
-        presets::intel_i3_2120().pstates.frequencies().len(),
+        machine.pstates.frequencies().len(),
         cfg.sampling.samples_per_point,
         cfg.sampling.sample_period,
     );
-    let model = learn_model(presets::intel_i3_2120(), &cfg).expect("learning pipeline");
+
+    section("calibration sweep wall-clock (serial vs parallel)");
+    let threads = mathkit::par::available_threads();
+    let mut sweep_cfg = cfg.sampling.clone();
+    sweep_cfg.parallelism = 1;
+    let start = Instant::now();
+    let serial_set = collect(&machine, &sweep_cfg).expect("serial sweep");
+    let serial_ms = start.elapsed().as_secs_f64() * 1e3;
+    sweep_cfg.parallelism = 0;
+    let start = Instant::now();
+    let parallel_set = collect(&machine, &sweep_cfg).expect("parallel sweep");
+    let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        serial_set, parallel_set,
+        "parallel sweep must be bit-identical to serial"
+    );
+    let speedup = serial_ms / parallel_ms;
+    row("serial sweep (1 thread)", format!("{serial_ms:.0} ms"));
+    row(
+        format!("parallel sweep ({threads} threads)").as_str(),
+        format!("{parallel_ms:.0} ms"),
+    );
+    row("speedup", format!("{speedup:.2}x (bit-identical output)"));
+    let bench_path = std::path::Path::new("BENCH_calibration.json");
+    let mut f = std::fs::File::create(bench_path).expect("bench json file");
+    writeln!(
+        f,
+        "{{\n  \"serial_ms\": {serial_ms:.1},\n  \"parallel_ms\": {parallel_ms:.1},\n  \"threads\": {threads},\n  \"speedup\": {speedup:.2}\n}}"
+    )
+    .expect("write bench json");
+    println!("  wrote {}", bench_path.display());
+
+    let idle = measure_idle_power(&machine, &cfg).expect("idle measurement");
+    let model = fit_from_samples(idle, &parallel_set).expect("learning pipeline");
 
     section("learned model (paper equation form)");
     print!("{model}");
 
     section("idle constant");
     row("paper (measured by PowerSpy)", "31.48 W");
-    row("reproduction (measured by simulated meter)", format!("{:.2} W", model.idle_w()));
+    row(
+        "reproduction (measured by simulated meter)",
+        format!("{:.2} W", model.idle_w()),
+    );
 
     section("coefficients at 3.30 GHz  [W per (event/s) = J per event]");
     let paper = [2.22e-9, 2.48e-8, 1.87e-7];
@@ -52,7 +92,10 @@ fn main() {
     section("shape checks");
     let (i, r, m) = (got[0], got[1], got[2]);
     let checks = [
-        ("idle within 10% of the machine floor", (model.idle_w() - 31.6).abs() < 3.2),
+        (
+            "idle within 10% of the machine floor",
+            (model.idle_w() - 31.6).abs() < 3.2,
+        ),
         ("instruction coefficient positive", i > 0.0),
         ("cache-reference > instruction energy", r > i),
         ("cache-miss > cache-reference energy", m > r),
@@ -75,7 +118,9 @@ fn main() {
     // energy rise with frequency — the reason for per-frequency models.
     let freqs = model.frequencies();
     let lo = model.coefficients(freqs[0]).expect("min freq")[0];
-    let hi = model.coefficients(*freqs.last().expect("nonempty")).expect("max freq")[0];
+    let hi = model
+        .coefficients(*freqs.last().expect("nonempty"))
+        .expect("max freq")[0];
     row(
         "instruction energy grows with frequency",
         if hi > lo { "PASS" } else { "FAIL" },
@@ -90,7 +135,10 @@ fn main() {
     );
 
     println!();
-    println!("E2 verdict: {}", if ok { "SHAPE REPRODUCED" } else { "MISMATCH" });
+    println!(
+        "E2 verdict: {}",
+        if ok { "SHAPE REPRODUCED" } else { "MISMATCH" }
+    );
     if !ok {
         std::process::exit(1);
     }

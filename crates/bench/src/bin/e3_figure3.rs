@@ -22,9 +22,12 @@ fn main() {
     section("E3: Figure 3 — SPECjbb2013, PowerSpy vs PowerAPI estimation");
 
     println!("  [1/3] learning the energy profile (Figure 1 pipeline)…");
-    let model =
-        learn_model(presets::intel_i3_2120(), &LearnConfig::default()).expect("learning");
-    println!("        idle = {:.2} W, {} frequencies", model.idle_w(), model.frequencies().len());
+    let model = learn_model(presets::intel_i3_2120(), &LearnConfig::default()).expect("learning");
+    println!(
+        "        idle = {:.2} W, {} frequencies",
+        model.idle_w(),
+        model.frequencies().len()
+    );
 
     println!("  [2/3] running SPECjbb2013 for 2500 s under live estimation…");
     let jbb = SpecJbbConfig::default();
@@ -49,17 +52,16 @@ fn main() {
     std::fs::create_dir_all("target").expect("target dir");
     let mut f = std::fs::File::create(&path).expect("figure data file");
     writeln!(f, "# Figure 3 reproduction: time_s meter_w estimate_w").expect("write");
-    for (s, (a, p)) in meter
-        .samples()
-        .iter()
-        .zip(actual.iter().zip(&predicted))
-    {
+    for (s, (a, p)) in meter.samples().iter().zip(actual.iter().zip(&predicted)) {
         writeln!(f, "{:.1} {:.3} {:.3}", s.at.as_secs_f64(), a, p).expect("write");
     }
     println!("        wrote {} rows to {}", actual.len(), path.display());
 
     section("trace excerpt (every 250 s)");
-    println!("  {:>8} {:>12} {:>12}", "time_s", "powerspy_w", "estimate_w");
+    println!(
+        "  {:>8} {:>12} {:>12}",
+        "time_s", "powerspy_w", "estimate_w"
+    );
     for (i, (a, p)) in actual.iter().zip(&predicted).enumerate() {
         if i % 250 == 0 {
             println!("  {:>8} {:>12.2} {:>12.2}", i + 1, a, p);
@@ -72,8 +74,14 @@ fn main() {
         "reproduction: median error",
         format!("{:.1} %", report.median_ape),
     );
-    row("reproduction: mean error (MAPE)", format!("{:.1} %", report.mape));
-    row("reproduction: R^2 vs meter", format!("{:.3}", report.r_squared));
+    row(
+        "reproduction: mean error (MAPE)",
+        format!("{:.1} %", report.mape),
+    );
+    row(
+        "reproduction: R^2 vs meter",
+        format!("{:.3}", report.r_squared),
+    );
     let mean_meter = actual.iter().sum::<f64>() / actual.len() as f64;
     let mean_est = predicted.iter().sum::<f64>() / predicted.len() as f64;
     row("mean measured power", format!("{mean_meter:.2} W"));

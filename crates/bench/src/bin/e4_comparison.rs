@@ -33,7 +33,11 @@ fn main() {
     cfg.sampling.events = bertran_events();
     cfg.sampling.slots = bertran_events().len(); // dedicated counters, as Bertran pinned them
     let model = learn_model(core2.clone(), &cfg).expect("bertran learning");
-    println!("  idle = {:.2} W over {} component counters", model.idle_w(), bertran_events().len());
+    println!(
+        "  idle = {:.2} W over {} component counters",
+        model.idle_w(),
+        bertran_events().len()
+    );
 
     println!("  {:<16} {:>10} {:>10}", "benchmark", "mape_%", "med_ape_%");
     let mut errors = Vec::new();
@@ -84,20 +88,15 @@ fn main() {
     let mut obl_errs = Vec::new();
     let mut aware_smt = Vec::new();
     let mut obl_smt = Vec::new();
-    for sc in scenarios(
-        xeon.topology.physical_cores(),
-        xeon.topology.logical_cpus(),
-    ) {
-        let mk_eval = || {
-            Evaluation {
-                clock: Nanos::from_millis(500),
-                ..Evaluation::new(
-                    xeon.clone(),
-                    sc.name,
-                    sc.workloads.iter().map(|w| SteadyTask::boxed(*w)).collect(),
-                    Nanos::from_secs(20),
-                )
-            }
+    for sc in scenarios(xeon.topology.physical_cores(), xeon.topology.logical_cpus()) {
+        let mk_eval = || Evaluation {
+            clock: Nanos::from_millis(500),
+            ..Evaluation::new(
+                xeon.clone(),
+                sc.name,
+                sc.workloads.iter().map(|w| SteadyTask::boxed(*w)).collect(),
+                Nanos::from_secs(20),
+            )
         };
         let aware = mk_eval()
             .run(HappyFormula::new(happy.clone()))
@@ -126,8 +125,14 @@ fn main() {
     let happy_smt_avg = aware_smt.iter().sum::<f64>() / aware_smt.len() as f64;
     let obl_smt_avg = obl_smt.iter().sum::<f64>() / obl_smt.len() as f64;
     row("paper (Zhai et al. HaPPy): average error", "7.5 %");
-    row("reproduction: HT-aware average error", format!("{happy_avg:.2} %"));
-    row("reproduction: HT-oblivious average error", format!("{obl_avg:.2} %"));
+    row(
+        "reproduction: HT-aware average error",
+        format!("{happy_avg:.2} %"),
+    );
+    row(
+        "reproduction: HT-oblivious average error",
+        format!("{obl_avg:.2} %"),
+    );
     row(
         "SMT-heavy scenarios only: aware vs oblivious",
         format!("{happy_smt_avg:.2} % vs {obl_smt_avg:.2} %"),
@@ -141,10 +146,15 @@ fn main() {
         duration: Nanos::from_secs(600),
         ..SpecJbbConfig::default()
     };
-    let report = Evaluation::new(i3.clone(), "specjbb-short", specjbb::tasks(&jbb), jbb.duration)
-        .run(PerFrequencyFormula::new(generic))
-        .and_then(|o| bench_suite::score_outcome(&o))
-        .expect("generic evaluation");
+    let report = Evaluation::new(
+        i3.clone(),
+        "specjbb-short",
+        specjbb::tasks(&jbb),
+        jbb.duration,
+    )
+    .run(PerFrequencyFormula::new(generic))
+    .and_then(|o| bench_suite::score_outcome(&o))
+    .expect("generic evaluation");
     row("paper: median error on SPECjbb2013", "15 %");
     row(
         "reproduction (600 s excerpt): median error",

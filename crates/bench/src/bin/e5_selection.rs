@@ -22,8 +22,8 @@ use powerapi::model::sampling::{collect, SamplingConfig};
 use powerapi::model::selection::{select_events, spearman_ranking, Strategy};
 use simcpu::presets;
 use simcpu::units::Nanos;
-use workloads::specjbb::{self, SpecJbbConfig};
 use workloads::speccpu;
+use workloads::specjbb::{self, SpecJbbConfig};
 use workloads::stress::extended_grid;
 
 fn main() {
@@ -133,8 +133,14 @@ fn main() {
         .iter()
         .min_by(|a, b| (a.1 + a.2).partial_cmp(&(b.1 + b.2)).expect("finite"))
         .expect("nonempty");
-    row("fixed generic counters (the paper's setup)", format!("jbb {:.1}% / spec {:.1}%", fixed.1, fixed.2));
-    row("best automatic strategy", format!("{} (jbb {:.1}% / spec {:.1}%)", best.0, best.1, best.2));
+    row(
+        "fixed generic counters (the paper's setup)",
+        format!("jbb {:.1}% / spec {:.1}%", fixed.1, fixed.2),
+    );
+    row(
+        "best automatic strategy",
+        format!("{} (jbb {:.1}% / spec {:.1}%)", best.0, best.1, best.2),
+    );
     let ok = best.1 + best.2 <= fixed.1 + fixed.2 + 1e-9;
     println!();
     println!(

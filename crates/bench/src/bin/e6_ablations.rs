@@ -62,7 +62,10 @@ fn main() {
     let global = fit_from_samples(idle, &global_set).expect("global fit");
     let pf_err = score(per_freq.clone());
     let g_err = score(global);
-    row("per-frequency (paper design)", format!("{pf_err:.2} % median"));
+    row(
+        "per-frequency (paper design)",
+        format!("{pf_err:.2} % median"),
+    );
     row("single global model", format!("{g_err:.2} % median"));
     let a1 = pf_err <= g_err + 0.5;
 
@@ -80,9 +83,11 @@ fn main() {
                 machine.clone(),
                 "corun",
                 (0..4)
-                    .map(|_| os_sim::task::SteadyTask::boxed(
-                        simcpu::workunit::WorkUnit::cpu_intensive(1.0),
-                    ))
+                    .map(|_| {
+                        os_sim::task::SteadyTask::boxed(simcpu::workunit::WorkUnit::cpu_intensive(
+                            1.0,
+                        ))
+                    })
                     .collect(),
                 Nanos::from_secs(10),
             )
@@ -94,8 +99,14 @@ fn main() {
     };
     let aware_corun = corun_score(per_freq.clone());
     let solo_corun = corun_score(solo_model.clone());
-    row("co-run load, SMT-aware calibration", format!("{aware_corun:.2} % MAPE"));
-    row("co-run load, solo-only calibration", format!("{solo_corun:.2} % MAPE"));
+    row(
+        "co-run load, SMT-aware calibration",
+        format!("{aware_corun:.2} % MAPE"),
+    );
+    row(
+        "co-run load, solo-only calibration",
+        format!("{solo_corun:.2} % MAPE"),
+    );
     let a2 = aware_corun < solo_corun;
     // On the long thermally-drifting SPECjbb run the two error sources
     // interact: the solo-only model's co-run *over*-estimation partly
@@ -165,7 +176,11 @@ fn main() {
     println!(
         "E6 verdict: {} (per-freq ≤ global: {a1}; SMT-aware < solo-only: {a2}; \
          no-multiplex ≤ heavy-multiplex: {a3})",
-        if ok { "DESIGN CHOICES CONFIRMED" } else { "MISMATCH" }
+        if ok {
+            "DESIGN CHOICES CONFIRMED"
+        } else {
+            "MISMATCH"
+        }
     );
     if !ok {
         std::process::exit(1);

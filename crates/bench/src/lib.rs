@@ -58,10 +58,7 @@ impl Evaluation {
     /// # Errors
     ///
     /// Propagates middleware errors.
-    pub fn run(
-        self,
-        formula: impl PowerFormula + 'static,
-    ) -> Result<RunOutcome, powerapi::Error> {
+    pub fn run(self, formula: impl PowerFormula + 'static) -> Result<RunOutcome, powerapi::Error> {
         let mut kernel = Kernel::new(self.machine);
         let pid = kernel.spawn(self.name, self.tasks);
         let mut papi = PowerApi::builder(kernel)

@@ -229,11 +229,12 @@ mod tests {
     impl Actor for Relay {
         fn handle(&mut self, msg: Message, ctx: &Context) {
             if let Message::Power(p) = msg {
-                ctx.bus().publish(Message::Aggregate(crate::msg::AggregateReport {
-                    timestamp: p.timestamp,
-                    scope: Scope::Process(p.pid),
-                    power: p.power,
-                }));
+                ctx.bus()
+                    .publish(Message::Aggregate(crate::msg::AggregateReport {
+                        timestamp: p.timestamp,
+                        scope: Scope::Process(p.pid),
+                        power: p.power,
+                    }));
             }
         }
     }

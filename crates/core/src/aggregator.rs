@@ -164,8 +164,9 @@ mod tests {
         );
         assert_eq!(out.len(), 2);
         assert!(out.iter().all(|a| matches!(a.scope, Scope::Process(_))));
-        assert!(out.iter().any(|a| a.scope == Scope::Process(Pid(10))
-            && (a.power.as_f64() - 2.0).abs() < 1e-12));
+        assert!(out
+            .iter()
+            .any(|a| a.scope == Scope::Process(Pid(10)) && (a.power.as_f64() - 2.0).abs() < 1e-12));
     }
 
     #[test]

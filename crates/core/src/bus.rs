@@ -29,7 +29,12 @@ impl EventBus {
     /// Subscribes an actor to a topic. Duplicate subscriptions deliver
     /// duplicate messages (like any pub/sub, subscribe once).
     pub fn subscribe(&self, topic: Topic, actor: &ActorRef) {
-        self.inner.lock().subs.entry(topic).or_default().push(actor.clone());
+        self.inner
+            .lock()
+            .subs
+            .entry(topic)
+            .or_default()
+            .push(actor.clone());
     }
 
     /// Removes every subscription of the named actor from a topic.

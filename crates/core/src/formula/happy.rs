@@ -140,7 +140,9 @@ impl PowerFormula for HappyFormula {
             .iter()
             .max_by_key(|(_, t)| t.as_u64())
             .map(|(f, _)| *f)
-            .unwrap_or(MegaHertz(self.model.per_freq.keys().next().copied().unwrap_or(1000)));
+            .unwrap_or(MegaHertz(
+                self.model.per_freq.keys().next().copied().unwrap_or(1000),
+            ));
         Some(Watts(self.model.predict_active(freq, &solo, &corun).ok()?))
     }
 }
@@ -219,7 +221,9 @@ mod tests {
     #[test]
     fn predict_validates_arity() {
         let m = model();
-        assert!(m.predict_active(MegaHertz(2600), &[1.0, 2.0], &[1.0]).is_err());
+        assert!(m
+            .predict_active(MegaHertz(2600), &[1.0, 2.0], &[1.0])
+            .is_err());
         assert!(m.predict_active(MegaHertz(2600), &[1.0], &[1.0]).is_ok());
     }
 

@@ -108,11 +108,7 @@ mod tests {
         .unwrap()
     }
 
-    fn report(
-        counters: &[u64; 3],
-        by_freq: Vec<(MegaHertz, Nanos)>,
-        busy: Nanos,
-    ) -> SensorReport {
+    fn report(counters: &[u64; 3], by_freq: Vec<(MegaHertz, Nanos)>, busy: Nanos) -> SensorReport {
         SensorReport {
             source: crate::sensor::hpc::SOURCE,
             timestamp: Nanos::from_secs(1),
@@ -193,11 +189,7 @@ mod tests {
     #[test]
     fn counters_without_residency_split_still_estimate() {
         let mut f = PerFrequencyFormula::new(model_two_freqs());
-        let r = report(
-            &[1_000_000_000, 0, 0],
-            Vec::new(),
-            Nanos::from_secs(1),
-        );
+        let r = report(&[1_000_000_000, 0, 0], Vec::new(), Nanos::from_secs(1));
         let p = f.estimate(&r).unwrap().as_f64();
         assert!(p > 0.0, "fallback path produces an estimate");
     }

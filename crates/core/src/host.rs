@@ -294,12 +294,7 @@ mod tests {
         assert!(j > 0.3 && j < 5.0, "rapl measured {j} J");
 
         let kernel = Kernel::new(presets::core2duo_e6600());
-        let host = SimHost::new(
-            kernel,
-            PAPER_EVENTS.to_vec(),
-            4,
-            PowerSpyConfig::default(),
-        );
+        let host = SimHost::new(kernel, PAPER_EVENTS.to_vec(), 4, PowerSpyConfig::default());
         assert!(!host.has_rapl());
     }
 

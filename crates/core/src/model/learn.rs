@@ -9,6 +9,7 @@ use crate::model::sampling::{self, SampleSet, SamplingConfig};
 use crate::{Error, Result};
 use mathkit::linreg::{FitOptions, LinearModel};
 use mathkit::matrix::Matrix;
+use mathkit::par;
 use os_sim::kernel::Kernel;
 use os_sim::task::SteadyTask;
 use simcpu::machine::MachineConfig;
@@ -48,21 +49,18 @@ impl LearnConfig {
 /// rates span 10⁶…10¹⁰, which would otherwise wreck conditioning) and a
 /// small ridge keeps nearly-collinear counters finite.
 fn fit_rates(x: &Matrix, y_active: &[f64]) -> Result<Vec<f64>> {
-    let cols = x.cols();
+    let (rows, cols) = x.shape();
     let mut scales = Vec::with_capacity(cols);
-    let mut rows = Vec::with_capacity(x.rows());
     for c in 0..cols {
         let m = x.col(c).iter().fold(0.0f64, |a, v| a.max(v.abs()));
         scales.push(if m > 0.0 { m } else { 1.0 });
     }
-    for r in 0..x.rows() {
-        rows.push(
-            (0..cols)
-                .map(|c| x[(r, c)] / scales[c])
-                .collect::<Vec<f64>>(),
-        );
+    // Scale into one flat buffer: no per-row Vec allocations.
+    let mut data = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        data.extend(x.row(r).iter().zip(&scales).map(|(v, s)| v / s));
     }
-    let xs = Matrix::from_rows(&rows)?;
+    let xs = Matrix::from_flat(rows, cols, data)?;
     let model = LinearModel::fit_with(
         &xs,
         y_active,
@@ -97,11 +95,22 @@ pub fn measure_idle_power(machine: &MachineConfig, cfg: &LearnConfig) -> Result<
 ///
 /// [`Error::InsufficientSamples`] when any frequency lacks data.
 pub fn fit_from_samples(idle_w: f64, set: &SampleSet) -> Result<PerFrequencyPowerModel> {
-    let mut per_freq = Vec::new();
-    for f in set.frequencies() {
-        let (x, y) = set.design_for(f)?;
-        let y_active: Vec<f64> = y.iter().map(|p| (p - idle_w).max(0.0)).collect();
-        per_freq.push((f, fit_rates(&x, &y_active)?));
+    // Each frequency's regression is independent; fit them concurrently,
+    // collecting in frequency order so the model (and any error surfaced)
+    // matches a serial pass exactly.
+    let freqs = set.frequencies();
+    let fits = par::par_map(
+        &freqs,
+        par::available_threads().min(freqs.len()),
+        |_, &f| {
+            let (x, y) = set.design_for(f)?;
+            let y_active: Vec<f64> = y.iter().map(|p| (p - idle_w).max(0.0)).collect();
+            Ok::<_, Error>((f, fit_rates(&x, &y_active)?))
+        },
+    );
+    let mut per_freq = Vec::with_capacity(freqs.len());
+    for fit in fits {
+        per_freq.push(fit?);
     }
     PerFrequencyPowerModel::from_parts(
         idle_w,
@@ -141,45 +150,45 @@ pub fn learn_happy(machine: MachineConfig, cfg: &LearnConfig) -> Result<HappyMod
     set.samples
         .extend(sampling::collect(&machine, &corun_cfg)?.samples);
 
-    let counters: Vec<simcpu::counters::HwCounter> = set
-        .events
-        .iter()
-        .filter_map(|e| e.counter())
-        .collect();
+    let counters: Vec<simcpu::counters::HwCounter> =
+        set.events.iter().filter_map(|e| e.counter()).collect();
     if counters.len() != set.events.len() {
         return Err(Error::Middleware(
             "happy learning needs directly-mapped hardware events".into(),
         ));
     }
 
-    let mut per_freq = Vec::new();
-    for f in set.frequencies() {
-        let rows: Vec<Vec<f64>> = set
-            .samples
-            .iter()
-            .filter(|s| s.frequency == f)
-            .map(|s| {
-                let mut row = s.solo_rates.clone();
-                row.extend_from_slice(&s.corun_rates);
-                row
-            })
-            .collect();
-        let y: Vec<f64> = set
-            .samples
-            .iter()
-            .filter(|s| s.frequency == f)
-            .map(|s| (s.power_w - idle).max(0.0))
-            .collect();
-        if rows.len() < 2 * counters.len() + 1 {
-            return Err(Error::InsufficientSamples {
-                got: rows.len(),
-                needed: 2 * counters.len() + 1,
-            });
-        }
-        let x = Matrix::from_rows(&rows)?;
-        let coefs = fit_rates(&x, &y)?;
-        let (solo, corun) = coefs.split_at(counters.len());
-        per_freq.push((f, solo.to_vec(), corun.to_vec()));
+    // Per-frequency `[solo ‖ corun]` fits are independent: run them
+    // concurrently, assembling each design flat (one buffer per
+    // frequency, not one Vec per sample).
+    let freqs = set.frequencies();
+    let fits = par::par_map(
+        &freqs,
+        par::available_threads().min(freqs.len()),
+        |_, &f| {
+            let width = 2 * counters.len();
+            let mut data = Vec::new();
+            let mut y = Vec::new();
+            for s in set.samples.iter().filter(|s| s.frequency == f) {
+                data.extend_from_slice(&s.solo_rates);
+                data.extend_from_slice(&s.corun_rates);
+                y.push((s.power_w - idle).max(0.0));
+            }
+            if y.len() < width + 1 {
+                return Err(Error::InsufficientSamples {
+                    got: y.len(),
+                    needed: width + 1,
+                });
+            }
+            let x = Matrix::from_flat(y.len(), width, data)?;
+            let coefs = fit_rates(&x, &y)?;
+            let (solo, corun) = coefs.split_at(counters.len());
+            Ok((f, solo.to_vec(), corun.to_vec()))
+        },
+    );
+    let mut per_freq = Vec::with_capacity(freqs.len());
+    for fit in fits {
+        per_freq.push(fit?);
     }
     HappyModel::from_parts(idle, counters, per_freq)
 }
@@ -220,8 +229,7 @@ pub fn calibrate_cpuload(machine: MachineConfig, cfg: &LearnConfig) -> Result<Cp
     if snap.meter.is_empty() {
         return Err(Error::InsufficientSamples { got: 0, needed: 1 });
     }
-    let power =
-        snap.meter.iter().map(|(_, w)| w.as_f64()).sum::<f64>() / snap.meter.len() as f64;
+    let power = snap.meter.iter().map(|(_, w)| w.as_f64()).sum::<f64>() / snap.meter.len() as f64;
     let load = snap
         .proc_times
         .first()

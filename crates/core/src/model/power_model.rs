@@ -33,7 +33,9 @@ impl PerFrequencyPowerModel {
         per_freq: Vec<(MegaHertz, Vec<f64>)>,
     ) -> Result<PerFrequencyPowerModel> {
         if events.is_empty() {
-            return Err(Error::Middleware("power model needs at least one event".into()));
+            return Err(Error::Middleware(
+                "power model needs at least one event".into(),
+            ));
         }
         if per_freq.is_empty() {
             return Err(Error::Middleware(
@@ -229,21 +231,16 @@ mod tests {
         let coefs = m.coefficients(MegaHertz(3300)).unwrap();
         assert_eq!(coefs, &[2.22e-9, 2.48e-8, 1.87e-7]);
         // 1e9 inst/s, 1e8 refs/s, 1e7 misses/s → 2.22+2.48+1.87 W active.
-        let p = m
-            .predict_active(MegaHertz(3300), &[1e9, 1e8, 1e7])
-            .unwrap();
+        let p = m.predict_active(MegaHertz(3300), &[1e9, 1e8, 1e7]).unwrap();
         assert!((p - 6.57).abs() < 1e-9);
     }
 
     #[test]
     fn validation_rejects_inconsistencies() {
         assert!(PerFrequencyPowerModel::from_parts(1.0, vec![], vec![]).is_err());
-        assert!(PerFrequencyPowerModel::from_parts(
-            1.0,
-            vec!["instructions".into()],
-            vec![]
-        )
-        .is_err());
+        assert!(
+            PerFrequencyPowerModel::from_parts(1.0, vec!["instructions".into()], vec![]).is_err()
+        );
         assert!(PerFrequencyPowerModel::from_parts(
             1.0,
             vec!["instructions".into()],
@@ -257,10 +254,7 @@ mod tests {
         let m = PerFrequencyPowerModel::from_parts(
             10.0,
             vec!["instructions".into()],
-            vec![
-                (MegaHertz(1600), vec![1.0]),
-                (MegaHertz(3300), vec![3.0]),
-            ],
+            vec![(MegaHertz(1600), vec![1.0]), (MegaHertz(3300), vec![3.0])],
         )
         .unwrap();
         let (c, f) = m.nearest_coefficients(MegaHertz(3700));

@@ -6,6 +6,7 @@
 use crate::host::SimHost;
 use crate::{Error, Result};
 use mathkit::matrix::Matrix;
+use mathkit::par;
 use os_sim::kernel::Kernel;
 use os_sim::task::SteadyTask;
 use perf_sim::events::{Event, PAPER_EVENTS};
@@ -46,6 +47,12 @@ pub struct SamplingConfig {
     /// core and one per hyperthread — so the regression sees co-run
     /// behaviour too (stressing "the supported features", as §1 puts it).
     pub both_smt_levels: bool,
+    /// Worker threads for the sweep itself (0 = all available cores).
+    /// Every (frequency, SMT level, grid point) cell is independent — it
+    /// builds its own kernel, host and seeded meter — so the sweep fans
+    /// out across threads and is bit-identical to a serial run at any
+    /// setting.
+    pub parallelism: usize,
 }
 
 impl Default for SamplingConfig {
@@ -63,6 +70,7 @@ impl Default for SamplingConfig {
             seed: 0x0F16_44EE,
             max_frequencies: None,
             both_smt_levels: true,
+            parallelism: 0,
         }
     }
 }
@@ -126,25 +134,20 @@ impl SampleSet {
     /// [`Error::InsufficientSamples`] when the frequency has fewer samples
     /// than events (+1), making a fit impossible.
     pub fn design_for(&self, f: MegaHertz) -> Result<(Matrix, Vec<f64>)> {
-        let rows: Vec<Vec<f64>> = self
-            .samples
-            .iter()
-            .filter(|s| s.frequency == f)
-            .map(|s| s.rates.clone())
-            .collect();
-        let y: Vec<f64> = self
-            .samples
-            .iter()
-            .filter(|s| s.frequency == f)
-            .map(|s| s.power_w)
-            .collect();
-        if rows.len() < self.events.len() + 1 {
+        let cols = self.events.len();
+        let mut data = Vec::new();
+        let mut y = Vec::new();
+        for s in self.samples.iter().filter(|s| s.frequency == f) {
+            data.extend_from_slice(&s.rates);
+            y.push(s.power_w);
+        }
+        if y.len() < cols + 1 {
             return Err(Error::InsufficientSamples {
-                got: rows.len(),
-                needed: self.events.len() + 1,
+                got: y.len(),
+                needed: cols + 1,
             });
         }
-        Ok((Matrix::from_rows(&rows)?, y))
+        Ok((Matrix::from_flat(y.len(), cols, data)?, y))
     }
 
     /// Pooled design across all frequencies (for counter screening).
@@ -156,9 +159,13 @@ impl SampleSet {
         if self.samples.is_empty() {
             return Err(Error::InsufficientSamples { got: 0, needed: 1 });
         }
-        let rows: Vec<Vec<f64>> = self.samples.iter().map(|s| s.rates.clone()).collect();
+        let cols = self.events.len();
+        let mut data = Vec::with_capacity(self.samples.len() * cols);
+        for s in &self.samples {
+            data.extend_from_slice(&s.rates);
+        }
         let y: Vec<f64> = self.samples.iter().map(|s| s.power_w).collect();
-        Ok((Matrix::from_rows(&rows)?, y))
+        Ok((Matrix::from_flat(self.samples.len(), cols, data)?, y))
     }
 
     /// Projects the set onto a subset of its events (columns reordered to
@@ -244,7 +251,132 @@ pub fn measure_idle(
     Ok(snap.meter.iter().map(|(_, w)| w.as_f64()).sum::<f64>() / snap.meter.len() as f64)
 }
 
+/// One independent unit of sweep work: a `(frequency, SMT level, grid
+/// point)` cell. Indices are carried alongside the values because the
+/// meter seed is derived from them — the same formula the serial sweep
+/// used — so a cell computes the same observations no matter which worker
+/// thread runs it.
+#[derive(Debug, Clone, Copy)]
+struct SweepCell<'a> {
+    freq: MegaHertz,
+    fi: usize,
+    threads: usize,
+    li: usize,
+    pi: usize,
+    point: &'a StressPoint,
+}
+
+/// Runs one calibration cell: spin up a fresh kernel and host, pin the
+/// frequency, warm up, then take `samples_per_point` observations.
+fn sample_cell(
+    machine: &MachineConfig,
+    cfg: &SamplingConfig,
+    cell: &SweepCell<'_>,
+) -> Result<Vec<CalibrationSample>> {
+    let SweepCell {
+        freq,
+        fi,
+        threads,
+        li,
+        pi,
+        point,
+    } = *cell;
+    let mut kernel = Kernel::new(machine.clone());
+    kernel.pin_frequency(freq)?;
+    let pid = kernel.spawn(
+        point.name.clone(),
+        (0..threads)
+            .map(|_| SteadyTask::boxed(point.work))
+            .collect(),
+    );
+    let meter_period = Nanos((cfg.sample_period.as_u64() / 5).max(1));
+    let mut host = SimHost::new(
+        kernel,
+        cfg.events.clone(),
+        cfg.slots,
+        PowerSpyConfig::default()
+            .with_sample_period(meter_period)
+            .with_noise_std_w(cfg.meter_noise_w)
+            .with_seed(cfg.seed ^ ((fi as u64) << 32) ^ ((li as u64) << 16) ^ pi as u64),
+    );
+    host.monitor(pid)?;
+
+    // Per-cell invariants hoisted out of the observation loop: the
+    // workload label and the event→architectural-counter mapping are the
+    // same for every window.
+    let label = point.label(threads);
+    let event_counters: Vec<Option<simcpu::counters::HwCounter>> =
+        cfg.events.iter().map(|e| e.counter()).collect();
+
+    let q = cfg.quantum.as_u64().max(1);
+    // Warmup, then discard the first window.
+    for _ in 0..(cfg.warmup.as_u64() / q).max(1) {
+        host.step(Nanos(q));
+    }
+    let _ = host.snapshot();
+
+    let mut samples = Vec::with_capacity(cfg.samples_per_point);
+    for _ in 0..cfg.samples_per_point {
+        for _ in 0..(cfg.sample_period.as_u64() / q).max(1) {
+            host.step(Nanos(q));
+        }
+        let snap = host.snapshot();
+        let interval_s = snap.interval.as_secs_f64();
+        if interval_s <= 0.0 || snap.meter.is_empty() {
+            continue;
+        }
+        let power_w =
+            snap.meter.iter().map(|(_, w)| w.as_f64()).sum::<f64>() / snap.meter.len() as f64;
+        // Borrow the monitored process's counters out of the snapshot
+        // instead of cloning the whole vector every window.
+        let counters: &[(Event, u64)] = snap
+            .hpc
+            .iter()
+            .find(|(p, _)| *p == pid)
+            .map_or(&[], |(_, c)| c.as_slice());
+        let rates: Vec<f64> = cfg
+            .events
+            .iter()
+            .map(|e| {
+                counters
+                    .iter()
+                    .find(|(x, _)| x == e)
+                    .map(|(_, v)| *v as f64 / interval_s)
+                    .unwrap_or(0.0)
+            })
+            .collect();
+        let split = snap
+            .corun
+            .iter()
+            .find(|(p, _)| *p == pid)
+            .map(|(_, c)| *c)
+            .unwrap_or_default();
+        let raw_rates = |d: &simcpu::counters::ExecDelta| -> Vec<f64> {
+            event_counters
+                .iter()
+                .map(|c| c.map(|c| d.get(c) as f64 / interval_s).unwrap_or(0.0))
+                .collect()
+        };
+        samples.push(CalibrationSample {
+            frequency: freq,
+            workload: label.clone(),
+            rates,
+            solo_rates: raw_rates(&split.solo),
+            corun_rates: raw_rates(&split.corun),
+            power_w,
+        });
+    }
+    Ok(samples)
+}
+
 /// Runs the full sampling campaign (Figure 1, steps 1–3) on a machine.
+///
+/// The `(frequency, SMT level, grid point)` nest is flattened into a work
+/// list of independent cells and fanned across `cfg.parallelism` threads
+/// (`0` = all cores). Each cell builds its own kernel, host and meter —
+/// the meter seed derives from the cell's indices, not from sweep order —
+/// and results are stitched back together by cell index, so the returned
+/// `SampleSet` is bit-identical to a serial sweep at any thread count.
 ///
 /// # Errors
 ///
@@ -262,91 +394,30 @@ pub fn collect(machine: &MachineConfig, cfg: &SamplingConfig) -> Result<SampleSe
     } else {
         vec![cfg.threads_per_point]
     };
-    let mut samples = Vec::new();
 
-    for (fi, &freq) in pick_frequencies(machine, cfg.max_frequencies).iter().enumerate() {
+    let frequencies = pick_frequencies(machine, cfg.max_frequencies);
+    let mut cells = Vec::with_capacity(frequencies.len() * thread_levels.len() * cfg.grid.len());
+    for (fi, &freq) in frequencies.iter().enumerate() {
         for (li, &threads) in thread_levels.iter().enumerate() {
-        for (pi, point) in cfg.grid.iter().enumerate() {
-            let mut kernel = Kernel::new(machine.clone());
-            kernel.pin_frequency(freq)?;
-            let pid = kernel.spawn(
-                point.name.clone(),
-                (0..threads).map(|_| SteadyTask::boxed(point.work)).collect(),
-            );
-            let meter_period = Nanos((cfg.sample_period.as_u64() / 5).max(1));
-            let mut host = SimHost::new(
-                kernel,
-                cfg.events.clone(),
-                cfg.slots,
-                PowerSpyConfig::default()
-                    .with_sample_period(meter_period)
-                    .with_noise_std_w(cfg.meter_noise_w)
-                    .with_seed(cfg.seed ^ ((fi as u64) << 32) ^ ((li as u64) << 16) ^ pi as u64),
-            );
-            host.monitor(pid)?;
-
-            let q = cfg.quantum.as_u64().max(1);
-            // Warmup, then discard the first window.
-            for _ in 0..(cfg.warmup.as_u64() / q).max(1) {
-                host.step(Nanos(q));
-            }
-            let _ = host.snapshot();
-
-            for _ in 0..cfg.samples_per_point {
-                for _ in 0..(cfg.sample_period.as_u64() / q).max(1) {
-                    host.step(Nanos(q));
-                }
-                let snap = host.snapshot();
-                let interval_s = snap.interval.as_secs_f64();
-                if interval_s <= 0.0 || snap.meter.is_empty() {
-                    continue;
-                }
-                let power_w = snap.meter.iter().map(|(_, w)| w.as_f64()).sum::<f64>()
-                    / snap.meter.len() as f64;
-                let counters = snap
-                    .hpc
-                    .iter()
-                    .find(|(p, _)| *p == pid)
-                    .map(|(_, c)| c.clone())
-                    .unwrap_or_default();
-                let rates: Vec<f64> = cfg
-                    .events
-                    .iter()
-                    .map(|e| {
-                        counters
-                            .iter()
-                            .find(|(x, _)| x == e)
-                            .map(|(_, v)| *v as f64 / interval_s)
-                            .unwrap_or(0.0)
-                    })
-                    .collect();
-                let split = snap
-                    .corun
-                    .iter()
-                    .find(|(p, _)| *p == pid)
-                    .map(|(_, c)| *c)
-                    .unwrap_or_default();
-                let raw_rates = |d: &simcpu::counters::ExecDelta| -> Vec<f64> {
-                    cfg.events
-                        .iter()
-                        .map(|e| {
-                            e.counter()
-                                .map(|c| d.get(c) as f64 / interval_s)
-                                .unwrap_or(0.0)
-                        })
-                        .collect()
-                };
-                samples.push(CalibrationSample {
-                    frequency: freq,
-                    workload: format!("{}/t{}", point.name, threads),
-                    rates,
-                    solo_rates: raw_rates(&split.solo),
-                    corun_rates: raw_rates(&split.corun),
-                    power_w,
+            for (pi, point) in cfg.grid.iter().enumerate() {
+                cells.push(SweepCell {
+                    freq,
+                    fi,
+                    threads,
+                    li,
+                    pi,
+                    point,
                 });
             }
         }
-        }
+    }
+
+    let workers = par::resolve_threads(cfg.parallelism);
+    let per_cell = par::par_map(&cells, workers, |_, cell| sample_cell(machine, cfg, cell));
+
+    let mut samples = Vec::with_capacity(cells.len() * cfg.samples_per_point);
+    for result in per_cell {
+        samples.extend(result?);
     }
 
     if samples.is_empty() {
@@ -379,14 +450,8 @@ mod tests {
     #[test]
     fn measure_idle_near_truth() {
         let m = presets::intel_i3_2120();
-        let idle = measure_idle(
-            &m,
-            Nanos::from_millis(500),
-            Nanos::from_millis(2),
-            0.2,
-            7,
-        )
-        .unwrap();
+        let idle =
+            measure_idle(&m, Nanos::from_millis(500), Nanos::from_millis(2), 0.2, 7).unwrap();
         // Ground truth is ~31.6 W; the meter is noisy but close.
         assert!((idle - 31.6).abs() < 1.0, "idle measured {idle}");
     }
@@ -443,9 +508,22 @@ mod tests {
         assert_eq!(sub.events.len(), 2);
         assert_eq!(sub.samples[0].rates[0], set.samples[0].rates[2]);
         assert_eq!(sub.samples[0].rates[1], set.samples[0].rates[0]);
-        assert!(set
-            .project(&[perf_sim::events::Event::Raw(0x1)])
-            .is_err());
+        assert!(set.project(&[perf_sim::events::Event::Raw(0x1)]).is_err());
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        // The tentpole guarantee: thread count must not leak into the
+        // data. One worker vs eight must produce *equal* SampleSets —
+        // same samples, same order, same noise — for the quick config.
+        let m = presets::intel_i3_2120();
+        let mut serial_cfg = SamplingConfig::quick();
+        serial_cfg.parallelism = 1;
+        let mut parallel_cfg = SamplingConfig::quick();
+        parallel_cfg.parallelism = 8;
+        let serial = collect(&m, &serial_cfg).unwrap();
+        let parallel = collect(&m, &parallel_cfg).unwrap();
+        assert_eq!(serial, parallel);
     }
 
     #[test]

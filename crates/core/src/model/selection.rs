@@ -32,7 +32,10 @@ impl Strategy {
         match self {
             Strategy::FixedGeneric => "fixed-generic".to_string(),
             Strategy::SpearmanTopK(k) => format!("spearman-top{k}"),
-            Strategy::GreedyCv { max_features, folds } => {
+            Strategy::GreedyCv {
+                max_features,
+                folds,
+            } => {
                 format!("greedy-cv{folds}-max{max_features}")
             }
         }
@@ -66,7 +69,10 @@ pub fn select_events(set: &SampleSet, strategy: &Strategy) -> Result<Vec<Event>>
             let idx = mathkit::select::spearman_top_k(&x, &y, *k)?;
             Ok(idx.into_iter().map(|i| set.events[i]).collect())
         }
-        Strategy::GreedyCv { max_features, folds } => {
+        Strategy::GreedyCv {
+            max_features,
+            folds,
+        } => {
             let (x, y) = set.pooled()?;
             let sel = mathkit::select::greedy_forward(&x, &y, *max_features, *folds, 0.01)?;
             Ok(sel.features.into_iter().map(|i| set.events[i]).collect())
@@ -140,7 +146,9 @@ mod tests {
         // dominant dynamic-power term.
         let names: Vec<String> = top.iter().map(|e| e.to_string()).collect();
         assert!(
-            names.iter().any(|n| n == "instructions" || n == "cycles" || n == "ref-cycles"),
+            names
+                .iter()
+                .any(|n| n == "instructions" || n == "cycles" || n == "ref-cycles"),
             "top-3 = {names:?}"
         );
     }

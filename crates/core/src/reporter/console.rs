@@ -117,8 +117,10 @@ mod tests {
             scope: Scope::Machine,
             power: Watts(36.0),
         }));
-        sys.bus().publish(Message::Meter(Nanos::from_secs(2), Watts(35.1)));
-        sys.bus().publish(Message::Rapl(Nanos::from_secs(2), Watts(10.0)));
+        sys.bus()
+            .publish(Message::Meter(Nanos::from_secs(2), Watts(35.1)));
+        sys.bus()
+            .publish(Message::Rapl(Nanos::from_secs(2), Watts(10.0)));
         sys.shutdown();
         let text = String::from_utf8(inner.0.lock().clone()).unwrap();
         assert!(text.contains("pid 42"), "{text}");

@@ -51,9 +51,7 @@ impl<W: Write + Send> Actor for CsvReporter<W> {
                     a.power.as_f64(),
                 );
             }
-            Message::Meter(at, w) => {
-                self.row(at.as_secs_f64(), "powerspy", "machine", w.as_f64())
-            }
+            Message::Meter(at, w) => self.row(at.as_secs_f64(), "powerspy", "machine", w.as_f64()),
             Message::Rapl(at, w) => self.row(at.as_secs_f64(), "rapl", "package", w.as_f64()),
             _ => {}
         }
@@ -99,7 +97,8 @@ mod tests {
             scope: Scope::Process(Pid(5)),
             power: Watts(2.25),
         }));
-        sys.bus().publish(Message::Meter(Nanos::from_secs(1), Watts(33.0)));
+        sys.bus()
+            .publish(Message::Meter(Nanos::from_secs(1), Watts(33.0)));
         sys.shutdown();
         let text = String::from_utf8(inner.0.lock().clone()).unwrap();
         let lines: Vec<&str> = text.lines().collect();

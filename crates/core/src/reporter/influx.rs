@@ -104,7 +104,8 @@ mod tests {
             scope: Scope::Group(Arc::from("vm-alpha")),
             power: Watts(7.25),
         }));
-        sys.bus().publish(Message::Meter(Nanos::from_secs(1), Watts(35.1)));
+        sys.bus()
+            .publish(Message::Meter(Nanos::from_secs(1), Watts(35.1)));
         sys.shutdown();
         let text = String::from_utf8(inner.0.lock().clone()).unwrap();
         let lines: Vec<&str> = text.lines().collect();

@@ -93,7 +93,8 @@ mod tests {
             scope: Scope::Machine,
             power: Watts(36.48),
         }));
-        sys.bus().publish(Message::Rapl(Nanos::from_secs(2), Watts(9.0)));
+        sys.bus()
+            .publish(Message::Rapl(Nanos::from_secs(2), Watts(9.0)));
         sys.shutdown();
         let text = String::from_utf8(inner.0.lock().clone()).unwrap();
         let lines: Vec<&str> = text.lines().collect();

@@ -90,8 +90,10 @@ mod tests {
             scope: Scope::Machine,
             power: Watts(35.0),
         }));
-        sys.bus().publish(Message::Meter(Nanos::from_secs(1), Watts(34.2)));
-        sys.bus().publish(Message::Rapl(Nanos::from_secs(1), Watts(9.1)));
+        sys.bus()
+            .publish(Message::Meter(Nanos::from_secs(1), Watts(34.2)));
+        sys.bus()
+            .publish(Message::Rapl(Nanos::from_secs(1), Watts(9.1)));
         sys.shutdown();
         assert_eq!(handle.aggregates().len(), 1);
         assert_eq!(handle.meter().len(), 1);

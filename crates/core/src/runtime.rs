@@ -105,7 +105,11 @@ impl PowerApiBuilder {
 
     /// Overrides the scheduler quantum driving the simulation.
     pub fn quantum(mut self, quantum: Nanos) -> PowerApiBuilder {
-        self.quantum = if quantum == Nanos::ZERO { Nanos(1) } else { quantum };
+        self.quantum = if quantum == Nanos::ZERO {
+            Nanos(1)
+        } else {
+            quantum
+        };
         self
     }
 
@@ -218,7 +222,10 @@ impl PowerApiBuilder {
         let mut system = ActorSystem::new();
         let bus = system.bus().clone();
         for (name, actor) in [
-            ("sensor-hpc", Box::new(HpcSensor::new()) as Box<dyn crate::actor::Actor>),
+            (
+                "sensor-hpc",
+                Box::new(HpcSensor::new()) as Box<dyn crate::actor::Actor>,
+            ),
             ("sensor-procfs", Box::new(ProcfsSensor::new())),
             ("sensor-powerspy", Box::new(PowerSpySensor::new())),
             ("sensor-rapl", Box::new(RaplSensor::new())),
@@ -468,10 +475,7 @@ mod tests {
 
     fn busy_kernel() -> (Kernel, Pid) {
         let mut kernel = Kernel::new(presets::intel_i3_2120());
-        let pid = kernel.spawn(
-            "app",
-            vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))],
-        );
+        let pid = kernel.spawn("app", vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))]);
         (kernel, pid)
     }
 

@@ -58,8 +58,8 @@ mod tests {
     use crate::actor::ActorSystem;
     use crate::msg::{HostSnapshot, ProcTimeDelta, Topic};
     use os_sim::process::Pid;
-    use perf_sim::events::PAPER_EVENTS;
     use parking_lot::Mutex;
+    use perf_sim::events::PAPER_EVENTS;
     use simcpu::units::{MegaHertz, Nanos};
 
     struct Capture(Arc<Mutex<Vec<SensorReport>>>);

@@ -7,8 +7,8 @@
 //! [`HostSnapshot`]: crate::msg::HostSnapshot
 
 pub mod hpc;
-pub mod procfs;
 pub mod powerspy;
+pub mod procfs;
 pub mod rapl;
 
 pub use hpc::HpcSensor;

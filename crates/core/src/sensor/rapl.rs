@@ -21,7 +21,9 @@ impl RaplSensor {
 impl Actor for RaplSensor {
     fn handle(&mut self, msg: Message, ctx: &Context) {
         let Message::Tick(snap) = msg else { return };
-        let Some(joules) = snap.rapl_joules else { return };
+        let Some(joules) = snap.rapl_joules else {
+            return;
+        };
         let secs = snap.interval.as_secs_f64();
         if secs <= 0.0 {
             return;

@@ -67,7 +67,11 @@ impl EnergyTest {
 
     /// Overrides the scheduler quantum.
     pub fn quantum(mut self, quantum: Nanos) -> EnergyTest {
-        self.quantum = if quantum == Nanos::ZERO { Nanos(1) } else { quantum };
+        self.quantum = if quantum == Nanos::ZERO {
+            Nanos(1)
+        } else {
+            quantum
+        };
         self
     }
 

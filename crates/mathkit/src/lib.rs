@@ -38,6 +38,7 @@ pub mod cv;
 pub mod linreg;
 pub mod matrix;
 pub mod metrics;
+pub mod par;
 pub mod select;
 pub mod stats;
 

@@ -92,6 +92,19 @@ impl FitOptions {
     }
 }
 
+/// Solves a normal-equations system: Cholesky on the (symmetric
+/// positive-definite, for full-rank designs) Gram matrix — half the work
+/// of pivoted LU on the regression hot path — falling back to LU when the
+/// matrix is only semidefinite so exact collinearity still surfaces as
+/// [`Error::Singular`] exactly as before.
+fn solve_spd(gram: &Matrix, rhs: &[f64]) -> Result<Vec<f64>> {
+    match gram.cholesky_solve(rhs) {
+        Ok(beta) => Ok(beta),
+        Err(Error::NotPositiveDefinite) => gram.solve(rhs),
+        Err(e) => Err(e),
+    }
+}
+
 impl LinearModel {
     /// Fits OLS with an intercept using the default options.
     ///
@@ -167,12 +180,10 @@ impl LinearModel {
             for i in start..p {
                 gram[(i, i)] += opts.ridge_lambda;
             }
-            gram.solve(&design.tr_matvec(&target)?)?
+            solve_spd(&gram, &design.tr_matvec(&target)?)?
         } else {
             match opts.solver {
-                Solver::NormalEquations => {
-                    design.gram().solve(&design.tr_matvec(&target)?)?
-                }
+                Solver::NormalEquations => solve_spd(&design.gram(), &design.tr_matvec(&target)?)?,
                 Solver::Qr => {
                     let (q, r) = design.qr()?;
                     let qty = q.transpose().matvec(&target)?;
@@ -307,12 +318,8 @@ mod tests {
     fn normal_equations_match_qr() {
         let (x, y) = toy_xy();
         let q = LinearModel::fit_with(&x, &y, &FitOptions::new().solver(Solver::Qr)).unwrap();
-        let ne = LinearModel::fit_with(
-            &x,
-            &y,
-            &FitOptions::new().solver(Solver::NormalEquations),
-        )
-        .unwrap();
+        let ne = LinearModel::fit_with(&x, &y, &FitOptions::new().solver(Solver::NormalEquations))
+            .unwrap();
         assert!((q.intercept() - ne.intercept()).abs() < 1e-8);
         for (a, b) in q.coefficients().iter().zip(ne.coefficients()) {
             assert!((a - b).abs() < 1e-8);
@@ -336,11 +343,7 @@ mod tests {
         let y: Vec<f64> = (1..=10).map(|i| 4.0 * i as f64).collect();
         let x = Matrix::from_rows(&rows).unwrap();
         assert!(matches!(
-            LinearModel::fit_with(
-                &x,
-                &y,
-                &FitOptions::new().solver(Solver::NormalEquations)
-            ),
+            LinearModel::fit_with(&x, &y, &FitOptions::new().solver(Solver::NormalEquations)),
             Err(Error::Singular)
         ));
         let m = LinearModel::fit_with(&x, &y, &FitOptions::new().ridge(1e-6)).unwrap();
@@ -406,7 +409,9 @@ mod tests {
         let mut y = Vec::new();
         let mut state = 0x9e3779b97f4a7c15u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0 // ~U(-1,1)
         };
         for i in 0..200 {

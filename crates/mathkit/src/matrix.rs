@@ -107,6 +107,28 @@ impl Matrix {
         })
     }
 
+    /// Builds a matrix from an already-flat row-major buffer, avoiding the
+    /// per-row `Vec` allocations of [`Matrix::from_rows`] — the constructor
+    /// the sampling pipeline uses to assemble design matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Empty`] for zero dimensions and [`Error::Ragged`]
+    /// when `data.len() != rows * cols`.
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<f64>) -> Result<Matrix> {
+        if rows == 0 || cols == 0 {
+            return Err(Error::Empty("matrix dimension"));
+        }
+        if data.len() != rows * cols {
+            return Err(Error::Ragged {
+                row: data.len() / cols,
+                expected: cols,
+                found: data.len() - (rows - 1) * cols,
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
     /// Builds a single-column matrix from a slice.
     ///
     /// # Errors
@@ -160,17 +182,18 @@ impl Matrix {
 
     /// Returns the transpose.
     pub fn transpose(&self) -> Matrix {
-        let mut t = Matrix {
-            rows: self.cols,
-            cols: self.rows,
-            data: vec![0.0; self.data.len()],
-        };
+        let mut data = vec![0.0; self.data.len()];
         for r in 0..self.rows {
-            for c in 0..self.cols {
-                t[(c, r)] = self[(r, c)];
+            let row = self.row(r);
+            for (c, &v) in row.iter().enumerate() {
+                data[c * self.rows + r] = v;
             }
         }
-        t
+        Matrix {
+            rows: self.cols,
+            cols: self.rows,
+            data,
+        }
     }
 
     /// Matrix product `self * rhs`.
@@ -186,15 +209,20 @@ impl Matrix {
                 rhs: rhs.shape(),
             });
         }
+        // Cache-friendly ikj order over contiguous row slices: the inner
+        // loop streams one row of `rhs` and one row of `out`, no strided
+        // access and no per-element bounds assertions.
         let mut out = Matrix::zeros(self.rows, rhs.cols)?;
+        let width = rhs.cols;
         for r in 0..self.rows {
-            for k in 0..self.cols {
-                let v = self[(r, k)];
+            let out_row = &mut out.data[r * width..(r + 1) * width];
+            for (k, &v) in self.row(r).iter().enumerate() {
                 if v == 0.0 {
                     continue;
                 }
-                for c in 0..rhs.cols {
-                    out[(r, c)] += v * rhs[(k, c)];
+                let rhs_row = &rhs.data[k * width..(k + 1) * width];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += v * b;
                 }
             }
         }
@@ -220,19 +248,38 @@ impl Matrix {
     }
 
     /// `Aᵀ A`, the Gram matrix — the core of the normal equations.
+    ///
+    /// Accumulated row-by-row (rank-1 updates on the upper triangle) so a
+    /// tall design matrix is streamed once, contiguously, instead of the
+    /// naive column-dot-column walk that strides the full matrix `p²/2`
+    /// times. Per-entry addition order is unchanged (ascending row index),
+    /// so results are bit-identical to the naive form.
     pub fn gram(&self) -> Matrix {
-        let mut g = Matrix::zeros(self.cols, self.cols).expect("cols > 0 by invariant");
-        for i in 0..self.cols {
-            for j in i..self.cols {
-                let mut s = 0.0;
-                for r in 0..self.rows {
-                    s += self[(r, i)] * self[(r, j)];
+        let p = self.cols;
+        let mut data = vec![0.0; p * p];
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for (i, &vi) in row.iter().enumerate() {
+                if vi == 0.0 {
+                    continue;
                 }
-                g[(i, j)] = s;
-                g[(j, i)] = s;
+                let g_row = &mut data[i * p..(i + 1) * p];
+                for (j, &vj) in row.iter().enumerate().skip(i) {
+                    g_row[j] += vi * vj;
+                }
             }
         }
-        g
+        // Mirror the upper triangle.
+        for i in 1..p {
+            for j in 0..i {
+                data[i * p + j] = data[j * p + i];
+            }
+        }
+        Matrix {
+            rows: p,
+            cols: p,
+            data,
+        }
     }
 
     /// `Aᵀ y` for a vector `y`.
@@ -345,6 +392,12 @@ impl Matrix {
             });
         }
         let n = self.rows;
+        // Relative pivot floor: exact rank deficiency leaves a pivot that is
+        // rounding noise (~eps * scale) rather than exactly zero; treat it as
+        // not-positive-definite so callers can fall back to pivoted LU and
+        // report singularity properly.
+        let max_diag = (0..n).fold(0.0_f64, |m, i| m.max(self[(i, i)].abs()));
+        let floor = n as f64 * f64::EPSILON * max_diag;
         let mut l = Matrix::zeros(n, n)?;
         for i in 0..n {
             for j in 0..=i {
@@ -353,7 +406,7 @@ impl Matrix {
                     s -= l[(i, k)] * l[(j, k)];
                 }
                 if i == j {
-                    if s <= 0.0 {
+                    if s <= floor {
                         return Err(Error::NotPositiveDefinite);
                     }
                     l[(i, j)] = s.sqrt();
@@ -363,6 +416,47 @@ impl Matrix {
             }
         }
         Ok(l)
+    }
+
+    /// Solves `self * x = b` for a symmetric positive-definite matrix via
+    /// Cholesky (`L Lᵀ x = b`): one factorization plus two triangular
+    /// substitutions — roughly twice as fast as LU with pivoting, and the
+    /// natural solver for the normal equations' Gram matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DimensionMismatch`] for shape problems and
+    /// [`Error::NotPositiveDefinite`] when the matrix is not SPD (callers
+    /// wanting LU's broader domain should fall back to [`Matrix::solve`]).
+    pub fn cholesky_solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != self.rows {
+            return Err(Error::DimensionMismatch {
+                op: "cholesky_solve rhs",
+                lhs: self.shape(),
+                rhs: (b.len(), 1),
+            });
+        }
+        let l = self.cholesky()?;
+        let n = self.rows;
+        let mut x = b.to_vec();
+        // Forward substitution: L z = b.
+        for i in 0..n {
+            let row = l.row(i);
+            let mut s = x[i];
+            for (j, &lij) in row[..i].iter().enumerate() {
+                s -= lij * x[j];
+            }
+            x[i] = s / row[i];
+        }
+        // Back substitution: Lᵀ x = z (walk L by column = Lᵀ by row).
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= l[(j, i)] * x[j];
+            }
+            x[i] = s / l[(i, i)];
+        }
+        Ok(x)
     }
 
     /// Householder QR factorization; returns `(Q, R)` with `Q` of shape
@@ -453,14 +547,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -566,10 +666,7 @@ mod tests {
     fn matmul_dimension_mismatch() {
         let a = Matrix::zeros(2, 3).unwrap();
         let b = Matrix::zeros(2, 3).unwrap();
-        assert!(matches!(
-            a.matmul(&b),
-            Err(Error::DimensionMismatch { .. })
-        ));
+        assert!(matches!(a.matmul(&b), Err(Error::DimensionMismatch { .. })));
     }
 
     #[test]
@@ -614,6 +711,41 @@ mod tests {
         let l = a.cholesky().unwrap();
         let back = l.matmul(&l.transpose()).unwrap();
         assert!((&a - &back).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_flat_matches_from_rows() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::from_flat(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(a, b);
+        assert!(Matrix::from_flat(2, 2, vec![1.0, 2.0, 3.0]).is_err());
+        assert!(Matrix::from_flat(0, 2, vec![]).is_err());
+    }
+
+    #[test]
+    fn cholesky_solve_matches_lu() {
+        // SPD system (a Gram matrix is always SPD for full-rank designs).
+        let x = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![3.0, 1.0],
+            vec![2.0, 5.0],
+            vec![4.0, 1.0],
+        ])
+        .unwrap();
+        let g = x.gram();
+        let b = [7.0, -3.0];
+        let chol = g.cholesky_solve(&b).unwrap();
+        let lu = g.solve(&b).unwrap();
+        for (c, l) in chol.iter().zip(&lu) {
+            assert!((c - l).abs() < 1e-9, "{c} vs {l}");
+        }
+        assert!(g.cholesky_solve(&[1.0]).is_err());
+        // Indefinite input is reported, not mis-solved.
+        let indef = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap();
+        assert_eq!(
+            indef.cholesky_solve(&b).unwrap_err(),
+            Error::NotPositiveDefinite
+        );
     }
 
     #[test]

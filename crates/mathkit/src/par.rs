@@ -1,0 +1,132 @@
+//! A tiny deterministic fork-join helper over `std::thread::scope`.
+//!
+//! The calibration sweep, the per-frequency regressions and the
+//! cross-validation folds are all embarrassingly parallel: independent
+//! work items whose results must come back **in input order** so that
+//! parallel runs are bit-identical to serial ones. [`par_map`] provides
+//! exactly that — a work-stealing index queue fanned across scoped
+//! threads, results reassembled by item index — with a serial fast path
+//! when one thread (or one item) makes threading pointless.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Number of hardware threads available to this process (at least 1).
+pub fn available_threads() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Resolves a user-facing parallelism knob: `0` means "all available
+/// cores", anything else is taken literally.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        available_threads()
+    } else {
+        requested
+    }
+}
+
+/// Maps `f` over `items`, using up to `threads` worker threads, returning
+/// results in input order. `f` receives `(index, &item)`.
+///
+/// Guarantees:
+/// * the output is `[f(0, &items[0]), f(1, &items[1]), …]` regardless of
+///   thread count — parallel runs are indistinguishable from serial ones;
+/// * a panic in any worker propagates to the caller;
+/// * `threads <= 1` (or fewer than two items) runs inline with no thread
+///   spawned at all.
+pub fn par_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = threads.min(n);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            // join() only errs when the worker panicked; re-raise the
+            // original payload so the caller sees the real message.
+            match handle.join() {
+                Ok(local) => {
+                    for (i, value) in local {
+                        slots[i] = Some(value);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index produced exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_zero_to_available() {
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn preserves_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial = par_map(&items, 1, |i, &x| x * 3 + i as u64);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(par_map(&items, threads, |i, &x| x * 3 + i as u64), serial);
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, 8, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[5u32], 8, |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn workers_capped_by_item_count() {
+        // 3 items, 100 threads requested: must still complete correctly.
+        assert_eq!(par_map(&[1, 2, 3], 100, |_, &x| x * x), vec![1, 4, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        par_map(&[1, 2, 3, 4], 2, |_, &x| {
+            assert!(x < 3, "boom");
+            x
+        });
+    }
+}

@@ -78,15 +78,23 @@ pub fn greedy_forward(
         if chosen.len() >= max_features {
             break;
         }
+        // Score the round's candidates concurrently — each candidate's CV
+        // is independent — then reduce in ascending candidate order, so
+        // ties break exactly as the serial scan did.
+        let cands: Vec<usize> = (0..x.cols()).filter(|c| !chosen.contains(c)).collect();
+        let scores = crate::par::par_map(
+            &cands,
+            crate::par::available_threads().min(cands.len()),
+            |_, &cand| {
+                let mut cols = chosen.clone();
+                cols.push(cand);
+                let sub = project(x, &cols)?;
+                cross_val_rmse(&sub, y, &opts, folds)
+            },
+        );
         let mut round_best: Option<(usize, f64)> = None;
-        for cand in 0..x.cols() {
-            if chosen.contains(&cand) {
-                continue;
-            }
-            let mut cols = chosen.clone();
-            cols.push(cand);
-            let sub = project(x, &cols)?;
-            let rmse = match cross_val_rmse(&sub, y, &opts, folds) {
+        for (&cand, score) in cands.iter().zip(scores) {
+            let rmse = match score {
                 Ok(v) => v,
                 // A singular candidate set (collinear counters) is simply
                 // not eligible this round.
@@ -97,7 +105,9 @@ pub fn greedy_forward(
                 round_best = Some((cand, rmse));
             }
         }
-        let Some((cand, rmse)) = round_best else { break };
+        let Some((cand, rmse)) = round_best else {
+            break;
+        };
         let improved = best_rmse.is_infinite()
             || (best_rmse - rmse) > min_improvement * best_rmse.max(f64::MIN_POSITIVE);
         if !improved {
@@ -209,10 +219,12 @@ mod tests {
     fn greedy_forward_skips_collinear_duplicates() {
         // Column 1 duplicates column 0: adding both is singular and must be
         // skipped, not fatal.
-        let rows: Vec<Vec<f64>> = (0..30).map(|i| {
-            let a = (i % 6) as f64;
-            vec![a, a]
-        }).collect();
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|i| {
+                let a = (i % 6) as f64;
+                vec![a, a]
+            })
+            .collect();
         let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] + 1.0).collect();
         let x = Matrix::from_rows(&rows).unwrap();
         let sel = greedy_forward(&x, &y, 2, 3, 0.0).unwrap();

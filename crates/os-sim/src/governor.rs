@@ -140,10 +140,7 @@ mod tests {
     #[test]
     fn performance_and_powersave_extremes() {
         let t = table();
-        assert_eq!(
-            Performance.select(0, 0.0, &t),
-            MegaHertz(3300)
-        );
+        assert_eq!(Performance.select(0, 0.0, &t), MegaHertz(3300));
         assert_eq!(Powersave.select(0, 1.0, &t), MegaHertz(1600));
         assert_eq!(Performance.name(), "performance");
         assert_eq!(Powersave.name(), "powersave");

@@ -105,7 +105,7 @@ mod tests {
         let mut p = IdlePredictor::new(1);
         p.observe(0, false, MS);
         p.observe(0, true, MS); // ewma = 1 ms
-        // Now idle for 5 ms without ending the streak.
+                                // Now idle for 5 ms without ending the streak.
         for _ in 0..5 {
             p.observe(0, false, MS);
         }

@@ -78,8 +78,7 @@ impl Kernel {
         let cpus = machine.topology().logical_cpus();
         let cores = machine.topology().physical_cores();
         Kernel {
-            scheduler: Scheduler::new(cpus)
-                .with_smt(machine.topology().threads_per_core()),
+            scheduler: Scheduler::new(cpus).with_smt(machine.topology().threads_per_core()),
             groups: BTreeMap::new(),
             governor: Box::new(Ondemand::new(cores)),
             idle: IdlePredictor::new(cores),
@@ -296,9 +295,7 @@ impl Kernel {
                 .iter()
                 .map(|t| self.machine.utilization(*t).unwrap_or(0.0))
                 .fold(0.0f64, f64::max);
-            let f = self
-                .governor
-                .select(c, util, self.machine.pstates());
+            let f = self.governor.select(c, util, self.machine.pstates());
             self.machine
                 .set_frequency(c, f)
                 .expect("governor returned an unsupported frequency");
@@ -319,12 +316,9 @@ impl Kernel {
         for cpu in 0..n_cpus {
             let Some(tid) = who[cpu] else { continue };
             let entry = self.threads.get_mut(&tid).expect("ran this tick");
-            let busy = Nanos(
-                (dt.as_u64() as f64 * work[cpu].as_ref().expect("ran").intensity()) as u64,
-            );
-            entry
-                .stats
-                .record_run(CpuId(cpu), dt, busy);
+            let busy =
+                Nanos((dt.as_u64() as f64 * work[cpu].as_ref().expect("ran").intensity()) as u64);
+            entry.stats.record_run(CpuId(cpu), dt, busy);
             self.scheduler.charge(tid, dt);
             self.accounting
                 .record_run(entry.pid, CpuId(cpu), cpu_freqs[cpu], dt, busy);
@@ -411,7 +405,10 @@ mod tests {
     #[test]
     fn spawn_run_and_records() {
         let mut k = Kernel::new(presets::intel_i3_2120());
-        let pid = k.spawn("stress", vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))]);
+        let pid = k.spawn(
+            "stress",
+            vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))],
+        );
         let r = k.tick(MS);
         assert_eq!(r.records.len(), 1);
         assert_eq!(r.records[0].pid, pid);
@@ -425,7 +422,10 @@ mod tests {
     fn ondemand_ramps_up_under_load() {
         let mut k = Kernel::new(presets::intel_i3_2120());
         assert_eq!(k.governor_name(), "ondemand");
-        k.spawn("stress", vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))]);
+        k.spawn(
+            "stress",
+            vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))],
+        );
         let first = k.tick(MS).records[0].frequency;
         // After the first busy tick, ondemand sees 100 % and jumps to max.
         k.tick(MS);
@@ -439,7 +439,10 @@ mod tests {
         let mut k = Kernel::new(presets::intel_i3_2120());
         k.pin_frequency(MegaHertz(2400)).unwrap();
         assert_eq!(k.governor_name(), "userspace");
-        k.spawn("stress", vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))]);
+        k.spawn(
+            "stress",
+            vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))],
+        );
         for _ in 0..5 {
             let r = k.tick(MS);
             assert_eq!(r.records[0].frequency, MegaHertz(2400));
@@ -451,10 +454,7 @@ mod tests {
     fn multi_thread_process_spreads_over_cpus() {
         let mut k = Kernel::new(presets::intel_i3_2120());
         let w = WorkUnit::cpu_intensive(1.0);
-        let pid = k.spawn(
-            "jbb",
-            (0..4).map(|_| SteadyTask::boxed(w)).collect(),
-        );
+        let pid = k.spawn("jbb", (0..4).map(|_| SteadyTask::boxed(w)).collect());
         let r = k.tick(MS);
         assert_eq!(r.records.len(), 4, "4 threads on 4 logical cpus");
         let cpus: std::collections::BTreeSet<_> = r.records.iter().map(|x| x.cpu).collect();
@@ -467,7 +467,10 @@ mod tests {
         let mut k = Kernel::new(presets::intel_i3_2120());
         let pid = k.spawn(
             "burst",
-            vec![TimedTask::boxed(WorkUnit::cpu_intensive(1.0), Nanos(3_000_000))],
+            vec![TimedTask::boxed(
+                WorkUnit::cpu_intensive(1.0),
+                Nanos(3_000_000),
+            )],
         );
         for _ in 0..6 {
             k.tick(MS);
@@ -481,7 +484,10 @@ mod tests {
     #[test]
     fn kill_stops_scheduling() {
         let mut k = Kernel::new(presets::intel_i3_2120());
-        let pid = k.spawn("victim", vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))]);
+        let pid = k.spawn(
+            "victim",
+            vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))],
+        );
         k.tick(MS);
         k.kill(pid).unwrap();
         let r = k.tick(MS);
@@ -514,7 +520,10 @@ mod tests {
     fn accounting_integrates_with_ticks() {
         let mut k = Kernel::new(presets::intel_i3_2120());
         k.set_governor(Box::new(Performance));
-        let pid = k.spawn("acct", vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))]);
+        let pid = k.spawn(
+            "acct",
+            vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))],
+        );
         k.run(10, MS);
         let t = k.accounting().process(pid).unwrap();
         assert_eq!(t.utime, Nanos(10_000_000));
@@ -582,11 +591,7 @@ mod group_affinity_tests {
         for _ in 0..50 {
             let r = k.tick(MS);
             for rec in &r.records {
-                assert!(
-                    rec.cpu.as_usize() >= 2,
-                    "pinned thread ran on {}",
-                    rec.cpu
-                );
+                assert!(rec.cpu.as_usize() >= 2, "pinned thread ran on {}", rec.cpu);
             }
         }
         assert!(matches!(
@@ -602,10 +607,7 @@ mod group_affinity_tests {
             k.set_affinity(Tid(1), None),
             Err(Error::NoSuchThread(_))
         ));
-        let pid = k.spawn(
-            "p",
-            vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))],
-        );
+        let pid = k.spawn("p", vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))]);
         let tid = k.process(pid).unwrap().threads()[0];
         assert!(k.set_affinity(tid, Some(vec![1])).is_ok());
         let r = k.tick(MS);

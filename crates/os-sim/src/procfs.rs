@@ -53,8 +53,7 @@ impl Accounting {
         // CPU-time recorded since the previous tick (`/proc/loadavg`
         // style, with dt-exact decay instead of 5 s sampling).
         if dt > Nanos::ZERO {
-            let instantaneous =
-                self.interval_busy.as_secs_f64() / dt.as_secs_f64();
+            let instantaneous = self.interval_busy.as_secs_f64() / dt.as_secs_f64();
             let alpha = (-dt.as_secs_f64() / 60.0).exp();
             self.loadavg_1m = self.loadavg_1m * alpha + instantaneous * (1.0 - alpha);
             self.interval_busy = Nanos::ZERO;
@@ -181,7 +180,13 @@ mod tests {
         // 3 of 4 CPUs busy for 5 simulated minutes.
         for _ in 0..300 {
             for cpu in 0..3 {
-                a.record_run(Pid(1), CpuId(cpu), MegaHertz(3300), Nanos::from_secs(1), Nanos::from_secs(1));
+                a.record_run(
+                    Pid(1),
+                    CpuId(cpu),
+                    MegaHertz(3300),
+                    Nanos::from_secs(1),
+                    Nanos::from_secs(1),
+                );
             }
             a.tick(Nanos::from_secs(1), &[MegaHertz(3300); 4]);
         }
@@ -191,7 +196,11 @@ mod tests {
             a.tick(Nanos::from_secs(1), &[MegaHertz(3300); 4]);
         }
         assert!(a.loadavg_1m() < 1.2, "decayed to {}", a.loadavg_1m());
-        assert!(a.loadavg_1m() > 0.5, "but not instantly: {}", a.loadavg_1m());
+        assert!(
+            a.loadavg_1m() > 0.5,
+            "but not instantly: {}",
+            a.loadavg_1m()
+        );
     }
 
     #[test]

@@ -105,11 +105,13 @@ impl Scheduler {
         let n = self.cpus;
         let affinity = cpus.and_then(|mut v| {
             v.retain(|c| *c < n);
-            if v.is_empty() { None } else { Some(v) }
+            if v.is_empty() {
+                None
+            } else {
+                Some(v)
+            }
         });
-        let new_home = affinity
-            .as_ref()
-            .map(|a| self.least_loaded_cpu(Some(a)));
+        let new_home = affinity.as_ref().map(|a| self.least_loaded_cpu(Some(a)));
         if let Some(e) = self.entities.get_mut(&tid) {
             e.affinity = affinity;
             if let Some(h) = new_home {
@@ -120,9 +122,7 @@ impl Scheduler {
 
     /// The affinity set of a thread (`None` = unrestricted/unknown).
     pub fn affinity_of(&self, tid: Tid) -> Option<&[usize]> {
-        self.entities
-            .get(&tid)
-            .and_then(|e| e.affinity.as_deref())
+        self.entities.get(&tid).and_then(|e| e.affinity.as_deref())
     }
 
     /// Forgets a thread entirely.
@@ -158,28 +158,22 @@ impl Scheduler {
             .map(|(t, e)| (*t, e.vruntime, e.home))
             .collect();
         order.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1).expect("finite vruntime").then(a.0.cmp(&b.0))
+            a.1.partial_cmp(&b.1)
+                .expect("finite vruntime")
+                .then(a.0.cmp(&b.0))
         });
         let mut free = self.cpus;
         for (tid, _, home) in order {
             if free == 0 {
                 break;
             }
-            let allowed = |c: usize| {
-                self.entities
-                    .get(&tid)
-                    .expect("listed above")
-                    .allows(c)
-            };
+            let allowed = |c: usize| self.entities.get(&tid).expect("listed above").allows(c);
             let cpu = if assignment[home].is_none() && allowed(home) {
                 home
             } else {
                 match (0..self.cpus).find(|&c| assignment[c].is_none() && allowed(c)) {
                     Some(fallback) => {
-                        self.entities
-                            .get_mut(&tid)
-                            .expect("listed above")
-                            .home = fallback;
+                        self.entities.get_mut(&tid).expect("listed above").home = fallback;
                         fallback
                     }
                     // Every allowed CPU is taken this round: the thread
@@ -372,9 +366,7 @@ mod smt_tests {
         for i in 0..4 {
             s.add(Tid(i), 0);
         }
-        let mut cores: Vec<usize> = (0..4)
-            .map(|i| s.home_of(Tid(i)).unwrap() / 2)
-            .collect();
+        let mut cores: Vec<usize> = (0..4).map(|i| s.home_of(Tid(i)).unwrap() / 2).collect();
         cores.sort_unstable();
         cores.dedup();
         assert_eq!(cores.len(), 4, "each thread on its own core");

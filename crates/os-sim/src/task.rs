@@ -111,7 +111,11 @@ impl PeriodicTask {
     pub fn new(work: WorkUnit, period: Nanos, duty: f64) -> PeriodicTask {
         PeriodicTask {
             work,
-            period: if period == Nanos::ZERO { Nanos(1) } else { period },
+            period: if period == Nanos::ZERO {
+                Nanos(1)
+            } else {
+                period
+            },
             duty: duty.clamp(0.0, 1.0),
         }
     }
@@ -177,7 +181,9 @@ where
 
 impl<F> std::fmt::Debug for FnTask<F> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FnTask").field("label", &self.label).finish()
+        f.debug_struct("FnTask")
+            .field("label", &self.label)
+            .finish()
     }
 }
 
@@ -224,7 +230,10 @@ mod tests {
     fn periodic_duty_extremes() {
         let p = Nanos(1_000_000);
         let mut always = PeriodicTask::new(WorkUnit::cpu_intensive(1.0), p, 2.0);
-        assert!(matches!(always.next_slice(Nanos(999_999), p), Slice::Run(_)));
+        assert!(matches!(
+            always.next_slice(Nanos(999_999), p),
+            Slice::Run(_)
+        ));
         let mut never = PeriodicTask::new(WorkUnit::cpu_intensive(1.0), p, 0.0);
         assert_eq!(never.next_slice(Nanos::ZERO, p), Slice::Sleep);
     }

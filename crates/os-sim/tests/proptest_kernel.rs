@@ -2,8 +2,8 @@
 //! accounting conservation over arbitrary process mixes.
 
 use os_sim::kernel::Kernel;
-use os_sim::scheduler::Scheduler;
 use os_sim::process::Tid;
+use os_sim::scheduler::Scheduler;
 use os_sim::task::SteadyTask;
 use proptest::prelude::*;
 use simcpu::presets;

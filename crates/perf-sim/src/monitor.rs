@@ -22,7 +22,10 @@ pub struct IntervalSample {
 impl IntervalSample {
     /// Looks up one event's delta.
     pub fn get(&self, event: Event) -> Option<u64> {
-        self.deltas.iter().find(|(e, _)| *e == event).map(|(_, v)| *v)
+        self.deltas
+            .iter()
+            .find(|(e, _)| *e == event)
+            .map(|(_, v)| *v)
     }
 }
 
@@ -169,8 +172,14 @@ mod tests {
     #[test]
     fn multiple_processes_sampled_independently() {
         let mut k = Kernel::new(presets::intel_i3_2120());
-        let busy = k.spawn("busy", vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))]);
-        let lazy = k.spawn("lazy", vec![SteadyTask::boxed(WorkUnit::cpu_intensive(0.1))]);
+        let busy = k.spawn(
+            "busy",
+            vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))],
+        );
+        let lazy = k.spawn(
+            "lazy",
+            vec![SteadyTask::boxed(WorkUnit::cpu_intensive(0.1))],
+        );
         let mut m = ProcessMonitor::new(4, PAPER_EVENTS.to_vec());
         m.track(busy).unwrap();
         m.track(lazy).unwrap();

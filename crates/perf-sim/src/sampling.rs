@@ -134,10 +134,7 @@ mod tests {
 
     fn busy_kernel() -> (Kernel, Pid) {
         let mut k = Kernel::new(presets::intel_i3_2120());
-        let pid = k.spawn(
-            "app",
-            vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))],
-        );
+        let pid = k.spawn("app", vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))]);
         (k, pid)
     }
 
@@ -155,13 +152,8 @@ mod tests {
         let (mut k, pid) = busy_kernel();
         // ~1.6-3.3e6 cycles per ms tick; a 1e6 period fires 1-3 times per
         // tick.
-        let mut s = Sampler::open(
-            pid,
-            Event::Hardware(HwCounter::Cycles),
-            1_000_000,
-            4096,
-        )
-        .unwrap();
+        let mut s =
+            Sampler::open(pid, Event::Hardware(HwCounter::Cycles), 1_000_000, 4096).unwrap();
         let mut total_cycles = 0u64;
         for _ in 0..50 {
             let r = k.tick(MS);
@@ -204,17 +196,15 @@ mod tests {
     #[test]
     fn samples_only_the_target_pid() {
         let mut k = Kernel::new(presets::intel_i3_2120());
-        let target = k.spawn(
-            "t",
-            vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))],
-        );
-        let _other = k.spawn(
-            "o",
-            vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))],
-        );
-        let mut s =
-            Sampler::open(target, Event::Hardware(HwCounter::Instructions), 500_000, 256)
-                .unwrap();
+        let target = k.spawn("t", vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))]);
+        let _other = k.spawn("o", vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))]);
+        let mut s = Sampler::open(
+            target,
+            Event::Hardware(HwCounter::Instructions),
+            500_000,
+            256,
+        )
+        .unwrap();
         for _ in 0..10 {
             s.observe(&k.tick(MS));
         }

@@ -280,7 +280,9 @@ mod tests {
         let (mut k, pid) = busy_kernel();
         let other = k.spawn("idle-proc", vec![]);
         let mut s = PerfSession::new(4);
-        let mine = s.open(pid, Event::Hardware(HwCounter::Instructions)).unwrap();
+        let mine = s
+            .open(pid, Event::Hardware(HwCounter::Instructions))
+            .unwrap();
         let theirs = s
             .open(other, Event::Hardware(HwCounter::Instructions))
             .unwrap();
@@ -335,7 +337,10 @@ mod tests {
         }
         for &id in &ids {
             let v = s.read(id).unwrap();
-            assert!(v.time_running < v.time_enabled, "must have been rotated out");
+            assert!(
+                v.time_running < v.time_enabled,
+                "must have been rotated out"
+            );
             assert!(v.time_running > Nanos::ZERO, "must have run sometimes");
             let ratio = v.time_running.as_u64() as f64 / v.time_enabled.as_u64() as f64;
             assert!((0.35..=0.65).contains(&ratio), "fair rotation, got {ratio}");
@@ -348,7 +353,9 @@ mod tests {
             "memhog",
             vec![SteadyTask::boxed(WorkUnit::memory_intensive(65536.0, 1.0))],
         );
-        let fid = full.open(pid2, Event::Hardware(HwCounter::Instructions)).unwrap();
+        let fid = full
+            .open(pid2, Event::Hardware(HwCounter::Instructions))
+            .unwrap();
         for _ in 0..40 {
             let r = k2.tick(MS);
             full.observe(&r);
@@ -376,8 +383,10 @@ mod tests {
                 ],
             )
             .unwrap();
-        s.open(pid, Event::Hardware(HwCounter::CacheMisses)).unwrap();
-        s.open(pid, Event::Hardware(HwCounter::BranchMisses)).unwrap();
+        s.open(pid, Event::Hardware(HwCounter::CacheMisses))
+            .unwrap();
+        s.open(pid, Event::Hardware(HwCounter::BranchMisses))
+            .unwrap();
         for _ in 0..30 {
             let r = k.tick(MS);
             s.observe(&r);
@@ -409,7 +418,9 @@ mod tests {
     fn disable_pauses_counting() {
         let (mut k, pid) = busy_kernel();
         let mut s = PerfSession::new(4);
-        let id = s.open(pid, Event::Hardware(HwCounter::Instructions)).unwrap();
+        let id = s
+            .open(pid, Event::Hardware(HwCounter::Instructions))
+            .unwrap();
         let r = k.tick(MS);
         s.observe(&r);
         let v1 = s.read(id).unwrap();
@@ -431,7 +442,9 @@ mod tests {
     fn reset_and_close() {
         let (mut k, pid) = busy_kernel();
         let mut s = PerfSession::new(4);
-        let id = s.open(pid, Event::Hardware(HwCounter::Instructions)).unwrap();
+        let id = s
+            .open(pid, Event::Hardware(HwCounter::Instructions))
+            .unwrap();
         let r = k.tick(MS);
         s.observe(&r);
         assert!(s.read(id).unwrap().raw > 0);
@@ -467,7 +480,9 @@ mod tests {
         let w = WorkUnit::cpu_intensive(1.0);
         let pid = k.spawn("mt", vec![SteadyTask::boxed(w), SteadyTask::boxed(w)]);
         let mut s = PerfSession::new(4);
-        let id = s.open(pid, Event::Hardware(HwCounter::Instructions)).unwrap();
+        let id = s
+            .open(pid, Event::Hardware(HwCounter::Instructions))
+            .unwrap();
         let r = k.tick(MS);
         s.observe(&r);
         let per_thread: u64 = r.records.iter().map(|x| x.delta.instructions).sum();

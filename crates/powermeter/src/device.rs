@@ -195,7 +195,9 @@ mod tests {
             }
         }
         assert_eq!(samples.len(), 10);
-        assert!(samples.iter().all(|s| (s.power.as_f64() - 30.0).abs() < 1e-9));
+        assert!(samples
+            .iter()
+            .all(|s| (s.power.as_f64() - 30.0).abs() < 1e-9));
     }
 
     #[test]

@@ -37,7 +37,11 @@ impl PowerSpyConfig {
 
     /// Sets the sampling period.
     pub fn with_sample_period(mut self, period: Nanos) -> PowerSpyConfig {
-        self.sample_period = if period == Nanos::ZERO { Nanos(1) } else { period };
+        self.sample_period = if period == Nanos::ZERO {
+            Nanos(1)
+        } else {
+            period
+        };
         self
     }
 

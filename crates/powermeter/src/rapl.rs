@@ -103,7 +103,11 @@ mod tests {
         for _ in 0..1000 {
             r.observe(Watts(10.0), Nanos::from_millis(1));
         }
-        assert!((r.read_joules() - 10.0).abs() < 0.001, "{}", r.read_joules());
+        assert!(
+            (r.read_joules() - 10.0).abs() < 0.001,
+            "{}",
+            r.read_joules()
+        );
     }
 
     #[test]

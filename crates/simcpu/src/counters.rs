@@ -236,7 +236,10 @@ mod tests {
         let d = sample();
         // Summing via the accessor must equal summing the struct fields.
         let via_get: u64 = HwCounter::ALL.iter().map(|&c| d.get(c)).sum();
-        assert_eq!(via_get, 100 + 90 + 150 + 10 + 2 + 30 + 1 + 9 + 5 + 20 + 50 + 12);
+        assert_eq!(
+            via_get,
+            100 + 90 + 150 + 10 + 2 + 30 + 1 + 9 + 5 + 20 + 50 + 12
+        );
     }
 
     #[test]

@@ -31,7 +31,9 @@ impl CState {
         target_residency: Nanos,
     ) -> Result<CState> {
         if !(0.0..=1.0).contains(&power_fraction) {
-            return Err(Error::InvalidConfig("c-state power fraction must be in [0, 1]"));
+            return Err(Error::InvalidConfig(
+                "c-state power fraction must be in [0, 1]",
+            ));
         }
         Ok(CState {
             name,
@@ -108,7 +110,7 @@ impl CStateMenu {
     /// A menu with only C1 — for old parts without deep idle.
     pub fn halt_only() -> CStateMenu {
         CStateMenu::new(vec![
-            CState::new("C1", 0.60, Nanos(2_000), Nanos(4_000)).expect("valid"),
+            CState::new("C1", 0.60, Nanos(2_000), Nanos(4_000)).expect("valid")
         ])
         .expect("hardcoded menu is valid")
     }

@@ -91,8 +91,7 @@ pub fn execute(
     };
     let mem_stall_per_inst =
         work.mem_ratio() * profile.stall_cycles_per_access(caches, ghz, MEMORY_OVERLAP);
-    let branch_stall_per_inst =
-        work.branch_ratio() * work.branch_miss_rate() * BRANCH_FLUSH_CYCLES;
+    let branch_stall_per_inst = work.branch_ratio() * work.branch_miss_rate() * BRANCH_FLUSH_CYCLES;
     let cpi = 1.0 / base_ipc + mem_stall_per_inst + branch_stall_per_inst;
 
     let instructions = busy_cycles / cpi;
@@ -216,15 +215,28 @@ mod tests {
         let solo = execute(&w, &ctx(3300, false), &caches(), MS);
         let shared = execute(&w, &ctx(3300, true), &caches(), MS);
         let per_thread = shared.delta.instructions as f64 / solo.delta.instructions as f64;
-        assert!(per_thread < 0.75, "sibling steals issue slots: {per_thread}");
+        assert!(
+            per_thread < 0.75,
+            "sibling steals issue slots: {per_thread}"
+        );
         // But combined throughput of two threads beats one.
         assert!(2.0 * per_thread > 1.1, "SMT still a net win: {per_thread}");
     }
 
     #[test]
     fn intensity_scales_events_linearly() {
-        let full = execute(&WorkUnit::cpu_intensive(1.0), &ctx(3300, false), &caches(), MS);
-        let half = execute(&WorkUnit::cpu_intensive(0.5), &ctx(3300, false), &caches(), MS);
+        let full = execute(
+            &WorkUnit::cpu_intensive(1.0),
+            &ctx(3300, false),
+            &caches(),
+            MS,
+        );
+        let half = execute(
+            &WorkUnit::cpu_intensive(0.5),
+            &ctx(3300, false),
+            &caches(),
+            MS,
+        );
         let r = half.delta.instructions as f64 / full.delta.instructions as f64;
         assert!((r - 0.5).abs() < 0.01, "r={r}");
         assert_eq!(half.busy_fraction, 0.5);

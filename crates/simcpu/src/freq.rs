@@ -177,7 +177,11 @@ pub fn ladder(freqs_mhz: &[u32], v_min: f64, v_max: f64) -> Result<Vec<PState>> 
     freqs_mhz
         .iter()
         .map(|&f| {
-            let t = if hi > lo { (f as f64 - lo) / (hi - lo) } else { 0.0 };
+            let t = if hi > lo {
+                (f as f64 - lo) / (hi - lo)
+            } else {
+                0.0
+            };
             PState::new(MegaHertz(f), v_min + t * (v_max - v_min))
         })
         .collect()
@@ -229,7 +233,10 @@ mod tests {
         assert_eq!(t.min().frequency(), MegaHertz(1600));
         assert_eq!(t.max().frequency(), MegaHertz(3300));
         assert!(t.state_for(MegaHertz(2400)).is_ok());
-        assert!(t.state_for(MegaHertz(3700)).is_ok(), "turbo freq resolvable");
+        assert!(
+            t.state_for(MegaHertz(3700)).is_ok(),
+            "turbo freq resolvable"
+        );
         assert!(matches!(
             t.state_for(MegaHertz(9999)),
             Err(Error::UnsupportedFrequency { .. })

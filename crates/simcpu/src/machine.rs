@@ -260,7 +260,11 @@ impl Machine {
         };
         let active_cores = topo
             .cores()
-            .filter(|c| topo.threads_of(*c).iter().any(|t| busy_of(t.as_usize()) > 0.0))
+            .filter(|c| {
+                topo.threads_of(*c)
+                    .iter()
+                    .any(|t| busy_of(t.as_usize()) > 0.0)
+            })
             .count();
 
         let mut deltas = vec![ExecDelta::zero(); n_cpus];
@@ -307,8 +311,10 @@ impl Machine {
             let idle_state = self.config.cstates.pick(predicted);
             let ridx = core.as_usize();
             self.residency[ridx].add_busy(Nanos((dt_ns as f64 * core_busy) as u64));
-            self.residency[ridx]
-                .add_idle(&idle_state, Nanos((dt_ns as f64 * (1.0 - core_busy)) as u64));
+            self.residency[ridx].add_idle(
+                &idle_state,
+                Nanos((dt_ns as f64 * (1.0 - core_busy)) as u64),
+            );
 
             slices.push(CoreSlice {
                 pstate,
@@ -331,10 +337,7 @@ impl Machine {
         let package_power = Watts(breakdown.package().as_f64() + leak);
         let tau = self.config.power.thermal_tau_s();
         if tau > 0.0 {
-            let target = self
-                .config
-                .power
-                .steady_temp_c(package_power.as_f64());
+            let target = self.config.power.steady_temp_c(package_power.as_f64());
             let alpha = (dt.as_secs_f64() / tau).min(1.0);
             self.temp_c += alpha * (target - self.temp_c);
         }
@@ -469,7 +472,10 @@ mod tests {
         m.set_frequency(0, MegaHertz(3300)).unwrap();
         let w = WorkUnit::cpu_intensive(1.0);
         let r = m.tick(&[Some(&w), None, None, None], 100 * MS);
-        assert_eq!(r.deltas[0].cycles, MegaHertz(3300).cycles_over(Nanos(100 * MS)));
+        assert_eq!(
+            r.deltas[0].cycles,
+            MegaHertz(3300).cycles_over(Nanos(100 * MS))
+        );
     }
 
     #[test]
@@ -553,7 +559,11 @@ mod thermal_tests {
             m.tick(&assign, 100_000_000);
         }
         let hot = m.tick(&assign, 100_000_000).power;
-        assert!(m.temperature_c() > t0 + 10.0, "die heated: {}", m.temperature_c());
+        assert!(
+            m.temperature_c() > t0 + 10.0,
+            "die heated: {}",
+            m.temperature_c()
+        );
         assert!(
             hot.as_f64() > cold.as_f64() + 2.0,
             "thermal leakage raises power: cold {cold}, hot {hot}"
@@ -567,7 +577,11 @@ mod thermal_tests {
         for _ in 0..600 {
             m.tick(&[None; 4], 100_000_000);
         }
-        assert!((m.temperature_c() - t0).abs() < 3.0, "{}", m.temperature_c());
+        assert!(
+            (m.temperature_c() - t0).abs() < 3.0,
+            "{}",
+            m.temperature_c()
+        );
         // Idle power essentially unchanged.
         let p = m.tick(&[None; 4], 100_000_000).power.as_f64();
         assert!((p - 31.6).abs() < 1.5, "idle stays ~31.6 W: {p}");
@@ -585,6 +599,10 @@ mod thermal_tests {
         for _ in 0..1800 {
             m.tick(&[None; 4], 100_000_000);
         }
-        assert!(m.temperature_c() < hot - 10.0, "cooled from {hot} to {}", m.temperature_c());
+        assert!(
+            m.temperature_c() < hot - 10.0,
+            "cooled from {hot} to {}",
+            m.temperature_c()
+        );
     }
 }

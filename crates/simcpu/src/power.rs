@@ -243,7 +243,10 @@ impl PowerBreakdown {
     /// and DRAM DIMMs).
     pub fn package(&self) -> Watts {
         Watts(
-            self.package_idle + self.core_baseline + self.core_idle + self.core_events
+            self.package_idle
+                + self.core_baseline
+                + self.core_idle
+                + self.core_events
                 + self.uncore,
         )
     }
@@ -318,8 +321,7 @@ impl PowerModel {
 
             // Idle residue: awake fraction of C0-idle plus parked fraction.
             let idle_frac = 1.0 - primary;
-            out.core_idle +=
-                self.core_c0_idle_w * core.idle_state.power_fraction() * idle_frac;
+            out.core_idle += self.core_c0_idle_w * core.idle_state.power_fraction() * idle_frac;
 
             // Per-event energy, V²-scaled relative to vref.
             let vscale = (v / self.vref) * (v / self.vref);
@@ -368,8 +370,16 @@ mod tests {
             pstate: ps,
             thread_busy: busy,
             deltas: [
-                if busy[0] > 0.0 { delta } else { ExecDelta::zero() },
-                if busy[1] > 0.0 { delta } else { ExecDelta::zero() },
+                if busy[0] > 0.0 {
+                    delta
+                } else {
+                    ExecDelta::zero()
+                },
+                if busy[1] > 0.0 {
+                    delta
+                } else {
+                    ExecDelta::zero()
+                },
             ],
             idle_state: CStateMenu::sandy_bridge().states()[2],
         }

@@ -19,10 +19,8 @@ pub fn intel_i3_2120() -> MachineConfig {
         family: "i3".to_string(),
         model: "2120".to_string(),
         topology: Topology::new(1, 2, 2).expect("valid topology"),
-        pstates: PStateTable::without_turbo(
-            ladder(&freqs, 0.85, 1.05).expect("valid ladder"),
-        )
-        .expect("valid table"),
+        pstates: PStateTable::without_turbo(ladder(&freqs, 0.85, 1.05).expect("valid ladder"))
+            .expect("valid table"),
         cstates: CStateMenu::sandy_bridge(),
         caches: CacheHierarchy::new(32, 256, 3072).expect("valid caches"),
         power: PowerModel::builder()
@@ -176,8 +174,14 @@ impl Spec {
             ("Frequency".to_string(), self.frequency.to_string()),
             ("TDP".to_string(), format!("{:.0} W", self.tdp_w)),
             ("SpeedStep (DVFS)".to_string(), mark(self.speedstep)),
-            ("HyperThreading (SMT)".to_string(), mark(self.hyperthreading)),
-            ("TurboBoost (Overclocking)".to_string(), mark(self.turboboost)),
+            (
+                "HyperThreading (SMT)".to_string(),
+                mark(self.hyperthreading),
+            ),
+            (
+                "TurboBoost (Overclocking)".to_string(),
+                mark(self.turboboost),
+            ),
             ("C-states (Idle states)".to_string(), mark(self.cstates)),
             (
                 "L1 cache".to_string(),

@@ -44,7 +44,11 @@ impl Topology {
     /// [`Error::InvalidConfig`] when any dimension is zero or
     /// `threads_per_core` exceeds 2 (the SMT model covers 2-way
     /// HyperThreading, as on every machine in the paper).
-    pub fn new(packages: usize, cores_per_package: usize, threads_per_core: usize) -> Result<Topology> {
+    pub fn new(
+        packages: usize,
+        cores_per_package: usize,
+        threads_per_core: usize,
+    ) -> Result<Topology> {
         if packages == 0 || cores_per_package == 0 || threads_per_core == 0 {
             return Err(Error::InvalidConfig("topology dimensions must be non-zero"));
         }
@@ -189,10 +193,7 @@ mod tests {
     #[test]
     fn out_of_range_rejected() {
         let t = Topology::new(1, 2, 2).unwrap();
-        assert!(matches!(
-            t.core_of(CpuId(4)),
-            Err(Error::NoSuchCpu { .. })
-        ));
+        assert!(matches!(t.core_of(CpuId(4)), Err(Error::NoSuchCpu { .. })));
         assert!(t.sibling_of(CpuId(99)).is_err());
     }
 

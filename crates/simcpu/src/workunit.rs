@@ -42,10 +42,14 @@ impl WorkUnit {
     ) -> Result<WorkUnit> {
         let in_unit = |v: f64| (0.0..=1.0).contains(&v) && v.is_finite();
         if !in_unit(mem_ratio) || !in_unit(branch_ratio) || !in_unit(fp_ratio) {
-            return Err(Error::InvalidConfig("instruction mix ratios must be in [0, 1]"));
+            return Err(Error::InvalidConfig(
+                "instruction mix ratios must be in [0, 1]",
+            ));
         }
         if mem_ratio + branch_ratio + fp_ratio > 1.0 + 1e-9 {
-            return Err(Error::InvalidConfig("instruction mix ratios must sum to <= 1"));
+            return Err(Error::InvalidConfig(
+                "instruction mix ratios must sum to <= 1",
+            ));
         }
         if !in_unit(branch_miss_rate) {
             return Err(Error::InvalidConfig("branch miss rate must be in [0, 1]"));
@@ -79,8 +83,17 @@ impl WorkUnit {
     /// A compute-bound kernel: tiny footprint, high ILP, few memory ops.
     /// `intensity` is the duty cycle in `[0, 1]` (clamped).
     pub fn cpu_intensive(intensity: f64) -> WorkUnit {
-        WorkUnit::new(0.08, 0.15, 0.20, 0.01, 16.0, 0.95, 2.6, intensity.clamp(0.0, 1.0))
-            .expect("hardcoded parameters are valid")
+        WorkUnit::new(
+            0.08,
+            0.15,
+            0.20,
+            0.01,
+            16.0,
+            0.95,
+            2.6,
+            intensity.clamp(0.0, 1.0),
+        )
+        .expect("hardcoded parameters are valid")
     }
 
     /// A memory-streaming kernel: large footprint, low locality, lots of

@@ -10,14 +10,14 @@ use simcpu::workunit::WorkUnit;
 /// An arbitrary-but-valid work unit.
 fn work_unit() -> impl Strategy<Value = WorkUnit> {
     (
-        0.0f64..0.5,   // mem
-        0.0f64..0.3,   // branch
-        0.0f64..0.2,   // fp
-        0.0f64..0.2,   // branch miss rate
+        0.0f64..0.5,       // mem
+        0.0f64..0.3,       // branch
+        0.0f64..0.2,       // fp
+        0.0f64..0.2,       // branch miss rate
         1.0f64..524_288.0, // footprint KB
-        0.0f64..1.0,   // locality
-        0.5f64..4.0,   // base ipc
-        0.0f64..1.0,   // intensity
+        0.0f64..1.0,       // locality
+        0.5f64..4.0,       // base ipc
+        0.0f64..1.0,       // intensity
     )
         .prop_map(|(m, b, f, bm, fp, loc, ipc, int)| {
             WorkUnit::new(m, b, f, bm, fp, loc, ipc, int).expect("ranges are valid")

@@ -20,8 +20,8 @@
 pub mod happy;
 pub mod phases;
 pub mod replay;
-pub mod specjbb;
 pub mod speccpu;
+pub mod specjbb;
 pub mod stress;
 
 pub use phases::{Phase, PhaseScript, PhasedTask};

@@ -11,11 +11,7 @@ use simcpu::workunit::WorkUnit;
 /// Builds a phase script that replays `utilization` (values in `[0, 1]`,
 /// clamped) with `period` per sample, applying each load level to the
 /// given base workload.
-pub fn from_utilization_trace(
-    base: WorkUnit,
-    utilization: &[f64],
-    period: Nanos,
-) -> PhaseScript {
+pub fn from_utilization_trace(base: WorkUnit, utilization: &[f64], period: Nanos) -> PhaseScript {
     let mut script = PhaseScript::new();
     for &u in utilization {
         script = script.then(base.with_intensity(u.clamp(0.0, 1.0)), period);

@@ -33,8 +33,7 @@ pub fn suite() -> Vec<SpecBenchmark> {
         SpecBenchmark {
             name: "401.bzip2",
             // Integer compression, medium locality.
-            work: WorkUnit::new(0.28, 0.16, 0.0, 0.06, 8_192.0, 0.55, 2.0, 1.0)
-                .expect("valid mix"),
+            work: WorkUnit::new(0.28, 0.16, 0.0, 0.06, 8_192.0, 0.55, 2.0, 1.0).expect("valid mix"),
             duration: run,
         },
         SpecBenchmark {

@@ -48,13 +48,13 @@ impl Default for SpecJbbConfig {
 fn transaction(load: f64, heap_kb: f64) -> WorkUnit {
     let load = load.clamp(0.0, 1.0);
     WorkUnit::new(
-        0.30,        // loads/stores: object graphs
-        0.18,        // branchy business logic
-        0.04,        // a little FP (metrics, pricing)
-        0.04,        // typical Java branch-miss rate
-        heap_kb,     // live set
-        0.45,        // medium temporal locality (hot orders, warm caches)
-        2.0,         // decent ILP
+        0.30,    // loads/stores: object graphs
+        0.18,    // branchy business logic
+        0.04,    // a little FP (metrics, pricing)
+        0.04,    // typical Java branch-miss rate
+        heap_kb, // live set
+        0.45,    // medium temporal locality (hot orders, warm caches)
+        2.0,     // decent ILP
         load,
     )
     .expect("transaction parameters are valid")
@@ -62,8 +62,7 @@ fn transaction(load: f64, heap_kb: f64) -> WorkUnit {
 
 /// GC burst: a parallel copying collector streaming the heap.
 fn gc_burst(heap_kb: f64) -> WorkUnit {
-    WorkUnit::new(0.55, 0.08, 0.0, 0.01, heap_kb, 0.05, 1.6, 1.0)
-        .expect("gc parameters are valid")
+    WorkUnit::new(0.55, 0.08, 0.0, 0.01, heap_kb, 0.05, 1.6, 1.0).expect("gc parameters are valid")
 }
 
 /// Builds the per-thread phase script for one worker.
@@ -76,9 +75,7 @@ fn worker_script(config: &SpecJbbConfig, thread: usize) -> PhaseScript {
 
     // Deterministic per-thread jitter in [0, 1): staggers GC cycles so
     // threads do not collect in lockstep.
-    let jitter = ((config.seed ^ (thread as u64).wrapping_mul(0x9e37_79b9))
-        % 1000) as f64
-        / 1000.0;
+    let jitter = ((config.seed ^ (thread as u64).wrapping_mul(0x9e37_79b9)) % 1000) as f64 / 1000.0;
 
     let mut script = PhaseScript::new();
 
@@ -98,9 +95,15 @@ fn worker_script(config: &SpecJbbConfig, thread: usize) -> PhaseScript {
         let heap_hot = config.heap_kb * (0.85 + 0.15 * jitter);
         script = script
             .then(transaction(wobble, heap_hot), Nanos(cycle * 55 / 100))
-            .then(transaction(wobble * 0.92, config.heap_kb * 0.7), Nanos(cycle * 30 / 100))
+            .then(
+                transaction(wobble * 0.92, config.heap_kb * 0.7),
+                Nanos(cycle * 30 / 100),
+            )
             .then(gc_burst(heap_hot), Nanos(cycle * 10 / 100))
-            .then(transaction(0.35, config.heap_kb * 0.5), Nanos(cycle * 5 / 100));
+            .then(
+                transaction(0.35, config.heap_kb * 0.5),
+                Nanos(cycle * 5 / 100),
+            );
     }
     // Absorb the remainder of the plateau budget.
     let used = cycles * cycle;

@@ -13,6 +13,14 @@ pub struct StressPoint {
     pub work: WorkUnit,
 }
 
+impl StressPoint {
+    /// Canonical sample label for this point run at a given thread count,
+    /// e.g. `"cpu-70%/t4"` — the `workload` tag calibration samples carry.
+    pub fn label(&self, threads: usize) -> String {
+        format!("{}/t{}", self.name, threads)
+    }
+}
+
 /// The paper's calibration grid ("we defined specific CPU and memory
 /// intensive workloads", §3): an idle anchor, a CPU-intensity sweep and a
 /// memory-footprint sweep — deliberately *no* mixed workloads, which is

@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cfg.sampling.samples_per_point
     );
     let set = collect(&machine, &cfg.sampling)?;
-    println!("  collected {} (rates, watts) observations\n", set.samples.len());
+    println!(
+        "  collected {} (rates, watts) observations\n",
+        set.samples.len()
+    );
 
     // A peek at the raw data the regression sees.
     println!("  sample observations at {}:", freqs[freqs.len() - 1]);

@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     papi.run_for(Nanos::from_secs(30))?;
     let outcome = papi.finish()?;
 
-    println!("\n{:>7} {:>10} {:>12} {:>10}", "time_s", "meter_w", "estimate_w", "cap_w");
+    println!(
+        "\n{:>7} {:>10} {:>12} {:>10}",
+        "time_s", "meter_w", "estimate_w", "cap_w"
+    );
     let est = outcome.estimate_trace();
     for (at, w) in &outcome.meter {
         let t = at.as_secs_f64();

@@ -29,7 +29,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let database = kernel.spawn(
         "database",
-        vec![SteadyTask::boxed(WorkUnit::memory_intensive(131_072.0, 0.8))],
+        vec![SteadyTask::boxed(WorkUnit::memory_intensive(
+            131_072.0, 0.8,
+        ))],
     );
     let web_server = kernel.spawn(
         "web-server",

@@ -57,7 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nThe meter (PowerSpy) saw {} samples; mean {:.2} W",
         outcome.meter.len(),
-        outcome.meter_trace().mean().map(|w| w.as_f64()).unwrap_or(0.0)
+        outcome
+            .meter_trace()
+            .mean()
+            .map(|w| w.as_f64())
+            .unwrap_or(0.0)
     );
     Ok(())
 }

@@ -70,11 +70,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     papi.run_for(Nanos::from_secs(30))?;
     let outcome = papi.finish()?;
 
-    println!("\n{:<10} {:>14} {:>14}", "time_s", "vm-alpha_w", "vm-beta_w");
+    println!(
+        "\n{:<10} {:>14} {:>14}",
+        "time_s", "vm-alpha_w", "vm-beta_w"
+    );
     let alpha = outcome.group_estimates("vm-alpha");
     let beta = outcome.group_estimates("vm-beta");
     for ((t, a), (_, b)) in alpha.iter().zip(&beta).step_by(5) {
-        println!("{:<10.0} {:>14.2} {:>14.2}", t.as_secs_f64(), a.as_f64(), b.as_f64());
+        println!(
+            "{:<10.0} {:>14.2} {:>14.2}",
+            t.as_secs_f64(),
+            a.as_f64(),
+            b.as_f64()
+        );
     }
     let avg = |v: &[(Nanos, powerapi_suite::simcpu::Watts)]| {
         v.iter().map(|(_, w)| w.as_f64()).sum::<f64>() / v.len().max(1) as f64

@@ -13,8 +13,7 @@ use powerapi_suite::simcpu::units::Nanos;
 use powerapi_suite::simcpu::workunit::WorkUnit;
 
 fn capped_run(cap_w: Option<f64>, secs: u64) -> (f64, f64) {
-    let model =
-        learn_model(presets::intel_i3_2120(), &LearnConfig::quick()).expect("learning");
+    let model = learn_model(presets::intel_i3_2120(), &LearnConfig::quick()).expect("learning");
     let mut kernel = Kernel::new(presets::intel_i3_2120());
     let cap = cap_w.map(PowerCap::new);
     if let Some(c) = &cap {
@@ -81,8 +80,7 @@ fn cap_reduces_settled_power_below_uncapped() {
 
 #[test]
 fn tightening_the_cap_at_runtime_steps_power_down() {
-    let model =
-        learn_model(presets::intel_i3_2120(), &LearnConfig::quick()).expect("learning");
+    let model = learn_model(presets::intel_i3_2120(), &LearnConfig::quick()).expect("learning");
     let mut kernel = Kernel::new(presets::intel_i3_2120());
     let cap = PowerCap::new(60.0);
     kernel.set_governor(Box::new(CappedGovernor::new(cap.clone())));

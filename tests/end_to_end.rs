@@ -8,9 +8,7 @@ use powerapi_suite::os_sim::kernel::Kernel;
 use powerapi_suite::os_sim::task::SteadyTask;
 use powerapi_suite::powerapi::aggregator::Dimension;
 use powerapi_suite::powerapi::formula::per_freq::PerFrequencyFormula;
-use powerapi_suite::powerapi::model::learn::{
-    calibrate_cpuload, learn_model, LearnConfig,
-};
+use powerapi_suite::powerapi::model::learn::{calibrate_cpuload, learn_model, LearnConfig};
 use powerapi_suite::powerapi::runtime::PowerApi;
 use powerapi_suite::simcpu::presets;
 use powerapi_suite::simcpu::units::Nanos;
@@ -46,10 +44,7 @@ fn learned_model_estimates_steady_load_accurately() {
     let report = ErrorReport::compute(&actual, &predicted).expect("aligned traces");
     // Steady in-distribution load: the learned model should be within a
     // few percent (thermal drift over 10 s stays small).
-    assert!(
-        report.median_ape < 10.0,
-        "median error too high: {report}"
-    );
+    assert!(report.median_ape < 10.0, "median error too high: {report}");
 }
 
 #[test]
@@ -93,13 +88,12 @@ fn hpc_distinguishes_equal_load_processes_where_cpuload_cannot() {
 
     let attribution = |use_hpc: bool| -> (f64, f64) {
         let mut kernel = Kernel::new(presets::intel_i3_2120());
-        let alu = kernel.spawn(
-            "alu",
-            vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))],
-        );
+        let alu = kernel.spawn("alu", vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))]);
         let thrash = kernel.spawn(
             "thrash",
-            vec![SteadyTask::boxed(WorkUnit::memory_intensive(262_144.0, 1.0))],
+            vec![SteadyTask::boxed(WorkUnit::memory_intensive(
+                262_144.0, 1.0,
+            ))],
         );
         let mut builder = PowerApi::builder(kernel)
             .report_to_memory()
@@ -144,10 +138,7 @@ fn rapl_tracks_package_but_misses_platform() {
     // the platform floor is invisible to it — why the paper wants a
     // machine-level approach.
     let mut kernel = Kernel::new(presets::intel_i3_2120());
-    let pid = kernel.spawn(
-        "app",
-        vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))],
-    );
+    let pid = kernel.spawn("app", vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))]);
     let mut papi = PowerApi::builder(kernel)
         .formula(quick_learned_formula())
         .report_to_memory()
@@ -159,10 +150,10 @@ fn rapl_tracks_package_but_misses_platform() {
     let outcome = papi.finish().expect("shutdown");
 
     assert!(!outcome.rapl.is_empty(), "i3 exposes RAPL");
-    let rapl_mean = outcome.rapl.iter().map(|(_, w)| w.as_f64()).sum::<f64>()
-        / outcome.rapl.len() as f64;
-    let meter_mean = outcome.meter.iter().map(|(_, w)| w.as_f64()).sum::<f64>()
-        / outcome.meter.len() as f64;
+    let rapl_mean =
+        outcome.rapl.iter().map(|(_, w)| w.as_f64()).sum::<f64>() / outcome.rapl.len() as f64;
+    let meter_mean =
+        outcome.meter.iter().map(|(_, w)| w.as_f64()).sum::<f64>() / outcome.meter.len() as f64;
     assert!(
         rapl_mean < meter_mean - 15.0,
         "package ({rapl_mean:.1} W) must sit well under the wall ({meter_mean:.1} W)"

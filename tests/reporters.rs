@@ -35,10 +35,7 @@ impl SharedBuf {
 #[test]
 fn csv_json_and_influx_agree_on_the_same_run() {
     let mut kernel = Kernel::new(presets::intel_i3_2120());
-    let pid = kernel.spawn(
-        "app",
-        vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))],
-    );
+    let pid = kernel.spawn("app", vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))]);
     let csv = SharedBuf::default();
     let json = SharedBuf::default();
     let influx = SharedBuf::default();

@@ -48,10 +48,7 @@ fn meter_energy_matches_machine_energy() {
 #[test]
 fn rapl_energy_matches_package_energy() {
     let mut kernel = Kernel::new(presets::intel_i3_2120());
-    kernel.spawn(
-        "app",
-        vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))],
-    );
+    kernel.spawn("app", vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))]);
     let mut rapl = Rapl::open(kernel.machine().config()).expect("sandy bridge");
     for _ in 0..2_000 {
         let r = kernel.tick(MS);
@@ -73,10 +70,7 @@ fn perf_attribution_partitions_machine_counters() {
     // bank totals (single-tenant machine, no unmonitored work).
     let mut kernel = Kernel::new(presets::intel_i3_2120());
     kernel.set_governor(Box::new(Performance));
-    let a = kernel.spawn(
-        "a",
-        vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))],
-    );
+    let a = kernel.spawn("a", vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))]);
     let b = kernel.spawn(
         "b",
         vec![SteadyTask::boxed(WorkUnit::memory_intensive(65_536.0, 1.0))],
@@ -92,8 +86,7 @@ fn perf_attribution_partitions_machine_counters() {
         let r = kernel.tick(MS);
         session.observe(&r);
     }
-    let perf_total =
-        session.read(ia).expect("open").raw + session.read(ib).expect("open").raw;
+    let perf_total = session.read(ia).expect("open").raw + session.read(ib).expect("open").raw;
     let bank_total: u64 = (0..4)
         .map(|c| {
             kernel
@@ -115,7 +108,9 @@ fn pfm_resolves_everything_the_sensor_needs() {
     ] {
         let pfm = Pfm::for_machine(&machine);
         for e in PAPER_EVENTS {
-            let resolved = pfm.resolve(&e.to_string()).expect("paper events are generic");
+            let resolved = pfm
+                .resolve(&e.to_string())
+                .expect("paper events are generic");
             assert_eq!(resolved, e);
         }
     }

@@ -1,0 +1,281 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Implements the measurement surface this workspace's benches use —
+//! `benchmark_group`, `bench_function`, `Bencher::iter`/`iter_batched`,
+//! `Throughput`, `criterion_group!`/`criterion_main!` — with a simple
+//! time-budgeted wall-clock loop instead of criterion's statistical
+//! machinery. Each benchmark warms up briefly, then runs its routine for
+//! a fixed budget and reports mean time per iteration (and throughput
+//! when configured).
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value laundering, as `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput labelling for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing hints for [`Bencher::iter_batched`]; the stub runs one
+/// setup per routine invocation regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// The measurement driver handed to each benchmark closure.
+pub struct Bencher {
+    /// Accumulated measured time.
+    elapsed: Duration,
+    /// Iterations measured.
+    iters: u64,
+    /// Measurement budget.
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Bencher {
+        Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            budget,
+        }
+    }
+
+    /// Measures `routine` repeatedly until the time budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warmup iteration outside the measurement.
+        std_black_box(routine());
+        let start = Instant::now();
+        while start.elapsed() < self.budget {
+            let t = Instant::now();
+            std_black_box(routine());
+            self.elapsed += t.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Measures `routine` over fresh `setup` outputs, excluding setup time.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        std_black_box(routine(setup()));
+        let start = Instant::now();
+        while start.elapsed() < self.budget {
+            let input = setup();
+            let t = Instant::now();
+            std_black_box(routine(input));
+            self.elapsed += t.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+fn fmt_time(d: Duration) -> String {
+    let ns = d.as_secs_f64() * 1e9;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn fmt_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+fn run_one(
+    group: Option<&str>,
+    name: &str,
+    throughput: Option<Throughput>,
+    budget: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let label = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    let mut b = Bencher::new(budget);
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{label:<48} no iterations completed");
+        return;
+    }
+    let per_iter = b.elapsed / u32::try_from(b.iters).unwrap_or(u32::MAX).max(1);
+    let mut line = format!(
+        "{label:<48} time: [{}]  ({} iters)",
+        fmt_time(per_iter),
+        b.iters
+    );
+    if let Some(t) = throughput {
+        let secs = per_iter.as_secs_f64();
+        if secs > 0.0 {
+            let (n, unit) = match t {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            line.push_str(&format!("  thrpt: [{}]", fmt_rate(n as f64 / secs, unit)));
+        }
+    }
+    println!("{line}");
+}
+
+/// Top-level benchmark driver, as `criterion::Criterion`.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            budget: Duration::from_millis(1500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+            budget: self.budget,
+        }
+    }
+
+    /// Runs a free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(None, name, None, self.budget, &mut f);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub has no CLI.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A named group of benchmarks sharing throughput/budget settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    budget: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub is time-budgeted, so the
+    /// requested sample count only scales the budget mildly.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let n = n.clamp(10, 100) as u64;
+        self.budget = Duration::from_millis(150 * n.min(20));
+        self
+    }
+
+    /// Sets the measurement budget directly.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget = d;
+        self
+    }
+
+    /// Runs one named benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(Some(&self.name), name, self.throughput, self.budget, &mut f);
+        self
+    }
+
+    /// Ends the group (formatting no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_iterations() {
+        let mut b = Bencher::new(Duration::from_millis(20));
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+        });
+        assert!(b.iters > 0);
+        assert!(n > b.iters, "warmup iteration ran too");
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher::new(Duration::from_millis(10));
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::PerIteration);
+        assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("stub");
+        group.throughput(Throughput::Elements(10));
+        group.sample_size(10);
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}

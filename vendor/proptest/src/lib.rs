@@ -1,0 +1,473 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! [`proptest!`] macro with `#![proptest_config(...)]`, range strategies
+//! over primitives, tuple strategies up to arity 8,
+//! `prop::collection::vec`, `prop_map`/`prop_flat_map`, and the
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!` macros.
+//!
+//! Differences from upstream: cases are generated from a fixed seed (so
+//! runs are fully deterministic), there is no shrinking — a failing case
+//! reports its case number and panics — and rejected assumptions simply
+//! draw a fresh case.
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Generates values of `Self::Value` from a random source.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, builds a second strategy from it, and draws
+        /// from that.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn new_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.new_value(rng)).new_value(rng)
+        }
+    }
+
+    /// Always returns a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty f64 range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty f64 range strategy");
+            lo + rng.unit_f64() * (hi - lo)
+        }
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty inclusive range strategy");
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + (rng.next_u64() % (span + 1)) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specification for [`vec`]: a fixed size or a range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element`-generated values.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi_inclusive - self.size.lo + 1;
+            let len = self.size.lo + (rng.next_u64() % span as u64) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Generates vectors whose length falls in `size` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case runner (no shrinking, no persistence).
+
+    use crate::strategy::Strategy;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    /// Message used by `prop_assume!` to reject a generated case.
+    pub const ASSUME_REJECTED: &str = "__proptest_stub_assume_rejected__";
+
+    /// Runner configuration; construct via [`Config::with_cases`] or
+    /// [`Config::default`] (256 cases, like upstream).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    /// The random source handed to strategies (SplitMix64, fixed seed per
+    /// test so failures reproduce).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator for one test function.
+        pub fn new(seed: u64) -> TestRng {
+            TestRng { state: seed }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    fn is_assume_reject(payload: &(dyn std::any::Any + Send)) -> bool {
+        payload
+            .downcast_ref::<String>()
+            .map(|s| s.contains(ASSUME_REJECTED))
+            .or_else(|| {
+                payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.contains(ASSUME_REJECTED))
+            })
+            .unwrap_or(false)
+    }
+
+    /// Runs `body` against `config.cases` generated cases. Panics (with
+    /// the case number prepended to stderr) on the first failing case;
+    /// assumption rejections draw fresh cases, up to a global cap.
+    pub fn run<S: Strategy>(
+        test_name: &str,
+        config: &Config,
+        strategy: &S,
+        body: impl Fn(S::Value),
+    ) {
+        // Seed differs per test name so sibling tests explore different
+        // corners, yet every run of the same binary is identical.
+        let mut seed = 0xC0FF_EE00_D15E_A5E5u64;
+        for b in test_name.bytes() {
+            seed = seed.rotate_left(8) ^ u64::from(b).wrapping_mul(0x100_0000_01B3);
+        }
+        let mut rng = TestRng::new(seed);
+
+        let max_rejects = config.cases.saturating_mul(16).max(1024);
+        let mut rejects = 0u32;
+        let mut case = 0u32;
+        while case < config.cases {
+            let value = strategy.new_value(&mut rng);
+            match catch_unwind(AssertUnwindSafe(|| body(value))) {
+                Ok(()) => case += 1,
+                Err(payload) if is_assume_reject(payload.as_ref()) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= max_rejects,
+                        "{test_name}: too many prop_assume! rejections ({rejects})"
+                    );
+                }
+                Err(payload) => {
+                    eprintln!("{test_name}: failing case #{case} (seed {seed:#x})");
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+/// Declares property tests. Mirrors upstream's grammar for the forms used
+/// in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0.0f64..1.0, n in 1usize..10) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (@impl $config:expr; $( $(#[$meta:meta])* fn $name:ident( $($arg:pat in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __pt_config = $config;
+                let __pt_strategy = ($($strat,)*);
+                $crate::test_runner::run(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &__pt_config,
+                    &__pt_strategy,
+                    |($($arg,)*)| $body,
+                );
+            }
+        )*
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*);
+    };
+}
+
+/// Rejects the current case (a fresh one is generated instead).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            panic!("{}", $crate::test_runner::ASSUME_REJECTED);
+        }
+    };
+}
+
+pub mod prelude {
+    //! Everything a property-test module needs.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace alias matching upstream's `prop::` paths
+    /// (`prop::collection::vec`, …).
+    pub use crate as prop;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 10.0f64..20.0, n in 3usize..7) {
+            prop_assert!((10.0..20.0).contains(&x));
+            prop_assert!((3..7).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_in_range(v in prop::collection::vec(0u64..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn map_and_flat_map_compose(
+            v in (1usize..4).prop_flat_map(|n| prop::collection::vec(0.0f64..1.0, n..=n)),
+            doubled in (0u32..10).prop_map(|x| x * 2),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert_eq!(doubled % 2, 0);
+        }
+
+        #[test]
+        fn assume_rejects_and_regenerates(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let strat = (0.0f64..1.0, 0u64..1000);
+        let mut a = crate::test_runner::TestRng::new(5);
+        let mut b = crate::test_runner::TestRng::new(5);
+        for _ in 0..10 {
+            assert_eq!(strat.new_value(&mut a), strat.new_value(&mut b));
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Minimal offline stand-in for `serde`. The workspace's on-disk formats
+//! are hand-written text codecs; the `Serialize`/`Deserialize` derives
+//! here are no-ops from the sibling `serde_derive` stub, kept so struct
+//! definitions stay source-compatible with the real crate.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op derive macros standing in for `serde_derive` in this offline
+//! workspace. The repo serializes through hand-written text formats (see
+//! `PerFrequencyPowerModel::to_text`), so the derives only need to accept
+//! the attribute positions — they emit no code.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
