@@ -30,6 +30,7 @@ impl Actor for Relay {
                     timestamp: p.timestamp,
                     scope: powerapi::msg::Scope::Process(p.pid),
                     power: p.power,
+                    quality: p.quality,
                 }));
         }
     }
@@ -41,6 +42,7 @@ fn power_msg() -> Message {
         pid: Pid(1),
         power: Watts(4.2),
         formula: "bench",
+        quality: powerapi::msg::Quality::Full,
     })
 }
 

@@ -1,0 +1,311 @@
+//! Experiment E7 — chaos replay: the E3 SPECjbb2013 run repeated under an
+//! active fault schedule. A deterministic [`FaultPlan`] disconnects and
+//! corrupts the PowerSpy, stalls and resets the PMU, revokes counter
+//! slots, and panics a supervised actor mid-run; the pipeline must keep
+//! estimating (degrading per-process to the cpu-load formula while the
+//! HPC stream is stalled) and finish with a median error within 2× of the
+//! fault-free baseline.
+//!
+//! Run: `cargo run --release -p bench-suite --bin e7_chaos [--quick]`
+//! Data: `BENCH_chaos.json` (repo root, committed as evidence)
+
+use bench_suite::{row, score_outcome, section, Evaluation};
+use powerapi::actor::{Actor, Context, RestartPolicy};
+use powerapi::formula::cpuload::CpuLoadFormula;
+use powerapi::formula::per_freq::PerFrequencyFormula;
+use powerapi::model::learn::{calibrate_cpuload, learn_model, LearnConfig};
+use powerapi::msg::{Message, Topic};
+use powerapi::runtime::{PowerApi, RunOutcome};
+use simcpu::fault::{FaultKind, FaultPlan, FaultPlanConfig};
+use simcpu::presets;
+use simcpu::units::Nanos;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use workloads::specjbb::{self, SpecJbbConfig};
+
+/// Seed for the fault schedule (separate from every simulation seed).
+const CHAOS_SEED: u64 = 0xE7_C4A0_5EED;
+
+/// A supervised actor that panics on entry to each `ActorPanic` window.
+/// The fired-window log lives *outside* the actor (shared with the
+/// factory), so the supervisor's rebuild doesn't re-trigger the same
+/// window and the panic count stays exactly one per window.
+struct ChaosMonkey {
+    plan: FaultPlan,
+    fired: Arc<Mutex<Vec<Nanos>>>,
+}
+
+impl Actor for ChaosMonkey {
+    fn handle(&mut self, msg: Message, _ctx: &Context) {
+        let Message::Tick(snap) = msg else { return };
+        let Some(w) = self.plan.active(FaultKind::ActorPanic, snap.timestamp) else {
+            return;
+        };
+        let start = w.start;
+        {
+            let mut fired = self.fired.lock().expect("chaos log");
+            if fired.contains(&start) {
+                return;
+            }
+            fired.push(start);
+            // Guard dropped before the panic: a poisoned log would wedge
+            // the rebuilt actor.
+        }
+        panic!("chaos monkey: injected actor fault at {start:?}");
+    }
+}
+
+/// Forwards every panic to the default hook except the monkey's own.
+fn quiet_chaos_panics() {
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.contains("chaos monkey"));
+        if !injected {
+            default(info);
+        }
+    }));
+}
+
+struct ChaosRun {
+    outcome: RunOutcome,
+    meter_stats: powermeter::powerspy::MeterFaultStats,
+    counter_stats: perf_sim::session::CounterFaultStats,
+}
+
+fn run_pipeline(
+    model: PerFrequencyPowerModel,
+    backup: CpuLoadFormula,
+    jbb: &SpecJbbConfig,
+    plan: FaultPlan,
+) -> ChaosRun {
+    let eval = Evaluation::new(
+        presets::intel_i3_2120(),
+        "specjbb2013",
+        specjbb::tasks(jbb),
+        jbb.duration,
+    );
+    let mut kernel = os_sim::kernel::Kernel::new(eval.machine);
+    let pid = kernel.spawn(eval.name, eval.tasks);
+    let monkey_plan = plan.clone();
+    let fired = Arc::new(Mutex::new(Vec::new()));
+    let mut papi = PowerApi::builder(kernel)
+        .formula(PerFrequencyFormula::new(model))
+        .degrade_to(backup, Nanos::from_millis(2500))
+        .fault_plan(plan)
+        .supervision(RestartPolicy::Restart {
+            max: 16,
+            backoff: Duration::ZERO,
+        })
+        .with_supervised_actor(
+            "chaos-monkey",
+            move || {
+                Box::new(ChaosMonkey {
+                    plan: monkey_plan.clone(),
+                    fired: fired.clone(),
+                })
+            },
+            vec![Topic::Tick],
+        )
+        .events(eval.events)
+        .slots(eval.slots)
+        .report_to_memory()
+        .quantum(eval.quantum)
+        .clock_period(eval.clock)
+        .build()
+        .expect("pipeline");
+    papi.monitor(pid).expect("monitor");
+    papi.run_for(jbb.duration).expect("run");
+    let meter_stats = papi.meter_fault_stats();
+    let counter_stats = papi.counter_fault_stats();
+    ChaosRun {
+        outcome: papi.finish().expect("finish"),
+        meter_stats,
+        counter_stats,
+    }
+}
+
+use powerapi::model::power_model::PerFrequencyPowerModel;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    quiet_chaos_panics();
+    section("E7: chaos replay — SPECjbb2013 under an active fault schedule");
+
+    println!("  [1/4] learning the energy profile…");
+    let learn_cfg = if quick {
+        LearnConfig::quick()
+    } else {
+        LearnConfig::default()
+    };
+    let machine = presets::intel_i3_2120();
+    let model = learn_model(machine.clone(), &learn_cfg).expect("learning");
+    let backup = calibrate_cpuload(machine, &learn_cfg).expect("cpu-load calibration");
+
+    let jbb = SpecJbbConfig {
+        duration: if quick {
+            Nanos::from_secs(200)
+        } else {
+            Nanos::from_secs(2500)
+        },
+        ..SpecJbbConfig::default()
+    };
+
+    println!(
+        "  [2/4] fault-free baseline run ({} s)…",
+        jbb.duration.as_secs_f64()
+    );
+    let baseline = run_pipeline(model.clone(), backup, &jbb, FaultPlan::none());
+    let base_report = score_outcome(&baseline.outcome).expect("baseline score");
+
+    println!("  [3/4] chaos run under the generated fault plan…");
+    let mut fault_cfg = FaultPlanConfig::default();
+    fault_cfg.kinds.push(FaultKind::ActorPanic);
+    if quick {
+        fault_cfg.min_window = Nanos::from_secs(2);
+        fault_cfg.max_window = Nanos::from_secs(5);
+    }
+    let plan = FaultPlan::generate(CHAOS_SEED, jbb.duration, &fault_cfg);
+    println!(
+        "        {} windows over {} kinds, seed {CHAOS_SEED:#x}",
+        plan.windows().len(),
+        plan.kinds().len()
+    );
+    let chaos = run_pipeline(model, backup, &jbb, plan.clone());
+    let chaos_report = score_outcome(&chaos.outcome).expect("chaos score");
+
+    println!("  [4/4] scoring and writing evidence…");
+    let m = chaos.meter_stats;
+    let c = chaos.counter_stats;
+    let health = &chaos.outcome.health;
+    let mut kinds_fired: Vec<&str> = Vec::new();
+    if m.dropped > 0 {
+        kinds_fired.push("SampleDropout");
+    }
+    if m.corrupted > 0 {
+        kinds_fired.push("FrameCorruption");
+    }
+    if m.disconnected > 0 {
+        kinds_fired.push("Disconnect");
+    }
+    if m.noise_bursts > 0 {
+        kinds_fired.push("NoiseBurst");
+    }
+    if c.stalled_ticks > 0 {
+        kinds_fired.push("CounterStall");
+    }
+    if c.spurious_resets > 0 {
+        kinds_fired.push("SpuriousReset");
+    }
+    if c.revoked_slot_ticks > 0 {
+        kinds_fired.push("SlotRevocation");
+    }
+    if health.restarts > 0 {
+        kinds_fired.push("ActorPanic");
+    }
+
+    section("fault tally");
+    row("meter samples lost", m.dropped + m.disconnected);
+    row("meter frames corrupted", m.corrupted);
+    row("noisy samples emitted", m.noise_bursts);
+    row("PMU stalled ticks", c.stalled_ticks);
+    row("PMU spurious resets", c.spurious_resets);
+    row("slot-revoked ticks", c.revoked_slot_ticks);
+    row("supervised restarts", health.restarts);
+    row("actor panics (caught)", health.panics);
+    row("actors dead at shutdown", health.panicked.len());
+    row("degraded estimates", chaos.outcome.degraded_reports());
+
+    section("E7 headline numbers");
+    row(
+        "baseline median error",
+        format!("{:.2} %", base_report.median_ape),
+    );
+    row(
+        "chaos median error",
+        format!("{:.2} %", chaos_report.median_ape),
+    );
+    let ratio = chaos_report.median_ape / base_report.median_ape.max(1e-9);
+    row("chaos / baseline ratio", format!("{ratio:.2}×"));
+    row("distinct fault kinds fired", kinds_fired.len());
+
+    let ok = kinds_fired.len() >= 3
+        && health.restarts >= 1
+        && health.panicked.is_empty()
+        && !health.escalated
+        && ratio <= 2.0;
+
+    let json_path = std::path::Path::new("BENCH_chaos.json");
+    let mut f = std::fs::File::create(json_path).expect("evidence file");
+    writeln!(f, "{{").expect("write");
+    writeln!(f, "  \"experiment\": \"e7_chaos\",").expect("write");
+    writeln!(f, "  \"quick\": {quick},").expect("write");
+    writeln!(f, "  \"chaos_seed\": {CHAOS_SEED},").expect("write");
+    writeln!(f, "  \"duration_s\": {},", jbb.duration.as_secs_f64()).expect("write");
+    writeln!(f, "  \"fault_windows\": {},", plan.windows().len()).expect("write");
+    writeln!(
+        f,
+        "  \"fault_kinds_fired\": [{}],",
+        kinds_fired
+            .iter()
+            .map(|k| format!("\"{k}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    )
+    .expect("write");
+    writeln!(
+        f,
+        "  \"meter_samples_lost\": {},",
+        m.dropped + m.disconnected
+    )
+    .expect("write");
+    writeln!(f, "  \"meter_frames_corrupted\": {},", m.corrupted).expect("write");
+    writeln!(f, "  \"pmu_stalled_ticks\": {},", c.stalled_ticks).expect("write");
+    writeln!(f, "  \"pmu_spurious_resets\": {},", c.spurious_resets).expect("write");
+    writeln!(f, "  \"slot_revoked_ticks\": {},", c.revoked_slot_ticks).expect("write");
+    writeln!(f, "  \"supervised_restarts\": {},", health.restarts).expect("write");
+    writeln!(f, "  \"actor_panics_caught\": {},", health.panics).expect("write");
+    writeln!(f, "  \"actors_dead\": {},", health.panicked.len()).expect("write");
+    writeln!(
+        f,
+        "  \"degraded_estimates\": {},",
+        chaos.outcome.degraded_reports()
+    )
+    .expect("write");
+    writeln!(
+        f,
+        "  \"baseline_median_ape_pct\": {:.4},",
+        base_report.median_ape
+    )
+    .expect("write");
+    writeln!(
+        f,
+        "  \"chaos_median_ape_pct\": {:.4},",
+        chaos_report.median_ape
+    )
+    .expect("write");
+    writeln!(f, "  \"error_ratio\": {ratio:.4},").expect("write");
+    writeln!(f, "  \"verdict\": \"{}\"", if ok { "PASS" } else { "FAIL" }).expect("write");
+    writeln!(f, "}}").expect("write");
+    println!("        wrote {}", json_path.display());
+
+    println!();
+    println!(
+        "E7 verdict: {} ({} fault kinds fired >= 3, {} restart(s) >= 1, \
+         {} dead actors == 0, error ratio {ratio:.2}x <= 2.0)",
+        if ok {
+            "RESILIENT"
+        } else {
+            "DEGRADED BEYOND SPEC"
+        },
+        kinds_fired.len(),
+        health.restarts,
+        health.panicked.len(),
+    );
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -3,16 +3,28 @@
 //! paper leans on for real-time estimation ("an actor … can handle
 //! millions of messages per second"; see the `middleware` bench).
 //!
+//! The runtime is *supervised*: a panic inside [`Actor::handle`] is caught
+//! and handled per the actor's [`RestartPolicy`] — rebuild the actor from
+//! its factory (with backoff, up to a cap), escalate to the system, or
+//! stop. Mailboxes are bounded with an explicit [`OverflowPolicy`], and
+//! every drop, restart and panic is counted and queryable via
+//! [`ActorSystem::health`].
+//!
 //! Shutdown is ordered: [`ActorSystem::shutdown`] stops actors in spawn
 //! order, joining each before stopping the next. Spawning pipeline stages
 //! upstream-first therefore guarantees every in-flight message drains
-//! through the whole pipeline before the system stops.
+//! through the whole pipeline before the system stops. `shutdown` returns
+//! a [`ShutdownSummary`] naming any actor that died panicking instead of
+//! swallowing the `JoinHandle` result.
 
 use crate::bus::EventBus;
 use crate::msg::Message;
-use crossbeam_channel::{unbounded, Sender};
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// A unit of concurrent, event-driven message processing.
 pub trait Actor: Send {
@@ -43,23 +55,215 @@ impl Context {
     }
 }
 
+/// What a full mailbox does with the next message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// The sender blocks until space frees up. Lossless; backpressure
+    /// propagates upstream (and a publish can stall the publisher).
+    #[default]
+    Block,
+    /// Evict the oldest queued message to admit the newest (ring-buffer
+    /// semantics; freshest data wins — right for periodic sensor ticks).
+    DropOldest,
+    /// Reject the incoming message, keeping the queued backlog.
+    DropNewest,
+}
+
+/// What the supervisor does when [`Actor::handle`] panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RestartPolicy {
+    /// The actor dies; its mailbox closes. The panic is reported in the
+    /// [`ShutdownSummary`].
+    #[default]
+    Stop,
+    /// Rebuild the actor from its factory after `backoff`, at most `max`
+    /// times over the actor's lifetime; the `max + 1`-th panic stops it.
+    Restart {
+        /// Lifetime cap on rebuilds.
+        max: u32,
+        /// Pause before each rebuild (crash-loop damper).
+        backoff: Duration,
+    },
+    /// The actor dies *and* the failure is flagged system-wide
+    /// ([`ActorSystem::escalated`]), for faults that invalidate the whole
+    /// pipeline rather than one stage.
+    Escalate,
+}
+
+/// Per-actor spawn configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpawnOptions {
+    /// Mailbox capacity; `None` is unbounded (the pre-supervision
+    /// behaviour).
+    pub capacity: Option<usize>,
+    /// Applied when a bounded mailbox is full.
+    pub overflow: OverflowPolicy,
+    /// Applied when `handle` panics.
+    pub restart: RestartPolicy,
+}
+
+impl SpawnOptions {
+    /// Bounded mailbox of `capacity` messages.
+    #[must_use]
+    pub fn bounded(mut self, capacity: usize) -> SpawnOptions {
+        self.capacity = Some(capacity.max(1));
+        self
+    }
+
+    /// Sets the overflow policy.
+    #[must_use]
+    pub fn overflow(mut self, policy: OverflowPolicy) -> SpawnOptions {
+        self.overflow = policy;
+        self
+    }
+
+    /// Sets the restart policy.
+    #[must_use]
+    pub fn restart(mut self, policy: RestartPolicy) -> SpawnOptions {
+        self.restart = policy;
+        self
+    }
+}
+
 enum Envelope {
     Message(Message),
     Stop,
 }
 
+/// A bounded MPSC mailbox on std primitives (the vendored channel stub is
+/// unbounded-only). `Stop` bypasses the capacity check so shutdown can
+/// never deadlock behind a full queue.
+struct Mailbox {
+    inner: Mutex<MailboxInner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: Option<usize>,
+    policy: OverflowPolicy,
+    dropped: AtomicU64,
+}
+
+struct MailboxInner {
+    queue: VecDeque<Envelope>,
+    closed: bool,
+}
+
+impl Mailbox {
+    fn new(capacity: Option<usize>, policy: OverflowPolicy) -> Mailbox {
+        Mailbox {
+            inner: Mutex::new(MailboxInner {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+            policy,
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueues a message; `false` once the mailbox is closed. Under
+    /// `DropOldest`/`DropNewest` a full queue still returns `true` — the
+    /// actor is alive, the loss is recorded in the drop counter.
+    fn send(&self, msg: Message) -> bool {
+        let mut inner = self.inner.lock().expect("mailbox lock");
+        if inner.closed {
+            return false;
+        }
+        if let Some(cap) = self.capacity {
+            if inner.queue.len() >= cap {
+                match self.policy {
+                    OverflowPolicy::Block => {
+                        while inner.queue.len() >= cap && !inner.closed {
+                            inner = self.not_full.wait(inner).expect("mailbox lock");
+                        }
+                        if inner.closed {
+                            return false;
+                        }
+                    }
+                    OverflowPolicy::DropOldest => {
+                        // Never evict a queued Stop: losing it would leak
+                        // the actor thread at shutdown.
+                        match inner.queue.pop_front() {
+                            Some(Envelope::Stop) => {
+                                inner.queue.push_front(Envelope::Stop);
+                                self.dropped.fetch_add(1, Ordering::Relaxed);
+                                return true;
+                            }
+                            Some(Envelope::Message(_)) => {
+                                self.dropped.fetch_add(1, Ordering::Relaxed);
+                            }
+                            None => {}
+                        }
+                    }
+                    OverflowPolicy::DropNewest => {
+                        self.dropped.fetch_add(1, Ordering::Relaxed);
+                        return true;
+                    }
+                }
+            }
+        }
+        inner.queue.push_back(Envelope::Message(msg));
+        drop(inner);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Enqueues `Stop` behind the current backlog, ignoring capacity.
+    fn send_stop(&self) {
+        let mut inner = self.inner.lock().expect("mailbox lock");
+        if inner.closed {
+            return;
+        }
+        inner.queue.push_back(Envelope::Stop);
+        drop(inner);
+        self.not_empty.notify_one();
+    }
+
+    /// Blocks for the next envelope; `None` once closed and drained.
+    fn recv(&self) -> Option<Envelope> {
+        let mut inner = self.inner.lock().expect("mailbox lock");
+        loop {
+            if let Some(env) = inner.queue.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(env);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("mailbox lock");
+        }
+    }
+
+    /// Closes the mailbox, waking blocked senders and the receiver.
+    fn close(&self) {
+        self.inner.lock().expect("mailbox lock").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// Shared per-actor counters, updated live by the mailbox and the
+/// supervision loop.
+#[derive(Default)]
+struct ActorCounters {
+    restarts: AtomicU64,
+    panics: AtomicU64,
+}
+
 /// Address of a running actor: send it messages, or hold it in the bus's
 /// subscription lists.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ActorRef {
-    tx: Sender<Envelope>,
+    mailbox: Arc<Mailbox>,
     name: Arc<str>,
 }
 
 impl ActorRef {
     /// Enqueues a message; returns `false` when the actor has stopped.
     pub fn send(&self, msg: Message) -> bool {
-        self.tx.send(Envelope::Message(msg)).is_ok()
+        self.mailbox.send(msg)
     }
 
     /// The actor's name.
@@ -67,15 +271,82 @@ impl ActorRef {
         &self.name
     }
 
-    fn stop(&self) {
-        let _ = self.tx.send(Envelope::Stop);
+    /// Messages this actor's mailbox has dropped to overflow.
+    pub fn dropped(&self) -> u64 {
+        self.mailbox.dropped.load(Ordering::Relaxed)
     }
+
+    fn stop(&self) {
+        self.mailbox.send_stop();
+    }
+}
+
+impl std::fmt::Debug for ActorRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActorRef")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+/// How one actor's thread ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExitKind {
+    /// Drained and stopped cleanly.
+    Clean,
+    /// Died panicking (policy `Stop`, or restart cap exhausted).
+    Panicked,
+    /// Died panicking with policy `Escalate`.
+    Escalated,
+}
+
+/// Live health counters for one actor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActorHealth {
+    /// The actor's name.
+    pub name: String,
+    /// Messages its mailbox dropped to overflow.
+    pub dropped: u64,
+    /// Supervised rebuilds performed.
+    pub restarts: u64,
+    /// Panics caught in `handle`.
+    pub panics: u64,
+}
+
+/// What [`ActorSystem::shutdown`] observed while joining the actors.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShutdownSummary {
+    /// Names of actors whose thread ended in an unrecovered panic.
+    pub panicked: Vec<String>,
+    /// Total supervised restarts across all actors.
+    pub restarts: u64,
+    /// Total messages dropped by mailbox overflow across all actors.
+    pub dropped: u64,
+    /// Total panics caught (including ones recovered by restart).
+    pub panics: u64,
+    /// Whether any actor escalated its failure.
+    pub escalated: bool,
+}
+
+impl ShutdownSummary {
+    /// No panics, no escalation (drops and successful restarts are
+    /// recoverable by design and do not make a shutdown unclean).
+    pub fn is_clean(&self) -> bool {
+        self.panicked.is_empty() && !self.escalated
+    }
+}
+
+struct ActorEntry {
+    actor_ref: ActorRef,
+    handle: JoinHandle<ExitKind>,
+    counters: Arc<ActorCounters>,
 }
 
 /// Owns the actor threads and the event bus.
 pub struct ActorSystem {
     bus: EventBus,
-    actors: Vec<(ActorRef, JoinHandle<()>)>,
+    actors: Vec<ActorEntry>,
+    escalated: Arc<AtomicU64>,
 }
 
 impl ActorSystem {
@@ -84,6 +355,7 @@ impl ActorSystem {
         ActorSystem {
             bus: EventBus::new(),
             actors: Vec::new(),
+            escalated: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -102,41 +374,168 @@ impl ActorSystem {
         self.actors.is_empty()
     }
 
-    /// Spawns an actor on its own thread. **Spawn pipeline stages in
-    /// upstream-to-downstream order** so shutdown drains correctly.
-    pub fn spawn(&mut self, name: impl Into<String>, mut actor: Box<dyn Actor>) -> ActorRef {
+    /// Whether any actor has escalated a failure so far.
+    pub fn escalated(&self) -> bool {
+        self.escalated.load(Ordering::Relaxed) > 0
+    }
+
+    /// Live per-actor drop/restart/panic counters, in spawn order.
+    pub fn health(&self) -> Vec<ActorHealth> {
+        self.actors
+            .iter()
+            .map(|e| ActorHealth {
+                name: e.actor_ref.name().to_string(),
+                dropped: e.actor_ref.dropped(),
+                restarts: e.counters.restarts.load(Ordering::Relaxed),
+                panics: e.counters.panics.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Spawns an actor on its own thread with default options (unbounded
+    /// mailbox, `Stop` on panic — the pre-supervision behaviour). **Spawn
+    /// pipeline stages in upstream-to-downstream order** so shutdown
+    /// drains correctly.
+    pub fn spawn(&mut self, name: impl Into<String>, actor: Box<dyn Actor>) -> ActorRef {
+        let mut slot = Some(actor);
+        self.spawn_supervised(
+            name,
+            move || slot.take().expect("Stop policy never rebuilds"),
+            SpawnOptions::default(),
+        )
+    }
+
+    /// Spawns a supervised actor built (and, under `Restart`, rebuilt)
+    /// from `factory`, with an explicitly configured mailbox.
+    pub fn spawn_supervised(
+        &mut self,
+        name: impl Into<String>,
+        mut factory: impl FnMut() -> Box<dyn Actor> + Send + 'static,
+        options: SpawnOptions,
+    ) -> ActorRef {
         let name: Arc<str> = Arc::from(name.into());
-        let (tx, rx) = unbounded::<Envelope>();
+        let mailbox = Arc::new(Mailbox::new(options.capacity, options.overflow));
         let actor_ref = ActorRef {
-            tx,
+            mailbox: mailbox.clone(),
             name: name.clone(),
         };
         let ctx = Context {
             bus: self.bus.clone(),
             name: name.clone(),
         };
+        let counters = Arc::new(ActorCounters::default());
+        let thread_counters = counters.clone();
+        let escalated = self.escalated.clone();
         let handle = std::thread::Builder::new()
             .name(format!("actor-{name}"))
             .spawn(move || {
-                while let Ok(env) = rx.recv() {
-                    match env {
-                        Envelope::Message(msg) => actor.handle(msg, &ctx),
-                        Envelope::Stop => break,
-                    }
+                let exit = supervise(
+                    &mut factory,
+                    &ctx,
+                    &mailbox,
+                    options.restart,
+                    &thread_counters,
+                );
+                if exit == ExitKind::Escalated {
+                    escalated.fetch_add(1, Ordering::Relaxed);
                 }
-                actor.on_stop(&ctx);
+                // Whatever the exit path, wake blocked senders.
+                mailbox.close();
+                exit
             })
             .expect("spawning an actor thread");
-        self.actors.push((actor_ref.clone(), handle));
+        self.actors.push(ActorEntry {
+            actor_ref: actor_ref.clone(),
+            handle,
+            counters,
+        });
         actor_ref
     }
 
     /// Stops every actor in spawn order, joining each before stopping the
-    /// next, so in-flight messages drain through the pipeline.
-    pub fn shutdown(self) {
-        for (actor_ref, handle) in self.actors {
-            actor_ref.stop();
-            let _ = handle.join();
+    /// next, so in-flight messages drain through the pipeline. Returns
+    /// which actors panicked (plus drop/restart totals) rather than
+    /// discarding the join results.
+    pub fn shutdown(self) -> ShutdownSummary {
+        let mut summary = ShutdownSummary::default();
+        for entry in self.actors {
+            entry.actor_ref.stop();
+            let exit = entry.handle.join().unwrap_or(ExitKind::Panicked);
+            // Counters are read only after the join: the actor may still
+            // be draining (and restarting) between stop() and exit.
+            summary.dropped += entry.actor_ref.dropped();
+            summary.restarts += entry.counters.restarts.load(Ordering::Relaxed);
+            summary.panics += entry.counters.panics.load(Ordering::Relaxed);
+            match exit {
+                ExitKind::Clean => {}
+                ExitKind::Panicked => {
+                    summary.panicked.push(entry.actor_ref.name().to_string());
+                }
+                ExitKind::Escalated => {
+                    summary.panicked.push(entry.actor_ref.name().to_string());
+                    summary.escalated = true;
+                }
+            }
+        }
+        if !summary.panicked.is_empty() {
+            eprintln!(
+                "actor system shutdown: {} actor(s) died panicking: {}",
+                summary.panicked.len(),
+                summary.panicked.join(", ")
+            );
+        }
+        summary
+    }
+}
+
+/// The per-thread supervision loop: run the actor, catch panics, apply
+/// the restart policy.
+fn supervise(
+    factory: &mut dyn FnMut() -> Box<dyn Actor>,
+    ctx: &Context,
+    mailbox: &Mailbox,
+    policy: RestartPolicy,
+    counters: &ActorCounters,
+) -> ExitKind {
+    let mut actor = factory();
+    loop {
+        let panicked = loop {
+            let Some(env) = mailbox.recv() else {
+                break false;
+            };
+            let msg = match env {
+                Envelope::Message(msg) => msg,
+                Envelope::Stop => break false,
+            };
+            if catch_unwind(AssertUnwindSafe(|| actor.handle(msg, ctx))).is_err() {
+                break true;
+            }
+        };
+        if !panicked {
+            // A panicking on_stop still counts against the actor, but
+            // there is nothing left to restart.
+            if catch_unwind(AssertUnwindSafe(|| actor.on_stop(ctx))).is_err() {
+                counters.panics.fetch_add(1, Ordering::Relaxed);
+                return ExitKind::Panicked;
+            }
+            return ExitKind::Clean;
+        }
+        counters.panics.fetch_add(1, Ordering::Relaxed);
+        match policy {
+            RestartPolicy::Stop => return ExitKind::Panicked,
+            RestartPolicy::Escalate => return ExitKind::Escalated,
+            RestartPolicy::Restart { max, backoff } => {
+                if counters.restarts.load(Ordering::Relaxed) >= u64::from(max) {
+                    return ExitKind::Panicked;
+                }
+                if backoff > Duration::ZERO {
+                    std::thread::sleep(backoff);
+                }
+                // The poisoned instance is dropped; state comes back
+                // fresh from the factory.
+                actor = factory();
+                counters.restarts.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -158,7 +557,7 @@ impl std::fmt::Debug for ActorSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::msg::{PowerReport, Scope, Topic};
+    use crate::msg::{PowerReport, Quality, Scope, Topic};
     use os_sim::process::Pid;
     use simcpu::units::{Nanos, Watts};
     use std::sync::atomic::{AtomicU64, Ordering};
@@ -184,6 +583,7 @@ mod tests {
             pid: Pid(1),
             power: Watts(w),
             formula: "test",
+            quality: Quality::Full,
         })
     }
 
@@ -203,9 +603,11 @@ mod tests {
         for i in 0..1000 {
             assert!(a.send(power_msg(i as f64)));
         }
-        sys.shutdown();
+        let summary = sys.shutdown();
         assert_eq!(hits.load(Ordering::SeqCst), 1000, "drain before stop");
         assert_eq!(stopped.load(Ordering::SeqCst), 1, "on_stop ran once");
+        assert!(summary.is_clean());
+        assert_eq!(summary.dropped, 0);
     }
 
     #[test]
@@ -234,6 +636,7 @@ mod tests {
                         timestamp: p.timestamp,
                         scope: Scope::Process(p.pid),
                         power: p.power,
+                        quality: p.quality,
                     }));
             }
         }
@@ -285,6 +688,334 @@ mod tests {
         assert_eq!(sys.len(), 1);
         assert!(!sys.is_empty());
         assert!(format!("{sys:?}").contains("ActorSystem"));
+        sys.shutdown();
+    }
+
+    /// Panics on power readings above a threshold; counts what it handled.
+    struct Fragile {
+        threshold: f64,
+        handled: Arc<AtomicU64>,
+    }
+    impl Actor for Fragile {
+        fn handle(&mut self, msg: Message, _ctx: &Context) {
+            if let Message::Power(p) = msg {
+                assert!(
+                    p.power.as_f64() < self.threshold,
+                    "injected fault: power {} over {}",
+                    p.power.as_f64(),
+                    self.threshold
+                );
+                self.handled.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    fn quiet_panics() -> impl Drop {
+        // Silence the default hook's backtrace spam for intentional
+        // panics; restore on drop so other tests are unaffected.
+        struct Restore;
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                // take_hook itself panics on a panicking thread; a failed
+                // assertion must not turn into a double-panic abort.
+                if !std::thread::panicking() {
+                    let _ = std::panic::take_hook();
+                }
+            }
+        }
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.contains("injected fault"));
+            if !injected {
+                default(info);
+            }
+        }));
+        Restore
+    }
+
+    #[test]
+    fn panic_with_stop_policy_is_reported_not_swallowed() {
+        let _quiet = quiet_panics();
+        let handled = Arc::new(AtomicU64::new(0));
+        let mut sys = ActorSystem::new();
+        let a = sys.spawn(
+            "fragile",
+            Box::new(Fragile {
+                threshold: 100.0,
+                handled: handled.clone(),
+            }),
+        );
+        assert!(a.send(power_msg(1.0)));
+        a.send(power_msg(1000.0)); // boom
+        let summary = sys.shutdown();
+        assert_eq!(summary.panicked, vec!["fragile".to_string()]);
+        assert_eq!(summary.panics, 1);
+        assert!(!summary.is_clean());
+        assert!(!summary.escalated);
+        assert_eq!(handled.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn restart_policy_rebuilds_state_and_respects_cap() {
+        let _quiet = quiet_panics();
+        let built = Arc::new(AtomicU64::new(0));
+        let handled = Arc::new(AtomicU64::new(0));
+        let mut sys = ActorSystem::new();
+        let factory_built = built.clone();
+        let factory_handled = handled.clone();
+        let a = sys.spawn_supervised(
+            "phoenix",
+            move || {
+                factory_built.fetch_add(1, Ordering::SeqCst);
+                Box::new(Fragile {
+                    threshold: 100.0,
+                    handled: factory_handled.clone(),
+                })
+            },
+            SpawnOptions::default().restart(RestartPolicy::Restart {
+                max: 2,
+                backoff: Duration::from_millis(1),
+            }),
+        );
+        // Two panics are absorbed by restarts; messages in between are
+        // handled by the rebuilt instances.
+        a.send(power_msg(1000.0));
+        a.send(power_msg(1.0));
+        a.send(power_msg(1000.0));
+        a.send(power_msg(1.0));
+        // Third panic exceeds the cap → actor dies.
+        a.send(power_msg(1000.0));
+        let summary = sys.shutdown();
+        assert_eq!(built.load(Ordering::SeqCst), 3, "initial + 2 rebuilds");
+        assert_eq!(handled.load(Ordering::SeqCst), 2);
+        assert_eq!(summary.restarts, 2);
+        assert_eq!(summary.panics, 3);
+        assert_eq!(summary.panicked, vec!["phoenix".to_string()]);
+    }
+
+    #[test]
+    fn escalate_policy_flags_the_system() {
+        let _quiet = quiet_panics();
+        let mut sys = ActorSystem::new();
+        let handled = Arc::new(AtomicU64::new(0));
+        let h = handled.clone();
+        let a = sys.spawn_supervised(
+            "critical",
+            move || {
+                Box::new(Fragile {
+                    threshold: 100.0,
+                    handled: h.clone(),
+                })
+            },
+            SpawnOptions::default().restart(RestartPolicy::Escalate),
+        );
+        assert!(!sys.escalated());
+        a.send(power_msg(1000.0));
+        // The escalation flag flips as soon as the thread exits; poll
+        // briefly rather than racing it.
+        for _ in 0..100 {
+            if sys.escalated() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(sys.escalated());
+        let summary = sys.shutdown();
+        assert!(summary.escalated);
+        assert_eq!(summary.panicked, vec!["critical".to_string()]);
+    }
+
+    #[test]
+    fn restarted_actor_keeps_consuming_its_mailbox() {
+        let _quiet = quiet_panics();
+        let handled = Arc::new(AtomicU64::new(0));
+        let h = handled.clone();
+        let mut sys = ActorSystem::new();
+        let a = sys.spawn_supervised(
+            "worker",
+            move || {
+                Box::new(Fragile {
+                    threshold: 100.0,
+                    handled: h.clone(),
+                })
+            },
+            SpawnOptions::default().restart(RestartPolicy::Restart {
+                max: 10,
+                backoff: Duration::ZERO,
+            }),
+        );
+        // Queue a burst with one poison pill in the middle; everything
+        // after the pill must still be processed by the rebuilt actor.
+        for i in 0..50 {
+            a.send(power_msg(if i == 25 { 1000.0 } else { 1.0 }));
+        }
+        let summary = sys.shutdown();
+        assert_eq!(handled.load(Ordering::SeqCst), 49);
+        assert_eq!(summary.restarts, 1);
+        assert!(summary.is_clean(), "recovered panics leave a clean system");
+    }
+
+    /// Slow consumer for overflow tests: parks on a gate until released.
+    struct Gated {
+        gate: Arc<(Mutex<bool>, Condvar)>,
+        seen: Arc<AtomicU64>,
+    }
+    impl Actor for Gated {
+        fn handle(&mut self, _msg: Message, _ctx: &Context) {
+            let (lock, cv) = &*self.gate;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+            self.seen.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn open_gate(gate: &Arc<(Mutex<bool>, Condvar)>) {
+        *gate.0.lock().unwrap() = true;
+        gate.1.notify_all();
+    }
+
+    #[test]
+    fn drop_oldest_overflow_counts_and_keeps_freshest() {
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let seen = Arc::new(AtomicU64::new(0));
+        let mut sys = ActorSystem::new();
+        let g = gate.clone();
+        let s = seen.clone();
+        let a = sys.spawn_supervised(
+            "ring",
+            move || {
+                Box::new(Gated {
+                    gate: g.clone(),
+                    seen: s.clone(),
+                })
+            },
+            SpawnOptions::default()
+                .bounded(4)
+                .overflow(OverflowPolicy::DropOldest),
+        );
+        // Consumer is gated: the queue fills at 4, then each send evicts.
+        for i in 0..20 {
+            assert!(a.send(power_msg(i as f64)), "overflow is not an error");
+        }
+        assert!(a.dropped() >= 15, "evictions counted, got {}", a.dropped());
+        open_gate(&gate);
+        let summary = sys.shutdown();
+        assert!(summary.dropped >= 15);
+        let processed = seen.load(Ordering::SeqCst);
+        assert_eq!(processed + summary.dropped, 20, "every message accounted");
+    }
+
+    #[test]
+    fn drop_newest_overflow_rejects_incoming() {
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let seen = Arc::new(AtomicU64::new(0));
+        let mut sys = ActorSystem::new();
+        let g = gate.clone();
+        let s = seen.clone();
+        let a = sys.spawn_supervised(
+            "tail-drop",
+            move || {
+                Box::new(Gated {
+                    gate: g.clone(),
+                    seen: s.clone(),
+                })
+            },
+            SpawnOptions::default()
+                .bounded(4)
+                .overflow(OverflowPolicy::DropNewest),
+        );
+        for i in 0..20 {
+            a.send(power_msg(i as f64));
+        }
+        assert!(a.dropped() >= 15);
+        open_gate(&gate);
+        let summary = sys.shutdown();
+        // The backlog (≤ capacity + one in-flight) survived, the rest
+        // were rejected at the door.
+        assert!(seen.load(Ordering::SeqCst) <= 5);
+        assert_eq!(seen.load(Ordering::SeqCst) + summary.dropped, 20);
+    }
+
+    #[test]
+    fn block_overflow_never_loses_messages() {
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let seen = Arc::new(AtomicU64::new(0));
+        let mut sys = ActorSystem::new();
+        let g = gate.clone();
+        let s = seen.clone();
+        let a = sys.spawn_supervised(
+            "lossless",
+            move || {
+                Box::new(Gated {
+                    gate: g.clone(),
+                    seen: s.clone(),
+                })
+            },
+            SpawnOptions::default()
+                .bounded(2)
+                .overflow(OverflowPolicy::Block),
+        );
+        // Sender thread pushes 50 through a 2-slot mailbox while the
+        // consumer is released shortly after: every send must land.
+        let sender = {
+            let a = a.clone();
+            std::thread::spawn(move || {
+                let mut ok = 0;
+                for i in 0..50 {
+                    if a.send(power_msg(i as f64)) {
+                        ok += 1;
+                    }
+                }
+                ok
+            })
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        open_gate(&gate);
+        let sent = sender.join().unwrap();
+        let summary = sys.shutdown();
+        assert_eq!(sent, 50);
+        assert_eq!(summary.dropped, 0, "Block loses nothing");
+        assert_eq!(seen.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn health_reports_live_counters() {
+        let _quiet = quiet_panics();
+        let handled = Arc::new(AtomicU64::new(0));
+        let h = handled.clone();
+        let mut sys = ActorSystem::new();
+        let a = sys.spawn_supervised(
+            "observed",
+            move || {
+                Box::new(Fragile {
+                    threshold: 100.0,
+                    handled: h.clone(),
+                })
+            },
+            SpawnOptions::default().restart(RestartPolicy::Restart {
+                max: 5,
+                backoff: Duration::ZERO,
+            }),
+        );
+        a.send(power_msg(1000.0));
+        a.send(power_msg(1.0));
+        // Wait until the recovery is visible.
+        for _ in 0..200 {
+            if handled.load(Ordering::SeqCst) == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let health = sys.health();
+        assert_eq!(health.len(), 1);
+        assert_eq!(health[0].name, "observed");
+        assert_eq!(health[0].restarts, 1);
+        assert_eq!(health[0].panics, 1);
         sys.shutdown();
     }
 }

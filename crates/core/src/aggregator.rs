@@ -11,7 +11,7 @@
 //! and on shutdown, so no interval is lost.
 
 use crate::actor::{Actor, Context};
-use crate::msg::{AggregateReport, Message, PowerReport, Scope};
+use crate::msg::{AggregateReport, Message, PowerReport, Quality, Scope};
 use simcpu::units::{Nanos, Watts};
 
 /// Which dimensions to aggregate along (both may be enabled).
@@ -54,7 +54,7 @@ impl Dimension {
 pub struct Aggregator {
     dimension: Dimension,
     idle_w: f64,
-    window: Option<(Nanos, Watts)>,
+    window: Option<(Nanos, Watts, Quality)>,
 }
 
 impl Aggregator {
@@ -74,22 +74,28 @@ impl Aggregator {
                 timestamp: p.timestamp,
                 scope: Scope::Process(p.pid),
                 power: p.power,
+                quality: p.quality,
             }));
         }
         if self.dimension.machine {
             match &mut self.window {
-                Some((ts, acc)) if *ts == p.timestamp => *acc += p.power,
-                Some((ts, acc)) => {
+                Some((ts, acc, q)) if *ts == p.timestamp => {
+                    *acc += p.power;
+                    *q = (*q).min(p.quality);
+                }
+                Some((ts, acc, q)) => {
                     let done = AggregateReport {
                         timestamp: *ts,
                         scope: Scope::Machine,
                         power: Watts(acc.as_f64() + self.idle_w),
+                        quality: *q,
                     };
                     *ts = p.timestamp;
                     *acc = p.power;
+                    *q = p.quality;
                     ctx.bus().publish(Message::Aggregate(done));
                 }
-                None => self.window = Some((p.timestamp, p.power)),
+                None => self.window = Some((p.timestamp, p.power, p.quality)),
             }
         }
     }
@@ -103,11 +109,12 @@ impl Actor for Aggregator {
     }
 
     fn on_stop(&mut self, ctx: &Context) {
-        if let Some((ts, acc)) = self.window.take() {
+        if let Some((ts, acc, q)) = self.window.take() {
             ctx.bus().publish(Message::Aggregate(AggregateReport {
                 timestamp: ts,
                 scope: Scope::Machine,
                 power: Watts(acc.as_f64() + self.idle_w),
+                quality: q,
             }));
         }
     }
@@ -137,6 +144,7 @@ mod tests {
             pid: Pid(pid),
             power: Watts(w),
             formula: "t",
+            quality: crate::msg::Quality::Full,
         })
     }
 
@@ -211,7 +219,7 @@ mod tests {
 #[derive(Debug, Clone)]
 pub struct GroupAggregator {
     membership: std::collections::BTreeMap<os_sim::process::Pid, std::sync::Arc<str>>,
-    window: std::collections::BTreeMap<std::sync::Arc<str>, (Nanos, Watts)>,
+    window: std::collections::BTreeMap<std::sync::Arc<str>, (Nanos, Watts, Quality)>,
 }
 
 impl GroupAggregator {
@@ -241,11 +249,12 @@ impl GroupAggregator {
     }
 
     fn flush(&mut self, group: &std::sync::Arc<str>, ctx: &Context) {
-        if let Some((ts, acc)) = self.window.remove(group) {
+        if let Some((ts, acc, q)) = self.window.remove(group) {
             ctx.bus().publish(Message::Aggregate(AggregateReport {
                 timestamp: ts,
                 scope: Scope::Group(group.clone()),
                 power: acc,
+                quality: q,
             }));
         }
     }
@@ -258,13 +267,16 @@ impl Actor for GroupAggregator {
             return;
         };
         match self.window.get_mut(&group) {
-            Some((ts, acc)) if *ts == p.timestamp => *acc += p.power,
+            Some((ts, acc, q)) if *ts == p.timestamp => {
+                *acc += p.power;
+                *q = (*q).min(p.quality);
+            }
             Some(_) => {
                 self.flush(&group, ctx);
-                self.window.insert(group, (p.timestamp, p.power));
+                self.window.insert(group, (p.timestamp, p.power, p.quality));
             }
             None => {
-                self.window.insert(group, (p.timestamp, p.power));
+                self.window.insert(group, (p.timestamp, p.power, p.quality));
             }
         }
     }
@@ -301,6 +313,7 @@ mod group_tests {
             pid: Pid(pid),
             power: Watts(w),
             formula: "t",
+            quality: crate::msg::Quality::Full,
         })
     }
 

@@ -106,6 +106,7 @@ mod tests {
             pid: Pid(1),
             power: Watts(1.0),
             formula: "t",
+            quality: crate::msg::Quality::Full,
         })
     }
 
@@ -114,6 +115,7 @@ mod tests {
             timestamp: Nanos(1),
             scope: Scope::Machine,
             power: Watts(1.0),
+            quality: crate::msg::Quality::Full,
         })
     }
 

@@ -52,6 +52,10 @@ impl BertranFormula {
 }
 
 impl PowerFormula for BertranFormula {
+    fn boxed_clone(&self) -> Box<dyn PowerFormula> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "bertran-decomposable"
     }

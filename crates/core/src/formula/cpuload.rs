@@ -33,6 +33,10 @@ impl CpuLoadFormula {
 }
 
 impl PowerFormula for CpuLoadFormula {
+    fn boxed_clone(&self) -> Box<dyn PowerFormula> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> &'static str {
         "cpu-load"
     }

@@ -1,0 +1,293 @@
+//! Graceful degradation for the formula chain: a staleness watchdog that
+//! estimates with the primary (HPC) formula while its sensor reports keep
+//! flowing, and falls back per-process to a backup (cpu-load) formula when
+//! they stop — tagging the fallback estimates [`Quality::Degraded`] so
+//! consumers know the number came from the weaker metric.
+//!
+//! The trigger is *absence*: when the PMU stalls or resets, the HPC sensor
+//! stops publishing for the affected process (see `sensor::hpc`), while
+//! the procfs sensor keeps reporting CPU time. This actor watches both
+//! streams and keys the fallback on the age of the last usable HPC report.
+
+use crate::actor::{Actor, Context};
+use crate::formula::PowerFormula;
+use crate::msg::{Message, PowerReport, Quality};
+use os_sim::process::Pid;
+use simcpu::units::Nanos;
+use std::collections::BTreeMap;
+
+/// The watchdog actor wrapping a primary/backup formula pair.
+pub struct FallbackFormula {
+    primary: Box<dyn PowerFormula>,
+    backup: Box<dyn PowerFormula>,
+    max_age: Nanos,
+    /// Per-pid timestamp of the last report the primary formula consumed.
+    last_primary: BTreeMap<Pid, Nanos>,
+    /// Estimates served by the backup path (observability for E7).
+    degraded: u64,
+}
+
+impl FallbackFormula {
+    /// Wraps `primary` (consulted on its own sensor source) and `backup`
+    /// (consulted on *its* source only once the primary has been silent
+    /// for a pid longer than `max_age`).
+    pub fn new(
+        primary: Box<dyn PowerFormula>,
+        backup: Box<dyn PowerFormula>,
+        max_age: Nanos,
+    ) -> FallbackFormula {
+        FallbackFormula {
+            primary,
+            backup,
+            max_age: max_age.max(Nanos(1)),
+            last_primary: BTreeMap::new(),
+            degraded: 0,
+        }
+    }
+
+    /// The primary formula's name (the actor reports under it).
+    pub fn name(&self) -> &'static str {
+        self.primary.name()
+    }
+
+    /// The primary formula's idle floor.
+    pub fn idle_w(&self) -> f64 {
+        self.primary.idle_w()
+    }
+
+    /// How many estimates the backup path has served.
+    pub fn degraded_count(&self) -> u64 {
+        self.degraded
+    }
+}
+
+impl Actor for FallbackFormula {
+    fn handle(&mut self, msg: Message, ctx: &Context) {
+        let Message::Sensor(report) = msg else { return };
+        if report.source == self.primary.source() {
+            if let Some(power) = self.primary.estimate(&report) {
+                self.last_primary.insert(report.pid, report.timestamp);
+                ctx.bus().publish(Message::Power(PowerReport {
+                    timestamp: report.timestamp,
+                    pid: report.pid,
+                    power,
+                    formula: self.primary.name(),
+                    quality: Quality::Full,
+                }));
+            }
+            return;
+        }
+        if report.source != self.backup.source() {
+            return;
+        }
+        let last = *self
+            .last_primary
+            .entry(report.pid)
+            // First sighting starts the watchdog: the primary gets a full
+            // grace period before the backup may speak for this pid (also
+            // absorbs same-tick sensor ordering races).
+            .or_insert(report.timestamp);
+        if report.timestamp - last <= self.max_age {
+            return;
+        }
+        if let Some(power) = self.backup.estimate(&report) {
+            self.degraded += 1;
+            ctx.bus().publish(Message::Power(PowerReport {
+                timestamp: report.timestamp,
+                pid: report.pid,
+                power,
+                formula: self.backup.name(),
+                quality: Quality::Degraded,
+            }));
+        }
+    }
+}
+
+impl std::fmt::Debug for FallbackFormula {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FallbackFormula")
+            .field("primary", &self.primary.name())
+            .field("backup", &self.backup.name())
+            .field("max_age", &self.max_age)
+            .field("degraded", &self.degraded)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::ActorSystem;
+    use crate::formula::cpuload::CpuLoadFormula;
+    use crate::msg::{CorunSplit, ProcTimeDelta, SensorReport, Topic};
+    use parking_lot::Mutex;
+    use simcpu::units::Watts;
+    use std::sync::Arc;
+
+    /// Primary stand-in sourcing from the HPC sensor.
+    struct Hpc;
+    impl PowerFormula for Hpc {
+        fn name(&self) -> &'static str {
+            "hpc-fixed"
+        }
+        fn idle_w(&self) -> f64 {
+            30.0
+        }
+        fn estimate(&mut self, _r: &SensorReport) -> Option<Watts> {
+            Some(Watts(5.0))
+        }
+        fn boxed_clone(&self) -> Box<dyn PowerFormula> {
+            Box::new(Hpc)
+        }
+    }
+
+    struct Capture(Arc<Mutex<Vec<PowerReport>>>);
+    impl Actor for Capture {
+        fn handle(&mut self, msg: Message, _ctx: &Context) {
+            if let Message::Power(p) = msg {
+                self.0.lock().push(p);
+            }
+        }
+    }
+
+    fn sensor(source: &'static str, ts_s: u64, pid: u32) -> Message {
+        Message::Sensor(Arc::new(SensorReport {
+            source,
+            timestamp: Nanos::from_secs(ts_s),
+            interval: Nanos::from_secs(1),
+            pid: Pid(pid),
+            counters: Vec::new(),
+            time: ProcTimeDelta {
+                busy: Nanos::from_millis(500),
+                by_freq: Vec::new(),
+            },
+            corun: CorunSplit::default(),
+        }))
+    }
+
+    fn run(msgs: Vec<Message>) -> Vec<PowerReport> {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut sys = ActorSystem::new();
+        let f = sys.spawn(
+            "fallback",
+            Box::new(FallbackFormula::new(
+                Box::new(Hpc),
+                Box::new(CpuLoadFormula::new(30.0, 10.0)),
+                Nanos::from_secs(2),
+            )),
+        );
+        let sink = sys.spawn("sink", Box::new(Capture(seen.clone())));
+        sys.bus().subscribe(Topic::Sensor, &f);
+        sys.bus().subscribe(Topic::Power, &sink);
+        for m in msgs {
+            sys.bus().publish(m);
+        }
+        sys.shutdown();
+        let out = seen.lock().clone();
+        out
+    }
+
+    const HPC: &str = crate::sensor::hpc::SOURCE;
+    const PROCFS: &str = crate::sensor::procfs::SOURCE;
+
+    #[test]
+    fn primary_path_while_reports_flow() {
+        let out = run(vec![
+            sensor(HPC, 1, 1),
+            sensor(PROCFS, 1, 1),
+            sensor(HPC, 2, 1),
+            sensor(PROCFS, 2, 1),
+        ]);
+        assert_eq!(out.len(), 2, "backup stays silent while primary is fresh");
+        assert!(out.iter().all(|p| p.quality == Quality::Full));
+        assert!(out.iter().all(|p| p.formula == "hpc-fixed"));
+    }
+
+    #[test]
+    fn falls_back_when_primary_goes_silent() {
+        // HPC reports stop after t=1; procfs keeps ticking. With a 2 s
+        // watchdog, t=4 onward is served by cpu-load, tagged Degraded.
+        let out = run(vec![
+            sensor(HPC, 1, 1),
+            sensor(PROCFS, 1, 1),
+            sensor(PROCFS, 2, 1),
+            sensor(PROCFS, 3, 1),
+            sensor(PROCFS, 4, 1),
+            sensor(PROCFS, 5, 1),
+        ]);
+        let full: Vec<_> = out.iter().filter(|p| p.quality == Quality::Full).collect();
+        let degraded: Vec<_> = out
+            .iter()
+            .filter(|p| p.quality == Quality::Degraded)
+            .collect();
+        assert_eq!(full.len(), 1);
+        assert_eq!(degraded.len(), 2, "t=4 and t=5 fell back");
+        assert!(degraded.iter().all(|p| p.formula == "cpu-load"));
+        // cpu-load: 0.5 CPU · 10 W/CPU.
+        assert!((degraded[0].power.as_f64() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_returns_to_primary() {
+        let out = run(vec![
+            sensor(HPC, 1, 1),
+            sensor(PROCFS, 2, 1),
+            sensor(PROCFS, 3, 1),
+            sensor(PROCFS, 4, 1), // degraded
+            sensor(HPC, 5, 1),    // primary back
+            sensor(PROCFS, 5, 1), // fresh again → silent
+            sensor(PROCFS, 6, 1),
+        ]);
+        let kinds: Vec<Quality> = out.iter().map(|p| p.quality).collect();
+        assert_eq!(
+            kinds,
+            vec![Quality::Full, Quality::Degraded, Quality::Full],
+            "degraded only while silent: {kinds:?}"
+        );
+    }
+
+    #[test]
+    fn unseen_pid_gets_grace_period_not_immediate_fallback() {
+        // procfs-only traffic for a pid the primary never reported:
+        // the first max_age worth of reports stays silent (no double
+        // estimation during startup races), then degrades.
+        let out = run(vec![
+            sensor(PROCFS, 1, 7),
+            sensor(PROCFS, 2, 7),
+            sensor(PROCFS, 3, 7),
+            sensor(PROCFS, 4, 7),
+        ]);
+        assert_eq!(out.len(), 1, "t=4 is the first past the grace period");
+        assert_eq!(out[0].quality, Quality::Degraded);
+    }
+
+    #[test]
+    fn tracks_processes_independently() {
+        let out = run(vec![
+            sensor(HPC, 1, 1),
+            sensor(HPC, 1, 2),
+            // pid 1 keeps its HPC stream, pid 2 loses it.
+            sensor(HPC, 4, 1),
+            sensor(PROCFS, 4, 1),
+            sensor(PROCFS, 4, 2),
+        ]);
+        let pid1: Vec<_> = out.iter().filter(|p| p.pid == Pid(1)).collect();
+        let pid2: Vec<_> = out.iter().filter(|p| p.pid == Pid(2)).collect();
+        assert!(pid1.iter().all(|p| p.quality == Quality::Full));
+        assert_eq!(pid2.len(), 2);
+        assert_eq!(pid2[1].quality, Quality::Degraded);
+    }
+
+    #[test]
+    fn accessors_and_debug() {
+        let f = FallbackFormula::new(
+            Box::new(Hpc),
+            Box::new(CpuLoadFormula::new(30.0, 10.0)),
+            Nanos::from_secs(2),
+        );
+        assert_eq!(f.name(), "hpc-fixed");
+        assert_eq!(f.idle_w(), 30.0);
+        assert_eq!(f.degraded_count(), 0);
+        assert!(format!("{f:?}").contains("cpu-load"));
+    }
+}

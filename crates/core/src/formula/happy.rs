@@ -107,6 +107,10 @@ impl HappyFormula {
 }
 
 impl PowerFormula for HappyFormula {
+    fn boxed_clone(&self) -> Box<dyn PowerFormula> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "happy-ht-aware"
     }

@@ -6,14 +6,17 @@
 //! [`cpuload::CpuLoadFormula`] (Versick et al.), [`bertran`]
 //! (decomposable counter model on simple architectures), and
 //! [`happy::HappyFormula`] (hyperthread-aware split coefficients).
+//! [`fallback::FallbackFormula`] wraps a primary/backup pair with a
+//! staleness watchdog for graceful degradation.
 
 pub mod bertran;
 pub mod cpuload;
+pub mod fallback;
 pub mod happy;
 pub mod per_freq;
 
 use crate::actor::{Actor, Context};
-use crate::msg::{Message, PowerReport, SensorReport};
+use crate::msg::{Message, PowerReport, Quality, SensorReport};
 use simcpu::units::Watts;
 
 /// A power-estimation strategy fed by sensor reports.
@@ -32,6 +35,10 @@ pub trait PowerFormula: Send {
     /// Estimates the *active* power of the reported process over the
     /// report's interval, or `None` when the report is unusable.
     fn estimate(&mut self, report: &SensorReport) -> Option<Watts>;
+
+    /// A fresh boxed copy of this formula, so a supervisor can rebuild a
+    /// formula actor after a panic.
+    fn boxed_clone(&self) -> Box<dyn PowerFormula>;
 }
 
 /// Hosts any [`PowerFormula`] as a bus actor: subscribes to sensor
@@ -59,6 +66,7 @@ impl Actor for FormulaActor {
                 pid: report.pid,
                 power,
                 formula: self.formula.name(),
+                quality: Quality::Full,
             }));
         }
     }
@@ -92,6 +100,9 @@ mod tests {
         }
         fn estimate(&mut self, _r: &SensorReport) -> Option<Watts> {
             Some(Watts(4.2))
+        }
+        fn boxed_clone(&self) -> Box<dyn PowerFormula> {
+            Box::new(Fixed)
         }
     }
 

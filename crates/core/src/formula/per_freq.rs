@@ -44,6 +44,10 @@ impl PerFrequencyFormula {
 }
 
 impl PowerFormula for PerFrequencyFormula {
+    fn boxed_clone(&self) -> Box<dyn PowerFormula> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "per-frequency-hpc"
     }

@@ -70,6 +70,23 @@ impl SimHost {
         self.rapl.is_some()
     }
 
+    /// Arms the perf session with the counter faults of `plan` (the meter
+    /// faults ride in on [`PowerSpyConfig`]). Windows activate by
+    /// simulated time, so arming is idempotent and order-independent.
+    pub fn set_fault_plan(&mut self, plan: simcpu::fault::FaultPlan) {
+        self.monitor.set_fault_plan(plan);
+    }
+
+    /// Counter-fault tallies from the perf session.
+    pub fn counter_fault_stats(&self) -> perf_sim::session::CounterFaultStats {
+        self.monitor.fault_stats()
+    }
+
+    /// Meter-fault tallies from the PowerSpy.
+    pub fn meter_fault_stats(&self) -> powermeter::powerspy::MeterFaultStats {
+        self.meter.fault_stats()
+    }
+
     /// Starts monitoring a process's counters.
     ///
     /// # Errors

@@ -89,6 +89,42 @@ pub struct SensorReport {
     pub corun: CorunSplit,
 }
 
+/// How trustworthy an estimation is, given the health of its inputs.
+/// Orderable: `Full > Degraded > Stale` (worse quality sorts first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Quality {
+    /// Produced from data that stopped flowing; value is a hold-over.
+    Stale,
+    /// Produced by a fallback path (e.g. cpu-load instead of HPC) after
+    /// the primary input went missing.
+    Degraded,
+    /// Produced by the primary path from fresh inputs.
+    #[default]
+    Full,
+}
+
+impl Quality {
+    /// The worse of two qualities (an aggregate is only as good as its
+    /// weakest input).
+    #[must_use]
+    pub fn min(self, other: Quality) -> Quality {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Lowercase label for reporters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Quality::Full => "full",
+            Quality::Degraded => "degraded",
+            Quality::Stale => "stale",
+        }
+    }
+}
+
 /// A formula's per-process power estimation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PowerReport {
@@ -101,6 +137,8 @@ pub struct PowerReport {
     pub power: Watts,
     /// Name of the formula that produced the estimate.
     pub formula: &'static str,
+    /// Whether the estimate came from the primary path or a fallback.
+    pub quality: Quality,
 }
 
 /// What an aggregate describes.
@@ -124,6 +162,8 @@ pub struct AggregateReport {
     pub scope: Scope,
     /// Aggregated power.
     pub power: Watts,
+    /// The worst quality among the inputs that formed this aggregate.
+    pub quality: Quality,
 }
 
 /// The bus message.
@@ -190,6 +230,7 @@ mod tests {
                 pid: Pid(1),
                 power: Watts(1.0),
                 formula: "x",
+                quality: Quality::Full,
             })
             .topic(),
             Topic::Power
@@ -199,6 +240,7 @@ mod tests {
                 timestamp: Nanos(1),
                 scope: Scope::Machine,
                 power: Watts(1.0),
+                quality: Quality::Full,
             })
             .topic(),
             Topic::Aggregate
@@ -211,6 +253,16 @@ mod tests {
     fn messages_are_cheaply_clonable_and_send() {
         fn assert_send_clone<T: Send + Clone + 'static>() {}
         assert_send_clone::<Message>();
+    }
+
+    #[test]
+    fn quality_ordering_and_min() {
+        assert!(Quality::Full > Quality::Degraded);
+        assert!(Quality::Degraded > Quality::Stale);
+        assert_eq!(Quality::Full.min(Quality::Degraded), Quality::Degraded);
+        assert_eq!(Quality::Stale.min(Quality::Full), Quality::Stale);
+        assert_eq!(Quality::default(), Quality::Full);
+        assert_eq!(Quality::Degraded.label(), "degraded");
     }
 
     #[test]

@@ -111,11 +111,13 @@ mod tests {
             timestamp: Nanos::from_secs(2),
             scope: Scope::Process(Pid(42)),
             power: Watts(3.5),
+            quality: crate::msg::Quality::Full,
         }));
         sys.bus().publish(Message::Aggregate(AggregateReport {
             timestamp: Nanos::from_secs(2),
             scope: Scope::Machine,
             power: Watts(36.0),
+            quality: crate::msg::Quality::Full,
         }));
         sys.bus()
             .publish(Message::Meter(Nanos::from_secs(2), Watts(35.1)));

@@ -96,6 +96,7 @@ mod tests {
             timestamp: Nanos::from_secs(1),
             scope: Scope::Process(Pid(5)),
             power: Watts(2.25),
+            quality: crate::msg::Quality::Full,
         }));
         sys.bus()
             .publish(Message::Meter(Nanos::from_secs(1), Watts(33.0)));

@@ -98,11 +98,13 @@ mod tests {
             timestamp: Nanos::from_secs(1),
             scope: Scope::Process(Pid(42)),
             power: Watts(3.5),
+            quality: crate::msg::Quality::Full,
         }));
         sys.bus().publish(Message::Aggregate(AggregateReport {
             timestamp: Nanos::from_secs(1),
             scope: Scope::Group(Arc::from("vm-alpha")),
             power: Watts(7.25),
+            quality: crate::msg::Quality::Full,
         }));
         sys.bus()
             .publish(Message::Meter(Nanos::from_secs(1), Watts(35.1)));

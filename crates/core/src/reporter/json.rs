@@ -92,6 +92,7 @@ mod tests {
             timestamp: Nanos::from_millis(1500),
             scope: Scope::Machine,
             power: Watts(36.48),
+            quality: crate::msg::Quality::Full,
         }));
         sys.bus()
             .publish(Message::Rapl(Nanos::from_secs(2), Watts(9.0)));

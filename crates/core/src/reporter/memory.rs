@@ -89,6 +89,7 @@ mod tests {
             timestamp: Nanos::from_secs(1),
             scope: Scope::Machine,
             power: Watts(35.0),
+            quality: crate::msg::Quality::Full,
         }));
         sys.bus()
             .publish(Message::Meter(Nanos::from_secs(1), Watts(34.2)));

@@ -26,8 +26,9 @@
 //! # }
 //! ```
 
-use crate::actor::ActorSystem;
+use crate::actor::{ActorSystem, RestartPolicy, ShutdownSummary, SpawnOptions};
 use crate::aggregator::{Aggregator, Dimension};
+use crate::formula::fallback::FallbackFormula;
 use crate::formula::{FormulaActor, PowerFormula};
 use crate::host::SimHost;
 use crate::msg::{AggregateReport, Message, Scope, Topic};
@@ -40,9 +41,14 @@ use os_sim::kernel::Kernel;
 use os_sim::process::Pid;
 use perf_sim::events::{Event, PAPER_EVENTS};
 use powermeter::powerspy::PowerSpyConfig;
+use simcpu::fault::FaultPlan;
 use simcpu::units::{Nanos, Watts};
 use std::io::Write;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// A rebuildable actor constructor, as supervisors need after a panic.
+type ActorFactory = Box<dyn FnMut() -> Box<dyn crate::actor::Actor> + Send>;
 
 /// Builder for a [`PowerApi`] instance.
 pub struct PowerApiBuilder {
@@ -61,6 +67,10 @@ pub struct PowerApiBuilder {
     json: Option<Box<dyn Write + Send>>,
     influx: Option<Box<dyn Write + Send>>,
     extra: Vec<(String, Box<dyn crate::actor::Actor>, Vec<Topic>)>,
+    extra_supervised: Vec<(String, ActorFactory, Vec<Topic>)>,
+    faults: FaultPlan,
+    restart: RestartPolicy,
+    degrade: Option<(Box<dyn PowerFormula>, Nanos)>,
 }
 
 impl PowerApiBuilder {
@@ -81,29 +91,42 @@ impl PowerApiBuilder {
             json: None,
             influx: None,
             extra: Vec::new(),
+            extra_supervised: Vec::new(),
+            faults: FaultPlan::none(),
+            restart: RestartPolicy::Restart {
+                max: 3,
+                backoff: Duration::ZERO,
+            },
+            degrade: None,
         }
     }
 
     /// Adds a formula (at least one is required). Multiple formulas run
     /// side by side but then only per-process aggregation is allowed.
+    #[must_use]
     pub fn formula(mut self, formula: impl PowerFormula + 'static) -> PowerApiBuilder {
         self.formulas.push(Box::new(formula));
         self
     }
 
     /// Overrides the HPC events the sensor counts.
+    #[must_use]
     pub fn events(mut self, events: Vec<Event>) -> PowerApiBuilder {
         self.events = events;
         self
     }
 
-    /// Overrides the PMU slot count.
+    /// Overrides the PMU slot count. Zero is rejected by
+    /// [`PowerApiBuilder::build`] — silently clamping it would hide a
+    /// caller bug behind an unexpectedly multiplexed session.
+    #[must_use]
     pub fn slots(mut self, slots: usize) -> PowerApiBuilder {
-        self.slots = slots.max(1);
+        self.slots = slots;
         self
     }
 
     /// Overrides the scheduler quantum driving the simulation.
+    #[must_use]
     pub fn quantum(mut self, quantum: Nanos) -> PowerApiBuilder {
         self.quantum = if quantum == Nanos::ZERO {
             Nanos(1)
@@ -115,6 +138,7 @@ impl PowerApiBuilder {
 
     /// Overrides the monitoring clock period (default 1 s, the paper's
     /// trace granularity).
+    #[must_use]
     pub fn clock_period(mut self, period: Nanos) -> PowerApiBuilder {
         self.clock_period = if period == Nanos::ZERO {
             Nanos::from_secs(1)
@@ -125,6 +149,7 @@ impl PowerApiBuilder {
     }
 
     /// Overrides the meter configuration.
+    #[must_use]
     pub fn meter(mut self, config: PowerSpyConfig) -> PowerApiBuilder {
         self.meter = config;
         self
@@ -132,6 +157,7 @@ impl PowerApiBuilder {
 
     /// Overrides the aggregation dimension (default: per-process and
     /// machine for a single formula, per-process only for several).
+    #[must_use]
     pub fn dimension(mut self, dimension: Dimension) -> PowerApiBuilder {
         self.dimension = Some(dimension);
         self
@@ -139,6 +165,7 @@ impl PowerApiBuilder {
 
     /// Overrides the idle floor the machine aggregate adds (default: the
     /// first formula's `idle_w`).
+    #[must_use]
     pub fn idle_w(mut self, idle_w: f64) -> PowerApiBuilder {
         self.idle_override = Some(idle_w);
         self
@@ -146,30 +173,35 @@ impl PowerApiBuilder {
 
     /// Adds the in-memory reporter (required for [`PowerApi::finish`] to
     /// return data).
+    #[must_use]
     pub fn report_to_memory(mut self) -> PowerApiBuilder {
         self.memory = true;
         self
     }
 
     /// Adds the console reporter (stdout).
+    #[must_use]
     pub fn report_to_console(mut self) -> PowerApiBuilder {
         self.console = true;
         self
     }
 
     /// Adds a CSV reporter writing to `out`.
+    #[must_use]
     pub fn report_to_csv(mut self, out: impl Write + Send + 'static) -> PowerApiBuilder {
         self.csv = Some(Box::new(out));
         self
     }
 
     /// Adds a JSON-lines reporter writing to `out`.
+    #[must_use]
     pub fn report_to_json(mut self, out: impl Write + Send + 'static) -> PowerApiBuilder {
         self.json = Some(Box::new(out));
         self
     }
 
     /// Adds an InfluxDB line-protocol reporter writing to `out`.
+    #[must_use]
     pub fn report_to_influx(mut self, out: impl Write + Send + 'static) -> PowerApiBuilder {
         self.influx = Some(Box::new(out));
         self
@@ -181,6 +213,7 @@ impl PowerApiBuilder {
     /// spawned downstream of the built-in stages.
     ///
     /// [`CapControlActor`]: crate::control::CapControlActor
+    #[must_use]
     pub fn with_actor(
         mut self,
         name: impl Into<String>,
@@ -191,16 +224,78 @@ impl PowerApiBuilder {
         self
     }
 
+    /// Plugs a *supervised* custom actor into the pipeline: `factory`
+    /// rebuilds it after a handler panic per the configured restart
+    /// policy (see [`PowerApiBuilder::supervision`]). The chaos-injection
+    /// harness uses this to survive its own induced panics.
+    #[must_use]
+    pub fn with_supervised_actor(
+        mut self,
+        name: impl Into<String>,
+        factory: impl FnMut() -> Box<dyn crate::actor::Actor> + Send + 'static,
+        topics: Vec<Topic>,
+    ) -> PowerApiBuilder {
+        self.extra_supervised
+            .push((name.into(), Box::new(factory), topics));
+        self
+    }
+
+    /// Injects a deterministic fault schedule: meter faults arm the
+    /// PowerSpy, counter faults arm the perf session. Windows activate by
+    /// simulated time, so the same plan over the same run reproduces the
+    /// same failures.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> PowerApiBuilder {
+        self.faults = plan;
+        self
+    }
+
+    /// Overrides the restart policy supervised pipeline stages use when a
+    /// message handler panics (default: up to 3 rebuilds, no backoff).
+    #[must_use]
+    pub fn supervision(mut self, policy: RestartPolicy) -> PowerApiBuilder {
+        self.restart = policy;
+        self
+    }
+
+    /// Wraps the (single) formula in a staleness watchdog: when its
+    /// sensor goes quiet for a process longer than `max_age`, estimates
+    /// degrade to `backup` (tagged [`Quality::Degraded`]) until the
+    /// primary stream resumes.
+    ///
+    /// [`Quality::Degraded`]: crate::msg::Quality::Degraded
+    #[must_use]
+    pub fn degrade_to(
+        mut self,
+        backup: impl PowerFormula + 'static,
+        max_age: Nanos,
+    ) -> PowerApiBuilder {
+        self.degrade = Some((Box::new(backup), max_age));
+        self
+    }
+
     /// Assembles and starts the actor pipeline.
     ///
     /// # Errors
     ///
-    /// [`Error::Middleware`] when no formula was added, or when machine
+    /// [`Error::Middleware`] when no formula was added, when machine
     /// aggregation is combined with multiple formulas (their estimates
-    /// would be double-counted).
-    pub fn build(self) -> Result<PowerApi> {
+    /// would be double-counted), when the PMU slot count is zero, or when
+    /// [`PowerApiBuilder::degrade_to`] is combined with multiple formulas
+    /// (the backup would shadow all of them at once).
+    pub fn build(mut self) -> Result<PowerApi> {
         if self.formulas.is_empty() {
             return Err(Error::Middleware("at least one formula is required".into()));
+        }
+        if self.slots == 0 {
+            return Err(Error::Middleware(
+                "PMU slot count must be at least 1".into(),
+            ));
+        }
+        if self.degrade.is_some() && self.formulas.len() > 1 {
+            return Err(Error::Middleware(
+                "degrade_to supports exactly one primary formula".into(),
+            ));
         }
         let dimension = self.dimension.unwrap_or(if self.formulas.len() == 1 {
             Dimension::both()
@@ -216,27 +311,57 @@ impl PowerApiBuilder {
             .idle_override
             .unwrap_or_else(|| self.formulas[0].idle_w());
 
-        let host = SimHost::new(self.kernel, self.events, self.slots, self.meter);
+        let meter_config = self.meter.with_fault_plan(self.faults.clone());
+        let mut host = SimHost::new(self.kernel, self.events, self.slots, meter_config);
+        if !self.faults.is_empty() {
+            host.set_fault_plan(self.faults.clone());
+        }
 
         // Spawn pipeline stages upstream-first so shutdown drains them.
+        // Sensors and formulas are supervised: their factories rebuild
+        // them after a handler panic, per the configured restart policy.
         let mut system = ActorSystem::new();
         let bus = system.bus().clone();
-        for (name, actor) in [
+        let options = SpawnOptions::default().restart(self.restart);
+        type Factory = Box<dyn FnMut() -> Box<dyn crate::actor::Actor> + Send>;
+        let sensors: [(&str, Factory); 4] = [
+            ("sensor-hpc", Box::new(|| Box::new(HpcSensor::new()))),
+            ("sensor-procfs", Box::new(|| Box::new(ProcfsSensor::new()))),
             (
-                "sensor-hpc",
-                Box::new(HpcSensor::new()) as Box<dyn crate::actor::Actor>,
+                "sensor-powerspy",
+                Box::new(|| Box::new(PowerSpySensor::new())),
             ),
-            ("sensor-procfs", Box::new(ProcfsSensor::new())),
-            ("sensor-powerspy", Box::new(PowerSpySensor::new())),
-            ("sensor-rapl", Box::new(RaplSensor::new())),
-        ] {
-            let r = system.spawn(name, actor);
+            ("sensor-rapl", Box::new(|| Box::new(RaplSensor::new()))),
+        ];
+        for (name, factory) in sensors {
+            let r = system.spawn_supervised(name, factory, options);
             bus.subscribe(Topic::Tick, &r);
         }
-        for (i, formula) in self.formulas.into_iter().enumerate() {
-            let name = format!("formula-{}-{}", i, formula.name());
-            let r = system.spawn(name, Box::new(FormulaActor::new(formula)));
+        if let Some((backup, max_age)) = self.degrade {
+            let primary = self.formulas.pop().expect("checked non-empty above");
+            let name = format!("formula-0-{}", primary.name());
+            let r = system.spawn_supervised(
+                name,
+                move || {
+                    Box::new(FallbackFormula::new(
+                        primary.boxed_clone(),
+                        backup.boxed_clone(),
+                        max_age,
+                    ))
+                },
+                options,
+            );
             bus.subscribe(Topic::Sensor, &r);
+        } else {
+            for (i, formula) in self.formulas.into_iter().enumerate() {
+                let name = format!("formula-{}-{}", i, formula.name());
+                let r = system.spawn_supervised(
+                    name,
+                    move || Box::new(FormulaActor::new(formula.boxed_clone())),
+                    options,
+                );
+                bus.subscribe(Topic::Sensor, &r);
+            }
         }
         let agg = system.spawn("aggregator", Box::new(Aggregator::new(dimension, idle_w)));
         bus.subscribe(Topic::Power, &agg);
@@ -246,6 +371,12 @@ impl PowerApiBuilder {
         // reach the reporters during ordered shutdown.
         for (name, actor, topics) in self.extra {
             let r = system.spawn(name, actor);
+            for t in topics {
+                bus.subscribe(t, &r);
+            }
+        }
+        for (name, factory, topics) in self.extra_supervised {
+            let r = system.spawn_supervised(name, factory, options);
             for t in topics {
                 bus.subscribe(t, &r);
             }
@@ -337,6 +468,16 @@ impl PowerApi {
         self.host.unmonitor(pid);
     }
 
+    /// What the fault plan has done to the meter so far.
+    pub fn meter_fault_stats(&self) -> powermeter::powerspy::MeterFaultStats {
+        self.host.meter_fault_stats()
+    }
+
+    /// What the fault plan has done to the perf session so far.
+    pub fn counter_fault_stats(&self) -> perf_sim::session::CounterFaultStats {
+        self.host.counter_fault_stats()
+    }
+
     /// Advances simulated time by `duration`, publishing a monitoring
     /// tick (and thus a round of estimates) every clock period.
     ///
@@ -363,7 +504,8 @@ impl PowerApi {
     }
 
     /// Stops the pipeline, drains in-flight messages, and returns every
-    /// collected report (empty unless `report_to_memory` was enabled).
+    /// collected report (empty unless `report_to_memory` was enabled)
+    /// together with the pipeline's health summary.
     ///
     /// # Errors
     ///
@@ -373,7 +515,7 @@ impl PowerApi {
             .system
             .take()
             .ok_or_else(|| Error::Middleware("finish called twice".into()))?;
-        system.shutdown();
+        let health = system.shutdown();
         let (reports, meter, rapl) = match &self.memory {
             Some(h) => (h.aggregates(), h.meter(), h.rapl()),
             None => (Vec::new(), Vec::new(), Vec::new()),
@@ -382,6 +524,7 @@ impl PowerApi {
             reports,
             meter,
             rapl,
+            health,
         })
     }
 }
@@ -405,9 +548,26 @@ pub struct RunOutcome {
     pub meter: Vec<(Nanos, Watts)>,
     /// RAPL package-power samples (empty on unsupported machines).
     pub rapl: Vec<(Nanos, Watts)>,
+    /// Pipeline health at shutdown: which actors panicked, how many
+    /// restarts the supervisors performed, how many messages bounded
+    /// mailboxes dropped.
+    pub health: ShutdownSummary,
 }
 
 impl RunOutcome {
+    /// Whether the run finished with no panics, drops, or escalations.
+    pub fn is_healthy(&self) -> bool {
+        self.health.is_clean()
+    }
+
+    /// How many aggregate reports carry less-than-full quality (served by
+    /// a fallback formula or folded from degraded inputs).
+    pub fn degraded_reports(&self) -> usize {
+        self.reports
+            .iter()
+            .filter(|r| r.quality != crate::msg::Quality::Full)
+            .count()
+    }
     /// Machine-scope estimates as `(timestamp, watts)`, time-ordered.
     pub fn machine_estimates(&self) -> Vec<(Nanos, Watts)> {
         let mut v: Vec<(Nanos, Watts)> = self
@@ -566,6 +726,84 @@ mod tests {
         assert!(debug.contains("running: true"));
         let out = papi.finish().unwrap();
         assert!(out.reports.is_empty(), "no memory reporter configured");
+    }
+
+    #[test]
+    fn zero_slots_is_a_build_error_not_a_silent_clamp() {
+        let (kernel, _) = busy_kernel();
+        let err = PowerApi::builder(kernel)
+            .formula(paper_formula())
+            .slots(0)
+            .build();
+        assert!(matches!(err, Err(Error::Middleware(m)) if m.contains("slot")));
+    }
+
+    #[test]
+    fn degrade_to_rejects_multiple_formulas() {
+        let (kernel, _) = busy_kernel();
+        let err = PowerApi::builder(kernel)
+            .formula(paper_formula())
+            .formula(crate::formula::cpuload::CpuLoadFormula::new(31.5, 12.0))
+            .degrade_to(
+                crate::formula::cpuload::CpuLoadFormula::new(31.5, 12.0),
+                Nanos::from_secs(2),
+            )
+            .dimension(Dimension::pid())
+            .build();
+        assert!(matches!(err, Err(Error::Middleware(_))));
+    }
+
+    #[test]
+    fn clean_run_reports_healthy_outcome() {
+        let (kernel, pid) = busy_kernel();
+        let mut papi = PowerApi::builder(kernel)
+            .formula(paper_formula())
+            .report_to_memory()
+            .quantum(Nanos::from_millis(5))
+            .clock_period(Nanos::from_millis(500))
+            .build()
+            .unwrap();
+        papi.monitor(pid).unwrap();
+        papi.run_for(Nanos::from_secs(1)).unwrap();
+        let out = papi.finish().unwrap();
+        assert!(out.is_healthy(), "{:?}", out.health);
+        assert_eq!(out.degraded_reports(), 0);
+    }
+
+    #[test]
+    fn counter_faults_degrade_estimates_via_fallback() {
+        use simcpu::fault::{FaultKind, FaultPlan, FaultWindow};
+        let (kernel, pid) = busy_kernel();
+        // PMU stalls from 2 s onward: the HPC sensor goes quiet and the
+        // watchdog must hand estimation to the cpu-load backup.
+        let plan = FaultPlan::from_windows(vec![FaultWindow {
+            kind: FaultKind::CounterStall,
+            start: Nanos::from_secs(2),
+            end: Nanos::from_secs(60),
+            magnitude: 0.0,
+        }]);
+        let mut papi = PowerApi::builder(kernel)
+            .formula(paper_formula())
+            .degrade_to(
+                crate::formula::cpuload::CpuLoadFormula::new(31.5, 12.0),
+                Nanos::from_millis(1500),
+            )
+            .fault_plan(plan)
+            .report_to_memory()
+            .quantum(Nanos::from_millis(2))
+            .clock_period(Nanos::from_millis(500))
+            .build()
+            .unwrap();
+        papi.monitor(pid).unwrap();
+        papi.run_for(Nanos::from_secs(6)).unwrap();
+        let out = papi.finish().unwrap();
+        let degraded = out.degraded_reports();
+        assert!(degraded > 0, "stall after 2 s must trip the fallback");
+        // Estimation resumes through the stall (modulo the watchdog's
+        // grace window), just at degraded quality: 4 full ticks before
+        // the stall plus the degraded tail.
+        assert!(out.machine_estimates().len() >= 8);
+        assert!(out.is_healthy(), "{:?}", out.health);
     }
 
     #[test]

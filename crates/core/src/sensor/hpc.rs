@@ -33,6 +33,17 @@ impl Actor for HpcSensor {
                 .find(|(p, _)| p == pid)
                 .map(|(_, t)| t.clone())
                 .unwrap_or_default();
+            // A process that burned CPU time but retired zero on every
+            // counter means the PMU stalled (or reset mid-read). Publish
+            // nothing: absence is the signal the downstream staleness
+            // watchdog keys its HPC→cpu-load fallback on, and a zeroed
+            // report would instead be trusted as "this process drew 0 W".
+            if time.busy > simcpu::units::Nanos::ZERO
+                && !counters.is_empty()
+                && counters.iter().all(|(_, v)| *v == 0)
+            {
+                continue;
+            }
             let corun = snap
                 .corun
                 .iter()

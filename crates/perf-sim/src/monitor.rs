@@ -4,10 +4,11 @@
 //! the bookkeeping.
 
 use crate::events::Event;
-use crate::session::{CounterId, PerfSession};
+use crate::session::{CounterFaultStats, CounterId, PerfSession};
 use crate::Result;
 use os_sim::kernel::KernelReport;
 use os_sim::process::Pid;
+use simcpu::fault::FaultPlan;
 use std::collections::BTreeMap;
 
 /// Per-interval counter deltas for one process.
@@ -52,6 +53,17 @@ impl ProcessMonitor {
     /// The monitored event list.
     pub fn events(&self) -> &[Event] {
         &self.events
+    }
+
+    /// Installs a fault plan on the underlying session (counter-side
+    /// kinds only).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.session.set_fault_plan(plan);
+    }
+
+    /// What the installed fault plan has done to the session so far.
+    pub fn fault_stats(&self) -> CounterFaultStats {
+        self.session.fault_stats()
     }
 
     /// Starts monitoring a process.

@@ -8,8 +8,27 @@ use crate::events::Event;
 use crate::{Error, Result};
 use os_sim::kernel::KernelReport;
 use os_sim::process::Pid;
+use simcpu::fault::{FaultKind, FaultPlan};
 use simcpu::units::Nanos;
 use std::collections::BTreeMap;
+
+/// What an installed [`FaultPlan`] has done to a session so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterFaultStats {
+    /// Ticks during which all counters were frozen by a stall window.
+    pub stalled_ticks: u64,
+    /// Spurious whole-session resets fired (one per window entry).
+    pub spurious_resets: u64,
+    /// Ticks observed with a reduced PMU slot budget.
+    pub revoked_slot_ticks: u64,
+}
+
+impl CounterFaultStats {
+    /// Whether any fault actually fired.
+    pub fn any(&self) -> bool {
+        self.stalled_ticks > 0 || self.spurious_resets > 0 || self.revoked_slot_ticks > 0
+    }
+}
 
 /// Handle to an open counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -52,6 +71,9 @@ pub struct PerfSession {
     counters: BTreeMap<CounterId, CounterState>,
     next_id: u64,
     rotation: BTreeMap<Pid, u64>,
+    faults: FaultPlan,
+    fault_stats: CounterFaultStats,
+    in_reset_window: bool,
 }
 
 impl PerfSession {
@@ -69,7 +91,21 @@ impl PerfSession {
             counters: BTreeMap::new(),
             next_id: 1,
             rotation: BTreeMap::new(),
+            faults: FaultPlan::none(),
+            fault_stats: CounterFaultStats::default(),
+            in_reset_window: false,
         }
+    }
+
+    /// Installs a fault plan; only counter-side kinds (stall, spurious
+    /// reset, slot revocation) are kept.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan.filtered(FaultKind::is_counter);
+    }
+
+    /// What the installed fault plan has done to this session so far.
+    pub fn fault_stats(&self) -> CounterFaultStats {
+        self.fault_stats
     }
 
     /// Opens a counter for `event` attached to process `pid`, enabled
@@ -194,6 +230,44 @@ impl PerfSession {
     /// Feeds one kernel tick's attribution records into the session. Call
     /// once per [`os_sim::kernel::Kernel::tick`].
     pub fn observe(&mut self, report: &KernelReport) {
+        let now = report.now;
+
+        // Spurious reset: fires once on entering the window, zeroing every
+        // counter as if PERF_EVENT_IOC_RESET raced the reader.
+        let reset_active = self.faults.is_active(FaultKind::SpuriousReset, now);
+        if reset_active && !self.in_reset_window {
+            let ids: Vec<CounterId> = self.counters.keys().copied().collect();
+            for id in ids {
+                let _ = self.reset(id);
+            }
+            self.fault_stats.spurious_resets += 1;
+        }
+        self.in_reset_window = reset_active;
+
+        // Counter stall: the PMU hangs — values and both clocks freeze,
+        // so readers see flat (zero-delta) counters rather than an error.
+        // Freezing time_enabled too matters: if it kept advancing, the
+        // multiplex scaling `value · enabled/running` would extrapolate
+        // the frozen value upward and the stall would be invisible to
+        // delta-based samplers.
+        let stalled = self.faults.is_active(FaultKind::CounterStall, now);
+        if stalled && !self.counters.is_empty() {
+            self.fault_stats.stalled_ticks += 1;
+        }
+
+        // Slot revocation: another agent (NMI watchdog, a competing perf
+        // user) grabs slots mid-interval, shrinking our budget.
+        let slot_budget = match self.faults.active(FaultKind::SlotRevocation, now) {
+            Some(w) if self.slots > 1 => {
+                let taken = (w.magnitude.max(0.0) as usize).min(self.slots - 1);
+                if taken > 0 && !self.counters.is_empty() {
+                    self.fault_stats.revoked_slot_ticks += 1;
+                }
+                self.slots - taken
+            }
+            _ => self.slots,
+        };
+
         // Aggregate per pid: a multi-threaded process contributes the sum
         // of its threads' deltas but only one slice of wall time.
         let mut per_pid: BTreeMap<Pid, (simcpu::counters::ExecDelta, Nanos)> = BTreeMap::new();
@@ -232,17 +306,17 @@ impl PerfSession {
                     .values()
                     .filter(|c| c.group == g && c.enabled)
                     .count();
-                if used + size <= self.slots {
+                if used + size <= slot_budget {
                     scheduled.push(g);
                     used += size;
                 }
-                if used == self.slots {
+                if used == slot_budget {
                     break;
                 }
             }
 
             for c in self.counters.values_mut() {
-                if c.pid != pid || !c.enabled {
+                if c.pid != pid || !c.enabled || stalled {
                     continue;
                 }
                 c.time_enabled += slice;
@@ -472,6 +546,136 @@ mod tests {
         let v = s.read(id).unwrap();
         assert_eq!(v.raw, 0);
         assert!(v.time_running > Nanos::ZERO);
+    }
+
+    #[test]
+    fn counter_stall_freezes_the_whole_counter() {
+        use simcpu::fault::{FaultPlan, FaultWindow};
+        let (mut k, pid) = busy_kernel();
+        let mut s = PerfSession::new(4);
+        s.set_fault_plan(FaultPlan::from_windows(vec![FaultWindow {
+            kind: FaultKind::CounterStall,
+            start: Nanos::from_millis(5),
+            end: Nanos::from_secs(100),
+            magnitude: 1.0,
+        }]));
+        let id = s
+            .open(pid, Event::Hardware(HwCounter::Instructions))
+            .unwrap();
+        for _ in 0..5 {
+            s.observe(&k.tick(MS));
+        }
+        let before = s.read(id).unwrap();
+        assert!(before.raw > 0);
+        for _ in 0..5 {
+            s.observe(&k.tick(MS));
+        }
+        let after = s.read(id).unwrap();
+        assert_eq!(after.raw, before.raw, "stalled counter is frozen");
+        assert_eq!(after.time_running, before.time_running);
+        assert_eq!(
+            after.time_enabled, before.time_enabled,
+            "clocks freeze too, else scaling would extrapolate the stall away"
+        );
+        assert_eq!(after.scaled, before.scaled, "readers see zero deltas");
+        assert_eq!(
+            s.fault_stats().stalled_ticks,
+            6,
+            "ticks ending in [5 ms, ∞)"
+        );
+    }
+
+    #[test]
+    fn spurious_reset_fires_once_per_window() {
+        use simcpu::fault::{FaultPlan, FaultWindow};
+        let (mut k, pid) = busy_kernel();
+        let mut s = PerfSession::new(4);
+        s.set_fault_plan(FaultPlan::from_windows(vec![FaultWindow {
+            kind: FaultKind::SpuriousReset,
+            start: Nanos::from_millis(5),
+            end: Nanos::from_millis(8),
+            magnitude: 1.0,
+        }]));
+        let id = s
+            .open(pid, Event::Hardware(HwCounter::Instructions))
+            .unwrap();
+        for _ in 0..4 {
+            s.observe(&k.tick(MS));
+        }
+        let before = s.read(id).unwrap().raw;
+        assert!(before > 0);
+        // Tick ending at 5 ms enters the window → counters zeroed first.
+        s.observe(&k.tick(MS));
+        let at_reset = s.read(id).unwrap().raw;
+        assert!(at_reset < before, "reset zeroed the accumulated count");
+        for _ in 0..10 {
+            s.observe(&k.tick(MS));
+        }
+        assert_eq!(s.fault_stats().spurious_resets, 1, "edge, not level");
+        assert!(s.read(id).unwrap().raw > at_reset, "counting resumed");
+    }
+
+    #[test]
+    fn slot_revocation_forces_multiplexing() {
+        use simcpu::fault::{FaultPlan, FaultWindow};
+        let (mut k, pid) = busy_kernel();
+        // 4 slots fit 4 solo counters... until 3 get revoked.
+        let mut s = PerfSession::new(4);
+        s.set_fault_plan(FaultPlan::from_windows(vec![FaultWindow {
+            kind: FaultKind::SlotRevocation,
+            start: Nanos::ZERO,
+            end: Nanos::from_secs(100),
+            magnitude: 3.0,
+        }]));
+        let events = [
+            HwCounter::Instructions,
+            HwCounter::Cycles,
+            HwCounter::CacheReferences,
+            HwCounter::BranchInstructions,
+        ];
+        let ids: Vec<CounterId> = events
+            .iter()
+            .map(|&e| s.open(pid, Event::Hardware(e)).unwrap())
+            .collect();
+        for _ in 0..40 {
+            s.observe(&k.tick(MS));
+        }
+        for &id in &ids {
+            let v = s.read(id).unwrap();
+            assert!(
+                v.time_running < v.time_enabled,
+                "one effective slot → heavy multiplexing"
+            );
+            assert!(v.time_running > Nanos::ZERO);
+        }
+        assert_eq!(s.fault_stats().revoked_slot_ticks, 40);
+    }
+
+    #[test]
+    fn empty_fault_plan_changes_nothing() {
+        let run = |plan: Option<simcpu::fault::FaultPlan>| {
+            let (mut k, pid) = busy_kernel();
+            let mut s = PerfSession::new(2);
+            if let Some(p) = plan {
+                s.set_fault_plan(p);
+            }
+            let ids = s
+                .open_group(
+                    pid,
+                    &[
+                        Event::Hardware(HwCounter::Instructions),
+                        Event::Hardware(HwCounter::Cycles),
+                    ],
+                )
+                .unwrap();
+            for _ in 0..20 {
+                s.observe(&k.tick(MS));
+            }
+            ids.iter()
+                .map(|&id| s.read(id).unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(None), run(Some(simcpu::fault::FaultPlan::none())));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 use crate::{Error, Result};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use simcpu::fault::{FaultKind, FaultPlan};
 use simcpu::units::{Nanos, Watts};
 
 /// Meter configuration.
@@ -14,6 +15,7 @@ pub struct PowerSpyConfig {
     noise_std_w: f64,
     quantization_w: f64,
     seed: u64,
+    faults: FaultPlan,
 }
 
 impl Default for PowerSpyConfig {
@@ -25,6 +27,7 @@ impl Default for PowerSpyConfig {
             noise_std_w: 0.35,
             quantization_w: 0.1,
             seed: 0xB1_7E,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -62,6 +65,38 @@ impl PowerSpyConfig {
         self.seed = seed;
         self
     }
+
+    /// Installs a fault schedule. Only the meter-class windows matter
+    /// here; counter-class windows are ignored. The default (empty) plan
+    /// makes the meter behave exactly like the fault-free build.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> PowerSpyConfig {
+        self.faults = plan.filtered(FaultKind::is_meter);
+        self
+    }
+}
+
+/// Running totals of the faults a meter actually experienced, queryable
+/// via [`PowerSpy::fault_stats`]. A sample is counted in exactly one
+/// bucket (disconnect wins over dropout, dropout over corruption).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MeterFaultStats {
+    /// Samples emitted successfully (possibly noise-bursted).
+    pub emitted: u64,
+    /// Samples silently dropped by a [`FaultKind::SampleDropout`] window.
+    pub dropped: u64,
+    /// Samples lost to frame corruption detected at decode.
+    pub corrupted: u64,
+    /// Sample windows swallowed by a full disconnect.
+    pub disconnected: u64,
+    /// Emitted samples whose noise was amplified by a burst window.
+    pub noise_bursts: u64,
+}
+
+impl MeterFaultStats {
+    /// Total samples lost to any fault.
+    pub fn lost(&self) -> u64 {
+        self.dropped + self.corrupted + self.disconnected
+    }
 }
 
 /// One meter reading.
@@ -79,6 +114,8 @@ pub struct PowerSample {
 pub struct PowerSpy {
     config: PowerSpyConfig,
     rng: StdRng,
+    fault_rng: StdRng,
+    stats: MeterFaultStats,
     window_energy: f64,
     window_elapsed: Nanos,
     last_time: Nanos,
@@ -91,6 +128,10 @@ impl PowerSpy {
         let next = config.sample_period;
         PowerSpy {
             rng: StdRng::seed_from_u64(config.seed),
+            // Separate stream: corruption choices never perturb the noise
+            // sequence, so an empty plan is bit-identical to no plan.
+            fault_rng: StdRng::seed_from_u64(config.seed ^ 0xC0_55_0C_55),
+            stats: MeterFaultStats::default(),
             config,
             window_energy: 0.0,
             window_elapsed: Nanos::ZERO,
@@ -104,9 +145,16 @@ impl PowerSpy {
         &self.config
     }
 
+    /// What the installed fault plan has done to this meter so far.
+    pub fn fault_stats(&self) -> MeterFaultStats {
+        self.stats
+    }
+
     /// Feeds the true power that was drawn from `last observed time` to
     /// `now`. Returns every sample whose window completed in the interval
-    /// (typically zero or one).
+    /// (typically zero or one). Samples falling inside an active fault
+    /// window may be dropped, corrupted in transit, or swallowed by a
+    /// disconnect — see [`PowerSpy::fault_stats`] for the tally.
     pub fn observe(&mut self, truth: Watts, now: Nanos) -> Vec<PowerSample> {
         let mut out = Vec::new();
         if now <= self.last_time {
@@ -120,7 +168,9 @@ impl PowerSpy {
             self.window_elapsed += seg;
             t = seg_end;
             if t == self.next_boundary {
-                out.push(self.emit(t));
+                if let Some(sample) = self.emit(t) {
+                    out.push(sample);
+                }
                 self.next_boundary += self.config.sample_period;
             }
         }
@@ -128,7 +178,16 @@ impl PowerSpy {
         out
     }
 
-    fn emit(&mut self, at: Nanos) -> PowerSample {
+    /// Completes one sample window; `None` when a fault ate the sample.
+    fn emit(&mut self, at: Nanos) -> Option<PowerSample> {
+        if self.config.faults.is_active(FaultKind::Disconnect, at) {
+            // Disconnected: the device integrates nothing; reconnecting
+            // restarts the window from scratch.
+            self.window_energy = 0.0;
+            self.window_elapsed = Nanos::ZERO;
+            self.stats.disconnected += 1;
+            return None;
+        }
         let avg = if self.window_elapsed == Nanos::ZERO {
             0.0
         } else {
@@ -136,11 +195,19 @@ impl PowerSpy {
         };
         self.window_energy = 0.0;
         self.window_elapsed = Nanos::ZERO;
+        let noise_mult = self
+            .config
+            .faults
+            .active(FaultKind::NoiseBurst, at)
+            .map_or(1.0, |w| w.magnitude.max(1.0));
         // Box-Muller Gaussian from two uniforms (keeps us off rand_distr).
         let noise = if self.config.noise_std_w > 0.0 {
             let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
             let u2: f64 = self.rng.gen_range(0.0..1.0);
-            (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos() * self.config.noise_std_w
+            (-2.0 * u1.ln()).sqrt()
+                * (std::f64::consts::TAU * u2).cos()
+                * self.config.noise_std_w
+                * noise_mult
         } else {
             0.0
         };
@@ -148,11 +215,49 @@ impl PowerSpy {
         if self.config.quantization_w > 0.0 {
             w = (w / self.config.quantization_w).round() * self.config.quantization_w;
         }
-        PowerSample {
+        let sample = PowerSample {
             at,
             power: Watts(w),
+        };
+        if self.config.faults.is_active(FaultKind::SampleDropout, at) {
+            self.stats.dropped += 1;
+            return None;
         }
+        if self.config.faults.is_active(FaultKind::FrameCorruption, at) {
+            // The sample rides the serial frame; corrupt it in transit
+            // and keep it only if the checksum somehow survives.
+            let frame = corrupt_frame(&encode_frame(&sample), &mut self.fault_rng);
+            match decode_frame(&frame) {
+                Ok(s) => {
+                    self.stats.emitted += 1;
+                    return Some(s);
+                }
+                Err(_) => {
+                    self.stats.corrupted += 1;
+                    return None;
+                }
+            }
+        }
+        if noise_mult > 1.0 {
+            self.stats.noise_bursts += 1;
+        }
+        self.stats.emitted += 1;
+        Some(sample)
     }
+}
+
+/// Flips one byte of a frame with a random nonzero mask — the transport
+/// corruption a [`FaultKind::FrameCorruption`] window injects.
+fn corrupt_frame(frame: &str, rng: &mut StdRng) -> String {
+    let mut bytes = frame.as_bytes().to_vec();
+    if bytes.is_empty() {
+        return String::new();
+    }
+    let i = rng.gen_range(0..bytes.len());
+    let mask = rng.gen_range(1u8..=255);
+    bytes[i] ^= mask;
+    // Non-UTF-8 garbage is as undecodable as a bad checksum.
+    String::from_utf8(bytes).unwrap_or_default()
 }
 
 /// Encodes a sample as the device's ASCII line frame:
@@ -301,6 +406,155 @@ mod tests {
         for bad in ["", "PWR 1", "PWR a b *00", "PWR 1 2 3 *??", "X 1 2 *33"] {
             assert!(decode_frame(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical() {
+        let run = |plan: FaultPlan| {
+            let mut m = PowerSpy::new(PowerSpyConfig::default().with_seed(7).with_fault_plan(plan));
+            let mut v = Vec::new();
+            for i in 1..=5000 {
+                v.extend(m.observe(Watts(25.0), Nanos::from_millis(i)));
+            }
+            v.iter()
+                .map(|s| s.power.as_f64().to_bits())
+                .collect::<Vec<_>>()
+        };
+        let baseline = {
+            let mut m = PowerSpy::new(PowerSpyConfig::default().with_seed(7));
+            let mut v = Vec::new();
+            for i in 1..=5000 {
+                v.extend(m.observe(Watts(25.0), Nanos::from_millis(i)));
+            }
+            v.iter()
+                .map(|s| s.power.as_f64().to_bits())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(FaultPlan::none()), baseline);
+    }
+
+    #[test]
+    fn dropout_window_loses_samples_and_counts() {
+        use simcpu::fault::FaultWindow;
+        let plan = FaultPlan::from_windows(vec![FaultWindow {
+            kind: FaultKind::SampleDropout,
+            start: Nanos::from_secs(2),
+            end: Nanos::from_secs(4),
+            magnitude: 1.0,
+        }]);
+        let mut m = PowerSpy::new(PowerSpyConfig::default().with_seed(7).with_fault_plan(plan));
+        let mut v = Vec::new();
+        for i in 1..=6000 {
+            v.extend(m.observe(Watts(25.0), Nanos::from_millis(i)));
+        }
+        // Boundaries at 1..=6 s; 2 s and 3 s fall inside [2 s, 4 s).
+        assert_eq!(v.len(), 4);
+        let stats = m.fault_stats();
+        assert_eq!(stats.dropped, 2);
+        assert_eq!(stats.emitted, 4);
+        assert_eq!(stats.lost(), 2);
+    }
+
+    #[test]
+    fn disconnect_resets_window_integration() {
+        use simcpu::fault::FaultWindow;
+        let plan = FaultPlan::from_windows(vec![FaultWindow {
+            kind: FaultKind::Disconnect,
+            start: Nanos::from_millis(500),
+            end: Nanos::from_millis(1500),
+            magnitude: 1.0,
+        }]);
+        let mut m = PowerSpy::new(
+            PowerSpyConfig::default()
+                .with_noise_std_w(0.0)
+                .with_quantization_w(0.0)
+                .with_fault_plan(plan),
+        );
+        // 1 s boundary is inside the disconnect → swallowed, window reset.
+        assert!(m.observe(Watts(20.0), Nanos::from_secs(1)).is_empty());
+        // 2 s boundary integrates only the post-reset second at 40 W.
+        let s = m.observe(Watts(40.0), Nanos::from_secs(2));
+        assert_eq!(s.len(), 1);
+        assert!((s[0].power.as_f64() - 40.0).abs() < 1e-9);
+        assert_eq!(m.fault_stats().disconnected, 1);
+    }
+
+    #[test]
+    fn corruption_window_never_yields_wrong_sample() {
+        use simcpu::fault::FaultWindow;
+        let plan = FaultPlan::from_windows(vec![FaultWindow {
+            kind: FaultKind::FrameCorruption,
+            start: Nanos::ZERO,
+            end: Nanos::from_secs(100),
+            magnitude: 1.0,
+        }]);
+        let mut m = PowerSpy::new(
+            PowerSpyConfig::default()
+                .with_seed(11)
+                .with_noise_std_w(0.0)
+                .with_quantization_w(0.0)
+                .with_fault_plan(plan),
+        );
+        let mut got = Vec::new();
+        for i in 1..=60 {
+            got.extend(m.observe(Watts(33.0), Nanos::from_secs(i)));
+        }
+        let stats = m.fault_stats();
+        assert_eq!(stats.corrupted + stats.emitted, 60);
+        assert!(
+            stats.corrupted > 0,
+            "single-byte flips should break checksums"
+        );
+        // Any frame that survived decoded to the true value, never garbage.
+        for s in &got {
+            assert!((s.power.as_f64() - 33.0).abs() < 1e-9, "{:?}", s);
+        }
+    }
+
+    #[test]
+    fn noise_burst_inflates_variance() {
+        use simcpu::fault::FaultWindow;
+        let run = |plan: FaultPlan| {
+            let mut m = PowerSpy::new(
+                PowerSpyConfig::default()
+                    .with_seed(3)
+                    .with_quantization_w(0.0)
+                    .with_fault_plan(plan),
+            );
+            let mut v = Vec::new();
+            for i in 1..=200 {
+                v.extend(m.observe(Watts(30.0), Nanos::from_secs(i)));
+            }
+            let var = v
+                .iter()
+                .map(|s| (s.power.as_f64() - 30.0).powi(2))
+                .sum::<f64>()
+                / v.len() as f64;
+            (var, m.fault_stats().noise_bursts)
+        };
+        let (clean_var, _) = run(FaultPlan::none());
+        let (burst_var, bursts) = run(FaultPlan::from_windows(vec![FaultWindow {
+            kind: FaultKind::NoiseBurst,
+            start: Nanos::ZERO,
+            end: Nanos::from_secs(1000),
+            magnitude: 8.0,
+        }]));
+        assert_eq!(bursts, 200);
+        assert!(
+            burst_var > clean_var * 4.0,
+            "burst {burst_var} vs clean {clean_var}"
+        );
+    }
+
+    #[test]
+    fn non_meter_faults_filtered_out() {
+        let plan = FaultPlan::generate(
+            9,
+            Nanos::from_secs(100),
+            &simcpu::fault::FaultPlanConfig::default(),
+        );
+        let cfg = PowerSpyConfig::default().with_fault_plan(plan);
+        assert!(cfg.faults.kinds().iter().all(|k| k.is_meter()));
     }
 
     #[test]

@@ -84,6 +84,45 @@ proptest! {
     }
 
     #[test]
+    fn corrupted_byte_errors_or_decodes_the_original(
+        millis in 0u64..10_000_000,
+        milliwatts in 0u64..500_000,
+        pos in 0usize..40,
+        mask in 1u8..=255,
+    ) {
+        // Any single corrupted byte must be rejected by the checksum —
+        // or, when the corruption is value-preserving (e.g. a hex-digit
+        // case flip in the checksum field), decode to the exact original
+        // sample. Never a panic, never a silently different sample.
+        let s = PowerSample {
+            at: Nanos::from_millis(millis),
+            power: Watts(milliwatts as f64 / 1000.0),
+        };
+        let frame = encode_frame(&s);
+        let mut bytes = frame.clone().into_bytes();
+        let i = pos % bytes.len();
+        bytes[i] ^= mask;
+        if let Ok(text) = String::from_utf8(bytes) {
+            if let Ok(d) = decode_frame(&text) {
+                prop_assert_eq!(d.at, s.at, "corrupt frame {} decoded", text);
+                prop_assert!(
+                    (d.power.as_f64() - s.power.as_f64()).abs() < 1e-9,
+                    "corrupt frame {} yielded wrong power", text
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(
+        bytes in prop::collection::vec(0u8..=255, 0..60),
+    ) {
+        // Arbitrary input: errors are fine, panics are not.
+        let garbage = String::from_utf8_lossy(&bytes);
+        let _ = decode_frame(&garbage);
+    }
+
+    #[test]
     fn rapl_counter_conserves_energy(
         powers in prop::collection::vec(0.0f64..120.0, 1..40),
     ) {

@@ -1,0 +1,332 @@
+//! Deterministic fault injection: a seeded schedule of fault windows the
+//! measurement substrates consume. Real counter-based power monitors face
+//! meter disconnects, sampling gaps and counter glitches; this module
+//! makes every such failure mode reproducible from a `u64` seed, like the
+//! rest of the simulation.
+//!
+//! A [`FaultPlan`] is a sorted list of [`FaultWindow`]s. Producers of
+//! faults ([`FaultPlan::generate`]) and consumers (`powermeter::powerspy`,
+//! `perf-sim`'s session) never share RNG state: a window is active purely
+//! as a function of simulated time, so two components replaying the same
+//! plan observe the same faults regardless of call order or thread count.
+
+use crate::units::Nanos;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One injectable failure mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// Meter: completed samples inside the window are silently dropped.
+    SampleDropout,
+    /// Meter: emitted frames are corrupted in transit (fail checksum).
+    FrameCorruption,
+    /// Meter: noise standard deviation is multiplied by `magnitude`.
+    NoiseBurst,
+    /// Meter: full disconnect — nothing is emitted and the integration
+    /// window restarts from scratch on reconnect.
+    Disconnect,
+    /// Counters: affected counters stop accumulating (PMU stall); their
+    /// `time_running` freezes while `time_enabled` keeps advancing, so
+    /// multiplex scaling partially compensates.
+    CounterStall,
+    /// Counters: values spuriously reset to zero at window entry, as if
+    /// `PERF_EVENT_IOC_RESET` fired behind the session's back.
+    SpuriousReset,
+    /// Counters: PMU slots are revoked mid-interval (e.g. claimed by a
+    /// watchdog); effective slot budget drops by `magnitude` slots.
+    SlotRevocation,
+    /// Middleware: a supervised actor is told to panic once inside the
+    /// window (exercises restart policies end to end).
+    ActorPanic,
+}
+
+impl FaultKind {
+    /// Every kind, in declaration order.
+    pub const ALL: [FaultKind; 8] = [
+        FaultKind::SampleDropout,
+        FaultKind::FrameCorruption,
+        FaultKind::NoiseBurst,
+        FaultKind::Disconnect,
+        FaultKind::CounterStall,
+        FaultKind::SpuriousReset,
+        FaultKind::SlotRevocation,
+        FaultKind::ActorPanic,
+    ];
+
+    /// Whether the kind targets the power meter.
+    pub fn is_meter(self) -> bool {
+        matches!(
+            self,
+            FaultKind::SampleDropout
+                | FaultKind::FrameCorruption
+                | FaultKind::NoiseBurst
+                | FaultKind::Disconnect
+        )
+    }
+
+    /// Whether the kind targets the perf counters.
+    pub fn is_counter(self) -> bool {
+        matches!(
+            self,
+            FaultKind::CounterStall | FaultKind::SpuriousReset | FaultKind::SlotRevocation
+        )
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            FaultKind::SampleDropout => "sample-dropout",
+            FaultKind::FrameCorruption => "frame-corruption",
+            FaultKind::NoiseBurst => "noise-burst",
+            FaultKind::Disconnect => "disconnect",
+            FaultKind::CounterStall => "counter-stall",
+            FaultKind::SpuriousReset => "spurious-reset",
+            FaultKind::SlotRevocation => "slot-revocation",
+            FaultKind::ActorPanic => "actor-panic",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One scheduled fault: `kind` is active for `start <= t < end`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultWindow {
+    /// The failure mode.
+    pub kind: FaultKind,
+    /// Window start (inclusive).
+    pub start: Nanos,
+    /// Window end (exclusive).
+    pub end: Nanos,
+    /// Kind-specific intensity: noise multiplier for [`FaultKind::NoiseBurst`],
+    /// slots revoked for [`FaultKind::SlotRevocation`], unused otherwise.
+    pub magnitude: f64,
+}
+
+impl FaultWindow {
+    /// Whether the window covers instant `t`.
+    pub fn covers(&self, t: Nanos) -> bool {
+        self.start <= t && t < self.end
+    }
+}
+
+/// Tunes [`FaultPlan::generate`]: mean windows per fault kind and the
+/// window-length band. Everything is derived deterministically from the
+/// seed passed to `generate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlanConfig {
+    /// Fault kinds to schedule (defaults to every kind except
+    /// [`FaultKind::ActorPanic`], which only middleware harnesses opt into).
+    pub kinds: Vec<FaultKind>,
+    /// Windows scheduled per kind.
+    pub windows_per_kind: usize,
+    /// Shortest window.
+    pub min_window: Nanos,
+    /// Longest window.
+    pub max_window: Nanos,
+}
+
+impl Default for FaultPlanConfig {
+    fn default() -> FaultPlanConfig {
+        FaultPlanConfig {
+            kinds: vec![
+                FaultKind::SampleDropout,
+                FaultKind::FrameCorruption,
+                FaultKind::NoiseBurst,
+                FaultKind::Disconnect,
+                FaultKind::CounterStall,
+                FaultKind::SpuriousReset,
+                FaultKind::SlotRevocation,
+            ],
+            windows_per_kind: 2,
+            min_window: Nanos::from_secs(2),
+            max_window: Nanos::from_secs(10),
+        }
+    }
+}
+
+/// A deterministic schedule of fault windows over a run.
+///
+/// The empty plan ([`FaultPlan::none`]) is the default everywhere and
+/// injects nothing, so fault-aware components behave bit-identically to
+/// their pre-fault versions unless a plan is explicitly supplied.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    windows: Vec<FaultWindow>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, zero overhead.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Builds a plan from explicit windows (sorted by start time).
+    pub fn from_windows(mut windows: Vec<FaultWindow>) -> FaultPlan {
+        windows.sort_by_key(|w| (w.start, w.kind));
+        FaultPlan { windows }
+    }
+
+    /// Generates a reproducible schedule: `cfg.windows_per_kind` windows
+    /// of each kind in `cfg.kinds`, placed uniformly over `[0, duration)`
+    /// with lengths in `[cfg.min_window, cfg.max_window]`. The same
+    /// `(seed, duration, cfg)` triple always yields the same plan.
+    pub fn generate(seed: u64, duration: Nanos, cfg: &FaultPlanConfig) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x00FA_017F_A017);
+        let mut windows = Vec::with_capacity(cfg.kinds.len() * cfg.windows_per_kind);
+        let span = duration.as_u64().max(1);
+        let min_len = cfg.min_window.as_u64().max(1);
+        let max_len = cfg.max_window.as_u64().max(min_len);
+        for &kind in &cfg.kinds {
+            for _ in 0..cfg.windows_per_kind {
+                let len = if max_len > min_len {
+                    rng.gen_range(min_len..=max_len)
+                } else {
+                    min_len
+                };
+                let start = rng.gen_range(0..span.saturating_sub(len).max(1));
+                let magnitude = match kind {
+                    FaultKind::NoiseBurst => 4.0 + rng.gen_range(0.0..8.0),
+                    FaultKind::SlotRevocation => 1.0 + rng.gen_range(0u64..2) as f64,
+                    _ => 0.0,
+                };
+                windows.push(FaultWindow {
+                    kind,
+                    start: Nanos(start),
+                    end: Nanos(start + len),
+                    magnitude,
+                });
+            }
+        }
+        FaultPlan::from_windows(windows)
+    }
+
+    /// All windows, sorted by start time.
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The first active window of `kind` at instant `t`, if any.
+    pub fn active(&self, kind: FaultKind, t: Nanos) -> Option<&FaultWindow> {
+        self.windows.iter().find(|w| w.kind == kind && w.covers(t))
+    }
+
+    /// Whether any window of `kind` covers `t`.
+    pub fn is_active(&self, kind: FaultKind, t: Nanos) -> bool {
+        self.active(kind, t).is_some()
+    }
+
+    /// Number of windows scheduled for `kind`.
+    pub fn count(&self, kind: FaultKind) -> usize {
+        self.windows.iter().filter(|w| w.kind == kind).count()
+    }
+
+    /// Distinct kinds present in the plan.
+    pub fn kinds(&self) -> Vec<FaultKind> {
+        let mut kinds: Vec<FaultKind> = self.windows.iter().map(|w| w.kind).collect();
+        kinds.sort();
+        kinds.dedup();
+        kinds
+    }
+
+    /// Restricts the plan to windows satisfying `keep` (e.g. meter-only).
+    pub fn filtered(&self, keep: impl Fn(FaultKind) -> bool) -> FaultPlan {
+        FaultPlan {
+            windows: self
+                .windows
+                .iter()
+                .copied()
+                .filter(|w| keep(w.kind))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic_per_seed() {
+        let cfg = FaultPlanConfig::default();
+        let a = FaultPlan::generate(7, Nanos::from_secs(100), &cfg);
+        let b = FaultPlan::generate(7, Nanos::from_secs(100), &cfg);
+        assert_eq!(a, b);
+        let c = FaultPlan::generate(8, Nanos::from_secs(100), &cfg);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generate_schedules_every_requested_kind() {
+        let cfg = FaultPlanConfig::default();
+        let plan = FaultPlan::generate(1, Nanos::from_secs(200), &cfg);
+        assert_eq!(plan.windows().len(), cfg.kinds.len() * cfg.windows_per_kind);
+        for &kind in &cfg.kinds {
+            assert_eq!(plan.count(kind), cfg.windows_per_kind, "{kind}");
+        }
+        assert!(!plan.kinds().contains(&FaultKind::ActorPanic));
+    }
+
+    #[test]
+    fn windows_sorted_and_within_duration() {
+        let plan = FaultPlan::generate(3, Nanos::from_secs(60), &FaultPlanConfig::default());
+        let starts: Vec<u64> = plan.windows().iter().map(|w| w.start.as_u64()).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted);
+        for w in plan.windows() {
+            assert!(w.start < w.end);
+            assert!(w.start < Nanos::from_secs(60));
+        }
+    }
+
+    #[test]
+    fn active_respects_half_open_window() {
+        let plan = FaultPlan::from_windows(vec![FaultWindow {
+            kind: FaultKind::Disconnect,
+            start: Nanos(10),
+            end: Nanos(20),
+            magnitude: 0.0,
+        }]);
+        assert!(!plan.is_active(FaultKind::Disconnect, Nanos(9)));
+        assert!(plan.is_active(FaultKind::Disconnect, Nanos(10)));
+        assert!(plan.is_active(FaultKind::Disconnect, Nanos(19)));
+        assert!(!plan.is_active(FaultKind::Disconnect, Nanos(20)));
+        assert!(!plan.is_active(FaultKind::SampleDropout, Nanos(15)));
+    }
+
+    #[test]
+    fn none_is_empty_and_inert() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        assert!(plan.kinds().is_empty());
+        assert!(plan.active(FaultKind::CounterStall, Nanos(0)).is_none());
+    }
+
+    #[test]
+    fn filtered_splits_meter_from_counter_faults() {
+        let plan = FaultPlan::generate(9, Nanos::from_secs(100), &FaultPlanConfig::default());
+        let meter = plan.filtered(FaultKind::is_meter);
+        let counter = plan.filtered(FaultKind::is_counter);
+        assert!(meter.windows().iter().all(|w| w.kind.is_meter()));
+        assert!(counter.windows().iter().all(|w| w.kind.is_counter()));
+        assert_eq!(
+            meter.windows().len() + counter.windows().len(),
+            plan.windows().len()
+        );
+    }
+
+    #[test]
+    fn kind_classes_partition_hardware_kinds() {
+        for kind in FaultKind::ALL {
+            assert!(!(kind.is_meter() && kind.is_counter()), "{kind}");
+            assert!(!kind.to_string().is_empty());
+        }
+    }
+}

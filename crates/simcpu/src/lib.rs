@@ -43,6 +43,7 @@ pub mod cache;
 pub mod counters;
 pub mod cstate;
 pub mod exec;
+pub mod fault;
 pub mod freq;
 pub mod machine;
 pub mod power;
