@@ -31,6 +31,7 @@ impl Actor for Relay {
                     scope: powerapi::msg::Scope::Process(p.pid),
                     power: p.power,
                     quality: p.quality,
+                    trace: p.trace,
                 }));
         }
     }
@@ -43,6 +44,7 @@ fn power_msg() -> Message {
         power: Watts(4.2),
         formula: "bench",
         quality: powerapi::msg::Quality::Full,
+        trace: powerapi::telemetry::TraceId::NONE,
     })
 }
 

@@ -3,9 +3,9 @@
 //! whole evaluation runs on. Every row is checked against the published
 //! value; the comparison machines' sheets are printed for context.
 //!
-//! Run: `cargo run --release -p bench-suite --bin e1_table1`
+//! Run: `cargo run --release -p bench-suite --bin e1_table1 [--check|--bless]`
 
-use bench_suite::section;
+use bench_suite::{section, Golden};
 use simcpu::presets::{self, Spec};
 use simcpu::units::MegaHertz;
 
@@ -56,6 +56,12 @@ fn main() {
         println!("--- {} {} {} ---", cfg.vendor, cfg.family, cfg.model);
         print!("{}", Spec::of(&cfg));
     }
+
+    let mut golden = Golden::new("e1_table1");
+    golden.push_exact("rows_checked", paper.len() as f64);
+    golden.push_exact("rows_matched", f64::from(ok));
+    golden.push_exact("frequency_mhz", f64::from(spec.frequency.0));
+    golden.settle();
 
     if !ok {
         std::process::exit(1);

@@ -12,7 +12,7 @@
 //!
 //! Run: `cargo run --release -p bench-suite --bin e2_model`
 
-use bench_suite::{row, section};
+use bench_suite::{row, section, Golden};
 use powerapi::model::learn::{fit_from_samples, measure_idle_power, LearnConfig};
 use powerapi::model::sampling::collect;
 use simcpu::presets;
@@ -139,6 +139,19 @@ fn main() {
         "E2 verdict: {}",
         if ok { "SHAPE REPRODUCED" } else { "MISMATCH" }
     );
+
+    // Golden set: the learned model only (the sweep's wall-clock
+    // milliseconds are machine-dependent and never belong here).
+    let mut golden = Golden::new("e2_model");
+    golden.push("idle_w", model.idle_w());
+    golden.push("coef_instructions_j", i);
+    golden.push("coef_cache_references_j", r);
+    golden.push("coef_cache_misses_j", m);
+    golden.push("coef_instructions_min_freq_j", lo);
+    golden.push("coef_instructions_max_freq_j", hi);
+    golden.push_exact("frequencies", freqs.len() as f64);
+    golden.settle();
+
     if !ok {
         std::process::exit(1);
     }

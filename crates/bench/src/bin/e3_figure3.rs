@@ -10,7 +10,7 @@
 //! Run: `cargo run --release -p bench-suite --bin e3_figure3`
 //! Data: `target/e3_figure3.dat` (columns: time_s meter_w estimate_w)
 
-use bench_suite::{row, score_outcome, section, Evaluation};
+use bench_suite::{row, score_outcome, section, Evaluation, Golden};
 use powerapi::formula::per_freq::PerFrequencyFormula;
 use powerapi::model::learn::{learn_model, LearnConfig};
 use simcpu::presets;
@@ -100,6 +100,16 @@ fn main() {
         report.median_ape,
         trend
     );
+    let mut golden = Golden::new("e3_figure3");
+    golden.push_exact("aligned_samples", actual.len() as f64);
+    golden.push("median_ape_pct", report.median_ape);
+    golden.push("mape_pct", report.mape);
+    golden.push("r_squared", report.r_squared);
+    golden.push("trend_pearson", trend);
+    golden.push("mean_meter_w", mean_meter);
+    golden.push("mean_estimate_w", mean_est);
+    golden.settle();
+
     if !ok {
         std::process::exit(1);
     }

@@ -13,7 +13,7 @@
 //!
 //! Run: `cargo run --release -p bench-suite --bin e4_comparison`
 
-use bench_suite::{row, section, Evaluation};
+use bench_suite::{row, section, Evaluation, Golden};
 use os_sim::task::SteadyTask;
 use powerapi::formula::bertran::{bertran_events, BertranFormula};
 use powerapi::formula::happy::HappyFormula;
@@ -190,6 +190,15 @@ fn main() {
         "E4 verdict: {} (simple-arch {bertran_avg:.1}% < HT-aware {happy_avg:.1}% < generic {generic_med:.1}%; aware beats oblivious on SMT: {happy_smt_avg:.1}% < {obl_smt_avg:.1}%)",
         if ok { "SHAPE REPRODUCED" } else { "MISMATCH" }
     );
+    let mut golden = Golden::new("e4_comparison");
+    golden.push("bertran_avg_mape_pct", bertran_avg);
+    golden.push("happy_avg_mape_pct", happy_avg);
+    golden.push("oblivious_avg_mape_pct", obl_avg);
+    golden.push("happy_smt_avg_mape_pct", happy_smt_avg);
+    golden.push("oblivious_smt_avg_mape_pct", obl_smt_avg);
+    golden.push("generic_median_ape_pct", generic_med);
+    golden.settle();
+
     if !ok {
         std::process::exit(1);
     }

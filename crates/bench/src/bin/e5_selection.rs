@@ -13,7 +13,7 @@
 //!
 //! Run: `cargo run --release -p bench-suite --bin e5_selection`
 
-use bench_suite::{row, section, Evaluation};
+use bench_suite::{row, section, Evaluation, Golden};
 use os_sim::task::SteadyTask;
 use perf_sim::pfm::Pfm;
 use powerapi::formula::per_freq::PerFrequencyFormula;
@@ -147,6 +147,19 @@ fn main() {
         "E5 verdict: {} (automatic selection matches or beats the fixed triple, as §5 anticipates)",
         if ok { "SHAPE REPRODUCED" } else { "MISMATCH" }
     );
+    let mut golden = Golden::new("e5_selection");
+    golden.push_exact("counters_ranked", ranking.len() as f64);
+    golden.push("top_rho_abs", ranking[0].1.abs());
+    for (label, jbb_med, spec_avg) in &results {
+        let key: String = label
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        golden.push(format!("{key}_jbb_median_ape_pct"), *jbb_med);
+        golden.push(format!("{key}_spec_avg_mape_pct"), *spec_avg);
+    }
+    golden.settle();
+
     if !ok {
         std::process::exit(1);
     }

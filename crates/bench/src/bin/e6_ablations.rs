@@ -10,7 +10,7 @@
 //!
 //! Run: `cargo run --release -p bench-suite --bin e6_ablations`
 
-use bench_suite::{row, section, Evaluation};
+use bench_suite::{row, section, Evaluation, Golden};
 use powerapi::formula::per_freq::PerFrequencyFormula;
 use powerapi::model::learn::{fit_from_samples, learn_model, measure_idle_power, LearnConfig};
 use powerapi::model::power_model::PerFrequencyPowerModel;
@@ -182,6 +182,17 @@ fn main() {
             "MISMATCH"
         }
     );
+    let mut golden = Golden::new("e6_ablations");
+    golden.push("per_freq_median_ape_pct", pf_err);
+    golden.push("global_median_ape_pct", g_err);
+    golden.push("smt_aware_corun_mape_pct", aware_corun);
+    golden.push("solo_only_corun_mape_pct", solo_corun);
+    golden.push("solo_only_jbb_median_ape_pct", solo_jbb);
+    golden.push("mux_deviation_1slot_pct", devs[0]);
+    golden.push("mux_deviation_2slot_pct", devs[1]);
+    golden.push("mux_deviation_3slot_pct", devs[2]);
+    golden.settle();
+
     if !ok {
         std::process::exit(1);
     }

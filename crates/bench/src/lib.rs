@@ -3,6 +3,10 @@
 //! the paper's numbers next to the reproduction's so the comparison is
 //! one `cargo run` away.
 
+pub mod golden;
+
+pub use golden::Golden;
+
 use mathkit::metrics::ErrorReport;
 use os_sim::kernel::Kernel;
 use os_sim::task::TaskBehavior;

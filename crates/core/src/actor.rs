@@ -19,12 +19,13 @@
 
 use crate::bus::EventBus;
 use crate::msg::Message;
+use crate::telemetry::{Counter, Gauge, Histogram, Stage, Telemetry};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A unit of concurrent, event-driven message processing.
 pub trait Actor: Send {
@@ -41,6 +42,7 @@ pub trait Actor: Send {
 pub struct Context {
     bus: EventBus,
     name: Arc<str>,
+    telemetry: Telemetry,
 }
 
 impl Context {
@@ -52,6 +54,12 @@ impl Context {
     /// This actor's name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The system's observability hub (a disabled no-op hub unless the
+    /// system was built with [`ActorSystem::with_telemetry`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 }
 
@@ -100,6 +108,9 @@ pub struct SpawnOptions {
     pub overflow: OverflowPolicy,
     /// Applied when `handle` panics.
     pub restart: RestartPolicy,
+    /// Pipeline stage for telemetry attribution (default
+    /// [`Stage::Other`]).
+    pub stage: Stage,
 }
 
 impl SpawnOptions {
@@ -123,11 +134,27 @@ impl SpawnOptions {
         self.restart = policy;
         self
     }
+
+    /// Sets the telemetry stage.
+    #[must_use]
+    pub fn stage(mut self, stage: Stage) -> SpawnOptions {
+        self.stage = stage;
+        self
+    }
 }
 
 enum Envelope {
-    Message(Message),
+    /// A message plus its enqueue instant (present only when the system
+    /// is instrumented, so the uninstrumented hot path never reads the
+    /// clock).
+    Message(Message, Option<Instant>),
     Stop,
+}
+
+/// Live mailbox gauges, mirrored into the metrics registry.
+struct MailboxMetrics {
+    depth: Gauge,
+    dropped: Counter,
 }
 
 /// A bounded MPSC mailbox on std primitives (the vendored channel stub is
@@ -140,6 +167,9 @@ struct Mailbox {
     capacity: Option<usize>,
     policy: OverflowPolicy,
     dropped: AtomicU64,
+    /// Registry mirrors (depth gauge, drop counter); `None` keeps the
+    /// uninstrumented hot path free of clock reads and gauge updates.
+    metrics: Option<MailboxMetrics>,
 }
 
 struct MailboxInner {
@@ -148,7 +178,11 @@ struct MailboxInner {
 }
 
 impl Mailbox {
-    fn new(capacity: Option<usize>, policy: OverflowPolicy) -> Mailbox {
+    fn new(
+        capacity: Option<usize>,
+        policy: OverflowPolicy,
+        metrics: Option<MailboxMetrics>,
+    ) -> Mailbox {
         Mailbox {
             inner: Mutex::new(MailboxInner {
                 queue: VecDeque::new(),
@@ -159,6 +193,14 @@ impl Mailbox {
             capacity,
             policy,
             dropped: AtomicU64::new(0),
+            metrics,
+        }
+    }
+
+    fn note_drop(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.dropped.inc();
         }
     }
 
@@ -166,6 +208,7 @@ impl Mailbox {
     /// `DropOldest`/`DropNewest` a full queue still returns `true` — the
     /// actor is alive, the loss is recorded in the drop counter.
     fn send(&self, msg: Message) -> bool {
+        let enqueued = self.metrics.as_ref().map(|_| Instant::now());
         let mut inner = self.inner.lock().expect("mailbox lock");
         if inner.closed {
             return false;
@@ -187,24 +230,30 @@ impl Mailbox {
                         match inner.queue.pop_front() {
                             Some(Envelope::Stop) => {
                                 inner.queue.push_front(Envelope::Stop);
-                                self.dropped.fetch_add(1, Ordering::Relaxed);
+                                self.note_drop();
                                 return true;
                             }
-                            Some(Envelope::Message(_)) => {
-                                self.dropped.fetch_add(1, Ordering::Relaxed);
+                            Some(Envelope::Message(..)) => {
+                                self.note_drop();
+                                if let Some(m) = &self.metrics {
+                                    m.depth.dec();
+                                }
                             }
                             None => {}
                         }
                     }
                     OverflowPolicy::DropNewest => {
-                        self.dropped.fetch_add(1, Ordering::Relaxed);
+                        self.note_drop();
                         return true;
                     }
                 }
             }
         }
-        inner.queue.push_back(Envelope::Message(msg));
+        inner.queue.push_back(Envelope::Message(msg, enqueued));
         drop(inner);
+        if let Some(m) = &self.metrics {
+            m.depth.inc();
+        }
         self.not_empty.notify_one();
         true
     }
@@ -226,6 +275,9 @@ impl Mailbox {
         loop {
             if let Some(env) = inner.queue.pop_front() {
                 drop(inner);
+                if let (Some(m), Envelope::Message(..)) = (&self.metrics, &env) {
+                    m.depth.dec();
+                }
                 self.not_full.notify_one();
                 return Some(env);
             }
@@ -347,16 +399,32 @@ pub struct ActorSystem {
     bus: EventBus,
     actors: Vec<ActorEntry>,
     escalated: Arc<AtomicU64>,
+    telemetry: Telemetry,
 }
 
 impl ActorSystem {
-    /// Creates an empty system with a fresh bus.
+    /// Creates an empty system with a fresh bus and telemetry *disabled*
+    /// (the zero-overhead hot path; see the `middleware` bench).
     pub fn new() -> ActorSystem {
+        ActorSystem::with_telemetry(Telemetry::disabled())
+    }
+
+    /// Creates an empty system observed by `telemetry`: every spawned
+    /// actor gets mailbox-depth gauges, handled/dropped counters, latency
+    /// histograms and trace hops recorded into the hub.
+    pub fn with_telemetry(telemetry: Telemetry) -> ActorSystem {
         ActorSystem {
-            bus: EventBus::new(),
+            bus: EventBus::with_telemetry(telemetry.clone()),
             actors: Vec::new(),
             escalated: Arc::new(AtomicU64::new(0)),
+            telemetry,
         }
+    }
+
+    /// The system's telemetry hub (disabled unless built with
+    /// [`ActorSystem::with_telemetry`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The system's event bus.
@@ -397,11 +465,23 @@ impl ActorSystem {
     /// pipeline stages in upstream-to-downstream order** so shutdown
     /// drains correctly.
     pub fn spawn(&mut self, name: impl Into<String>, actor: Box<dyn Actor>) -> ActorRef {
+        self.spawn_with(name, actor, SpawnOptions::default())
+    }
+
+    /// Spawns a one-shot actor with explicit options. The restart policy
+    /// must not be `Restart` (there is no factory to rebuild from); use
+    /// [`ActorSystem::spawn_supervised`] for restartable actors.
+    pub fn spawn_with(
+        &mut self,
+        name: impl Into<String>,
+        actor: Box<dyn Actor>,
+        options: SpawnOptions,
+    ) -> ActorRef {
         let mut slot = Some(actor);
         self.spawn_supervised(
             name,
-            move || slot.take().expect("Stop policy never rebuilds"),
-            SpawnOptions::default(),
+            move || slot.take().expect("one-shot actor cannot be rebuilt"),
+            options,
         )
     }
 
@@ -414,7 +494,40 @@ impl ActorSystem {
         options: SpawnOptions,
     ) -> ActorRef {
         let name: Arc<str> = Arc::from(name.into());
-        let mailbox = Arc::new(Mailbox::new(options.capacity, options.overflow));
+        let (mailbox_metrics, instruments) = if self.telemetry.enabled() {
+            let reg = self.telemetry.registry();
+            (
+                Some(MailboxMetrics {
+                    depth: reg.gauge(&format!("powerapi_mailbox_depth{{actor=\"{name}\"}}")),
+                    dropped: reg
+                        .counter(&format!("powerapi_actor_dropped_total{{actor=\"{name}\"}}")),
+                }),
+                Some(ActorInstruments {
+                    stage: options.stage,
+                    handled: reg
+                        .counter(&format!("powerapi_actor_handled_total{{actor=\"{name}\"}}")),
+                    handle_ns: reg
+                        .histogram(&format!("powerapi_actor_handle_ns{{actor=\"{name}\"}}")),
+                    queue_ns: reg
+                        .histogram(&format!("powerapi_actor_queue_ns{{actor=\"{name}\"}}")),
+                    restarts: reg.counter(&format!(
+                        "powerapi_actor_restarts_total{{actor=\"{name}\"}}"
+                    )),
+                    panics: reg
+                        .counter(&format!("powerapi_actor_panics_total{{actor=\"{name}\"}}")),
+                    stage_handle_ns: self.telemetry.stage_histogram(options.stage),
+                    tick_lag_ns: self.telemetry.tick_lag_histogram(),
+                    telemetry: self.telemetry.clone(),
+                }),
+            )
+        } else {
+            (None, None)
+        };
+        let mailbox = Arc::new(Mailbox::new(
+            options.capacity,
+            options.overflow,
+            mailbox_metrics,
+        ));
         let actor_ref = ActorRef {
             mailbox: mailbox.clone(),
             name: name.clone(),
@@ -422,6 +535,7 @@ impl ActorSystem {
         let ctx = Context {
             bus: self.bus.clone(),
             name: name.clone(),
+            telemetry: self.telemetry.clone(),
         };
         let counters = Arc::new(ActorCounters::default());
         let thread_counters = counters.clone();
@@ -435,6 +549,7 @@ impl ActorSystem {
                     &mailbox,
                     options.restart,
                     &thread_counters,
+                    instruments.as_ref(),
                 );
                 if exit == ExitKind::Escalated {
                     escalated.fetch_add(1, Ordering::Relaxed);
@@ -488,6 +603,20 @@ impl ActorSystem {
     }
 }
 
+/// Per-actor telemetry handles, created once at spawn so the supervision
+/// loop never touches the registry's mutex.
+struct ActorInstruments {
+    stage: Stage,
+    handled: Counter,
+    handle_ns: Histogram,
+    queue_ns: Histogram,
+    restarts: Counter,
+    panics: Counter,
+    stage_handle_ns: Histogram,
+    tick_lag_ns: Histogram,
+    telemetry: Telemetry,
+}
+
 /// The per-thread supervision loop: run the actor, catch panics, apply
 /// the restart policy.
 fn supervise(
@@ -496,6 +625,7 @@ fn supervise(
     mailbox: &Mailbox,
     policy: RestartPolicy,
     counters: &ActorCounters,
+    instruments: Option<&ActorInstruments>,
 ) -> ExitKind {
     let mut actor = factory();
     loop {
@@ -503,11 +633,36 @@ fn supervise(
             let Some(env) = mailbox.recv() else {
                 break false;
             };
-            let msg = match env {
-                Envelope::Message(msg) => msg,
+            let (msg, enqueued) = match env {
+                Envelope::Message(msg, enqueued) => (msg, enqueued),
                 Envelope::Stop => break false,
             };
-            if catch_unwind(AssertUnwindSafe(|| actor.handle(msg, ctx))).is_err() {
+            let caught = if let Some(ins) = instruments {
+                // Capture what the recording needs before the message
+                // moves into the handler.
+                let queue_ns = enqueued.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                let trace = msg.trace();
+                let is_tick = matches!(msg, Message::Tick(_));
+                let start = Instant::now();
+                let caught = catch_unwind(AssertUnwindSafe(|| actor.handle(msg, ctx))).is_err();
+                let handle_ns = start.elapsed().as_nanos() as u64;
+                ins.handled.inc();
+                ins.handle_ns.record(handle_ns);
+                ins.queue_ns.record(queue_ns);
+                ins.stage_handle_ns.record(handle_ns);
+                if is_tick {
+                    // How far behind the monitoring clock this actor ran.
+                    ins.tick_lag_ns.record(queue_ns);
+                }
+                ins.telemetry.overhead().record_handle(handle_ns);
+                ins.telemetry
+                    .tracer()
+                    .record_hop(trace, ins.stage, &ctx.name, queue_ns, handle_ns);
+                caught
+            } else {
+                catch_unwind(AssertUnwindSafe(|| actor.handle(msg, ctx))).is_err()
+            };
+            if caught {
                 break true;
             }
         };
@@ -516,11 +671,17 @@ fn supervise(
             // there is nothing left to restart.
             if catch_unwind(AssertUnwindSafe(|| actor.on_stop(ctx))).is_err() {
                 counters.panics.fetch_add(1, Ordering::Relaxed);
+                if let Some(ins) = instruments {
+                    ins.panics.inc();
+                }
                 return ExitKind::Panicked;
             }
             return ExitKind::Clean;
         }
         counters.panics.fetch_add(1, Ordering::Relaxed);
+        if let Some(ins) = instruments {
+            ins.panics.inc();
+        }
         match policy {
             RestartPolicy::Stop => return ExitKind::Panicked,
             RestartPolicy::Escalate => return ExitKind::Escalated,
@@ -535,6 +696,9 @@ fn supervise(
                 // fresh from the factory.
                 actor = factory();
                 counters.restarts.fetch_add(1, Ordering::Relaxed);
+                if let Some(ins) = instruments {
+                    ins.restarts.inc();
+                }
             }
         }
     }
@@ -558,6 +722,8 @@ impl std::fmt::Debug for ActorSystem {
 mod tests {
     use super::*;
     use crate::msg::{PowerReport, Quality, Scope, Topic};
+    use crate::telemetry::TraceId;
+    use crate::testing::wait_until;
     use os_sim::process::Pid;
     use simcpu::units::{Nanos, Watts};
     use std::sync::atomic::{AtomicU64, Ordering};
@@ -584,6 +750,7 @@ mod tests {
             power: Watts(w),
             formula: "test",
             quality: Quality::Full,
+            trace: TraceId::NONE,
         })
     }
 
@@ -637,6 +804,7 @@ mod tests {
                         scope: Scope::Process(p.pid),
                         power: p.power,
                         quality: p.quality,
+                        trace: p.trace,
                     }));
             }
         }
@@ -814,15 +982,9 @@ mod tests {
         );
         assert!(!sys.escalated());
         a.send(power_msg(1000.0));
-        // The escalation flag flips as soon as the thread exits; poll
-        // briefly rather than racing it.
-        for _ in 0..100 {
-            if sys.escalated() {
-                break;
-            }
-            std::thread::sleep(Duration::from_millis(1));
-        }
-        assert!(sys.escalated());
+        // The escalation flag flips as soon as the thread exits; wait for
+        // it rather than racing it.
+        assert!(wait_until(Duration::from_secs(10), || sys.escalated()));
         let summary = sys.shutdown();
         assert!(summary.escalated);
         assert_eq!(summary.panicked, vec!["critical".to_string()]);
@@ -945,7 +1107,7 @@ mod tests {
     fn block_overflow_never_loses_messages() {
         let gate = Arc::new((Mutex::new(false), Condvar::new()));
         let seen = Arc::new(AtomicU64::new(0));
-        let mut sys = ActorSystem::new();
+        let mut sys = ActorSystem::with_telemetry(Telemetry::new());
         let g = gate.clone();
         let s = seen.clone();
         let a = sys.spawn_supervised(
@@ -974,7 +1136,14 @@ mod tests {
                 ok
             })
         };
-        std::thread::sleep(Duration::from_millis(10));
+        // Wait until the sender is actually wedged against the full
+        // mailbox (depth gauge at capacity, one message in-flight) before
+        // releasing the consumer — deterministic, unlike a fixed sleep.
+        let depth = sys
+            .telemetry()
+            .registry()
+            .gauge("powerapi_mailbox_depth{actor=\"lossless\"}");
+        assert!(wait_until(Duration::from_secs(10), || depth.get() >= 2));
         open_gate(&gate);
         let sent = sender.join().unwrap();
         let summary = sys.shutdown();
@@ -1005,17 +1174,84 @@ mod tests {
         a.send(power_msg(1000.0));
         a.send(power_msg(1.0));
         // Wait until the recovery is visible.
-        for _ in 0..200 {
-            if handled.load(Ordering::SeqCst) == 1 {
-                break;
-            }
-            std::thread::sleep(Duration::from_millis(1));
-        }
+        assert!(wait_until(Duration::from_secs(10), || {
+            handled.load(Ordering::SeqCst) == 1
+        }));
         let health = sys.health();
         assert_eq!(health.len(), 1);
         assert_eq!(health[0].name, "observed");
         assert_eq!(health[0].restarts, 1);
         assert_eq!(health[0].panics, 1);
         sys.shutdown();
+    }
+
+    #[test]
+    fn instrumented_system_records_metrics_and_hops() {
+        let telemetry = Telemetry::new();
+        let mut sys = ActorSystem::with_telemetry(telemetry.clone());
+        let hits = Arc::new(AtomicU64::new(0));
+        let a = sys.spawn_with(
+            "formula-t",
+            Box::new(Counter {
+                hits: hits.clone(),
+                stopped: Arc::new(AtomicU64::new(0)),
+            }),
+            SpawnOptions::default().stage(Stage::Formula),
+        );
+        // Open a span, then route a traced estimate through the actor.
+        let trace = telemetry.trace_for_tick(Nanos::from_secs(1));
+        assert!(trace.is_traced());
+        let mut report = power_msg(1.0);
+        if let Message::Power(p) = &mut report {
+            p.trace = trace;
+        }
+        a.send(report);
+        a.send(power_msg(2.0)); // untraced: metrics only, no hop
+        sys.shutdown();
+        let reg = telemetry.registry();
+        assert_eq!(
+            reg.counter("powerapi_actor_handled_total{actor=\"formula-t\"}")
+                .get(),
+            2
+        );
+        assert_eq!(
+            reg.histogram("powerapi_actor_handle_ns{actor=\"formula-t\"}")
+                .count(),
+            2
+        );
+        assert_eq!(telemetry.stage_histogram(Stage::Formula).count(), 2);
+        assert_eq!(
+            reg.gauge("powerapi_mailbox_depth{actor=\"formula-t\"}")
+                .get(),
+            0,
+            "drained mailbox reads empty"
+        );
+        let spans = telemetry.tracer().spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].hops.len(), 1, "only the traced message hopped");
+        assert_eq!(spans[0].hops[0].stage, Stage::Formula);
+        assert_eq!(&*spans[0].hops[0].actor, "formula-t");
+        assert!(spans[0].end_to_end_ns() > 0);
+        let summary = telemetry.summary();
+        assert_eq!(summary.messages_handled, 2);
+        assert_eq!(summary.ticks_traced, 1);
+        assert!(summary.overhead.middleware_busy_ns > 0);
+    }
+
+    #[test]
+    fn uninstrumented_system_stays_dark() {
+        let mut sys = ActorSystem::new();
+        assert!(!sys.telemetry().enabled());
+        let hits = Arc::new(AtomicU64::new(0));
+        let a = sys.spawn(
+            "dark",
+            Box::new(Counter {
+                hits: hits.clone(),
+                stopped: Arc::new(AtomicU64::new(0)),
+            }),
+        );
+        a.send(power_msg(1.0));
+        sys.shutdown();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
     }
 }

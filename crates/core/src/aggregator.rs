@@ -12,6 +12,7 @@
 
 use crate::actor::{Actor, Context};
 use crate::msg::{AggregateReport, Message, PowerReport, Quality, Scope};
+use crate::telemetry::TraceId;
 use simcpu::units::{Nanos, Watts};
 
 /// Which dimensions to aggregate along (both may be enabled).
@@ -54,7 +55,7 @@ impl Dimension {
 pub struct Aggregator {
     dimension: Dimension,
     idle_w: f64,
-    window: Option<(Nanos, Watts, Quality)>,
+    window: Option<(Nanos, Watts, Quality, TraceId)>,
 }
 
 impl Aggregator {
@@ -75,27 +76,32 @@ impl Aggregator {
                 scope: Scope::Process(p.pid),
                 power: p.power,
                 quality: p.quality,
+                trace: p.trace,
             }));
         }
         if self.dimension.machine {
             match &mut self.window {
-                Some((ts, acc, q)) if *ts == p.timestamp => {
+                Some((ts, acc, q, tr)) if *ts == p.timestamp => {
                     *acc += p.power;
                     *q = (*q).min(p.quality);
+                    // Trace ids are monotone per tick: keep the newest.
+                    *tr = (*tr).max(p.trace);
                 }
-                Some((ts, acc, q)) => {
+                Some((ts, acc, q, tr)) => {
                     let done = AggregateReport {
                         timestamp: *ts,
                         scope: Scope::Machine,
                         power: Watts(acc.as_f64() + self.idle_w),
                         quality: *q,
+                        trace: *tr,
                     };
                     *ts = p.timestamp;
                     *acc = p.power;
                     *q = p.quality;
+                    *tr = p.trace;
                     ctx.bus().publish(Message::Aggregate(done));
                 }
-                None => self.window = Some((p.timestamp, p.power, p.quality)),
+                None => self.window = Some((p.timestamp, p.power, p.quality, p.trace)),
             }
         }
     }
@@ -109,12 +115,13 @@ impl Actor for Aggregator {
     }
 
     fn on_stop(&mut self, ctx: &Context) {
-        if let Some((ts, acc, q)) = self.window.take() {
+        if let Some((ts, acc, q, tr)) = self.window.take() {
             ctx.bus().publish(Message::Aggregate(AggregateReport {
                 timestamp: ts,
                 scope: Scope::Machine,
                 power: Watts(acc.as_f64() + self.idle_w),
                 quality: q,
+                trace: tr,
             }));
         }
     }
@@ -145,6 +152,7 @@ mod tests {
             power: Watts(w),
             formula: "t",
             quality: crate::msg::Quality::Full,
+            trace: TraceId(ts),
         })
     }
 
@@ -194,6 +202,8 @@ mod tests {
         assert_eq!(out[0].scope, Scope::Machine);
         assert!((out[0].power.as_f64() - 36.48).abs() < 1e-12);
         assert!((out[1].power.as_f64() - 35.48).abs() < 1e-12);
+        assert_eq!(out[0].trace, TraceId(1), "window keeps its tick's trace");
+        assert_eq!(out[1].trace, TraceId(2));
     }
 
     #[test]
@@ -219,7 +229,7 @@ mod tests {
 #[derive(Debug, Clone)]
 pub struct GroupAggregator {
     membership: std::collections::BTreeMap<os_sim::process::Pid, std::sync::Arc<str>>,
-    window: std::collections::BTreeMap<std::sync::Arc<str>, (Nanos, Watts, Quality)>,
+    window: std::collections::BTreeMap<std::sync::Arc<str>, (Nanos, Watts, Quality, TraceId)>,
 }
 
 impl GroupAggregator {
@@ -249,12 +259,13 @@ impl GroupAggregator {
     }
 
     fn flush(&mut self, group: &std::sync::Arc<str>, ctx: &Context) {
-        if let Some((ts, acc, q)) = self.window.remove(group) {
+        if let Some((ts, acc, q, tr)) = self.window.remove(group) {
             ctx.bus().publish(Message::Aggregate(AggregateReport {
                 timestamp: ts,
                 scope: Scope::Group(group.clone()),
                 power: acc,
                 quality: q,
+                trace: tr,
             }));
         }
     }
@@ -267,16 +278,19 @@ impl Actor for GroupAggregator {
             return;
         };
         match self.window.get_mut(&group) {
-            Some((ts, acc, q)) if *ts == p.timestamp => {
+            Some((ts, acc, q, tr)) if *ts == p.timestamp => {
                 *acc += p.power;
                 *q = (*q).min(p.quality);
+                *tr = (*tr).max(p.trace);
             }
             Some(_) => {
                 self.flush(&group, ctx);
-                self.window.insert(group, (p.timestamp, p.power, p.quality));
+                self.window
+                    .insert(group, (p.timestamp, p.power, p.quality, p.trace));
             }
             None => {
-                self.window.insert(group, (p.timestamp, p.power, p.quality));
+                self.window
+                    .insert(group, (p.timestamp, p.power, p.quality, p.trace));
             }
         }
     }
@@ -314,6 +328,7 @@ mod group_tests {
             power: Watts(w),
             formula: "t",
             quality: crate::msg::Quality::Full,
+            trace: TraceId::NONE,
         })
     }
 

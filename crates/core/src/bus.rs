@@ -5,6 +5,7 @@
 
 use crate::actor::ActorRef;
 use crate::msg::{Message, Topic};
+use crate::telemetry::{Counter, Telemetry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -14,16 +15,46 @@ struct BusInner {
     subs: HashMap<Topic, Vec<ActorRef>>,
 }
 
+/// Per-topic traffic counters, pre-resolved at construction so `publish`
+/// never formats metric names or touches the registry mutex.
+struct BusCounters {
+    published: [Counter; 6],
+    delivered: [Counter; 6],
+}
+
 /// A cloneable handle to the shared bus.
 #[derive(Clone, Default)]
 pub struct EventBus {
     inner: Arc<Mutex<BusInner>>,
+    counters: Option<Arc<BusCounters>>,
 }
 
 impl EventBus {
     /// Creates an empty bus.
     pub fn new() -> EventBus {
         EventBus::default()
+    }
+
+    /// Creates an empty bus that counts per-topic traffic into
+    /// `telemetry` (no-op counters when the hub is disabled).
+    pub fn with_telemetry(telemetry: Telemetry) -> EventBus {
+        if !telemetry.enabled() {
+            return EventBus::new();
+        }
+        let reg = telemetry.registry();
+        let counter = |kind: &str, topic: Topic| {
+            reg.counter(&format!(
+                "powerapi_bus_{kind}_total{{topic=\"{}\"}}",
+                topic.label()
+            ))
+        };
+        EventBus {
+            inner: Arc::default(),
+            counters: Some(Arc::new(BusCounters {
+                published: Topic::ALL.map(|t| counter("published", t)),
+                delivered: Topic::ALL.map(|t| counter("delivered", t)),
+            })),
+        }
     }
 
     /// Subscribes an actor to a topic. Duplicate subscriptions deliver
@@ -48,6 +79,9 @@ impl EventBus {
     /// many subscribers received it.
     pub fn publish(&self, msg: Message) -> usize {
         let topic = msg.topic();
+        if let Some(c) = &self.counters {
+            c.published[topic.index()].inc();
+        }
         let subs: Vec<ActorRef> = {
             let inner = self.inner.lock();
             match inner.subs.get(&topic) {
@@ -61,7 +95,10 @@ impl EventBus {
                 delivered += 1;
             }
         }
-        delivered
+        if let Some(c) = &self.counters {
+            c.delivered[topic.index()].add(delivered);
+        }
+        delivered as usize
     }
 
     /// Number of subscribers on a topic.
@@ -107,6 +144,7 @@ mod tests {
             power: Watts(1.0),
             formula: "t",
             quality: crate::msg::Quality::Full,
+            trace: crate::telemetry::TraceId::NONE,
         })
     }
 
@@ -116,6 +154,7 @@ mod tests {
             scope: Scope::Machine,
             power: Watts(1.0),
             quality: crate::msg::Quality::Full,
+            trace: crate::telemetry::TraceId::NONE,
         })
     }
 
@@ -172,5 +211,40 @@ mod tests {
     fn debug_format() {
         let bus = EventBus::new();
         assert!(format!("{bus:?}").contains("EventBus"));
+    }
+
+    #[test]
+    fn telemetry_bus_counts_per_topic_traffic() {
+        let telemetry = Telemetry::new();
+        let mut sys = crate::actor::ActorSystem::with_telemetry(telemetry.clone());
+        let n = Arc::new(AtomicU64::new(0));
+        let a = sys.spawn("p", Box::new(Tally(n.clone())));
+        let b = sys.spawn("p2", Box::new(Tally(Arc::new(AtomicU64::new(0)))));
+        sys.bus().subscribe(Topic::Power, &a);
+        sys.bus().subscribe(Topic::Power, &b);
+        sys.bus().publish(power_msg());
+        sys.bus().publish(agg_msg()); // no subscribers
+        sys.shutdown();
+        let reg = telemetry.registry();
+        assert_eq!(
+            reg.counter("powerapi_bus_published_total{topic=\"power\"}")
+                .get(),
+            1
+        );
+        assert_eq!(
+            reg.counter("powerapi_bus_delivered_total{topic=\"power\"}")
+                .get(),
+            2,
+            "fan-out counted per delivery"
+        );
+        assert_eq!(
+            reg.counter("powerapi_bus_published_total{topic=\"aggregate\"}")
+                .get(),
+            1,
+            "published counts even with no subscribers"
+        );
+        // A disabled hub attaches no counters at all.
+        let dark = EventBus::with_telemetry(Telemetry::disabled());
+        assert!(dark.counters.is_none());
     }
 }

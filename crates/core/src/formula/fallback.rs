@@ -73,6 +73,7 @@ impl Actor for FallbackFormula {
                     power,
                     formula: self.primary.name(),
                     quality: Quality::Full,
+                    trace: report.trace,
                 }));
             }
             return;
@@ -98,6 +99,7 @@ impl Actor for FallbackFormula {
                 power,
                 formula: self.backup.name(),
                 quality: Quality::Degraded,
+                trace: report.trace,
             }));
         }
     }
@@ -162,6 +164,7 @@ mod tests {
                 by_freq: Vec::new(),
             },
             corun: CorunSplit::default(),
+            trace: crate::telemetry::TraceId::NONE,
         }))
     }
 

@@ -170,6 +170,7 @@ mod tests {
 
     fn report(solo_inst: u64, corun_inst: u64) -> SensorReport {
         SensorReport {
+            trace: crate::telemetry::TraceId::NONE,
             source: crate::sensor::hpc::SOURCE,
             timestamp: Nanos::from_secs(1),
             interval: Nanos::from_secs(1),

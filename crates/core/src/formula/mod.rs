@@ -67,6 +67,7 @@ impl Actor for FormulaActor {
                 power,
                 formula: self.formula.name(),
                 quality: Quality::Full,
+                trace: report.trace,
             }));
         }
     }
@@ -124,6 +125,7 @@ mod tests {
             counters: Vec::new(),
             time: ProcTimeDelta::default(),
             corun: CorunSplit::default(),
+            trace: crate::telemetry::TraceId(3),
         }))
     }
 
@@ -143,6 +145,11 @@ mod tests {
         assert_eq!(seen[0].formula, "fixed");
         assert_eq!(seen[0].pid, Pid(9));
         assert!((seen[0].power.as_f64() - 4.2).abs() < 1e-12);
+        assert_eq!(
+            seen[0].trace,
+            crate::telemetry::TraceId(3),
+            "trace propagates sensor → power"
+        );
     }
 
     #[test]

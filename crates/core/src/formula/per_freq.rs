@@ -114,6 +114,7 @@ mod tests {
 
     fn report(counters: &[u64; 3], by_freq: Vec<(MegaHertz, Nanos)>, busy: Nanos) -> SensorReport {
         SensorReport {
+            trace: crate::telemetry::TraceId::NONE,
             source: crate::sensor::hpc::SOURCE,
             timestamp: Nanos::from_secs(1),
             interval: Nanos::from_secs(1),

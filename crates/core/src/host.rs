@@ -9,6 +9,7 @@
 //! snapshots, never during one.
 
 use crate::msg::{CorunSplit, HostSnapshot, ProcTimeDelta};
+use crate::telemetry::Telemetry;
 use os_sim::kernel::Kernel;
 use os_sim::process::Pid;
 use perf_sim::events::Event;
@@ -29,6 +30,7 @@ pub struct SimHost {
     corun_acc: BTreeMap<Pid, CorunSplit>,
     proc_prev: BTreeMap<Pid, (Nanos, BTreeMap<MegaHertz, Nanos>)>,
     last_snapshot: Nanos,
+    telemetry: Telemetry,
 }
 
 impl SimHost {
@@ -51,8 +53,15 @@ impl SimHost {
             corun_acc: BTreeMap::new(),
             proc_prev: BTreeMap::new(),
             last_snapshot: kernel.machine().now(),
+            telemetry: Telemetry::disabled(),
             kernel,
         }
+    }
+
+    /// Attaches a telemetry hub: snapshot harvesting self-times into the
+    /// middleware's overhead profile.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The kernel under observation.
@@ -146,6 +155,19 @@ impl SimHost {
 
     /// Harvests the monitoring interval since the previous snapshot.
     pub fn snapshot(&mut self) -> HostSnapshot {
+        // Snapshot harvesting is middleware work, not workload work: when
+        // a telemetry hub is attached, charge its wall time to overhead.
+        let started = self.telemetry.enabled().then(std::time::Instant::now);
+        let snap = self.snapshot_inner();
+        if let Some(t) = started {
+            self.telemetry
+                .overhead()
+                .record_snapshot(t.elapsed().as_nanos() as u64);
+        }
+        snap
+    }
+
+    fn snapshot_inner(&mut self) -> HostSnapshot {
         let now = self.kernel.machine().now();
         let interval = now - self.last_snapshot;
         self.last_snapshot = now;

@@ -72,6 +72,7 @@ pub mod msg;
 pub mod reporter;
 pub mod runtime;
 pub mod sensor;
+pub mod telemetry;
 pub mod testing;
 
 mod error;
@@ -91,5 +92,6 @@ pub mod prelude {
     pub use crate::model::learn::{learn_model, LearnConfig};
     pub use crate::model::power_model::PerFrequencyPowerModel;
     pub use crate::runtime::{PowerApi, PowerApiBuilder, RunOutcome};
+    pub use crate::telemetry::{Stage, Telemetry, TelemetrySummary, TraceId};
     pub use crate::Error as PowerApiError;
 }

@@ -2,6 +2,7 @@
 //! object-safe and the bus stays simple; each variant is cheap to clone
 //! (snapshots travel behind `Arc`).
 
+use crate::telemetry::TraceId;
 use os_sim::process::Pid;
 use perf_sim::events::Event;
 use simcpu::counters::ExecDelta;
@@ -23,6 +24,42 @@ pub enum Topic {
     Meter,
     /// RAPL package-power samples (the architecture-gated baseline).
     Rapl,
+}
+
+impl Topic {
+    /// Every topic, in pipeline order.
+    pub const ALL: [Topic; 6] = [
+        Topic::Tick,
+        Topic::Sensor,
+        Topic::Power,
+        Topic::Aggregate,
+        Topic::Meter,
+        Topic::Rapl,
+    ];
+
+    /// Lowercase label for metric names and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Topic::Tick => "tick",
+            Topic::Sensor => "sensor",
+            Topic::Power => "power",
+            Topic::Aggregate => "aggregate",
+            Topic::Meter => "meter",
+            Topic::Rapl => "rapl",
+        }
+    }
+
+    /// Index into [`Topic::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            Topic::Tick => 0,
+            Topic::Sensor => 1,
+            Topic::Power => 2,
+            Topic::Aggregate => 3,
+            Topic::Meter => 4,
+            Topic::Rapl => 5,
+        }
+    }
 }
 
 /// Everything a monitoring tick observed about the host, gathered
@@ -87,6 +124,9 @@ pub struct SensorReport {
     pub time: ProcTimeDelta,
     /// SMT co-run split (zeroed when the sensor does not track it).
     pub corun: CorunSplit,
+    /// The tick trace this report belongs to, stamped by the sensor
+    /// ([`TraceId::NONE`] when telemetry is off).
+    pub trace: TraceId,
 }
 
 /// How trustworthy an estimation is, given the health of its inputs.
@@ -139,6 +179,8 @@ pub struct PowerReport {
     pub formula: &'static str,
     /// Whether the estimate came from the primary path or a fallback.
     pub quality: Quality,
+    /// The tick trace this estimate descends from.
+    pub trace: TraceId,
 }
 
 /// What an aggregate describes.
@@ -164,6 +206,8 @@ pub struct AggregateReport {
     pub power: Watts,
     /// The worst quality among the inputs that formed this aggregate.
     pub quality: Quality,
+    /// The newest tick trace folded into this aggregate.
+    pub trace: TraceId,
 }
 
 /// The bus message.
@@ -196,6 +240,18 @@ impl Message {
             Message::Rapl(_, _) => Topic::Rapl,
         }
     }
+
+    /// The trace id a message carries ([`TraceId::NONE`] for message
+    /// kinds outside the estimation path — ticks are traced from the
+    /// sensor stamp onward).
+    pub fn trace(&self) -> TraceId {
+        match self {
+            Message::Sensor(r) => r.trace,
+            Message::Power(p) => p.trace,
+            Message::Aggregate(a) => a.trace,
+            Message::Tick(_) | Message::Meter(_, _) | Message::Rapl(_, _) => TraceId::NONE,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -222,31 +278,33 @@ mod tests {
             counters: Vec::new(),
             time: ProcTimeDelta::default(),
             corun: CorunSplit::default(),
+            trace: TraceId(7),
         });
-        assert_eq!(Message::Sensor(sr).topic(), Topic::Sensor);
-        assert_eq!(
-            Message::Power(PowerReport {
-                timestamp: Nanos(1),
-                pid: Pid(1),
-                power: Watts(1.0),
-                formula: "x",
-                quality: Quality::Full,
-            })
-            .topic(),
-            Topic::Power
-        );
-        assert_eq!(
-            Message::Aggregate(AggregateReport {
-                timestamp: Nanos(1),
-                scope: Scope::Machine,
-                power: Watts(1.0),
-                quality: Quality::Full,
-            })
-            .topic(),
-            Topic::Aggregate
-        );
+        let sensor_msg = Message::Sensor(sr);
+        assert_eq!(sensor_msg.topic(), Topic::Sensor);
+        assert_eq!(sensor_msg.trace(), TraceId(7));
+        let power_msg = Message::Power(PowerReport {
+            timestamp: Nanos(1),
+            pid: Pid(1),
+            power: Watts(1.0),
+            formula: "x",
+            quality: Quality::Full,
+            trace: TraceId(7),
+        });
+        assert_eq!(power_msg.topic(), Topic::Power);
+        assert_eq!(power_msg.trace(), TraceId(7));
+        let agg_msg = Message::Aggregate(AggregateReport {
+            timestamp: Nanos(1),
+            scope: Scope::Machine,
+            power: Watts(1.0),
+            quality: Quality::Full,
+            trace: TraceId(7),
+        });
+        assert_eq!(agg_msg.topic(), Topic::Aggregate);
+        assert_eq!(agg_msg.trace(), TraceId(7));
         assert_eq!(Message::Meter(Nanos(1), Watts(2.0)).topic(), Topic::Meter);
         assert_eq!(Message::Rapl(Nanos(1), Watts(2.0)).topic(), Topic::Rapl);
+        assert_eq!(Message::Meter(Nanos(1), Watts(2.0)).trace(), TraceId::NONE);
     }
 
     #[test]

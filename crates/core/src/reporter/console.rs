@@ -36,25 +36,34 @@ impl<W: Write + Send> ConsoleReporter<W> {
 impl<W: Write + Send> Actor for ConsoleReporter<W> {
     fn handle(&mut self, msg: Message, _ctx: &Context) {
         let line = match msg {
-            Message::Aggregate(a) => match a.scope {
-                Scope::Process(pid) => format!(
-                    "[{:10.3}s] {:<10} estimate {:.2} W",
-                    a.timestamp.as_secs_f64(),
-                    pid.to_string(),
-                    a.power.as_f64()
-                ),
-                Scope::Group(g) => format!(
-                    "[{:10.3}s] {:<10} estimate {:.2} W",
-                    a.timestamp.as_secs_f64(),
-                    g,
-                    a.power.as_f64()
-                ),
-                Scope::Machine => format!(
-                    "[{:10.3}s] machine    estimate {:.2} W",
-                    a.timestamp.as_secs_f64(),
-                    a.power.as_f64()
-                ),
-            },
+            Message::Aggregate(a) => {
+                // Flag non-primary estimates so a human scanning the log
+                // sees degradation without checking another stream.
+                let suffix = match a.quality {
+                    crate::msg::Quality::Full => "",
+                    crate::msg::Quality::Degraded => " [degraded]",
+                    crate::msg::Quality::Stale => " [stale]",
+                };
+                match a.scope {
+                    Scope::Process(pid) => format!(
+                        "[{:10.3}s] {:<10} estimate {:.2} W{suffix}",
+                        a.timestamp.as_secs_f64(),
+                        pid.to_string(),
+                        a.power.as_f64()
+                    ),
+                    Scope::Group(g) => format!(
+                        "[{:10.3}s] {:<10} estimate {:.2} W{suffix}",
+                        a.timestamp.as_secs_f64(),
+                        g,
+                        a.power.as_f64()
+                    ),
+                    Scope::Machine => format!(
+                        "[{:10.3}s] machine    estimate {:.2} W{suffix}",
+                        a.timestamp.as_secs_f64(),
+                        a.power.as_f64()
+                    ),
+                }
+            }
             Message::Meter(at, w) => format!(
                 "[{:10.3}s] powerspy   measured {:.2} W",
                 at.as_secs_f64(),
@@ -112,12 +121,14 @@ mod tests {
             scope: Scope::Process(Pid(42)),
             power: Watts(3.5),
             quality: crate::msg::Quality::Full,
+            trace: crate::telemetry::TraceId::NONE,
         }));
         sys.bus().publish(Message::Aggregate(AggregateReport {
             timestamp: Nanos::from_secs(2),
             scope: Scope::Machine,
             power: Watts(36.0),
-            quality: crate::msg::Quality::Full,
+            quality: crate::msg::Quality::Degraded,
+            trace: crate::telemetry::TraceId::NONE,
         }));
         sys.bus()
             .publish(Message::Meter(Nanos::from_secs(2), Watts(35.1)));
@@ -130,6 +141,8 @@ mod tests {
         assert!(text.contains("powerspy"), "{text}");
         assert!(text.contains("rapl"), "{text}");
         assert!(text.contains("3.50 W"), "{text}");
+        assert!(text.contains("36.00 W [degraded]"), "{text}");
+        assert!(!text.contains("3.50 W ["), "full quality has no suffix");
         assert_eq!(text.lines().count(), 4);
     }
 }

@@ -1,9 +1,12 @@
 //! CSV reporter: one row per message, schema
-//! `time_s,kind,scope,power_w`, with a header row. Loadable straight into
-//! gnuplot/pandas for Figure-3-style plots.
+//! `time_s,kind,scope,power_w,quality,trace`, with a header row. Loadable
+//! straight into gnuplot/pandas for Figure-3-style plots. Meter and RAPL
+//! rows carry `full` quality and trace 0 (they are measurements, not
+//! traced estimates).
 
 use crate::actor::{Actor, Context};
-use crate::msg::{Message, Scope};
+use crate::msg::{Message, Quality, Scope};
+use crate::telemetry::TraceId;
 use std::io::Write;
 
 /// The reporter actor.
@@ -26,12 +29,24 @@ impl<W: Write + Send> CsvReporter<W> {
         self.out
     }
 
-    fn row(&mut self, time_s: f64, kind: &str, scope: &str, power_w: f64) {
+    fn row(
+        &mut self,
+        time_s: f64,
+        kind: &str,
+        scope: &str,
+        power_w: f64,
+        quality: Quality,
+        trace: TraceId,
+    ) {
         if !self.wrote_header {
-            let _ = writeln!(self.out, "time_s,kind,scope,power_w");
+            let _ = writeln!(self.out, "time_s,kind,scope,power_w,quality,trace");
             self.wrote_header = true;
         }
-        let _ = writeln!(self.out, "{time_s:.3},{kind},{scope},{power_w:.3}");
+        let _ = writeln!(
+            self.out,
+            "{time_s:.3},{kind},{scope},{power_w:.3},{},{trace}",
+            quality.label()
+        );
     }
 }
 
@@ -49,10 +64,26 @@ impl<W: Write + Send> Actor for CsvReporter<W> {
                     "estimate",
                     &scope,
                     a.power.as_f64(),
+                    a.quality,
+                    a.trace,
                 );
             }
-            Message::Meter(at, w) => self.row(at.as_secs_f64(), "powerspy", "machine", w.as_f64()),
-            Message::Rapl(at, w) => self.row(at.as_secs_f64(), "rapl", "package", w.as_f64()),
+            Message::Meter(at, w) => self.row(
+                at.as_secs_f64(),
+                "powerspy",
+                "machine",
+                w.as_f64(),
+                Quality::Full,
+                TraceId::NONE,
+            ),
+            Message::Rapl(at, w) => self.row(
+                at.as_secs_f64(),
+                "rapl",
+                "package",
+                w.as_f64(),
+                Quality::Full,
+                TraceId::NONE,
+            ),
             _ => {}
         }
     }
@@ -96,16 +127,17 @@ mod tests {
             timestamp: Nanos::from_secs(1),
             scope: Scope::Process(Pid(5)),
             power: Watts(2.25),
-            quality: crate::msg::Quality::Full,
+            quality: crate::msg::Quality::Degraded,
+            trace: TraceId(42),
         }));
         sys.bus()
             .publish(Message::Meter(Nanos::from_secs(1), Watts(33.0)));
         sys.shutdown();
         let text = String::from_utf8(inner.0.lock().clone()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines[0], "time_s,kind,scope,power_w");
-        assert_eq!(lines[1], "1.000,estimate,pid5,2.250");
-        assert_eq!(lines[2], "1.000,powerspy,machine,33.000");
+        assert_eq!(lines[0], "time_s,kind,scope,power_w,quality,trace");
+        assert_eq!(lines[1], "1.000,estimate,pid5,2.250,degraded,42");
+        assert_eq!(lines[2], "1.000,powerspy,machine,33.000,full,0");
         assert_eq!(lines.len(), 3);
     }
 }

@@ -32,17 +32,33 @@ impl<W: Write + Send> InfluxReporter<W> {
         self.out
     }
 
-    fn point(&mut self, scope: &str, kind: &str, power_w: f64, ts_ns: u64) {
+    fn point(
+        &mut self,
+        scope: &str,
+        kind: &str,
+        quality: crate::msg::Quality,
+        power_w: f64,
+        trace: crate::telemetry::TraceId,
+        ts_ns: u64,
+    ) {
         let _ = writeln!(
             self.out,
-            "{},scope={},kind={} power_w={:.3} {}",
-            self.measurement, scope, kind, power_w, ts_ns
+            "{},scope={},kind={},quality={} power_w={:.3},trace={}i {}",
+            self.measurement,
+            scope,
+            kind,
+            quality.label(),
+            power_w,
+            trace,
+            ts_ns
         );
     }
 }
 
 impl<W: Write + Send> Actor for InfluxReporter<W> {
     fn handle(&mut self, msg: Message, _ctx: &Context) {
+        use crate::msg::Quality;
+        use crate::telemetry::TraceId;
         match msg {
             Message::Aggregate(a) => {
                 let scope = match &a.scope {
@@ -50,10 +66,31 @@ impl<W: Write + Send> Actor for InfluxReporter<W> {
                     Scope::Group(g) => g.to_string(),
                     Scope::Machine => "machine".to_string(),
                 };
-                self.point(&scope, "estimate", a.power.as_f64(), a.timestamp.as_u64());
+                self.point(
+                    &scope,
+                    "estimate",
+                    a.quality,
+                    a.power.as_f64(),
+                    a.trace,
+                    a.timestamp.as_u64(),
+                );
             }
-            Message::Meter(at, w) => self.point("machine", "powerspy", w.as_f64(), at.as_u64()),
-            Message::Rapl(at, w) => self.point("package", "rapl", w.as_f64(), at.as_u64()),
+            Message::Meter(at, w) => self.point(
+                "machine",
+                "powerspy",
+                Quality::Full,
+                w.as_f64(),
+                TraceId::NONE,
+                at.as_u64(),
+            ),
+            Message::Rapl(at, w) => self.point(
+                "package",
+                "rapl",
+                Quality::Full,
+                w.as_f64(),
+                TraceId::NONE,
+                at.as_u64(),
+            ),
             _ => {}
         }
     }
@@ -99,12 +136,14 @@ mod tests {
             scope: Scope::Process(Pid(42)),
             power: Watts(3.5),
             quality: crate::msg::Quality::Full,
+            trace: crate::telemetry::TraceId(6),
         }));
         sys.bus().publish(Message::Aggregate(AggregateReport {
             timestamp: Nanos::from_secs(1),
             scope: Scope::Group(Arc::from("vm-alpha")),
             power: Watts(7.25),
-            quality: crate::msg::Quality::Full,
+            quality: crate::msg::Quality::Degraded,
+            trace: crate::telemetry::TraceId(6),
         }));
         sys.bus()
             .publish(Message::Meter(Nanos::from_secs(1), Watts(35.1)));
@@ -113,15 +152,15 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(
             lines[0],
-            "power,scope=pid42,kind=estimate power_w=3.500 1000000000"
+            "power,scope=pid42,kind=estimate,quality=full power_w=3.500,trace=6i 1000000000"
         );
         assert_eq!(
             lines[1],
-            "power,scope=vm-alpha,kind=estimate power_w=7.250 1000000000"
+            "power,scope=vm-alpha,kind=estimate,quality=degraded power_w=7.250,trace=6i 1000000000"
         );
         assert_eq!(
             lines[2],
-            "power,scope=machine,kind=powerspy power_w=35.100 1000000000"
+            "power,scope=machine,kind=powerspy,quality=full power_w=35.100,trace=0i 1000000000"
         );
         // Line protocol sanity: measurement,tags fields timestamp.
         for l in lines {

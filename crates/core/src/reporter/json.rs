@@ -1,9 +1,10 @@
 //! JSON-lines reporter: one self-describing object per message. The
-//! encoder is hand-rolled — the schema is flat (numbers and two known-safe
-//! string fields), so a format crate would be dead weight.
+//! encoder is hand-rolled — the schema is flat (numbers and three
+//! known-safe string fields), so a format crate would be dead weight.
 
 use crate::actor::{Actor, Context};
-use crate::msg::{Message, Scope};
+use crate::msg::{Message, Quality, Scope};
+use crate::telemetry::TraceId;
 use std::io::Write;
 
 /// The reporter actor.
@@ -23,11 +24,19 @@ impl<W: Write + Send> JsonReporter<W> {
     }
 }
 
-fn obj(time_s: f64, kind: &str, scope: &str, power_w: f64) -> String {
-    // `kind` and `scope` are generated identifiers ([a-z0-9]+), never
-    // user input, so no escaping is required.
+fn obj(
+    time_s: f64,
+    kind: &str,
+    scope: &str,
+    power_w: f64,
+    quality: Quality,
+    trace: TraceId,
+) -> String {
+    // `kind`, `scope` and the quality label are generated identifiers
+    // ([a-z0-9-]+), never user input, so no escaping is required.
     format!(
-        "{{\"time_s\":{time_s:.3},\"kind\":\"{kind}\",\"scope\":\"{scope}\",\"power_w\":{power_w:.3}}}"
+        "{{\"time_s\":{time_s:.3},\"kind\":\"{kind}\",\"scope\":\"{scope}\",\"power_w\":{power_w:.3},\"quality\":\"{}\",\"trace\":{trace}}}",
+        quality.label()
     )
 }
 
@@ -45,10 +54,26 @@ impl<W: Write + Send> Actor for JsonReporter<W> {
                     "estimate",
                     &scope,
                     a.power.as_f64(),
+                    a.quality,
+                    a.trace,
                 )
             }
-            Message::Meter(at, w) => obj(at.as_secs_f64(), "powerspy", "machine", w.as_f64()),
-            Message::Rapl(at, w) => obj(at.as_secs_f64(), "rapl", "package", w.as_f64()),
+            Message::Meter(at, w) => obj(
+                at.as_secs_f64(),
+                "powerspy",
+                "machine",
+                w.as_f64(),
+                Quality::Full,
+                TraceId::NONE,
+            ),
+            Message::Rapl(at, w) => obj(
+                at.as_secs_f64(),
+                "rapl",
+                "package",
+                w.as_f64(),
+                Quality::Full,
+                TraceId::NONE,
+            ),
             _ => return,
         };
         let _ = writeln!(self.out, "{line}");
@@ -93,6 +118,7 @@ mod tests {
             scope: Scope::Machine,
             power: Watts(36.48),
             quality: crate::msg::Quality::Full,
+            trace: TraceId(9),
         }));
         sys.bus()
             .publish(Message::Rapl(Nanos::from_secs(2), Watts(9.0)));
@@ -102,7 +128,11 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert_eq!(
             lines[0],
-            "{\"time_s\":1.500,\"kind\":\"estimate\",\"scope\":\"machine\",\"power_w\":36.480}"
+            "{\"time_s\":1.500,\"kind\":\"estimate\",\"scope\":\"machine\",\"power_w\":36.480,\"quality\":\"full\",\"trace\":9}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"time_s\":2.000,\"kind\":\"rapl\",\"scope\":\"package\",\"power_w\":9.000,\"quality\":\"full\",\"trace\":0}"
         );
         // Minimal well-formedness checks.
         for l in lines {

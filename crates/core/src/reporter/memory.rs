@@ -90,6 +90,7 @@ mod tests {
             scope: Scope::Machine,
             power: Watts(35.0),
             quality: crate::msg::Quality::Full,
+            trace: crate::telemetry::TraceId::NONE,
         }));
         sys.bus()
             .publish(Message::Meter(Nanos::from_secs(1), Watts(34.2)));

@@ -1,7 +1,9 @@
 //! Reporter actors: "converts the power estimations produced by the
-//! library into a suitable format" (§3). Five formats: an in-memory trace
+//! library into a suitable format" (§3). Six formats: an in-memory trace
 //! for programmatic use, human-readable console lines, CSV, JSON lines,
-//! and InfluxDB line protocol (the production PowerAPI export target). All of them also record meter and RAPL samples when subscribed
+//! InfluxDB line protocol (the production PowerAPI export target), and a
+//! telemetry self-observation stream (the middleware reporting on
+//! itself). All of them also record meter and RAPL samples when subscribed
 //! to those topics, so measured-vs-estimated comparisons come for free.
 
 pub mod console;
@@ -9,9 +11,11 @@ pub mod csv;
 pub mod influx;
 pub mod json;
 pub mod memory;
+pub mod telemetry;
 
 pub use console::ConsoleReporter;
 pub use csv::CsvReporter;
 pub use influx::InfluxReporter;
 pub use json::JsonReporter;
 pub use memory::{MemoryHandle, MemoryReporter};
+pub use telemetry::TelemetryReporter;

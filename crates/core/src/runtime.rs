@@ -31,11 +31,13 @@ use crate::aggregator::{Aggregator, Dimension};
 use crate::formula::fallback::FallbackFormula;
 use crate::formula::{FormulaActor, PowerFormula};
 use crate::host::SimHost;
-use crate::msg::{AggregateReport, Message, Scope, Topic};
+use crate::msg::{AggregateReport, Message, PowerReport, Quality, Scope, Topic};
 use crate::reporter::{
     ConsoleReporter, CsvReporter, InfluxReporter, JsonReporter, MemoryHandle, MemoryReporter,
+    TelemetryReporter,
 };
 use crate::sensor::{HpcSensor, PowerSpySensor, ProcfsSensor, RaplSensor};
+use crate::telemetry::{Stage, Telemetry, TelemetrySummary, SELF_FORMULA, SELF_PID};
 use crate::{Error, Result};
 use os_sim::kernel::Kernel;
 use os_sim::process::Pid;
@@ -45,7 +47,7 @@ use simcpu::fault::FaultPlan;
 use simcpu::units::{Nanos, Watts};
 use std::io::Write;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A rebuildable actor constructor, as supervisors need after a panic.
 type ActorFactory = Box<dyn FnMut() -> Box<dyn crate::actor::Actor> + Send>;
@@ -71,6 +73,9 @@ pub struct PowerApiBuilder {
     faults: FaultPlan,
     restart: RestartPolicy,
     degrade: Option<(Box<dyn PowerFormula>, Nanos)>,
+    telemetry: bool,
+    profile_self: Option<f64>,
+    telemetry_out: Option<Box<dyn Write + Send>>,
 }
 
 impl PowerApiBuilder {
@@ -98,6 +103,9 @@ impl PowerApiBuilder {
                 backoff: Duration::ZERO,
             },
             degrade: None,
+            telemetry: true,
+            profile_self: None,
+            telemetry_out: None,
         }
     }
 
@@ -274,6 +282,37 @@ impl PowerApiBuilder {
         self
     }
 
+    /// Toggles the observability hub (default: on). When off, the
+    /// pipeline runs completely dark: no clock reads, no counters, and
+    /// every trace id is [`TraceId::NONE`].
+    ///
+    /// [`TraceId::NONE`]: crate::telemetry::TraceId::NONE
+    #[must_use]
+    pub fn telemetry(mut self, enabled: bool) -> PowerApiBuilder {
+        self.telemetry = enabled;
+        self
+    }
+
+    /// Attributes the middleware's own cost as a synthetic "powerapi"
+    /// process ([`SELF_PID`]) in the per-process estimates: each tick
+    /// publishes a power report of `watts_per_busy_core` scaled by the
+    /// fraction of one core the middleware kept busy since the previous
+    /// tick. Requires telemetry (a dark hub has no busy-time data).
+    #[must_use]
+    pub fn profile_self(mut self, watts_per_busy_core: f64) -> PowerApiBuilder {
+        self.profile_self = Some(watts_per_busy_core);
+        self
+    }
+
+    /// Adds the telemetry self-observation reporter: one JSON-lines
+    /// snapshot of the middleware's own health per monitoring tick,
+    /// written to `out`.
+    #[must_use]
+    pub fn report_telemetry_to(mut self, out: impl Write + Send + 'static) -> PowerApiBuilder {
+        self.telemetry_out = Some(Box::new(out));
+        self
+    }
+
     /// Assembles and starts the actor pipeline.
     ///
     /// # Errors
@@ -312,7 +351,13 @@ impl PowerApiBuilder {
             .unwrap_or_else(|| self.formulas[0].idle_w());
 
         let meter_config = self.meter.with_fault_plan(self.faults.clone());
+        let telemetry = if self.telemetry {
+            Telemetry::new()
+        } else {
+            Telemetry::disabled()
+        };
         let mut host = SimHost::new(self.kernel, self.events, self.slots, meter_config);
+        host.set_telemetry(telemetry.clone());
         if !self.faults.is_empty() {
             host.set_fault_plan(self.faults.clone());
         }
@@ -320,7 +365,7 @@ impl PowerApiBuilder {
         // Spawn pipeline stages upstream-first so shutdown drains them.
         // Sensors and formulas are supervised: their factories rebuild
         // them after a handler panic, per the configured restart policy.
-        let mut system = ActorSystem::new();
+        let mut system = ActorSystem::with_telemetry(telemetry.clone());
         let bus = system.bus().clone();
         let options = SpawnOptions::default().restart(self.restart);
         type Factory = Box<dyn FnMut() -> Box<dyn crate::actor::Actor> + Send>;
@@ -334,7 +379,7 @@ impl PowerApiBuilder {
             ("sensor-rapl", Box::new(|| Box::new(RaplSensor::new()))),
         ];
         for (name, factory) in sensors {
-            let r = system.spawn_supervised(name, factory, options);
+            let r = system.spawn_supervised(name, factory, options.stage(Stage::Sensor));
             bus.subscribe(Topic::Tick, &r);
         }
         if let Some((backup, max_age)) = self.degrade {
@@ -349,7 +394,7 @@ impl PowerApiBuilder {
                         max_age,
                     ))
                 },
-                options,
+                options.stage(Stage::Formula),
             );
             bus.subscribe(Topic::Sensor, &r);
         } else {
@@ -358,12 +403,16 @@ impl PowerApiBuilder {
                 let r = system.spawn_supervised(
                     name,
                     move || Box::new(FormulaActor::new(formula.boxed_clone())),
-                    options,
+                    options.stage(Stage::Formula),
                 );
                 bus.subscribe(Topic::Sensor, &r);
             }
         }
-        let agg = system.spawn("aggregator", Box::new(Aggregator::new(dimension, idle_w)));
+        let agg = system.spawn_with(
+            "aggregator",
+            Box::new(Aggregator::new(dimension, idle_w)),
+            SpawnOptions::default().stage(Stage::Aggregator),
+        );
         bus.subscribe(Topic::Power, &agg);
 
         // Extra actors (controllers, custom aggregators) sit between the
@@ -382,38 +431,63 @@ impl PowerApiBuilder {
             }
         }
 
+        let reporter_opts = SpawnOptions::default().stage(Stage::Reporter);
         let mut memory_handle = None;
         if self.memory {
             let reporter = MemoryReporter::new();
             memory_handle = Some(reporter.handle());
-            let r = system.spawn("reporter-memory", Box::new(reporter));
+            let r = system.spawn_with("reporter-memory", Box::new(reporter), reporter_opts);
             for t in [Topic::Aggregate, Topic::Meter, Topic::Rapl] {
                 bus.subscribe(t, &r);
             }
         }
         if self.console {
-            let r = system.spawn("reporter-console", Box::new(ConsoleReporter::stdout()));
+            let r = system.spawn_with(
+                "reporter-console",
+                Box::new(ConsoleReporter::stdout()),
+                reporter_opts,
+            );
             for t in [Topic::Aggregate, Topic::Meter, Topic::Rapl] {
                 bus.subscribe(t, &r);
             }
         }
         if let Some(out) = self.csv {
-            let r = system.spawn("reporter-csv", Box::new(CsvReporter::new(out)));
+            let r = system.spawn_with(
+                "reporter-csv",
+                Box::new(CsvReporter::new(out)),
+                reporter_opts,
+            );
             for t in [Topic::Aggregate, Topic::Meter, Topic::Rapl] {
                 bus.subscribe(t, &r);
             }
         }
         if let Some(out) = self.json {
-            let r = system.spawn("reporter-json", Box::new(JsonReporter::new(out)));
+            let r = system.spawn_with(
+                "reporter-json",
+                Box::new(JsonReporter::new(out)),
+                reporter_opts,
+            );
             for t in [Topic::Aggregate, Topic::Meter, Topic::Rapl] {
                 bus.subscribe(t, &r);
             }
         }
         if let Some(out) = self.influx {
-            let r = system.spawn("reporter-influx", Box::new(InfluxReporter::new(out)));
+            let r = system.spawn_with(
+                "reporter-influx",
+                Box::new(InfluxReporter::new(out)),
+                reporter_opts,
+            );
             for t in [Topic::Aggregate, Topic::Meter, Topic::Rapl] {
                 bus.subscribe(t, &r);
             }
+        }
+        if let Some(out) = self.telemetry_out {
+            let r = system.spawn_with(
+                "reporter-telemetry",
+                Box::new(TelemetryReporter::new(out)),
+                reporter_opts,
+            );
+            bus.subscribe(Topic::Tick, &r);
         }
 
         let next_boundary = host.kernel().machine().now() + self.clock_period;
@@ -424,6 +498,10 @@ impl PowerApiBuilder {
             clock_period: self.clock_period,
             next_boundary,
             memory: memory_handle,
+            telemetry,
+            profile_self: self.profile_self,
+            self_busy_prev: 0,
+            self_wall_prev: Instant::now(),
         })
     }
 }
@@ -436,6 +514,12 @@ pub struct PowerApi {
     clock_period: Nanos,
     next_boundary: Nanos,
     memory: Option<MemoryHandle>,
+    telemetry: Telemetry,
+    profile_self: Option<f64>,
+    /// Middleware busy-ns already attributed to a self report.
+    self_busy_prev: u64,
+    /// Wall instant of the previous self report (or of build).
+    self_wall_prev: Instant,
 }
 
 impl PowerApi {
@@ -485,22 +569,69 @@ impl PowerApi {
     ///
     /// [`Error::Middleware`] when called after [`PowerApi::finish`].
     pub fn run_for(&mut self, duration: Nanos) -> Result<()> {
-        let system = self
+        let bus = self
             .system
             .as_ref()
-            .ok_or_else(|| Error::Middleware("run_for after finish".into()))?;
+            .ok_or_else(|| Error::Middleware("run_for after finish".into()))?
+            .bus()
+            .clone();
         let deadline = self.host.kernel().machine().now() + duration;
+        // Host stepping is timed per tick-to-tick batch (two clock reads
+        // per tick), never per quantum — the overhead split must not
+        // itself become the overhead.
+        let instrumented = self.telemetry.enabled();
+        let mut batch = instrumented.then(Instant::now);
         while self.host.kernel().machine().now() < deadline {
             let remaining = deadline - self.host.kernel().machine().now();
             let step = Nanos(remaining.as_u64().min(self.quantum.as_u64()));
             self.host.step(step);
             if self.host.kernel().machine().now() >= self.next_boundary {
+                if let Some(t) = batch.take() {
+                    self.telemetry
+                        .overhead()
+                        .record_host(t.elapsed().as_nanos() as u64);
+                }
                 let snapshot = self.host.snapshot();
-                system.bus().publish(Message::Tick(Arc::new(snapshot)));
+                let timestamp = snapshot.timestamp;
+                bus.publish(Message::Tick(Arc::new(snapshot)));
+                if let Some(wpc) = self.profile_self.filter(|_| instrumented) {
+                    self.publish_self_power(&bus, timestamp, wpc);
+                }
                 self.next_boundary += self.clock_period;
+                batch = instrumented.then(Instant::now);
             }
         }
+        if let Some(t) = batch {
+            self.telemetry
+                .overhead()
+                .record_host(t.elapsed().as_nanos() as u64);
+        }
         Ok(())
+    }
+
+    /// Publishes the middleware's own consumption since the previous tick
+    /// as a synthetic per-process estimate: `wpc` watts scaled by the
+    /// fraction of one core the actor handlers kept busy (wall time).
+    fn publish_self_power(&mut self, bus: &crate::bus::EventBus, timestamp: Nanos, wpc: f64) {
+        let busy = self.telemetry.overhead().handle_ns();
+        let wall = self.self_wall_prev.elapsed().as_nanos() as u64;
+        let busy_delta = busy.saturating_sub(self.self_busy_prev);
+        self.self_busy_prev = busy;
+        self.self_wall_prev = Instant::now();
+        let utilisation = busy_delta as f64 / wall.max(1) as f64;
+        bus.publish(Message::Power(PowerReport {
+            timestamp,
+            pid: SELF_PID,
+            power: Watts(wpc * utilisation),
+            formula: SELF_FORMULA,
+            quality: Quality::Full,
+            trace: self.telemetry.trace_for_tick(timestamp),
+        }));
+    }
+
+    /// The observability hub (disabled unless the builder enabled it).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Stops the pipeline, drains in-flight messages, and returns every
@@ -520,11 +651,13 @@ impl PowerApi {
             Some(h) => (h.aggregates(), h.meter(), h.rapl()),
             None => (Vec::new(), Vec::new(), Vec::new()),
         };
+        // Summarise only after shutdown so every in-flight hop is drained.
         Ok(RunOutcome {
             reports,
             meter,
             rapl,
             health,
+            telemetry: self.telemetry.summary(),
         })
     }
 }
@@ -552,6 +685,11 @@ pub struct RunOutcome {
     /// restarts the supervisors performed, how many messages bounded
     /// mailboxes dropped.
     pub health: ShutdownSummary,
+    /// What the observability hub saw: per-stage latency breakdown,
+    /// end-to-end tick latency, message totals, the middleware-vs-host
+    /// cost split, and the full Prometheus dump. All-zero when the
+    /// builder disabled telemetry.
+    pub telemetry: TelemetrySummary,
 }
 
 impl RunOutcome {
@@ -590,6 +728,12 @@ impl RunOutcome {
             .collect();
         v.sort_by_key(|(t, _)| *t);
         v
+    }
+
+    /// The middleware's own estimates as `(timestamp, watts)` — empty
+    /// unless [`PowerApiBuilder::profile_self`] was enabled.
+    pub fn self_estimates(&self) -> Vec<(Nanos, Watts)> {
+        self.process_estimates(SELF_PID)
     }
 
     /// One named group's estimates as `(timestamp, watts)`, time-ordered
@@ -768,6 +912,83 @@ mod tests {
         let out = papi.finish().unwrap();
         assert!(out.is_healthy(), "{:?}", out.health);
         assert_eq!(out.degraded_reports(), 0);
+    }
+
+    #[test]
+    fn telemetry_summary_breaks_down_the_pipeline() {
+        let (kernel, pid) = busy_kernel();
+        let mut papi = PowerApi::builder(kernel)
+            .formula(paper_formula())
+            .report_to_memory()
+            .quantum(Nanos::from_millis(5))
+            .clock_period(Nanos::from_millis(500))
+            .build()
+            .unwrap();
+        papi.monitor(pid).unwrap();
+        papi.run_for(Nanos::from_secs(2)).unwrap();
+        let out = papi.finish().unwrap();
+        let t = &out.telemetry;
+        assert!(t.enabled, "telemetry defaults on");
+        assert!(t.messages_handled > 0);
+        assert_eq!(t.messages_dropped, 0);
+        // Every pipeline stage saw traffic and was timed.
+        for stage in ["sensor", "formula", "aggregator", "reporter"] {
+            let s = t.stage(stage).unwrap_or_else(|| panic!("no {stage}"));
+            assert!(s.latency.count > 0, "{stage} latency recorded");
+        }
+        // Each of the 4 ticks produced a traced end-to-end span.
+        assert_eq!(t.ticks_traced, 4, "{t:?}");
+        assert!(t.end_to_end.max_ns > 0);
+        // Every report descends from a traced tick.
+        assert!(out.reports.iter().all(|r| r.trace.is_traced()));
+        // Host time dwarfs middleware time on this workload.
+        assert!(t.overhead.host_busy_ns > 0);
+        assert!(t.overhead.middleware_busy_ns > 0);
+        assert!(t.prometheus.contains("powerapi_actor_handled_total"));
+    }
+
+    #[test]
+    fn telemetry_off_runs_dark() {
+        let (kernel, pid) = busy_kernel();
+        let mut papi = PowerApi::builder(kernel)
+            .formula(paper_formula())
+            .telemetry(false)
+            .report_to_memory()
+            .quantum(Nanos::from_millis(5))
+            .clock_period(Nanos::from_millis(500))
+            .build()
+            .unwrap();
+        papi.monitor(pid).unwrap();
+        papi.run_for(Nanos::from_secs(1)).unwrap();
+        let out = papi.finish().unwrap();
+        assert!(!out.telemetry.enabled);
+        assert_eq!(out.telemetry.messages_handled, 0);
+        assert!(out.reports.iter().all(|r| !r.trace.is_traced()));
+        assert_eq!(out.machine_estimates().len(), 2, "estimation unaffected");
+    }
+
+    #[test]
+    fn profile_self_reports_the_middleware_as_a_process() {
+        let (kernel, pid) = busy_kernel();
+        let mut papi = PowerApi::builder(kernel)
+            .formula(paper_formula())
+            .profile_self(12.0)
+            .report_to_memory()
+            .quantum(Nanos::from_millis(5))
+            .clock_period(Nanos::from_millis(500))
+            .build()
+            .unwrap();
+        papi.monitor(pid).unwrap();
+        papi.run_for(Nanos::from_secs(2)).unwrap();
+        let out = papi.finish().unwrap();
+        let own = out.self_estimates();
+        assert_eq!(own.len(), 4, "one self report per tick");
+        // The middleware is nearly idle relative to wall time, so its
+        // attributed power is a small fraction of a busy core's.
+        assert!(own.iter().all(|(_, w)| w.as_f64() >= 0.0));
+        assert!(own.iter().any(|(_, w)| w.as_f64() < 12.0));
+        // The workload's own estimates are unaffected.
+        assert_eq!(out.process_estimates(pid).len(), 4);
     }
 
     #[test]

@@ -26,6 +26,8 @@ impl HpcSensor {
 impl Actor for HpcSensor {
     fn handle(&mut self, msg: Message, ctx: &Context) {
         let Message::Tick(snap) = msg else { return };
+        // One trace per tick, shared by every sensor on the same snapshot.
+        let trace = ctx.telemetry().trace_for_tick(snap.timestamp);
         for (pid, counters) in &snap.hpc {
             let time = snap
                 .proc_times
@@ -58,6 +60,7 @@ impl Actor for HpcSensor {
                 counters: counters.clone(),
                 time,
                 corun,
+                trace,
             })));
         }
     }

@@ -26,6 +26,7 @@ impl ProcfsSensor {
 impl Actor for ProcfsSensor {
     fn handle(&mut self, msg: Message, ctx: &Context) {
         let Message::Tick(snap) = msg else { return };
+        let trace = ctx.telemetry().trace_for_tick(snap.timestamp);
         for (pid, time) in &snap.proc_times {
             ctx.bus().publish(Message::Sensor(Arc::new(SensorReport {
                 source: SOURCE,
@@ -35,6 +36,7 @@ impl Actor for ProcfsSensor {
                 counters: Vec::new(),
                 time: time.clone(),
                 corun: CorunSplit::default(),
+                trace,
             })));
         }
     }

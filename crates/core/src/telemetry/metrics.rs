@@ -1,0 +1,390 @@
+//! The metrics registry: counters, gauges and fixed-bucket latency
+//! histograms on plain atomics — no external dependency, cheap enough to
+//! leave enabled in production runs. Handles are `Arc`-backed clones;
+//! after registration every update is lock-free.
+//!
+//! Naming follows the Prometheus convention: snake-case metric names with
+//! optional `{label="value"}` suffixes, e.g.
+//! `powerapi_actor_handled_total{actor="sensor-hpc"}`. The full string is
+//! the registry key; [`MetricsRegistry::render_prometheus`] groups series
+//! of the same base name under one `# TYPE` header.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An up/down gauge (e.g. live mailbox depth).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed bucket upper bounds for latency histograms, in nanoseconds:
+/// 250 ns … 100 ms, roughly logarithmic. Values above the last bound land
+/// in the implicit overflow bucket.
+pub const LATENCY_BOUNDS_NS: [u64; 16] = [
+    250,
+    500,
+    1_000,
+    2_500,
+    5_000,
+    10_000,
+    25_000,
+    50_000,
+    100_000,
+    250_000,
+    500_000,
+    1_000_000,
+    2_500_000,
+    5_000_000,
+    25_000_000,
+    100_000_000,
+];
+
+#[derive(Debug)]
+struct HistogramCore {
+    bounds: &'static [u64],
+    /// One slot per bound plus the overflow bucket.
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A fixed-bucket histogram (nanosecond latencies by default).
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Creates a histogram over the standard latency buckets.
+    pub fn latency() -> Histogram {
+        Histogram(Arc::new(HistogramCore {
+            bounds: &LATENCY_BOUNDS_NS,
+            counts: (0..=LATENCY_BOUNDS_NS.len())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        let idx = self
+            .0
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.0.bounds.len());
+        self.0.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation seen.
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Quantile estimate: the upper bound of the bucket holding the
+    /// `q`-th observation (the overflow bucket reports the observed max).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cum = 0;
+        for (i, c) in self.0.counts.iter().enumerate() {
+            cum += c.load(Ordering::Relaxed);
+            if cum >= rank {
+                return if i < self.0.bounds.len() {
+                    self.0.bounds[i]
+                } else {
+                    self.max()
+                };
+            }
+        }
+        self.max()
+    }
+
+    fn render_into(&self, base: &str, labels: &str, out: &mut String) {
+        use std::fmt::Write;
+        let mut cum = 0;
+        for (i, &bound) in self.0.bounds.iter().enumerate() {
+            cum += self.0.counts[i].load(Ordering::Relaxed);
+            let sep = if labels.is_empty() { "" } else { "," };
+            let _ = writeln!(out, "{base}_bucket{{{labels}{sep}le=\"{bound}\"}} {cum}");
+        }
+        let sep = if labels.is_empty() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "{base}_bucket{{{labels}{sep}le=\"+Inf\"}} {}",
+            self.count()
+        );
+        let suffix = if labels.is_empty() {
+            String::new()
+        } else {
+            format!("{{{labels}}}")
+        };
+        let _ = writeln!(out, "{base}_sum{suffix} {}", self.sum());
+        let _ = writeln!(out, "{base}_count{suffix} {}", self.count());
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// The shared registry. Creation of a handle locks once; the returned
+/// handle updates lock-free thereafter (re-registering a name returns the
+/// existing series).
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<Registry>>,
+}
+
+/// Splits `powerapi_x_total{actor="hpc"}` into base name and label body.
+fn split_name(full: &str) -> (&str, &str) {
+    match full.split_once('{') {
+        Some((base, rest)) => (base, rest.strip_suffix('}').unwrap_or(rest)),
+        None => (full, ""),
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Registers (or fetches) a counter under `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.inner
+            .lock()
+            .expect("metrics registry")
+            .counters
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Registers (or fetches) a gauge under `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.inner
+            .lock()
+            .expect("metrics registry")
+            .gauges
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Registers (or fetches) a latency histogram under `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.inner
+            .lock()
+            .expect("metrics registry")
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(Histogram::latency)
+            .clone()
+    }
+
+    /// Every counter as `(full_name, value)`, name-ordered.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        let reg = self.inner.lock().expect("metrics registry");
+        reg.counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Every gauge as `(full_name, value)`, name-ordered.
+    pub fn gauge_values(&self) -> Vec<(String, i64)> {
+        let reg = self.inner.lock().expect("metrics registry");
+        reg.gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Every histogram as `(full_name, handle)`, name-ordered.
+    pub fn histogram_values(&self) -> Vec<(String, Histogram)> {
+        let reg = self.inner.lock().expect("metrics registry");
+        reg.histograms
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Renders the whole registry in the Prometheus text exposition
+    /// format (one `# TYPE` header per base name).
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let reg = self.inner.lock().expect("metrics registry");
+        let mut out = String::new();
+        let mut last_base = String::new();
+        for (name, c) in &reg.counters {
+            let (base, _) = split_name(name);
+            if base != last_base {
+                let _ = writeln!(out, "# TYPE {base} counter");
+                last_base = base.to_string();
+            }
+            let _ = writeln!(out, "{name} {}", c.get());
+        }
+        last_base.clear();
+        for (name, g) in &reg.gauges {
+            let (base, _) = split_name(name);
+            if base != last_base {
+                let _ = writeln!(out, "# TYPE {base} gauge");
+                last_base = base.to_string();
+            }
+            let _ = writeln!(out, "{name} {}", g.get());
+        }
+        last_base.clear();
+        for (name, h) in &reg.histograms {
+            let (base, labels) = split_name(name);
+            if base != last_base {
+                let _ = writeln!(out, "# TYPE {base} histogram");
+                last_base = base.to_string();
+            }
+            h.render_into(base, labels, &mut out);
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let reg = self.inner.lock().expect("metrics registry");
+        f.debug_struct("MetricsRegistry")
+            .field("counters", &reg.counters.len())
+            .field("gauges", &reg.gauges.len())
+            .field("histograms", &reg.histograms.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("msgs_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Re-registering returns the same series.
+        assert_eq!(reg.counter("msgs_total").get(), 5);
+        let g = reg.gauge("depth");
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-3);
+        assert_eq!(g.get(), -3);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::latency();
+        assert_eq!(h.quantile(0.5), 0, "empty");
+        for v in [100, 200, 300, 400, 2_000, 200_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), 200_000_000);
+        assert_eq!(h.sum(), 200_003_000);
+        // Half of the samples are ≤ 250 ns (bucket upper bound).
+        assert_eq!(h.quantile(0.5), 500);
+        // The tail sample lives in the overflow bucket → observed max.
+        assert_eq!(h.quantile(1.0), 200_000_000);
+        assert!(h.mean() > 0);
+    }
+
+    #[test]
+    fn prometheus_render_groups_series() {
+        let reg = MetricsRegistry::new();
+        reg.counter("powerapi_handled_total{actor=\"a\"}").inc();
+        reg.counter("powerapi_handled_total{actor=\"b\"}").add(2);
+        reg.gauge("powerapi_depth{actor=\"a\"}").set(7);
+        reg.histogram("powerapi_handle_ns{actor=\"a\"}").record(300);
+        let text = reg.render_prometheus();
+        assert_eq!(
+            text.matches("# TYPE powerapi_handled_total counter")
+                .count(),
+            1,
+            "one TYPE line for both series:\n{text}"
+        );
+        assert!(text.contains("powerapi_handled_total{actor=\"a\"} 1"));
+        assert!(text.contains("powerapi_handled_total{actor=\"b\"} 2"));
+        assert!(text.contains("powerapi_depth{actor=\"a\"} 7"));
+        assert!(text.contains("powerapi_handle_ns_bucket{actor=\"a\",le=\"500\"} 1"));
+        assert!(text.contains("powerapi_handle_ns_count{actor=\"a\"} 1"));
+        assert!(text.contains("le=\"+Inf\"} 1"));
+    }
+}

@@ -1,0 +1,375 @@
+//! Pipeline observability: a metrics registry ([`metrics`]), span-style
+//! tracing ([`trace`]) and self-overhead profiling ([`overhead`]) for the
+//! Sensor → Formula → Aggregator → Reporter pipeline. One [`Telemetry`]
+//! hub is shared by every actor (via its [`Context`]), the bus, the host
+//! and the runtime; everything hangs off cheap `Arc` clones.
+//!
+//! The hub has an *enabled* flag baked in at construction: a disabled hub
+//! ([`Telemetry::disabled`]) skips every clock read and every record, so
+//! the hot path costs one branch — measured end to end by the
+//! `e8_overhead` experiment (<3% wall time on the E3 replay).
+//!
+//! [`Context`]: crate::actor::Context
+
+pub mod metrics;
+pub mod overhead;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, LATENCY_BOUNDS_NS};
+pub use overhead::{OverheadProfiler, OverheadSummary, SELF_FORMULA, SELF_PID};
+pub use trace::{Hop, Stage, TraceId, TraceSpan, Tracer};
+
+use simcpu::units::Nanos;
+use std::sync::Arc;
+
+struct TelemetryInner {
+    enabled: bool,
+    registry: MetricsRegistry,
+    tracer: Tracer,
+    overhead: OverheadProfiler,
+    /// One handle-latency histogram per pipeline stage, pre-registered so
+    /// the supervision loop never touches the registry lock.
+    stage_handle_ns: [Histogram; 6],
+    /// Queue wait of Tick messages: how far sensor wake-up lags the clock.
+    tick_lag_ns: Histogram,
+}
+
+/// The shared observability hub.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Arc<TelemetryInner>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Telemetry {
+        Telemetry::disabled()
+    }
+}
+
+impl Telemetry {
+    fn build(enabled: bool) -> Telemetry {
+        let registry = MetricsRegistry::new();
+        let stage_handle_ns = Stage::ALL.map(|s| {
+            registry.histogram(&format!(
+                "powerapi_stage_handle_ns{{stage=\"{}\"}}",
+                s.label()
+            ))
+        });
+        let tick_lag_ns = registry.histogram("powerapi_tick_lag_ns");
+        Telemetry {
+            inner: Arc::new(TelemetryInner {
+                enabled,
+                registry,
+                tracer: Tracer::new(),
+                overhead: OverheadProfiler::default(),
+                stage_handle_ns,
+                tick_lag_ns,
+            }),
+        }
+    }
+
+    /// An active hub.
+    pub fn new() -> Telemetry {
+        Telemetry::build(true)
+    }
+
+    /// A no-op hub: every record is skipped, every trace id is
+    /// [`TraceId::NONE`].
+    pub fn disabled() -> Telemetry {
+        Telemetry::build(false)
+    }
+
+    /// Whether recording is on.
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.inner.registry
+    }
+
+    /// The span tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
+    }
+
+    /// The self-overhead profiler.
+    pub fn overhead(&self) -> &OverheadProfiler {
+        &self.inner.overhead
+    }
+
+    /// Assigns (or returns) the trace id for a tick timestamp —
+    /// [`TraceId::NONE`] when disabled. Sensors call this to stamp the
+    /// reports they publish.
+    pub fn trace_for_tick(&self, ts: Nanos) -> TraceId {
+        if !self.inner.enabled {
+            return TraceId::NONE;
+        }
+        self.inner.tracer.trace_for_tick(ts)
+    }
+
+    /// The pre-registered handle-latency histogram of a stage.
+    pub fn stage_histogram(&self, stage: Stage) -> Histogram {
+        self.inner.stage_handle_ns[stage.index()].clone()
+    }
+
+    /// The tick-lag histogram (queue wait of Tick messages).
+    pub fn tick_lag_histogram(&self) -> Histogram {
+        self.inner.tick_lag_ns.clone()
+    }
+
+    /// The Prometheus text dump of every metric.
+    pub fn render_prometheus(&self) -> String {
+        self.inner.registry.render_prometheus()
+    }
+
+    /// Summarises everything recorded so far (stage breakdown, end-to-end
+    /// latency, totals, overhead split, Prometheus dump).
+    pub fn summary(&self) -> TelemetrySummary {
+        if !self.inner.enabled {
+            return TelemetrySummary::default();
+        }
+        let stages = Stage::ALL
+            .iter()
+            .map(|&s| StageLatency {
+                stage: s.label(),
+                latency: LatencyStats::of(&self.inner.stage_handle_ns[s.index()]),
+            })
+            .filter(|s| s.latency.count > 0)
+            .collect();
+        let e2e = self.inner.tracer.end_to_end_latencies();
+        let sum_or = |name: &str| -> u64 {
+            self.inner
+                .registry
+                .counter_values()
+                .iter()
+                .filter(|(k, _)| k.starts_with(name))
+                .map(|(_, v)| v)
+                .sum()
+        };
+        TelemetrySummary {
+            enabled: true,
+            stages,
+            end_to_end: LatencyStats::of_samples(&e2e),
+            ticks_traced: e2e.len() as u64,
+            messages_handled: sum_or("powerapi_actor_handled_total"),
+            messages_dropped: sum_or("powerapi_actor_dropped_total"),
+            restarts: sum_or("powerapi_actor_restarts_total"),
+            panics: sum_or("powerapi_actor_panics_total"),
+            overhead: self.inner.overhead.summary(),
+            prometheus: self.render_prometheus(),
+        }
+    }
+
+    /// One JSON object summarising the current counters/latencies — the
+    /// line format [`TelemetryReporter`] emits per tick.
+    ///
+    /// [`TelemetryReporter`]: crate::reporter::telemetry::TelemetryReporter
+    pub fn json_snapshot(&self, sim_time: Nanos) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(256);
+        let _ = write!(
+            out,
+            "{{\"sim_time_s\":{:.3},\"enabled\":{}",
+            sim_time.as_secs_f64(),
+            self.inner.enabled
+        );
+        let e2e = LatencyStats::of_samples(&self.inner.tracer.end_to_end_latencies());
+        let _ = write!(
+            out,
+            ",\"ticks_traced\":{},\"e2e_p50_ns\":{},\"e2e_p95_ns\":{}",
+            e2e.count, e2e.p50_ns, e2e.p95_ns
+        );
+        for stage in Stage::ALL {
+            let h = &self.inner.stage_handle_ns[stage.index()];
+            if h.count() == 0 {
+                continue;
+            }
+            let _ = write!(
+                out,
+                ",\"{}_handled\":{},\"{}_p50_ns\":{},\"{}_p95_ns\":{}",
+                stage.label(),
+                h.count(),
+                stage.label(),
+                h.quantile(0.5),
+                stage.label(),
+                h.quantile(0.95)
+            );
+        }
+        let lag = &self.inner.tick_lag_ns;
+        if lag.count() > 0 {
+            let _ = write!(out, ",\"tick_lag_p95_ns\":{}", lag.quantile(0.95));
+        }
+        let o = self.inner.overhead.summary();
+        let _ = write!(
+            out,
+            ",\"messages\":{},\"middleware_busy_ns\":{},\"middleware_share\":{:.4}}}",
+            o.messages, o.middleware_busy_ns, o.middleware_share
+        );
+        out
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.inner.enabled)
+            .field("registry", &self.inner.registry)
+            .finish()
+    }
+}
+
+/// Latency distribution digest (histogram-bucket estimates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyStats {
+    /// Number of observations.
+    pub count: u64,
+    /// Mean, ns.
+    pub mean_ns: u64,
+    /// Median estimate, ns.
+    pub p50_ns: u64,
+    /// 95th-percentile estimate, ns.
+    pub p95_ns: u64,
+    /// Observed maximum, ns.
+    pub max_ns: u64,
+}
+
+impl LatencyStats {
+    fn of(h: &Histogram) -> LatencyStats {
+        LatencyStats {
+            count: h.count(),
+            mean_ns: h.mean(),
+            p50_ns: h.quantile(0.5),
+            p95_ns: h.quantile(0.95),
+            max_ns: h.max(),
+        }
+    }
+
+    /// Exact stats over raw samples (used for end-to-end latencies, which
+    /// are few enough to keep unbucketed).
+    pub fn of_samples(samples: &[u64]) -> LatencyStats {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let q = |f: f64| {
+            let idx = ((f * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
+            sorted[idx]
+        };
+        LatencyStats {
+            count: sorted.len() as u64,
+            mean_ns: sorted.iter().sum::<u64>() / sorted.len() as u64,
+            p50_ns: q(0.5),
+            p95_ns: q(0.95),
+            max_ns: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// One stage's latency digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageLatency {
+    /// Stage label (`sensor`, `formula`, `aggregator`, `reporter`, …).
+    pub stage: &'static str,
+    /// Handle-latency digest.
+    pub latency: LatencyStats,
+}
+
+/// Everything the hub observed over a run — attached to
+/// [`RunOutcome::telemetry`].
+///
+/// [`RunOutcome::telemetry`]: crate::runtime::RunOutcome
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetrySummary {
+    /// Whether telemetry was recording (all-zero digest otherwise).
+    pub enabled: bool,
+    /// Per-stage handle-latency breakdown (stages with traffic only).
+    pub stages: Vec<StageLatency>,
+    /// Tick-publish → last-reporter-hop latency digest.
+    pub end_to_end: LatencyStats,
+    /// Ticks that produced at least one traced hop.
+    pub ticks_traced: u64,
+    /// Messages handled across all actors.
+    pub messages_handled: u64,
+    /// Messages dropped by bounded mailboxes.
+    pub messages_dropped: u64,
+    /// Supervised restarts.
+    pub restarts: u64,
+    /// Panics caught in handlers.
+    pub panics: u64,
+    /// Middleware-vs-host busy-time split.
+    pub overhead: OverheadSummary,
+    /// Prometheus text dump of every metric at shutdown.
+    pub prometheus: String,
+}
+
+impl TelemetrySummary {
+    /// The digest of one stage, if it saw traffic.
+    pub fn stage(&self, label: &str) -> Option<&StageLatency> {
+        self.stages.iter().find(|s| s.stage == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_hub_returns_null_traces_and_empty_summary() {
+        let t = Telemetry::disabled();
+        assert!(!t.enabled());
+        assert_eq!(t.trace_for_tick(Nanos::from_secs(1)), TraceId::NONE);
+        let s = t.summary();
+        assert!(!s.enabled);
+        assert!(s.stages.is_empty());
+        assert_eq!(s, TelemetrySummary::default());
+    }
+
+    #[test]
+    fn enabled_hub_summarises_stage_traffic() {
+        let t = Telemetry::new();
+        let id = t.trace_for_tick(Nanos::from_secs(1));
+        assert!(id.is_traced());
+        t.stage_histogram(Stage::Sensor).record(400);
+        t.stage_histogram(Stage::Sensor).record(600);
+        t.stage_histogram(Stage::Reporter).record(100);
+        let name: Arc<str> = Arc::from("sensor-hpc");
+        t.tracer().record_hop(id, Stage::Sensor, &name, 10, 400);
+        t.overhead().record_handle(400);
+        let s = t.summary();
+        assert!(s.enabled);
+        assert_eq!(s.stage("sensor").unwrap().latency.count, 2);
+        assert_eq!(s.stage("reporter").unwrap().latency.count, 1);
+        assert!(s.stage("formula").is_none(), "no traffic, no entry");
+        assert_eq!(s.ticks_traced, 1);
+        assert!(s.end_to_end.max_ns > 0);
+        assert!(s.prometheus.contains("powerapi_stage_handle_ns"));
+        assert_eq!(s.overhead.messages, 1);
+    }
+
+    #[test]
+    fn latency_stats_of_samples_are_exact() {
+        let s = LatencyStats::of_samples(&[100, 300, 200]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.p50_ns, 200);
+        assert_eq!(s.max_ns, 300);
+        assert_eq!(s.mean_ns, 200);
+        assert_eq!(LatencyStats::of_samples(&[]), LatencyStats::default());
+    }
+
+    #[test]
+    fn json_snapshot_is_one_flat_object() {
+        let t = Telemetry::new();
+        t.stage_histogram(Stage::Sensor).record(500);
+        t.tick_lag_histogram().record(1_000);
+        t.overhead().record_handle(500);
+        let line = t.json_snapshot(Nanos::from_millis(1500));
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"sim_time_s\":1.500"), "{line}");
+        assert!(line.contains("\"sensor_handled\":1"), "{line}");
+        assert!(line.contains("\"tick_lag_p95_ns\":"), "{line}");
+        assert_eq!(line.matches('"').count() % 2, 0);
+    }
+}

@@ -25,6 +25,24 @@ use os_sim::task::{SteadyTask, TaskBehavior};
 use simcpu::machine::MachineConfig;
 use simcpu::units::{Joules, Nanos};
 use simcpu::workunit::WorkUnit;
+use std::time::{Duration, Instant};
+
+/// Polls `cond` (1 ms interval) until it holds or `timeout` elapses;
+/// returns the final evaluation. Replaces fixed wall-clock sleeps in
+/// concurrency tests — waits exactly as long as needed, and a generous
+/// timeout costs nothing on the happy path even on a loaded machine.
+pub fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if cond() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return cond();
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
 
 /// Energy measured for one test run.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -1,0 +1,158 @@
+//! Golden-trace harness tests.
+//!
+//! The experiment binaries in `crates/bench` each record their key
+//! deterministic metrics through `bench_suite::Golden`; the blessed
+//! snapshots live in `tests/golden/*.golden`. Two layers of checking:
+//!
+//! 1. **Format validation** (always on): every committed golden file must
+//!    parse — one `key value rel_tol` triple per line, `#` comments, no
+//!    NaNs, no negative tolerances, no duplicate keys, and values must
+//!    round-trip exactly through their `Display` form (the harness relies
+//!    on shortest-round-trip formatting for exact comparisons).
+//!
+//! 2. **Drift detection** (`RUN_GOLDEN=1`): re-run every experiment binary
+//!    with `--check` and fail if any metric drifted from its snapshot.
+//!    This is minutes of work (full learning campaigns), so it is opt-in
+//!    here and wired into CI as its own job.
+//!
+//! The root test package cannot depend on `bench-suite` (it would drag the
+//! bench binaries into every `cargo test`), so layer 1 re-implements the
+//! tiny parser and cross-checks it against the files the real harness
+//! wrote.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn golden_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(golden_dir())
+        .expect("tests/golden exists — bless with `cargo run -p bench-suite --bin e1_table1 -- --bless` etc.")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "golden"))
+        .collect();
+    files.sort();
+    files
+}
+
+/// Mirror of `bench_suite::golden::parse` — `key value rel_tol` triples.
+fn parse(text: &str) -> Result<Vec<(String, f64, f64)>, String> {
+    let mut entries = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if tokens.len() != 3 {
+            return Err(format!("line {}: expected 3 tokens", lineno + 1));
+        }
+        let value: f64 = tokens[1]
+            .parse()
+            .map_err(|e| format!("line {}: bad value: {e}", lineno + 1))?;
+        let tol: f64 = tokens[2]
+            .parse()
+            .map_err(|e| format!("line {}: bad tolerance: {e}", lineno + 1))?;
+        if !value.is_finite() || !tol.is_finite() || tol < 0.0 {
+            return Err(format!("line {}: non-finite or negative", lineno + 1));
+        }
+        entries.push((tokens[0].to_string(), value, tol));
+    }
+    Ok(entries)
+}
+
+#[test]
+fn every_committed_golden_file_is_well_formed() {
+    let files = golden_files();
+    assert!(
+        !files.is_empty(),
+        "no .golden files in {} — the harness snapshots are part of the repo",
+        golden_dir().display()
+    );
+    for path in &files {
+        let text = std::fs::read_to_string(path).expect("readable golden file");
+        let entries =
+            parse(&text).unwrap_or_else(|e| panic!("{} is malformed: {e}", path.display()));
+        assert!(
+            !entries.is_empty(),
+            "{} contains no metrics",
+            path.display()
+        );
+        let mut seen = HashSet::new();
+        for (key, value, _tol) in &entries {
+            assert!(
+                seen.insert(key.clone()),
+                "{} lists `{key}` twice",
+                path.display()
+            );
+            // The harness compares exact entries with `==` after a
+            // parse round-trip, so Display(value) must parse back
+            // bit-identically.
+            let round: f64 = value.to_string().parse().expect("round-trip parse");
+            assert_eq!(
+                round.to_bits(),
+                value.to_bits(),
+                "{}: `{key}` does not round-trip through Display",
+                path.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn expected_experiments_have_snapshots() {
+    let names: HashSet<String> = golden_files()
+        .iter()
+        .map(|p| p.file_stem().expect("stem").to_string_lossy().into_owned())
+        .collect();
+    for required in [
+        "e1_table1",
+        "e2_model",
+        "e3_figure3",
+        "e4_comparison",
+        "e5_selection",
+        "e6_ablations",
+        "e7_chaos.quick",
+    ] {
+        assert!(
+            names.contains(required),
+            "missing snapshot tests/golden/{required}.golden (run the binary with --bless)"
+        );
+    }
+}
+
+/// Full drift check: re-run every experiment and compare against its
+/// snapshot. Opt-in (`RUN_GOLDEN=1`) — this runs complete learning
+/// campaigns and takes minutes. CI runs it as a dedicated job.
+#[test]
+fn golden_traces_match_when_requested() {
+    if std::env::var("RUN_GOLDEN").as_deref() != Ok("1") {
+        eprintln!("golden_traces_match_when_requested: skipped (set RUN_GOLDEN=1)");
+        return;
+    }
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let runs: &[(&str, &[&str])] = &[
+        ("e1_table1", &["--check"]),
+        ("e2_model", &["--check"]),
+        ("e3_figure3", &["--check"]),
+        ("e4_comparison", &["--check"]),
+        ("e5_selection", &["--check"]),
+        ("e6_ablations", &["--check"]),
+        ("e7_chaos", &["--quick", "--check"]),
+    ];
+    for (bin, args) in runs {
+        eprintln!("golden: checking {bin} {}", args.join(" "));
+        let status = std::process::Command::new("cargo")
+            .current_dir(repo)
+            .args(["run", "--release", "-p", "bench-suite", "--bin", bin, "--"])
+            .args(*args)
+            .status()
+            .expect("spawn cargo run");
+        assert!(
+            status.success(),
+            "{bin} drifted from its golden snapshot (exit {status})"
+        );
+    }
+}

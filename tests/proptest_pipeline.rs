@@ -3,10 +3,12 @@
 
 use powerapi_suite::os_sim::kernel::Kernel;
 use powerapi_suite::os_sim::task::SteadyTask;
+use powerapi_suite::powerapi::formula::cpuload::CpuLoadFormula;
 use powerapi_suite::powerapi::formula::per_freq::PerFrequencyFormula;
 use powerapi_suite::powerapi::model::power_model::PerFrequencyPowerModel;
 use powerapi_suite::powerapi::msg::Scope;
 use powerapi_suite::powerapi::runtime::PowerApi;
+use powerapi_suite::simcpu::fault::{FaultPlan, FaultPlanConfig};
 use powerapi_suite::simcpu::presets;
 use powerapi_suite::simcpu::units::{MegaHertz, Nanos};
 use powerapi_suite::simcpu::workunit::WorkUnit;
@@ -137,6 +139,111 @@ proptest! {
             let p = machine_w.as_f64();
             prop_assert!(p >= 31.48 - 1e-9, "never below the idle constant: {p}");
             prop_assert!(p < 120.0, "never beyond physical headroom: {p}");
+        }
+    }
+}
+
+proptest! {
+    // Each case runs a full pipeline with fault injection; keep the case
+    // count modest so the suite stays interactive.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The conservation invariant survives chaos, in its streaming form.
+    ///
+    /// Under fault injection the degraded (procfs-sourced) estimates can
+    /// arrive at the aggregator out of timestamp order relative to the
+    /// primary (HPC-sourced) stream — the two sensors are independent
+    /// actors, so their streams skew when ticks outpace the pipeline.
+    /// The aggregator then splits a tick across several machine
+    /// aggregates, each folding a disjoint subset of that tick's process
+    /// estimates and re-stating the idle floor once. What must *never*
+    /// break is conservation across the partition: per timestamp, the
+    /// machine aggregates above idle sum to exactly the process
+    /// estimates, no power lost or double-counted, and the worst machine
+    /// quality equals the worst process quality folded anywhere in the
+    /// tick.
+    #[test]
+    fn conservation_holds_under_fault_injection(
+        works in prop::collection::vec(work_unit(), 1..4),
+        fault_seed in 0u64..1024,
+        windows_per_kind in 1usize..3,
+    ) {
+        let duration = Nanos::from_secs(3);
+        let plan = FaultPlan::generate(
+            fault_seed,
+            duration,
+            &FaultPlanConfig {
+                windows_per_kind,
+                min_window: Nanos::from_millis(300),
+                max_window: Nanos::from_millis(1500),
+                ..FaultPlanConfig::default()
+            },
+        );
+        let model = PerFrequencyPowerModel::paper_i3_example();
+        let idle = model.idle_w();
+        let mut kernel = Kernel::new(presets::intel_i3_2120());
+        let pids: Vec<_> = works
+            .iter()
+            .enumerate()
+            .map(|(i, w)| kernel.spawn(format!("p{i}"), vec![SteadyTask::boxed(*w)]))
+            .collect();
+        let mut papi = PowerApi::builder(kernel)
+            .formula(PerFrequencyFormula::new(model))
+            .degrade_to(CpuLoadFormula::new(0.0, 4.0), Nanos::from_millis(600))
+            .fault_plan(plan)
+            .report_to_memory()
+            .quantum(Nanos::from_millis(5))
+            .clock_period(Nanos::from_millis(250))
+            .build()
+            .expect("pipeline builds");
+        for &pid in &pids {
+            papi.monitor(pid).expect("monitor");
+        }
+        papi.run_for(duration).expect("run");
+        let outcome = papi.finish().expect("shutdown");
+
+        let machine_ts: std::collections::BTreeSet<_> = outcome
+            .reports
+            .iter()
+            .filter(|r| r.scope == Scope::Machine)
+            .map(|r| r.timestamp)
+            .collect();
+        prop_assert!(
+            !machine_ts.is_empty(),
+            "faults degrade estimates, they must not silence them"
+        );
+        for &ts in &machine_ts {
+            let machines: Vec<_> = outcome
+                .reports
+                .iter()
+                .filter(|r| r.timestamp == ts && r.scope == Scope::Machine)
+                .collect();
+            let procs: Vec<_> = outcome
+                .reports
+                .iter()
+                .filter(|r| r.timestamp == ts && matches!(r.scope, Scope::Process(_)))
+                .collect();
+            let above_idle: f64 = machines
+                .iter()
+                .map(|r| r.power.as_f64() - idle)
+                .sum();
+            let process_sum: f64 = procs.iter().map(|r| r.power.as_f64()).sum();
+            prop_assert!(
+                (above_idle - process_sum).abs() < 1e-6,
+                "Σ machine-above-idle {above_idle} != Σ process {process_sum} at {ts:?} \
+                 ({} machine aggregates)",
+                machines.len()
+            );
+            let machine_worst = machines.iter().map(|r| r.quality).min();
+            let process_worst = procs.iter().map(|r| r.quality).min();
+            prop_assert_eq!(
+                machine_worst, process_worst,
+                "machine quality floor matches process quality floor at {:?}", ts
+            );
+        }
+        for r in &outcome.reports {
+            prop_assert!(r.power.as_f64().is_finite());
+            prop_assert!(r.power.as_f64() >= 0.0, "no negative power under faults");
         }
     }
 }
