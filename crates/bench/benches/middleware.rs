@@ -30,6 +30,7 @@ impl Actor for Relay {
                     timestamp: p.timestamp,
                     scope: powerapi::msg::Scope::Process(p.pid),
                     power: p.power,
+                    band_w: p.band_w,
                     quality: p.quality,
                     trace: p.trace,
                 }));
@@ -43,6 +44,7 @@ fn power_msg() -> Message {
         pid: Pid(1),
         power: Watts(4.2),
         formula: "bench",
+        band_w: Watts(0.0),
         quality: powerapi::msg::Quality::Full,
         trace: powerapi::telemetry::TraceId::NONE,
     })

@@ -749,6 +749,7 @@ mod tests {
             pid: Pid(1),
             power: Watts(w),
             formula: "test",
+            band_w: Watts(0.0),
             quality: Quality::Full,
             trace: TraceId::NONE,
         })
@@ -803,6 +804,7 @@ mod tests {
                         timestamp: p.timestamp,
                         scope: Scope::Process(p.pid),
                         power: p.power,
+                        band_w: p.band_w,
                         quality: p.quality,
                         trace: p.trace,
                     }));

@@ -55,7 +55,7 @@ impl Dimension {
 pub struct Aggregator {
     dimension: Dimension,
     idle_w: f64,
-    window: Option<(Nanos, Watts, Quality, TraceId)>,
+    window: Option<(Nanos, Watts, Watts, Quality, TraceId)>,
 }
 
 impl Aggregator {
@@ -75,33 +75,37 @@ impl Aggregator {
                 timestamp: p.timestamp,
                 scope: Scope::Process(p.pid),
                 power: p.power,
+                band_w: p.band_w,
                 quality: p.quality,
                 trace: p.trace,
             }));
         }
         if self.dimension.machine {
             match &mut self.window {
-                Some((ts, acc, q, tr)) if *ts == p.timestamp => {
+                Some((ts, acc, band, q, tr)) if *ts == p.timestamp => {
                     *acc += p.power;
+                    *band += p.band_w;
                     *q = (*q).min(p.quality);
                     // Trace ids are monotone per tick: keep the newest.
                     *tr = (*tr).max(p.trace);
                 }
-                Some((ts, acc, q, tr)) => {
+                Some((ts, acc, band, q, tr)) => {
                     let done = AggregateReport {
                         timestamp: *ts,
                         scope: Scope::Machine,
                         power: Watts(acc.as_f64() + self.idle_w),
+                        band_w: *band,
                         quality: *q,
                         trace: *tr,
                     };
                     *ts = p.timestamp;
                     *acc = p.power;
+                    *band = p.band_w;
                     *q = p.quality;
                     *tr = p.trace;
                     ctx.bus().publish(Message::Aggregate(done));
                 }
-                None => self.window = Some((p.timestamp, p.power, p.quality, p.trace)),
+                None => self.window = Some((p.timestamp, p.power, p.band_w, p.quality, p.trace)),
             }
         }
     }
@@ -115,11 +119,12 @@ impl Actor for Aggregator {
     }
 
     fn on_stop(&mut self, ctx: &Context) {
-        if let Some((ts, acc, q, tr)) = self.window.take() {
+        if let Some((ts, acc, band, q, tr)) = self.window.take() {
             ctx.bus().publish(Message::Aggregate(AggregateReport {
                 timestamp: ts,
                 scope: Scope::Machine,
                 power: Watts(acc.as_f64() + self.idle_w),
+                band_w: band,
                 quality: q,
                 trace: tr,
             }));
@@ -151,6 +156,7 @@ mod tests {
             pid: Pid(pid),
             power: Watts(w),
             formula: "t",
+            band_w: Watts(0.0),
             quality: crate::msg::Quality::Full,
             trace: TraceId(ts),
         })
@@ -229,7 +235,8 @@ mod tests {
 #[derive(Debug, Clone)]
 pub struct GroupAggregator {
     membership: std::collections::BTreeMap<os_sim::process::Pid, std::sync::Arc<str>>,
-    window: std::collections::BTreeMap<std::sync::Arc<str>, (Nanos, Watts, Quality, TraceId)>,
+    window:
+        std::collections::BTreeMap<std::sync::Arc<str>, (Nanos, Watts, Watts, Quality, TraceId)>,
 }
 
 impl GroupAggregator {
@@ -259,11 +266,12 @@ impl GroupAggregator {
     }
 
     fn flush(&mut self, group: &std::sync::Arc<str>, ctx: &Context) {
-        if let Some((ts, acc, q, tr)) = self.window.remove(group) {
+        if let Some((ts, acc, band, q, tr)) = self.window.remove(group) {
             ctx.bus().publish(Message::Aggregate(AggregateReport {
                 timestamp: ts,
                 scope: Scope::Group(group.clone()),
                 power: acc,
+                band_w: band,
                 quality: q,
                 trace: tr,
             }));
@@ -278,19 +286,20 @@ impl Actor for GroupAggregator {
             return;
         };
         match self.window.get_mut(&group) {
-            Some((ts, acc, q, tr)) if *ts == p.timestamp => {
+            Some((ts, acc, band, q, tr)) if *ts == p.timestamp => {
                 *acc += p.power;
+                *band += p.band_w;
                 *q = (*q).min(p.quality);
                 *tr = (*tr).max(p.trace);
             }
             Some(_) => {
                 self.flush(&group, ctx);
                 self.window
-                    .insert(group, (p.timestamp, p.power, p.quality, p.trace));
+                    .insert(group, (p.timestamp, p.power, p.band_w, p.quality, p.trace));
             }
             None => {
                 self.window
-                    .insert(group, (p.timestamp, p.power, p.quality, p.trace));
+                    .insert(group, (p.timestamp, p.power, p.band_w, p.quality, p.trace));
             }
         }
     }
@@ -327,6 +336,7 @@ mod group_tests {
             pid: Pid(pid),
             power: Watts(w),
             formula: "t",
+            band_w: Watts(0.0),
             quality: crate::msg::Quality::Full,
             trace: TraceId::NONE,
         })

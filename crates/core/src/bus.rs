@@ -143,6 +143,7 @@ mod tests {
             pid: Pid(1),
             power: Watts(1.0),
             formula: "t",
+            band_w: Watts(0.0),
             quality: crate::msg::Quality::Full,
             trace: crate::telemetry::TraceId::NONE,
         })
@@ -153,6 +154,7 @@ mod tests {
             timestamp: Nanos(1),
             scope: Scope::Machine,
             power: Watts(1.0),
+            band_w: Watts(0.0),
             quality: crate::msg::Quality::Full,
             trace: crate::telemetry::TraceId::NONE,
         })

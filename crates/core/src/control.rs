@@ -18,7 +18,7 @@ use crate::msg::{Message, Scope};
 use os_sim::governor::CpufreqGovernor;
 use parking_lot::Mutex;
 use simcpu::freq::PStateTable;
-use simcpu::units::MegaHertz;
+use simcpu::units::{MegaHertz, Nanos};
 use std::sync::Arc;
 
 #[derive(Debug)]
@@ -78,6 +78,78 @@ impl PowerCap {
 
     fn take_pending(&self) -> i32 {
         std::mem::take(&mut self.state.lock().pending)
+    }
+}
+
+#[derive(Debug)]
+struct TriggerState {
+    /// A recalibration request awaiting its consumer (latched; cleared by
+    /// [`RecalibrationTrigger::take_pending`]).
+    pending: Option<Nanos>,
+    /// Total requests raised (pre-cooldown alarms do not count).
+    fired: u64,
+    last_fired: Option<Nanos>,
+}
+
+/// Control hook the model-health monitor pulls when drift is detected:
+/// "this model no longer matches the hardware — schedule a calibration
+/// sweep". The consumer (an operator loop, or [`RunOutcome`] at the end
+/// of a run) polls [`take_pending`]; a cooldown collapses the alarm
+/// bursts a sustained drift produces into one request per window.
+///
+/// Mirrors [`PowerCap`]: one shared state, an actor-side producer and a
+/// poll-side consumer, no channels.
+///
+/// [`RunOutcome`]: crate::runtime::RunOutcome
+/// [`take_pending`]: RecalibrationTrigger::take_pending
+#[derive(Debug, Clone)]
+pub struct RecalibrationTrigger {
+    state: Arc<Mutex<TriggerState>>,
+    cooldown: Nanos,
+}
+
+impl RecalibrationTrigger {
+    /// Creates a trigger that raises at most one request per `cooldown`
+    /// of simulated time ([`Nanos::ZERO`] = every alarm fires).
+    pub fn new(cooldown: Nanos) -> RecalibrationTrigger {
+        RecalibrationTrigger {
+            state: Arc::new(Mutex::new(TriggerState {
+                pending: None,
+                fired: 0,
+                last_fired: None,
+            })),
+            cooldown,
+        }
+    }
+
+    /// Raises a recalibration request at simulated time `at`. Returns
+    /// `true` when the request was accepted (outside the cooldown).
+    pub fn fire(&self, at: Nanos) -> bool {
+        let mut s = self.state.lock();
+        if let Some(last) = s.last_fired {
+            if at.saturating_sub(last) < self.cooldown && at >= last {
+                return false;
+            }
+        }
+        s.pending = Some(at);
+        s.fired += 1;
+        s.last_fired = Some(at);
+        true
+    }
+
+    /// Consumes the pending request, if any (its timestamp).
+    pub fn take_pending(&self) -> Option<Nanos> {
+        self.state.lock().pending.take()
+    }
+
+    /// Total accepted requests so far.
+    pub fn fired(&self) -> u64 {
+        self.state.lock().fired
+    }
+
+    /// When the most recent request was raised.
+    pub fn last_fired(&self) -> Option<Nanos> {
+        self.state.lock().last_fired
     }
 }
 
@@ -208,6 +280,30 @@ mod tests {
         // In the hysteresis band (0.92 · 50 = 46): hold.
         cap.on_estimate(47.0);
         assert_eq!(g.select(0, 1.0, &t), MegaHertz(2000));
+    }
+
+    #[test]
+    fn trigger_latches_until_consumed() {
+        let t = RecalibrationTrigger::new(Nanos::ZERO);
+        assert_eq!(t.take_pending(), None);
+        assert!(t.fire(Nanos::from_secs(10)));
+        assert_eq!(t.fired(), 1);
+        assert_eq!(t.take_pending(), Some(Nanos::from_secs(10)));
+        assert_eq!(t.take_pending(), None, "consumed");
+        assert_eq!(t.last_fired(), Some(Nanos::from_secs(10)));
+    }
+
+    #[test]
+    fn trigger_cooldown_collapses_alarm_bursts() {
+        let t = RecalibrationTrigger::new(Nanos::from_secs(60));
+        assert!(t.fire(Nanos::from_secs(100)));
+        // A burst of alarms within the cooldown: one request total.
+        assert!(!t.fire(Nanos::from_secs(101)));
+        assert!(!t.fire(Nanos::from_secs(159)));
+        assert_eq!(t.fired(), 1);
+        // Past the window: accepted again.
+        assert!(t.fire(Nanos::from_secs(161)));
+        assert_eq!(t.fired(), 2);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::actor::{Actor, Context};
 use crate::formula::PowerFormula;
 use crate::msg::{Message, PowerReport, Quality};
 use os_sim::process::Pid;
-use simcpu::units::Nanos;
+use simcpu::units::{Nanos, Watts};
 use std::collections::BTreeMap;
 
 /// The watchdog actor wrapping a primary/backup formula pair.
@@ -72,6 +72,7 @@ impl Actor for FallbackFormula {
                     pid: report.pid,
                     power,
                     formula: self.primary.name(),
+                    band_w: Watts(self.primary.interval_w(&report)),
                     quality: Quality::Full,
                     trace: report.trace,
                 }));
@@ -98,6 +99,7 @@ impl Actor for FallbackFormula {
                 pid: report.pid,
                 power,
                 formula: self.backup.name(),
+                band_w: Watts(self.backup.interval_w(&report)),
                 quality: Quality::Degraded,
                 trace: report.trace,
             }));

@@ -16,6 +16,7 @@ pub mod happy;
 pub mod per_freq;
 
 use crate::actor::{Actor, Context};
+use crate::health::ModelHealth;
 use crate::msg::{Message, PowerReport, Quality, SensorReport};
 use simcpu::units::Watts;
 
@@ -36,6 +37,14 @@ pub trait PowerFormula: Send {
     /// report's interval, or `None` when the report is unusable.
     fn estimate(&mut self, report: &SensorReport) -> Option<Watts>;
 
+    /// Half-width of the prediction interval around an estimate for this
+    /// report, in watts. Formulas without residual statistics from
+    /// calibration report 0 (no claimed band).
+    fn interval_w(&self, report: &SensorReport) -> f64 {
+        let _ = report;
+        0.0
+    }
+
     /// A fresh boxed copy of this formula, so a supervisor can rebuild a
     /// formula actor after a panic.
     fn boxed_clone(&self) -> Box<dyn PowerFormula>;
@@ -45,12 +54,29 @@ pub trait PowerFormula: Send {
 /// reports, filters by source, publishes power reports.
 pub struct FormulaActor {
     formula: Box<dyn PowerFormula>,
+    /// When model health is enabled, estimates are downgraded to
+    /// [`Quality::Degraded`] while the live residual sits outside the
+    /// prediction band. `None` (the default) costs nothing per report.
+    health: Option<ModelHealth>,
 }
 
 impl FormulaActor {
     /// Wraps a formula.
     pub fn new(formula: Box<dyn PowerFormula>) -> FormulaActor {
-        FormulaActor { formula }
+        FormulaActor {
+            formula,
+            health: None,
+        }
+    }
+
+    /// Wraps a formula with a model-health handle: reports are marked
+    /// [`Quality::Degraded`] while the monitor flags the model as
+    /// out-of-band.
+    pub fn with_health(formula: Box<dyn PowerFormula>, health: ModelHealth) -> FormulaActor {
+        FormulaActor {
+            formula,
+            health: Some(health),
+        }
     }
 }
 
@@ -61,12 +87,17 @@ impl Actor for FormulaActor {
             return;
         }
         if let Some(power) = self.formula.estimate(&report) {
+            let quality = match &self.health {
+                Some(h) if h.out_of_band() => Quality::Degraded,
+                _ => Quality::Full,
+            };
             ctx.bus().publish(Message::Power(PowerReport {
                 timestamp: report.timestamp,
                 pid: report.pid,
                 power,
                 formula: self.formula.name(),
-                quality: Quality::Full,
+                band_w: Watts(self.formula.interval_w(&report)),
+                quality,
                 trace: report.trace,
             }));
         }
@@ -149,6 +180,58 @@ mod tests {
             seen[0].trace,
             crate::telemetry::TraceId(3),
             "trace propagates sensor → power"
+        );
+    }
+
+    #[test]
+    fn default_interval_is_zero_and_quality_full() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut sys = ActorSystem::new();
+        let formula = sys.spawn("formula", Box::new(FormulaActor::new(Box::new(Fixed))));
+        let sink = sys.spawn("sink", Box::new(Capture(seen.clone())));
+        sys.bus().subscribe(Topic::Sensor, &formula);
+        sys.bus().subscribe(Topic::Power, &sink);
+        sys.bus().publish(sensor_msg(crate::sensor::hpc::SOURCE));
+        sys.shutdown();
+        let seen = seen.lock();
+        assert_eq!(seen[0].band_w, Watts(0.0));
+        assert_eq!(seen[0].quality, Quality::Full);
+    }
+
+    #[test]
+    fn out_of_band_health_downgrades_quality() {
+        let health = ModelHealth::new();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut sys = ActorSystem::new();
+        let formula = sys.spawn(
+            "formula",
+            Box::new(FormulaActor::with_health(Box::new(Fixed), health.clone())),
+        );
+        let sink = sys.spawn("sink", Box::new(Capture(seen.clone())));
+        sys.bus().subscribe(Topic::Sensor, &formula);
+        sys.bus().subscribe(Topic::Power, &sink);
+        let settled = |n: usize| {
+            let seen = seen.clone();
+            crate::testing::wait_until(std::time::Duration::from_secs(5), move || {
+                seen.lock().len() >= n
+            })
+        };
+        // Healthy: Full.
+        sys.bus().publish(sensor_msg(crate::sensor::hpc::SOURCE));
+        assert!(settled(1));
+        // Monitor flags the residual out of band: Degraded.
+        health.record_residual(8.0, 8.0, 8.0, true);
+        sys.bus().publish(sensor_msg(crate::sensor::hpc::SOURCE));
+        assert!(settled(2));
+        // Residual returns in band: Full again.
+        health.record_residual(0.1, 0.1, 0.1, false);
+        sys.bus().publish(sensor_msg(crate::sensor::hpc::SOURCE));
+        sys.shutdown();
+        let seen = seen.lock();
+        let qualities: Vec<Quality> = seen.iter().map(|p| p.quality).collect();
+        assert_eq!(
+            qualities,
+            vec![Quality::Full, Quality::Degraded, Quality::Full]
         );
     }
 

@@ -5,9 +5,10 @@
 //! idle added later, once per machine, by the aggregator.
 
 use crate::formula::PowerFormula;
+use crate::health::PREDICTION_Z;
 use crate::model::power_model::PerFrequencyPowerModel;
 use crate::msg::SensorReport;
-use simcpu::units::Watts;
+use simcpu::units::{MegaHertz, Watts};
 
 /// The formula actor state.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,6 +25,19 @@ impl PerFrequencyFormula {
     /// The underlying model.
     pub fn model(&self) -> &PerFrequencyPowerModel {
         &self.model
+    }
+
+    /// The frequency the process spent most of its busy time at this
+    /// interval (falls back to the model's first frequency when the
+    /// report carries no residency split).
+    fn dominant_freq(&self, report: &SensorReport) -> MegaHertz {
+        report
+            .time
+            .by_freq
+            .iter()
+            .max_by_key(|(_, t)| t.as_u64())
+            .map(|&(f, _)| f)
+            .unwrap_or_else(|| self.model.frequencies()[0])
     }
 
     /// Extracts the report's counter deltas in model-event order
@@ -85,6 +99,14 @@ impl PowerFormula for PerFrequencyFormula {
             total += self.model.predict_active(f, &rates).ok()?;
         }
         Some(Watts(total))
+    }
+
+    /// The calibration prediction interval at the report's dominant
+    /// frequency: ±[`PREDICTION_Z`] residual standard deviations (0 for
+    /// models learned before residual statistics existed).
+    fn interval_w(&self, report: &SensorReport) -> f64 {
+        self.model
+            .prediction_band_w(self.dominant_freq(report), PREDICTION_Z)
     }
 }
 
@@ -189,6 +211,48 @@ mod tests {
         );
         let p = f.estimate(&r).unwrap().as_f64();
         assert!((p - 2.22).abs() < 1e-9, "nearest is the 3.3 GHz model");
+    }
+
+    #[test]
+    fn interval_tracks_dominant_frequency_sigma() {
+        let mut model = model_two_freqs();
+        model.set_residual_sigma(MegaHertz(1600), 0.2);
+        model.set_residual_sigma(MegaHertz(3300), 0.5);
+        let f = PerFrequencyFormula::new(model);
+        // Mostly at 3.3 GHz: band = 2 · 0.5.
+        let r = report(
+            &[1, 0, 0],
+            vec![
+                (MegaHertz(1600), Nanos::from_millis(100)),
+                (MegaHertz(3300), Nanos::from_millis(900)),
+            ],
+            Nanos::from_secs(1),
+        );
+        assert!((f.interval_w(&r) - 1.0).abs() < 1e-12);
+        // Mostly at 1.6 GHz: band = 2 · 0.2.
+        let r = report(
+            &[1, 0, 0],
+            vec![
+                (MegaHertz(1600), Nanos::from_millis(900)),
+                (MegaHertz(3300), Nanos::from_millis(100)),
+            ],
+            Nanos::from_secs(1),
+        );
+        assert!((f.interval_w(&r) - 0.4).abs() < 1e-12);
+        // No residency split: first model frequency.
+        let r = report(&[1, 0, 0], Vec::new(), Nanos::from_secs(1));
+        assert!((f.interval_w(&r) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn model_without_residuals_claims_no_band() {
+        let f = PerFrequencyFormula::new(model_two_freqs());
+        let r = report(
+            &[1, 0, 0],
+            vec![(MegaHertz(3300), Nanos::from_secs(1))],
+            Nanos::from_secs(1),
+        );
+        assert_eq!(f.interval_w(&r), 0.0);
     }
 
     #[test]

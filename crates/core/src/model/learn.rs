@@ -74,6 +74,21 @@ fn fit_rates(x: &Matrix, y_active: &[f64]) -> Result<Vec<f64>> {
         .collect())
 }
 
+/// Residual standard deviation of a through-the-origin fit, in watts:
+/// `sqrt(Σ (y − X·coefs)² / max(n − p, 1))`. This is the calibration-time
+/// uncertainty the prediction intervals are built from.
+fn residual_sigma(x: &Matrix, y_active: &[f64], coefs: &[f64]) -> f64 {
+    let (rows, _) = x.shape();
+    let mut ss = 0.0;
+    for (r, &yv) in y_active.iter().enumerate().take(rows) {
+        let pred: f64 = x.row(r).iter().zip(coefs).map(|(v, c)| v * c).sum();
+        let e = yv - pred;
+        ss += e * e;
+    }
+    let dof = rows.saturating_sub(coefs.len()).max(1);
+    (ss / dof as f64).sqrt()
+}
+
 /// Measures the idle floor (the paper's 31.48 W constant).
 ///
 /// # Errors
@@ -105,18 +120,27 @@ pub fn fit_from_samples(idle_w: f64, set: &SampleSet) -> Result<PerFrequencyPowe
         |_, &f| {
             let (x, y) = set.design_for(f)?;
             let y_active: Vec<f64> = y.iter().map(|p| (p - idle_w).max(0.0)).collect();
-            Ok::<_, Error>((f, fit_rates(&x, &y_active)?))
+            let coefs = fit_rates(&x, &y_active)?;
+            let sigma = residual_sigma(&x, &y_active, &coefs);
+            Ok::<_, Error>((f, coefs, sigma))
         },
     );
     let mut per_freq = Vec::with_capacity(freqs.len());
+    let mut sigmas = Vec::with_capacity(freqs.len());
     for fit in fits {
-        per_freq.push(fit?);
+        let (f, coefs, sigma) = fit?;
+        sigmas.push((f, sigma));
+        per_freq.push((f, coefs));
     }
-    PerFrequencyPowerModel::from_parts(
+    let mut model = PerFrequencyPowerModel::from_parts(
         idle_w,
         set.events.iter().map(|e| e.to_string()).collect(),
         per_freq,
-    )
+    )?;
+    for (f, sigma) in sigmas {
+        model.set_residual_sigma(f, sigma);
+    }
+    Ok(model)
 }
 
 /// The full Figure 1 pipeline: measure idle, run the stress campaign at
@@ -269,6 +293,23 @@ mod tests {
         // 1.87e-7 (within a decade).
         assert!(i > 1e-10 && i < 1e-7, "i = {i:e}");
         assert!(mm > 1e-9 && mm < 1e-5, "m = {mm:e}");
+    }
+
+    #[test]
+    fn learned_model_carries_residual_sigma() {
+        let m = presets::intel_i3_2120();
+        let model = learn_model(m, &LearnConfig::quick()).unwrap();
+        for f in model.frequencies() {
+            let s = model
+                .residual_sigma(f)
+                .expect("sigma recorded per frequency");
+            assert!(s.is_finite() && s >= 0.0, "sigma at {f} = {s}");
+            assert!(s < 5.0, "calibration residual implausibly wide: {s} W");
+        }
+        // A 2-sigma band is a usable, non-degenerate interval.
+        let top = *model.frequencies().last().unwrap();
+        let band = model.prediction_band_w(top, 2.0);
+        assert!(band > 0.0, "meter noise makes a zero band implausible");
     }
 
     #[test]

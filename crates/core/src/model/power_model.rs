@@ -18,6 +18,11 @@ pub struct PerFrequencyPowerModel {
     idle_w: f64,
     events: Vec<String>,
     per_freq: BTreeMap<u32, Vec<f64>>,
+    /// Residual standard deviation of the calibration fit per frequency,
+    /// in watts — the basis for prediction intervals. Empty for models
+    /// learned before this field existed (deserializes as such).
+    #[serde(default)]
+    resid_sigma: BTreeMap<u32, f64>,
 }
 
 impl PerFrequencyPowerModel {
@@ -57,6 +62,7 @@ impl PerFrequencyPowerModel {
             idle_w,
             events,
             per_freq: map,
+            resid_sigma: BTreeMap::new(),
         })
     }
 
@@ -130,6 +136,34 @@ impl PerFrequencyPowerModel {
             .max(0.0))
     }
 
+    /// Records the calibration residual standard deviation for one
+    /// frequency (negative values clamp to zero; NaN is ignored).
+    pub fn set_residual_sigma(&mut self, f: MegaHertz, sigma_w: f64) {
+        if sigma_w.is_finite() {
+            self.resid_sigma.insert(f.as_u32(), sigma_w.max(0.0));
+        }
+    }
+
+    /// Calibration residual sigma for an exact frequency, if recorded.
+    pub fn residual_sigma(&self, f: MegaHertz) -> Option<f64> {
+        self.resid_sigma.get(&f.as_u32()).copied()
+    }
+
+    /// Residual sigma at the nearest recorded frequency (`None` when the
+    /// model carries no residual statistics at all).
+    pub fn nearest_residual_sigma(&self, f: MegaHertz) -> Option<f64> {
+        self.resid_sigma
+            .iter()
+            .min_by_key(|(&k, _)| k.abs_diff(f.as_u32()))
+            .map(|(_, &s)| s)
+    }
+
+    /// Prediction-interval half-width at `z` standard deviations for the
+    /// nearest recorded frequency (0 without residual statistics).
+    pub fn prediction_band_w(&self, f: MegaHertz, z: f64) -> f64 {
+        self.nearest_residual_sigma(f).map_or(0.0, |s| z * s)
+    }
+
     /// Serializes to the on-disk text format (see [`Self::from_text`]).
     pub fn to_text(&self) -> String {
         let mut out = String::new();
@@ -142,6 +176,9 @@ impl PerFrequencyPowerModel {
             }
             out.push('\n');
         }
+        for (f, sigma) in &self.resid_sigma {
+            out.push_str(&format!("resid {f} {sigma:e}\n"));
+        }
         out
     }
 
@@ -151,7 +188,10 @@ impl PerFrequencyPowerModel {
     /// idle 31.48
     /// events instructions cache-references cache-misses
     /// freq 3300 2.22e-9 2.48e-8 1.87e-7
+    /// resid 3300 4.2e-1
     /// ```
+    ///
+    /// `resid` lines are optional (older model files omit them).
     ///
     /// # Errors
     ///
@@ -161,6 +201,7 @@ impl PerFrequencyPowerModel {
         let mut idle = None;
         let mut events: Vec<String> = Vec::new();
         let mut per_freq = Vec::new();
+        let mut resid = Vec::new();
         for line in text.lines() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
@@ -190,15 +231,32 @@ impl PerFrequencyPowerModel {
                         parts.map(str::parse::<f64>).collect();
                     per_freq.push((MegaHertz(f), coefs.map_err(|_| bad("coefficient"))?));
                 }
+                Some("resid") => {
+                    let f: u32 = parts
+                        .next()
+                        .ok_or_else(|| bad("resid needs a frequency"))?
+                        .parse()
+                        .map_err(|_| bad("resid frequency"))?;
+                    let sigma: f64 = parts
+                        .next()
+                        .ok_or_else(|| bad("resid needs a sigma"))?
+                        .parse()
+                        .map_err(|_| bad("resid sigma"))?;
+                    resid.push((MegaHertz(f), sigma));
+                }
                 Some(other) => return Err(bad(other)),
                 None => {}
             }
         }
-        PerFrequencyPowerModel::from_parts(
+        let mut model = PerFrequencyPowerModel::from_parts(
             idle.ok_or_else(|| bad("missing idle line"))?,
             events,
             per_freq,
-        )
+        )?;
+        for (f, sigma) in resid {
+            model.set_residual_sigma(f, sigma);
+        }
+        Ok(model)
     }
 }
 
@@ -302,6 +360,40 @@ mod tests {
         // Comments and blank lines are fine.
         let ok = "# comment\n\nidle 2.0\nevents instructions\nfreq 1000 1e-9\n";
         assert!(PerFrequencyPowerModel::from_text(ok).is_ok());
+    }
+
+    #[test]
+    fn residual_sigma_roundtrips_and_is_optional() {
+        let mut m = PerFrequencyPowerModel::paper_i3_example();
+        assert_eq!(m.residual_sigma(MegaHertz(3300)), None);
+        assert_eq!(m.prediction_band_w(MegaHertz(3300), 2.0), 0.0);
+        m.set_residual_sigma(MegaHertz(3300), 0.42);
+        assert_eq!(m.residual_sigma(MegaHertz(3300)), Some(0.42));
+        assert_eq!(m.nearest_residual_sigma(MegaHertz(3700)), Some(0.42));
+        assert!((m.prediction_band_w(MegaHertz(3300), 2.0) - 0.84).abs() < 1e-12);
+        // Text round trip carries the sigma.
+        let text = m.to_text();
+        assert!(text.contains("resid 3300"), "{text}");
+        let back = PerFrequencyPowerModel::from_text(&text).unwrap();
+        assert_eq!(back, m);
+        // Old files without resid lines still parse (sigma absent).
+        let old = "idle 2.0\nevents instructions\nfreq 1000 1e-9\n";
+        let parsed = PerFrequencyPowerModel::from_text(old).unwrap();
+        assert_eq!(parsed.residual_sigma(MegaHertz(1000)), None);
+        // Malformed resid lines are rejected.
+        assert!(PerFrequencyPowerModel::from_text(
+            "idle 2.0\nevents e\nfreq 1000 1e-9\nresid 1000"
+        )
+        .is_err());
+        assert!(PerFrequencyPowerModel::from_text(
+            "idle 2.0\nevents e\nfreq 1000 1e-9\nresid abc 0.1"
+        )
+        .is_err());
+        // NaN sigma is ignored; negative clamps to zero.
+        m.set_residual_sigma(MegaHertz(3300), f64::NAN);
+        assert_eq!(m.residual_sigma(MegaHertz(3300)), Some(0.42));
+        m.set_residual_sigma(MegaHertz(3300), -1.0);
+        assert_eq!(m.residual_sigma(MegaHertz(3300)), Some(0.0));
     }
 
     #[test]

@@ -177,6 +177,9 @@ pub struct PowerReport {
     pub power: Watts,
     /// Name of the formula that produced the estimate.
     pub formula: &'static str,
+    /// Half-width of the calibration prediction interval around `power`
+    /// (0 when the formula has no residual statistics).
+    pub band_w: Watts,
     /// Whether the estimate came from the primary path or a fallback.
     pub quality: Quality,
     /// The tick trace this estimate descends from.
@@ -204,6 +207,9 @@ pub struct AggregateReport {
     pub scope: Scope,
     /// Aggregated power.
     pub power: Watts,
+    /// Aggregated prediction-interval half-width (sum of the input
+    /// bands — conservative, since estimation errors share the model).
+    pub band_w: Watts,
     /// The worst quality among the inputs that formed this aggregate.
     pub quality: Quality,
     /// The newest tick trace folded into this aggregate.
@@ -288,6 +294,7 @@ mod tests {
             pid: Pid(1),
             power: Watts(1.0),
             formula: "x",
+            band_w: Watts(0.0),
             quality: Quality::Full,
             trace: TraceId(7),
         });
@@ -297,6 +304,7 @@ mod tests {
             timestamp: Nanos(1),
             scope: Scope::Machine,
             power: Watts(1.0),
+            band_w: Watts(0.0),
             quality: Quality::Full,
             trace: TraceId(7),
         });

@@ -44,21 +44,27 @@ impl<W: Write + Send> Actor for ConsoleReporter<W> {
                     crate::msg::Quality::Degraded => " [degraded]",
                     crate::msg::Quality::Stale => " [stale]",
                 };
+                // Show the prediction interval when the formula claims one.
+                let band = if a.band_w.as_f64() > 0.0 {
+                    format!(" ±{:.2}", a.band_w.as_f64())
+                } else {
+                    String::new()
+                };
                 match a.scope {
                     Scope::Process(pid) => format!(
-                        "[{:10.3}s] {:<10} estimate {:.2} W{suffix}",
+                        "[{:10.3}s] {:<10} estimate {:.2} W{band}{suffix}",
                         a.timestamp.as_secs_f64(),
                         pid.to_string(),
                         a.power.as_f64()
                     ),
                     Scope::Group(g) => format!(
-                        "[{:10.3}s] {:<10} estimate {:.2} W{suffix}",
+                        "[{:10.3}s] {:<10} estimate {:.2} W{band}{suffix}",
                         a.timestamp.as_secs_f64(),
                         g,
                         a.power.as_f64()
                     ),
                     Scope::Machine => format!(
-                        "[{:10.3}s] machine    estimate {:.2} W{suffix}",
+                        "[{:10.3}s] machine    estimate {:.2} W{band}{suffix}",
                         a.timestamp.as_secs_f64(),
                         a.power.as_f64()
                     ),
@@ -120,6 +126,7 @@ mod tests {
             timestamp: Nanos::from_secs(2),
             scope: Scope::Process(Pid(42)),
             power: Watts(3.5),
+            band_w: Watts(0.0),
             quality: crate::msg::Quality::Full,
             trace: crate::telemetry::TraceId::NONE,
         }));
@@ -127,6 +134,7 @@ mod tests {
             timestamp: Nanos::from_secs(2),
             scope: Scope::Machine,
             power: Watts(36.0),
+            band_w: Watts(1.25),
             quality: crate::msg::Quality::Degraded,
             trace: crate::telemetry::TraceId::NONE,
         }));
@@ -141,8 +149,9 @@ mod tests {
         assert!(text.contains("powerspy"), "{text}");
         assert!(text.contains("rapl"), "{text}");
         assert!(text.contains("3.50 W"), "{text}");
-        assert!(text.contains("36.00 W [degraded]"), "{text}");
+        assert!(text.contains("36.00 W ±1.25 [degraded]"), "{text}");
         assert!(!text.contains("3.50 W ["), "full quality has no suffix");
+        assert!(!text.contains("3.50 W ±"), "zero band stays hidden");
         assert_eq!(text.lines().count(), 4);
     }
 }

@@ -1,8 +1,9 @@
 //! CSV reporter: one row per message, schema
-//! `time_s,kind,scope,power_w,quality,trace`, with a header row. Loadable
-//! straight into gnuplot/pandas for Figure-3-style plots. Meter and RAPL
-//! rows carry `full` quality and trace 0 (they are measurements, not
-//! traced estimates).
+//! `time_s,kind,scope,power_w,band_w,quality,trace`, with a header row.
+//! Loadable straight into gnuplot/pandas for Figure-3-style plots (the
+//! `band_w` column is the prediction-interval half-width — feed it to
+//! gnuplot's `errorbars`). Meter and RAPL rows carry band 0, `full`
+//! quality and trace 0 (they are measurements, not traced estimates).
 
 use crate::actor::{Actor, Context};
 use crate::msg::{Message, Quality, Scope};
@@ -13,6 +14,17 @@ use std::io::Write;
 pub struct CsvReporter<W: Write + Send> {
     out: W,
     wrote_header: bool,
+}
+
+/// One CSV row, in column order.
+struct Row<'a> {
+    time_s: f64,
+    kind: &'a str,
+    scope: &'a str,
+    power_w: f64,
+    band_w: f64,
+    quality: Quality,
+    trace: TraceId,
 }
 
 impl<W: Write + Send> CsvReporter<W> {
@@ -29,23 +41,21 @@ impl<W: Write + Send> CsvReporter<W> {
         self.out
     }
 
-    fn row(
-        &mut self,
-        time_s: f64,
-        kind: &str,
-        scope: &str,
-        power_w: f64,
-        quality: Quality,
-        trace: TraceId,
-    ) {
+    fn row(&mut self, r: Row<'_>) {
         if !self.wrote_header {
-            let _ = writeln!(self.out, "time_s,kind,scope,power_w,quality,trace");
+            let _ = writeln!(self.out, "time_s,kind,scope,power_w,band_w,quality,trace");
             self.wrote_header = true;
         }
         let _ = writeln!(
             self.out,
-            "{time_s:.3},{kind},{scope},{power_w:.3},{},{trace}",
-            quality.label()
+            "{:.3},{},{},{:.3},{:.3},{},{}",
+            r.time_s,
+            r.kind,
+            r.scope,
+            r.power_w,
+            r.band_w,
+            r.quality.label(),
+            r.trace
         );
     }
 }
@@ -59,31 +69,34 @@ impl<W: Write + Send> Actor for CsvReporter<W> {
                     Scope::Group(g) => g.to_string(),
                     Scope::Machine => "machine".to_string(),
                 };
-                self.row(
-                    a.timestamp.as_secs_f64(),
-                    "estimate",
-                    &scope,
-                    a.power.as_f64(),
-                    a.quality,
-                    a.trace,
-                );
+                self.row(Row {
+                    time_s: a.timestamp.as_secs_f64(),
+                    kind: "estimate",
+                    scope: &scope,
+                    power_w: a.power.as_f64(),
+                    band_w: a.band_w.as_f64(),
+                    quality: a.quality,
+                    trace: a.trace,
+                });
             }
-            Message::Meter(at, w) => self.row(
-                at.as_secs_f64(),
-                "powerspy",
-                "machine",
-                w.as_f64(),
-                Quality::Full,
-                TraceId::NONE,
-            ),
-            Message::Rapl(at, w) => self.row(
-                at.as_secs_f64(),
-                "rapl",
-                "package",
-                w.as_f64(),
-                Quality::Full,
-                TraceId::NONE,
-            ),
+            Message::Meter(at, w) => self.row(Row {
+                time_s: at.as_secs_f64(),
+                kind: "powerspy",
+                scope: "machine",
+                power_w: w.as_f64(),
+                band_w: 0.0,
+                quality: Quality::Full,
+                trace: TraceId::NONE,
+            }),
+            Message::Rapl(at, w) => self.row(Row {
+                time_s: at.as_secs_f64(),
+                kind: "rapl",
+                scope: "package",
+                power_w: w.as_f64(),
+                band_w: 0.0,
+                quality: Quality::Full,
+                trace: TraceId::NONE,
+            }),
             _ => {}
         }
     }
@@ -127,6 +140,7 @@ mod tests {
             timestamp: Nanos::from_secs(1),
             scope: Scope::Process(Pid(5)),
             power: Watts(2.25),
+            band_w: Watts(0.84),
             quality: crate::msg::Quality::Degraded,
             trace: TraceId(42),
         }));
@@ -135,9 +149,9 @@ mod tests {
         sys.shutdown();
         let text = String::from_utf8(inner.0.lock().clone()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines[0], "time_s,kind,scope,power_w,quality,trace");
-        assert_eq!(lines[1], "1.000,estimate,pid5,2.250,degraded,42");
-        assert_eq!(lines[2], "1.000,powerspy,machine,33.000,full,0");
+        assert_eq!(lines[0], "time_s,kind,scope,power_w,band_w,quality,trace");
+        assert_eq!(lines[1], "1.000,estimate,pid5,2.250,0.840,degraded,42");
+        assert_eq!(lines[2], "1.000,powerspy,machine,33.000,0.000,full,0");
         assert_eq!(lines.len(), 3);
     }
 }

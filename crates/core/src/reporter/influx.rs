@@ -2,11 +2,12 @@
 //! production PowerAPI ecosystem exports to. One point per message:
 //!
 //! ```text
-//! power,scope=pid42,kind=estimate power_w=3.500 1000000000
+//! power,scope=pid42,kind=estimate,quality=full power_w=3.500,band_w=0.700,trace=6i 1000000000
 //! ```
 //!
-//! (measurement `power`, tags `scope`/`kind`, field `power_w`, nanosecond
-//! timestamp — ready for `influx write` or Telegraf.)
+//! (measurement `power`, tags `scope`/`kind`/`quality`, fields `power_w`,
+//! `band_w` — the prediction-interval half-width — and `trace`,
+//! nanosecond timestamp — ready for `influx write` or Telegraf.)
 
 use crate::actor::{Actor, Context};
 use crate::msg::{Message, Scope};
@@ -16,6 +17,18 @@ use std::io::Write;
 pub struct InfluxReporter<W: Write + Send> {
     out: W,
     measurement: &'static str,
+}
+
+/// One line-protocol point: tags (`scope`, `kind`, `quality`), fields
+/// (`power_w`, `band_w`, `trace`), timestamp.
+struct Point<'a> {
+    scope: &'a str,
+    kind: &'a str,
+    quality: crate::msg::Quality,
+    power_w: f64,
+    band_w: f64,
+    trace: crate::telemetry::TraceId,
+    ts_ns: u64,
 }
 
 impl<W: Write + Send> InfluxReporter<W> {
@@ -32,25 +45,18 @@ impl<W: Write + Send> InfluxReporter<W> {
         self.out
     }
 
-    fn point(
-        &mut self,
-        scope: &str,
-        kind: &str,
-        quality: crate::msg::Quality,
-        power_w: f64,
-        trace: crate::telemetry::TraceId,
-        ts_ns: u64,
-    ) {
+    fn point(&mut self, p: Point<'_>) {
         let _ = writeln!(
             self.out,
-            "{},scope={},kind={},quality={} power_w={:.3},trace={}i {}",
+            "{},scope={},kind={},quality={} power_w={:.3},band_w={:.3},trace={}i {}",
             self.measurement,
-            scope,
-            kind,
-            quality.label(),
-            power_w,
-            trace,
-            ts_ns
+            p.scope,
+            p.kind,
+            p.quality.label(),
+            p.power_w,
+            p.band_w,
+            p.trace,
+            p.ts_ns
         );
     }
 }
@@ -66,31 +72,34 @@ impl<W: Write + Send> Actor for InfluxReporter<W> {
                     Scope::Group(g) => g.to_string(),
                     Scope::Machine => "machine".to_string(),
                 };
-                self.point(
-                    &scope,
-                    "estimate",
-                    a.quality,
-                    a.power.as_f64(),
-                    a.trace,
-                    a.timestamp.as_u64(),
-                );
+                self.point(Point {
+                    scope: &scope,
+                    kind: "estimate",
+                    quality: a.quality,
+                    power_w: a.power.as_f64(),
+                    band_w: a.band_w.as_f64(),
+                    trace: a.trace,
+                    ts_ns: a.timestamp.as_u64(),
+                });
             }
-            Message::Meter(at, w) => self.point(
-                "machine",
-                "powerspy",
-                Quality::Full,
-                w.as_f64(),
-                TraceId::NONE,
-                at.as_u64(),
-            ),
-            Message::Rapl(at, w) => self.point(
-                "package",
-                "rapl",
-                Quality::Full,
-                w.as_f64(),
-                TraceId::NONE,
-                at.as_u64(),
-            ),
+            Message::Meter(at, w) => self.point(Point {
+                scope: "machine",
+                kind: "powerspy",
+                quality: Quality::Full,
+                power_w: w.as_f64(),
+                band_w: 0.0,
+                trace: TraceId::NONE,
+                ts_ns: at.as_u64(),
+            }),
+            Message::Rapl(at, w) => self.point(Point {
+                scope: "package",
+                kind: "rapl",
+                quality: Quality::Full,
+                power_w: w.as_f64(),
+                band_w: 0.0,
+                trace: TraceId::NONE,
+                ts_ns: at.as_u64(),
+            }),
             _ => {}
         }
     }
@@ -135,6 +144,7 @@ mod tests {
             timestamp: Nanos::from_secs(1),
             scope: Scope::Process(Pid(42)),
             power: Watts(3.5),
+            band_w: Watts(0.7),
             quality: crate::msg::Quality::Full,
             trace: crate::telemetry::TraceId(6),
         }));
@@ -142,6 +152,7 @@ mod tests {
             timestamp: Nanos::from_secs(1),
             scope: Scope::Group(Arc::from("vm-alpha")),
             power: Watts(7.25),
+            band_w: Watts(0.0),
             quality: crate::msg::Quality::Degraded,
             trace: crate::telemetry::TraceId(6),
         }));
@@ -152,15 +163,15 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(
             lines[0],
-            "power,scope=pid42,kind=estimate,quality=full power_w=3.500,trace=6i 1000000000"
+            "power,scope=pid42,kind=estimate,quality=full power_w=3.500,band_w=0.700,trace=6i 1000000000"
         );
         assert_eq!(
             lines[1],
-            "power,scope=vm-alpha,kind=estimate,quality=degraded power_w=7.250,trace=6i 1000000000"
+            "power,scope=vm-alpha,kind=estimate,quality=degraded power_w=7.250,band_w=0.000,trace=6i 1000000000"
         );
         assert_eq!(
             lines[2],
-            "power,scope=machine,kind=powerspy,quality=full power_w=35.100,trace=0i 1000000000"
+            "power,scope=machine,kind=powerspy,quality=full power_w=35.100,band_w=0.000,trace=0i 1000000000"
         );
         // Line protocol sanity: measurement,tags fields timestamp.
         for l in lines {

@@ -29,13 +29,14 @@ fn obj(
     kind: &str,
     scope: &str,
     power_w: f64,
+    band_w: f64,
     quality: Quality,
     trace: TraceId,
 ) -> String {
     // `kind`, `scope` and the quality label are generated identifiers
     // ([a-z0-9-]+), never user input, so no escaping is required.
     format!(
-        "{{\"time_s\":{time_s:.3},\"kind\":\"{kind}\",\"scope\":\"{scope}\",\"power_w\":{power_w:.3},\"quality\":\"{}\",\"trace\":{trace}}}",
+        "{{\"time_s\":{time_s:.3},\"kind\":\"{kind}\",\"scope\":\"{scope}\",\"power_w\":{power_w:.3},\"band_w\":{band_w:.3},\"quality\":\"{}\",\"trace\":{trace}}}",
         quality.label()
     )
 }
@@ -54,6 +55,7 @@ impl<W: Write + Send> Actor for JsonReporter<W> {
                     "estimate",
                     &scope,
                     a.power.as_f64(),
+                    a.band_w.as_f64(),
                     a.quality,
                     a.trace,
                 )
@@ -63,6 +65,7 @@ impl<W: Write + Send> Actor for JsonReporter<W> {
                 "powerspy",
                 "machine",
                 w.as_f64(),
+                0.0,
                 Quality::Full,
                 TraceId::NONE,
             ),
@@ -71,6 +74,7 @@ impl<W: Write + Send> Actor for JsonReporter<W> {
                 "rapl",
                 "package",
                 w.as_f64(),
+                0.0,
                 Quality::Full,
                 TraceId::NONE,
             ),
@@ -117,6 +121,7 @@ mod tests {
             timestamp: Nanos::from_millis(1500),
             scope: Scope::Machine,
             power: Watts(36.48),
+            band_w: Watts(1.2),
             quality: crate::msg::Quality::Full,
             trace: TraceId(9),
         }));
@@ -128,11 +133,11 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert_eq!(
             lines[0],
-            "{\"time_s\":1.500,\"kind\":\"estimate\",\"scope\":\"machine\",\"power_w\":36.480,\"quality\":\"full\",\"trace\":9}"
+            "{\"time_s\":1.500,\"kind\":\"estimate\",\"scope\":\"machine\",\"power_w\":36.480,\"band_w\":1.200,\"quality\":\"full\",\"trace\":9}"
         );
         assert_eq!(
             lines[1],
-            "{\"time_s\":2.000,\"kind\":\"rapl\",\"scope\":\"package\",\"power_w\":9.000,\"quality\":\"full\",\"trace\":0}"
+            "{\"time_s\":2.000,\"kind\":\"rapl\",\"scope\":\"package\",\"power_w\":9.000,\"band_w\":0.000,\"quality\":\"full\",\"trace\":0}"
         );
         // Minimal well-formedness checks.
         for l in lines {

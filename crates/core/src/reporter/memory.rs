@@ -89,6 +89,7 @@ mod tests {
             timestamp: Nanos::from_secs(1),
             scope: Scope::Machine,
             power: Watts(35.0),
+            band_w: Watts(0.0),
             quality: crate::msg::Quality::Full,
             trace: crate::telemetry::TraceId::NONE,
         }));

@@ -28,8 +28,10 @@
 
 use crate::actor::{ActorSystem, RestartPolicy, ShutdownSummary, SpawnOptions};
 use crate::aggregator::{Aggregator, Dimension};
+use crate::control::RecalibrationTrigger;
 use crate::formula::fallback::FallbackFormula;
 use crate::formula::{FormulaActor, PowerFormula};
+use crate::health::{HealthConfig, ModelHealth, ModelHealthSummary, ResidualMonitor};
 use crate::host::SimHost;
 use crate::msg::{AggregateReport, Message, PowerReport, Quality, Scope, Topic};
 use crate::reporter::{
@@ -76,6 +78,7 @@ pub struct PowerApiBuilder {
     telemetry: bool,
     profile_self: Option<f64>,
     telemetry_out: Option<Box<dyn Write + Send>>,
+    model_health: Option<HealthConfig>,
 }
 
 impl PowerApiBuilder {
@@ -106,6 +109,7 @@ impl PowerApiBuilder {
             telemetry: true,
             profile_self: None,
             telemetry_out: None,
+            model_health: None,
         }
     }
 
@@ -313,6 +317,19 @@ impl PowerApiBuilder {
         self
     }
 
+    /// Enables online model-health monitoring: a [`ResidualMonitor`]
+    /// actor compares each machine-level estimate against the live meter
+    /// sample, feeds the residual to CUSUM and Page–Hinkley drift
+    /// detectors, downgrades formula report quality while the residual
+    /// sits outside the prediction band, and raises a
+    /// [`RecalibrationTrigger`] on sustained drift. Off by default —
+    /// when off, the hot path carries no health state at all.
+    #[must_use]
+    pub fn model_health(mut self, config: HealthConfig) -> PowerApiBuilder {
+        self.model_health = Some(config);
+        self
+    }
+
     /// Assembles and starts the actor pipeline.
     ///
     /// # Errors
@@ -382,6 +399,15 @@ impl PowerApiBuilder {
             let r = system.spawn_supervised(name, factory, options.stage(Stage::Sensor));
             bus.subscribe(Topic::Tick, &r);
         }
+        // Model-health plumbing: one shared handle the monitor writes and
+        // the formulas read, plus the recalibration hook. All `None`-cost
+        // when the builder didn't ask for it.
+        let model_health = self.model_health.map(|cfg| {
+            let trigger = RecalibrationTrigger::new(cfg.recalibration_cooldown);
+            (cfg, ModelHealth::new(), trigger)
+        });
+        let formula_health = model_health.as_ref().map(|(_, h, _)| h.clone());
+
         if let Some((backup, max_age)) = self.degrade {
             let primary = self.formulas.pop().expect("checked non-empty above");
             let name = format!("formula-0-{}", primary.name());
@@ -400,9 +426,15 @@ impl PowerApiBuilder {
         } else {
             for (i, formula) in self.formulas.into_iter().enumerate() {
                 let name = format!("formula-{}-{}", i, formula.name());
+                let health = formula_health.clone();
                 let r = system.spawn_supervised(
                     name,
-                    move || Box::new(FormulaActor::new(formula.boxed_clone())),
+                    move || match &health {
+                        Some(h) => {
+                            Box::new(FormulaActor::with_health(formula.boxed_clone(), h.clone()))
+                        }
+                        None => Box::new(FormulaActor::new(formula.boxed_clone())),
+                    },
                     options.stage(Stage::Formula),
                 );
                 bus.subscribe(Topic::Sensor, &r);
@@ -414,6 +446,19 @@ impl PowerApiBuilder {
             SpawnOptions::default().stage(Stage::Aggregator),
         );
         bus.subscribe(Topic::Power, &agg);
+
+        // The residual monitor sits after the aggregator: it consumes the
+        // machine aggregates and the raw meter stream.
+        if let Some((cfg, health, trigger)) = &model_health {
+            let monitor = ResidualMonitor::new(cfg.clone(), health.clone(), Some(trigger.clone()));
+            let r = system.spawn_with(
+                "model-health",
+                Box::new(monitor),
+                SpawnOptions::default().stage(Stage::Control),
+            );
+            bus.subscribe(Topic::Aggregate, &r);
+            bus.subscribe(Topic::Meter, &r);
+        }
 
         // Extra actors (controllers, custom aggregators) sit between the
         // built-in pipeline and the reporters so their final flushes still
@@ -502,6 +547,7 @@ impl PowerApiBuilder {
             profile_self: self.profile_self,
             self_busy_prev: 0,
             self_wall_prev: Instant::now(),
+            model_health: model_health.map(|(_, h, t)| (h, t)),
         })
     }
 }
@@ -520,6 +566,8 @@ pub struct PowerApi {
     self_busy_prev: u64,
     /// Wall instant of the previous self report (or of build).
     self_wall_prev: Instant,
+    /// Shared model-health handle + recalibration hook (when enabled).
+    model_health: Option<(ModelHealth, RecalibrationTrigger)>,
 }
 
 impl PowerApi {
@@ -624,6 +672,7 @@ impl PowerApi {
             pid: SELF_PID,
             power: Watts(wpc * utilisation),
             formula: SELF_FORMULA,
+            band_w: Watts(0.0),
             quality: Quality::Full,
             trace: self.telemetry.trace_for_tick(timestamp),
         }));
@@ -632,6 +681,21 @@ impl PowerApi {
     /// The observability hub (disabled unless the builder enabled it).
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// The live model-health view (`None` unless the builder enabled
+    /// [`PowerApiBuilder::model_health`]). Readable mid-run: operator
+    /// loops can poll `out_of_band()` / `alarms()` between `run_for`
+    /// slices.
+    pub fn model_health(&self) -> Option<&ModelHealth> {
+        self.model_health.as_ref().map(|(h, _)| h)
+    }
+
+    /// The recalibration hook (`None` unless model health is enabled).
+    /// Poll [`RecalibrationTrigger::take_pending`] between `run_for`
+    /// slices to schedule calibration sweeps on drift.
+    pub fn recalibration_trigger(&self) -> Option<&RecalibrationTrigger> {
+        self.model_health.as_ref().map(|(_, t)| t)
     }
 
     /// Stops the pipeline, drains in-flight messages, and returns every
@@ -652,12 +716,21 @@ impl PowerApi {
             None => (Vec::new(), Vec::new(), Vec::new()),
         };
         // Summarise only after shutdown so every in-flight hop is drained.
+        let model_health = match &self.model_health {
+            Some((h, t)) => {
+                let mut s = h.summary();
+                s.recalibrations = t.fired();
+                s
+            }
+            None => ModelHealthSummary::default(),
+        };
         Ok(RunOutcome {
             reports,
             meter,
             rapl,
             health,
             telemetry: self.telemetry.summary(),
+            model_health,
         })
     }
 }
@@ -690,6 +763,11 @@ pub struct RunOutcome {
     /// cost split, and the full Prometheus dump. All-zero when the
     /// builder disabled telemetry.
     pub telemetry: TelemetrySummary,
+    /// What online model-health tracking observed: residual statistics,
+    /// drift alarms, out-of-band ticks, recalibration requests. All-zero
+    /// when the builder did not enable
+    /// [`PowerApiBuilder::model_health`].
+    pub model_health: ModelHealthSummary,
 }
 
 impl RunOutcome {
@@ -857,6 +935,49 @@ mod tests {
         let (a, b) = out.meter_trace().align(&out.estimate_trace());
         let report = mathkit::metrics::ErrorReport::compute(&a, &b).unwrap();
         assert!(report.median_ape < 40.0, "median err {}", report.median_ape);
+    }
+
+    #[test]
+    fn model_health_wires_through_the_pipeline() {
+        let (kernel, pid) = busy_kernel();
+        let mut papi = PowerApi::builder(kernel)
+            .formula(paper_formula())
+            .report_to_memory()
+            .quantum(Nanos::from_millis(2))
+            .model_health(HealthConfig::default())
+            .build()
+            .unwrap();
+        papi.monitor(pid).unwrap();
+        assert!(papi.model_health().is_some());
+        assert!(papi.recalibration_trigger().is_some());
+        papi.run_for(Nanos::from_secs(8)).unwrap();
+        let out = papi.finish().unwrap();
+        let mh = &out.model_health;
+        assert!(mh.ticks >= 6, "estimate/meter pairs flowed: {mh:?}");
+        assert!(mh.mae_w.is_finite() && mh.mae_w >= 0.0);
+        // The Prometheus dump carries the health series.
+        assert!(out
+            .telemetry
+            .prometheus
+            .contains("powerapi_model_residual_ticks_total"));
+    }
+
+    #[test]
+    fn model_health_off_has_no_summary_and_no_metrics() {
+        let (kernel, pid) = busy_kernel();
+        let mut papi = PowerApi::builder(kernel)
+            .formula(paper_formula())
+            .report_to_memory()
+            .quantum(Nanos::from_millis(2))
+            .build()
+            .unwrap();
+        papi.monitor(pid).unwrap();
+        assert!(papi.model_health().is_none());
+        assert!(papi.recalibration_trigger().is_none());
+        papi.run_for(Nanos::from_secs(2)).unwrap();
+        let out = papi.finish().unwrap();
+        assert_eq!(out.model_health, ModelHealthSummary::default());
+        assert!(!out.telemetry.prometheus.contains("powerapi_model_"));
     }
 
     #[test]

@@ -201,6 +201,19 @@ impl Telemetry {
         if lag.count() > 0 {
             let _ = write!(out, ",\"tick_lag_p95_ns\":{}", lag.quantile(0.95));
         }
+        // Model-health metrics, present once the residual monitor has
+        // registered them (keys: model_residual_mw, model_bias_mw,
+        // model_mae_mw, model_*_total).
+        for (name, v) in self.inner.registry.gauge_values() {
+            if let Some(key) = name.strip_prefix("powerapi_model_") {
+                let _ = write!(out, ",\"model_{key}\":{v}");
+            }
+        }
+        for (name, v) in self.inner.registry.counter_values() {
+            if let Some(key) = name.strip_prefix("powerapi_model_") {
+                let _ = write!(out, ",\"model_{key}\":{v}");
+            }
+        }
         let o = self.inner.overhead.summary();
         let _ = write!(
             out,

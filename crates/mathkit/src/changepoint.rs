@@ -1,0 +1,328 @@
+//! Streaming change-point detectors for drift diagnosis.
+//!
+//! Both detectors watch a scalar stream (for PowerAPI: the per-tick model
+//! residual) and raise an alarm when its mean shifts persistently. They
+//! keep O(1) state, allocate nothing per sample, and reset themselves
+//! after each alarm so a single instance can track a run indefinitely.
+//!
+//! - [`Cusum`] is the classic two-sided cumulative-sum test: it
+//!   accumulates deviations beyond a slack `k` and alarms when either
+//!   side's sum crosses the threshold `h`. With Gaussian noise of
+//!   standard deviation σ, `k = σ/2` and `h = 4σ…8σ` give near-zero
+//!   false alarms while catching a sustained mean step of ≥ σ within a
+//!   few dozen samples.
+//! - [`PageHinkley`] is the Page–Hinkley variant that tracks the gap
+//!   between the cumulative deviation and its running extremum — less
+//!   sensitive to slow baseline wander, a good cross-check on CUSUM.
+//!
+//! Non-finite samples are rejected with [`Error::InvalidArgument`]
+//! rather than silently poisoning the accumulated sums (the same
+//! NaN-hardening stance as the rest of the crate).
+
+use crate::{Error, Result};
+
+/// Two-sided CUSUM detector over a stream with known target mean.
+///
+/// ```
+/// use mathkit::changepoint::Cusum;
+///
+/// # fn main() -> Result<(), mathkit::Error> {
+/// let mut d = Cusum::new(0.0, 0.5, 4.0)?;
+/// for _ in 0..100 {
+///     assert!(!d.update(0.1)?); // within slack: never alarms
+/// }
+/// while !d.update(2.0)? {} // sustained +2 step: alarms quickly
+/// assert_eq!(d.alarms(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cusum {
+    target: f64,
+    k: f64,
+    h: f64,
+    pos: f64,
+    neg: f64,
+    alarms: u64,
+}
+
+impl Cusum {
+    /// Builds a detector around `target` with slack `k` (deviations
+    /// smaller than `k` are ignored) and alarm threshold `h`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidArgument`] when `target` is not finite, `k` is
+    /// negative or not finite, or `h` is not strictly positive.
+    pub fn new(target: f64, k: f64, h: f64) -> Result<Cusum> {
+        if !target.is_finite() {
+            return Err(Error::InvalidArgument("cusum target must be finite"));
+        }
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must be rejected too
+        if !(k >= 0.0) || !k.is_finite() {
+            return Err(Error::InvalidArgument("cusum slack k must be >= 0"));
+        }
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must be rejected too
+        if !(h > 0.0) || !h.is_finite() {
+            return Err(Error::InvalidArgument("cusum threshold h must be > 0"));
+        }
+        Ok(Cusum {
+            target,
+            k,
+            h,
+            pos: 0.0,
+            neg: 0.0,
+            alarms: 0,
+        })
+    }
+
+    /// Feeds one sample; returns `true` when this sample triggers an
+    /// alarm. The accumulated sums reset after an alarm so the next
+    /// shift is detected independently.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidArgument`] on a non-finite sample; detector state
+    /// is left untouched.
+    pub fn update(&mut self, x: f64) -> Result<bool> {
+        if !x.is_finite() {
+            return Err(Error::InvalidArgument("cusum sample must be finite"));
+        }
+        let d = x - self.target;
+        self.pos = (self.pos + d - self.k).max(0.0);
+        self.neg = (self.neg - d - self.k).max(0.0);
+        if self.pos > self.h || self.neg > self.h {
+            self.alarms += 1;
+            self.pos = 0.0;
+            self.neg = 0.0;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Total alarms raised so far.
+    pub fn alarms(&self) -> u64 {
+        self.alarms
+    }
+
+    /// Current one-sided sums `(positive, negative)` — useful for
+    /// exporting "how close to alarming" as a gauge.
+    pub fn sums(&self) -> (f64, f64) {
+        (self.pos, self.neg)
+    }
+
+    /// Clears the accumulated sums (alarm count is preserved).
+    pub fn reset(&mut self) {
+        self.pos = 0.0;
+        self.neg = 0.0;
+    }
+}
+
+/// Two-sided Page–Hinkley detector.
+///
+/// Maintains the cumulative deviation of samples from their running mean
+/// (minus a tolerance `delta`) and alarms when it departs from its
+/// historical extremum by more than `lambda`.
+#[derive(Debug, Clone)]
+pub struct PageHinkley {
+    delta: f64,
+    lambda: f64,
+    n: u64,
+    mean: f64,
+    up: f64,
+    up_min: f64,
+    down: f64,
+    down_max: f64,
+    alarms: u64,
+}
+
+impl PageHinkley {
+    /// Builds a detector with tolerance `delta` (magnitude of mean drift
+    /// to ignore) and alarm threshold `lambda`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidArgument`] when `delta` is negative or not finite,
+    /// or `lambda` is not strictly positive.
+    pub fn new(delta: f64, lambda: f64) -> Result<PageHinkley> {
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must be rejected too
+        if !(delta >= 0.0) || !delta.is_finite() {
+            return Err(Error::InvalidArgument("page-hinkley delta must be >= 0"));
+        }
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must be rejected too
+        if !(lambda > 0.0) || !lambda.is_finite() {
+            return Err(Error::InvalidArgument("page-hinkley lambda must be > 0"));
+        }
+        Ok(PageHinkley {
+            delta,
+            lambda,
+            n: 0,
+            mean: 0.0,
+            up: 0.0,
+            up_min: 0.0,
+            down: 0.0,
+            down_max: 0.0,
+            alarms: 0,
+        })
+    }
+
+    /// Feeds one sample; returns `true` when this sample triggers an
+    /// alarm. All running state resets after an alarm.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidArgument`] on a non-finite sample; detector state
+    /// is left untouched.
+    pub fn update(&mut self, x: f64) -> Result<bool> {
+        if !x.is_finite() {
+            return Err(Error::InvalidArgument("page-hinkley sample must be finite"));
+        }
+        self.n += 1;
+        self.mean += (x - self.mean) / self.n as f64;
+        let d = x - self.mean;
+        self.up += d - self.delta;
+        self.up_min = self.up_min.min(self.up);
+        self.down += d + self.delta;
+        self.down_max = self.down_max.max(self.down);
+        if self.up - self.up_min > self.lambda || self.down_max - self.down > self.lambda {
+            self.alarms += 1;
+            self.reset();
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Total alarms raised so far.
+    pub fn alarms(&self) -> u64 {
+        self.alarms
+    }
+
+    /// Clears all running state (alarm count is preserved).
+    pub fn reset(&mut self) {
+        self.n = 0;
+        self.mean = 0.0;
+        self.up = 0.0;
+        self.up_min = 0.0;
+        self.down = 0.0;
+        self.down_max = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cusum_rejects_bad_params() {
+        assert!(Cusum::new(f64::NAN, 0.5, 4.0).is_err());
+        assert!(Cusum::new(0.0, -0.1, 4.0).is_err());
+        assert!(Cusum::new(0.0, f64::NAN, 4.0).is_err());
+        assert!(Cusum::new(0.0, 0.5, 0.0).is_err());
+        assert!(Cusum::new(0.0, 0.5, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn cusum_rejects_nan_sample_without_corrupting_state() {
+        let mut d = Cusum::new(0.0, 0.5, 4.0).unwrap();
+        d.update(1.0).unwrap();
+        let before = d.sums();
+        assert!(d.update(f64::NAN).is_err());
+        assert!(d.update(f64::INFINITY).is_err());
+        assert_eq!(d.sums(), before);
+    }
+
+    #[test]
+    fn cusum_quiet_within_slack() {
+        let mut d = Cusum::new(10.0, 0.5, 4.0).unwrap();
+        for i in 0..10_000 {
+            // Alternating ±0.4 around the target stays inside slack.
+            let x = 10.0 + if i % 2 == 0 { 0.4 } else { -0.4 };
+            assert!(!d.update(x).unwrap());
+        }
+        assert_eq!(d.alarms(), 0);
+    }
+
+    #[test]
+    fn cusum_detects_both_directions() {
+        let mut up = Cusum::new(0.0, 0.5, 4.0).unwrap();
+        let mut ticks = 0;
+        while !up.update(1.5).unwrap() {
+            ticks += 1;
+            assert!(ticks < 100, "upward step never detected");
+        }
+        let mut down = Cusum::new(0.0, 0.5, 4.0).unwrap();
+        ticks = 0;
+        while !down.update(-1.5).unwrap() {
+            ticks += 1;
+            assert!(ticks < 100, "downward step never detected");
+        }
+    }
+
+    #[test]
+    fn cusum_resets_after_alarm() {
+        let mut d = Cusum::new(0.0, 0.5, 4.0).unwrap();
+        while !d.update(2.0).unwrap() {}
+        assert_eq!(d.sums(), (0.0, 0.0));
+        assert_eq!(d.alarms(), 1);
+        // Back on target: stays quiet.
+        for _ in 0..100 {
+            assert!(!d.update(0.0).unwrap());
+        }
+        assert_eq!(d.alarms(), 1);
+    }
+
+    #[test]
+    fn page_hinkley_rejects_bad_params_and_nan() {
+        assert!(PageHinkley::new(-0.1, 8.0).is_err());
+        assert!(PageHinkley::new(f64::NAN, 8.0).is_err());
+        assert!(PageHinkley::new(0.25, 0.0).is_err());
+        assert!(PageHinkley::new(0.25, f64::NAN).is_err());
+        let mut d = PageHinkley::new(0.25, 8.0).unwrap();
+        d.update(1.0).unwrap();
+        assert!(d.update(f64::NAN).is_err());
+        assert_eq!(d.alarms(), 0);
+    }
+
+    #[test]
+    fn page_hinkley_quiet_on_constant_stream() {
+        let mut d = PageHinkley::new(0.25, 8.0).unwrap();
+        for _ in 0..10_000 {
+            assert!(!d.update(5.0).unwrap());
+        }
+        assert_eq!(d.alarms(), 0);
+    }
+
+    #[test]
+    fn page_hinkley_detects_mean_step() {
+        let mut d = PageHinkley::new(0.25, 8.0).unwrap();
+        // Establish a baseline, then step the mean up by 2.
+        for _ in 0..200 {
+            assert!(!d.update(0.0).unwrap());
+        }
+        let mut fired = false;
+        for _ in 0..100 {
+            if d.update(2.0).unwrap() {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "mean step of 2.0 never detected");
+        assert_eq!(d.alarms(), 1);
+    }
+
+    #[test]
+    fn page_hinkley_detects_downward_step() {
+        let mut d = PageHinkley::new(0.25, 8.0).unwrap();
+        for _ in 0..200 {
+            d.update(10.0).unwrap();
+        }
+        let mut fired = false;
+        for _ in 0..100 {
+            if d.update(8.0).unwrap() {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "downward mean step never detected");
+    }
+}

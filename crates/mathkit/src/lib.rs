@@ -33,6 +33,7 @@
 //! # }
 //! ```
 
+pub mod changepoint;
 pub mod correlation;
 pub mod cv;
 pub mod linreg;

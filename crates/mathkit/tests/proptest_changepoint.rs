@@ -1,0 +1,157 @@
+//! Property-based tests for the streaming change-point detectors: across
+//! many seeds, stationary Gaussian noise never alarms, an injected mean
+//! step is always detected, and NaN samples are rejected without
+//! corrupting state.
+
+use mathkit::changepoint::{Cusum, PageHinkley};
+use proptest::prelude::*;
+
+/// Deterministic standard-normal stream: SplitMix64 bits fed through
+/// Box–Muller. Keeps the tests reproducible per seed with no RNG crate.
+struct Gaussian {
+    state: u64,
+}
+
+impl Gaussian {
+    fn new(seed: u64) -> Gaussian {
+        Gaussian {
+            state: seed.wrapping_add(0x9e3779b97f4a7c15),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn uniform(&mut self) -> f64 {
+        // (0, 1]: never zero, so ln() below is finite.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64 + f64::MIN_POSITIVE
+    }
+
+    fn standard_normal(&mut self) -> f64 {
+        let u1 = self.uniform();
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Stationary N(mean, sigma²) noise with paper-style tuning
+    /// (k = sigma/2, h = 12·sigma) stays silent for thousands of samples.
+    #[test]
+    fn cusum_no_false_alarms_on_stationary_gaussian(
+        seed in 0u64..=u64::MAX,
+        mean in -50.0f64..50.0,
+        sigma in 0.05f64..2.0,
+    ) {
+        let mut rng = Gaussian::new(seed);
+        let mut d = Cusum::new(mean, sigma / 2.0, 12.0 * sigma).expect("valid params");
+        for _ in 0..4000 {
+            let x = mean + sigma * rng.standard_normal();
+            prop_assert!(!d.update(x).expect("finite sample"));
+        }
+        prop_assert_eq!(d.alarms(), 0);
+    }
+
+    /// A sustained mean step of 3·sigma is always caught, and quickly.
+    #[test]
+    fn cusum_always_detects_injected_step(
+        seed in 0u64..=u64::MAX,
+        mean in -50.0f64..50.0,
+        sigma in 0.05f64..2.0,
+        direction in 0u8..2,
+    ) {
+        let mut rng = Gaussian::new(seed);
+        let mut d = Cusum::new(mean, sigma / 2.0, 12.0 * sigma).expect("valid params");
+        for _ in 0..500 {
+            d.update(mean + sigma * rng.standard_normal()).expect("finite");
+        }
+        let step = if direction == 1 { 3.0 * sigma } else { -3.0 * sigma };
+        let mut detected_at = None;
+        for i in 0..200 {
+            let x = mean + step + sigma * rng.standard_normal();
+            if d.update(x).expect("finite") {
+                detected_at = Some(i);
+                break;
+            }
+        }
+        let at = detected_at.expect("3-sigma step must be detected");
+        prop_assert!(at < 50, "detection took {at} samples");
+    }
+
+    /// Page–Hinkley with matching tuning: silent on stationary noise.
+    #[test]
+    fn page_hinkley_no_false_alarms_on_stationary_gaussian(
+        seed in 0u64..=u64::MAX,
+        mean in -50.0f64..50.0,
+        sigma in 0.05f64..2.0,
+    ) {
+        let mut rng = Gaussian::new(seed);
+        let mut d = PageHinkley::new(sigma / 2.0, 25.0 * sigma).expect("valid params");
+        for _ in 0..4000 {
+            let x = mean + sigma * rng.standard_normal();
+            prop_assert!(!d.update(x).expect("finite sample"));
+        }
+        prop_assert_eq!(d.alarms(), 0);
+    }
+
+    /// Page–Hinkley always detects a sustained 3·sigma step.
+    #[test]
+    fn page_hinkley_always_detects_injected_step(
+        seed in 0u64..=u64::MAX,
+        mean in -50.0f64..50.0,
+        sigma in 0.05f64..2.0,
+        direction in 0u8..2,
+    ) {
+        let mut rng = Gaussian::new(seed);
+        let mut d = PageHinkley::new(sigma / 2.0, 25.0 * sigma).expect("valid params");
+        for _ in 0..500 {
+            d.update(mean + sigma * rng.standard_normal()).expect("finite");
+        }
+        let step = if direction == 1 { 3.0 * sigma } else { -3.0 * sigma };
+        let mut detected = false;
+        for _ in 0..400 {
+            let x = mean + step + sigma * rng.standard_normal();
+            if d.update(x).expect("finite") {
+                detected = true;
+                break;
+            }
+        }
+        prop_assert!(detected, "3-sigma step must be detected");
+    }
+
+    /// Non-finite samples are rejected and leave the detectors exactly
+    /// where they were: the same stream with NaN attempts interleaved
+    /// produces the same alarm count.
+    #[test]
+    fn nan_samples_rejected_without_state_change(
+        seed in 0u64..=u64::MAX,
+        bad_idx in 0usize..3,
+    ) {
+        let bad = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY][bad_idx];
+        let mut rng = Gaussian::new(seed);
+        let samples: Vec<f64> = (0..300).map(|_| rng.standard_normal()).collect();
+        let mut clean = Cusum::new(0.0, 0.5, 4.0).expect("valid");
+        let mut dirty = clean.clone();
+        let mut clean_ph = PageHinkley::new(0.25, 12.0).expect("valid");
+        let mut dirty_ph = clean_ph.clone();
+        for &x in &samples {
+            prop_assert!(dirty.update(bad).is_err());
+            prop_assert!(dirty_ph.update(bad).is_err());
+            let a = clean.update(x).expect("finite");
+            let b = dirty.update(x).expect("finite");
+            prop_assert_eq!(a, b);
+            let c = clean_ph.update(x).expect("finite");
+            let d = dirty_ph.update(x).expect("finite");
+            prop_assert_eq!(c, d);
+        }
+        prop_assert_eq!(clean.alarms(), dirty.alarms());
+        prop_assert_eq!(clean_ph.alarms(), dirty_ph.alarms());
+    }
+}

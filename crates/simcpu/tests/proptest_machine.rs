@@ -20,7 +20,17 @@ fn work_unit() -> impl Strategy<Value = WorkUnit> {
         0.0f64..1.0,       // intensity
     )
         .prop_map(|(m, b, f, bm, fp, loc, ipc, int)| {
-            WorkUnit::new(m, b, f, bm, fp, loc, ipc, int).expect("ranges are valid")
+            WorkUnit::builder()
+                .mem_ratio(m)
+                .branch_ratio(b)
+                .fp_ratio(f)
+                .branch_miss_rate(bm)
+                .footprint_kb(fp)
+                .locality(loc)
+                .base_ipc(ipc)
+                .intensity(int)
+                .build()
+                .expect("ranges are valid")
         })
 }
 

@@ -25,11 +25,39 @@ pub struct CorunScenario {
 /// hyperthread alone) and co-runs (both hyperthreads of every core busy),
 /// over heterogeneous service-style mixes.
 pub fn scenarios(physical_cores: usize, logical_cpus: usize) -> Vec<CorunScenario> {
-    let web = WorkUnit::new(0.25, 0.20, 0.02, 0.04, 32_768.0, 0.50, 2.1, 1.0).expect("valid mix");
-    let analytics =
-        WorkUnit::new(0.38, 0.10, 0.15, 0.02, 196_608.0, 0.15, 1.7, 1.0).expect("valid mix");
-    let compress =
-        WorkUnit::new(0.30, 0.14, 0.0, 0.05, 16_384.0, 0.55, 2.0, 1.0).expect("valid mix");
+    let web = WorkUnit::builder()
+        .mem_ratio(0.25)
+        .branch_ratio(0.20)
+        .fp_ratio(0.02)
+        .branch_miss_rate(0.04)
+        .footprint_kb(32_768.0)
+        .locality(0.50)
+        .base_ipc(2.1)
+        .intensity(1.0)
+        .build()
+        .expect("valid mix");
+    let analytics = WorkUnit::builder()
+        .mem_ratio(0.38)
+        .branch_ratio(0.10)
+        .fp_ratio(0.15)
+        .branch_miss_rate(0.02)
+        .footprint_kb(196_608.0)
+        .locality(0.15)
+        .base_ipc(1.7)
+        .intensity(1.0)
+        .build()
+        .expect("valid mix");
+    let compress = WorkUnit::builder()
+        .mem_ratio(0.30)
+        .branch_ratio(0.14)
+        .fp_ratio(0.0)
+        .branch_miss_rate(0.05)
+        .footprint_kb(16_384.0)
+        .locality(0.55)
+        .base_ipc(2.0)
+        .intensity(1.0)
+        .build()
+        .expect("valid mix");
 
     vec![
         CorunScenario {

@@ -26,41 +26,96 @@ pub fn suite() -> Vec<SpecBenchmark> {
         SpecBenchmark {
             name: "400.perlbench",
             // Branchy integer interpreter, modest working set.
-            work: WorkUnit::new(0.22, 0.24, 0.01, 0.05, 24_576.0, 0.65, 2.2, 1.0)
+            work: WorkUnit::builder()
+                .mem_ratio(0.22)
+                .branch_ratio(0.24)
+                .fp_ratio(0.01)
+                .branch_miss_rate(0.05)
+                .footprint_kb(24_576.0)
+                .locality(0.65)
+                .base_ipc(2.2)
+                .intensity(1.0)
+                .build()
                 .expect("valid mix"),
             duration: run,
         },
         SpecBenchmark {
             name: "401.bzip2",
             // Integer compression, medium locality.
-            work: WorkUnit::new(0.28, 0.16, 0.0, 0.06, 8_192.0, 0.55, 2.0, 1.0).expect("valid mix"),
+            work: WorkUnit::builder()
+                .mem_ratio(0.28)
+                .branch_ratio(0.16)
+                .fp_ratio(0.0)
+                .branch_miss_rate(0.06)
+                .footprint_kb(8_192.0)
+                .locality(0.55)
+                .base_ipc(2.0)
+                .intensity(1.0)
+                .build()
+                .expect("valid mix"),
             duration: run,
         },
         SpecBenchmark {
             name: "403.gcc",
             // Large code+data footprint, branchy.
-            work: WorkUnit::new(0.26, 0.22, 0.01, 0.07, 49_152.0, 0.45, 1.9, 1.0)
+            work: WorkUnit::builder()
+                .mem_ratio(0.26)
+                .branch_ratio(0.22)
+                .fp_ratio(0.01)
+                .branch_miss_rate(0.07)
+                .footprint_kb(49_152.0)
+                .locality(0.45)
+                .base_ipc(1.9)
+                .intensity(1.0)
+                .build()
                 .expect("valid mix"),
             duration: run,
         },
         SpecBenchmark {
             name: "429.mcf",
             // Pointer chasing over a huge graph: memory-bound.
-            work: WorkUnit::new(0.42, 0.12, 0.0, 0.04, 393_216.0, 0.05, 1.2, 1.0)
+            work: WorkUnit::builder()
+                .mem_ratio(0.42)
+                .branch_ratio(0.12)
+                .fp_ratio(0.0)
+                .branch_miss_rate(0.04)
+                .footprint_kb(393_216.0)
+                .locality(0.05)
+                .base_ipc(1.2)
+                .intensity(1.0)
+                .build()
                 .expect("valid mix"),
             duration: run,
         },
         SpecBenchmark {
             name: "433.milc",
             // FP lattice QCD, streaming access.
-            work: WorkUnit::new(0.38, 0.06, 0.35, 0.01, 131_072.0, 0.15, 1.7, 1.0)
+            work: WorkUnit::builder()
+                .mem_ratio(0.38)
+                .branch_ratio(0.06)
+                .fp_ratio(0.35)
+                .branch_miss_rate(0.01)
+                .footprint_kb(131_072.0)
+                .locality(0.15)
+                .base_ipc(1.7)
+                .intensity(1.0)
+                .build()
                 .expect("valid mix"),
             duration: run,
         },
         SpecBenchmark {
             name: "470.lbm",
             // FP fluid dynamics, bandwidth-bound streaming.
-            work: WorkUnit::new(0.40, 0.04, 0.40, 0.005, 262_144.0, 0.08, 1.6, 1.0)
+            work: WorkUnit::builder()
+                .mem_ratio(0.40)
+                .branch_ratio(0.04)
+                .fp_ratio(0.40)
+                .branch_miss_rate(0.005)
+                .footprint_kb(262_144.0)
+                .locality(0.08)
+                .base_ipc(1.6)
+                .intensity(1.0)
+                .build()
                 .expect("valid mix"),
             duration: run,
         },

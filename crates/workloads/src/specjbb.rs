@@ -47,22 +47,32 @@ impl Default for SpecJbbConfig {
 /// The transaction work unit at a given load level and heap pressure.
 fn transaction(load: f64, heap_kb: f64) -> WorkUnit {
     let load = load.clamp(0.0, 1.0);
-    WorkUnit::new(
-        0.30,    // loads/stores: object graphs
-        0.18,    // branchy business logic
-        0.04,    // a little FP (metrics, pricing)
-        0.04,    // typical Java branch-miss rate
-        heap_kb, // live set
-        0.45,    // medium temporal locality (hot orders, warm caches)
-        2.0,     // decent ILP
-        load,
-    )
-    .expect("transaction parameters are valid")
+    WorkUnit::builder()
+        .mem_ratio(0.30) // loads/stores: object graphs
+        .branch_ratio(0.18) // branchy business logic
+        .fp_ratio(0.04) // a little FP (metrics, pricing)
+        .branch_miss_rate(0.04) // typical Java branch-miss rate
+        .footprint_kb(heap_kb) // live set
+        .locality(0.45) // medium temporal locality (hot orders, warm caches)
+        .base_ipc(2.0) // decent ILP
+        .intensity(load)
+        .build()
+        .expect("transaction parameters are valid")
 }
 
 /// GC burst: a parallel copying collector streaming the heap.
 fn gc_burst(heap_kb: f64) -> WorkUnit {
-    WorkUnit::new(0.55, 0.08, 0.0, 0.01, heap_kb, 0.05, 1.6, 1.0).expect("gc parameters are valid")
+    WorkUnit::builder()
+        .mem_ratio(0.55)
+        .branch_ratio(0.08)
+        .fp_ratio(0.0)
+        .branch_miss_rate(0.01)
+        .footprint_kb(heap_kb)
+        .locality(0.05)
+        .base_ipc(1.6)
+        .intensity(1.0)
+        .build()
+        .expect("gc parameters are valid")
 }
 
 /// Builds the per-thread phase script for one worker.

@@ -115,6 +115,7 @@ fn expected_experiments_have_snapshots() {
         "e5_selection",
         "e6_ablations",
         "e7_chaos.quick",
+        "e9_model_health.quick",
     ] {
         assert!(
             names.contains(required),
@@ -141,6 +142,7 @@ fn golden_traces_match_when_requested() {
         ("e5_selection", &["--check"]),
         ("e6_ablations", &["--check"]),
         ("e7_chaos", &["--quick", "--check"]),
+        ("e9_model_health", &["--quick", "--check"]),
     ];
     for (bin, args) in runs {
         eprintln!("golden: checking {bin} {}", args.join(" "));

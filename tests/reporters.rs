@@ -1,7 +1,8 @@
 //! Reporter integration: every output format wired through the full
 //! runtime produces coherent, parseable output for the same run, and the
 //! text formats round-trip — parsing a line recovers the exact report
-//! (power at the printed precision, quality tag, trace id) that went in.
+//! (power and prediction band at the printed precision, quality tag,
+//! trace id) that went in.
 
 use powerapi_suite::os_sim::kernel::Kernel;
 use powerapi_suite::os_sim::process::Pid;
@@ -71,7 +72,7 @@ fn csv_json_and_influx_agree_on_the_same_run() {
     let mut lines = csv_text.lines();
     assert_eq!(
         lines.next(),
-        Some("time_s,kind,scope,power_w,quality,trace")
+        Some("time_s,kind,scope,power_w,band_w,quality,trace")
     );
     let machine_rows: Vec<&str> = csv_text
         .lines()
@@ -80,11 +81,12 @@ fn csv_json_and_influx_agree_on_the_same_run() {
     assert_eq!(machine_rows.len(), estimates.len());
     for (row, (ts, w)) in machine_rows.iter().zip(&estimates) {
         let cols: Vec<&str> = row.split(',').collect();
-        assert_eq!(cols.len(), 6);
+        assert_eq!(cols.len(), 7);
         assert!((cols[0].parse::<f64>().expect("time") - ts.as_secs_f64()).abs() < 1e-9);
         assert!((cols[3].parse::<f64>().expect("power") - w.as_f64()).abs() < 0.001);
-        assert_eq!(cols[4], "full", "clean run, full quality");
-        assert!(cols[5].parse::<u64>().expect("trace id") > 0, "traced tick");
+        assert!(cols[4].parse::<f64>().expect("band") >= 0.0);
+        assert_eq!(cols[5], "full", "clean run, full quality");
+        assert!(cols[6].parse::<u64>().expect("trace id") > 0, "traced tick");
     }
 
     // JSON lines: same count of machine estimates, balanced braces/quotes.
@@ -97,6 +99,7 @@ fn csv_json_and_influx_agree_on_the_same_run() {
     for l in json_text.lines() {
         assert!(l.starts_with('{') && l.ends_with('}'), "{l}");
         assert_eq!(l.matches('"').count() % 2, 0, "{l}");
+        assert!(l.contains("\"band_w\":"), "{l}");
         assert!(l.contains("\"quality\":\""), "{l}");
         assert!(l.contains("\"trace\":"), "{l}");
     }
@@ -115,6 +118,7 @@ fn csv_json_and_influx_agree_on_the_same_run() {
         let field = parts[1].strip_prefix("power_w=").expect("field");
         let watts = field.split(',').next().expect("first field");
         assert!((watts.parse::<f64>().expect("watts") - w.as_f64()).abs() < 0.001);
+        assert!(parts[1].contains(",band_w="), "{point}");
         assert!(parts[1].contains(",trace="), "{point}");
     }
 
@@ -131,6 +135,7 @@ struct Row {
     kind: String,
     scope: String,
     power_w: f64,
+    band_w: f64,
     quality: String,
     trace: u64,
 }
@@ -144,6 +149,7 @@ fn fixture() -> (Vec<Message>, Vec<Row>) {
             timestamp: Nanos::from_millis(1500),
             scope: Scope::Process(Pid(7)),
             power: Watts(2.25),
+            band_w: Watts(0.75),
             quality: Quality::Degraded,
             trace: TraceId(42),
         }),
@@ -151,6 +157,7 @@ fn fixture() -> (Vec<Message>, Vec<Row>) {
             timestamp: Nanos::from_secs(2),
             scope: Scope::Machine,
             power: Watts(33.5),
+            band_w: Watts(1.5),
             quality: Quality::Full,
             trace: TraceId(43),
         }),
@@ -158,6 +165,7 @@ fn fixture() -> (Vec<Message>, Vec<Row>) {
             timestamp: Nanos::from_secs(2),
             scope: Scope::Group(Arc::from("browsers")),
             power: Watts(10.125),
+            band_w: Watts(0.0),
             quality: Quality::Stale,
             trace: TraceId(44),
         }),
@@ -165,21 +173,30 @@ fn fixture() -> (Vec<Message>, Vec<Row>) {
         Message::Rapl(Nanos::from_secs(2), Watts(9.5)),
     ];
     let rows = vec![
-        row(1.5, "estimate", "pid7", 2.25, "degraded", 42),
-        row(2.0, "estimate", "machine", 33.5, "full", 43),
-        row(2.0, "estimate", "browsers", 10.125, "stale", 44),
-        row(2.0, "powerspy", "machine", 35.75, "full", 0),
-        row(2.0, "rapl", "package", 9.5, "full", 0),
+        row(1.5, "estimate", "pid7", 2.25, 0.75, "degraded", 42),
+        row(2.0, "estimate", "machine", 33.5, 1.5, "full", 43),
+        row(2.0, "estimate", "browsers", 10.125, 0.0, "stale", 44),
+        row(2.0, "powerspy", "machine", 35.75, 0.0, "full", 0),
+        row(2.0, "rapl", "package", 9.5, 0.0, "full", 0),
     ];
     (msgs, rows)
 }
 
-fn row(time_s: f64, kind: &str, scope: &str, power_w: f64, quality: &str, trace: u64) -> Row {
+fn row(
+    time_s: f64,
+    kind: &str,
+    scope: &str,
+    power_w: f64,
+    band_w: f64,
+    quality: &str,
+    trace: u64,
+) -> Row {
     Row {
         time_s,
         kind: kind.into(),
         scope: scope.into(),
         power_w,
+        band_w,
         quality: quality.into(),
         trace,
     }
@@ -207,19 +224,20 @@ fn csv_rows_round_trip_exactly() {
     let mut lines = text.lines();
     assert_eq!(
         lines.next(),
-        Some("time_s,kind,scope,power_w,quality,trace")
+        Some("time_s,kind,scope,power_w,band_w,quality,trace")
     );
     let parsed: Vec<Row> = lines
         .map(|l| {
             let c: Vec<&str> = l.split(',').collect();
-            assert_eq!(c.len(), 6, "{l}");
+            assert_eq!(c.len(), 7, "{l}");
             row(
                 c[0].parse().expect("time"),
                 c[1],
                 c[2],
                 c[3].parse().expect("power"),
-                c[4],
-                c[5].parse().expect("trace"),
+                c[4].parse().expect("band"),
+                c[5],
+                c[6].parse().expect("trace"),
             )
         })
         .collect();
@@ -249,6 +267,7 @@ fn json_lines_round_trip_exactly() {
                 fields["kind"],
                 fields["scope"],
                 fields["power_w"].parse().expect("power"),
+                fields["band_w"].parse().expect("band"),
                 fields["quality"],
                 fields["trace"].parse().expect("trace"),
             )
@@ -282,6 +301,7 @@ fn influx_points_round_trip_exactly() {
                 tags["kind"],
                 tags["scope"],
                 fields["power_w"].parse().expect("power"),
+                fields["band_w"].parse().expect("band"),
                 tags["quality"],
                 fields["trace"]
                     .strip_suffix('i')
