@@ -9,14 +9,16 @@
 //! Run: `cargo run --release -p bench-suite --bin e7_chaos [--quick]`
 //! Data: `BENCH_chaos.json` (repo root, committed as evidence)
 
-use bench_suite::{row, score_outcome, section, Evaluation, Golden};
-use powerapi::actor::{Actor, Context, RestartPolicy};
+use bench_suite::chaos::{chaos_fault_config, quiet_chaos_panics, ChaosMonkey, CHAOS_SEED};
+use bench_suite::{dump_trace, dump_trace_flag, row, score_outcome, section, Evaluation, Golden};
+use powerapi::actor::RestartPolicy;
 use powerapi::formula::cpuload::CpuLoadFormula;
 use powerapi::formula::per_freq::PerFrequencyFormula;
 use powerapi::model::learn::{calibrate_cpuload, learn_model, LearnConfig};
-use powerapi::msg::{Message, Topic};
+use powerapi::msg::Topic;
 use powerapi::runtime::{PowerApi, RunOutcome};
-use simcpu::fault::{FaultKind, FaultPlan, FaultPlanConfig};
+use powerapi::telemetry::Telemetry;
+use simcpu::fault::FaultPlan;
 use simcpu::presets;
 use simcpu::units::Nanos;
 use std::io::Write;
@@ -24,56 +26,11 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use workloads::specjbb::{self, SpecJbbConfig};
 
-/// Seed for the fault schedule (separate from every simulation seed).
-const CHAOS_SEED: u64 = 0xE7_C4A0_5EED;
-
-/// A supervised actor that panics on entry to each `ActorPanic` window.
-/// The fired-window log lives *outside* the actor (shared with the
-/// factory), so the supervisor's rebuild doesn't re-trigger the same
-/// window and the panic count stays exactly one per window.
-struct ChaosMonkey {
-    plan: FaultPlan,
-    fired: Arc<Mutex<Vec<Nanos>>>,
-}
-
-impl Actor for ChaosMonkey {
-    fn handle(&mut self, msg: Message, _ctx: &Context) {
-        let Message::Tick(snap) = msg else { return };
-        let Some(w) = self.plan.active(FaultKind::ActorPanic, snap.timestamp) else {
-            return;
-        };
-        let start = w.start;
-        {
-            let mut fired = self.fired.lock().expect("chaos log");
-            if fired.contains(&start) {
-                return;
-            }
-            fired.push(start);
-            // Guard dropped before the panic: a poisoned log would wedge
-            // the rebuilt actor.
-        }
-        panic!("chaos monkey: injected actor fault at {start:?}");
-    }
-}
-
-/// Forwards every panic to the default hook except the monkey's own.
-fn quiet_chaos_panics() {
-    let default = std::panic::take_hook();
-    std::panic::set_hook(Box::new(move |info| {
-        let injected = info
-            .payload()
-            .downcast_ref::<String>()
-            .is_some_and(|m| m.contains("chaos monkey"));
-        if !injected {
-            default(info);
-        }
-    }));
-}
-
 struct ChaosRun {
     outcome: RunOutcome,
     meter_stats: powermeter::powerspy::MeterFaultStats,
     counter_stats: perf_sim::session::CounterFaultStats,
+    telemetry: Telemetry,
 }
 
 fn run_pipeline(
@@ -121,10 +78,12 @@ fn run_pipeline(
     papi.run_for(jbb.duration).expect("run");
     let meter_stats = papi.meter_fault_stats();
     let counter_stats = papi.counter_fault_stats();
+    let telemetry = papi.telemetry().clone();
     ChaosRun {
         outcome: papi.finish().expect("finish"),
         meter_stats,
         counter_stats,
+        telemetry,
     }
 }
 
@@ -162,12 +121,7 @@ fn main() {
     let base_report = score_outcome(&baseline.outcome).expect("baseline score");
 
     println!("  [3/4] chaos run under the generated fault plan…");
-    let mut fault_cfg = FaultPlanConfig::default();
-    fault_cfg.kinds.push(FaultKind::ActorPanic);
-    if quick {
-        fault_cfg.min_window = Nanos::from_secs(2);
-        fault_cfg.max_window = Nanos::from_secs(5);
-    }
+    let fault_cfg = chaos_fault_config(quick);
     let plan = FaultPlan::generate(CHAOS_SEED, jbb.duration, &fault_cfg);
     println!(
         "        {} windows over {} kinds, seed {CHAOS_SEED:#x}",
@@ -178,6 +132,9 @@ fn main() {
     let chaos_report = score_outcome(&chaos.outcome).expect("chaos score");
 
     println!("  [4/4] scoring and writing evidence…");
+    if let Some(path) = dump_trace_flag() {
+        dump_trace(&chaos.telemetry, &path);
+    }
     let m = chaos.meter_stats;
     let c = chaos.counter_stats;
     let health = &chaos.outcome.health;

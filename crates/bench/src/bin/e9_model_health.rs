@@ -14,7 +14,7 @@
 //! Run: `cargo run --release -p bench-suite --bin e9_model_health [--quick]`
 //! Data: `BENCH_model_health.json` (repo root, committed as evidence)
 
-use bench_suite::{row, section, Golden};
+use bench_suite::{dump_trace, dump_trace_flag, row, section, Golden};
 use powerapi::formula::per_freq::PerFrequencyFormula;
 use powerapi::model::learn::{learn_model, LearnConfig};
 use powerapi::model::power_model::PerFrequencyPowerModel;
@@ -63,7 +63,11 @@ fn health_config() -> HealthConfig {
 
 /// Full-load steady run (both hyperthreads of both cores busy) with the
 /// residual monitor enabled.
-fn run_arm(machine: MachineConfig, model: PerFrequencyPowerModel, duration: Nanos) -> RunOutcome {
+fn run_arm(
+    machine: MachineConfig,
+    model: PerFrequencyPowerModel,
+    duration: Nanos,
+) -> (RunOutcome, powerapi::telemetry::Telemetry) {
     let mut kernel = os_sim::kernel::Kernel::new(machine);
     let tasks: Vec<Box<dyn os_sim::task::TaskBehavior>> = (0..4)
         .map(|_| os_sim::task::SteadyTask::boxed(WorkUnit::cpu_intensive(1.0)))
@@ -81,7 +85,8 @@ fn run_arm(machine: MachineConfig, model: PerFrequencyPowerModel, duration: Nano
         .expect("pipeline");
     papi.monitor(pid).expect("monitor");
     papi.run_for(duration).expect("run");
-    papi.finish().expect("finish")
+    let telemetry = papi.telemetry().clone();
+    (papi.finish().expect("finish"), telemetry)
 }
 
 fn main() {
@@ -108,17 +113,20 @@ fn main() {
         "  [2/4] control arm: leak-free machine, {} s full load…",
         duration.as_secs_f64()
     );
-    let control = run_arm(cold_i3(), model.clone(), duration);
+    let (control, _) = run_arm(cold_i3(), model.clone(), duration);
     let ch = &control.model_health;
 
     println!(
         "  [3/4] drift arm: stock i3 (0.30 W/°C leakage), {} s full load…",
         duration.as_secs_f64()
     );
-    let drift = run_arm(presets::intel_i3_2120(), model, duration);
+    let (drift, drift_telemetry) = run_arm(presets::intel_i3_2120(), model, duration);
     let dh = &drift.model_health;
 
     println!("  [4/4] scoring and writing evidence…");
+    if let Some(path) = dump_trace_flag() {
+        dump_trace(&drift_telemetry, &path);
+    }
     section("residual monitor tallies");
     row("control residual ticks", ch.ticks);
     row("control drift alarms", ch.alarms);

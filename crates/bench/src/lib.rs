@@ -3,6 +3,7 @@
 //! the paper's numbers next to the reproduction's so the comparison is
 //! one `cargo run` away.
 
+pub mod chaos;
 pub mod golden;
 
 pub use golden::Golden;
@@ -103,6 +104,40 @@ pub fn score_outcome(outcome: &RunOutcome) -> Result<ErrorReport, powerapi::Erro
     let est = outcome.estimate_trace();
     let (actual, predicted) = meter.align(&est);
     Ok(ErrorReport::compute(&actual, &predicted)?)
+}
+
+/// Parses the optional `--dump-trace <path>` flag the experiment
+/// binaries share: after the run, the pipeline's Chrome trace-event
+/// JSON is written to `<path>` for Perfetto / `chrome://tracing`.
+///
+/// # Panics
+///
+/// Panics when `--dump-trace` is the last argument (no path follows).
+pub fn dump_trace_flag() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--dump-trace" {
+            return Some(std::path::PathBuf::from(
+                args.next().expect("--dump-trace requires a path argument"),
+            ));
+        }
+    }
+    None
+}
+
+/// Writes the hub's Chrome trace-event JSON to `path` (creating parent
+/// directories as needed) and prints where it went.
+///
+/// # Panics
+///
+/// Panics when the directory or file cannot be written.
+pub fn dump_trace(telemetry: &powerapi::telemetry::Telemetry, path: &std::path::Path) {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).expect("create --dump-trace directory");
+    }
+    std::fs::write(path, powerapi::telemetry::chrome_trace_from(telemetry))
+        .expect("write --dump-trace file");
+    println!("        wrote Chrome trace to {}", path.display());
 }
 
 /// Prints a two-column ruled table row.

@@ -19,7 +19,7 @@
 
 use crate::bus::EventBus;
 use crate::msg::Message;
-use crate::telemetry::{Counter, Gauge, Histogram, Stage, Telemetry};
+use crate::telemetry::{Counter, EventKind, Gauge, Histogram, Journal, Stage, Telemetry, TraceId};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -151,10 +151,13 @@ enum Envelope {
     Stop,
 }
 
-/// Live mailbox gauges, mirrored into the metrics registry.
+/// Live mailbox gauges, mirrored into the metrics registry, plus the
+/// flight-recorder handle so overflow shedding leaves a journal line.
 struct MailboxMetrics {
     depth: Gauge,
     dropped: Counter,
+    journal: Journal,
+    owner: Arc<str>,
 }
 
 /// A bounded MPSC mailbox on std primitives (the vendored channel stub is
@@ -201,6 +204,12 @@ impl Mailbox {
         self.dropped.fetch_add(1, Ordering::Relaxed);
         if let Some(m) = &self.metrics {
             m.dropped.inc();
+            m.journal.emit(
+                EventKind::MailboxDrop,
+                &m.owner,
+                "bounded mailbox shed a message",
+                TraceId::NONE,
+            );
         }
     }
 
@@ -501,6 +510,8 @@ impl ActorSystem {
                     depth: reg.gauge(&format!("powerapi_mailbox_depth{{actor=\"{name}\"}}")),
                     dropped: reg
                         .counter(&format!("powerapi_actor_dropped_total{{actor=\"{name}\"}}")),
+                    journal: self.telemetry.journal().clone(),
+                    owner: name.clone(),
                 }),
                 Some(ActorInstruments {
                     stage: options.stage,
@@ -627,7 +638,9 @@ fn supervise(
     counters: &ActorCounters,
     instruments: Option<&ActorInstruments>,
 ) -> ExitKind {
+    let journal = ctx.telemetry.journal();
     let mut actor = factory();
+    journal.emit(EventKind::ActorStart, &ctx.name, "spawned", TraceId::NONE);
     loop {
         let panicked = loop {
             let Some(env) = mailbox.recv() else {
@@ -641,7 +654,14 @@ fn supervise(
                 // Capture what the recording needs before the message
                 // moves into the handler.
                 let queue_ns = enqueued.map_or(0, |t| t.elapsed().as_nanos() as u64);
-                let trace = msg.trace();
+                // Ticks are trace roots: the snapshot carries no id, so
+                // resolve the tick's span (opened at publish) by its
+                // timestamp — this is what puts the sensor stage on the
+                // exported trace.
+                let trace = match &msg {
+                    Message::Tick(snap) => ins.telemetry.trace_for_tick(snap.timestamp),
+                    _ => msg.trace(),
+                };
                 let is_tick = matches!(msg, Message::Tick(_));
                 let start = Instant::now();
                 let caught = catch_unwind(AssertUnwindSafe(|| actor.handle(msg, ctx))).is_err();
@@ -674,17 +694,43 @@ fn supervise(
                 if let Some(ins) = instruments {
                     ins.panics.inc();
                 }
+                journal.emit(
+                    EventKind::ActorPanic,
+                    &ctx.name,
+                    "panicked in on_stop",
+                    TraceId::NONE,
+                );
                 return ExitKind::Panicked;
             }
+            journal.emit(
+                EventKind::ActorStop,
+                &ctx.name,
+                "exited cleanly",
+                TraceId::NONE,
+            );
             return ExitKind::Clean;
         }
         counters.panics.fetch_add(1, Ordering::Relaxed);
         if let Some(ins) = instruments {
             ins.panics.inc();
         }
+        journal.emit(
+            EventKind::ActorPanic,
+            &ctx.name,
+            "panicked in handle",
+            TraceId::NONE,
+        );
         match policy {
             RestartPolicy::Stop => return ExitKind::Panicked,
-            RestartPolicy::Escalate => return ExitKind::Escalated,
+            RestartPolicy::Escalate => {
+                journal.emit(
+                    EventKind::ActorEscalate,
+                    &ctx.name,
+                    "supervisor escalated the failure",
+                    TraceId::NONE,
+                );
+                return ExitKind::Escalated;
+            }
             RestartPolicy::Restart { max, backoff } => {
                 if counters.restarts.load(Ordering::Relaxed) >= u64::from(max) {
                     return ExitKind::Panicked;
@@ -699,6 +745,15 @@ fn supervise(
                 if let Some(ins) = instruments {
                     ins.restarts.inc();
                 }
+                journal.emit(
+                    EventKind::ActorRestart,
+                    &ctx.name,
+                    format!(
+                        "rebuilt after panic (restart #{})",
+                        counters.restarts.load(Ordering::Relaxed)
+                    ),
+                    TraceId::NONE,
+                );
             }
         }
     }

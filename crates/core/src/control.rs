@@ -142,6 +142,13 @@ impl RecalibrationTrigger {
         self.state.lock().pending.take()
     }
 
+    /// Whether a request is latched and unconsumed (non-consuming peek —
+    /// the runtime's post-mortem check must not steal the request from
+    /// whatever recalibration loop owns it).
+    pub fn is_pending(&self) -> bool {
+        self.state.lock().pending.is_some()
+    }
+
     /// Total accepted requests so far.
     pub fn fired(&self) -> u64 {
         self.state.lock().fired

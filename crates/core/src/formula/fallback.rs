@@ -12,9 +12,10 @@
 use crate::actor::{Actor, Context};
 use crate::formula::PowerFormula;
 use crate::msg::{Message, PowerReport, Quality};
+use crate::telemetry::EventKind;
 use os_sim::process::Pid;
 use simcpu::units::{Nanos, Watts};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The watchdog actor wrapping a primary/backup formula pair.
 pub struct FallbackFormula {
@@ -25,6 +26,9 @@ pub struct FallbackFormula {
     last_primary: BTreeMap<Pid, Nanos>,
     /// Estimates served by the backup path (observability for E7).
     degraded: u64,
+    /// Pids currently served by the backup path, so the flight recorder
+    /// sees one event per degrade/recover *transition*, not per estimate.
+    degraded_pids: BTreeSet<Pid>,
 }
 
 impl FallbackFormula {
@@ -42,6 +46,7 @@ impl FallbackFormula {
             max_age: max_age.max(Nanos(1)),
             last_primary: BTreeMap::new(),
             degraded: 0,
+            degraded_pids: BTreeSet::new(),
         }
     }
 
@@ -67,6 +72,15 @@ impl Actor for FallbackFormula {
         if report.source == self.primary.source() {
             if let Some(power) = self.primary.estimate(&report) {
                 self.last_primary.insert(report.pid, report.timestamp);
+                if self.degraded_pids.remove(&report.pid) {
+                    ctx.telemetry().journal().emit_at(
+                        report.timestamp,
+                        EventKind::QualityRecovered,
+                        &format!("pid-{}", report.pid.0),
+                        format!("primary formula {} resumed", self.primary.name()),
+                        report.trace,
+                    );
+                }
                 ctx.bus().publish(Message::Power(PowerReport {
                     timestamp: report.timestamp,
                     pid: report.pid,
@@ -94,6 +108,19 @@ impl Actor for FallbackFormula {
         }
         if let Some(power) = self.backup.estimate(&report) {
             self.degraded += 1;
+            if self.degraded_pids.insert(report.pid) {
+                ctx.telemetry().journal().emit_at(
+                    report.timestamp,
+                    EventKind::QualityDegraded,
+                    &format!("pid-{}", report.pid.0),
+                    format!(
+                        "primary silent > {} ms; serving {}",
+                        self.max_age.as_u64() / 1_000_000,
+                        self.backup.name()
+                    ),
+                    report.trace,
+                );
+            }
             ctx.bus().publish(Message::Power(PowerReport {
                 timestamp: report.timestamp,
                 pid: report.pid,
@@ -281,6 +308,46 @@ mod tests {
         assert!(pid1.iter().all(|p| p.quality == Quality::Full));
         assert_eq!(pid2.len(), 2);
         assert_eq!(pid2[1].quality, Quality::Degraded);
+    }
+
+    #[test]
+    fn quality_transitions_are_journaled_once() {
+        let telemetry = crate::telemetry::Telemetry::new();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut sys = ActorSystem::with_telemetry(telemetry.clone());
+        let f = sys.spawn(
+            "fallback",
+            Box::new(FallbackFormula::new(
+                Box::new(Hpc),
+                Box::new(CpuLoadFormula::new(30.0, 10.0)),
+                Nanos::from_secs(2),
+            )),
+        );
+        let sink = sys.spawn("sink", Box::new(Capture(seen.clone())));
+        sys.bus().subscribe(Topic::Sensor, &f);
+        sys.bus().subscribe(Topic::Power, &sink);
+        for m in [
+            sensor(HPC, 1, 1),
+            sensor(PROCFS, 2, 1),
+            sensor(PROCFS, 3, 1),
+            sensor(PROCFS, 4, 1), // degrade transition
+            sensor(PROCFS, 5, 1), // still degraded: no second event
+            sensor(HPC, 6, 1),    // recover transition
+        ] {
+            sys.bus().publish(m);
+        }
+        sys.shutdown();
+        use crate::telemetry::EventKind;
+        let journal = telemetry.journal();
+        assert_eq!(journal.count(EventKind::QualityDegraded), 1);
+        assert_eq!(journal.count(EventKind::QualityRecovered), 1);
+        let degrade = journal
+            .events()
+            .into_iter()
+            .find(|e| e.kind == EventKind::QualityDegraded)
+            .expect("degrade journaled");
+        assert_eq!(degrade.subject, "pid-1");
+        assert_eq!(degrade.at, Nanos::from_secs(4));
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::actor::{Actor, Context};
 use crate::control::RecalibrationTrigger;
 use crate::msg::{Message, Scope};
 use crate::telemetry::metrics::{Counter, Gauge};
+use crate::telemetry::{EventKind, TraceId};
 use mathkit::changepoint::{Cusum, PageHinkley};
 use simcpu::units::{Nanos, Watts};
 use std::collections::VecDeque;
@@ -308,7 +309,14 @@ impl ResidualMonitor {
         self.meter.remove(idx).map(|(_, w)| w)
     }
 
-    fn on_residual(&mut self, at: Nanos, residual_w: f64, band_w: f64, ctx: &Context) {
+    fn on_residual(
+        &mut self,
+        at: Nanos,
+        residual_w: f64,
+        band_w: f64,
+        trace: TraceId,
+        ctx: &Context,
+    ) {
         self.ticks += 1;
         if self.ticks == 1 {
             self.bias = residual_w;
@@ -344,9 +352,26 @@ impl ResidualMonitor {
         if alarmed {
             metrics.drift_alarms_total.inc();
             self.health.record_alarm(at);
+            ctx.telemetry().journal().emit_at(
+                at,
+                EventKind::DriftAlarm,
+                ctx.name(),
+                format!(
+                    "residual {residual_w:+.2} W (bias {:+.2} W, mae {:.2} W)",
+                    self.bias, self.mae
+                ),
+                trace,
+            );
             if let Some(trigger) = &self.trigger {
                 if trigger.fire(at) {
                     metrics.recalibrations_total.inc();
+                    ctx.telemetry().journal().emit_at(
+                        at,
+                        EventKind::Recalibration,
+                        ctx.name(),
+                        "drift alarm latched a recalibration request",
+                        trace,
+                    );
                 }
             }
         }
@@ -366,7 +391,7 @@ impl Actor for ResidualMonitor {
                 if let Some(metered) = self.take_meter_near(a.timestamp) {
                     let residual = a.power.as_f64() - metered.as_f64();
                     if residual.is_finite() {
-                        self.on_residual(a.timestamp, residual, a.band_w.as_f64(), ctx);
+                        self.on_residual(a.timestamp, residual, a.band_w.as_f64(), a.trace, ctx);
                     }
                 }
             }

@@ -39,15 +39,18 @@ use crate::reporter::{
     TelemetryReporter,
 };
 use crate::sensor::{HpcSensor, PowerSpySensor, ProcfsSensor, RaplSensor};
-use crate::telemetry::{Stage, Telemetry, TelemetrySummary, SELF_FORMULA, SELF_PID};
+use crate::telemetry::export::{self, PostMortemReport};
+use crate::telemetry::{EventKind, Stage, Telemetry, TelemetrySummary, SELF_FORMULA, SELF_PID};
 use crate::{Error, Result};
 use os_sim::kernel::Kernel;
 use os_sim::process::Pid;
 use perf_sim::events::{Event, PAPER_EVENTS};
-use powermeter::powerspy::PowerSpyConfig;
+use perf_sim::session::CounterFaultStats;
+use powermeter::powerspy::{MeterFaultStats, PowerSpyConfig};
 use simcpu::fault::FaultPlan;
 use simcpu::units::{Nanos, Watts};
 use std::io::Write;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -79,6 +82,9 @@ pub struct PowerApiBuilder {
     profile_self: Option<f64>,
     telemetry_out: Option<Box<dyn Write + Send>>,
     model_health: Option<HealthConfig>,
+    post_mortem_dir: Option<PathBuf>,
+    post_mortem_window: Nanos,
+    post_mortem_always: bool,
 }
 
 impl PowerApiBuilder {
@@ -110,6 +116,9 @@ impl PowerApiBuilder {
             profile_self: None,
             telemetry_out: None,
             model_health: None,
+            post_mortem_dir: None,
+            post_mortem_window: Nanos::from_secs(60),
+            post_mortem_always: false,
         }
     }
 
@@ -330,6 +339,37 @@ impl PowerApiBuilder {
         self
     }
 
+    /// Arms the flight recorder's post-mortem dump: when the run ends in
+    /// panic-escalation, a degraded shutdown, or with a latched
+    /// recalibration trigger, [`PowerApi::finish`] writes the last-window
+    /// journal (`journal.jsonl`), the matching trace spans as Chrome
+    /// trace-event JSON (`trace.json`) and a metrics snapshot
+    /// (`metrics.prom`) into `dir`, surfacing the result via
+    /// [`RunOutcome::flight_recorder`]. Requires telemetry.
+    #[must_use]
+    pub fn post_mortem_to(mut self, dir: impl Into<PathBuf>) -> PowerApiBuilder {
+        self.post_mortem_dir = Some(dir.into());
+        self
+    }
+
+    /// Overrides the post-mortem window (default 60 s of simulated time):
+    /// only journal events and spans from the last `window` before
+    /// shutdown make it into the dump.
+    #[must_use]
+    pub fn post_mortem_window(mut self, window: Nanos) -> PowerApiBuilder {
+        self.post_mortem_window = window.max(Nanos(1));
+        self
+    }
+
+    /// Also dump on clean shutdowns (reason `requested`) — black-box
+    /// capture for experiments that want the full recording regardless of
+    /// how the run ended.
+    #[must_use]
+    pub fn post_mortem_always(mut self, always: bool) -> PowerApiBuilder {
+        self.post_mortem_always = always;
+        self
+    }
+
     /// Assembles and starts the actor pipeline.
     ///
     /// # Errors
@@ -351,6 +391,11 @@ impl PowerApiBuilder {
         if self.degrade.is_some() && self.formulas.len() > 1 {
             return Err(Error::Middleware(
                 "degrade_to supports exactly one primary formula".into(),
+            ));
+        }
+        if self.post_mortem_dir.is_some() && !self.telemetry {
+            return Err(Error::Middleware(
+                "post_mortem_to requires telemetry (a dark hub records nothing to dump)".into(),
             ));
         }
         let dimension = self.dimension.unwrap_or(if self.formulas.len() == 1 {
@@ -548,6 +593,11 @@ impl PowerApiBuilder {
             self_busy_prev: 0,
             self_wall_prev: Instant::now(),
             model_health: model_health.map(|(_, h, t)| (h, t)),
+            post_mortem: self
+                .post_mortem_dir
+                .map(|dir| (dir, self.post_mortem_window, self.post_mortem_always)),
+            fault_prev_meter: MeterFaultStats::default(),
+            fault_prev_counters: CounterFaultStats::default(),
         })
     }
 }
@@ -568,6 +618,13 @@ pub struct PowerApi {
     self_wall_prev: Instant,
     /// Shared model-health handle + recalibration hook (when enabled).
     model_health: Option<(ModelHealth, RecalibrationTrigger)>,
+    /// Post-mortem dump config: `(dir, window, always)`.
+    post_mortem: Option<(PathBuf, Nanos, bool)>,
+    /// Meter fault stats at the previous tick boundary, so each boundary
+    /// journals only the *new* fault activity.
+    fault_prev_meter: MeterFaultStats,
+    /// PMU fault stats at the previous tick boundary.
+    fault_prev_counters: CounterFaultStats,
 }
 
 impl PowerApi {
@@ -641,7 +698,15 @@ impl PowerApi {
                 }
                 let snapshot = self.host.snapshot();
                 let timestamp = snapshot.timestamp;
+                if instrumented {
+                    // Advance the flight-recorder clock first so every
+                    // event this tick provokes carries its timestamp.
+                    self.telemetry.journal().set_now(timestamp);
+                }
                 bus.publish(Message::Tick(Arc::new(snapshot)));
+                if instrumented {
+                    self.journal_fault_deltas(timestamp);
+                }
                 if let Some(wpc) = self.profile_self.filter(|_| instrumented) {
                     self.publish_self_power(&bus, timestamp, wpc);
                 }
@@ -655,6 +720,41 @@ impl PowerApi {
                 .record_host(t.elapsed().as_nanos() as u64);
         }
         Ok(())
+    }
+
+    /// Journals one `FaultInjected` event per fault kind whose counter
+    /// advanced since the previous tick boundary. The sensor substrates
+    /// (powermeter, perf-sim) cannot reach the journal themselves — they
+    /// sit below the middleware — so the runtime polls their stats and
+    /// stamps the events with the tick's trace id.
+    fn journal_fault_deltas(&mut self, timestamp: Nanos) {
+        let meter = self.host.meter_fault_stats();
+        let counters = self.host.counter_fault_stats();
+        if meter == self.fault_prev_meter && counters == self.fault_prev_counters {
+            return;
+        }
+        let journal = self.telemetry.journal();
+        let trace = self.telemetry.trace_for_tick(timestamp);
+        for (kind, n) in meter.delta_kinds(&self.fault_prev_meter) {
+            journal.emit_at(
+                timestamp,
+                EventKind::FaultInjected,
+                kind,
+                format!("{n} meter sample(s) affected"),
+                trace,
+            );
+        }
+        for (kind, n) in counters.delta_kinds(&self.fault_prev_counters) {
+            journal.emit_at(
+                timestamp,
+                EventKind::FaultInjected,
+                kind,
+                format!("{n} PMU tick(s) affected"),
+                trace,
+            );
+        }
+        self.fault_prev_meter = meter;
+        self.fault_prev_counters = counters;
     }
 
     /// Publishes the middleware's own consumption since the previous tick
@@ -724,6 +824,7 @@ impl PowerApi {
             }
             None => ModelHealthSummary::default(),
         };
+        let flight_recorder = self.write_post_mortem(&health)?;
         Ok(RunOutcome {
             reports,
             meter,
@@ -731,7 +832,51 @@ impl PowerApi {
             health,
             telemetry: self.telemetry.summary(),
             model_health,
+            flight_recorder,
         })
+    }
+
+    /// Why a post-mortem dump is due, if it is: panic-escalation (any
+    /// actor died or escalated), degraded shutdown (the run ended with at
+    /// least one pid still served by the fallback formula), or a latched,
+    /// unconsumed recalibration trigger.
+    fn post_mortem_reason(&self, health: &ShutdownSummary) -> Option<String> {
+        let mut reasons: Vec<&str> = Vec::new();
+        if !health.panicked.is_empty() || health.escalated {
+            reasons.push("panic-escalation");
+        }
+        let journal = self.telemetry.journal();
+        if journal.count(EventKind::QualityDegraded) > journal.count(EventKind::QualityRecovered) {
+            reasons.push("degraded-shutdown");
+        }
+        if self
+            .model_health
+            .as_ref()
+            .is_some_and(|(_, t)| t.is_pending())
+        {
+            reasons.push("recalibration-latched");
+        }
+        if reasons.is_empty() {
+            None
+        } else {
+            Some(reasons.join("+"))
+        }
+    }
+
+    /// Writes the post-mortem dump when armed and due.
+    fn write_post_mortem(&self, health: &ShutdownSummary) -> Result<Option<PostMortemReport>> {
+        let Some((dir, window, always)) = &self.post_mortem else {
+            return Ok(None);
+        };
+        let reason = match (self.post_mortem_reason(health), *always) {
+            (Some(r), _) => r,
+            (None, true) => "requested".to_string(),
+            (None, false) => return Ok(None),
+        };
+        let horizon = self.telemetry.journal().now().saturating_sub(*window);
+        export::write_post_mortem(dir, &self.telemetry, horizon, &reason)
+            .map(Some)
+            .map_err(|e| Error::Middleware(format!("post-mortem dump to {}: {e}", dir.display())))
     }
 }
 
@@ -768,6 +913,10 @@ pub struct RunOutcome {
     /// when the builder did not enable
     /// [`PowerApiBuilder::model_health`].
     pub model_health: ModelHealthSummary,
+    /// Where (and why) the flight recorder wrote a post-mortem dump —
+    /// `None` unless [`PowerApiBuilder::post_mortem_to`] was armed and a
+    /// dump condition held at shutdown (or `post_mortem_always` was set).
+    pub flight_recorder: Option<PostMortemReport>,
 }
 
 impl RunOutcome {
@@ -1146,6 +1295,87 @@ mod tests {
         // the stall plus the degraded tail.
         assert!(out.machine_estimates().len() >= 8);
         assert!(out.is_healthy(), "{:?}", out.health);
+    }
+
+    #[test]
+    fn post_mortem_requires_telemetry() {
+        let (kernel, _) = busy_kernel();
+        let err = PowerApi::builder(kernel)
+            .formula(paper_formula())
+            .telemetry(false)
+            .post_mortem_to(std::env::temp_dir().join("powerapi-never-written"))
+            .build();
+        assert!(matches!(err, Err(Error::Middleware(_))));
+    }
+
+    #[test]
+    fn flight_recorder_dumps_journal_spans_and_metrics() {
+        use simcpu::fault::{FaultKind, FaultPlan, FaultWindow};
+        let (kernel, pid) = busy_kernel();
+        let dir = std::env::temp_dir().join(format!("powerapi-fr-{}", std::process::id()));
+        // A meter dropout window guarantees FaultInjected journal lines.
+        let plan = FaultPlan::from_windows(vec![FaultWindow {
+            kind: FaultKind::SampleDropout,
+            start: Nanos::from_secs(1),
+            end: Nanos::from_secs(3),
+            magnitude: 1.0,
+        }]);
+        let mut papi = PowerApi::builder(kernel)
+            .formula(paper_formula())
+            .fault_plan(plan)
+            .report_to_memory()
+            .quantum(Nanos::from_millis(2))
+            .clock_period(Nanos::from_millis(500))
+            .post_mortem_to(&dir)
+            .post_mortem_always(true)
+            .build()
+            .unwrap();
+        papi.monitor(pid).unwrap();
+        papi.run_for(Nanos::from_secs(4)).unwrap();
+        let out = papi.finish().unwrap();
+        let report = out.flight_recorder.as_ref().expect("dump armed + always");
+        assert_eq!(report.reason, "requested", "clean run dumps as requested");
+        assert!(report.events > 0 && report.spans > 0 && report.bytes > 0);
+        // The dump parses back and reconstructs what happened.
+        let jsonl = std::fs::read_to_string(dir.join("journal.jsonl")).unwrap();
+        let events = crate::telemetry::parse_jsonl(&jsonl).unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.kind == EventKind::ActorStart && e.subject == "sensor-hpc"));
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == EventKind::FaultInjected && e.subject == "SampleDropout"),
+            "dropout window must be journaled"
+        );
+        let trace = std::fs::read_to_string(dir.join("trace.json")).unwrap();
+        let doc = export::parse_json(&trace).expect("valid Chrome trace");
+        assert!(doc.get("traceEvents").is_some());
+        assert!(std::fs::read_to_string(dir.join("metrics.prom"))
+            .unwrap()
+            .contains("powerapi_journal_events_total"));
+        assert!(out.telemetry.journal_events >= report.events as u64);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flight_recorder_stays_quiet_on_clean_runs_unless_always() {
+        let (kernel, pid) = busy_kernel();
+        let dir = std::env::temp_dir().join(format!("powerapi-fr-quiet-{}", std::process::id()));
+        let mut papi = PowerApi::builder(kernel)
+            .formula(paper_formula())
+            .report_to_memory()
+            .quantum(Nanos::from_millis(5))
+            .clock_period(Nanos::from_millis(500))
+            .post_mortem_to(&dir)
+            .build()
+            .unwrap();
+        papi.monitor(pid).unwrap();
+        papi.run_for(Nanos::from_secs(1)).unwrap();
+        let out = papi.finish().unwrap();
+        assert!(out.is_healthy());
+        assert!(out.flight_recorder.is_none(), "no trigger, no dump");
+        assert!(!dir.exists(), "no files written either");
     }
 
     #[test]

@@ -1,0 +1,694 @@
+//! Flight-recorder export: JSONL journal dumps, Chrome trace-event JSON
+//! (loadable in Perfetto / `chrome://tracing`) and the post-mortem dump
+//! the runtime writes when a run goes sideways.
+//!
+//! The Chrome trace lays the pipeline out as one process (`pid` 1) with
+//! one track per [`Stage`] (`tid` = stage index): every recorded [`Hop`]
+//! becomes a `"X"` complete event whose duration is the handle time, and
+//! every [`JournalEvent`] becomes a `"i"` instant on a dedicated
+//! `journal` track ([`JOURNAL_TID`]). All timed events are globally
+//! sorted by timestamp before serialisation, so per-track timestamps are
+//! monotonically non-decreasing by construction.
+//!
+//! Everything here is hand-rolled (encoder *and* a small recursive-
+//! descent JSON reader) so dumps can be parsed back and asserted on
+//! without external dependencies — the `e10_blackbox` experiment replays
+//! a chaos schedule and checks the dump reconstructs the injected fault
+//! sequence.
+
+use crate::telemetry::journal::{EventKind, JournalEvent, Severity};
+use crate::telemetry::trace::{Stage, TraceId, TraceSpan};
+use crate::telemetry::Telemetry;
+use simcpu::units::Nanos;
+use std::path::{Path, PathBuf};
+
+/// The Chrome-trace `tid` journal instants are emitted on (stages own
+/// tids 0–5).
+pub const JOURNAL_TID: u64 = 9;
+
+// ---------------------------------------------------------------------------
+// JSON string escaping
+// ---------------------------------------------------------------------------
+
+/// Escapes `s` for embedding inside a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + reader
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Objects keep insertion order (no hashing, stable
+/// round-trips); numbers are `f64`, which is exact for every integer the
+/// exporter emits (< 2^53).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, as ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an exact unsigned integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        if n >= 0.0 && n.fract() == 0.0 && n <= 9_007_199_254_740_992.0 {
+            Some(n as u64)
+        } else {
+            None
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one complete JSON document (rejects trailing garbage).
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Reader {
+        b: text.as_bytes(),
+        i: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing garbage at byte {}", p.i));
+    }
+    Ok(v)
+}
+
+struct Reader<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Reader<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&c) = self.b.get(self.i) {
+            if c == b' ' || c == b'\t' || c == b'\n' || c == b'\r' {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                c as char,
+                self.i,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.i
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.i,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.i,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                self.eat(b'\\')?;
+                                self.eat(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("bad low surrogate".into());
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.b[self.i..];
+                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let c = s.chars().next().ok_or("empty")?;
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        if self.i + 4 > self.b.len() {
+            return Err("truncated \\u escape".into());
+        }
+        let s = std::str::from_utf8(&self.b[self.i..self.i + 4]).map_err(|e| e.to_string())?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| "bad \\u digits".to_string())?;
+        self.i += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || c == b'+' || c == b'-' {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        let s = std::str::from_utf8(&self.b[start..self.i]).map_err(|e| e.to_string())?;
+        s.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number '{s}' at byte {start}"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSONL journal encoding
+// ---------------------------------------------------------------------------
+
+/// Encodes one journal event as a single JSON object (one JSONL line,
+/// without the trailing newline).
+pub fn encode_event(e: &JournalEvent) -> String {
+    format!(
+        "{{\"seq\":{},\"at_ns\":{},\"severity\":\"{}\",\"kind\":\"{}\",\"subject\":\"{}\",\"detail\":\"{}\",\"trace\":{}}}",
+        e.seq,
+        e.at.as_u64(),
+        e.severity.label(),
+        e.kind.label(),
+        escape_json(&e.subject),
+        escape_json(&e.detail),
+        e.trace.0
+    )
+}
+
+/// Inverse of [`encode_event`]: parses one JSONL line back into the
+/// exact event it was encoded from.
+pub fn parse_event(line: &str) -> Result<JournalEvent, String> {
+    let v = parse_json(line)?;
+    let num = |key: &str| {
+        v.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("missing/bad \"{key}\" in journal line"))
+    };
+    let text = |key: &str| {
+        v.get(key)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("missing/bad \"{key}\" in journal line"))
+    };
+    Ok(JournalEvent {
+        seq: num("seq")?,
+        at: Nanos(num("at_ns")?),
+        severity: Severity::from_label(text("severity")?)
+            .ok_or_else(|| "unknown severity".to_string())?,
+        kind: EventKind::from_label(text("kind")?).ok_or_else(|| "unknown kind".to_string())?,
+        subject: text("subject")?.to_string(),
+        detail: text("detail")?.to_string(),
+        trace: TraceId(num("trace")?),
+    })
+}
+
+/// Serialises events as JSONL, one object per line, trailing newline.
+pub fn dump_jsonl(events: &[JournalEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96);
+    for e in events {
+        out.push_str(&encode_event(e));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSONL dump back into events (blank lines ignored).
+pub fn parse_jsonl(text: &str) -> Result<Vec<JournalEvent>, String> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(parse_event)
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event export
+// ---------------------------------------------------------------------------
+
+/// Exact microseconds with nanosecond precision (Chrome-trace `ts`/`dur`
+/// are in µs; fractional values are allowed).
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+/// Builds a Chrome trace-event JSON document from spans + journal
+/// events, loadable in Perfetto or `chrome://tracing`. Hop start times
+/// anchor on the span's simulated tick timestamp plus the hop's wall
+/// offset, so tracks line up with simulated time at tick granularity.
+pub fn chrome_trace(spans: &[TraceSpan], events: &[JournalEvent]) -> String {
+    let mut timed: Vec<(u64, String)> = Vec::new();
+    let mut stage_used = [false; 6];
+    for span in spans {
+        for hop in &span.hops {
+            stage_used[hop.stage.index()] = true;
+            let start_ns = span.tick_ts.as_u64() + hop.at_ns.saturating_sub(hop.handle_ns);
+            let dur_ns = hop.handle_ns.max(1);
+            timed.push((
+                start_ns,
+                format!(
+                    "{{\"name\":\"{}\",\"cat\":\"pipeline\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"trace\":{},\"queue_ns\":{},\"handle_ns\":{}}}}}",
+                    escape_json(&format!("{}:{}", hop.stage.label(), hop.actor)),
+                    hop.stage.index(),
+                    micros(start_ns),
+                    micros(dur_ns),
+                    span.trace.0,
+                    hop.queue_ns,
+                    hop.handle_ns
+                ),
+            ));
+        }
+    }
+    for e in events {
+        let ts_ns = e.at.as_u64();
+        timed.push((
+            ts_ns,
+            format!(
+                "{{\"name\":\"{}\",\"cat\":\"journal\",\"ph\":\"i\",\"s\":\"g\",\"pid\":1,\"tid\":{JOURNAL_TID},\"ts\":{},\"args\":{{\"seq\":{},\"severity\":\"{}\",\"subject\":\"{}\",\"detail\":\"{}\",\"trace\":{}}}}}",
+                e.kind.label(),
+                micros(ts_ns),
+                e.seq,
+                e.severity.label(),
+                escape_json(&e.subject),
+                escape_json(&e.detail),
+                e.trace.0
+            ),
+        ));
+    }
+    // Global sort by timestamp (stable, so same-ts events keep emission
+    // order) ⇒ every track's timestamps are non-decreasing.
+    timed.sort_by_key(|&(ts, _)| ts);
+
+    let mut parts: Vec<String> = Vec::with_capacity(timed.len() + 8);
+    parts.push(
+        "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,\"ts\":0,\"args\":{\"name\":\"powerapi-pipeline\"}}"
+            .to_string(),
+    );
+    for stage in Stage::ALL {
+        if stage_used[stage.index()] {
+            parts.push(format!(
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":{},\"ts\":0,\"args\":{{\"name\":\"{}\"}}}}",
+                stage.index(),
+                stage.label()
+            ));
+        }
+    }
+    if !events.is_empty() {
+        parts.push(format!(
+            "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":{JOURNAL_TID},\"ts\":0,\"args\":{{\"name\":\"journal\"}}}}"
+        ));
+    }
+    parts.extend(timed.into_iter().map(|(_, json)| json));
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{}\n]}}",
+        parts.join(",\n")
+    )
+}
+
+/// [`chrome_trace`] over a hub's current spans + journal.
+pub fn chrome_trace_from(telemetry: &Telemetry) -> String {
+    chrome_trace(&telemetry.tracer().spans(), &telemetry.journal().events())
+}
+
+// ---------------------------------------------------------------------------
+// Post-mortem dump
+// ---------------------------------------------------------------------------
+
+/// What a post-mortem dump wrote and why — surfaced on
+/// [`RunOutcome::flight_recorder`].
+///
+/// [`RunOutcome::flight_recorder`]: crate::runtime::RunOutcome
+#[derive(Debug, Clone, PartialEq)]
+pub struct PostMortemReport {
+    /// Directory the dump files were written to.
+    pub dir: PathBuf,
+    /// Why the dump fired (`panic-escalation`, `degraded-shutdown`,
+    /// `recalibration-latched`, `requested`, or a `+`-joined combination).
+    pub reason: String,
+    /// Journal events inside the dump window.
+    pub events: usize,
+    /// Trace spans inside the dump window.
+    pub spans: usize,
+    /// Total bytes written across the three dump files.
+    pub bytes: u64,
+}
+
+/// Writes `journal.jsonl`, `trace.json` and `metrics.prom` into `dir`
+/// (created if missing), restricted to events/spans at or after
+/// `horizon` — the runtime's "last N seconds" window.
+pub fn write_post_mortem(
+    dir: &Path,
+    telemetry: &Telemetry,
+    horizon: Nanos,
+    reason: &str,
+) -> std::io::Result<PostMortemReport> {
+    std::fs::create_dir_all(dir)?;
+    let events = telemetry.journal().events_since(horizon);
+    let spans: Vec<TraceSpan> = telemetry
+        .tracer()
+        .spans()
+        .into_iter()
+        .filter(|s| s.tick_ts >= horizon)
+        .collect();
+    let jsonl = dump_jsonl(&events);
+    let trace = chrome_trace(&spans, &events);
+    let mut prom = format!(
+        "# powerapi post-mortem: {reason}\n# horizon_ns: {}\n",
+        horizon.as_u64()
+    );
+    prom.push_str(&telemetry.render_prometheus());
+    std::fs::write(dir.join("journal.jsonl"), &jsonl)?;
+    std::fs::write(dir.join("trace.json"), &trace)?;
+    std::fs::write(dir.join("metrics.prom"), &prom)?;
+    Ok(PostMortemReport {
+        dir: dir.to_path_buf(),
+        reason: reason.to_string(),
+        events: events.len(),
+        spans: spans.len(),
+        bytes: (jsonl.len() + trace.len() + prom.len()) as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::journal::Journal;
+    use crate::telemetry::metrics::Counter;
+    use crate::telemetry::trace::Tracer;
+    use std::sync::Arc;
+
+    fn sample_events() -> Vec<JournalEvent> {
+        let j = Journal::new(true, 64, Counter::default(), Counter::default());
+        j.emit_at(
+            Nanos::from_secs(1),
+            EventKind::ActorStart,
+            "sensor-hpc",
+            "spawned",
+            TraceId::NONE,
+        );
+        j.emit_at(
+            Nanos::from_secs(2),
+            EventKind::FaultInjected,
+            "Disconnect",
+            "3 sample(s) \"lost\"\nover\ttwo lines \\ with unicode é",
+            TraceId(7),
+        );
+        j.emit_at(
+            Nanos::from_secs(3),
+            EventKind::ActorPanic,
+            "formula",
+            "boom",
+            TraceId(8),
+        );
+        j.events()
+    }
+
+    #[test]
+    fn jsonl_round_trips_exactly() {
+        let events = sample_events();
+        let dump = dump_jsonl(&events);
+        let parsed = parse_jsonl(&dump).expect("parse back");
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn json_reader_accepts_the_grammar_and_rejects_garbage() {
+        let v = parse_json(r#"{"a":[1,2.5,-3e2],"b":"x\u00e9\n","c":null,"d":true}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("b").unwrap().as_str(), Some("xé\n"));
+        assert_eq!(v.get("c"), Some(&Json::Null));
+        assert_eq!(v.get("d"), Some(&Json::Bool(true)));
+        assert_eq!(
+            parse_json("\"\\ud83d\\ude00\"").unwrap().as_str(),
+            Some("😀")
+        );
+        for bad in [
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "tru",
+            "1 2",
+            "\"\\u12\"",
+            "{\"a\" 1}",
+        ] {
+            assert!(parse_json(bad).is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_sorted_json_with_named_tracks() {
+        let tracer = Tracer::new();
+        let id2 = tracer.trace_for_tick(Nanos::from_secs(2));
+        let id1 = tracer.trace_for_tick(Nanos::from_secs(1));
+        let sensor: Arc<str> = Arc::from("sensor-hpc");
+        let reporter: Arc<str> = Arc::from("reporter-\"quoted\"");
+        tracer.record_hop(id1, Stage::Sensor, &sensor, 100, 5_000);
+        tracer.record_hop(id1, Stage::Reporter, &reporter, 50, 2_000);
+        tracer.record_hop(id2, Stage::Sensor, &sensor, 100, 4_000);
+        let text = chrome_trace(&tracer.spans(), &sample_events());
+        let doc = parse_json(&text).expect("valid JSON");
+        let items = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(items.len() >= 3 + 3 + 4, "hops + instants + metadata");
+        let names: Vec<&str> = items
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        assert!(names.contains(&"sensor") && names.contains(&"reporter"));
+        assert!(names.contains(&"journal"));
+        assert!(!names.contains(&"formula"), "unused stages get no track");
+        // Per-track ts monotonicity over the timed events.
+        let mut last: std::collections::BTreeMap<u64, f64> = Default::default();
+        for e in items {
+            if e.get("ph").and_then(Json::as_str) == Some("M") {
+                continue;
+            }
+            let tid = e.get("tid").unwrap().as_u64().unwrap();
+            let ts = e.get("ts").unwrap().as_f64().unwrap();
+            if let Some(prev) = last.insert(tid, ts) {
+                assert!(ts >= prev, "track {tid} went backwards");
+            }
+        }
+    }
+
+    #[test]
+    fn post_mortem_writes_three_files_and_respects_horizon() {
+        let t = Telemetry::new();
+        let id = t.trace_for_tick(Nanos::from_secs(9));
+        let name: Arc<str> = Arc::from("sensor-hpc");
+        t.tracer().record_hop(id, Stage::Sensor, &name, 10, 100);
+        t.journal().emit_at(
+            Nanos::from_secs(1),
+            EventKind::ActorStart,
+            "old",
+            "outside window",
+            TraceId::NONE,
+        );
+        t.journal().emit_at(
+            Nanos::from_secs(9),
+            EventKind::DriftAlarm,
+            "model-health",
+            "inside window",
+            id,
+        );
+        let dir = std::env::temp_dir().join(format!("powerapi-pm-test-{}", std::process::id()));
+        let report = write_post_mortem(&dir, &t, Nanos::from_secs(5), "requested").expect("dump");
+        assert_eq!(report.events, 1, "horizon filters the old event");
+        assert_eq!(report.spans, 1);
+        assert!(report.bytes > 0);
+        let jsonl = std::fs::read_to_string(dir.join("journal.jsonl")).unwrap();
+        assert_eq!(parse_jsonl(&jsonl).unwrap().len(), 1);
+        let trace = std::fs::read_to_string(dir.join("trace.json")).unwrap();
+        parse_json(&trace).expect("dump trace is valid JSON");
+        let prom = std::fs::read_to_string(dir.join("metrics.prom")).unwrap();
+        assert!(prom.starts_with("# powerapi post-mortem: requested\n"));
+        assert!(prom.contains("powerapi_journal_events_total"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn micros_formats_exact_nanosecond_fractions() {
+        assert_eq!(micros(0), "0.000");
+        assert_eq!(micros(1_234), "1.234");
+        assert_eq!(micros(1_000_000_007), "1000000.007");
+    }
+}

@@ -11,10 +11,14 @@
 //!
 //! [`Context`]: crate::actor::Context
 
+pub mod export;
+pub mod journal;
 pub mod metrics;
 pub mod overhead;
 pub mod trace;
 
+pub use export::{chrome_trace, chrome_trace_from, dump_jsonl, parse_jsonl, PostMortemReport};
+pub use journal::{EventKind, Journal, JournalEvent, Severity, JOURNAL_CAP};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, LATENCY_BOUNDS_NS};
 pub use overhead::{OverheadProfiler, OverheadSummary, SELF_FORMULA, SELF_PID};
 pub use trace::{Hop, Stage, TraceId, TraceSpan, Tracer};
@@ -26,6 +30,7 @@ struct TelemetryInner {
     enabled: bool,
     registry: MetricsRegistry,
     tracer: Tracer,
+    journal: Journal,
     overhead: OverheadProfiler,
     /// One handle-latency histogram per pipeline stage, pre-registered so
     /// the supervision loop never touches the registry lock.
@@ -56,11 +61,22 @@ impl Telemetry {
             ))
         });
         let tick_lag_ns = registry.histogram("powerapi_tick_lag_ns");
+        let tracer = Tracer::with_counters(
+            registry.counter("powerapi_trace_spans_evicted_total"),
+            registry.counter("powerapi_trace_hops_dropped_total"),
+        );
+        let journal = Journal::new(
+            enabled,
+            JOURNAL_CAP,
+            registry.counter("powerapi_journal_events_total"),
+            registry.counter("powerapi_journal_dropped_total"),
+        );
         Telemetry {
             inner: Arc::new(TelemetryInner {
                 enabled,
                 registry,
-                tracer: Tracer::new(),
+                tracer,
+                journal,
                 overhead: OverheadProfiler::default(),
                 stage_handle_ns,
                 tick_lag_ns,
@@ -92,6 +108,11 @@ impl Telemetry {
     /// The span tracer.
     pub fn tracer(&self) -> &Tracer {
         &self.inner.tracer
+    }
+
+    /// The flight-recorder event journal (disabled when the hub is).
+    pub fn journal(&self) -> &Journal {
+        &self.inner.journal
     }
 
     /// The self-overhead profiler.
@@ -157,6 +178,8 @@ impl Telemetry {
             messages_dropped: sum_or("powerapi_actor_dropped_total"),
             restarts: sum_or("powerapi_actor_restarts_total"),
             panics: sum_or("powerapi_actor_panics_total"),
+            journal_events: self.inner.journal.emitted(),
+            journal_dropped: self.inner.journal.dropped(),
             overhead: self.inner.overhead.summary(),
             prometheus: self.render_prometheus(),
         }
@@ -312,6 +335,10 @@ pub struct TelemetrySummary {
     pub restarts: u64,
     /// Panics caught in handlers.
     pub panics: u64,
+    /// Flight-recorder events emitted (including since-shed ones).
+    pub journal_events: u64,
+    /// Flight-recorder events shed by the bounded ring.
+    pub journal_dropped: u64,
     /// Middleware-vs-host busy-time split.
     pub overhead: OverheadSummary,
     /// Prometheus text dump of every metric at shutdown.
@@ -360,6 +387,31 @@ mod tests {
         assert!(s.end_to_end.max_ns > 0);
         assert!(s.prometheus.contains("powerapi_stage_handle_ns"));
         assert_eq!(s.overhead.messages, 1);
+    }
+
+    #[test]
+    fn hub_journal_shares_the_registry_counters() {
+        let t = Telemetry::new();
+        assert!(t.journal().enabled());
+        t.journal().emit(
+            EventKind::ActorStart,
+            "sensor-hpc",
+            "spawned",
+            TraceId::NONE,
+        );
+        let s = t.summary();
+        assert_eq!(s.journal_events, 1);
+        assert_eq!(s.journal_dropped, 0);
+        assert!(
+            s.prometheus.contains("powerapi_journal_events_total 1"),
+            "{}",
+            s.prometheus
+        );
+        assert!(s
+            .prometheus
+            .contains("powerapi_trace_spans_evicted_total 0"));
+        assert!(s.prometheus.contains("powerapi_trace_hops_dropped_total 0"));
+        assert!(!Telemetry::disabled().journal().enabled());
     }
 
     #[test]

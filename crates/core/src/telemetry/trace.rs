@@ -5,6 +5,7 @@
 //! end-to-end pipeline latency and its per-stage breakdown are measurable
 //! per tick.
 
+use crate::telemetry::metrics::Counter;
 use simcpu::units::Nanos;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -141,6 +142,11 @@ const SPAN_CAP: usize = 4096;
 pub struct Tracer {
     next: AtomicU64,
     state: Mutex<TracerState>,
+    /// `powerapi_trace_spans_evicted_total` — spans shed past `SPAN_CAP`.
+    spans_evicted: Counter,
+    /// `powerapi_trace_hops_dropped_total` — hops recorded against a trace
+    /// whose span was already evicted.
+    hops_dropped: Counter,
 }
 
 impl Default for Tracer {
@@ -150,14 +156,22 @@ impl Default for Tracer {
 }
 
 impl Tracer {
-    /// Creates an empty tracer.
+    /// Creates an empty tracer with free-standing cap counters.
     pub fn new() -> Tracer {
+        Tracer::with_counters(Counter::default(), Counter::default())
+    }
+
+    /// Creates an empty tracer whose eviction/drop counters live in a
+    /// registry, so the bounded span store never caps silently.
+    pub fn with_counters(spans_evicted: Counter, hops_dropped: Counter) -> Tracer {
         Tracer {
             next: AtomicU64::new(1),
             state: Mutex::new(TracerState {
                 ticks: BTreeMap::new(),
                 spans: BTreeMap::new(),
             }),
+            spans_evicted,
+            hops_dropped,
         }
     }
 
@@ -182,6 +196,7 @@ impl Tracer {
         );
         while state.spans.len() > SPAN_CAP {
             state.spans.pop_first();
+            self.spans_evicted.inc();
         }
         while state.ticks.len() > SPAN_CAP {
             state.ticks.pop_first();
@@ -212,7 +227,19 @@ impl Tracer {
                 queue_ns,
                 handle_ns,
             });
+        } else {
+            self.hops_dropped.inc();
         }
+    }
+
+    /// Spans shed past the store's capacity so far.
+    pub fn spans_evicted(&self) -> u64 {
+        self.spans_evicted.get()
+    }
+
+    /// Hops dropped because their span was already evicted.
+    pub fn hops_dropped(&self) -> u64 {
+        self.hops_dropped.get()
     }
 
     /// Number of spans currently stored.
@@ -279,9 +306,11 @@ mod tests {
         t.record_hop(id, Stage::Sensor, &name, 100, 500);
         let name2: Arc<str> = Arc::from("reporter-memory");
         t.record_hop(id, Stage::Reporter, &name2, 50, 200);
-        // Hops on the null trace or unknown ids are ignored.
+        // Hops on the null trace are ignored silently; hops on unknown
+        // (evicted) ids are counted.
         t.record_hop(TraceId::NONE, Stage::Other, &name, 1, 1);
         t.record_hop(TraceId(999), Stage::Other, &name, 1, 1);
+        assert_eq!(t.hops_dropped(), 1);
         let spans = t.spans();
         assert_eq!(spans.len(), 1);
         assert_eq!(spans[0].hops.len(), 2);
@@ -298,6 +327,11 @@ mod tests {
             t.trace_for_tick(Nanos(i + 1));
         }
         assert_eq!(t.span_count(), SPAN_CAP);
+        assert_eq!(
+            t.spans_evicted(),
+            100,
+            "evictions are counted, never silent"
+        );
         // The oldest spans were evicted; the newest survive.
         let spans = t.spans();
         assert_eq!(spans.last().unwrap().tick_ts, Nanos(SPAN_CAP as u64 + 100));

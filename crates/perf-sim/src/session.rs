@@ -28,6 +28,26 @@ impl CounterFaultStats {
     pub fn any(&self) -> bool {
         self.stalled_ticks > 0 || self.spurious_resets > 0 || self.revoked_slot_ticks > 0
     }
+
+    /// Per-kind activity since `prev`, labelled with the [`FaultKind`]
+    /// variant names (the same labels a fault plan's kind list carries),
+    /// for runtimes that poll the stats once per monitoring tick and
+    /// journal the deltas.
+    pub fn delta_kinds(&self, prev: &CounterFaultStats) -> Vec<(&'static str, u64)> {
+        [
+            ("CounterStall", self.stalled_ticks, prev.stalled_ticks),
+            ("SpuriousReset", self.spurious_resets, prev.spurious_resets),
+            (
+                "SlotRevocation",
+                self.revoked_slot_ticks,
+                prev.revoked_slot_ticks,
+            ),
+        ]
+        .into_iter()
+        .filter(|&(_, now, before)| now > before)
+        .map(|(name, now, before)| (name, now - before))
+        .collect()
+    }
 }
 
 /// Handle to an open counter.
@@ -693,5 +713,24 @@ mod tests {
         assert_eq!(s.read(id).unwrap().raw, per_thread);
         // time_enabled advanced once, not twice.
         assert_eq!(s.read(id).unwrap().time_enabled, MS);
+    }
+
+    #[test]
+    fn delta_kinds_reports_only_advanced_counters() {
+        let prev = CounterFaultStats {
+            stalled_ticks: 3,
+            spurious_resets: 1,
+            revoked_slot_ticks: 0,
+        };
+        let now = CounterFaultStats {
+            stalled_ticks: 7,
+            spurious_resets: 1,
+            revoked_slot_ticks: 2,
+        };
+        assert_eq!(
+            now.delta_kinds(&prev),
+            vec![("CounterStall", 4), ("SlotRevocation", 2)]
+        );
+        assert!(now.delta_kinds(&now).is_empty(), "no change, no events");
     }
 }

@@ -97,6 +97,23 @@ impl MeterFaultStats {
     pub fn lost(&self) -> u64 {
         self.dropped + self.corrupted + self.disconnected
     }
+
+    /// Per-kind activity since `prev`, labelled with the [`FaultKind`]
+    /// variant names. Runtimes poll the stats once per monitoring tick
+    /// and journal one event per kind that advanced, so the labels must
+    /// join against a fault plan's kind list.
+    pub fn delta_kinds(&self, prev: &MeterFaultStats) -> Vec<(&'static str, u64)> {
+        [
+            ("SampleDropout", self.dropped, prev.dropped),
+            ("FrameCorruption", self.corrupted, prev.corrupted),
+            ("Disconnect", self.disconnected, prev.disconnected),
+            ("NoiseBurst", self.noise_bursts, prev.noise_bursts),
+        ]
+        .into_iter()
+        .filter(|&(_, now, before)| now > before)
+        .map(|(name, now, before)| (name, now - before))
+        .collect()
+    }
 }
 
 /// One meter reading.
@@ -453,6 +470,29 @@ mod tests {
         assert_eq!(stats.dropped, 2);
         assert_eq!(stats.emitted, 4);
         assert_eq!(stats.lost(), 2);
+    }
+
+    #[test]
+    fn delta_kinds_reports_only_advanced_counters() {
+        let prev = MeterFaultStats {
+            emitted: 10,
+            dropped: 1,
+            corrupted: 2,
+            disconnected: 0,
+            noise_bursts: 5,
+        };
+        let now = MeterFaultStats {
+            emitted: 20,
+            dropped: 4,
+            corrupted: 2,
+            disconnected: 1,
+            noise_bursts: 5,
+        };
+        assert_eq!(
+            now.delta_kinds(&prev),
+            vec![("SampleDropout", 3), ("Disconnect", 1)]
+        );
+        assert!(now.delta_kinds(&now).is_empty(), "no change, no events");
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Flight-recorder integration: the journal's JSONL dump round-trips
+//! exactly through a real pipeline run, and the Chrome trace-event
+//! export holds its contract — valid JSON whose per-track timestamps
+//! never run backwards — for arbitrary span and journal contents.
+
+use powerapi_suite::os_sim::kernel::Kernel;
+use powerapi_suite::os_sim::task::SteadyTask;
+use powerapi_suite::powerapi::formula::per_freq::PerFrequencyFormula;
+use powerapi_suite::powerapi::model::power_model::PerFrequencyPowerModel;
+use powerapi_suite::powerapi::runtime::PowerApi;
+use powerapi_suite::powerapi::telemetry::export::parse_json;
+use powerapi_suite::powerapi::telemetry::{
+    chrome_trace, dump_jsonl, parse_jsonl, Counter, EventKind, Journal, Stage, TraceId, Tracer,
+};
+use powerapi_suite::simcpu::fault::{FaultKind, FaultPlan, FaultWindow};
+use powerapi_suite::simcpu::presets;
+use powerapi_suite::simcpu::units::Nanos;
+use powerapi_suite::simcpu::workunit::WorkUnit;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Exercises a real pipeline (with an injected meter fault so the
+/// journal holds more than lifecycle events) and asserts the JSONL dump
+/// reproduces every event field-for-field after a parse round-trip.
+#[test]
+fn journal_jsonl_round_trips_exactly_through_a_real_run() {
+    let mut kernel = Kernel::new(presets::intel_i3_2120());
+    let pid = kernel.spawn("app", vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))]);
+    let plan = FaultPlan::from_windows(vec![FaultWindow {
+        kind: FaultKind::SampleDropout,
+        start: Nanos::from_secs(1),
+        end: Nanos::from_secs(3),
+        magnitude: 1.0,
+    }]);
+    let mut papi = PowerApi::builder(kernel)
+        .formula(PerFrequencyFormula::new(
+            PerFrequencyPowerModel::paper_i3_example(),
+        ))
+        .fault_plan(plan)
+        .report_to_memory()
+        .quantum(Nanos::from_millis(2))
+        .clock_period(Nanos::from_millis(500))
+        .build()
+        .expect("pipeline");
+    papi.monitor(pid).expect("monitor");
+    papi.run_for(Nanos::from_secs(4)).expect("run");
+    let telemetry = papi.telemetry().clone();
+    papi.finish().expect("shutdown");
+
+    let events = telemetry.journal().events();
+    assert!(
+        events.iter().any(|e| e.kind == EventKind::ActorStart),
+        "the supervisor journals actor starts"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| e.kind == EventKind::FaultInjected && e.subject == "SampleDropout"),
+        "the runtime journals the injected meter fault"
+    );
+    assert!(
+        events.iter().any(|e| e.kind == EventKind::ActorStop),
+        "shutdown journals actor stops"
+    );
+    let parsed = parse_jsonl(&dump_jsonl(&events)).expect("the dump parses");
+    assert_eq!(parsed, events, "JSONL round-trip must be exact");
+}
+
+/// Characters chosen to stress the exporter: JSON escapes, control
+/// characters, multi-byte and astral-plane text, and JSON syntax.
+const PALETTE: [char; 16] = [
+    'a', 'Z', '9', '"', '\\', '\n', '\r', '\t', '\u{1}', ' ', 'é', 'Δ', '😀', '{', '[', ':',
+];
+
+fn nasty_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..PALETTE.len(), 0usize..12)
+        .prop_map(|ix| ix.into_iter().map(|i| PALETTE[i]).collect())
+}
+
+/// (kind index, simulated ns, subject, detail, trace id)
+fn journal_entries() -> impl Strategy<Value = Vec<(usize, u64, String, String, u64)>> {
+    prop::collection::vec(
+        (
+            0usize..EventKind::ALL.len(),
+            0u64..5_000_000_000,
+            nasty_string(),
+            nasty_string(),
+            0u64..50,
+        ),
+        0usize..24,
+    )
+}
+
+/// (tick second, stage index, queue ns, handle ns)
+fn hop_entries() -> impl Strategy<Value = Vec<(u64, usize, u64, u64)>> {
+    prop::collection::vec(
+        (
+            1u64..60,
+            0usize..Stage::ALL.len(),
+            0u64..1_000_000,
+            0u64..5_000_000,
+        ),
+        0usize..32,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Whatever the journal and tracer saw, the Chrome trace-event
+    /// export must (a) parse as one valid JSON document, (b) wrap a
+    /// `traceEvents` array of known phases, and (c) keep every track's
+    /// (`pid`,`tid`) timestamps non-decreasing in array order — the
+    /// property Perfetto's importer relies on.
+    #[test]
+    fn chrome_trace_is_always_valid_json_with_monotone_tracks(
+        entries in journal_entries(),
+        hops in hop_entries(),
+    ) {
+        let journal = Journal::new(true, 4096, Counter::default(), Counter::default());
+        for (k, at, subject, detail, trace) in &entries {
+            journal.emit_at(
+                Nanos(*at),
+                EventKind::ALL[*k],
+                subject,
+                detail.clone(),
+                TraceId(*trace),
+            );
+        }
+        let tracer = Tracer::new();
+        for (tick_s, stage, queue, handle) in &hops {
+            let id = tracer.trace_for_tick(Nanos::from_secs(*tick_s));
+            let name: Arc<str> = Arc::from(format!("actor-{stage}"));
+            tracer.record_hop(id, Stage::ALL[*stage], &name, *queue, *handle);
+        }
+
+        let text = chrome_trace(&tracer.spans(), &journal.events());
+        let doc = parse_json(&text).expect("export is valid JSON");
+        let items = doc
+            .get("traceEvents")
+            .and_then(|e| e.as_array())
+            .expect("traceEvents array");
+
+        let mut last_ts: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+        for item in items {
+            let ph = item.get("ph").and_then(|p| p.as_str()).expect("phase");
+            prop_assert!(
+                matches!(ph, "X" | "i" | "M"),
+                "unexpected phase {ph:?}"
+            );
+            let ts = item.get("ts").and_then(|t| t.as_f64()).expect("ts");
+            prop_assert!(ts >= 0.0);
+            let pid = item.get("pid").and_then(|p| p.as_u64()).expect("pid");
+            // `process_name` metadata has no tid; every other record does.
+            let Some(tid) = item.get("tid").and_then(|t| t.as_u64()) else {
+                continue;
+            };
+            let last = last_ts.entry((pid, tid)).or_insert(0.0);
+            prop_assert!(
+                ts >= *last,
+                "track ({pid},{tid}) ran backwards: {ts} after {last}"
+            );
+            *last = ts;
+        }
+    }
+}

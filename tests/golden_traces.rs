@@ -116,6 +116,7 @@ fn expected_experiments_have_snapshots() {
         "e6_ablations",
         "e7_chaos.quick",
         "e9_model_health.quick",
+        "e10_blackbox.quick",
     ] {
         assert!(
             names.contains(required),
@@ -143,6 +144,7 @@ fn golden_traces_match_when_requested() {
         ("e6_ablations", &["--check"]),
         ("e7_chaos", &["--quick", "--check"]),
         ("e9_model_health", &["--quick", "--check"]),
+        ("e10_blackbox", &["--quick", "--check"]),
     ];
     for (bin, args) in runs {
         eprintln!("golden: checking {bin} {}", args.join(" "));
