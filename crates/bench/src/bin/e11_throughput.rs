@@ -1,0 +1,273 @@
+//! Experiment E11 — hot-path throughput. Sweeps the monitored-process
+//! count 10 → 10k and measures how fast the Sensor→Formula→Aggregator→
+//! Reporter pipeline turns monitoring ticks: wall-clock ticks/s,
+//! processes×ticks/s, and simulated-seconds per wall second.
+//!
+//! Protocol: N identical steady processes, paper model, memory reporter,
+//! both aggregation dimensions, telemetry on (the production shape).
+//! The host is stepped one quantum per clock period so the measurement
+//! is dominated by the middleware, not the OS simulation. Each point is
+//! the best of [`RUNS`] runs after a warm-up (min-of-N strips scheduler
+//! noise, as in E8).
+//!
+//! The first full run records the **baseline** section of
+//! `BENCH_throughput.json`; later runs preserve it so the batched
+//! tick-frame refactor can be judged against the pre-refactor pipeline
+//! (target: ≥10× ticks/s at 1k processes). `--check` re-measures the 1k
+//! point only and fails (exit 1) if it drops >20 % below the recorded
+//! guard value — the CI regression gate.
+//!
+//! Run:   `cargo run --release -p bench-suite --bin e11_throughput`
+//! Quick: `... -- --quick`   (CI smoke: smaller sweep, fewer ticks)
+//! Gate:  `... -- --check`   (1k-process regression guard, no rewrite)
+//! Data:  `BENCH_throughput.json` (repo root, committed as evidence)
+
+use bench_suite::{row, section};
+use os_sim::kernel::Kernel;
+use os_sim::task::SteadyTask;
+use powerapi::formula::per_freq::PerFrequencyFormula;
+use powerapi::model::power_model::PerFrequencyPowerModel;
+use powerapi::prelude::Dimension;
+use powerapi::runtime::PowerApi;
+use simcpu::presets;
+use simcpu::units::Nanos;
+use simcpu::workunit::WorkUnit;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Best-of-N wall measurements per sweep point.
+const RUNS: usize = 2;
+/// Warm-up ticks before the timed window (fills pools and caches).
+const WARMUP_TICKS: u64 = 3;
+/// Regression-guard tolerance: fail when >20 % below the recorded value.
+const GUARD_DROP: f64 = 0.20;
+
+/// One measured sweep point.
+#[derive(Clone, Copy)]
+struct Point {
+    procs: usize,
+    ticks: u64,
+    ticks_per_s: f64,
+    proc_ticks_per_s: f64,
+    sim_s_per_s: f64,
+}
+
+/// Timed ticks for a process count — scaled so the slow (pre-refactor)
+/// pipeline still sweeps 10k processes in seconds, clamped to keep the
+/// statistics honest at the small end.
+fn ticks_for(procs: usize, quick: bool) -> u64 {
+    let full = (200_000 / procs.max(1)) as u64;
+    let t = full.clamp(30, 2_000);
+    if quick {
+        (t / 4).max(15)
+    } else {
+        t
+    }
+}
+
+/// Runs the pipeline once and returns wall seconds for the timed window.
+fn run_once(model: &PerFrequencyPowerModel, procs: usize, ticks: u64) -> f64 {
+    let period = Nanos::from_secs(1);
+    let mut kernel = Kernel::new(presets::intel_i3_2120());
+    let pids: Vec<_> = (0..procs)
+        .map(|i| {
+            kernel.spawn(
+                format!("p{i}"),
+                vec![SteadyTask::boxed(WorkUnit::cpu_intensive(0.6))],
+            )
+        })
+        .collect();
+    let mut papi = PowerApi::builder(kernel)
+        .formula(PerFrequencyFormula::new(model.clone()))
+        .dimension(Dimension::both())
+        .report_to_memory()
+        .quantum(period)
+        .clock_period(period)
+        .build()
+        .expect("build");
+    for pid in pids {
+        papi.monitor(pid).expect("monitor");
+    }
+    papi.run_for(Nanos(period.as_u64() * WARMUP_TICKS))
+        .expect("warmup");
+    let started = Instant::now();
+    papi.run_for(Nanos(period.as_u64() * ticks)).expect("run");
+    let wall = started.elapsed().as_secs_f64();
+    papi.finish().expect("finish");
+    wall
+}
+
+/// Best-of-RUNS measurement of one sweep point.
+fn measure(model: &PerFrequencyPowerModel, procs: usize, ticks: u64, runs: usize) -> Point {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs.max(1) {
+        best = best.min(run_once(model, procs, ticks));
+    }
+    let ticks_per_s = ticks as f64 / best;
+    Point {
+        procs,
+        ticks,
+        ticks_per_s,
+        proc_ticks_per_s: ticks_per_s * procs as f64,
+        sim_s_per_s: ticks_per_s, // 1 s of simulated time per tick
+    }
+}
+
+/// Pulls `"key": <number>` out of flat JSON (the evidence file is written
+/// by this binary with globally unique keys, so no real parser needed).
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| {
+            c != '-' && c != '+' && c != '.' && c != 'e' && c != 'E' && !c.is_ascii_digit()
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+
+    let model = PerFrequencyPowerModel::paper_i3_example();
+    let json_path = std::path::Path::new("BENCH_throughput.json");
+    let existing = std::fs::read_to_string(json_path).ok();
+
+    if check {
+        section("E11: 1k-process throughput regression guard");
+        let recorded = existing
+            .as_deref()
+            .and_then(|t| json_number(t, "guard_ticks_per_s_1k"))
+            .unwrap_or_else(|| {
+                eprintln!(
+                    "no guard_ticks_per_s_1k in BENCH_throughput.json — run e11_throughput first"
+                );
+                std::process::exit(2);
+            });
+        let ticks = ticks_for(1_000, quick);
+        let p = measure(&model, 1_000, ticks, RUNS);
+        let floor = recorded * (1.0 - GUARD_DROP);
+        row("recorded ticks/s", format!("{recorded:.1}"));
+        row("measured ticks/s", format!("{:.1}", p.ticks_per_s));
+        row("floor (−20 %)", format!("{floor:.1}"));
+        let ok = p.ticks_per_s >= floor;
+        println!();
+        println!(
+            "E11 guard: {} ({:.1} ticks/s vs floor {floor:.1})",
+            if ok { "PASS" } else { "FAIL" },
+            p.ticks_per_s
+        );
+        if !ok {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    section(if quick {
+        "E11: hot-path throughput sweep (quick)"
+    } else {
+        "E11: hot-path throughput sweep"
+    });
+    let sweep: &[usize] = if quick {
+        &[10, 100, 1_000]
+    } else {
+        &[10, 100, 1_000, 10_000]
+    };
+
+    let mut points = Vec::new();
+    println!(
+        "  {:>8} {:>8} {:>12} {:>16} {:>12}",
+        "procs", "ticks", "ticks/s", "proc·ticks/s", "sim_s/s"
+    );
+    for &n in sweep {
+        let p = measure(&model, n, ticks_for(n, quick), RUNS);
+        println!(
+            "  {:>8} {:>8} {:>12.1} {:>16.0} {:>12.1}",
+            p.procs, p.ticks, p.ticks_per_s, p.proc_ticks_per_s, p.sim_s_per_s
+        );
+        points.push(p);
+    }
+
+    let at_1k = points
+        .iter()
+        .find(|p| p.procs == 1_000)
+        .expect("sweep includes 1k");
+
+    // The baseline section is frozen the first time this binary runs (on
+    // the pre-refactor pipeline) and preserved verbatim afterwards, so
+    // every later run reports its speedup against the same yardstick.
+    let baseline: Vec<(usize, f64)> = sweep
+        .iter()
+        .map(|&n| {
+            let key = format!("baseline_n{n}_ticks_per_s");
+            let frozen = existing.as_deref().and_then(|t| json_number(t, &key));
+            let fresh = points
+                .iter()
+                .find(|p| p.procs == n)
+                .map(|p| p.ticks_per_s)
+                .unwrap_or(0.0);
+            (n, frozen.unwrap_or(fresh))
+        })
+        .collect();
+    let base_1k = baseline
+        .iter()
+        .find(|(n, _)| *n == 1_000)
+        .map(|(_, v)| *v)
+        .unwrap_or(at_1k.ticks_per_s);
+    let speedup_1k = at_1k.ticks_per_s / base_1k;
+
+    section("vs pre-refactor baseline");
+    for (n, base) in &baseline {
+        if let Some(p) = points.iter().find(|p| p.procs == *n) {
+            row(
+                &format!("{n} procs"),
+                format!(
+                    "{:.1} ticks/s vs {base:.1} → {:.2}×",
+                    p.ticks_per_s,
+                    p.ticks_per_s / base
+                ),
+            );
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"experiment\": \"e11_throughput\",");
+    let _ = writeln!(
+        out,
+        "  \"mode\": \"{}\",",
+        if quick { "quick" } else { "full" }
+    );
+    let _ = writeln!(out, "  \"runs_per_point\": {RUNS},");
+    let _ = writeln!(out, "  \"baseline\": {{");
+    for (i, (n, v)) in baseline.iter().enumerate() {
+        let comma = if i + 1 == baseline.len() { "" } else { "," };
+        let _ = writeln!(out, "    \"baseline_n{n}_ticks_per_s\": {v:.2}{comma}");
+    }
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"current\": {{");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 == points.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    \"n{}\": {{\"ticks\": {}, \"ticks_per_s\": {:.2}, \"proc_ticks_per_s\": {:.0}, \"sim_s_per_s\": {:.2}}}{comma}",
+            p.procs, p.ticks, p.ticks_per_s, p.proc_ticks_per_s, p.sim_s_per_s
+        );
+    }
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"guard_ticks_per_s_1k\": {:.2},", at_1k.ticks_per_s);
+    let _ = writeln!(out, "  \"speedup_at_1k\": {speedup_1k:.3},");
+    let _ = writeln!(out, "  \"target_speedup_at_1k\": 10.0");
+    let _ = writeln!(out, "}}");
+    std::fs::write(json_path, out).expect("evidence file");
+    println!();
+    println!("        wrote {}", json_path.display());
+    println!();
+    println!(
+        "E11: {:.1} ticks/s at 1k procs ({speedup_1k:.2}× baseline)",
+        at_1k.ticks_per_s
+    );
+}

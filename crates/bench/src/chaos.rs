@@ -25,8 +25,12 @@ pub struct ChaosMonkey {
 
 impl Actor for ChaosMonkey {
     fn handle(&mut self, msg: Message, _ctx: &Context) {
-        let Message::Tick(snap) = msg else { return };
-        let Some(w) = self.plan.active(FaultKind::ActorPanic, snap.timestamp) else {
+        let timestamp = match &msg {
+            Message::Tick(snap) => snap.timestamp,
+            Message::Frame(frame) => frame.timestamp,
+            _ => return,
+        };
+        let Some(w) = self.plan.active(FaultKind::ActorPanic, timestamp) else {
             return;
         };
         let start = w.start;

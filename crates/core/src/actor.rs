@@ -660,9 +660,10 @@ fn supervise(
                 // exported trace.
                 let trace = match &msg {
                     Message::Tick(snap) => ins.telemetry.trace_for_tick(snap.timestamp),
+                    Message::Frame(frame) => ins.telemetry.trace_for_tick(frame.timestamp),
                     _ => msg.trace(),
                 };
-                let is_tick = matches!(msg, Message::Tick(_));
+                let is_tick = matches!(msg, Message::Tick(_) | Message::Frame(_));
                 let start = Instant::now();
                 let caught = catch_unwind(AssertUnwindSafe(|| actor.handle(msg, ctx))).is_err();
                 let handle_ns = start.elapsed().as_nanos() as u64;

@@ -11,9 +11,11 @@
 //! and on shutdown, so no interval is lost.
 
 use crate::actor::{Actor, Context};
+use crate::frame::AggregateBatch;
 use crate::msg::{AggregateReport, Message, PowerReport, Quality, Scope};
 use crate::telemetry::TraceId;
 use simcpu::units::{Nanos, Watts};
+use std::sync::Arc;
 
 /// Which dimensions to aggregate along (both may be enabled).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,16 +71,16 @@ impl Aggregator {
         }
     }
 
-    fn fold(&mut self, p: &PowerReport, ctx: &Context) {
+    fn fold(&mut self, p: &PowerReport, emit: &mut impl FnMut(AggregateReport)) {
         if self.dimension.per_process {
-            ctx.bus().publish(Message::Aggregate(AggregateReport {
+            emit(AggregateReport {
                 timestamp: p.timestamp,
                 scope: Scope::Process(p.pid),
                 power: p.power,
                 band_w: p.band_w,
                 quality: p.quality,
                 trace: p.trace,
-            }));
+            });
         }
         if self.dimension.machine {
             match &mut self.window {
@@ -103,7 +105,7 @@ impl Aggregator {
                     *band = p.band_w;
                     *q = p.quality;
                     *tr = p.trace;
-                    ctx.bus().publish(Message::Aggregate(done));
+                    emit(done);
                 }
                 None => self.window = Some((p.timestamp, p.power, p.band_w, p.quality, p.trace)),
             }
@@ -113,8 +115,30 @@ impl Aggregator {
 
 impl Actor for Aggregator {
     fn handle(&mut self, msg: Message, ctx: &Context) {
-        if let Message::Power(p) = msg {
-            self.fold(&p, ctx);
+        match msg {
+            Message::Power(p) => {
+                self.fold(&p, &mut |a| {
+                    ctx.bus().publish(Message::Aggregate(a));
+                });
+            }
+            Message::PowerBatch(b) => {
+                // One AggregateBatch out per PowerBatch in, folding every
+                // row through the same window logic (so mixed batch and
+                // legacy inputs — e.g. self-power profiling — still share
+                // one machine window).
+                let mut reports = Vec::with_capacity(b.len() + 1);
+                for i in 0..b.len() {
+                    self.fold(&b.report(i), &mut |a| reports.push(a));
+                }
+                if !reports.is_empty() {
+                    ctx.bus()
+                        .publish(Message::AggregateBatch(Arc::new(AggregateBatch {
+                            reports,
+                            trace: b.trace,
+                        })));
+                }
+            }
+            _ => {}
         }
     }
 
@@ -265,23 +289,20 @@ impl GroupAggregator {
         self.membership.is_empty()
     }
 
-    fn flush(&mut self, group: &std::sync::Arc<str>, ctx: &Context) {
-        if let Some((ts, acc, band, q, tr)) = self.window.remove(group) {
-            ctx.bus().publish(Message::Aggregate(AggregateReport {
+    fn take(&mut self, group: &std::sync::Arc<str>) -> Option<AggregateReport> {
+        self.window
+            .remove(group)
+            .map(|(ts, acc, band, q, tr)| AggregateReport {
                 timestamp: ts,
                 scope: Scope::Group(group.clone()),
                 power: acc,
                 band_w: band,
                 quality: q,
                 trace: tr,
-            }));
-        }
+            })
     }
-}
 
-impl Actor for GroupAggregator {
-    fn handle(&mut self, msg: Message, ctx: &Context) {
-        let Message::Power(p) = msg else { return };
+    fn fold(&mut self, p: &PowerReport, emit: &mut impl FnMut(AggregateReport)) {
         let Some(group) = self.membership.get(&p.pid).cloned() else {
             return;
         };
@@ -293,7 +314,9 @@ impl Actor for GroupAggregator {
                 *tr = (*tr).max(p.trace);
             }
             Some(_) => {
-                self.flush(&group, ctx);
+                if let Some(done) = self.take(&group) {
+                    emit(done);
+                }
                 self.window
                     .insert(group, (p.timestamp, p.power, p.band_w, p.quality, p.trace));
             }
@@ -303,11 +326,39 @@ impl Actor for GroupAggregator {
             }
         }
     }
+}
+
+impl Actor for GroupAggregator {
+    fn handle(&mut self, msg: Message, ctx: &Context) {
+        match msg {
+            Message::Power(p) => {
+                self.fold(&p, &mut |a| {
+                    ctx.bus().publish(Message::Aggregate(a));
+                });
+            }
+            Message::PowerBatch(b) => {
+                let mut reports = Vec::new();
+                for i in 0..b.len() {
+                    self.fold(&b.report(i), &mut |a| reports.push(a));
+                }
+                if !reports.is_empty() {
+                    ctx.bus()
+                        .publish(Message::AggregateBatch(Arc::new(AggregateBatch {
+                            reports,
+                            trace: b.trace,
+                        })));
+                }
+            }
+            _ => {}
+        }
+    }
 
     fn on_stop(&mut self, ctx: &Context) {
         let groups: Vec<std::sync::Arc<str>> = self.window.keys().cloned().collect();
         for g in groups {
-            self.flush(&g, ctx);
+            if let Some(done) = self.take(&g) {
+                ctx.bus().publish(Message::Aggregate(done));
+            }
         }
     }
 }

@@ -178,10 +178,16 @@ impl CapControlActor {
 
 impl Actor for CapControlActor {
     fn handle(&mut self, msg: Message, _ctx: &Context) {
-        if let Message::Aggregate(a) = msg {
-            if a.scope == Scope::Machine {
+        match msg {
+            Message::Aggregate(a) if a.scope == Scope::Machine => {
                 self.cap.on_estimate(a.power.as_f64());
             }
+            Message::AggregateBatch(b) => {
+                for a in b.reports.iter().filter(|a| a.scope == Scope::Machine) {
+                    self.cap.on_estimate(a.power.as_f64());
+                }
+            }
+            _ => {}
         }
     }
 }

@@ -12,8 +12,9 @@
 
 use crate::formula::per_freq::PerFrequencyFormula;
 use crate::formula::PowerFormula;
+use crate::frame::{PowerBatch, SensorBatch};
 use crate::model::power_model::PerFrequencyPowerModel;
-use crate::msg::SensorReport;
+use crate::msg::{Quality, SensorReport};
 use perf_sim::events::Event;
 use simcpu::counters::HwCounter;
 use simcpu::units::Watts;
@@ -66,6 +67,12 @@ impl PowerFormula for BertranFormula {
 
     fn estimate(&mut self, report: &SensorReport) -> Option<Watts> {
         self.inner.estimate(report)
+    }
+
+    fn estimate_batch(&mut self, batch: &SensorBatch, quality: Quality, out: &mut PowerBatch) {
+        // Same column math as the per-frequency formula, but no claimed
+        // prediction band (this wrapper does not override `interval_w`).
+        self.inner.estimate_batch_cols(batch, quality, out, false);
     }
 }
 

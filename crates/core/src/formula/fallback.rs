@@ -11,11 +11,13 @@
 
 use crate::actor::{Actor, Context};
 use crate::formula::PowerFormula;
+use crate::frame::{PowerBatch, SensorBatch};
 use crate::msg::{Message, PowerReport, Quality};
 use crate::telemetry::EventKind;
 use os_sim::process::Pid;
 use simcpu::units::{Nanos, Watts};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// The watchdog actor wrapping a primary/backup formula pair.
 pub struct FallbackFormula {
@@ -64,11 +66,87 @@ impl FallbackFormula {
     pub fn degraded_count(&self) -> u64 {
         self.degraded
     }
+
+    /// Batched watchdog: same per-pid decisions as the per-message path,
+    /// one [`PowerBatch`] out per consumed [`SensorBatch`].
+    fn on_batch(&mut self, batch: Arc<SensorBatch>, ctx: &Context) {
+        let ts = batch.timestamp();
+        if batch.source == self.primary.source() {
+            let mut out =
+                PowerBatch::with_capacity(ts, self.primary.name(), batch.trace, batch.rows.len());
+            self.primary.estimate_batch(&batch, Quality::Full, &mut out);
+            // Only rows the primary actually estimated feed the watchdog —
+            // exactly the rows the legacy path inserts on.
+            for &pid in &out.pids {
+                self.last_primary.insert(pid, ts);
+                if self.degraded_pids.remove(&pid) {
+                    ctx.telemetry().journal().emit_at(
+                        ts,
+                        EventKind::QualityRecovered,
+                        &format!("pid-{}", pid.0),
+                        format!("primary formula {} resumed", self.primary.name()),
+                        batch.trace,
+                    );
+                }
+            }
+            if !out.is_empty() {
+                ctx.bus().publish(Message::PowerBatch(Arc::new(out)));
+            }
+            return;
+        }
+        if batch.source != self.backup.source() {
+            return;
+        }
+        let mut rows = Vec::new();
+        for row in &batch.rows {
+            let last = *self.last_primary.entry(row.pid).or_insert(ts);
+            if ts - last <= self.max_age {
+                continue;
+            }
+            rows.push(*row);
+        }
+        if rows.is_empty() {
+            return;
+        }
+        let filtered = SensorBatch {
+            source: batch.source,
+            frame: batch.frame.clone(),
+            rows,
+            trace: batch.trace,
+        };
+        let mut out =
+            PowerBatch::with_capacity(ts, self.backup.name(), batch.trace, filtered.rows.len());
+        self.backup
+            .estimate_batch(&filtered, Quality::Degraded, &mut out);
+        for &pid in &out.pids {
+            self.degraded += 1;
+            if self.degraded_pids.insert(pid) {
+                ctx.telemetry().journal().emit_at(
+                    ts,
+                    EventKind::QualityDegraded,
+                    &format!("pid-{}", pid.0),
+                    format!(
+                        "primary silent > {} ms; serving {}",
+                        self.max_age.as_u64() / 1_000_000,
+                        self.backup.name()
+                    ),
+                    batch.trace,
+                );
+            }
+        }
+        if !out.is_empty() {
+            ctx.bus().publish(Message::PowerBatch(Arc::new(out)));
+        }
+    }
 }
 
 impl Actor for FallbackFormula {
     fn handle(&mut self, msg: Message, ctx: &Context) {
-        let Message::Sensor(report) = msg else { return };
+        let report = match msg {
+            Message::Sensor(report) => report,
+            Message::SensorBatch(batch) => return self.on_batch(batch, ctx),
+            _ => return,
+        };
         if report.source == self.primary.source() {
             if let Some(power) = self.primary.estimate(&report) {
                 self.last_primary.insert(report.pid, report.timestamp);

@@ -8,7 +8,8 @@
 //! [`CorunSplit`]: crate::msg::CorunSplit
 
 use crate::formula::PowerFormula;
-use crate::msg::SensorReport;
+use crate::frame::{PowerBatch, SensorBatch, NO_ROW};
+use crate::msg::{CorunSplit, Quality, SensorReport};
 use crate::{Error, Result};
 use simcpu::counters::HwCounter;
 use simcpu::units::{MegaHertz, Watts};
@@ -89,15 +90,30 @@ impl HappyModel {
 }
 
 /// The formula wrapper.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct HappyFormula {
     model: HappyModel,
+    /// Scratch solo rates, reused across rows.
+    solo: Vec<f64>,
+    /// Scratch co-run rates, reused across rows.
+    corun: Vec<f64>,
+}
+
+impl PartialEq for HappyFormula {
+    fn eq(&self, other: &HappyFormula) -> bool {
+        // Scratch is plumbing, not state.
+        self.model == other.model
+    }
 }
 
 impl HappyFormula {
     /// Wraps a model.
     pub fn new(model: HappyModel) -> HappyFormula {
-        HappyFormula { model }
+        HappyFormula {
+            model,
+            solo: Vec::new(),
+            corun: Vec::new(),
+        }
     }
 
     /// The underlying model.
@@ -124,18 +140,6 @@ impl PowerFormula for HappyFormula {
         if interval_s <= 0.0 {
             return None;
         }
-        let solo: Vec<f64> = self
-            .model
-            .events()
-            .iter()
-            .map(|&c| report.corun.solo.get(c) as f64 / interval_s)
-            .collect();
-        let corun: Vec<f64> = self
-            .model
-            .events()
-            .iter()
-            .map(|&c| report.corun.corun.get(c) as f64 / interval_s)
-            .collect();
         // Dominant frequency over the interval (HaPPy assumes a fixed
         // operating point; we take the residency-weighted mode).
         let freq = report
@@ -147,7 +151,69 @@ impl PowerFormula for HappyFormula {
             .unwrap_or(MegaHertz(
                 self.model.per_freq.keys().next().copied().unwrap_or(1000),
             ));
-        Some(Watts(self.model.predict_active(freq, &solo, &corun).ok()?))
+        self.estimate_split(&report.corun, interval_s, freq)
+    }
+
+    fn estimate_batch(&mut self, batch: &SensorBatch, quality: Quality, out: &mut PowerBatch) {
+        let frame = &*batch.frame;
+        let interval_s = frame.interval.as_secs_f64();
+        if interval_s <= 0.0 {
+            return;
+        }
+        for row in &batch.rows {
+            let split = if row.corun != NO_ROW {
+                frame.corun_split(row.corun as usize)
+            } else {
+                CorunSplit::default()
+            };
+            let freq = if row.time != NO_ROW {
+                frame
+                    .freq_slice(row.time as usize)
+                    .iter()
+                    .max_by_key(|(_, t)| t.as_u64())
+                    .map(|(f, _)| *f)
+            } else {
+                None
+            };
+            let freq = freq.unwrap_or(MegaHertz(
+                self.model.per_freq.keys().next().copied().unwrap_or(1000),
+            ));
+            if let Some(watts) = self.estimate_split(&split, interval_s, freq) {
+                out.push(row.pid, watts, Watts(0.0), quality);
+            }
+        }
+    }
+}
+
+impl HappyFormula {
+    /// One estimate from a co-run split at a fixed operating point —
+    /// shared by the per-report and batched paths, rates built in the
+    /// reusable scratch columns.
+    fn estimate_split(
+        &mut self,
+        split: &CorunSplit,
+        interval_s: f64,
+        freq: MegaHertz,
+    ) -> Option<Watts> {
+        self.solo.clear();
+        self.solo.extend(
+            self.model
+                .events
+                .iter()
+                .map(|&c| split.solo.get(c) as f64 / interval_s),
+        );
+        self.corun.clear();
+        self.corun.extend(
+            self.model
+                .events
+                .iter()
+                .map(|&c| split.corun.get(c) as f64 / interval_s),
+        );
+        Some(Watts(
+            self.model
+                .predict_active(freq, &self.solo, &self.corun)
+                .ok()?,
+        ))
     }
 }
 

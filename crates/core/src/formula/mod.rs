@@ -16,9 +16,13 @@ pub mod happy;
 pub mod per_freq;
 
 use crate::actor::{Actor, Context};
+use crate::frame::{PowerBatch, SensorBatch};
 use crate::health::ModelHealth;
-use crate::msg::{Message, PowerReport, Quality, SensorReport};
-use simcpu::units::Watts;
+use crate::msg::{CorunSplit, Message, PowerReport, ProcTimeDelta, Quality, SensorReport};
+use crate::telemetry::TraceId;
+use os_sim::process::Pid;
+use simcpu::units::{Nanos, Watts};
+use std::sync::Arc;
 
 /// A power-estimation strategy fed by sensor reports.
 pub trait PowerFormula: Send {
@@ -45,9 +49,44 @@ pub trait PowerFormula: Send {
         0.0
     }
 
+    /// Estimates every row of a batched sensor observation, appending to
+    /// `out`. The default materialises each row into a reusable scratch
+    /// report and calls [`PowerFormula::estimate`] /
+    /// [`PowerFormula::interval_w`] on it, so batched and per-message
+    /// estimates are bit-identical by construction; hot formulas override
+    /// this to read the frame columns directly.
+    fn estimate_batch(&mut self, batch: &SensorBatch, quality: Quality, out: &mut PowerBatch) {
+        let mut scratch = scratch_report();
+        for i in 0..batch.rows.len() {
+            batch.fill_report(i, &mut scratch);
+            if let Some(power) = self.estimate(&scratch) {
+                out.push(
+                    scratch.pid,
+                    power,
+                    Watts(self.interval_w(&scratch)),
+                    quality,
+                );
+            }
+        }
+    }
+
     /// A fresh boxed copy of this formula, so a supervisor can rebuild a
     /// formula actor after a panic.
     fn boxed_clone(&self) -> Box<dyn PowerFormula>;
+}
+
+/// An empty report suitable as a [`SensorBatch::fill_report`] target.
+pub(crate) fn scratch_report() -> SensorReport {
+    SensorReport {
+        source: "",
+        timestamp: Nanos::ZERO,
+        interval: Nanos::ZERO,
+        pid: Pid(0),
+        counters: Vec::new(),
+        time: ProcTimeDelta::default(),
+        corun: CorunSplit::default(),
+        trace: TraceId::NONE,
+    }
 }
 
 /// Hosts any [`PowerFormula`] as a bus actor: subscribes to sensor
@@ -82,7 +121,33 @@ impl FormulaActor {
 
 impl Actor for FormulaActor {
     fn handle(&mut self, msg: Message, ctx: &Context) {
-        let Message::Sensor(report) = msg else { return };
+        let report = match msg {
+            Message::Sensor(report) => report,
+            Message::SensorBatch(batch) => {
+                if batch.source != self.formula.source() {
+                    return;
+                }
+                // Health is a per-tick property, so the whole batch shares
+                // one quality verdict (the legacy path checks per report,
+                // but within one tick the answer cannot change).
+                let quality = match &self.health {
+                    Some(h) if h.out_of_band() => Quality::Degraded,
+                    _ => Quality::Full,
+                };
+                let mut out = PowerBatch::with_capacity(
+                    batch.timestamp(),
+                    self.formula.name(),
+                    batch.trace,
+                    batch.rows.len(),
+                );
+                self.formula.estimate_batch(&batch, quality, &mut out);
+                if !out.is_empty() {
+                    ctx.bus().publish(Message::PowerBatch(Arc::new(out)));
+                }
+                return;
+            }
+            _ => return,
+        };
         if report.source != self.formula.source() {
             return;
         }

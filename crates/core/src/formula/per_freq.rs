@@ -5,26 +5,166 @@
 //! idle added later, once per machine, by the aggregator.
 
 use crate::formula::PowerFormula;
+use crate::frame::{PowerBatch, SensorBatch, NO_ROW};
 use crate::health::PREDICTION_Z;
 use crate::model::power_model::PerFrequencyPowerModel;
-use crate::msg::SensorReport;
-use simcpu::units::{MegaHertz, Watts};
+use crate::msg::{Quality, SensorReport};
+use perf_sim::events::Event;
+use simcpu::units::{MegaHertz, Nanos, Watts};
+use std::sync::Arc;
+
+/// The model's event slots resolved against one frame layout: index `i`
+/// holds where model event `i` lives in the frame's counter row. Resolved
+/// once per layout (the host reuses one `Arc<[Event]>` for the whole
+/// run), replacing the legacy per-report string-compare scan.
+#[derive(Debug, Clone, Default)]
+struct SlotCache {
+    /// The layout the slots were resolved against.
+    layout: Option<Arc<[Event]>>,
+    /// Model-event → frame-column indices (`None` when any model event is
+    /// missing from the layout — every row is then inestimable, exactly
+    /// like the legacy per-report `None`).
+    slots: Option<Vec<usize>>,
+}
 
 /// The formula actor state.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct PerFrequencyFormula {
     model: PerFrequencyPowerModel,
+    slots: SlotCache,
+    /// Scratch counter deltas in model-event order, reused across rows.
+    deltas: Vec<f64>,
+    /// Scratch event rates, reused across rows and frequencies.
+    rates: Vec<f64>,
+}
+
+impl PartialEq for PerFrequencyFormula {
+    fn eq(&self, other: &PerFrequencyFormula) -> bool {
+        // Caches and scratch are plumbing, not state.
+        self.model == other.model
+    }
 }
 
 impl PerFrequencyFormula {
     /// Wraps a learned model.
     pub fn new(model: PerFrequencyPowerModel) -> PerFrequencyFormula {
-        PerFrequencyFormula { model }
+        PerFrequencyFormula {
+            model,
+            slots: SlotCache::default(),
+            deltas: Vec::new(),
+            rates: Vec::new(),
+        }
     }
 
     /// The underlying model.
     pub fn model(&self) -> &PerFrequencyPowerModel {
         &self.model
+    }
+
+    /// Re-resolves the slot cache when the frame layout changed. Layouts
+    /// are compared by pointer first — the runtime shares one
+    /// `Arc<[Event]>` across every frame — with a content fallback for
+    /// hand-built frames.
+    fn refresh_slots(&mut self, events: &Arc<[Event]>) {
+        let fresh = match &self.slots.layout {
+            Some(l) => Arc::ptr_eq(l, events) || **l == **events,
+            None => false,
+        };
+        if fresh {
+            return;
+        }
+        self.slots.slots = self
+            .model
+            .event_names()
+            .iter()
+            .map(|name| events.iter().position(|e| e.to_string() == *name))
+            .collect();
+        self.slots.layout = Some(events.clone());
+    }
+
+    /// The batched estimator shared with [`BertranFormula`]: identical
+    /// arithmetic to the legacy per-report path, reading frame columns
+    /// through the resolved slots. `with_band` gates the prediction-band
+    /// column (the Bertran wrapper claims no band).
+    ///
+    /// [`BertranFormula`]: crate::formula::bertran::BertranFormula
+    pub(crate) fn estimate_batch_cols(
+        &mut self,
+        batch: &SensorBatch,
+        quality: Quality,
+        out: &mut PowerBatch,
+        with_band: bool,
+    ) {
+        let frame = &*batch.frame;
+        let interval_s = frame.interval.as_secs_f64();
+        if interval_s <= 0.0 {
+            return;
+        }
+        self.refresh_slots(&frame.events);
+        let Some(slots) = self.slots.slots.take() else {
+            return;
+        };
+        let mut deltas = std::mem::take(&mut self.deltas);
+        let mut rates = std::mem::take(&mut self.rates);
+        for row in &batch.rows {
+            if row.hpc == NO_ROW {
+                continue;
+            }
+            let counters = frame.hpc_row(row.hpc as usize);
+            deltas.clear();
+            deltas.extend(slots.iter().map(|&s| counters[s] as f64));
+            let (busy, freqs) = if row.time != NO_ROW {
+                let t = row.time as usize;
+                (frame.busy(t).as_u64(), frame.freq_slice(t))
+            } else {
+                (0, &[] as &[(MegaHertz, Nanos)])
+            };
+            let watts = if busy == 0 || deltas.iter().all(|d| *d == 0.0) {
+                Some(Watts::ZERO)
+            } else {
+                let mut total = 0.0;
+                let mut attributed = 0u64;
+                let mut usable = true;
+                for &(f, t) in freqs {
+                    let share = t.as_u64() as f64 / busy as f64;
+                    attributed += t.as_u64();
+                    rates.clear();
+                    rates.extend(deltas.iter().map(|d| d * share / interval_s));
+                    match self.model.predict_active(f, &rates) {
+                        Ok(p) => total += p,
+                        Err(_) => {
+                            usable = false;
+                            break;
+                        }
+                    }
+                }
+                if usable && attributed == 0 {
+                    rates.clear();
+                    rates.extend(deltas.iter().map(|d| d / interval_s));
+                    let f = self.model.frequencies()[0];
+                    match self.model.predict_active(f, &rates) {
+                        Ok(p) => total += p,
+                        Err(_) => usable = false,
+                    }
+                }
+                usable.then_some(Watts(total))
+            };
+            let Some(watts) = watts else { continue };
+            let band = if with_band {
+                let dominant = freqs
+                    .iter()
+                    .max_by_key(|(_, t)| t.as_u64())
+                    .map(|&(f, _)| f)
+                    .unwrap_or_else(|| self.model.frequencies()[0]);
+                self.model.prediction_band_w(dominant, PREDICTION_Z)
+            } else {
+                0.0
+            };
+            out.push(row.pid, watts, Watts(band), quality);
+        }
+        self.deltas = deltas;
+        self.rates = rates;
+        self.slots.slots = Some(slots);
     }
 
     /// The frequency the process spent most of its busy time at this
@@ -107,6 +247,10 @@ impl PowerFormula for PerFrequencyFormula {
     fn interval_w(&self, report: &SensorReport) -> f64 {
         self.model
             .prediction_band_w(self.dominant_freq(report), PREDICTION_Z)
+    }
+
+    fn estimate_batch(&mut self, batch: &SensorBatch, quality: Quality, out: &mut PowerBatch) {
+        self.estimate_batch_cols(batch, quality, out, true);
     }
 }
 

@@ -1,0 +1,844 @@
+//! Batched struct-of-arrays tick frames: the hot-path throughput engine.
+//!
+//! The legacy pipeline ships one [`HostSnapshot`] per tick and then fans
+//! it out into *per-process* messages — at 1 000 monitored processes a
+//! single tick costs ~3 200 bus messages, each with its own boxed
+//! `Vec<(Event, u64)>`, mailbox hop and per-message telemetry record. A
+//! [`TickFrame`] instead carries the whole interval as columns: one pid
+//! column per section plus flat value columns (counters row-major,
+//! per-frequency residency in CSR form), so each pipeline stage handles
+//! **one** message per tick and walks cache-friendly arrays.
+//!
+//! Downstream stages keep the same shape: the sensors publish a
+//! [`SensorBatch`] (row descriptors into the shared frame), formulas a
+//! [`PowerBatch`] (watts columns), the aggregator an [`AggregateBatch`].
+//! The actor runtime — supervision, restarts, fault injection, tracing —
+//! is unchanged: batches are ordinary bus messages carrying the tick's
+//! [`TraceId`], so every PR 2–5 facility (quality tags, journal events,
+//! trace spans, post-mortem dumps) rides along per frame.
+//!
+//! Frames are recycled through a [`FramePool`] free list: when the last
+//! `Arc<TickFrame>` drops, the column storage returns to the pool and the
+//! next tick reuses it — O(1) steady-state allocation per tick.
+//!
+//! [`HostSnapshot`]: crate::msg::HostSnapshot
+
+use crate::msg::{CorunSplit, HostSnapshot, PowerReport, ProcTimeDelta, Quality, SensorReport};
+use crate::telemetry::TraceId;
+use os_sim::process::Pid;
+use parking_lot::Mutex;
+use perf_sim::events::Event;
+use simcpu::units::{MegaHertz, Nanos, Watts};
+use std::sync::Arc;
+
+/// Sentinel for "this row has no entry in that section".
+pub const NO_ROW: u32 = u32::MAX;
+
+/// Recyclable column storage for one [`TickFrame`]. All vectors are
+/// empty-but-capacitated between uses.
+#[derive(Debug, Default)]
+pub struct FrameStorage {
+    hpc_pids: Vec<Pid>,
+    counters: Vec<u64>,
+    time_pids: Vec<Pid>,
+    busy: Vec<Nanos>,
+    freq_index: Vec<u32>,
+    freqs: Vec<(MegaHertz, Nanos)>,
+    corun_pids: Vec<Pid>,
+    corun: Vec<CorunSplit>,
+    meter: Vec<(Nanos, Watts)>,
+}
+
+impl FrameStorage {
+    fn clear(&mut self) {
+        self.hpc_pids.clear();
+        self.counters.clear();
+        self.time_pids.clear();
+        self.busy.clear();
+        self.freq_index.clear();
+        self.freqs.clear();
+        self.corun_pids.clear();
+        self.corun.clear();
+        self.meter.clear();
+    }
+}
+
+/// Free list of [`FrameStorage`] blocks. Cloning shares the pool; a
+/// [`TickFrame`] built from a pool returns its columns here on drop.
+#[derive(Debug, Clone, Default)]
+pub struct FramePool {
+    free: Arc<Mutex<Vec<FrameStorage>>>,
+}
+
+impl FramePool {
+    /// Creates an empty pool.
+    pub fn new() -> FramePool {
+        FramePool::default()
+    }
+
+    /// Takes a cleared storage block (fresh when the pool is dry).
+    pub fn acquire(&self) -> FrameStorage {
+        let mut s = self.free.lock().pop().unwrap_or_default();
+        s.clear();
+        s
+    }
+
+    /// Returns a storage block to the free list.
+    pub fn release(&self, storage: FrameStorage) {
+        self.free.lock().push(storage);
+    }
+
+    /// How many blocks are currently pooled (steady state: one per
+    /// in-flight tick, usually 1–2).
+    pub fn pooled(&self) -> usize {
+        self.free.lock().len()
+    }
+}
+
+/// One monitoring interval in struct-of-arrays form.
+///
+/// Sections (each a pid column plus value columns, pids ascending):
+/// * **hpc** — `counters` is row-major with `events.len()` values per
+///   pid, in `events` order (the fixed slot layout formulas resolve
+///   their model events against once);
+/// * **time** — `busy` per pid plus the per-frequency residency split in
+///   CSR form: row `i` owns `freqs[freq_index[i]..freq_index[i+1]]`;
+/// * **corun** — SMT co-run splits per pid.
+#[derive(Debug)]
+pub struct TickFrame {
+    /// End of the monitoring interval.
+    pub timestamp: Nanos,
+    /// Interval length.
+    pub interval: Nanos,
+    /// The counter slot layout every hpc row follows.
+    pub events: Arc<[Event]>,
+    /// RAPL package energy over the interval, when supported.
+    pub rapl_joules: Option<f64>,
+    storage: FrameStorage,
+    pool: Option<FramePool>,
+    /// Whether the searchable pid columns are ascending (the builder's
+    /// invariant). When set, a binary-search miss in [`TickFrame::
+    /// time_row`]/[`TickFrame::corun_row`] is a definitive absence; only
+    /// hand-built unsorted frames pay the linear-scan fallback.
+    sorted: bool,
+}
+
+impl TickFrame {
+    /// Builds a frame around filled storage. `counters` must hold
+    /// `hpc_pids.len() * events.len()` values; `freq_index` must be a
+    /// valid CSR offset column for `time_pids`/`freqs`.
+    pub fn from_storage(
+        timestamp: Nanos,
+        interval: Nanos,
+        events: Arc<[Event]>,
+        rapl_joules: Option<f64>,
+        storage: FrameStorage,
+        pool: Option<FramePool>,
+    ) -> TickFrame {
+        let sorted = storage.time_pids.windows(2).all(|w| w[0] <= w[1])
+            && storage.corun_pids.windows(2).all(|w| w[0] <= w[1]);
+        let frame = TickFrame {
+            timestamp,
+            interval,
+            events,
+            rapl_joules,
+            storage,
+            pool,
+            sorted,
+        };
+        frame.debug_assert_consistent();
+        frame
+    }
+
+    /// Converts a legacy snapshot (test/interop path; the runtime builds
+    /// frames directly from the host). Every hpc row must follow the same
+    /// event order — the order of the first row becomes the slot layout.
+    pub fn from_snapshot(snap: &HostSnapshot) -> TickFrame {
+        let events: Arc<[Event]> = snap
+            .hpc
+            .first()
+            .map(|(_, row)| row.iter().map(|(e, _)| *e).collect())
+            .unwrap_or_else(|| Arc::from([] as [Event; 0]));
+        let mut s = FrameStorage::default();
+        for (pid, row) in &snap.hpc {
+            debug_assert!(
+                row.len() == events.len()
+                    && row.iter().zip(events.iter()).all(|((e, _), l)| e == l),
+                "hpc rows must share one event layout"
+            );
+            s.hpc_pids.push(*pid);
+            s.counters.extend(row.iter().map(|(_, v)| *v));
+        }
+        s.freq_index.push(0);
+        for (pid, t) in &snap.proc_times {
+            s.time_pids.push(*pid);
+            s.busy.push(t.busy);
+            s.freqs.extend_from_slice(&t.by_freq);
+            s.freq_index.push(s.freqs.len() as u32);
+        }
+        for (pid, c) in &snap.corun {
+            s.corun_pids.push(*pid);
+            s.corun.push(*c);
+        }
+        s.meter.extend_from_slice(&snap.meter);
+        TickFrame::from_storage(
+            snap.timestamp,
+            snap.interval,
+            events,
+            snap.rapl_joules,
+            s,
+            None,
+        )
+    }
+
+    /// Converts back to the legacy representation (lossless inverse of
+    /// [`TickFrame::from_snapshot`]).
+    pub fn to_snapshot(&self) -> HostSnapshot {
+        HostSnapshot {
+            timestamp: self.timestamp,
+            interval: self.interval,
+            hpc: (0..self.hpc_len())
+                .map(|i| {
+                    (
+                        self.hpc_pid(i),
+                        self.events
+                            .iter()
+                            .zip(self.hpc_row(i))
+                            .map(|(e, v)| (*e, *v))
+                            .collect(),
+                    )
+                })
+                .collect(),
+            proc_times: (0..self.time_len())
+                .map(|i| (self.time_pid(i), self.time_delta(i)))
+                .collect(),
+            corun: self
+                .storage
+                .corun_pids
+                .iter()
+                .copied()
+                .zip(self.storage.corun.iter().copied())
+                .collect(),
+            meter: self.storage.meter.clone(),
+            rapl_joules: self.rapl_joules,
+        }
+    }
+
+    /// Number of hpc rows.
+    pub fn hpc_len(&self) -> usize {
+        self.storage.hpc_pids.len()
+    }
+
+    /// Pid of hpc row `i`.
+    pub fn hpc_pid(&self, i: usize) -> Pid {
+        self.storage.hpc_pids[i]
+    }
+
+    /// Counter column slice of hpc row `i`, in `events` order.
+    pub fn hpc_row(&self, i: usize) -> &[u64] {
+        let n = self.events.len();
+        &self.storage.counters[i * n..(i + 1) * n]
+    }
+
+    /// Number of time rows.
+    pub fn time_len(&self) -> usize {
+        self.storage.time_pids.len()
+    }
+
+    /// Pid of time row `i`.
+    pub fn time_pid(&self, i: usize) -> Pid {
+        self.storage.time_pids[i]
+    }
+
+    /// Busy time of time row `i`.
+    pub fn busy(&self, i: usize) -> Nanos {
+        self.storage.busy[i]
+    }
+
+    /// Per-frequency residency slice of time row `i` (positive deltas,
+    /// frequencies ascending — same contract as the legacy `by_freq`).
+    pub fn freq_slice(&self, i: usize) -> &[(MegaHertz, Nanos)] {
+        let lo = self.storage.freq_index[i] as usize;
+        let hi = self.storage.freq_index[i + 1] as usize;
+        &self.storage.freqs[lo..hi]
+    }
+
+    /// Materialises time row `i` as a legacy [`ProcTimeDelta`].
+    pub fn time_delta(&self, i: usize) -> ProcTimeDelta {
+        ProcTimeDelta {
+            busy: self.busy(i),
+            by_freq: self.freq_slice(i).to_vec(),
+        }
+    }
+
+    /// Number of corun rows.
+    pub fn corun_len(&self) -> usize {
+        self.storage.corun_pids.len()
+    }
+
+    /// Corun split of corun row `i`.
+    pub fn corun_split(&self, i: usize) -> CorunSplit {
+        self.storage.corun[i]
+    }
+
+    /// Meter samples completed during the interval.
+    pub fn meter(&self) -> &[(Nanos, Watts)] {
+        &self.storage.meter
+    }
+
+    /// Finds `pid`'s time row. `hint` is checked first: all sections are
+    /// in ascending-pid order from the same tracked set, so a row's index
+    /// in one section usually matches its index in another.
+    pub fn time_row(&self, pid: Pid, hint: usize) -> Option<usize> {
+        self.row_in(&self.storage.time_pids, pid, hint)
+    }
+
+    /// Finds `pid`'s corun row (hint-first, then binary search).
+    pub fn corun_row(&self, pid: Pid, hint: usize) -> Option<usize> {
+        self.row_in(&self.storage.corun_pids, pid, hint)
+    }
+
+    fn row_in(&self, pids: &[Pid], pid: Pid, hint: usize) -> Option<usize> {
+        if pids.get(hint) == Some(&pid) {
+            return Some(hint);
+        }
+        match pids.binary_search(&pid) {
+            Ok(i) => Some(i),
+            // On a sorted column a miss is a miss. Unsorted pid columns
+            // only occur in hand-built test frames; those fall back to
+            // the legacy linear scan rather than miss a row.
+            Err(_) if self.sorted => None,
+            Err(_) => pids.iter().position(|p| *p == pid),
+        }
+    }
+
+    /// Debug-only structural invariants: every column pair that must stay
+    /// length-consistent, and a monotone CSR offset column.
+    pub fn debug_assert_consistent(&self) {
+        debug_assert_eq!(
+            self.storage.counters.len(),
+            self.storage.hpc_pids.len() * self.events.len(),
+            "counters must hold events.len() values per hpc pid"
+        );
+        debug_assert_eq!(self.storage.busy.len(), self.storage.time_pids.len());
+        debug_assert_eq!(
+            self.storage.freq_index.len(),
+            self.storage.time_pids.len() + 1,
+            "CSR offsets need one extra entry"
+        );
+        debug_assert_eq!(self.storage.freq_index.first().copied(), Some(0));
+        debug_assert!(self
+            .storage
+            .freq_index
+            .windows(2)
+            .all(|w| w[0] <= w[1] && w[1] as usize <= self.storage.freqs.len()));
+        debug_assert_eq!(self.storage.corun.len(), self.storage.corun_pids.len());
+    }
+}
+
+impl Drop for TickFrame {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.release(std::mem::take(&mut self.storage));
+        }
+    }
+}
+
+impl Clone for TickFrame {
+    fn clone(&self) -> TickFrame {
+        TickFrame {
+            timestamp: self.timestamp,
+            interval: self.interval,
+            events: self.events.clone(),
+            rapl_joules: self.rapl_joules,
+            storage: FrameStorage {
+                hpc_pids: self.storage.hpc_pids.clone(),
+                counters: self.storage.counters.clone(),
+                time_pids: self.storage.time_pids.clone(),
+                busy: self.storage.busy.clone(),
+                freq_index: self.storage.freq_index.clone(),
+                freqs: self.storage.freqs.clone(),
+                corun_pids: self.storage.corun_pids.clone(),
+                corun: self.storage.corun.clone(),
+                meter: self.storage.meter.clone(),
+            },
+            // A clone owns fresh storage; only the original recycles.
+            pool: None,
+            sorted: self.sorted,
+        }
+    }
+}
+
+impl PartialEq for TickFrame {
+    fn eq(&self, other: &TickFrame) -> bool {
+        // The pool is plumbing, not data.
+        self.timestamp == other.timestamp
+            && self.interval == other.interval
+            && *self.events == *other.events
+            && self.rapl_joules == other.rapl_joules
+            && self.storage.hpc_pids == other.storage.hpc_pids
+            && self.storage.counters == other.storage.counters
+            && self.storage.time_pids == other.storage.time_pids
+            && self.storage.busy == other.storage.busy
+            && self.storage.freq_index == other.storage.freq_index
+            && self.storage.freqs == other.storage.freqs
+            && self.storage.corun_pids == other.storage.corun_pids
+            && self.storage.corun == other.storage.corun
+            && self.storage.meter == other.storage.meter
+    }
+}
+
+/// A builder-side handle for filling a frame's sections in order. Keeps
+/// the CSR bookkeeping in one place so the host cannot produce a
+/// structurally invalid frame.
+#[derive(Debug)]
+pub struct FrameBuilder {
+    storage: FrameStorage,
+    pool: Option<FramePool>,
+}
+
+impl FrameBuilder {
+    /// Starts a frame from pooled storage.
+    pub fn pooled(pool: &FramePool) -> FrameBuilder {
+        let mut storage = pool.acquire();
+        storage.freq_index.push(0);
+        FrameBuilder {
+            storage,
+            pool: Some(pool.clone()),
+        }
+    }
+
+    /// Starts a frame with fresh storage (tests, one-shot conversions).
+    pub fn new() -> FrameBuilder {
+        let mut storage = FrameStorage::default();
+        storage.freq_index.push(0);
+        FrameBuilder {
+            storage,
+            pool: None,
+        }
+    }
+
+    /// The hpc columns, for bulk filling (e.g. `ProcessMonitor::
+    /// sample_into`). The counter column must receive exactly one row of
+    /// `events.len()` values per pid pushed.
+    pub fn hpc_columns(&mut self) -> (&mut Vec<Pid>, &mut Vec<u64>) {
+        (&mut self.storage.hpc_pids, &mut self.storage.counters)
+    }
+
+    /// Appends one time row; `fill` appends that row's per-frequency
+    /// residency entries to the shared column.
+    pub fn push_time_row(
+        &mut self,
+        pid: Pid,
+        busy: Nanos,
+        fill: impl FnOnce(&mut Vec<(MegaHertz, Nanos)>),
+    ) {
+        self.storage.time_pids.push(pid);
+        self.storage.busy.push(busy);
+        fill(&mut self.storage.freqs);
+        self.storage
+            .freq_index
+            .push(self.storage.freqs.len() as u32);
+    }
+
+    /// Appends one corun row.
+    pub fn push_corun_row(&mut self, pid: Pid, split: CorunSplit) {
+        self.storage.corun_pids.push(pid);
+        self.storage.corun.push(split);
+    }
+
+    /// The meter column (drained from the host's buffer).
+    pub fn meter_column(&mut self) -> &mut Vec<(Nanos, Watts)> {
+        &mut self.storage.meter
+    }
+
+    /// Seals the frame.
+    pub fn finish(
+        self,
+        timestamp: Nanos,
+        interval: Nanos,
+        events: Arc<[Event]>,
+        rapl_joules: Option<f64>,
+    ) -> TickFrame {
+        TickFrame::from_storage(
+            timestamp,
+            interval,
+            events,
+            rapl_joules,
+            self.storage,
+            self.pool,
+        )
+    }
+}
+
+impl Default for FrameBuilder {
+    fn default() -> FrameBuilder {
+        FrameBuilder::new()
+    }
+}
+
+/// One sensor row: a pid plus its row indices into the frame sections
+/// ([`NO_ROW`] when the section has no entry for the pid).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SensorRow {
+    /// The observed process.
+    pub pid: Pid,
+    /// Row in the frame's hpc section.
+    pub hpc: u32,
+    /// Row in the frame's time section.
+    pub time: u32,
+    /// Row in the frame's corun section.
+    pub corun: u32,
+}
+
+/// A sensor's whole-tick observation: row descriptors over the shared
+/// frame, replacing one [`SensorReport`] message per process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorBatch {
+    /// Which sensor produced the batch (formulas filter on this).
+    pub source: &'static str,
+    /// The tick frame the rows index into.
+    pub frame: Arc<TickFrame>,
+    /// One row per published process, in frame order.
+    pub rows: Vec<SensorRow>,
+    /// The tick trace, stamped by the sensor.
+    pub trace: TraceId,
+}
+
+impl SensorBatch {
+    /// End of the interval.
+    pub fn timestamp(&self) -> Nanos {
+        self.frame.timestamp
+    }
+
+    /// Interval length.
+    pub fn interval(&self) -> Nanos {
+        self.frame.interval
+    }
+
+    /// Materialises row `i` into a reusable legacy [`SensorReport`] —
+    /// the compatibility shim the default [`PowerFormula::estimate_batch`]
+    /// uses so batched estimates are bit-identical to the per-message
+    /// path.
+    ///
+    /// [`PowerFormula::estimate_batch`]: crate::formula::PowerFormula::estimate_batch
+    pub fn fill_report(&self, i: usize, out: &mut SensorReport) {
+        let row = &self.rows[i];
+        let frame = &*self.frame;
+        out.source = self.source;
+        out.timestamp = frame.timestamp;
+        out.interval = frame.interval;
+        out.pid = row.pid;
+        out.trace = self.trace;
+        out.counters.clear();
+        if row.hpc != NO_ROW {
+            out.counters.extend(
+                frame
+                    .events
+                    .iter()
+                    .zip(frame.hpc_row(row.hpc as usize))
+                    .map(|(e, v)| (*e, *v)),
+            );
+        }
+        out.time.busy = Nanos::ZERO;
+        out.time.by_freq.clear();
+        if row.time != NO_ROW {
+            let t = row.time as usize;
+            out.time.busy = frame.busy(t);
+            out.time.by_freq.extend_from_slice(frame.freq_slice(t));
+        }
+        out.corun = if row.corun != NO_ROW {
+            frame.corun_split(row.corun as usize)
+        } else {
+            CorunSplit::default()
+        };
+    }
+}
+
+/// A formula's whole-tick output: one watts/band/quality entry per
+/// estimated process, replacing one [`PowerReport`] message per process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerBatch {
+    /// End of the interval.
+    pub timestamp: Nanos,
+    /// Name of the formula that produced the batch.
+    pub formula: &'static str,
+    /// Estimated processes.
+    pub pids: Vec<Pid>,
+    /// Estimated active power per pid.
+    pub watts: Vec<Watts>,
+    /// Prediction-interval half-width per pid.
+    pub band_w: Vec<Watts>,
+    /// Estimate quality per pid.
+    pub quality: Vec<Quality>,
+    /// The tick trace the batch descends from.
+    pub trace: TraceId,
+}
+
+impl PowerBatch {
+    /// An empty batch with room for `capacity` rows.
+    pub fn with_capacity(
+        timestamp: Nanos,
+        formula: &'static str,
+        trace: TraceId,
+        capacity: usize,
+    ) -> PowerBatch {
+        PowerBatch {
+            timestamp,
+            formula,
+            pids: Vec::with_capacity(capacity),
+            watts: Vec::with_capacity(capacity),
+            band_w: Vec::with_capacity(capacity),
+            quality: Vec::with_capacity(capacity),
+            trace,
+        }
+    }
+
+    /// Appends one estimate.
+    pub fn push(&mut self, pid: Pid, watts: Watts, band_w: Watts, quality: Quality) {
+        self.pids.push(pid);
+        self.watts.push(watts);
+        self.band_w.push(band_w);
+        self.quality.push(quality);
+    }
+
+    /// Number of estimates.
+    pub fn len(&self) -> usize {
+        self.pids.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pids.is_empty()
+    }
+
+    /// Row `i` as a legacy [`PowerReport`].
+    pub fn report(&self, i: usize) -> PowerReport {
+        PowerReport {
+            timestamp: self.timestamp,
+            pid: self.pids[i],
+            power: self.watts[i],
+            formula: self.formula,
+            band_w: self.band_w[i],
+            quality: self.quality[i],
+            trace: self.trace,
+        }
+    }
+
+    /// All rows as legacy reports, in order.
+    pub fn reports(&self) -> impl Iterator<Item = PowerReport> + '_ {
+        (0..self.len()).map(|i| self.report(i))
+    }
+
+    /// Builds a batch from legacy reports (test/interop path). All
+    /// reports must share the batch's timestamp, formula and trace.
+    pub fn from_reports(
+        timestamp: Nanos,
+        formula: &'static str,
+        trace: TraceId,
+        reports: &[PowerReport],
+    ) -> PowerBatch {
+        let mut b = PowerBatch::with_capacity(timestamp, formula, trace, reports.len());
+        for r in reports {
+            debug_assert!(r.timestamp == timestamp && r.formula == formula && r.trace == trace);
+            b.push(r.pid, r.power, r.band_w, r.quality);
+        }
+        b
+    }
+}
+
+/// An aggregator's whole-tick output. Aggregates are heterogeneous
+/// (process/group/machine scopes), so the batch stays an array-of-structs
+/// — the win is one message per tick, not a column layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateBatch {
+    /// The folded aggregates, in fold order.
+    pub reports: Vec<crate::msg::AggregateReport>,
+    /// The newest tick trace folded in.
+    pub trace: TraceId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perf_sim::events::PAPER_EVENTS;
+    use simcpu::counters::ExecDelta;
+
+    fn sample_snapshot() -> HostSnapshot {
+        HostSnapshot {
+            timestamp: Nanos::from_secs(3),
+            interval: Nanos::from_secs(1),
+            hpc: vec![
+                (Pid(1), PAPER_EVENTS.iter().map(|e| (*e, 10u64)).collect()),
+                (Pid(5), PAPER_EVENTS.iter().map(|e| (*e, 20u64)).collect()),
+            ],
+            proc_times: vec![
+                (
+                    Pid(1),
+                    ProcTimeDelta {
+                        busy: Nanos(500),
+                        by_freq: vec![(MegaHertz(1600), Nanos(200)), (MegaHertz(3300), Nanos(300))],
+                    },
+                ),
+                (
+                    Pid(5),
+                    ProcTimeDelta {
+                        busy: Nanos(900),
+                        by_freq: vec![(MegaHertz(3300), Nanos(900))],
+                    },
+                ),
+            ],
+            corun: vec![(
+                Pid(5),
+                CorunSplit {
+                    solo: ExecDelta {
+                        instructions: 7,
+                        ..ExecDelta::zero()
+                    },
+                    corun: ExecDelta::zero(),
+                    solo_time: Nanos(900),
+                    corun_time: Nanos::ZERO,
+                },
+            )],
+            meter: vec![(Nanos::from_secs(3), Watts(35.0))],
+            rapl_joules: Some(1.5),
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_losslessly() {
+        let snap = sample_snapshot();
+        let frame = TickFrame::from_snapshot(&snap);
+        frame.debug_assert_consistent();
+        assert_eq!(frame.to_snapshot(), snap);
+    }
+
+    #[test]
+    fn row_lookup_uses_hint_then_search() {
+        let frame = TickFrame::from_snapshot(&sample_snapshot());
+        assert_eq!(frame.time_row(Pid(1), 0), Some(0));
+        assert_eq!(frame.time_row(Pid(5), 0), Some(1), "hint miss → search");
+        assert_eq!(frame.time_row(Pid(9), 0), None);
+        assert_eq!(frame.corun_row(Pid(5), 1), Some(0));
+    }
+
+    #[test]
+    fn pool_recycles_storage_on_drop() {
+        let pool = FramePool::new();
+        let mut b = FrameBuilder::pooled(&pool);
+        b.push_time_row(Pid(1), Nanos(10), |f| f.push((MegaHertz(1000), Nanos(10))));
+        let frame = b.finish(Nanos(1), Nanos(1), Arc::from([] as [Event; 0]), None);
+        assert_eq!(pool.pooled(), 0);
+        drop(frame);
+        assert_eq!(pool.pooled(), 1);
+        // The recycled block comes back cleared.
+        let b2 = FrameBuilder::pooled(&pool);
+        assert_eq!(pool.pooled(), 0);
+        let f2 = b2.finish(Nanos(2), Nanos(1), Arc::from([] as [Event; 0]), None);
+        assert_eq!(f2.time_len(), 0);
+    }
+
+    #[test]
+    fn clones_do_not_recycle() {
+        let pool = FramePool::new();
+        let b = FrameBuilder::pooled(&pool);
+        let frame = b.finish(Nanos(1), Nanos(1), Arc::from([] as [Event; 0]), None);
+        let copy = frame.clone();
+        drop(copy);
+        assert_eq!(pool.pooled(), 0, "clone owns fresh storage");
+        drop(frame);
+        assert_eq!(pool.pooled(), 1);
+    }
+
+    #[test]
+    fn fill_report_materialises_rows() {
+        let frame = Arc::new(TickFrame::from_snapshot(&sample_snapshot()));
+        let batch = SensorBatch {
+            source: "hpc",
+            frame: frame.clone(),
+            rows: vec![
+                SensorRow {
+                    pid: Pid(1),
+                    hpc: 0,
+                    time: 0,
+                    corun: NO_ROW,
+                },
+                SensorRow {
+                    pid: Pid(5),
+                    hpc: 1,
+                    time: 1,
+                    corun: 0,
+                },
+            ],
+            trace: TraceId(4),
+        };
+        let mut scratch = SensorReport {
+            source: "",
+            timestamp: Nanos::ZERO,
+            interval: Nanos::ZERO,
+            pid: Pid(0),
+            counters: Vec::new(),
+            time: ProcTimeDelta::default(),
+            corun: CorunSplit::default(),
+            trace: TraceId::NONE,
+        };
+        batch.fill_report(0, &mut scratch);
+        assert_eq!(scratch.pid, Pid(1));
+        assert_eq!(scratch.counters.len(), PAPER_EVENTS.len());
+        assert_eq!(scratch.time.busy, Nanos(500));
+        assert_eq!(scratch.corun, CorunSplit::default());
+        assert_eq!(scratch.trace, TraceId(4));
+        batch.fill_report(1, &mut scratch);
+        assert_eq!(scratch.pid, Pid(5));
+        assert_eq!(scratch.counters[0].1, 20);
+        assert_eq!(scratch.corun.solo.instructions, 7);
+        assert_eq!(scratch.time.by_freq, vec![(MegaHertz(3300), Nanos(900))]);
+    }
+
+    #[test]
+    fn power_batch_round_trips_reports() {
+        let mut b = PowerBatch::with_capacity(Nanos(1), "f", TraceId(2), 2);
+        assert!(b.is_empty());
+        b.push(Pid(1), Watts(2.0), Watts(0.1), Quality::Full);
+        b.push(Pid(2), Watts(3.0), Watts(0.0), Quality::Degraded);
+        assert_eq!(b.len(), 2);
+        let reports: Vec<PowerReport> = b.reports().collect();
+        assert_eq!(reports[1].pid, Pid(2));
+        assert_eq!(reports[1].quality, Quality::Degraded);
+        let back = PowerBatch::from_reports(Nanos(1), "f", TraceId(2), &reports);
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn frame_equality_ignores_pool() {
+        let snap = sample_snapshot();
+        let pooled = {
+            let pool = FramePool::new();
+            let plain = TickFrame::from_snapshot(&snap);
+            let mut b = FrameBuilder::pooled(&pool);
+            {
+                let (pids, counters) = b.hpc_columns();
+                for (pid, row) in &snap.hpc {
+                    pids.push(*pid);
+                    counters.extend(row.iter().map(|(_, v)| *v));
+                }
+            }
+            for (pid, t) in &snap.proc_times {
+                b.push_time_row(*pid, t.busy, |f| f.extend_from_slice(&t.by_freq));
+            }
+            for (pid, c) in &snap.corun {
+                b.push_corun_row(*pid, *c);
+            }
+            b.meter_column().extend_from_slice(&snap.meter);
+            let built = b.finish(
+                snap.timestamp,
+                snap.interval,
+                plain.events.clone(),
+                snap.rapl_joules,
+            );
+            assert_eq!(built, plain);
+            built.clone()
+        };
+        assert_eq!(pooled.to_snapshot(), snap);
+    }
+}

@@ -395,6 +395,22 @@ impl Actor for ResidualMonitor {
                     }
                 }
             }
+            Message::AggregateBatch(b) => {
+                for a in b.reports.iter().filter(|a| a.scope == Scope::Machine) {
+                    if let Some(metered) = self.take_meter_near(a.timestamp) {
+                        let residual = a.power.as_f64() - metered.as_f64();
+                        if residual.is_finite() {
+                            self.on_residual(
+                                a.timestamp,
+                                residual,
+                                a.band_w.as_f64(),
+                                a.trace,
+                                ctx,
+                            );
+                        }
+                    }
+                }
+            }
             _ => {}
         }
     }

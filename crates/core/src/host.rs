@@ -8,16 +8,18 @@
 //! here it is explicit so that simulated time only advances between
 //! snapshots, never during one.
 
+use crate::frame::{FrameBuilder, FramePool, TickFrame};
 use crate::msg::{CorunSplit, HostSnapshot, ProcTimeDelta};
 use crate::telemetry::Telemetry;
 use os_sim::kernel::Kernel;
-use os_sim::process::Pid;
+use os_sim::process::{Pid, Tid};
 use perf_sim::events::Event;
 use perf_sim::monitor::ProcessMonitor;
 use powermeter::powerspy::{PowerSpy, PowerSpyConfig};
 use powermeter::rapl::Rapl;
 use simcpu::units::{MegaHertz, Nanos, Watts};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// The kernel plus its measurement harness.
 pub struct SimHost {
@@ -28,9 +30,14 @@ pub struct SimHost {
     rapl_prev: u32,
     meter_buf: Vec<(Nanos, Watts)>,
     corun_acc: BTreeMap<Pid, CorunSplit>,
-    proc_prev: BTreeMap<Pid, (Nanos, BTreeMap<MegaHertz, Nanos>)>,
+    proc_prev: BTreeMap<Pid, (Nanos, Vec<(MegaHertz, Nanos)>)>,
     last_snapshot: Nanos,
     telemetry: Telemetry,
+    events_arc: Arc<[Event]>,
+    pid_scratch: Vec<Pid>,
+    /// Per-physical-core scratch for the SMT co-run pass: first tid seen
+    /// this tick and whether a second, distinct tid showed up.
+    core_tids: Vec<(Option<Tid>, bool)>,
 }
 
 impl SimHost {
@@ -44,8 +51,12 @@ impl SimHost {
         meter_config: PowerSpyConfig,
     ) -> SimHost {
         let rapl = Rapl::open(kernel.machine().config()).ok();
+        let events_arc: Arc<[Event]> = events.iter().copied().collect();
         SimHost {
             monitor: ProcessMonitor::new(slots, events),
+            events_arc,
+            pid_scratch: Vec::new(),
+            core_tids: Vec::new(),
             meter: PowerSpy::new(meter_config),
             rapl,
             rapl_prev: 0,
@@ -133,15 +144,31 @@ impl SimHost {
         }
 
         // SMT co-run split: a record co-runs when another record shares
-        // its physical core this tick.
+        // its physical core this tick. One pass marks cores that saw two
+        // distinct tids; a record on such a core always has a sibling (if
+        // its tid differs from the first seen, the first is the sibling;
+        // if it matches, the tid that marked the core distinct is).
         let smt = self.kernel.machine().topology().threads_per_core();
+        if smt > 1 {
+            self.core_tids.clear();
+            let cores = self
+                .kernel
+                .machine()
+                .topology()
+                .logical_cpus()
+                .div_ceil(smt);
+            self.core_tids.resize(cores, (None, false));
+            for rec in &report.records {
+                let slot = &mut self.core_tids[rec.cpu.as_usize() / smt];
+                match slot.0 {
+                    None => slot.0 = Some(rec.tid),
+                    Some(t) if t != rec.tid => slot.1 = true,
+                    Some(_) => {}
+                }
+            }
+        }
         for rec in &report.records {
-            let core = rec.cpu.as_usize() / smt;
-            let has_sibling = smt > 1
-                && report
-                    .records
-                    .iter()
-                    .any(|o| o.tid != rec.tid && o.cpu.as_usize() / smt == core);
+            let has_sibling = smt > 1 && self.core_tids[rec.cpu.as_usize() / smt].1;
             let split = self.corun_acc.entry(rec.pid).or_default();
             if has_sibling {
                 split.corun += rec.delta;
@@ -167,6 +194,122 @@ impl SimHost {
         snap
     }
 
+    /// Positive per-frequency deltas of `cur` against `prev`, updating
+    /// `prev` in place to `cur`. In steady state the frequency set is
+    /// stable, so the update is a zip over the sorted pairs with no
+    /// allocation; the rebuild path only runs when a new P-state shows
+    /// up in the accounting (a handful of times per run).
+    fn freq_deltas(
+        prev: &mut Vec<(MegaHertz, Nanos)>,
+        cur: &BTreeMap<MegaHertz, Nanos>,
+    ) -> Vec<(MegaHertz, Nanos)> {
+        let mut by_freq = Vec::new();
+        Self::freq_deltas_into(prev, cur, &mut by_freq);
+        by_freq
+    }
+
+    /// [`SimHost::freq_deltas`], appending into a shared column (the CSR
+    /// form batched frames use) instead of returning a fresh vector.
+    fn freq_deltas_into(
+        prev: &mut Vec<(MegaHertz, Nanos)>,
+        cur: &BTreeMap<MegaHertz, Nanos>,
+        by_freq: &mut Vec<(MegaHertz, Nanos)>,
+    ) {
+        let aligned =
+            prev.len() == cur.len() && prev.iter().zip(cur.keys()).all(|((pf, _), f)| pf == f);
+        if aligned {
+            for ((_, pv), (&f, &t)) in prev.iter_mut().zip(cur) {
+                let d = t.saturating_sub(*pv);
+                if d > Nanos::ZERO {
+                    by_freq.push((f, d));
+                }
+                *pv = t;
+            }
+        } else {
+            let mut next = Vec::with_capacity(cur.len());
+            for (&f, &t) in cur {
+                let before = prev
+                    .iter()
+                    .find(|(pf, _)| *pf == f)
+                    .map(|(_, v)| *v)
+                    .unwrap_or(Nanos::ZERO);
+                let d = t.saturating_sub(before);
+                if d > Nanos::ZERO {
+                    by_freq.push((f, d));
+                }
+                next.push((f, t));
+            }
+            *prev = next;
+        }
+    }
+
+    /// Harvests the monitoring interval as a batched [`TickFrame`],
+    /// recycling column storage through `pool`. Carries exactly the data
+    /// [`SimHost::snapshot`] would, in the same order — the legacy and
+    /// batched pipelines are interchangeable bit for bit.
+    pub fn snapshot_frame(&mut self, pool: &FramePool) -> TickFrame {
+        let started = self.telemetry.enabled().then(std::time::Instant::now);
+        let frame = self.snapshot_frame_inner(pool);
+        if let Some(t) = started {
+            self.telemetry
+                .overhead()
+                .record_snapshot(t.elapsed().as_nanos() as u64);
+        }
+        frame
+    }
+
+    fn snapshot_frame_inner(&mut self, pool: &FramePool) -> TickFrame {
+        let now = self.kernel.machine().now();
+        let interval = now - self.last_snapshot;
+        self.last_snapshot = now;
+
+        let mut b = FrameBuilder::pooled(pool);
+
+        // hpc section: one flat sweep over the tracked set (pid order,
+        // event order), no per-process allocation.
+        let mut pids = std::mem::take(&mut self.pid_scratch);
+        pids.clear();
+        {
+            let (hpc_pids, counters) = b.hpc_columns();
+            self.monitor.sample_into(&mut pids, counters);
+            hpc_pids.extend_from_slice(&pids);
+        }
+
+        // time section: same tracked set, per-frequency residency appended
+        // straight into the shared CSR column.
+        for &pid in &pids {
+            let Some(times) = self.kernel.accounting().process(pid) else {
+                continue;
+            };
+            let (prev_busy, prev_freq) = self
+                .proc_prev
+                .entry(pid)
+                .or_insert_with(|| (Nanos::ZERO, Vec::new()));
+            let busy = times.utime.saturating_sub(*prev_busy);
+            *prev_busy = times.utime;
+            b.push_time_row(pid, busy, |freqs| {
+                Self::freq_deltas_into(prev_freq, &times.utime_per_freq, freqs);
+            });
+        }
+        self.pid_scratch = pids;
+
+        for (&pid, split) in &self.corun_acc {
+            b.push_corun_row(pid, *split);
+        }
+        self.corun_acc.clear();
+
+        std::mem::swap(b.meter_column(), &mut self.meter_buf);
+
+        let rapl_joules = self.rapl.as_ref().map(|r| {
+            let cur = r.read_raw();
+            let d = Rapl::delta_joules(self.rapl_prev, cur);
+            self.rapl_prev = cur;
+            d
+        });
+
+        b.finish(now, interval, self.events_arc.clone(), rapl_joules)
+    }
+
     fn snapshot_inner(&mut self) -> HostSnapshot {
         let now = self.kernel.machine().now();
         let interval = now - self.last_snapshot;
@@ -188,18 +331,10 @@ impl SimHost {
             let (prev_busy, prev_freq) = self
                 .proc_prev
                 .entry(pid)
-                .or_insert_with(|| (Nanos::ZERO, BTreeMap::new()));
+                .or_insert_with(|| (Nanos::ZERO, Vec::new()));
             let busy = times.utime.saturating_sub(*prev_busy);
-            let mut by_freq = Vec::new();
-            for (&f, &t) in &times.utime_per_freq {
-                let prev = prev_freq.get(&f).copied().unwrap_or(Nanos::ZERO);
-                let d = t.saturating_sub(prev);
-                if d > Nanos::ZERO {
-                    by_freq.push((f, d));
-                }
-            }
             *prev_busy = times.utime;
-            *prev_freq = times.utime_per_freq.clone();
+            let by_freq = Self::freq_deltas(prev_freq, &times.utime_per_freq);
             proc_times.push((pid, ProcTimeDelta { busy, by_freq }));
         }
 
@@ -346,6 +481,27 @@ mod tests {
         assert!(snap.hpc.is_empty());
         assert!(snap.proc_times.is_empty());
         assert!(host.monitored().is_empty());
+    }
+
+    #[test]
+    fn snapshot_frame_matches_legacy_snapshot() {
+        // Two identically-driven hosts: the batched frame must carry
+        // exactly what the legacy snapshot carries.
+        let (mut legacy, _) = host_with(WorkUnit::cpu_intensive(1.0), 4);
+        let (mut batched, _) = host_with(WorkUnit::cpu_intensive(1.0), 4);
+        let pool = FramePool::new();
+        for round in 0..3 {
+            for _ in 0..40 {
+                legacy.step(MS);
+                batched.step(MS);
+            }
+            let snap = legacy.snapshot();
+            let frame = batched.snapshot_frame(&pool);
+            frame.debug_assert_consistent();
+            assert_eq!(frame.to_snapshot(), snap, "round {round}");
+            drop(frame);
+            assert_eq!(pool.pooled(), 1, "storage recycled");
+        }
     }
 
     #[test]

@@ -66,6 +66,7 @@ pub mod aggregator;
 pub mod bus;
 pub mod control;
 pub mod formula;
+pub mod frame;
 pub mod health;
 pub mod host;
 pub mod model;
@@ -90,6 +91,9 @@ pub mod prelude {
     pub use crate::formula::happy::HappyFormula;
     pub use crate::formula::per_freq::PerFrequencyFormula;
     pub use crate::formula::PowerFormula;
+    pub use crate::frame::{
+        AggregateBatch, FramePool, PowerBatch, SensorBatch, SensorRow, TickFrame,
+    };
     pub use crate::health::{HealthConfig, ModelHealth, ModelHealthSummary};
     pub use crate::model::learn::{learn_model, LearnConfig};
     pub use crate::model::power_model::PerFrequencyPowerModel;

@@ -2,6 +2,7 @@
 //! object-safe and the bus stays simple; each variant is cheap to clone
 //! (snapshots travel behind `Arc`).
 
+use crate::frame::{AggregateBatch, PowerBatch, SensorBatch, TickFrame};
 use crate::telemetry::TraceId;
 use os_sim::process::Pid;
 use perf_sim::events::Event;
@@ -232,6 +233,18 @@ pub enum Message {
     /// A RAPL package-power sample (timestamp, average watts over the
     /// interval).
     Rapl(Nanos, Watts),
+    /// A monitoring tick in batched struct-of-arrays form (the hot-path
+    /// replacement for [`Message::Tick`]).
+    Frame(Arc<TickFrame>),
+    /// A sensor's whole-tick observation (replaces one
+    /// [`Message::Sensor`] per process).
+    SensorBatch(Arc<SensorBatch>),
+    /// A formula's whole-tick estimates (replaces one
+    /// [`Message::Power`] per process).
+    PowerBatch(Arc<PowerBatch>),
+    /// An aggregator's whole-tick output (replaces one
+    /// [`Message::Aggregate`] per scope).
+    AggregateBatch(Arc<AggregateBatch>),
 }
 
 impl Message {
@@ -244,6 +257,10 @@ impl Message {
             Message::Aggregate(_) => Topic::Aggregate,
             Message::Meter(_, _) => Topic::Meter,
             Message::Rapl(_, _) => Topic::Rapl,
+            Message::Frame(_) => Topic::Tick,
+            Message::SensorBatch(_) => Topic::Sensor,
+            Message::PowerBatch(_) => Topic::Power,
+            Message::AggregateBatch(_) => Topic::Aggregate,
         }
     }
 
@@ -255,7 +272,12 @@ impl Message {
             Message::Sensor(r) => r.trace,
             Message::Power(p) => p.trace,
             Message::Aggregate(a) => a.trace,
-            Message::Tick(_) | Message::Meter(_, _) | Message::Rapl(_, _) => TraceId::NONE,
+            Message::SensorBatch(b) => b.trace,
+            Message::PowerBatch(b) => b.trace,
+            Message::AggregateBatch(b) => b.trace,
+            Message::Tick(_) | Message::Frame(_) | Message::Meter(_, _) | Message::Rapl(_, _) => {
+                TraceId::NONE
+            }
         }
     }
 }

@@ -4,7 +4,7 @@
 //! for a long-lived actor.
 
 use crate::actor::{Actor, Context};
-use crate::msg::{Message, Scope};
+use crate::msg::{AggregateReport, Message, Scope};
 use std::io::Write;
 
 /// The reporter actor.
@@ -33,42 +33,51 @@ impl<W: Write + Send> ConsoleReporter<W> {
     }
 }
 
+/// One aggregate rendered exactly as the per-message path always has.
+fn agg_line(a: &AggregateReport) -> String {
+    // Flag non-primary estimates so a human scanning the log
+    // sees degradation without checking another stream.
+    let suffix = match a.quality {
+        crate::msg::Quality::Full => "",
+        crate::msg::Quality::Degraded => " [degraded]",
+        crate::msg::Quality::Stale => " [stale]",
+    };
+    // Show the prediction interval when the formula claims one.
+    let band = if a.band_w.as_f64() > 0.0 {
+        format!(" ±{:.2}", a.band_w.as_f64())
+    } else {
+        String::new()
+    };
+    match &a.scope {
+        Scope::Process(pid) => format!(
+            "[{:10.3}s] {:<10} estimate {:.2} W{band}{suffix}",
+            a.timestamp.as_secs_f64(),
+            pid.to_string(),
+            a.power.as_f64()
+        ),
+        Scope::Group(g) => format!(
+            "[{:10.3}s] {:<10} estimate {:.2} W{band}{suffix}",
+            a.timestamp.as_secs_f64(),
+            g,
+            a.power.as_f64()
+        ),
+        Scope::Machine => format!(
+            "[{:10.3}s] machine    estimate {:.2} W{band}{suffix}",
+            a.timestamp.as_secs_f64(),
+            a.power.as_f64()
+        ),
+    }
+}
+
 impl<W: Write + Send> Actor for ConsoleReporter<W> {
     fn handle(&mut self, msg: Message, _ctx: &Context) {
         let line = match msg {
-            Message::Aggregate(a) => {
-                // Flag non-primary estimates so a human scanning the log
-                // sees degradation without checking another stream.
-                let suffix = match a.quality {
-                    crate::msg::Quality::Full => "",
-                    crate::msg::Quality::Degraded => " [degraded]",
-                    crate::msg::Quality::Stale => " [stale]",
-                };
-                // Show the prediction interval when the formula claims one.
-                let band = if a.band_w.as_f64() > 0.0 {
-                    format!(" ±{:.2}", a.band_w.as_f64())
-                } else {
-                    String::new()
-                };
-                match a.scope {
-                    Scope::Process(pid) => format!(
-                        "[{:10.3}s] {:<10} estimate {:.2} W{band}{suffix}",
-                        a.timestamp.as_secs_f64(),
-                        pid.to_string(),
-                        a.power.as_f64()
-                    ),
-                    Scope::Group(g) => format!(
-                        "[{:10.3}s] {:<10} estimate {:.2} W{band}{suffix}",
-                        a.timestamp.as_secs_f64(),
-                        g,
-                        a.power.as_f64()
-                    ),
-                    Scope::Machine => format!(
-                        "[{:10.3}s] machine    estimate {:.2} W{band}{suffix}",
-                        a.timestamp.as_secs_f64(),
-                        a.power.as_f64()
-                    ),
+            Message::Aggregate(a) => agg_line(&a),
+            Message::AggregateBatch(b) => {
+                for a in &b.reports {
+                    let _ = writeln!(self.out, "{}", agg_line(a));
                 }
+                return;
             }
             Message::Meter(at, w) => format!(
                 "[{:10.3}s] powerspy   measured {:.2} W",

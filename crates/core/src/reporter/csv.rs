@@ -6,7 +6,7 @@
 //! quality and trace 0 (they are measurements, not traced estimates).
 
 use crate::actor::{Actor, Context};
-use crate::msg::{Message, Quality, Scope};
+use crate::msg::{AggregateReport, Message, Quality};
 use crate::telemetry::TraceId;
 use std::io::Write;
 
@@ -14,6 +14,7 @@ use std::io::Write;
 pub struct CsvReporter<W: Write + Send> {
     out: W,
     wrote_header: bool,
+    scope_buf: String,
 }
 
 /// One CSV row, in column order.
@@ -33,6 +34,7 @@ impl<W: Write + Send> CsvReporter<W> {
         CsvReporter {
             out,
             wrote_header: false,
+            scope_buf: String::new(),
         }
     }
 
@@ -58,26 +60,31 @@ impl<W: Write + Send> CsvReporter<W> {
             r.trace
         );
     }
+
+    fn aggregate_row(&mut self, a: &AggregateReport) {
+        let mut scope = std::mem::take(&mut self.scope_buf);
+        super::scope_label(&a.scope, &mut scope);
+        self.row(Row {
+            time_s: a.timestamp.as_secs_f64(),
+            kind: "estimate",
+            scope: &scope,
+            power_w: a.power.as_f64(),
+            band_w: a.band_w.as_f64(),
+            quality: a.quality,
+            trace: a.trace,
+        });
+        self.scope_buf = scope;
+    }
 }
 
 impl<W: Write + Send> Actor for CsvReporter<W> {
     fn handle(&mut self, msg: Message, _ctx: &Context) {
         match msg {
-            Message::Aggregate(a) => {
-                let scope = match &a.scope {
-                    Scope::Process(pid) => format!("pid{}", pid.0),
-                    Scope::Group(g) => g.to_string(),
-                    Scope::Machine => "machine".to_string(),
-                };
-                self.row(Row {
-                    time_s: a.timestamp.as_secs_f64(),
-                    kind: "estimate",
-                    scope: &scope,
-                    power_w: a.power.as_f64(),
-                    band_w: a.band_w.as_f64(),
-                    quality: a.quality,
-                    trace: a.trace,
-                });
+            Message::Aggregate(a) => self.aggregate_row(&a),
+            Message::AggregateBatch(b) => {
+                for a in &b.reports {
+                    self.aggregate_row(a);
+                }
             }
             Message::Meter(at, w) => self.row(Row {
                 time_s: at.as_secs_f64(),
@@ -110,7 +117,7 @@ impl<W: Write + Send> Actor for CsvReporter<W> {
 mod tests {
     use super::*;
     use crate::actor::ActorSystem;
-    use crate::msg::{AggregateReport, Topic};
+    use crate::msg::{Scope, Topic};
     use os_sim::process::Pid;
     use parking_lot::Mutex;
     use simcpu::units::{Nanos, Watts};

@@ -10,13 +10,14 @@
 //! nanosecond timestamp — ready for `influx write` or Telegraf.)
 
 use crate::actor::{Actor, Context};
-use crate::msg::{Message, Scope};
+use crate::msg::{AggregateReport, Message};
 use std::io::Write;
 
 /// The reporter actor.
 pub struct InfluxReporter<W: Write + Send> {
     out: W,
     measurement: &'static str,
+    scope_buf: String,
 }
 
 /// One line-protocol point: tags (`scope`, `kind`, `quality`), fields
@@ -37,6 +38,7 @@ impl<W: Write + Send> InfluxReporter<W> {
         InfluxReporter {
             out,
             measurement: "power",
+            scope_buf: String::new(),
         }
     }
 
@@ -59,6 +61,21 @@ impl<W: Write + Send> InfluxReporter<W> {
             p.ts_ns
         );
     }
+
+    fn aggregate_point(&mut self, a: &AggregateReport) {
+        let mut scope = std::mem::take(&mut self.scope_buf);
+        super::scope_label(&a.scope, &mut scope);
+        self.point(Point {
+            scope: &scope,
+            kind: "estimate",
+            quality: a.quality,
+            power_w: a.power.as_f64(),
+            band_w: a.band_w.as_f64(),
+            trace: a.trace,
+            ts_ns: a.timestamp.as_u64(),
+        });
+        self.scope_buf = scope;
+    }
 }
 
 impl<W: Write + Send> Actor for InfluxReporter<W> {
@@ -66,21 +83,11 @@ impl<W: Write + Send> Actor for InfluxReporter<W> {
         use crate::msg::Quality;
         use crate::telemetry::TraceId;
         match msg {
-            Message::Aggregate(a) => {
-                let scope = match &a.scope {
-                    Scope::Process(pid) => format!("pid{}", pid.0),
-                    Scope::Group(g) => g.to_string(),
-                    Scope::Machine => "machine".to_string(),
-                };
-                self.point(Point {
-                    scope: &scope,
-                    kind: "estimate",
-                    quality: a.quality,
-                    power_w: a.power.as_f64(),
-                    band_w: a.band_w.as_f64(),
-                    trace: a.trace,
-                    ts_ns: a.timestamp.as_u64(),
-                });
+            Message::Aggregate(a) => self.aggregate_point(&a),
+            Message::AggregateBatch(b) => {
+                for a in &b.reports {
+                    self.aggregate_point(a);
+                }
             }
             Message::Meter(at, w) => self.point(Point {
                 scope: "machine",
@@ -113,7 +120,7 @@ impl<W: Write + Send> Actor for InfluxReporter<W> {
 mod tests {
     use super::*;
     use crate::actor::ActorSystem;
-    use crate::msg::{AggregateReport, Topic};
+    use crate::msg::{Scope, Topic};
     use os_sim::process::Pid;
     use parking_lot::Mutex;
     use simcpu::units::{Nanos, Watts};

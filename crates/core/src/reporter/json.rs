@@ -3,24 +3,42 @@
 //! known-safe string fields), so a format crate would be dead weight.
 
 use crate::actor::{Actor, Context};
-use crate::msg::{Message, Quality, Scope};
+use crate::msg::{AggregateReport, Message, Quality};
 use crate::telemetry::TraceId;
 use std::io::Write;
 
 /// The reporter actor.
 pub struct JsonReporter<W: Write + Send> {
     out: W,
+    scope_buf: String,
 }
 
 impl<W: Write + Send> JsonReporter<W> {
     /// Reports to any writer.
     pub fn new(out: W) -> JsonReporter<W> {
-        JsonReporter { out }
+        JsonReporter {
+            out,
+            scope_buf: String::new(),
+        }
     }
 
     /// Takes the writer back.
     pub fn into_inner(self) -> W {
         self.out
+    }
+
+    fn aggregate_line(&mut self, a: &AggregateReport) {
+        super::scope_label(&a.scope, &mut self.scope_buf);
+        let line = obj(
+            a.timestamp.as_secs_f64(),
+            "estimate",
+            &self.scope_buf,
+            a.power.as_f64(),
+            a.band_w.as_f64(),
+            a.quality,
+            a.trace,
+        );
+        let _ = writeln!(self.out, "{line}");
     }
 }
 
@@ -44,21 +62,12 @@ fn obj(
 impl<W: Write + Send> Actor for JsonReporter<W> {
     fn handle(&mut self, msg: Message, _ctx: &Context) {
         let line = match msg {
-            Message::Aggregate(a) => {
-                let scope = match &a.scope {
-                    Scope::Process(pid) => format!("pid{}", pid.0),
-                    Scope::Group(g) => g.to_string(),
-                    Scope::Machine => "machine".to_string(),
-                };
-                obj(
-                    a.timestamp.as_secs_f64(),
-                    "estimate",
-                    &scope,
-                    a.power.as_f64(),
-                    a.band_w.as_f64(),
-                    a.quality,
-                    a.trace,
-                )
+            Message::Aggregate(a) => return self.aggregate_line(&a),
+            Message::AggregateBatch(b) => {
+                for a in &b.reports {
+                    self.aggregate_line(a);
+                }
+                return;
             }
             Message::Meter(at, w) => obj(
                 at.as_secs_f64(),
@@ -92,7 +101,7 @@ impl<W: Write + Send> Actor for JsonReporter<W> {
 mod tests {
     use super::*;
     use crate::actor::ActorSystem;
-    use crate::msg::{AggregateReport, Topic};
+    use crate::msg::{Scope, Topic};
     use parking_lot::Mutex;
     use simcpu::units::{Nanos, Watts};
     use std::sync::Arc;

@@ -63,6 +63,7 @@ impl Actor for MemoryReporter {
         let mut store = self.handle.store.lock();
         match msg {
             Message::Aggregate(a) => store.aggregates.push(a),
+            Message::AggregateBatch(b) => store.aggregates.extend(b.reports.iter().cloned()),
             Message::Meter(at, w) => store.meter.push((at, w)),
             Message::Rapl(at, w) => store.rapl.push((at, w)),
             _ => {}

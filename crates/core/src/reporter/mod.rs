@@ -13,6 +13,20 @@ pub mod json;
 pub mod memory;
 pub mod telemetry;
 
+/// Renders an aggregate scope into a reusable buffer — the text reporters
+/// keep one `String` across ticks instead of allocating per report.
+pub(crate) fn scope_label(scope: &crate::msg::Scope, buf: &mut String) {
+    use std::fmt::Write;
+    buf.clear();
+    match scope {
+        crate::msg::Scope::Process(pid) => {
+            let _ = write!(buf, "pid{}", pid.0);
+        }
+        crate::msg::Scope::Group(g) => buf.push_str(g),
+        crate::msg::Scope::Machine => buf.push_str("machine"),
+    }
+}
+
 pub use console::ConsoleReporter;
 pub use csv::CsvReporter;
 pub use influx::InfluxReporter;

@@ -42,12 +42,16 @@ impl<W: Write + Send> TelemetryReporter<W> {
 
 impl<W: Write + Send> Actor for TelemetryReporter<W> {
     fn handle(&mut self, msg: Message, ctx: &Context) {
-        let Message::Tick(snap) = msg else { return };
+        let timestamp = match &msg {
+            Message::Tick(snap) => snap.timestamp,
+            Message::Frame(frame) => frame.timestamp,
+            _ => return,
+        };
         self.ticks += 1;
         if !self.ticks.is_multiple_of(self.every) {
             return;
         }
-        let line = ctx.telemetry().json_snapshot(snap.timestamp);
+        let line = ctx.telemetry().json_snapshot(timestamp);
         let _ = writeln!(self.out, "{line}");
     }
 

@@ -31,6 +31,7 @@ use crate::aggregator::{Aggregator, Dimension};
 use crate::control::RecalibrationTrigger;
 use crate::formula::fallback::FallbackFormula;
 use crate::formula::{FormulaActor, PowerFormula};
+use crate::frame::FramePool;
 use crate::health::{HealthConfig, ModelHealth, ModelHealthSummary, ResidualMonitor};
 use crate::host::SimHost;
 use crate::msg::{AggregateReport, Message, PowerReport, Quality, Scope, Topic};
@@ -85,6 +86,7 @@ pub struct PowerApiBuilder {
     post_mortem_dir: Option<PathBuf>,
     post_mortem_window: Nanos,
     post_mortem_always: bool,
+    batched: bool,
 }
 
 impl PowerApiBuilder {
@@ -119,6 +121,7 @@ impl PowerApiBuilder {
             post_mortem_dir: None,
             post_mortem_window: Nanos::from_secs(60),
             post_mortem_always: false,
+            batched: true,
         }
     }
 
@@ -370,6 +373,20 @@ impl PowerApiBuilder {
         self
     }
 
+    /// Toggles the batched hot path (default: on). When on, each
+    /// monitoring tick travels the pipeline as one struct-of-arrays
+    /// [`TickFrame`] and the stages exchange columnar batches; when off,
+    /// the legacy per-report message flow runs instead. Both paths
+    /// produce bit-identical estimates — the flag exists for A/B
+    /// benchmarking and as an escape hatch.
+    ///
+    /// [`TickFrame`]: crate::frame::TickFrame
+    #[must_use]
+    pub fn batched(mut self, batched: bool) -> PowerApiBuilder {
+        self.batched = batched;
+        self
+    }
+
     /// Assembles and starts the actor pipeline.
     ///
     /// # Errors
@@ -598,6 +615,8 @@ impl PowerApiBuilder {
                 .map(|dir| (dir, self.post_mortem_window, self.post_mortem_always)),
             fault_prev_meter: MeterFaultStats::default(),
             fault_prev_counters: CounterFaultStats::default(),
+            batched: self.batched,
+            pool: FramePool::new(),
         })
     }
 }
@@ -625,6 +644,12 @@ pub struct PowerApi {
     fault_prev_meter: MeterFaultStats,
     /// PMU fault stats at the previous tick boundary.
     fault_prev_counters: CounterFaultStats,
+    /// Whether ticks travel as struct-of-arrays frames (default) or as
+    /// the legacy nested snapshots.
+    batched: bool,
+    /// Free list recycling frame storage across ticks — O(1) allocation
+    /// in the steady state.
+    pool: FramePool,
 }
 
 impl PowerApi {
@@ -696,14 +721,22 @@ impl PowerApi {
                         .overhead()
                         .record_host(t.elapsed().as_nanos() as u64);
                 }
-                let snapshot = self.host.snapshot();
-                let timestamp = snapshot.timestamp;
+                let tick = if self.batched {
+                    let frame = self.host.snapshot_frame(&self.pool);
+                    let timestamp = frame.timestamp;
+                    (Message::Frame(Arc::new(frame)), timestamp)
+                } else {
+                    let snapshot = self.host.snapshot();
+                    let timestamp = snapshot.timestamp;
+                    (Message::Tick(Arc::new(snapshot)), timestamp)
+                };
+                let (msg, timestamp) = tick;
                 if instrumented {
                     // Advance the flight-recorder clock first so every
                     // event this tick provokes carries its timestamp.
                     self.telemetry.journal().set_now(timestamp);
                 }
-                bus.publish(Message::Tick(Arc::new(snapshot)));
+                bus.publish(msg);
                 if instrumented {
                     self.journal_fault_deltas(timestamp);
                 }

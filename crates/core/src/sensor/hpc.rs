@@ -5,7 +5,9 @@
 //! formulas need.
 
 use crate::actor::{Actor, Context};
+use crate::frame::{SensorBatch, SensorRow, TickFrame, NO_ROW};
 use crate::msg::{CorunSplit, Message, SensorReport};
+use simcpu::units::Nanos;
 use std::sync::Arc;
 
 /// Source tag carried on this sensor's reports.
@@ -23,9 +25,64 @@ impl HpcSensor {
     }
 }
 
+impl HpcSensor {
+    /// Batched path: one [`SensorBatch`] of row descriptors over the
+    /// shared frame instead of one report message per process.
+    fn on_frame(&self, frame: Arc<TickFrame>, ctx: &Context) {
+        let trace = ctx.telemetry().trace_for_tick(frame.timestamp);
+        let mut rows = Vec::with_capacity(frame.hpc_len());
+        // All sections are ascending by pid, so row lookups advance a
+        // cursor instead of scanning.
+        let (mut time_cur, mut corun_cur) = (0usize, 0usize);
+        for i in 0..frame.hpc_len() {
+            let pid = frame.hpc_pid(i);
+            let time = frame.time_row(pid, time_cur);
+            if let Some(t) = time {
+                time_cur = t + 1;
+            }
+            let busy = time.map(|t| frame.busy(t)).unwrap_or(Nanos::ZERO);
+            // Same PMU-stall rule as the legacy path: CPU time burned but
+            // zero on every counter → publish nothing for the row.
+            if busy > Nanos::ZERO
+                && !frame.events.is_empty()
+                && frame.hpc_row(i).iter().all(|v| *v == 0)
+            {
+                continue;
+            }
+            let corun = frame.corun_row(pid, corun_cur);
+            if let Some(c) = corun {
+                corun_cur = c + 1;
+            }
+            rows.push(SensorRow {
+                pid,
+                hpc: i as u32,
+                time: time.map_or(NO_ROW, |t| t as u32),
+                corun: corun.map_or(NO_ROW, |c| c as u32),
+            });
+        }
+        // Publishing an empty batch would defeat the staleness watchdog:
+        // absence of data is the fallback trigger, exactly as on the
+        // legacy path.
+        if rows.is_empty() {
+            return;
+        }
+        ctx.bus()
+            .publish(Message::SensorBatch(Arc::new(SensorBatch {
+                source: SOURCE,
+                frame,
+                rows,
+                trace,
+            })));
+    }
+}
+
 impl Actor for HpcSensor {
     fn handle(&mut self, msg: Message, ctx: &Context) {
-        let Message::Tick(snap) = msg else { return };
+        let snap = match msg {
+            Message::Tick(snap) => snap,
+            Message::Frame(frame) => return self.on_frame(frame, ctx),
+            _ => return,
+        };
         // One trace per tick, shared by every sensor on the same snapshot.
         let trace = ctx.telemetry().trace_for_tick(snap.timestamp);
         for (pid, counters) in &snap.hpc {
@@ -40,7 +97,7 @@ impl Actor for HpcSensor {
             // nothing: absence is the signal the downstream staleness
             // watchdog keys its HPC→cpu-load fallback on, and a zeroed
             // report would instead be trusted as "this process drew 0 W".
-            if time.busy > simcpu::units::Nanos::ZERO
+            if time.busy > Nanos::ZERO
                 && !counters.is_empty()
                 && counters.iter().all(|(_, v)| *v == 0)
             {

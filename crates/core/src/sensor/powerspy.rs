@@ -18,8 +18,12 @@ impl PowerSpySensor {
 
 impl Actor for PowerSpySensor {
     fn handle(&mut self, msg: Message, ctx: &Context) {
-        let Message::Tick(snap) = msg else { return };
-        for &(at, power) in &snap.meter {
+        let samples = match &msg {
+            Message::Tick(snap) => &snap.meter[..],
+            Message::Frame(frame) => frame.meter(),
+            _ => return,
+        };
+        for &(at, power) in samples {
             ctx.bus().publish(Message::Meter(at, power));
         }
     }

@@ -6,6 +6,7 @@
 //! [`CpuLoadFormula`]: crate::formula::cpuload::CpuLoadFormula
 
 use crate::actor::{Actor, Context};
+use crate::frame::{SensorBatch, SensorRow, NO_ROW};
 use crate::msg::{CorunSplit, Message, SensorReport};
 use std::sync::Arc;
 
@@ -25,7 +26,31 @@ impl ProcfsSensor {
 
 impl Actor for ProcfsSensor {
     fn handle(&mut self, msg: Message, ctx: &Context) {
-        let Message::Tick(snap) = msg else { return };
+        let snap = match msg {
+            Message::Tick(snap) => snap,
+            Message::Frame(frame) => {
+                let trace = ctx.telemetry().trace_for_tick(frame.timestamp);
+                let rows: Vec<SensorRow> = (0..frame.time_len())
+                    .map(|i| SensorRow {
+                        pid: frame.time_pid(i),
+                        hpc: NO_ROW,
+                        time: i as u32,
+                        corun: NO_ROW,
+                    })
+                    .collect();
+                if !rows.is_empty() {
+                    ctx.bus()
+                        .publish(Message::SensorBatch(Arc::new(SensorBatch {
+                            source: SOURCE,
+                            frame,
+                            rows,
+                            trace,
+                        })));
+                }
+                return;
+            }
+            _ => return,
+        };
         let trace = ctx.telemetry().trace_for_tick(snap.timestamp);
         for (pid, time) in &snap.proc_times {
             ctx.bus().publish(Message::Sensor(Arc::new(SensorReport {

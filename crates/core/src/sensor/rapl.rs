@@ -20,16 +20,20 @@ impl RaplSensor {
 
 impl Actor for RaplSensor {
     fn handle(&mut self, msg: Message, ctx: &Context) {
-        let Message::Tick(snap) = msg else { return };
-        let Some(joules) = snap.rapl_joules else {
+        let (timestamp, interval, joules) = match &msg {
+            Message::Tick(snap) => (snap.timestamp, snap.interval, snap.rapl_joules),
+            Message::Frame(frame) => (frame.timestamp, frame.interval, frame.rapl_joules),
+            _ => return,
+        };
+        let Some(joules) = joules else {
             return;
         };
-        let secs = snap.interval.as_secs_f64();
+        let secs = interval.as_secs_f64();
         if secs <= 0.0 {
             return;
         }
         ctx.bus()
-            .publish(Message::Rapl(snap.timestamp, Watts(joules / secs)));
+            .publish(Message::Rapl(timestamp, Watts(joules / secs)));
     }
 }
 

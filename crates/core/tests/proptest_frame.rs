@@ -1,0 +1,283 @@
+//! Property tests for the batched tick-frame representation: a
+//! [`TickFrame`] must be a lossless re-encoding of the legacy
+//! [`HostSnapshot`], and the batched pipeline must produce outcomes
+//! bit-identical to the per-message legacy pipeline it replaced.
+
+use os_sim::kernel::Kernel;
+use os_sim::process::Pid;
+use os_sim::task::SteadyTask;
+use perf_sim::events::Event;
+use powerapi::formula::per_freq::PerFrequencyFormula;
+use powerapi::frame::{PowerBatch, TickFrame};
+use powerapi::model::power_model::PerFrequencyPowerModel;
+use powerapi::msg::{CorunSplit, HostSnapshot, PowerReport, ProcTimeDelta, Quality};
+use powerapi::prelude::Dimension;
+use powerapi::runtime::{PowerApi, RunOutcome};
+use powerapi::telemetry::TraceId;
+use proptest::prelude::*;
+use simcpu::counters::{ExecDelta, HwCounter};
+use simcpu::fault::{FaultKind, FaultPlan, FaultWindow};
+use simcpu::presets;
+use simcpu::units::{MegaHertz, Nanos, Watts};
+use simcpu::workunit::WorkUnit;
+
+/// A small event layout every generated hpc row follows.
+fn layout(n: usize) -> Vec<Event> {
+    [
+        Event::Hardware(HwCounter::Instructions),
+        Event::Hardware(HwCounter::Cycles),
+        Event::Hardware(HwCounter::CacheMisses),
+        Event::Hardware(HwCounter::BranchInstructions),
+    ][..n]
+        .to_vec()
+}
+
+fn exec_delta(seed: u64) -> ExecDelta {
+    ExecDelta {
+        instructions: seed,
+        cycles: seed.wrapping_mul(3),
+        cache_misses: seed / 7,
+        ..ExecDelta::zero()
+    }
+}
+
+/// Distinct pids, optionally shuffled out of ascending order — the
+/// frame must cope with both (sorted columns take the binary-search
+/// path, unsorted ones the linear fallback).
+fn pid_set(max: usize) -> impl Strategy<Value = Vec<Pid>> {
+    (prop::collection::vec(1u32..500, 0..max), 0u8..2).prop_map(|(base, reverse)| {
+        let mut raw = base;
+        raw.sort_unstable();
+        raw.dedup();
+        let mut pids: Vec<Pid> = raw.into_iter().map(Pid).collect();
+        if reverse == 1 {
+            pids.reverse();
+        }
+        pids
+    })
+}
+
+#[allow(clippy::type_complexity)]
+fn snapshot() -> impl Strategy<Value = HostSnapshot> {
+    (
+        (
+            1usize..=4,
+            pid_set(12),
+            pid_set(12),
+            pid_set(6),
+            prop::collection::vec(0u64..1_000_000, 48),
+        ),
+        (
+            prop::collection::vec(0u64..2_000_000_000, 12),
+            prop::collection::vec(0usize..3, 12),
+            prop::collection::vec((0u64..10_000_000_000, 0u64..200), 0..5),
+            (0u8..2, 0.0f64..500.0).prop_map(|(some, v)| (some == 1).then_some(v)),
+            1u64..100_000_000_000,
+        ),
+    )
+        .prop_map(build_snapshot)
+}
+
+#[allow(clippy::type_complexity)]
+fn build_snapshot(
+    (
+        (n_events, hpc_pids, time_pids, corun_pids, values),
+        (busys, freq_counts, meter, rapl, timestamp),
+    ): (
+        (usize, Vec<Pid>, Vec<Pid>, Vec<Pid>, Vec<u64>),
+        (Vec<u64>, Vec<usize>, Vec<(u64, u64)>, Option<f64>, u64),
+    ),
+) -> HostSnapshot {
+    {
+        let events = layout(n_events);
+        let hpc = hpc_pids
+            .iter()
+            .enumerate()
+            .map(|(i, &pid)| {
+                let row = events
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &e)| (e, values[(i * n_events + j) % values.len()]))
+                    .collect();
+                (pid, row)
+            })
+            .collect();
+        let proc_times = time_pids
+            .iter()
+            .enumerate()
+            .map(|(i, &pid)| {
+                let by_freq = (0..freq_counts[i % freq_counts.len()])
+                    .map(|k| {
+                        (
+                            MegaHertz(1600 + 500 * k as u32),
+                            Nanos(1 + busys[i % busys.len()] / (k as u64 + 2)),
+                        )
+                    })
+                    .collect();
+                (
+                    pid,
+                    ProcTimeDelta {
+                        busy: Nanos(busys[i % busys.len()]),
+                        by_freq,
+                    },
+                )
+            })
+            .collect();
+        let corun = corun_pids
+            .iter()
+            .enumerate()
+            .map(|(i, &pid)| {
+                (
+                    pid,
+                    CorunSplit {
+                        solo: exec_delta(values[i % values.len()]),
+                        corun: exec_delta(values[(i + 7) % values.len()]),
+                        solo_time: Nanos(busys[i % busys.len()] / 2),
+                        corun_time: Nanos(busys[(i + 3) % busys.len()] / 3),
+                    },
+                )
+            })
+            .collect();
+        HostSnapshot {
+            timestamp: Nanos(timestamp),
+            interval: Nanos(timestamp / 2 + 1),
+            hpc,
+            proc_times,
+            corun,
+            meter: meter
+                .into_iter()
+                .map(|(at, w)| (Nanos(at), Watts(w as f64 / 10.0)))
+                .collect(),
+            rapl_joules: rapl,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The frame is a lossless re-encoding: converting any legacy
+    /// snapshot to columns and back reproduces it exactly.
+    #[test]
+    fn frame_round_trips_legacy_snapshot(snap in snapshot()) {
+        let frame = TickFrame::from_snapshot(&snap);
+        frame.debug_assert_consistent();
+        prop_assert_eq!(frame.to_snapshot(), snap);
+    }
+
+    /// Row lookups agree with the legacy linear scans regardless of the
+    /// pid-column order (sorted columns answer via binary search,
+    /// unsorted hand-built ones via the fallback scan).
+    #[test]
+    fn row_lookups_match_linear_scan(snap in snapshot()) {
+        let frame = TickFrame::from_snapshot(&snap);
+        for &(pid, ref expect) in &snap.proc_times {
+            let row = frame.time_row(pid, usize::MAX).expect("present pid found");
+            prop_assert_eq!(frame.time_pid(row), pid);
+            prop_assert_eq!(frame.busy(row), expect.busy);
+        }
+        for &(pid, expect) in &snap.corun {
+            let row = frame.corun_row(pid, 0).expect("present pid found");
+            prop_assert_eq!(frame.corun_split(row), expect);
+        }
+        // A pid in no section is a definitive miss, never a wrong row.
+        let absent = Pid(900);
+        prop_assert_eq!(frame.time_row(absent, 0), None);
+        prop_assert_eq!(frame.corun_row(absent, 3), None);
+    }
+
+    /// Power columns round-trip losslessly to legacy per-pid reports.
+    #[test]
+    fn power_batch_round_trips_reports(
+        rows in proptest::collection::vec(
+            (1u32..500, 0u64..100_000, 0u64..1_000, 0usize..3),
+            0..20,
+        ),
+        timestamp in 1u64..10_000_000_000,
+    ) {
+        let trace = TraceId::NONE;
+        let reports: Vec<PowerReport> = rows
+            .iter()
+            .map(|&(pid, mw, band_mw, q)| PowerReport {
+                timestamp: Nanos(timestamp),
+                pid: Pid(pid),
+                power: Watts(mw as f64 / 1_000.0),
+                formula: "prop",
+                band_w: Watts(band_mw as f64 / 1_000.0),
+                quality: [Quality::Stale, Quality::Degraded, Quality::Full][q],
+                trace,
+            })
+            .collect();
+        let batch = PowerBatch::from_reports(Nanos(timestamp), "prop", trace, &reports);
+        prop_assert_eq!(batch.len(), reports.len());
+        let back: Vec<PowerReport> = batch.reports().collect();
+        prop_assert_eq!(back, reports);
+    }
+}
+
+/// Runs one end-to-end pipeline over a deterministic kernel and returns
+/// its collected outcome.
+fn run_pipeline(batched: bool, faults: Option<FaultPlan>) -> RunOutcome {
+    let mut kernel = Kernel::new(presets::intel_i3_2120());
+    let pids: Vec<_> = (0..24)
+        .map(|i| {
+            kernel.spawn(
+                format!("p{i}"),
+                vec![SteadyTask::boxed(WorkUnit::cpu_intensive(
+                    0.3 + (i % 5) as f64 * 0.15,
+                ))],
+            )
+        })
+        .collect();
+    let mut builder = PowerApi::builder(kernel)
+        .formula(PerFrequencyFormula::new(
+            PerFrequencyPowerModel::paper_i3_example(),
+        ))
+        .dimension(Dimension::both())
+        .report_to_memory()
+        .quantum(Nanos::from_millis(2))
+        .clock_period(Nanos::from_millis(500))
+        .batched(batched);
+    if let Some(plan) = faults {
+        builder = builder.fault_plan(plan);
+    }
+    let mut papi = builder.build().expect("build");
+    for pid in pids {
+        papi.monitor(pid).expect("monitor");
+    }
+    papi.run_for(Nanos::from_secs(5)).expect("run");
+    papi.finish().expect("finish")
+}
+
+/// The tentpole's safety proof in miniature: the batched pipeline and the
+/// legacy per-message pipeline fold to bit-identical aggregates, meter
+/// readings and RAPL readings over a clean run.
+#[test]
+fn batched_and_legacy_pipelines_agree_clean() {
+    let batched = run_pipeline(true, None);
+    let legacy = run_pipeline(false, None);
+    assert!(!batched.reports.is_empty());
+    assert_eq!(batched.reports, legacy.reports);
+    assert_eq!(batched.meter, legacy.meter);
+    assert_eq!(batched.rapl, legacy.rapl);
+}
+
+/// Same equivalence under an active fault schedule (a PMU stall window,
+/// the e7-style scenario): degraded-quality paths must also agree.
+#[test]
+fn batched_and_legacy_pipelines_agree_under_faults() {
+    let plan = || {
+        FaultPlan::from_windows(vec![FaultWindow {
+            kind: FaultKind::CounterStall,
+            start: Nanos::from_secs(2),
+            end: Nanos::from_secs(4),
+            magnitude: 0.0,
+        }])
+    };
+    let batched = run_pipeline(true, Some(plan()));
+    let legacy = run_pipeline(false, Some(plan()));
+    assert!(!batched.reports.is_empty());
+    assert_eq!(batched.reports, legacy.reports);
+    assert_eq!(batched.meter, legacy.meter);
+    assert_eq!(batched.rapl, legacy.rapl);
+}

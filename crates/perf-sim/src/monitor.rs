@@ -31,12 +31,15 @@ impl IntervalSample {
 }
 
 /// Monitors a fixed event list for any number of processes.
+///
+/// Each tracked pid keeps its counter ids *and* the previous readings
+/// inline, so taking an interval sample is a flat in-place walk — no
+/// side map to rebalance per counter per tick.
 #[derive(Debug, Clone)]
 pub struct ProcessMonitor {
     session: PerfSession,
     events: Vec<Event>,
-    tracked: BTreeMap<Pid, Vec<CounterId>>,
-    last: BTreeMap<CounterId, u64>,
+    tracked: BTreeMap<Pid, Vec<(CounterId, u64)>>,
 }
 
 impl ProcessMonitor {
@@ -46,7 +49,6 @@ impl ProcessMonitor {
             session: PerfSession::new(slots),
             events,
             tracked: BTreeMap::new(),
-            last: BTreeMap::new(),
         }
     }
 
@@ -81,8 +83,7 @@ impl ProcessMonitor {
         let mut ids = Vec::with_capacity(self.events.len());
         for &e in &self.events {
             let id = self.session.open(pid, e)?;
-            self.last.insert(id, 0);
-            ids.push(id);
+            ids.push((id, 0));
         }
         self.tracked.insert(pid, ids);
         Ok(())
@@ -91,9 +92,8 @@ impl ProcessMonitor {
     /// Stops monitoring a process.
     pub fn untrack(&mut self, pid: Pid) {
         if let Some(ids) = self.tracked.remove(&pid) {
-            for id in ids {
+            for (id, _) in ids {
                 let _ = self.session.close(id);
-                self.last.remove(&id);
             }
         }
     }
@@ -112,16 +112,34 @@ impl ProcessMonitor {
     /// the interval baseline (call once per monitoring period).
     pub fn sample(&mut self) -> Vec<IntervalSample> {
         let mut out = Vec::with_capacity(self.tracked.len());
-        for (&pid, ids) in &self.tracked {
+        for (&pid, ids) in &mut self.tracked {
             let mut deltas = Vec::with_capacity(ids.len());
-            for (&id, &event) in ids.iter().zip(&self.events) {
-                let now = self.session.read(id).map(|v| v.scaled).unwrap_or(0);
-                let prev = self.last.insert(id, now).unwrap_or(0);
-                deltas.push((event, now.saturating_sub(prev)));
+            for ((id, prev), &event) in ids.iter_mut().zip(&self.events) {
+                let now = self.session.read(*id).map(|v| v.scaled).unwrap_or(0);
+                let before = std::mem::replace(prev, now);
+                deltas.push((event, now.saturating_sub(before)));
             }
             out.push(IntervalSample { pid, deltas });
         }
         out
+    }
+
+    /// Flat-column variant of [`ProcessMonitor::sample`]: appends one pid
+    /// and `events().len()` scaled deltas per tracked process (pid order,
+    /// event order — exactly the rows `sample` would produce) without any
+    /// per-process allocation. The batched tick-frame hot path feeds
+    /// struct-of-arrays frames straight from this.
+    pub fn sample_into(&mut self, pids: &mut Vec<Pid>, deltas: &mut Vec<u64>) {
+        pids.reserve(self.tracked.len());
+        deltas.reserve(self.tracked.len() * self.events.len());
+        for (&pid, ids) in &mut self.tracked {
+            pids.push(pid);
+            for (id, prev) in ids.iter_mut() {
+                let now = self.session.read(*id).map(|v| v.scaled).unwrap_or(0);
+                let before = std::mem::replace(prev, now);
+                deltas.push(now.saturating_sub(before));
+            }
+        }
     }
 }
 

@@ -85,11 +85,19 @@ struct CounterState {
 }
 
 /// A perf session over one simulated kernel.
+///
+/// Counters live in a slab indexed by [`CounterId`] (ids are handed out
+/// sequentially and never reused), with a per-pid index on the side so
+/// [`PerfSession::observe`] only touches the counters of processes that
+/// actually ran this tick — a session tracking thousands of processes
+/// must not pay a full-table scan per tick.
 #[derive(Debug, Clone)]
 pub struct PerfSession {
     slots: usize,
-    counters: BTreeMap<CounterId, CounterState>,
+    counters: Vec<Option<CounterState>>,
+    open_count: usize,
     next_id: u64,
+    by_pid: BTreeMap<Pid, Vec<CounterId>>,
     rotation: BTreeMap<Pid, u64>,
     faults: FaultPlan,
     fault_stats: CounterFaultStats,
@@ -108,13 +116,27 @@ impl PerfSession {
         assert!(slots > 0, "a pmu needs at least one counter slot");
         PerfSession {
             slots,
-            counters: BTreeMap::new(),
+            counters: Vec::new(),
+            open_count: 0,
             next_id: 1,
+            by_pid: BTreeMap::new(),
             rotation: BTreeMap::new(),
             faults: FaultPlan::none(),
             fault_stats: CounterFaultStats::default(),
             in_reset_window: false,
         }
+    }
+
+    /// Ids are handed out sequentially from 1, so a counter's slab slot is
+    /// `id - 1`; closed counters leave a `None` hole (ids never recycle).
+    fn slot(&self, id: CounterId) -> Option<&CounterState> {
+        self.counters.get(id.0.checked_sub(1)? as usize)?.as_ref()
+    }
+
+    fn slot_mut(&mut self, id: CounterId) -> Option<&mut CounterState> {
+        self.counters
+            .get_mut(id.0.checked_sub(1)? as usize)?
+            .as_mut()
     }
 
     /// Installs a fault plan; only counter-side kinds (stall, spurious
@@ -161,20 +183,19 @@ impl PerfSession {
         for &event in events {
             let id = CounterId(self.next_id);
             self.next_id += 1;
-            self.counters.insert(
-                id,
-                CounterState {
-                    pid,
-                    event,
-                    group,
-                    enabled: true,
-                    value: 0,
-                    time_enabled: Nanos::ZERO,
-                    time_running: Nanos::ZERO,
-                },
-            );
+            self.counters.push(Some(CounterState {
+                pid,
+                event,
+                group,
+                enabled: true,
+                value: 0,
+                time_enabled: Nanos::ZERO,
+                time_running: Nanos::ZERO,
+            }));
+            self.open_count += 1;
             ids.push(id);
         }
+        self.by_pid.entry(pid).or_default().extend_from_slice(&ids);
         Ok(ids)
     }
 
@@ -184,8 +205,7 @@ impl PerfSession {
     ///
     /// [`Error::BadCounter`] for unknown ids.
     pub fn set_enabled(&mut self, id: CounterId, enabled: bool) -> Result<()> {
-        self.counters
-            .get_mut(&id)
+        self.slot_mut(id)
             .map(|c| c.enabled = enabled)
             .ok_or(Error::BadCounter(id))
     }
@@ -196,20 +216,33 @@ impl PerfSession {
     ///
     /// [`Error::BadCounter`] for unknown ids.
     pub fn close(&mut self, id: CounterId) -> Result<()> {
-        self.counters
-            .remove(&id)
-            .map(|_| ())
-            .ok_or(Error::BadCounter(id))
+        let Some(slot) =
+            id.0.checked_sub(1)
+                .and_then(|i| self.counters.get_mut(i as usize))
+        else {
+            return Err(Error::BadCounter(id));
+        };
+        let Some(state) = slot.take() else {
+            return Err(Error::BadCounter(id));
+        };
+        self.open_count -= 1;
+        if let Some(ids) = self.by_pid.get_mut(&state.pid) {
+            ids.retain(|&i| i != id);
+            if ids.is_empty() {
+                self.by_pid.remove(&state.pid);
+            }
+        }
+        Ok(())
     }
 
     /// Number of open counters.
     pub fn len(&self) -> usize {
-        self.counters.len()
+        self.open_count
     }
 
     /// Whether no counters are open.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty()
+        self.open_count == 0
     }
 
     /// Reads a counter with scaling metadata.
@@ -218,7 +251,7 @@ impl PerfSession {
     ///
     /// [`Error::BadCounter`] for unknown ids.
     pub fn read(&self, id: CounterId) -> Result<ScaledValue> {
-        let c = self.counters.get(&id).ok_or(Error::BadCounter(id))?;
+        let c = self.slot(id).ok_or(Error::BadCounter(id))?;
         let scaled = if c.time_running == Nanos::ZERO {
             0
         } else {
@@ -240,7 +273,7 @@ impl PerfSession {
     ///
     /// [`Error::BadCounter`] for unknown ids.
     pub fn reset(&mut self, id: CounterId) -> Result<()> {
-        let c = self.counters.get_mut(&id).ok_or(Error::BadCounter(id))?;
+        let c = self.slot_mut(id).ok_or(Error::BadCounter(id))?;
         c.value = 0;
         c.time_enabled = Nanos::ZERO;
         c.time_running = Nanos::ZERO;
@@ -256,9 +289,10 @@ impl PerfSession {
         // counter as if PERF_EVENT_IOC_RESET raced the reader.
         let reset_active = self.faults.is_active(FaultKind::SpuriousReset, now);
         if reset_active && !self.in_reset_window {
-            let ids: Vec<CounterId> = self.counters.keys().copied().collect();
-            for id in ids {
-                let _ = self.reset(id);
+            for c in self.counters.iter_mut().flatten() {
+                c.value = 0;
+                c.time_enabled = Nanos::ZERO;
+                c.time_running = Nanos::ZERO;
             }
             self.fault_stats.spurious_resets += 1;
         }
@@ -300,11 +334,17 @@ impl PerfSession {
         }
 
         for (pid, (delta, slice)) in per_pid {
+            // Only this pid's counters matter — the per-pid index keeps a
+            // tick O(counters of processes that ran), not O(all counters).
+            let Some(ids) = self.by_pid.get(&pid).cloned() else {
+                continue;
+            };
+
             // Groups attached to this pid with at least one enabled member.
-            let mut groups: Vec<GroupId> = self
-                .counters
-                .values()
-                .filter(|c| c.pid == pid && c.enabled)
+            let mut groups: Vec<GroupId> = ids
+                .iter()
+                .filter_map(|&id| self.slot(id))
+                .filter(|c| c.enabled)
                 .map(|c| c.group)
                 .collect();
             groups.sort_unstable();
@@ -321,9 +361,9 @@ impl PerfSession {
             let mut used = 0usize;
             for i in 0..groups.len() {
                 let g = groups[(start + i) % groups.len()];
-                let size = self
-                    .counters
-                    .values()
+                let size = ids
+                    .iter()
+                    .filter_map(|&id| self.slot(id))
                     .filter(|c| c.group == g && c.enabled)
                     .count();
                 if used + size <= slot_budget {
@@ -335,8 +375,9 @@ impl PerfSession {
                 }
             }
 
-            for c in self.counters.values_mut() {
-                if c.pid != pid || !c.enabled || stalled {
+            for &id in &ids {
+                let Some(c) = self.slot_mut(id) else { continue };
+                if !c.enabled || stalled {
                     continue;
                 }
                 c.time_enabled += slice;
