@@ -1,0 +1,113 @@
+//! Shared command-line flag parsing for the experiment binaries.
+//!
+//! Every `eN` binary understands the same flags, parsed the same way:
+//!
+//! * `--quick` — CI smoke mode: smaller sweeps, shorter runs, separate
+//!   `.quick` golden snapshots;
+//! * `--check` — regression-gate mode: compare against recorded
+//!   baselines/goldens without rewriting them;
+//! * `--bless` — rewrite golden snapshots from this run (consumed by
+//!   [`Golden::settle`](crate::golden::Golden::settle), surfaced here so
+//!   benches can branch on it);
+//! * `--dump-trace <path>` — write the run's Chrome trace-event JSON.
+//!
+//! Hand-rolled per-binary parsing drifted (e7/e9/e10 each re-scanned
+//! `std::env::args`); this module is the single implementation they all
+//! share — and `e12_fleet` gets for free.
+
+use std::path::PathBuf;
+
+/// The parsed shared flags.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// `--quick`: CI smoke mode.
+    pub quick: bool,
+    /// `--check`: regression gate, no baseline rewrite.
+    pub check: bool,
+    /// `--bless`: rewrite golden snapshots.
+    pub bless: bool,
+    /// `--dump-trace <path>`: Chrome trace destination.
+    pub dump_trace: Option<PathBuf>,
+}
+
+impl BenchArgs {
+    /// Parses the process arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `--dump-trace` is the last argument (no path
+    /// follows) — matching the historical behaviour of
+    /// `dump_trace_flag`.
+    pub fn parse() -> BenchArgs {
+        BenchArgs::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `--dump-trace` has no following path argument.
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> BenchArgs {
+        let mut parsed = BenchArgs::default();
+        let mut args = args.into_iter();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => parsed.quick = true,
+                "--check" => parsed.check = true,
+                "--bless" => parsed.bless = true,
+                "--dump-trace" => {
+                    parsed.dump_trace = Some(PathBuf::from(
+                        args.next().expect("--dump-trace requires a path argument"),
+                    ));
+                }
+                // Unknown flags are ignored, as the hand-rolled
+                // scanners did — benches stay forward-compatible with
+                // harness-injected arguments.
+                _ => {}
+            }
+        }
+        parsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> BenchArgs {
+        BenchArgs::from_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn empty_is_default() {
+        assert_eq!(parse(&[]), BenchArgs::default());
+    }
+
+    #[test]
+    fn flags_parse_in_any_order() {
+        let a = parse(&["--check", "--quick"]);
+        assert!(a.quick && a.check && !a.bless);
+        let b = parse(&["--quick", "--bless", "--check"]);
+        assert!(b.quick && b.check && b.bless);
+    }
+
+    #[test]
+    fn dump_trace_takes_the_next_argument() {
+        let a = parse(&["--quick", "--dump-trace", "out/trace.json"]);
+        assert_eq!(a.dump_trace, Some(PathBuf::from("out/trace.json")));
+        assert!(a.quick);
+    }
+
+    #[test]
+    fn unknown_flags_are_ignored() {
+        let a = parse(&["--verbose", "--quick", "positional"]);
+        assert!(a.quick);
+        assert!(!a.check);
+    }
+
+    #[test]
+    #[should_panic(expected = "--dump-trace requires a path")]
+    fn trailing_dump_trace_panics() {
+        parse(&["--dump-trace"]);
+    }
+}

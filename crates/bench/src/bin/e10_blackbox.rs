@@ -16,7 +16,7 @@
 //! Data: `BENCH_blackbox.json` (repo root, committed as evidence)
 
 use bench_suite::chaos::{chaos_fault_config, quiet_chaos_panics, ChaosMonkey, CHAOS_SEED};
-use bench_suite::{dump_trace, dump_trace_flag, row, section, Evaluation, Golden};
+use bench_suite::{dump_trace, row, section, BenchArgs, Evaluation, Golden};
 use powerapi::actor::RestartPolicy;
 use powerapi::formula::cpuload::CpuLoadFormula;
 use powerapi::formula::per_freq::PerFrequencyFormula;
@@ -112,7 +112,8 @@ fn captured_count(journal: &[JournalEvent], kind: FaultKind) -> usize {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args = BenchArgs::parse();
+    let quick = args.quick;
     quiet_chaos_panics();
     section("E10: black-box — reconstructing the chaos run from its dump");
 
@@ -134,8 +135,8 @@ fn main() {
     );
     let dump_dir = std::path::Path::new("target/e10_blackbox");
     let (outcome, telemetry) = run_flight_recorded(&jbb, plan.clone(), dump_dir);
-    if let Some(path) = dump_trace_flag() {
-        dump_trace(&telemetry, &path);
+    if let Some(path) = &args.dump_trace {
+        dump_trace(&telemetry, path);
     }
     let report = outcome
         .flight_recorder

@@ -22,7 +22,7 @@
 //! Gate:  `... -- --check`   (1k-process regression guard, no rewrite)
 //! Data:  `BENCH_throughput.json` (repo root, committed as evidence)
 
-use bench_suite::{row, section};
+use bench_suite::{row, section, BenchArgs};
 use os_sim::kernel::Kernel;
 use os_sim::task::SteadyTask;
 use powerapi::formula::per_freq::PerFrequencyFormula;
@@ -128,9 +128,9 @@ fn json_number(text: &str, key: &str) -> Option<f64> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let check = args.iter().any(|a| a == "--check");
+    let args = BenchArgs::parse();
+    let quick = args.quick;
+    let check = args.check;
 
     let model = PerFrequencyPowerModel::paper_i3_example();
     let json_path = std::path::Path::new("BENCH_throughput.json");

@@ -1,0 +1,504 @@
+//! Experiment E12 — fleet transport: N simulated hosts streaming batched
+//! tick frames over fault-injected links to a sharded central estimator.
+//! Three arms, same hosts, same cpu-load formula:
+//!
+//! * **clean** — perfect links: the lag/accuracy floor;
+//! * **faulty** — 5 % frame loss plus duplicate/corrupt/reorder faults,
+//!   two 10-tick partition windows and host-dark windows: the fleet must
+//!   hold its aggregate error within 1.10× of the clean arm by riding
+//!   retransmits, last-known-good hold-over and widened bands;
+//! * **saturated** — every host aimed at one under-provisioned shard:
+//!   ingest must shed loudly (counted, journaled) while the aggregate
+//!   keeps reporting with honest quality tags.
+//!
+//! Every arm ends with the conservation assertion: produced frames are
+//! applied, counted against an explicit loss cause, or still visibly
+//! queued — transmissions, drops, sheds and retransmits reconcile
+//! exactly. Nothing is lost silently.
+//!
+//! Run:   `cargo run --release -p bench-suite --bin e12_fleet`
+//! Quick: `... -- --quick`   (CI smoke: 40 hosts, shorter run)
+//! Gate:  `... -- --check`   (golden check + frames/s regression guard)
+//! Data:  `BENCH_fleet.json` (repo root, committed as evidence)
+
+use bench_suite::{row, section, BenchArgs, Golden};
+use os_sim::kernel::Kernel;
+use os_sim::task::{PeriodicTask, SteadyTask};
+use perf_sim::events::PAPER_EVENTS;
+use powerapi::fleet::{
+    Fleet, FleetConfig, FleetStats, FrameSource, HostId, LinkFaultConfig, LinkFaultKind,
+    LinkFaultPlan, LinkWindow, ShardConfig, SimHostSource,
+};
+use powerapi::formula::per_freq::PerFrequencyFormula;
+use powerapi::host::SimHost;
+use powerapi::model::learn::{learn_model, LearnConfig};
+use powerapi::telemetry::{EventKind, Telemetry};
+use powermeter::powerspy::PowerSpyConfig;
+use simcpu::presets;
+use simcpu::units::Nanos;
+use simcpu::workunit::WorkUnit;
+use std::io::Write;
+use std::time::Instant;
+
+/// Seed for the link-fault schedule (and nothing else — per-frame fault
+/// decisions hash it with host/seq/attempt, so runs replay exactly).
+const FLEET_SEED: u64 = 0xF1EE_7005;
+/// Ticks skipped before scoring (frames in flight, tracks filling).
+const WARMUP_TICKS: usize = 5;
+/// Acceptance bound: faulty-arm MAE within this factor of clean.
+const MAX_ERROR_RATIO: f64 = 1.10;
+/// Regression-guard tolerance: fail when >20 % below the recorded value.
+const GUARD_DROP: f64 = 0.20;
+/// The guard scenario is fixed (quick-sized, clean links) so full runs
+/// record and CI re-measures the same workload.
+const GUARD_HOSTS: usize = 40;
+const GUARD_TICKS: u64 = 24;
+
+/// Everything one arm produces.
+struct Arm {
+    stats: FleetStats,
+    /// Fleet-aggregate estimate per tick (whole run, warmup included).
+    est_w: Vec<f64>,
+    mae_w: f64,
+    lag_p50: u64,
+    lag_p99: u64,
+    stale_mean: f64,
+    stale_max: f64,
+    shard_shed: u64,
+    wall_s: f64,
+    telemetry: Telemetry,
+}
+
+/// The faulty arm's network: 5 % loss, light duplicate/corrupt/reorder
+/// rates, two 10-tick partition windows and a couple of single-host dark
+/// spells. The windows are pinned (not sampled) so they start after every
+/// host has reported at least once — the scenario tests hold-over on a
+/// *known* host, not cold-start blindness — and so quick and full runs
+/// hit the same relative schedule.
+fn fleet_faults(hosts: usize, ticks: u64) -> LinkFaultPlan {
+    let span = (hosts / 8).max(2) as u32;
+    let h = hosts as u32;
+    let part = |start: u64, lo: u32| LinkWindow {
+        kind: LinkFaultKind::Partition,
+        start,
+        end: start + 10,
+        host_lo: lo,
+        host_hi: (lo + span).min(h),
+    };
+    let dark = |start: u64, host: u32| LinkWindow {
+        kind: LinkFaultKind::HostDark,
+        start,
+        end: start + 3,
+        host_lo: host,
+        host_hi: host + 1,
+    };
+    LinkFaultPlan::from_parts(
+        FLEET_SEED,
+        &LinkFaultConfig {
+            drop_rate: 0.05,
+            duplicate_rate: 0.01,
+            corrupt_rate: 0.01,
+            reorder_rate: 0.02,
+            ..LinkFaultConfig::default()
+        },
+        vec![
+            part(ticks / 4, 0),
+            part(ticks / 2, span),
+            dark(ticks / 3, 2 * span),
+            dark(2 * ticks / 3, h - 1),
+        ],
+    )
+}
+
+/// One simulated host: an i3 running 1–3 steady services at loads spread
+/// deterministically across the fleet, snapshotting a [`powerapi::frame::TickFrame`]
+/// per fleet tick (four 250 ms scheduler quanta).
+fn make_source(index: usize) -> Box<dyn FrameSource> {
+    let mut kernel = Kernel::new(presets::intel_i3_2120());
+    let procs = 1 + index % 3;
+    let mut pids: Vec<_> = (0..procs)
+        .map(|p| {
+            let load = 0.15 + 0.70 * (((index * 3 + p * 5) % 11) as f64 / 10.0);
+            kernel.spawn(
+                format!("svc-{index}-{p}"),
+                vec![SteadyTask::boxed(WorkUnit::cpu_intensive(load))],
+            )
+        })
+        .collect();
+    // One duty-cycled batch job per host (periods spread across the
+    // fleet): host power genuinely moves tick to tick, so a stale
+    // hold-over costs real watts — without it the steady fleet would
+    // make frame loss literally free and the error ratio degenerate.
+    let period = Nanos::from_secs(15 + (index % 5) as u64 * 5);
+    pids.push(kernel.spawn(
+        format!("batch-{index}"),
+        vec![PeriodicTask::boxed(
+            WorkUnit::cpu_intensive(0.5),
+            period,
+            0.5,
+        )],
+    ));
+    let mut host = SimHost::new(kernel, PAPER_EVENTS.to_vec(), 4, PowerSpyConfig::default());
+    for pid in pids {
+        host.monitor(pid).expect("monitor");
+    }
+    // Pre-warm to thermal steady state (τ = 30 s, so 5τ): the fleet
+    // scenario models long-running services, and a host mid-ramp would
+    // conflate hold-over error with thermal drift the transport layer
+    // cannot see.
+    for _ in 0..150 {
+        host.step(Nanos::from_secs(1));
+    }
+    Box::new(SimHostSource::new(host, Nanos::from_millis(250), 4))
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Runs one arm and scores it. Ends with the no-silent-loss accounting
+/// assertion: the run aborts if any frame fate went uncounted.
+fn run_arm(
+    hosts: usize,
+    ticks: u64,
+    shards: usize,
+    shard: ShardConfig,
+    fault: LinkFaultPlan,
+    formula: &PerFrequencyFormula,
+) -> Arm {
+    let telemetry = Telemetry::new();
+    let cfg = FleetConfig {
+        shards,
+        events: PAPER_EVENTS.to_vec(),
+        shard,
+        fault,
+        ..FleetConfig::default()
+    };
+    let sources: Vec<Box<dyn FrameSource>> = (0..hosts).map(make_source).collect();
+    let mut fleet = Fleet::new(cfg, formula, sources, telemetry.clone());
+    let started = Instant::now();
+    let reports = fleet.run(ticks);
+    let wall_s = started.elapsed().as_secs_f64();
+    fleet.assert_conserved();
+
+    let scored = &reports[WARMUP_TICKS.min(reports.len() - 1)..];
+    let mae_w = scored
+        .iter()
+        .map(|r| (r.estimate_w - r.truth_w).abs())
+        .sum::<f64>()
+        / scored.len().max(1) as f64;
+
+    let mut lags = fleet.lag_samples().to_vec();
+    lags.sort_unstable();
+    let ratios: Vec<f64> = (0..hosts)
+        .map(|h| fleet.staleness_ratio(HostId(h as u32)))
+        .collect();
+    let stale_mean = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
+    let stale_max = ratios.iter().fold(0.0f64, |a, &b| a.max(b));
+
+    Arm {
+        stats: *fleet.stats(),
+        est_w: reports.iter().map(|r| r.estimate_w).collect(),
+        mae_w,
+        lag_p50: percentile(&lags, 0.50),
+        lag_p99: percentile(&lags, 0.99),
+        stale_mean,
+        stale_max,
+        shard_shed: fleet.shard_shed_by().iter().sum(),
+        wall_s,
+        telemetry,
+    }
+}
+
+/// Pulls `"key": <number>` out of flat JSON (the evidence file is written
+/// by this binary with globally unique keys, so no real parser needed).
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| {
+            c != '-' && c != '+' && c != '.' && c != 'e' && c != 'E' && !c.is_ascii_digit()
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let args = BenchArgs::parse();
+    let quick = args.quick;
+    section(if quick {
+        "E12: fleet transport under link faults (quick)"
+    } else {
+        "E12: fleet transport under link faults"
+    });
+
+    let (hosts, ticks, shards) = if quick { (40, 24, 4) } else { (200, 60, 8) };
+
+    println!("  [1/5] learning the energy profile on the i3 testbed…");
+    let model = learn_model(presets::intel_i3_2120(), &LearnConfig::quick()).expect("learning");
+    let formula = PerFrequencyFormula::new(model);
+
+    println!("  [2/5] clean arm: {hosts} hosts × {ticks} ticks, {shards} shards, perfect links…");
+    let clean = run_arm(
+        hosts,
+        ticks,
+        shards,
+        ShardConfig::default(),
+        LinkFaultPlan::none(),
+        &formula,
+    );
+
+    println!("  [3/5] faulty arm: 5 % loss, dup/corrupt/reorder, 2 partitions, dark windows…");
+    let faulty = run_arm(
+        hosts,
+        ticks,
+        shards,
+        ShardConfig::default(),
+        fleet_faults(hosts, ticks),
+        &formula,
+    );
+
+    println!("  [4/5] saturated arm: every host into one under-provisioned shard…");
+    let saturated = run_arm(
+        GUARD_HOSTS,
+        GUARD_TICKS,
+        1,
+        ShardConfig {
+            ingest_cap: 16,
+            tick_budget: 8,
+            ..ShardConfig::default()
+        },
+        LinkFaultPlan::none(),
+        &formula,
+    );
+
+    println!("  [5/5] guard run, scoring and writing evidence…");
+    // Fixed-size clean run for the wall-clock regression guard (the arm
+    // sizes change with --quick; this one never does).
+    let guard = run_arm(
+        GUARD_HOSTS,
+        GUARD_TICKS,
+        4,
+        ShardConfig::default(),
+        LinkFaultPlan::none(),
+        &formula,
+    );
+    let guard_frames_per_s = guard.stats.applied as f64 / guard.wall_s.max(1e-9);
+
+    let s = faulty.stats;
+    let journal = faulty.telemetry.journal();
+    let shed_events = journal.count(EventKind::FleetShed);
+    let retry_events = journal.count(EventKind::FleetRetry);
+    let timeout_events = journal.count(EventKind::FleetTimeout);
+    let partition_events = journal.count(EventKind::FleetPartition);
+    let prom = faulty.telemetry.render_prometheus();
+
+    section("faulty-arm frame accounting (conserved exactly)");
+    row("frames produced", s.produced);
+    row("link transmissions", s.transmissions);
+    row("  of which retransmits", s.retransmits);
+    row("duplicate copies injected", s.dup_injected);
+    row("dropped: link fault", s.dropped_fault);
+    row("dropped: partition", s.dropped_partition);
+    row("dropped: queue full", s.dropped_queue);
+    row("lost: host dark", s.dark_lost);
+    row("shed: sender backlog", s.sender_shed);
+    row("shed: shard ingest", s.shard_shed);
+    row("corrupt at shard", s.corrupt_frames);
+    row("applied", s.applied);
+    row("duplicates discarded", s.dup_discarded);
+    row("abandoned (budget exhausted)", s.abandoned);
+    row(
+        "stale transitions / recoveries",
+        format!("{} / {}", s.stale_transitions, s.recoveries),
+    );
+    row(
+        "journaled shed/retry/timeout/partition",
+        format!("{shed_events}/{retry_events}/{timeout_events}/{partition_events}"),
+    );
+
+    section("E12 headline numbers");
+    row("clean fleet MAE", format!("{:.3} W", clean.mae_w));
+    row("faulty fleet MAE", format!("{:.3} W", faulty.mae_w));
+    let ratio = faulty.mae_w / clean.mae_w.max(1e-9);
+    row(
+        "faulty / clean error ratio",
+        format!("{ratio:.3}× (bound {MAX_ERROR_RATIO}×)"),
+    );
+    // Identical hosts under both arms, so the per-tick estimate gap is
+    // *pure* transport effect — lag, hold-over and loss — with the
+    // (shared) model bias cancelled out.
+    let divergence_w = clean.est_w[WARMUP_TICKS..]
+        .iter()
+        .zip(&faulty.est_w[WARMUP_TICKS..])
+        .map(|(c, f)| (c - f).abs())
+        .sum::<f64>()
+        / clean.est_w[WARMUP_TICKS..].len().max(1) as f64;
+    row(
+        "transport divergence (faulty vs clean est)",
+        format!("{divergence_w:.3} W"),
+    );
+    row(
+        "estimate lag p50/p99 (clean)",
+        format!("{}/{} ticks", clean.lag_p50, clean.lag_p99),
+    );
+    row(
+        "estimate lag p50/p99 (faulty)",
+        format!("{}/{} ticks", faulty.lag_p50, faulty.lag_p99),
+    );
+    row(
+        "staleness ratio mean/max (faulty)",
+        format!("{:.4} / {:.4}", faulty.stale_mean, faulty.stale_max),
+    );
+    row(
+        "saturated arm: shard sheds",
+        format!("{} (still conserved)", saturated.shard_shed),
+    );
+    row(
+        "guard frames/s (clean, fixed size)",
+        format!("{guard_frames_per_s:.0}"),
+    );
+
+    let ok = ratio <= MAX_ERROR_RATIO
+        && s.dropped_fault > 0
+        && s.dropped_partition > 0
+        && s.retransmits > 0
+        && s.stale_transitions > 0
+        && s.recoveries > 0
+        && clean.stats.dropped_fault == 0
+        && clean.stats.retransmits == 0
+        && saturated.shard_shed > 0
+        && shed_events > 0
+        && retry_events > 0
+        && timeout_events > 0
+        && partition_events > 0
+        && prom.contains("powerapi_fleet_retransmits_total")
+        && prom.contains("powerapi_fleet_shard_shed_total{shard=\"0\"}");
+
+    let json_path = std::path::Path::new("BENCH_fleet.json");
+    if args.check {
+        // Regression guard: compare against the committed evidence file
+        // without rewriting it (mirrors E11's gate).
+        let recorded = std::fs::read_to_string(json_path)
+            .ok()
+            .as_deref()
+            .and_then(|t| json_number(t, "guard_frames_per_s"))
+            .unwrap_or_else(|| {
+                eprintln!("no guard_frames_per_s in BENCH_fleet.json — run e12_fleet first");
+                std::process::exit(2);
+            });
+        let floor = recorded * (1.0 - GUARD_DROP);
+        section("E12 frames/s regression guard");
+        row("recorded frames/s", format!("{recorded:.0}"));
+        row("measured frames/s", format!("{guard_frames_per_s:.0}"));
+        row("floor (−20 %)", format!("{floor:.0}"));
+        if guard_frames_per_s < floor {
+            println!();
+            println!("E12 guard: FAIL ({guard_frames_per_s:.0} frames/s vs floor {floor:.0})");
+            std::process::exit(1);
+        }
+        println!();
+        println!("E12 guard: PASS ({guard_frames_per_s:.0} frames/s vs floor {floor:.0})");
+    } else {
+        let mut f = std::fs::File::create(json_path).expect("evidence file");
+        writeln!(f, "{{").expect("write");
+        writeln!(f, "  \"experiment\": \"e12_fleet\",").expect("write");
+        writeln!(f, "  \"quick\": {quick},").expect("write");
+        writeln!(f, "  \"hosts\": {hosts},").expect("write");
+        writeln!(f, "  \"ticks\": {ticks},").expect("write");
+        writeln!(f, "  \"shards\": {shards},").expect("write");
+        writeln!(f, "  \"fleet_seed\": {FLEET_SEED},").expect("write");
+        writeln!(f, "  \"clean_mae_w\": {:.4},", clean.mae_w).expect("write");
+        writeln!(f, "  \"faulty_mae_w\": {:.4},", faulty.mae_w).expect("write");
+        writeln!(f, "  \"error_ratio\": {ratio:.4},").expect("write");
+        writeln!(f, "  \"transport_divergence_w\": {divergence_w:.4},").expect("write");
+        writeln!(f, "  \"clean_lag_p50_ticks\": {},", clean.lag_p50).expect("write");
+        writeln!(f, "  \"clean_lag_p99_ticks\": {},", clean.lag_p99).expect("write");
+        writeln!(f, "  \"faulty_lag_p50_ticks\": {},", faulty.lag_p50).expect("write");
+        writeln!(f, "  \"faulty_lag_p99_ticks\": {},", faulty.lag_p99).expect("write");
+        writeln!(f, "  \"staleness_mean\": {:.4},", faulty.stale_mean).expect("write");
+        writeln!(f, "  \"staleness_max\": {:.4},", faulty.stale_max).expect("write");
+        writeln!(f, "  \"frames_produced\": {},", s.produced).expect("write");
+        writeln!(f, "  \"transmissions\": {},", s.transmissions).expect("write");
+        writeln!(f, "  \"retransmits\": {},", s.retransmits).expect("write");
+        writeln!(f, "  \"dup_injected\": {},", s.dup_injected).expect("write");
+        writeln!(f, "  \"dropped_fault\": {},", s.dropped_fault).expect("write");
+        writeln!(f, "  \"dropped_partition\": {},", s.dropped_partition).expect("write");
+        writeln!(f, "  \"dropped_queue\": {},", s.dropped_queue).expect("write");
+        writeln!(f, "  \"dark_lost\": {},", s.dark_lost).expect("write");
+        writeln!(f, "  \"sender_shed\": {},", s.sender_shed).expect("write");
+        writeln!(f, "  \"shard_shed\": {},", s.shard_shed).expect("write");
+        writeln!(f, "  \"corrupt_frames\": {},", s.corrupt_frames).expect("write");
+        writeln!(f, "  \"applied\": {},", s.applied).expect("write");
+        writeln!(f, "  \"dup_discarded\": {},", s.dup_discarded).expect("write");
+        writeln!(f, "  \"abandoned\": {},", s.abandoned).expect("write");
+        writeln!(f, "  \"stale_transitions\": {},", s.stale_transitions).expect("write");
+        writeln!(f, "  \"recoveries\": {},", s.recoveries).expect("write");
+        writeln!(f, "  \"saturated_shard_shed\": {},", saturated.shard_shed).expect("write");
+        writeln!(f, "  \"journal_shed_events\": {shed_events},").expect("write");
+        writeln!(f, "  \"journal_retry_events\": {retry_events},").expect("write");
+        writeln!(f, "  \"journal_timeout_events\": {timeout_events},").expect("write");
+        writeln!(f, "  \"journal_partition_events\": {partition_events},").expect("write");
+        writeln!(f, "  \"guard_frames_per_s\": {guard_frames_per_s:.2},").expect("write");
+        writeln!(f, "  \"verdict\": \"{}\"", if ok { "PASS" } else { "FAIL" }).expect("write");
+        writeln!(f, "}}").expect("write");
+        println!("        wrote {}", json_path.display());
+    }
+
+    println!();
+    println!(
+        "E12 verdict: {} (error ratio {ratio:.3}x <= {MAX_ERROR_RATIO}x, \
+         {} retransmits, {} shard sheds under saturation, accounting conserved)",
+        if ok { "RESILIENT" } else { "FLEET DEGRADED" },
+        s.retransmits,
+        saturated.shard_shed,
+    );
+
+    // Everything the single-threaded fleet simulation derives is exact;
+    // only the error metrics are floats (still deterministic — default
+    // tolerance absorbs compiler float-contraction drift only).
+    let mut golden = Golden::new(if quick {
+        "e12_fleet.quick"
+    } else {
+        "e12_fleet"
+    });
+    golden.push("clean_mae_w", clean.mae_w);
+    golden.push("faulty_mae_w", faulty.mae_w);
+    golden.push("error_ratio", ratio);
+    golden.push("transport_divergence_w", divergence_w);
+    golden.push_exact("frames_produced", s.produced as f64);
+    golden.push_exact("transmissions", s.transmissions as f64);
+    golden.push_exact("retransmits", s.retransmits as f64);
+    golden.push_exact("dup_injected", s.dup_injected as f64);
+    golden.push_exact("dropped_fault", s.dropped_fault as f64);
+    golden.push_exact("dropped_partition", s.dropped_partition as f64);
+    golden.push_exact("dropped_queue", s.dropped_queue as f64);
+    golden.push_exact("dark_lost", s.dark_lost as f64);
+    golden.push_exact("sender_shed", s.sender_shed as f64);
+    golden.push_exact("shard_shed", s.shard_shed as f64);
+    golden.push_exact("corrupt_frames", s.corrupt_frames as f64);
+    golden.push_exact("applied", s.applied as f64);
+    golden.push_exact("dup_discarded", s.dup_discarded as f64);
+    golden.push_exact("abandoned", s.abandoned as f64);
+    golden.push_exact("stale_transitions", s.stale_transitions as f64);
+    golden.push_exact("recoveries", s.recoveries as f64);
+    golden.push_exact("clean_lag_p50_ticks", clean.lag_p50 as f64);
+    golden.push_exact("clean_lag_p99_ticks", clean.lag_p99 as f64);
+    golden.push_exact("faulty_lag_p50_ticks", faulty.lag_p50 as f64);
+    golden.push_exact("faulty_lag_p99_ticks", faulty.lag_p99 as f64);
+    golden.push("staleness_mean", faulty.stale_mean);
+    golden.push("staleness_max", faulty.stale_max);
+    golden.push_exact("saturated_shard_shed", saturated.shard_shed as f64);
+    golden.push_exact("journal_partition_events", partition_events as f64);
+    golden.settle();
+
+    if !ok {
+        std::process::exit(1);
+    }
+}

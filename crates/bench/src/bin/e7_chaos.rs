@@ -10,7 +10,7 @@
 //! Data: `BENCH_chaos.json` (repo root, committed as evidence)
 
 use bench_suite::chaos::{chaos_fault_config, quiet_chaos_panics, ChaosMonkey, CHAOS_SEED};
-use bench_suite::{dump_trace, dump_trace_flag, row, score_outcome, section, Evaluation, Golden};
+use bench_suite::{dump_trace, row, score_outcome, section, BenchArgs, Evaluation, Golden};
 use powerapi::actor::RestartPolicy;
 use powerapi::formula::cpuload::CpuLoadFormula;
 use powerapi::formula::per_freq::PerFrequencyFormula;
@@ -90,7 +90,8 @@ fn run_pipeline(
 use powerapi::model::power_model::PerFrequencyPowerModel;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args = BenchArgs::parse();
+    let quick = args.quick;
     quiet_chaos_panics();
     section("E7: chaos replay — SPECjbb2013 under an active fault schedule");
 
@@ -132,8 +133,8 @@ fn main() {
     let chaos_report = score_outcome(&chaos.outcome).expect("chaos score");
 
     println!("  [4/4] scoring and writing evidence…");
-    if let Some(path) = dump_trace_flag() {
-        dump_trace(&chaos.telemetry, &path);
+    if let Some(path) = &args.dump_trace {
+        dump_trace(&chaos.telemetry, path);
     }
     let m = chaos.meter_stats;
     let c = chaos.counter_stats;

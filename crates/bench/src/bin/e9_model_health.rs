@@ -14,7 +14,7 @@
 //! Run: `cargo run --release -p bench-suite --bin e9_model_health [--quick]`
 //! Data: `BENCH_model_health.json` (repo root, committed as evidence)
 
-use bench_suite::{dump_trace, dump_trace_flag, row, section, Golden};
+use bench_suite::{dump_trace, row, section, BenchArgs, Golden};
 use powerapi::formula::per_freq::PerFrequencyFormula;
 use powerapi::model::learn::{learn_model, LearnConfig};
 use powerapi::model::power_model::PerFrequencyPowerModel;
@@ -90,7 +90,8 @@ fn run_arm(
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args = BenchArgs::parse();
+    let quick = args.quick;
     section("E9: model health — drift detection on a thermally-ramping run");
 
     println!("  [1/4] learning the energy profile on the cold testbed…");
@@ -124,8 +125,8 @@ fn main() {
     let dh = &drift.model_health;
 
     println!("  [4/4] scoring and writing evidence…");
-    if let Some(path) = dump_trace_flag() {
-        dump_trace(&drift_telemetry, &path);
+    if let Some(path) = &args.dump_trace {
+        dump_trace(&drift_telemetry, path);
     }
     section("residual monitor tallies");
     row("control residual ticks", ch.ticks);

@@ -3,9 +3,11 @@
 //! the paper's numbers next to the reproduction's so the comparison is
 //! one `cargo run` away.
 
+pub mod args;
 pub mod chaos;
 pub mod golden;
 
+pub use args::BenchArgs;
 pub use golden::Golden;
 
 use mathkit::metrics::ErrorReport;
@@ -109,20 +111,14 @@ pub fn score_outcome(outcome: &RunOutcome) -> Result<ErrorReport, powerapi::Erro
 /// Parses the optional `--dump-trace <path>` flag the experiment
 /// binaries share: after the run, the pipeline's Chrome trace-event
 /// JSON is written to `<path>` for Perfetto / `chrome://tracing`.
+/// (Thin wrapper over [`BenchArgs::parse`] for binaries that only need
+/// this one flag.)
 ///
 /// # Panics
 ///
 /// Panics when `--dump-trace` is the last argument (no path follows).
 pub fn dump_trace_flag() -> Option<std::path::PathBuf> {
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--dump-trace" {
-            return Some(std::path::PathBuf::from(
-                args.next().expect("--dump-trace requires a path argument"),
-            ));
-        }
-    }
-    None
+    BenchArgs::parse().dump_trace
 }
 
 /// Writes the hub's Chrome trace-event JSON to `path` (creating parent

@@ -156,6 +156,11 @@ enum Envelope {
 struct MailboxMetrics {
     depth: Gauge,
     dropped: Counter,
+    /// Shared per-stage shed tally (`powerapi_mailbox_shed_total{stage=…}`)
+    /// — every actor of a stage increments the same counter, so overflow
+    /// shedding is attributable per pipeline stage / fleet shard, not just
+    /// per actor.
+    stage_shed: Counter,
     journal: Journal,
     owner: Arc<str>,
 }
@@ -204,6 +209,7 @@ impl Mailbox {
         self.dropped.fetch_add(1, Ordering::Relaxed);
         if let Some(m) = &self.metrics {
             m.dropped.inc();
+            m.stage_shed.inc();
             m.journal.emit(
                 EventKind::MailboxDrop,
                 &m.owner,
@@ -510,6 +516,10 @@ impl ActorSystem {
                     depth: reg.gauge(&format!("powerapi_mailbox_depth{{actor=\"{name}\"}}")),
                     dropped: reg
                         .counter(&format!("powerapi_actor_dropped_total{{actor=\"{name}\"}}")),
+                    stage_shed: reg.counter(&format!(
+                        "powerapi_mailbox_shed_total{{stage=\"{}\"}}",
+                        options.stage.label()
+                    )),
                     journal: self.telemetry.journal().clone(),
                     owner: name.clone(),
                 }),
@@ -1159,6 +1169,45 @@ mod tests {
         // were rejected at the door.
         assert!(seen.load(Ordering::SeqCst) <= 5);
         assert_eq!(seen.load(Ordering::SeqCst) + summary.dropped, 20);
+    }
+
+    #[test]
+    fn overflow_sheds_are_attributed_per_stage() {
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let seen = Arc::new(AtomicU64::new(0));
+        let telemetry = Telemetry::new();
+        let mut sys = ActorSystem::with_telemetry(telemetry.clone());
+        let g = gate.clone();
+        let s = seen.clone();
+        let a = sys.spawn_supervised(
+            "agg-0",
+            move || {
+                Box::new(Gated {
+                    gate: g.clone(),
+                    seen: s.clone(),
+                })
+            },
+            SpawnOptions::default()
+                .bounded(2)
+                .overflow(OverflowPolicy::DropNewest)
+                .stage(Stage::Aggregator),
+        );
+        for i in 0..12 {
+            a.send(power_msg(i as f64));
+        }
+        open_gate(&gate);
+        sys.shutdown();
+        let dump = telemetry.render_prometheus();
+        let line = dump
+            .lines()
+            .find(|l| l.starts_with("powerapi_mailbox_shed_total{stage=\"aggregator\"}"))
+            .expect("per-stage shed counter in the Prometheus dump");
+        let shed: u64 = line
+            .rsplit(' ')
+            .next()
+            .and_then(|v| v.parse().ok())
+            .expect("counter value");
+        assert!(shed >= 8, "sheds attributed to the stage, got {shed}");
     }
 
     #[test]

@@ -1,0 +1,951 @@
+//! The fleet transport layer: N simulated hosts streaming batched tick
+//! frames over fault-injected links to a sharded central estimator —
+//! the paper's two-stage deployment (distributed sensors, central
+//! formula service) scaled out, with the robustness machinery a real
+//! network forces: retry/backoff, credit-based flow control, staleness
+//! fallback, and loud load shedding.
+//!
+//! ## Topology
+//!
+//! ```text
+//!  host 0 ──[SimHost → TickFrame → envelope]──┐
+//!  host 1 ──────── link (latency, jitter, ────┤    shard 0 (hosts ≡ 0 mod S)
+//!    ⋮        drop/dup/reorder/corrupt/       ├──▶ shard 1 (hosts ≡ 1 mod S)
+//!  host N ──────── partition, host-dark) ─────┘      ⋮  bounded ingest +
+//!            ◀─ acks (credits) ─ ▲                       tick budget +
+//!                                └────────────────── OverflowPolicy sheds
+//! ```
+//!
+//! ## Determinism
+//!
+//! The whole fleet is a single-threaded, tick-stepped simulation: hosts
+//! produce, links deliver, shards process — in fixed order within each
+//! [`Fleet::tick`]. Fault decisions are pure functions of the seeded
+//! [`LinkFaultPlan`] (no shared RNG state), so every counter in
+//! [`FleetStats`] reproduces bit-identically run over run — which is
+//! what lets the e12 bench assert *exact* frame accounting: every frame
+//! produced is eventually applied, counted as dropped/shed/abandoned,
+//! or still visibly queued. Nothing is lost silently.
+
+pub mod envelope;
+pub mod fault;
+pub mod link;
+pub mod retry;
+pub mod shard;
+
+pub use envelope::{decode_frame, encode_frame, FrameEnvelope, HostId, WireError, WireFrame};
+pub use fault::{LinkFaultConfig, LinkFaultKind, LinkFaultPlan, LinkWindow};
+pub use link::{Link, LinkConfig, SendOutcome};
+pub use retry::{Pending, RetryPolicy, SenderState};
+pub use shard::{EstimatorShard, HostEstimate, IngestOutcome, ProcessOutcome, ShardConfig};
+
+use crate::formula::PowerFormula;
+use crate::frame::{FramePool, TickFrame};
+use crate::host::SimHost;
+use crate::msg::Quality;
+use crate::telemetry::{Counter, EventKind, Telemetry, TraceId};
+use perf_sim::events::Event;
+use simcpu::units::Nanos;
+use std::sync::Arc;
+
+/// Where a host's frames come from, one per fleet tick.
+pub trait FrameSource: Send {
+    /// Advances the host one monitoring interval and harvests its frame.
+    fn produce(&mut self, pool: &FramePool) -> TickFrame;
+    /// True machine power at the end of the interval, watts (the ground
+    /// truth the bench scores the fleet estimate against).
+    fn truth_w(&self) -> f64;
+}
+
+/// The production source: a full simcpu/os-sim host (PR 6's
+/// [`SimHost::snapshot_frame`] batching) stepped `steps` quanta per
+/// fleet tick.
+pub struct SimHostSource {
+    host: SimHost,
+    quantum: Nanos,
+    steps: u32,
+}
+
+impl SimHostSource {
+    /// Wraps a host; each fleet tick advances it `steps × quantum`.
+    pub fn new(host: SimHost, quantum: Nanos, steps: u32) -> SimHostSource {
+        SimHostSource {
+            host,
+            quantum,
+            steps: steps.max(1),
+        }
+    }
+
+    /// The wrapped host.
+    pub fn host(&self) -> &SimHost {
+        &self.host
+    }
+}
+
+impl FrameSource for SimHostSource {
+    fn produce(&mut self, pool: &FramePool) -> TickFrame {
+        for _ in 0..self.steps {
+            self.host.step(self.quantum);
+        }
+        self.host.snapshot_frame(pool)
+    }
+
+    fn truth_w(&self) -> f64 {
+        self.host.kernel().machine().last_power().as_f64()
+    }
+}
+
+/// Fleet-wide configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of estimator shards.
+    pub shards: usize,
+    /// Sim-clock length of one fleet tick (stamps envelopes and the
+    /// journal; lags are measured in ticks).
+    pub tick: Nanos,
+    /// The fleet-wide counter slot layout (both ends of the wire agree
+    /// on it out of band, like a protocol version).
+    pub events: Vec<Event>,
+    /// Link transport knobs (shared by every link).
+    pub link: LinkConfig,
+    /// Sender retransmission policy.
+    pub retry: RetryPolicy,
+    /// Shard service knobs.
+    pub shard: ShardConfig,
+    /// The network fault schedule.
+    pub fault: LinkFaultPlan,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            shards: 4,
+            tick: Nanos::from_millis(1000),
+            events: Vec::new(),
+            link: LinkConfig::default(),
+            retry: RetryPolicy::default(),
+            shard: ShardConfig::default(),
+            fault: LinkFaultPlan::none(),
+        }
+    }
+}
+
+/// Every frame-level tally the fleet keeps. All counters are exact and
+/// deterministic; [`Fleet::conservation`] proves they reconcile.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Frames produced by hosts.
+    pub produced: u64,
+    /// Link transmissions attempted (fresh + retransmits).
+    pub transmissions: u64,
+    /// Retransmissions among `transmissions`.
+    pub retransmits: u64,
+    /// Extra in-flight copies injected by duplicate faults.
+    pub dup_injected: u64,
+    /// Transmissions lost to link-fault drops.
+    pub dropped_fault: u64,
+    /// Transmissions severed by partition windows.
+    pub dropped_partition: u64,
+    /// Transmissions lost to a full link queue.
+    pub dropped_queue: u64,
+    /// Frames lost at a dark host before reaching its link.
+    pub dark_lost: u64,
+    /// Frames shed from sender backlogs (credit starvation).
+    pub sender_shed: u64,
+    /// Frames shed at shard ingest (overflow policy).
+    pub shard_shed: u64,
+    /// Deliveries that failed checksum at the shard.
+    pub corrupt_frames: u64,
+    /// Deliveries decoded and applied to a host track.
+    pub applied: u64,
+    /// Deliveries acked but discarded as duplicate/superseded.
+    pub dup_discarded: u64,
+    /// Frames abandoned after exhausting the retransmit budget.
+    pub abandoned: u64,
+    /// Frames released by a delivered ack.
+    pub acked: u64,
+    /// Acks queued shard → sender.
+    pub acks_sent: u64,
+    /// Acks suppressed by an active partition window.
+    pub acks_dropped: u64,
+    /// Fresh → stale host transitions.
+    pub stale_transitions: u64,
+    /// Stale → fresh host recoveries.
+    pub recoveries: u64,
+}
+
+/// The fleet's aggregate estimate for one tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetTickReport {
+    /// Fleet tick (1-based).
+    pub tick: u64,
+    /// Sim-clock timestamp of the tick.
+    pub timestamp: Nanos,
+    /// Fleet-aggregate power estimate, watts (sum over known hosts;
+    /// hosts that never reported contribute 0 and are flagged unknown).
+    pub estimate_w: f64,
+    /// Aggregate prediction-band half-width, watts (stale hosts widen
+    /// it).
+    pub band_w: f64,
+    /// Ground-truth fleet power, watts.
+    pub truth_w: f64,
+    /// Hosts with a fresh estimate.
+    pub hosts_fresh: usize,
+    /// Hosts held at last-known-good past the staleness deadline.
+    pub hosts_stale: usize,
+    /// Hosts that have never reported.
+    pub hosts_unknown: usize,
+    /// The worst per-host quality folded into the aggregate.
+    pub quality: Quality,
+}
+
+struct AckInFlight {
+    due: u64,
+    host: HostId,
+    seq: u64,
+}
+
+struct FleetMetrics {
+    produced: Counter,
+    transmissions: Counter,
+    retransmits: Counter,
+    applied: Counter,
+    duplicates: Counter,
+    corrupt: Counter,
+    abandoned: Counter,
+    dark: Counter,
+    sender_shed: Counter,
+    stale: Counter,
+    dropped_fault: Counter,
+    dropped_partition: Counter,
+    dropped_queue: Counter,
+    shard_shed: Vec<Counter>,
+}
+
+/// The fleet orchestrator: owns hosts, links, senders and shards, and
+/// advances them all one fleet tick at a time.
+pub struct Fleet {
+    cfg: FleetConfig,
+    plan: Arc<LinkFaultPlan>,
+    sources: Vec<Box<dyn FrameSource>>,
+    senders: Vec<SenderState>,
+    links: Vec<Link>,
+    shards: Vec<EstimatorShard>,
+    acks: Vec<AckInFlight>,
+    pool: FramePool,
+    now: u64,
+    stats: FleetStats,
+    shard_shed_by: Vec<u64>,
+    lag_ticks: Vec<u64>,
+    stale_ticks: Vec<u64>,
+    telemetry: Telemetry,
+    metrics: Option<FleetMetrics>,
+    synced: FleetStats,
+    delivery_scratch: Vec<FrameEnvelope>,
+    transitions_scratch: Vec<(HostId, bool)>,
+}
+
+impl Fleet {
+    /// Builds a fleet: one sender+link per source, `cfg.shards` shards
+    /// each owning a fresh clone of `formula`.
+    pub fn new(
+        cfg: FleetConfig,
+        formula: &dyn PowerFormula,
+        sources: Vec<Box<dyn FrameSource>>,
+        telemetry: Telemetry,
+    ) -> Fleet {
+        let hosts = sources.len();
+        let plan = Arc::new(cfg.fault.clone());
+        let events: Arc<[Event]> = cfg.events.iter().copied().collect();
+        let senders = (0..hosts)
+            .map(|h| SenderState::new(HostId(h as u32), cfg.shard.credits_per_host))
+            .collect();
+        let links = (0..hosts)
+            .map(|h| Link::new(HostId(h as u32), cfg.link, plan.clone()))
+            .collect();
+        let shards = (0..cfg.shards.max(1))
+            .map(|i| EstimatorShard::new(i, cfg.shard, formula.boxed_clone(), events.clone()))
+            .collect::<Vec<_>>();
+        let metrics = telemetry.enabled().then(|| {
+            let reg = telemetry.registry();
+            FleetMetrics {
+                produced: reg.counter("powerapi_fleet_frames_produced_total"),
+                transmissions: reg.counter("powerapi_fleet_transmissions_total"),
+                retransmits: reg.counter("powerapi_fleet_retransmits_total"),
+                applied: reg.counter("powerapi_fleet_frames_applied_total"),
+                duplicates: reg.counter("powerapi_fleet_duplicates_discarded_total"),
+                corrupt: reg.counter("powerapi_fleet_corrupt_frames_total"),
+                abandoned: reg.counter("powerapi_fleet_frames_abandoned_total"),
+                dark: reg.counter("powerapi_fleet_dropped_total{cause=\"host-dark\"}"),
+                sender_shed: reg.counter("powerapi_fleet_sender_shed_total"),
+                stale: reg.counter("powerapi_fleet_stale_transitions_total"),
+                dropped_fault: reg.counter("powerapi_fleet_dropped_total{cause=\"link-fault\"}"),
+                dropped_partition: reg.counter("powerapi_fleet_dropped_total{cause=\"partition\"}"),
+                dropped_queue: reg.counter("powerapi_fleet_dropped_total{cause=\"queue-full\"}"),
+                shard_shed: (0..shards.len())
+                    .map(|i| {
+                        reg.counter(&format!("powerapi_fleet_shard_shed_total{{shard=\"{i}\"}}"))
+                    })
+                    .collect(),
+            }
+        });
+        let shard_count = shards.len();
+        Fleet {
+            cfg,
+            plan,
+            senders,
+            links,
+            shards,
+            acks: Vec::new(),
+            pool: FramePool::new(),
+            now: 0,
+            stats: FleetStats::default(),
+            shard_shed_by: vec![0; shard_count],
+            lag_ticks: Vec::new(),
+            stale_ticks: vec![0; hosts],
+            telemetry,
+            metrics,
+            synced: FleetStats::default(),
+            delivery_scratch: Vec::new(),
+            transitions_scratch: Vec::new(),
+            sources,
+        }
+    }
+
+    /// Number of hosts.
+    pub fn hosts(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// The frame tallies so far.
+    pub fn stats(&self) -> &FleetStats {
+        &self.stats
+    }
+
+    /// End-to-end lag (send → applied) of every applied frame, in
+    /// fleet ticks.
+    pub fn lag_samples(&self) -> &[u64] {
+        &self.lag_ticks
+    }
+
+    /// Fraction of elapsed ticks a host spent stale or unknown.
+    pub fn staleness_ratio(&self, host: HostId) -> f64 {
+        if self.now == 0 {
+            return 0.0;
+        }
+        self.stale_ticks[host.0 as usize] as f64 / self.now as f64
+    }
+
+    /// Frames shed at each shard's ingest queue.
+    pub fn shard_shed_by(&self) -> &[u64] {
+        &self.shard_shed_by
+    }
+
+    /// Advances the whole fleet one tick.
+    pub fn tick(&mut self) -> FleetTickReport {
+        self.now += 1;
+        let now = self.now;
+        let sim_now = Nanos(now.saturating_mul(self.cfg.tick.as_u64()));
+        let journal = self.telemetry.journal();
+        journal.set_now(sim_now);
+
+        // 1. Acks that completed their return trip release send credits.
+        let mut i = 0;
+        while i < self.acks.len() {
+            if self.acks[i].due <= now {
+                let ack = self.acks.swap_remove(i);
+                if self.senders[ack.host.0 as usize].ack(ack.seq) {
+                    self.stats.acked += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+
+        // 2. Journal partition / host-dark window transitions.
+        for w in self.plan.windows() {
+            if w.start == now || w.end == now {
+                let what = if w.start == now { "opened" } else { "closed" };
+                journal.emit(
+                    EventKind::FleetPartition,
+                    w.kind.label(),
+                    format!(
+                        "{what} ticks {}..{} hosts {}..{}",
+                        w.start, w.end, w.host_lo, w.host_hi
+                    ),
+                    TraceId::NONE,
+                );
+            }
+        }
+
+        // 3. Per host: retransmit expired frames, produce + enqueue the
+        //    new frame, drain backlog into the link while credits last.
+        let mut truth_w = 0.0;
+        for h in 0..self.sources.len() {
+            let host = HostId(h as u32);
+
+            for seq in self.senders[h].expired(now) {
+                let p = self.senders[h]
+                    .pending
+                    .get(&seq)
+                    .expect("expired seq")
+                    .clone();
+                if p.attempt >= self.cfg.retry.max_retries {
+                    self.senders[h].pending.remove(&seq);
+                    self.stats.abandoned += 1;
+                    journal.emit(
+                        EventKind::FleetRetry,
+                        &host.to_string(),
+                        format!(
+                            "seq {seq} abandoned after {} transmissions (budget exhausted)",
+                            p.attempt + 1
+                        ),
+                        TraceId::NONE,
+                    );
+                    continue;
+                }
+                let attempt = p.attempt + 1;
+                let deadline = self.cfg.retry.deadline(now, attempt, &self.plan, host, seq);
+                {
+                    let p = self.senders[h].pending.get_mut(&seq).expect("expired seq");
+                    p.attempt = attempt;
+                    p.deadline = deadline;
+                }
+                self.stats.retransmits += 1;
+                journal.emit(
+                    EventKind::FleetRetry,
+                    &host.to_string(),
+                    format!("seq {seq} retransmit, attempt {attempt}"),
+                    TraceId::NONE,
+                );
+                record_send(&mut self.stats, self.links[h].send(p.env, attempt, now));
+            }
+
+            let frame = self.sources[h].produce(&self.pool);
+            truth_w += self.sources[h].truth_w();
+            self.stats.produced += 1;
+            let payload = encode_frame(&frame);
+            drop(frame);
+            let seq = self.senders[h].alloc_seq();
+            let env = FrameEnvelope {
+                host,
+                seq,
+                sent_at: sim_now,
+                payload,
+            };
+            if self.plan.dark(host, now) {
+                self.stats.dark_lost += 1;
+            } else {
+                self.senders[h].backlog.push_back(env);
+                while self.senders[h].backlog.len() > self.cfg.link.sender_backlog.max(1) {
+                    let old = self.senders[h].backlog.pop_front().expect("over cap");
+                    self.stats.sender_shed += 1;
+                    journal.emit(
+                        EventKind::FleetShed,
+                        &host.to_string(),
+                        format!("seq {} shed from sender backlog (no credits)", old.seq),
+                        TraceId::NONE,
+                    );
+                }
+            }
+
+            while self.senders[h].may_send() {
+                let Some(env) = self.senders[h].backlog.pop_front() else {
+                    break;
+                };
+                let seq = env.seq;
+                let deadline = self.cfg.retry.deadline(now, 0, &self.plan, host, seq);
+                self.senders[h].pending.insert(
+                    seq,
+                    Pending {
+                        env: env.clone(),
+                        attempt: 0,
+                        deadline,
+                    },
+                );
+                record_send(&mut self.stats, self.links[h].send(env, 0, now));
+            }
+        }
+
+        // 4. Deliveries route to their shard's bounded ingest queue.
+        for h in 0..self.links.len() {
+            self.delivery_scratch.clear();
+            self.links[h].take_due(now, &mut self.delivery_scratch);
+            for env in self.delivery_scratch.drain(..) {
+                let s = shard::route(env.host, self.shards.len());
+                match self.shards[s].ingest(env) {
+                    IngestOutcome::Accepted => {}
+                    IngestOutcome::Shed(old) => {
+                        self.stats.shard_shed += 1;
+                        self.shard_shed_by[s] += 1;
+                        journal.emit(
+                            EventKind::FleetShed,
+                            &format!("shard-{s}"),
+                            format!("{} seq {} shed at ingest (overflow)", old.host, old.seq),
+                            TraceId::NONE,
+                        );
+                    }
+                }
+            }
+        }
+
+        // 5. Shards process within their tick budget; applied frames ack
+        //    back (unless partitioned), corrupt ones wait for retransmit.
+        let ack_latency = self.cfg.link.latency_ticks.max(1);
+        for s in 0..self.shards.len() {
+            for _ in 0..self.cfg.shard.tick_budget {
+                let Some(outcome) = self.shards[s].process_one(now) else {
+                    break;
+                };
+                let (host, seq, ack) = match outcome {
+                    ProcessOutcome::Applied { host, seq, sent_at } => {
+                        self.stats.applied += 1;
+                        let sent_tick = sent_at.as_u64() / self.cfg.tick.as_u64().max(1);
+                        self.lag_ticks.push(now.saturating_sub(sent_tick));
+                        (host, seq, true)
+                    }
+                    ProcessOutcome::Duplicate { host, seq } => {
+                        self.stats.dup_discarded += 1;
+                        (host, seq, true)
+                    }
+                    ProcessOutcome::Corrupt { host, seq } => {
+                        self.stats.corrupt_frames += 1;
+                        (host, seq, false)
+                    }
+                };
+                if ack {
+                    if self.plan.partitioned(host, now) {
+                        self.stats.acks_dropped += 1;
+                    } else {
+                        self.stats.acks_sent += 1;
+                        self.acks.push(AckInFlight {
+                            due: now + ack_latency,
+                            host,
+                            seq,
+                        });
+                    }
+                }
+            }
+        }
+
+        // 6. Staleness bookkeeping + the fleet aggregate.
+        self.transitions_scratch.clear();
+        for s in 0..self.shards.len() {
+            let mut t = std::mem::take(&mut self.transitions_scratch);
+            self.shards[s].refresh_staleness(now, &mut t);
+            self.transitions_scratch = t;
+        }
+        for &(host, stale) in &self.transitions_scratch {
+            if stale {
+                self.stats.stale_transitions += 1;
+                journal.emit(
+                    EventKind::FleetTimeout,
+                    &host.to_string(),
+                    format!(
+                        "no fresh frame for {} ticks; holding last-known-good",
+                        self.cfg.shard.stale_after_ticks
+                    ),
+                    TraceId::NONE,
+                );
+            } else {
+                self.stats.recoveries += 1;
+                journal.emit(
+                    EventKind::QualityRecovered,
+                    &host.to_string(),
+                    "fresh frame applied; staleness cleared",
+                    TraceId::NONE,
+                );
+            }
+        }
+
+        let mut estimate_w = 0.0;
+        let mut band_w = 0.0;
+        let (mut fresh, mut stale, mut unknown) = (0usize, 0usize, 0usize);
+        let mut quality = Quality::Full;
+        for h in 0..self.sources.len() {
+            let host = HostId(h as u32);
+            let s = shard::route(host, self.shards.len());
+            match self.shards[s].estimate(host, now) {
+                Some(est) => {
+                    estimate_w += est.power_w;
+                    band_w += est.band_w;
+                    quality = quality.min(est.quality);
+                    if est.quality == Quality::Full {
+                        fresh += 1;
+                    } else {
+                        stale += 1;
+                        self.stale_ticks[h] += 1;
+                    }
+                }
+                None => {
+                    unknown += 1;
+                    quality = Quality::Stale;
+                    self.stale_ticks[h] += 1;
+                }
+            }
+        }
+
+        self.sync_metrics();
+        FleetTickReport {
+            tick: now,
+            timestamp: sim_now,
+            estimate_w,
+            band_w,
+            truth_w,
+            hosts_fresh: fresh,
+            hosts_stale: stale,
+            hosts_unknown: unknown,
+            quality,
+        }
+    }
+
+    /// Runs `ticks` fleet ticks, collecting every report.
+    pub fn run(&mut self, ticks: u64) -> Vec<FleetTickReport> {
+        (0..ticks).map(|_| self.tick()).collect()
+    }
+
+    /// Proves the frame accounting reconciles exactly — every produced
+    /// frame is applied, counted against a loss cause, or still visibly
+    /// queued somewhere. Returns the violated equation on failure.
+    pub fn conservation(&self) -> Result<(), String> {
+        let s = &self.stats;
+        let in_flight: u64 = self.links.iter().map(|l| l.in_flight() as u64).sum();
+        let ingest: u64 = self.shards.iter().map(|sh| sh.queue_len() as u64).sum();
+        let backlog: u64 = self.senders.iter().map(|x| x.backlog.len() as u64).sum();
+        let pending: u64 = self.senders.iter().map(|x| x.pending.len() as u64).sum();
+
+        let sent = s.transmissions + s.dup_injected;
+        let fate = s.dropped_fault
+            + s.dropped_partition
+            + s.dropped_queue
+            + s.shard_shed
+            + s.corrupt_frames
+            + s.applied
+            + s.dup_discarded
+            + in_flight
+            + ingest;
+        if sent != fate {
+            return Err(format!(
+                "transmission fates do not reconcile: sent {sent} != accounted {fate} ({s:?}, in_flight {in_flight}, ingest {ingest})"
+            ));
+        }
+
+        let fresh_sends = s.transmissions - s.retransmits;
+        let produced_fate = fresh_sends + s.dark_lost + s.sender_shed + backlog;
+        if s.produced != produced_fate {
+            return Err(format!(
+                "produced frames do not reconcile: produced {} != accounted {produced_fate} ({s:?}, backlog {backlog})",
+                s.produced
+            ));
+        }
+
+        let window_fate = s.acked + s.abandoned + pending;
+        if fresh_sends != window_fate {
+            return Err(format!(
+                "send window does not reconcile: fresh sends {fresh_sends} != accounted {window_fate} ({s:?}, pending {pending})"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Panics with the violated equation when the accounting does not
+    /// reconcile (the bench's no-silent-loss assertion).
+    #[track_caller]
+    pub fn assert_conserved(&self) {
+        if let Err(e) = self.conservation() {
+            panic!("fleet accounting violated: {e}");
+        }
+    }
+
+    fn sync_metrics(&mut self) {
+        let Some(m) = &self.metrics else {
+            return;
+        };
+        let (s, p) = (&self.stats, &self.synced);
+        m.produced.add(s.produced - p.produced);
+        m.transmissions.add(s.transmissions - p.transmissions);
+        m.retransmits.add(s.retransmits - p.retransmits);
+        m.applied.add(s.applied - p.applied);
+        m.duplicates.add(s.dup_discarded - p.dup_discarded);
+        m.corrupt.add(s.corrupt_frames - p.corrupt_frames);
+        m.abandoned.add(s.abandoned - p.abandoned);
+        m.dark.add(s.dark_lost - p.dark_lost);
+        m.sender_shed.add(s.sender_shed - p.sender_shed);
+        m.stale.add(s.stale_transitions - p.stale_transitions);
+        m.dropped_fault.add(s.dropped_fault - p.dropped_fault);
+        m.dropped_partition
+            .add(s.dropped_partition - p.dropped_partition);
+        m.dropped_queue.add(s.dropped_queue - p.dropped_queue);
+        let mut synced_shed = 0;
+        for (i, c) in m.shard_shed.iter().enumerate() {
+            let now = self.shard_shed_by[i];
+            let before = c.get();
+            c.add(now - before);
+            synced_shed += now;
+        }
+        let _ = synced_shed;
+        self.synced = self.stats;
+    }
+}
+
+fn record_send(stats: &mut FleetStats, outcome: SendOutcome) {
+    stats.transmissions += 1;
+    match outcome {
+        SendOutcome::Queued { duplicated } => {
+            if duplicated {
+                stats.dup_injected += 1;
+            }
+        }
+        SendOutcome::DroppedFault => stats.dropped_fault += 1,
+        SendOutcome::DroppedPartition => stats.dropped_partition += 1,
+        SendOutcome::DroppedQueueFull => stats.dropped_queue += 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::cpuload::CpuLoadFormula;
+    use crate::frame::FrameBuilder;
+    use os_sim::process::Pid;
+
+    /// A synthetic source: constant 50% load on one process, truth a
+    /// fixed 40 W — no simcpu machinery, so transport behaviour is the
+    /// only variable under test.
+    struct FlatSource {
+        interval: Nanos,
+        ticks: u64,
+    }
+
+    impl FrameSource for FlatSource {
+        fn produce(&mut self, pool: &FramePool) -> TickFrame {
+            self.ticks += 1;
+            let mut b = FrameBuilder::pooled(pool);
+            b.push_time_row(Pid(1), Nanos(self.interval.as_u64() / 2), |_| {});
+            b.finish(
+                Nanos(self.ticks * self.interval.as_u64()),
+                self.interval,
+                Arc::from([] as [Event; 0]),
+                None,
+            )
+        }
+
+        fn truth_w(&self) -> f64 {
+            40.0
+        }
+    }
+
+    fn flat_fleet(hosts: usize, cfg: FleetConfig) -> Fleet {
+        let sources: Vec<Box<dyn FrameSource>> = (0..hosts)
+            .map(|_| {
+                Box::new(FlatSource {
+                    interval: Nanos::from_millis(1000),
+                    ticks: 0,
+                }) as Box<dyn FrameSource>
+            })
+            .collect();
+        // idle 30 + slope 20 · load 0.5 = 40 W — the formula agrees with
+        // the source's truth exactly, so estimate error isolates
+        // transport effects.
+        let formula = CpuLoadFormula::new(30.0, 20.0);
+        Fleet::new(cfg, &formula, sources, Telemetry::disabled())
+    }
+
+    #[test]
+    fn clean_fleet_converges_and_conserves() {
+        let mut fleet = flat_fleet(6, FleetConfig::default());
+        let reports = fleet.run(10);
+        let last = reports.last().unwrap();
+        assert_eq!(last.hosts_unknown, 0);
+        assert_eq!(last.hosts_stale, 0);
+        assert_eq!(last.hosts_fresh, 6);
+        assert_eq!(last.quality, Quality::Full);
+        assert!(
+            (last.estimate_w - 240.0).abs() < 1e-9,
+            "6 hosts × 40 W, got {}",
+            last.estimate_w
+        );
+        assert!((last.truth_w - 240.0).abs() < 1e-9);
+        fleet.assert_conserved();
+        let s = fleet.stats();
+        assert_eq!(s.produced, 60);
+        assert_eq!(s.retransmits, 0);
+        assert!(s.applied > 0);
+        assert!(!fleet.lag_samples().is_empty());
+        // Latency 1 + jitter ≤ 1, processed the tick it arrives.
+        assert!(fleet.lag_samples().iter().all(|&l| (1..=3).contains(&l)));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = || {
+            let fault = LinkFaultPlan::generate(
+                21,
+                4,
+                30,
+                &LinkFaultConfig {
+                    drop_rate: 0.2,
+                    duplicate_rate: 0.1,
+                    corrupt_rate: 0.1,
+                    reorder_rate: 0.2,
+                    partitions: 1,
+                    partition_ticks: 5,
+                    partition_hosts: 2,
+                    dark_windows: 1,
+                    dark_ticks: 4,
+                    ..LinkFaultConfig::default()
+                },
+            );
+            FleetConfig {
+                shards: 2,
+                fault,
+                ..FleetConfig::default()
+            }
+        };
+        let mut a = flat_fleet(4, cfg());
+        let mut b = flat_fleet(4, cfg());
+        let ra = a.run(30);
+        let rb = b.run(30);
+        assert_eq!(ra, rb, "tick reports must replay bit-identically");
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.lag_samples(), b.lag_samples());
+        a.assert_conserved();
+    }
+
+    #[test]
+    fn drops_force_retransmits_and_conservation_still_holds() {
+        let fault = LinkFaultPlan::generate(
+            9,
+            3,
+            60,
+            &LinkFaultConfig {
+                drop_rate: 0.3,
+                ..LinkFaultConfig::default()
+            },
+        );
+        let mut fleet = flat_fleet(
+            3,
+            FleetConfig {
+                shards: 2,
+                fault,
+                ..FleetConfig::default()
+            },
+        );
+        fleet.run(60);
+        let s = *fleet.stats();
+        assert!(s.dropped_fault > 0, "30% drop must fire: {s:?}");
+        assert!(s.retransmits > 0, "drops must trigger retries: {s:?}");
+        assert!(s.applied > 0);
+        fleet.assert_conserved();
+    }
+
+    #[test]
+    fn partition_makes_hosts_stale_then_recover() {
+        let w = LinkWindow {
+            kind: LinkFaultKind::Partition,
+            start: 10,
+            end: 22,
+            host_lo: 0,
+            host_hi: 4,
+        };
+        let fault = LinkFaultPlan::from_parts(3, &LinkFaultConfig::default(), vec![w]);
+        let cfg = FleetConfig {
+            shards: 2,
+            shard: ShardConfig {
+                stale_after_ticks: 3,
+                ..ShardConfig::default()
+            },
+            fault,
+            ..FleetConfig::default()
+        };
+        let mut fleet = flat_fleet(4, cfg);
+        let reports = fleet.run(40);
+        let mid = &reports[(w.start + 8) as usize - 1];
+        assert!(
+            mid.hosts_stale > 0,
+            "hosts inside the partition must go stale: {mid:?}"
+        );
+        assert_eq!(mid.quality, Quality::Stale);
+        assert!(
+            mid.band_w > reports[(w.start - 1) as usize].band_w,
+            "stale bands must widen"
+        );
+        let last = reports.last().unwrap();
+        assert_eq!(last.hosts_stale, 0, "all hosts recover: {last:?}");
+        let s = fleet.stats();
+        assert!(s.stale_transitions > 0);
+        assert!(s.recoveries > 0);
+        fleet.assert_conserved();
+    }
+
+    #[test]
+    fn saturated_shard_sheds_loudly() {
+        let cfg = FleetConfig {
+            shards: 1,
+            shard: ShardConfig {
+                ingest_cap: 2,
+                tick_budget: 1,
+                ..ShardConfig::default()
+            },
+            ..FleetConfig::default()
+        };
+        let mut fleet = flat_fleet(8, cfg);
+        fleet.run(20);
+        let s = fleet.stats();
+        assert!(
+            s.shard_shed > 0,
+            "8 hosts into budget-1 shard must shed: {s:?}"
+        );
+        assert_eq!(fleet.shard_shed_by().iter().sum::<u64>(), s.shard_shed);
+        fleet.assert_conserved();
+    }
+
+    #[test]
+    fn dark_windows_lose_frames_before_the_link() {
+        let fault = LinkFaultPlan::generate(
+            13,
+            2,
+            30,
+            &LinkFaultConfig {
+                dark_windows: 2,
+                dark_ticks: 5,
+                ..LinkFaultConfig::default()
+            },
+        );
+        // Count exact (host, tick) dark coverage — overlapping windows
+        // on the same host must not be double-counted.
+        let expected: u64 = (1..=30u64)
+            .flat_map(|t| (0..2u32).map(move |h| (t, h)))
+            .filter(|&(t, h)| fault.dark(HostId(h), t))
+            .count() as u64;
+        let mut fleet = flat_fleet(
+            2,
+            FleetConfig {
+                fault,
+                ..FleetConfig::default()
+            },
+        );
+        fleet.run(30);
+        assert_eq!(fleet.stats().dark_lost, expected);
+        fleet.assert_conserved();
+    }
+
+    #[test]
+    fn fleet_counters_reach_prometheus() {
+        let telemetry = Telemetry::new();
+        let sources: Vec<Box<dyn FrameSource>> = (0..2)
+            .map(|_| {
+                Box::new(FlatSource {
+                    interval: Nanos::from_millis(1000),
+                    ticks: 0,
+                }) as Box<dyn FrameSource>
+            })
+            .collect();
+        let formula = CpuLoadFormula::new(30.0, 20.0);
+        let mut fleet = Fleet::new(FleetConfig::default(), &formula, sources, telemetry.clone());
+        fleet.run(5);
+        let dump = telemetry.render_prometheus();
+        assert!(dump.contains("powerapi_fleet_frames_produced_total 10"));
+        assert!(dump.contains("powerapi_fleet_transmissions_total"));
+    }
+}

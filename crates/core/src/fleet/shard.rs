@@ -1,0 +1,440 @@
+//! The sharded central estimator: each shard owns a contiguous slice of
+//! the host space (static modulo routing), decodes incoming frame
+//! envelopes, runs the power formula over their rows, and tracks
+//! per-host freshness so a silent host degrades to a quality-tagged
+//! last-known-good estimate with a widening prediction band instead of
+//! vanishing from the fleet aggregate.
+//!
+//! Shards are load-shedding consumers: a bounded ingest queue governed
+//! by the actor runtime's [`OverflowPolicy`] plus a per-tick processing
+//! budget model a saturated service. Every shed is surfaced to the
+//! caller so the fleet can count and journal it — shedding is loud by
+//! design.
+
+use super::envelope::{decode_frame, FrameEnvelope, HostId};
+use crate::actor::OverflowPolicy;
+use crate::formula::PowerFormula;
+use crate::msg::{Quality, SensorReport};
+use perf_sim::events::Event;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+/// Static shard routing: host → shard index.
+pub fn route(host: HostId, shards: usize) -> usize {
+    host.0 as usize % shards.max(1)
+}
+
+/// Shard service knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardConfig {
+    /// Bound on the ingest queue.
+    pub ingest_cap: usize,
+    /// Frames one shard may process per fleet tick (models estimator
+    /// CPU; the rest waits, building queueing lag).
+    pub tick_budget: usize,
+    /// What to do when ingest overflows. The fleet simulation is
+    /// non-blocking, so [`OverflowPolicy::Block`] degrades to
+    /// `DropNewest` here (a blocked network ingress *is* a tail drop);
+    /// both still surface the shed frame to the caller.
+    pub overflow: OverflowPolicy,
+    /// Unacked-frame allowance granted to each sender (credit-based
+    /// flow control; see [`super::retry::SenderState`]).
+    pub credits_per_host: u32,
+    /// Ticks without a fresh frame before a host is marked stale.
+    pub stale_after_ticks: u64,
+    /// Watts added to a stale host's prediction band per tick of
+    /// additional silence (the band widens as the hold-over ages).
+    pub widen_w_per_tick: f64,
+}
+
+impl Default for ShardConfig {
+    fn default() -> ShardConfig {
+        ShardConfig {
+            ingest_cap: 256,
+            tick_budget: 1024,
+            overflow: OverflowPolicy::DropOldest,
+            credits_per_host: 4,
+            stale_after_ticks: 5,
+            widen_w_per_tick: 0.5,
+        }
+    }
+}
+
+/// What `ingest` did with an envelope.
+#[derive(Debug)]
+pub enum IngestOutcome {
+    /// Queued for processing.
+    Accepted,
+    /// The queue was full; the returned envelope is the one shed (the
+    /// newest or the oldest, per policy).
+    Shed(FrameEnvelope),
+}
+
+/// What processing one envelope produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcessOutcome {
+    /// A fresh frame was decoded and applied to the host's track.
+    Applied {
+        /// The reporting host.
+        host: HostId,
+        /// The applied sequence number.
+        seq: u64,
+        /// Sim-clock timestamp of the original send (for lag).
+        sent_at: simcpu::units::Nanos,
+    },
+    /// A duplicate or superseded frame — acked (the sender must stop
+    /// retransmitting it) but not applied.
+    Duplicate {
+        /// The reporting host.
+        host: HostId,
+        /// The redundant sequence number.
+        seq: u64,
+    },
+    /// The payload failed checksum or framing — counted, not acked, so
+    /// the sender's retransmission recovers the data.
+    Corrupt {
+        /// The reporting host.
+        host: HostId,
+        /// The corrupted sequence number.
+        seq: u64,
+    },
+}
+
+/// Per-host estimator state.
+#[derive(Debug, Clone, Copy)]
+pub struct HostTrack {
+    /// Highest sequence number applied.
+    pub last_seq: u64,
+    /// Fleet tick of the last applied frame.
+    pub last_update: u64,
+    /// Last estimated host power (idle floor + active), watts.
+    pub power_w: f64,
+    /// Prediction-band half-width at the last update, watts.
+    pub band_w: f64,
+    /// Whether the host is currently past the staleness deadline.
+    pub stale: bool,
+}
+
+/// A host estimate as the shard currently believes it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostEstimate {
+    /// Estimated host power, watts (held at last-known-good while
+    /// stale).
+    pub power_w: f64,
+    /// Prediction-band half-width, watts (widened while stale).
+    pub band_w: f64,
+    /// Estimate trustworthiness.
+    pub quality: Quality,
+}
+
+/// One estimator shard.
+pub struct EstimatorShard {
+    index: usize,
+    cfg: ShardConfig,
+    formula: Box<dyn PowerFormula>,
+    events: Arc<[Event]>,
+    ingest: VecDeque<FrameEnvelope>,
+    tracks: BTreeMap<u32, HostTrack>,
+    scratch: SensorReport,
+}
+
+impl EstimatorShard {
+    /// A shard with its own formula instance (cloned from the fleet's
+    /// template, like a supervisor rebuilding a formula actor).
+    pub fn new(
+        index: usize,
+        cfg: ShardConfig,
+        formula: Box<dyn PowerFormula>,
+        events: Arc<[Event]>,
+    ) -> EstimatorShard {
+        EstimatorShard {
+            index,
+            cfg,
+            formula,
+            events,
+            ingest: VecDeque::new(),
+            tracks: BTreeMap::new(),
+            scratch: crate::formula::scratch_report(),
+        }
+    }
+
+    /// This shard's index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Frames waiting to be processed.
+    pub fn queue_len(&self) -> usize {
+        self.ingest.len()
+    }
+
+    /// Accepts a delivered envelope, shedding per policy when the
+    /// bounded ingest queue is full.
+    pub fn ingest(&mut self, env: FrameEnvelope) -> IngestOutcome {
+        if self.ingest.len() < self.cfg.ingest_cap {
+            self.ingest.push_back(env);
+            return IngestOutcome::Accepted;
+        }
+        match self.cfg.overflow {
+            OverflowPolicy::DropOldest => {
+                let old = self.ingest.pop_front().expect("non-empty at cap");
+                self.ingest.push_back(env);
+                IngestOutcome::Shed(old)
+            }
+            // Block cannot block a simulated network ingress; tail-drop
+            // instead (documented on `ShardConfig::overflow`).
+            OverflowPolicy::DropNewest | OverflowPolicy::Block => IngestOutcome::Shed(env),
+        }
+    }
+
+    /// Processes one queued envelope at fleet tick `now`, or `None`
+    /// when the queue is empty.
+    pub fn process_one(&mut self, now: u64) -> Option<ProcessOutcome> {
+        let env = self.ingest.pop_front()?;
+        let host = env.host;
+        let wire = match decode_frame(&env.payload) {
+            Ok(w) => w,
+            Err(_) => {
+                return Some(ProcessOutcome::Corrupt { host, seq: env.seq });
+            }
+        };
+        let known = self.tracks.get(&host.0);
+        if let Some(t) = known {
+            // Duplicates *and* frames superseded by a newer delivery
+            // (reordering) are redundant: ack so the sender stops
+            // retransmitting, but keep the newer estimate.
+            if env.seq <= t.last_seq {
+                return Some(ProcessOutcome::Duplicate { host, seq: env.seq });
+            }
+        }
+        // The staleness flag persists across the apply so the next
+        // `refresh_staleness` pass reports the recovery transition.
+        let was_stale = known.is_some_and(|t| t.stale);
+        let mut active = 0.0;
+        let mut band = 0.0;
+        for i in 0..wire.rows.len() {
+            wire.fill_report(i, &self.events, &mut self.scratch);
+            if let Some(w) = self.formula.estimate(&self.scratch) {
+                active += w.as_f64();
+                band += self.formula.interval_w(&self.scratch);
+            }
+        }
+        self.tracks.insert(
+            host.0,
+            HostTrack {
+                last_seq: env.seq,
+                last_update: now,
+                power_w: self.formula.idle_w() + active,
+                band_w: band,
+                stale: was_stale,
+            },
+        );
+        Some(ProcessOutcome::Applied {
+            host,
+            seq: env.seq,
+            sent_at: env.sent_at,
+        })
+    }
+
+    /// Re-evaluates staleness for every tracked host, appending
+    /// `(host, is_now_stale)` transitions to `out` (for journaling).
+    pub fn refresh_staleness(&mut self, now: u64, out: &mut Vec<(HostId, bool)>) {
+        for (&h, t) in self.tracks.iter_mut() {
+            let stale = now.saturating_sub(t.last_update) > self.cfg.stale_after_ticks;
+            if stale != t.stale {
+                t.stale = stale;
+                out.push((HostId(h), stale));
+            }
+        }
+    }
+
+    /// The shard's current belief about a host. `None` until the first
+    /// frame from that host is applied.
+    pub fn estimate(&self, host: HostId, now: u64) -> Option<HostEstimate> {
+        let t = self.tracks.get(&host.0)?;
+        let age = now.saturating_sub(t.last_update);
+        if age > self.cfg.stale_after_ticks {
+            let widened = age - self.cfg.stale_after_ticks;
+            Some(HostEstimate {
+                power_w: t.power_w,
+                band_w: t.band_w + self.cfg.widen_w_per_tick * widened as f64,
+                quality: Quality::Stale,
+            })
+        } else {
+            Some(HostEstimate {
+                power_w: t.power_w,
+                band_w: t.band_w,
+                quality: Quality::Full,
+            })
+        }
+    }
+
+    /// The per-host track table (tests, fleet staleness accounting).
+    pub fn track(&self, host: HostId) -> Option<&HostTrack> {
+        self.tracks.get(&host.0)
+    }
+}
+
+impl std::fmt::Debug for EstimatorShard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EstimatorShard")
+            .field("index", &self.index)
+            .field("queue", &self.ingest.len())
+            .field("tracked_hosts", &self.tracks.len())
+            .field("formula", &self.formula.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::envelope::encode_frame;
+    use crate::formula::cpuload::CpuLoadFormula;
+    use crate::frame::FrameBuilder;
+    use os_sim::process::Pid;
+    use simcpu::units::Nanos;
+
+    fn frame_payload(busy_ms: u64) -> Vec<u8> {
+        let mut b = FrameBuilder::new();
+        b.push_time_row(Pid(1), Nanos::from_millis(busy_ms), |_| {});
+        let frame = b.finish(
+            Nanos::from_secs(1),
+            Nanos::from_millis(1000),
+            Arc::from([] as [Event; 0]),
+            None,
+        );
+        encode_frame(&frame)
+    }
+
+    fn envelope(host: u32, seq: u64, busy_ms: u64) -> FrameEnvelope {
+        FrameEnvelope {
+            host: HostId(host),
+            seq,
+            sent_at: Nanos(seq * 1_000),
+            payload: frame_payload(busy_ms),
+        }
+    }
+
+    fn shard(cfg: ShardConfig) -> EstimatorShard {
+        EstimatorShard::new(
+            0,
+            cfg,
+            Box::new(CpuLoadFormula::new(30.0, 10.0)),
+            Arc::from([] as [Event; 0]),
+        )
+    }
+
+    #[test]
+    fn routing_is_stable_modulo() {
+        assert_eq!(route(HostId(0), 4), 0);
+        assert_eq!(route(HostId(7), 4), 3);
+        assert_eq!(route(HostId(9), 1), 0);
+        assert_eq!(
+            route(HostId(9), 0),
+            0,
+            "zero shards must not divide by zero"
+        );
+    }
+
+    #[test]
+    fn applies_estimates_and_acks_duplicates() {
+        let mut s = shard(ShardConfig::default());
+        assert!(matches!(
+            s.ingest(envelope(2, 0, 500)),
+            IngestOutcome::Accepted
+        ));
+        let out = s.process_one(1).unwrap();
+        assert_eq!(
+            out,
+            ProcessOutcome::Applied {
+                host: HostId(2),
+                seq: 0,
+                sent_at: Nanos(0),
+            }
+        );
+        let est = s.estimate(HostId(2), 1).unwrap();
+        assert!((est.power_w - 35.0).abs() < 1e-9, "idle 30 + 10·0.5 load");
+        assert_eq!(est.quality, Quality::Full);
+        // The same seq again: duplicate, estimate untouched.
+        s.ingest(envelope(2, 0, 900));
+        assert!(matches!(
+            s.process_one(2),
+            Some(ProcessOutcome::Duplicate { .. })
+        ));
+        assert!((s.estimate(HostId(2), 2).unwrap().power_w - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corrupt_payload_is_counted_not_applied() {
+        let mut s = shard(ShardConfig::default());
+        let mut env = envelope(1, 0, 500);
+        let mid = env.payload.len() / 2;
+        env.payload[mid] ^= 0x10;
+        s.ingest(env);
+        assert!(matches!(
+            s.process_one(1),
+            Some(ProcessOutcome::Corrupt { .. })
+        ));
+        assert!(s.estimate(HostId(1), 1).is_none());
+    }
+
+    #[test]
+    fn stale_hosts_hold_value_and_widen_band() {
+        let cfg = ShardConfig {
+            stale_after_ticks: 2,
+            widen_w_per_tick: 1.5,
+            ..ShardConfig::default()
+        };
+        let mut s = shard(cfg);
+        s.ingest(envelope(3, 0, 1000));
+        s.process_one(1);
+        let fresh = s.estimate(HostId(3), 2).unwrap();
+        assert_eq!(fresh.quality, Quality::Full);
+        let stale = s.estimate(HostId(3), 6).unwrap();
+        assert_eq!(stale.quality, Quality::Stale);
+        assert!((stale.power_w - fresh.power_w).abs() < 1e-12, "hold-over");
+        assert!(
+            (stale.band_w - (fresh.band_w + 1.5 * 3.0)).abs() < 1e-9,
+            "band widens per tick past the deadline"
+        );
+        let mut transitions = Vec::new();
+        s.refresh_staleness(6, &mut transitions);
+        assert_eq!(transitions, vec![(HostId(3), true)]);
+        transitions.clear();
+        s.refresh_staleness(7, &mut transitions);
+        assert!(transitions.is_empty(), "transition fires once");
+        // A fresh frame recovers the host.
+        s.ingest(envelope(3, 1, 1000));
+        s.process_one(8);
+        s.refresh_staleness(8, &mut transitions);
+        assert_eq!(transitions, vec![(HostId(3), false)]);
+    }
+
+    #[test]
+    fn overflow_sheds_per_policy() {
+        let cfg = ShardConfig {
+            ingest_cap: 2,
+            overflow: OverflowPolicy::DropOldest,
+            ..ShardConfig::default()
+        };
+        let mut s = shard(cfg);
+        s.ingest(envelope(0, 0, 100));
+        s.ingest(envelope(0, 1, 100));
+        match s.ingest(envelope(0, 2, 100)) {
+            IngestOutcome::Shed(old) => assert_eq!(old.seq, 0, "oldest shed first"),
+            IngestOutcome::Accepted => panic!("expected shed"),
+        }
+        let cfg = ShardConfig {
+            ingest_cap: 1,
+            overflow: OverflowPolicy::DropNewest,
+            ..ShardConfig::default()
+        };
+        let mut s = shard(cfg);
+        s.ingest(envelope(0, 0, 100));
+        match s.ingest(envelope(0, 1, 100)) {
+            IngestOutcome::Shed(new) => assert_eq!(new.seq, 1, "newest shed"),
+            IngestOutcome::Accepted => panic!("expected shed"),
+        }
+    }
+}

@@ -65,6 +65,7 @@ pub mod actor;
 pub mod aggregator;
 pub mod bus;
 pub mod control;
+pub mod fleet;
 pub mod formula;
 pub mod frame;
 pub mod health;

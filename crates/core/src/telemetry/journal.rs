@@ -87,11 +87,21 @@ pub enum EventKind {
     DriftAlarm,
     /// A drift alarm latched a recalibration request.
     Recalibration,
+    /// The fleet transport shed a frame (sender backlog or shard ingest
+    /// overflow).
+    FleetShed,
+    /// A fleet sender retransmitted an unacked frame (or exhausted its
+    /// retransmit budget — see the event detail).
+    FleetRetry,
+    /// A fleet host missed its delivery deadline and was marked stale.
+    FleetTimeout,
+    /// A fleet link partition window opened or closed.
+    FleetPartition,
 }
 
 impl EventKind {
     /// Every kind, for tests and exhaustive tallies.
-    pub const ALL: [EventKind; 11] = [
+    pub const ALL: [EventKind; 15] = [
         EventKind::ActorStart,
         EventKind::ActorStop,
         EventKind::ActorPanic,
@@ -103,6 +113,10 @@ impl EventKind {
         EventKind::QualityRecovered,
         EventKind::DriftAlarm,
         EventKind::Recalibration,
+        EventKind::FleetShed,
+        EventKind::FleetRetry,
+        EventKind::FleetTimeout,
+        EventKind::FleetPartition,
     ];
 
     /// Stable kebab-case label (JSONL `kind` field).
@@ -119,6 +133,10 @@ impl EventKind {
             EventKind::QualityRecovered => "quality-recovered",
             EventKind::DriftAlarm => "drift-alarm",
             EventKind::Recalibration => "recalibration",
+            EventKind::FleetShed => "fleet-shed",
+            EventKind::FleetRetry => "fleet-retry",
+            EventKind::FleetTimeout => "fleet-timeout",
+            EventKind::FleetPartition => "fleet-partition",
         }
     }
 
@@ -138,7 +156,11 @@ impl EventKind {
             | EventKind::QualityDegraded
             | EventKind::QualityRecovered
             | EventKind::DriftAlarm
-            | EventKind::Recalibration => Severity::Warn,
+            | EventKind::Recalibration
+            | EventKind::FleetShed
+            | EventKind::FleetRetry
+            | EventKind::FleetTimeout
+            | EventKind::FleetPartition => Severity::Warn,
         }
     }
 }

@@ -215,6 +215,103 @@ proptest! {
     }
 }
 
+/// Fills a builder from a snapshot, keeping only a prefix of each
+/// section — the shape a sensor emits when a fault cuts sampling short
+/// mid-frame — and seals it.
+fn fill_truncated(
+    mut b: powerapi::frame::FrameBuilder,
+    snap: &HostSnapshot,
+    keep: (usize, usize, usize, usize),
+    events: &std::sync::Arc<[Event]>,
+) -> TickFrame {
+    let (keep_hpc, keep_time, keep_corun, keep_meter) = keep;
+    {
+        let (pids, counters) = b.hpc_columns();
+        for (pid, row) in snap.hpc.iter().take(keep_hpc) {
+            pids.push(*pid);
+            counters.extend(row.iter().map(|&(_, v)| v));
+        }
+    }
+    for (pid, dt) in snap.proc_times.iter().take(keep_time) {
+        b.push_time_row(*pid, dt.busy, |f| f.extend_from_slice(&dt.by_freq));
+    }
+    for &(pid, split) in snap.corun.iter().take(keep_corun) {
+        b.push_corun_row(pid, split);
+    }
+    b.meter_column()
+        .extend(snap.meter.iter().take(keep_meter).copied());
+    b.finish(
+        snap.timestamp,
+        snap.interval,
+        events.clone(),
+        snap.rapl_joules,
+    )
+}
+
+/// The counter slot layout a generated snapshot's hpc rows follow.
+fn snapshot_events(snap: &HostSnapshot) -> std::sync::Arc<[Event]> {
+    snap.hpc
+        .first()
+        .map(|(_, row)| row.iter().map(|&(e, _)| e).collect())
+        .unwrap_or_else(|| std::sync::Arc::from([] as [Event; 0]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pool-recycled storage must never leak a previous frame's columns
+    /// into a later, fault-truncated frame. The gauntlet: a build
+    /// abandoned mid-frame (builder dropped without `finish`), then a
+    /// full frame that lives and dies on the pool, then a truncated
+    /// frame built from the dirty recycled block — which must be
+    /// bit-identical to the same truncated frame built on fresh storage.
+    #[test]
+    fn recycled_storage_never_leaks_into_truncated_frames(
+        first in snapshot(),
+        second in snapshot(),
+        fracs in (0u8..=100, 0u8..=100, 0u8..=100, 0u8..=100),
+    ) {
+        use powerapi::frame::{FrameBuilder, FramePool};
+        let pool = FramePool::new();
+        let first_events = snapshot_events(&first);
+
+        // A fault aborts a build mid-frame: partially filled, never
+        // sealed. The pool must not inherit the half-written block.
+        {
+            let mut b = FrameBuilder::pooled(&pool);
+            let (pids, counters) = b.hpc_columns();
+            for (pid, row) in &first.hpc {
+                pids.push(*pid);
+                counters.extend(row.iter().map(|&(_, v)| v));
+            }
+            drop(b);
+        }
+        prop_assert_eq!(pool.pooled(), 0, "abandoned builds must not reach the pool");
+
+        // A full frame cycles through the pool, leaving dirty storage.
+        let all = (usize::MAX, usize::MAX, usize::MAX, usize::MAX);
+        let full = fill_truncated(FrameBuilder::pooled(&pool), &first, all, &first_events);
+        drop(full);
+        prop_assert_eq!(pool.pooled(), 1);
+
+        // The truncated frame reuses that block; any stale column — an
+        // extra row, a leftover freq entry, a residual meter sample —
+        // breaks equality with the fresh-storage build.
+        let keep = (
+            second.hpc.len() * fracs.0 as usize / 100,
+            second.proc_times.len() * fracs.1 as usize / 100,
+            second.corun.len() * fracs.2 as usize / 100,
+            second.meter.len() * fracs.3 as usize / 100,
+        );
+        let second_events = snapshot_events(&second);
+        let recycled = fill_truncated(FrameBuilder::pooled(&pool), &second, keep, &second_events);
+        recycled.debug_assert_consistent();
+        let fresh = fill_truncated(FrameBuilder::new(), &second, keep, &second_events);
+        prop_assert_eq!(&recycled, &fresh);
+        prop_assert_eq!(recycled.time_len(), keep.1.min(second.proc_times.len()));
+    }
+}
+
 /// Runs one end-to-end pipeline over a deterministic kernel and returns
 /// its collected outcome.
 fn run_pipeline(batched: bool, faults: Option<FaultPlan>) -> RunOutcome {

@@ -1,0 +1,188 @@
+//! Fleet transport integration: a small simulated fleet streamed over
+//! fault-injected links into sharded estimators, exercised end-to-end
+//! through the public API. The invariants under test are the ones the
+//! bench leans on: exact frame-accounting conservation under faults,
+//! stale-hold degradation with recovery after a partition heals, and
+//! the transport's journal/Prometheus observability surface.
+
+use powerapi_suite::os_sim::kernel::Kernel;
+use powerapi_suite::os_sim::task::SteadyTask;
+use powerapi_suite::perf_sim::events::PAPER_EVENTS;
+use powerapi_suite::powerapi::fleet::SimHostSource;
+use powerapi_suite::powerapi::fleet::{
+    Fleet, FleetConfig, LinkFaultConfig, LinkFaultKind, LinkFaultPlan, LinkWindow,
+};
+use powerapi_suite::powerapi::formula::cpuload::CpuLoadFormula;
+use powerapi_suite::powerapi::host::SimHost;
+use powerapi_suite::powerapi::telemetry::{EventKind, Telemetry};
+use powerapi_suite::powermeter::powerspy::PowerSpyConfig;
+use powerapi_suite::simcpu::presets;
+use powerapi_suite::simcpu::units::Nanos;
+use powerapi_suite::simcpu::workunit::WorkUnit;
+
+const HOSTS: usize = 6;
+const TICKS: u64 = 30;
+/// Hosts 0..=2 lose both directions of their links over this window.
+const PART_START: u64 = 10;
+const PART_END: u64 = 18;
+
+fn source(index: usize) -> Box<SimHostSource> {
+    let mut kernel = Kernel::new(presets::intel_i3_2120());
+    let load = 0.2 + 0.1 * index as f64;
+    let pid = kernel.spawn(
+        format!("svc{index}"),
+        vec![SteadyTask::boxed(WorkUnit::cpu_intensive(load))],
+    );
+    let mut host = SimHost::new(kernel, PAPER_EVENTS.to_vec(), 4, PowerSpyConfig::default());
+    host.monitor(pid).expect("monitor");
+    Box::new(SimHostSource::new(host, Nanos::from_millis(250), 4))
+}
+
+/// Builds the shared test fleet plus a handle to its telemetry hub
+/// (`Telemetry` is an `Arc`-backed handle, so the clone observes
+/// everything the fleet records).
+fn faulty_fleet() -> (Fleet, Telemetry) {
+    let fault = LinkFaultPlan::from_parts(
+        0xF1EE_7E57,
+        &LinkFaultConfig {
+            drop_rate: 0.10,
+            duplicate_rate: 0.05,
+            corrupt_rate: 0.03,
+            reorder_rate: 0.05,
+            ..LinkFaultConfig::default()
+        },
+        vec![LinkWindow {
+            kind: LinkFaultKind::Partition,
+            start: PART_START,
+            end: PART_END,
+            host_lo: 0,
+            host_hi: 2,
+        }],
+    );
+    let cfg = FleetConfig {
+        shards: 2,
+        events: PAPER_EVENTS.to_vec(),
+        fault,
+        ..FleetConfig::default()
+    };
+    let sources = (0..HOSTS).map(|i| source(i) as _).collect();
+    let telemetry = Telemetry::new();
+    let fleet = Fleet::new(
+        cfg,
+        &CpuLoadFormula::new(30.0, 25.0),
+        sources,
+        telemetry.clone(),
+    );
+    (fleet, telemetry)
+}
+
+/// Every produced frame is accounted for — dropped, shed, corrupted,
+/// duplicated, applied, or still in flight — even under drops,
+/// duplicates, corruption, reordering and a partition window.
+#[test]
+fn conservation_holds_under_link_faults() {
+    let (mut fleet, _telemetry) = faulty_fleet();
+    let reports = fleet.run(TICKS);
+    assert_eq!(reports.len(), TICKS as usize);
+    fleet.assert_conserved();
+
+    let stats = fleet.stats();
+    assert!(stats.produced >= HOSTS as u64 * (TICKS - 1), "hosts report");
+    assert!(stats.dropped_fault > 0, "drop faults fired");
+    assert!(stats.dropped_partition > 0, "the partition severed frames");
+    assert!(stats.retransmits > 0, "drops provoke retransmissions");
+    assert!(stats.applied > 0, "frames still get through");
+}
+
+/// A partitioned host decays to stale (held at last-known-good with a
+/// widening band) and recovers to fresh once the partition heals; both
+/// transitions are journaled.
+#[test]
+fn partition_degrades_to_stale_and_recovers() {
+    let (mut fleet, _telemetry) = faulty_fleet();
+    let reports = fleet.run(TICKS);
+
+    let worst_stale = reports
+        .iter()
+        .map(|r| r.hosts_stale)
+        .max()
+        .expect("non-empty run");
+    assert!(worst_stale > 0, "the partition starves hosts to stale");
+    let last = reports.last().expect("non-empty run");
+    assert_eq!(
+        last.hosts_stale, 0,
+        "all hosts recover after the partition heals"
+    );
+    assert_eq!(last.hosts_unknown, 0, "every host reported at least once");
+    assert!(last.estimate_w > 0.0 && last.truth_w > 0.0);
+
+    let stats = fleet.stats();
+    assert!(stats.stale_transitions > 0, "staleness was entered");
+    assert!(
+        stats.recoveries >= stats.stale_transitions.saturating_sub(fleet.hosts() as u64),
+        "staleness was left again (allowing still-stale hosts at the end)"
+    );
+
+    // Band widening: stale ticks carry a wider aggregate band than the
+    // steady state before the partition.
+    let pre = &reports[(PART_START - 2) as usize];
+    let widest = reports
+        .iter()
+        .skip(PART_START as usize)
+        .take((PART_END - PART_START + 2) as usize)
+        .map(|r| r.band_w)
+        .fold(0.0_f64, f64::max);
+    assert!(
+        widest > pre.band_w,
+        "stale hold-over widens the band ({widest:.2} W vs {:.2} W)",
+        pre.band_w
+    );
+}
+
+/// The transport journals its lifecycle (retry, timeout→stale,
+/// partition edges) and exports its counters to the Prometheus dump.
+#[test]
+fn fleet_observability_surfaces_transport_events() {
+    let (mut fleet, telemetry) = faulty_fleet();
+    fleet.run(TICKS);
+
+    let journal = telemetry.journal();
+    assert!(
+        journal.count(EventKind::FleetRetry) > 0,
+        "retries journaled"
+    );
+    assert!(
+        journal.count(EventKind::FleetPartition) > 0,
+        "partition edges journaled"
+    );
+    assert!(
+        journal.count(EventKind::FleetTimeout) > 0,
+        "delivery timeouts journaled"
+    );
+
+    let prom = telemetry.render_prometheus();
+    for metric in [
+        "powerapi_fleet_frames_produced_total",
+        "powerapi_fleet_retransmits_total",
+        "powerapi_fleet_dropped_total{cause=\"link-fault\"}",
+        "powerapi_fleet_shard_shed_total{shard=\"0\"}",
+    ] {
+        assert!(prom.contains(metric), "prometheus dump exports {metric}");
+    }
+}
+
+/// The same seed replays the same fleet: every counter is bit-identical
+/// across two runs (the property the golden harness relies on).
+#[test]
+fn fleet_replay_is_deterministic() {
+    let (mut a, _ta) = faulty_fleet();
+    let (mut b, _tb) = faulty_fleet();
+    let ra = a.run(TICKS);
+    let rb = b.run(TICKS);
+    assert_eq!(a.stats(), b.stats(), "counters replay bit-identically");
+    assert_eq!(a.lag_samples(), b.lag_samples());
+    for (x, y) in ra.iter().zip(&rb) {
+        assert_eq!(x.estimate_w.to_bits(), y.estimate_w.to_bits());
+        assert_eq!(x.hosts_stale, y.hosts_stale);
+    }
+}

@@ -5,8 +5,10 @@
 
 use powerapi_suite::os_sim::kernel::Kernel;
 use powerapi_suite::os_sim::task::SteadyTask;
+use powerapi_suite::powerapi::actor::{Actor, Context, RestartPolicy};
 use powerapi_suite::powerapi::formula::per_freq::PerFrequencyFormula;
 use powerapi_suite::powerapi::model::power_model::PerFrequencyPowerModel;
+use powerapi_suite::powerapi::msg::{Message, Topic};
 use powerapi_suite::powerapi::runtime::PowerApi;
 use powerapi_suite::powerapi::telemetry::export::parse_json;
 use powerapi_suite::powerapi::telemetry::{
@@ -65,6 +67,82 @@ fn journal_jsonl_round_trips_exactly_through_a_real_run() {
     );
     let parsed = parse_jsonl(&dump_jsonl(&events)).expect("the dump parses");
     assert_eq!(parsed, events, "JSONL round-trip must be exact");
+}
+
+/// Panic payload the escalation probe throws — the quiet panic hook
+/// below keys on it so the intentional crash stays out of test output.
+const ESCALATION_PAYLOAD: &str = "escalation probe: intentional";
+
+/// A supervised actor that dies on its first monitoring tick.
+struct EscalationProbe;
+
+impl Actor for EscalationProbe {
+    fn handle(&mut self, _msg: Message, _ctx: &Context) {
+        panic!("{ESCALATION_PAYLOAD}");
+    }
+}
+
+/// A panic under `RestartPolicy::Escalate` must trip the flight
+/// recorder: the run ends escalated, the post-mortem dump fires with a
+/// `panic-escalation` reason, and the dumped journal names the
+/// escalation itself.
+#[test]
+fn escalate_policy_fires_post_mortem_dump_with_escalation_event() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let intentional = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.contains(ESCALATION_PAYLOAD));
+        if !intentional {
+            default_hook(info);
+        }
+    }));
+
+    let mut kernel = Kernel::new(presets::intel_i3_2120());
+    let pid = kernel.spawn("app", vec![SteadyTask::boxed(WorkUnit::cpu_intensive(0.6))]);
+    let dump_dir =
+        std::env::temp_dir().join(format!("powerapi-escalate-dump-{}", std::process::id()));
+    let mut papi = PowerApi::builder(kernel)
+        .formula(PerFrequencyFormula::new(
+            PerFrequencyPowerModel::paper_i3_example(),
+        ))
+        .supervision(RestartPolicy::Escalate)
+        .with_supervised_actor("doomed", || Box::new(EscalationProbe), vec![Topic::Tick])
+        .report_to_memory()
+        .quantum(Nanos::from_millis(2))
+        .clock_period(Nanos::from_millis(500))
+        // No `post_mortem_always`: the escalation alone must arm the dump.
+        .post_mortem_to(&dump_dir)
+        .build()
+        .expect("pipeline");
+    papi.monitor(pid).expect("monitor");
+    papi.run_for(Nanos::from_secs(3)).expect("run");
+    let outcome = papi.finish().expect("shutdown");
+
+    assert!(
+        outcome.health.escalated,
+        "the probe's panic escalates system-wide"
+    );
+    let report = outcome
+        .flight_recorder
+        .as_ref()
+        .expect("escalation triggers the post-mortem dump on its own");
+    assert!(
+        report.reason.contains("panic-escalation"),
+        "dump reason names the escalation, got {:?}",
+        report.reason
+    );
+    let journal_text =
+        std::fs::read_to_string(report.dir.join("journal.jsonl")).expect("read journal.jsonl");
+    let journal = parse_jsonl(&journal_text).expect("journal.jsonl parses");
+    assert!(
+        journal
+            .iter()
+            .any(|e| e.kind == EventKind::ActorEscalate && e.subject == "doomed"),
+        "the dumped journal contains the escalation event"
+    );
+    std::fs::remove_dir_all(&dump_dir).ok();
 }
 
 /// Characters chosen to stress the exporter: JSON escapes, control

@@ -117,6 +117,7 @@ fn expected_experiments_have_snapshots() {
         "e7_chaos.quick",
         "e9_model_health.quick",
         "e10_blackbox.quick",
+        "e12_fleet.quick",
     ] {
         assert!(
             names.contains(required),
@@ -145,6 +146,7 @@ fn golden_traces_match_when_requested() {
         ("e7_chaos", &["--quick", "--check"]),
         ("e9_model_health", &["--quick", "--check"]),
         ("e10_blackbox", &["--quick", "--check"]),
+        ("e12_fleet", &["--quick", "--check"]),
     ];
     for (bin, args) in runs {
         eprintln!("golden: checking {bin} {}", args.join(" "));
