@@ -1,0 +1,602 @@
+//! Experiment E13 — hierarchical tenant→service→process attribution
+//! with a per-tick conservation audit. Four pipeline arms plus a small
+//! cgrouped fleet, all over the same i3 testbed and per-frequency model:
+//!
+//! * **noisy** — noisy-neighbor tenants: a gold tenant (cgroup shares
+//!   4096) and a bronze tenant (1024) contending for the same cores;
+//!   the share-weighted scheduler must show up as a matching watt split;
+//! * **bursty** — request-driven services duty-cycling at different
+//!   periods, under PR 2 fault windows (counter stalls) that silence the
+//!   primary formula and force degraded-quality fallback estimates —
+//!   conservation must keep holding with `Quality` floors intact;
+//! * **churn** — container start/stop storms: one container spawned and
+//!   one killed every second, so windows constantly open and close
+//!   mid-run; nothing may linger and no watt may escape the ledger;
+//! * **churn-control** — the same base tenants with a static container
+//!   set: the churn arm's machine-level error must stay within 1.10× of
+//!   this clean baseline;
+//! * **fleet** — 12 cgrouped hosts streaming grouped frames to sharded
+//!   estimators, queried per tenant across shards; per-tenant sums plus
+//!   the `__ungrouped__` catch-all must close against the per-host
+//!   actives exactly.
+//!
+//! Every pipeline arm ends with `Hierarchy::assert_conserved`: child
+//! sums equal each parent bit-for-bit, root = idle + top-level nodes
+//! bit-for-bit, and the root stream reconciles with the plain machine
+//! aggregator per timestamp (power, flush count, quality floor). The
+//! fleet arm ends with `Fleet::assert_conserved` as in E12.
+//!
+//! Run:   `cargo run --release -p bench-suite --bin e13_tenants`
+//! Quick: `... -- --quick`   (CI smoke: shorter runs)
+//! Gate:  `... -- --check`   (golden check + reports/s regression guard)
+//! Data:  `BENCH_tenants.json` (repo root, committed as evidence)
+
+use bench_suite::{row, section, BenchArgs, Golden};
+use os_sim::kernel::Kernel;
+use os_sim::process::Pid;
+use os_sim::task::{PeriodicTask, SteadyTask};
+use perf_sim::events::PAPER_EVENTS;
+use powerapi::fleet::{Fleet, FleetConfig, FrameSource, HostId, LinkFaultPlan, SimHostSource};
+use powerapi::formula::cpuload::CpuLoadFormula;
+use powerapi::formula::per_freq::PerFrequencyFormula;
+use powerapi::formula::PowerFormula;
+use powerapi::hierarchy::{Hierarchy, UNGROUPED};
+use powerapi::host::SimHost;
+use powerapi::model::power_model::PerFrequencyPowerModel;
+use powerapi::msg::Quality;
+use powerapi::runtime::{PowerApi, RunOutcome};
+use powermeter::powerspy::PowerSpyConfig;
+use simcpu::fault::{FaultKind, FaultPlan, FaultWindow};
+use simcpu::presets;
+use simcpu::units::Nanos;
+use simcpu::workunit::WorkUnit;
+use std::io::Write;
+use std::time::Instant;
+
+/// Acceptance bound: churn-arm MAE within this factor of the control.
+const MAX_ERROR_RATIO: f64 = 1.10;
+/// Regression-guard tolerance: fail when >20 % below the recorded value.
+const GUARD_DROP: f64 = 0.20;
+/// Cgroup shares: the noisy arm's gold tenant outweighs bronze 4:1.
+const GOLD_SHARES: u64 = 4096;
+const BRONZE_SHARES: u64 = 1024;
+/// Backup formula for the bursty arm's degradation path (i3 ballpark).
+const BACKUP_IDLE_W: f64 = 30.0;
+const BACKUP_SLOPE_W: f64 = 25.0;
+
+/// Everything one pipeline arm produces.
+struct Arm {
+    outcome: RunOutcome,
+    hierarchy: Hierarchy,
+    mae_w: f64,
+    /// Hierarchy flushes recorded (== audited ticks).
+    ticks: usize,
+}
+
+fn formula() -> PerFrequencyFormula {
+    PerFrequencyFormula::new(PerFrequencyPowerModel::paper_i3_example())
+}
+
+/// Mean power attributed to one node subtree over the run, watts.
+fn node_mean_w(outcome: &RunOutcome, path: &str) -> f64 {
+    let est = outcome.group_estimates(path);
+    if est.is_empty() {
+        return 0.0;
+    }
+    est.iter().map(|(_, w)| w.as_f64()).sum::<f64>() / est.len() as f64
+}
+
+/// Per-chunk kernel mutation: the churn schedule gets the live pipeline,
+/// the hierarchy, and the chunk index.
+type ChurnHook<'a> = &'a mut dyn FnMut(&mut PowerApi, &Hierarchy, u64);
+
+/// Runs a pipeline over `kernel` with the hierarchy aggregator wired in,
+/// optionally mutating the kernel between one-second chunks (the churn
+/// schedule), and audits conservation before returning.
+fn run_arm(
+    kernel: Kernel,
+    pids: Vec<Pid>,
+    secs: u64,
+    faults: FaultPlan,
+    degrade: bool,
+    churn: Option<ChurnHook<'_>>,
+) -> Arm {
+    let f = formula();
+    let hierarchy = Hierarchy::new(f.idle_w());
+    hierarchy.sync_cgroups(kernel.cgroups());
+    let mut b = PowerApi::builder(kernel)
+        .formula(f)
+        .report_to_memory()
+        .quantum(Nanos::from_millis(2))
+        .clock_period(Nanos::from_millis(500))
+        .fault_plan(faults)
+        .hierarchy(&hierarchy);
+    if degrade {
+        b = b.degrade_to(
+            CpuLoadFormula::new(BACKUP_IDLE_W, BACKUP_SLOPE_W),
+            Nanos::from_millis(1500),
+        );
+    }
+    let mut papi = b.build().expect("pipeline builds");
+    hierarchy.bind_telemetry(papi.telemetry().clone());
+    for pid in pids {
+        papi.monitor(pid).expect("monitor");
+    }
+    match churn {
+        None => papi.run_for(Nanos::from_secs(secs)).expect("run"),
+        Some(mutate) => {
+            for chunk in 0..secs {
+                papi.run_for(Nanos::from_secs(1)).expect("run");
+                mutate(&mut papi, &hierarchy, chunk);
+            }
+        }
+    }
+    let outcome = papi.finish().expect("shutdown");
+
+    // The conservation audit: every flush, bit-exact, plus per-timestamp
+    // reconciliation against the machine aggregator (power above idle,
+    // flush counts, quality floors).
+    hierarchy.assert_conserved(&outcome.reports);
+
+    let mae_w = bench_suite::score_outcome(&outcome).expect("score").mae;
+    Arm {
+        mae_w,
+        ticks: hierarchy.ticks(),
+        outcome,
+        hierarchy,
+    }
+}
+
+/// Noisy-neighbor arm: gold and bronze tenants, identical demand,
+/// unequal shares, everything contending for four cores.
+fn noisy_kernel() -> (Kernel, Vec<Pid>) {
+    let mut kernel = Kernel::new(presets::intel_i3_2120());
+    kernel.cgroup_create("tenant-gold", GOLD_SHARES);
+    kernel.cgroup_create("tenant-bronze", BRONZE_SHARES);
+    let mut pids = Vec::new();
+    for (tenant, svc) in [
+        ("tenant-gold", "svc-web"),
+        ("tenant-gold", "svc-db"),
+        ("tenant-bronze", "svc-batch"),
+        ("tenant-bronze", "svc-scan"),
+    ] {
+        let path = format!("{tenant}/{svc}");
+        // 2 greedy threads per service: 8 runnable threads on 4 cores,
+        // so the scheduler's share weighting decides who actually runs.
+        pids.push(kernel.spawn_in_cgroup(
+            svc,
+            &path,
+            vec![
+                SteadyTask::boxed(WorkUnit::cpu_intensive(1.0)),
+                SteadyTask::boxed(WorkUnit::cpu_intensive(1.0)),
+            ],
+        ));
+    }
+    (kernel, pids)
+}
+
+/// Bursty arm: request-driven services duty-cycling at different phases.
+fn bursty_kernel() -> (Kernel, Vec<Pid>) {
+    let mut kernel = Kernel::new(presets::intel_i3_2120());
+    kernel.cgroup_create("tenant-gold", GOLD_SHARES);
+    kernel.cgroup_create("tenant-bronze", BRONZE_SHARES);
+    let mut pids = Vec::new();
+    for (i, (tenant, svc, period_ms, duty)) in [
+        ("tenant-gold", "svc-api", 2_000u64, 0.7),
+        ("tenant-gold", "svc-worker", 5_000, 0.4),
+        ("tenant-bronze", "svc-cron", 8_000, 0.3),
+        ("tenant-bronze", "svc-index", 3_000, 0.5),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let path = format!("{tenant}/{svc}");
+        pids.push(kernel.spawn_in_cgroup(
+            svc,
+            &path,
+            vec![PeriodicTask::boxed(
+                WorkUnit::cpu_intensive(0.6 + 0.1 * i as f64),
+                Nanos::from_millis(period_ms),
+                duty,
+            )],
+        ));
+    }
+    (kernel, pids)
+}
+
+/// The bursty arm's fault schedule: two counter-stall windows (the PR 2
+/// machinery), pinned so quick and full runs cover them both. Stalled
+/// counters silence the per-frequency primary; the cpu-load backup
+/// serves degraded estimates. The second stall runs to the end of the
+/// run, so the degraded tail is long and recovery is also exercised
+/// (after window one).
+fn bursty_faults(secs: u64) -> FaultPlan {
+    let w = |start_s: u64, end_s: u64| FaultWindow {
+        kind: FaultKind::CounterStall,
+        start: Nanos::from_secs(start_s),
+        end: Nanos::from_secs(end_s),
+        magnitude: 0.0,
+    };
+    FaultPlan::from_windows(vec![w(secs / 4, secs / 4 + 3), w(secs / 2, secs)])
+}
+
+/// Base kernel for the churn arms: two long-lived tenants.
+fn churn_base() -> (Kernel, Vec<Pid>) {
+    let mut kernel = Kernel::new(presets::intel_i3_2120());
+    kernel.cgroup_create("tenant-gold", GOLD_SHARES);
+    kernel.cgroup_create("tenant-bronze", BRONZE_SHARES);
+    let a = kernel.spawn_in_cgroup(
+        "svc-web",
+        "tenant-gold/svc-web",
+        vec![SteadyTask::boxed(WorkUnit::cpu_intensive(0.5))],
+    );
+    let b = kernel.spawn_in_cgroup(
+        "svc-batch",
+        "tenant-bronze/svc-batch",
+        vec![SteadyTask::boxed(WorkUnit::cpu_intensive(0.4))],
+    );
+    (kernel, vec![a, b])
+}
+
+/// One simulated fleet host with cgrouped tenants (index varies load and
+/// which tenants it runs).
+fn fleet_source(index: usize) -> Box<dyn FrameSource> {
+    let mut kernel = Kernel::new(presets::intel_i3_2120());
+    kernel.cgroup_create("tenant-gold", GOLD_SHARES);
+    kernel.cgroup_create("tenant-bronze", BRONZE_SHARES);
+    let mut pids = Vec::new();
+    let gold_load = 0.3 + 0.05 * (index % 5) as f64;
+    pids.push(kernel.spawn_in_cgroup(
+        "svc-web",
+        "tenant-gold/svc-web",
+        vec![SteadyTask::boxed(WorkUnit::cpu_intensive(gold_load))],
+    ));
+    if index.is_multiple_of(2) {
+        pids.push(kernel.spawn_in_cgroup(
+            "svc-batch",
+            "tenant-bronze/svc-batch",
+            vec![SteadyTask::boxed(WorkUnit::cpu_intensive(0.25))],
+        ));
+    }
+    // One process outside every cgroup: the fleet's per-tenant ledger
+    // must still close via the catch-all.
+    pids.push(kernel.spawn(
+        format!("stray-{index}"),
+        vec![SteadyTask::boxed(WorkUnit::cpu_intensive(0.1))],
+    ));
+    let mut host = SimHost::new(kernel, PAPER_EVENTS.to_vec(), 4, PowerSpyConfig::default());
+    for pid in pids {
+        host.monitor(pid).expect("monitor");
+    }
+    for _ in 0..30 {
+        host.step(Nanos::from_secs(1));
+    }
+    Box::new(SimHostSource::new(host, Nanos::from_millis(250), 4))
+}
+
+/// Pulls `"key": <number>` out of flat JSON (the evidence file is written
+/// by this binary with globally unique keys, so no real parser needed).
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| {
+            c != '-' && c != '+' && c != '.' && c != 'e' && c != 'E' && !c.is_ascii_digit()
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let args = BenchArgs::parse();
+    let quick = args.quick;
+    section(if quick {
+        "E13: hierarchical tenant attribution (quick)"
+    } else {
+        "E13: hierarchical tenant attribution"
+    });
+
+    let (noisy_secs, bursty_secs, churn_chunks) = if quick { (8, 12, 10) } else { (20, 30, 24) };
+
+    println!(
+        "  [1/5] noisy-neighbor arm: gold (shares {GOLD_SHARES}) vs bronze ({BRONZE_SHARES})…"
+    );
+    let (kernel, pids) = noisy_kernel();
+    let noisy = run_arm(kernel, pids, noisy_secs, FaultPlan::none(), false, None);
+    let gold_w = node_mean_w(&noisy.outcome, "tenant-gold");
+    let bronze_w = node_mean_w(&noisy.outcome, "tenant-bronze");
+    let watt_skew = gold_w / bronze_w.max(1e-9);
+
+    println!("  [2/5] bursty arm: duty-cycled services under counter-stall windows…");
+    let (kernel, pids) = bursty_kernel();
+    let bursty = run_arm(
+        kernel,
+        pids,
+        bursty_secs,
+        bursty_faults(bursty_secs),
+        true,
+        None,
+    );
+    // Quality must actually have degraded somewhere (the fault windows
+    // bite), and conservation held anyway (asserted inside run_arm).
+    let degraded_flushes = bursty
+        .hierarchy
+        .ledger()
+        .iter()
+        .filter(|f| f.nodes[powerapi::hierarchy::ROOT].quality_or_full() < Quality::Full)
+        .count();
+
+    println!("  [3/5] churn arm: one container spawned + one killed per second…");
+    let (kernel, pids) = churn_base();
+    let mut live: Vec<(u64, Pid)> = Vec::new();
+    let mut spawned = 0u64;
+    let mut mutate = |papi: &mut PowerApi, hierarchy: &Hierarchy, chunk: u64| {
+        // Kill everything older than 3 chunks — a start/stop storm with
+        // a steady-state population of 3 containers.
+        while let Some(&(born, pid)) = live.first() {
+            if chunk < born + 3 {
+                break;
+            }
+            live.remove(0);
+            papi.unmonitor(pid);
+            papi.kernel_mut().kill(pid).expect("kill container");
+        }
+        let tenant = if chunk.is_multiple_of(2) {
+            "tenant-gold"
+        } else {
+            "tenant-bronze"
+        };
+        let path = format!("{tenant}/svc-burst/job-{chunk}");
+        let pid = papi.kernel_mut().spawn_in_cgroup(
+            format!("job-{chunk}"),
+            &path,
+            vec![SteadyTask::boxed(WorkUnit::cpu_intensive(0.6))],
+        );
+        papi.monitor(pid).expect("monitor container");
+        live.push((chunk, pid));
+        spawned += 1;
+        hierarchy.sync_cgroups(papi.kernel().cgroups());
+    };
+    let churn = run_arm(
+        kernel,
+        pids,
+        churn_chunks,
+        FaultPlan::none(),
+        false,
+        Some(&mut mutate),
+    );
+
+    println!("  [4/5] churn-control arm: same tenants, static container set…");
+    let (mut kernel, mut pids) = churn_base();
+    // The churn arm's steady-state population (3 containers at 0.6 load),
+    // alive for the whole run: the clean baseline the storm is scored
+    // against.
+    for c in 0..3u64 {
+        let tenant = if c.is_multiple_of(2) {
+            "tenant-gold"
+        } else {
+            "tenant-bronze"
+        };
+        let path = format!("{tenant}/svc-burst/job-{c}");
+        pids.push(kernel.spawn_in_cgroup(
+            format!("job-{c}"),
+            &path,
+            vec![SteadyTask::boxed(WorkUnit::cpu_intensive(0.6))],
+        ));
+    }
+    let control = run_arm(kernel, pids, churn_chunks, FaultPlan::none(), false, None);
+    let error_ratio = churn.mae_w / control.mae_w.max(1e-9);
+
+    println!("  [5/5] fleet arm: 12 cgrouped hosts, per-tenant queries across shards…");
+    let fleet_hosts = 12usize;
+    let fleet_ticks = if quick { 12 } else { 24 };
+    let f = formula();
+    let idle_w = f.idle_w();
+    let cfg = FleetConfig {
+        shards: 4,
+        events: PAPER_EVENTS.to_vec(),
+        fault: LinkFaultPlan::none(),
+        ..FleetConfig::default()
+    };
+    let sources: Vec<Box<dyn FrameSource>> = (0..fleet_hosts).map(fleet_source).collect();
+    let mut fleet = Fleet::new(cfg, &f, sources, powerapi::telemetry::Telemetry::disabled());
+    fleet.run(fleet_ticks);
+    fleet.assert_conserved();
+    let paths = fleet.tenant_paths();
+    let gold_fleet = fleet.tenant_estimate("tenant-gold").expect("gold tenant");
+    let bronze_fleet = fleet
+        .tenant_estimate("tenant-bronze")
+        .expect("bronze tenant");
+    let stray_fleet = fleet.tenant_estimate(UNGROUPED).expect("catch-all");
+    // The fleet per-tenant ledger closes: tenants + catch-all must equal
+    // the summed per-host actives (host tracks carry idle; subtract it).
+    let host_active: f64 = (0..fleet_hosts)
+        .map(|h| {
+            let host = HostId(h as u32);
+            let s = powerapi::fleet::shard::route(host, 4);
+            fleet
+                .shard(s)
+                .track(host)
+                .map_or(0.0, |t| t.power_w - idle_w)
+        })
+        .sum();
+    let tenant_sum = gold_fleet.power_w + bronze_fleet.power_w + stray_fleet.power_w;
+    let fleet_closure = (tenant_sum - host_active).abs();
+    assert!(
+        fleet_closure < 1e-9,
+        "fleet per-tenant ledger leaks: tenants {tenant_sum} W vs hosts {host_active} W"
+    );
+
+    // Roll-up throughput guard: replay the conservation audit (which
+    // re-runs the roll-up per flush, single-threaded and CPU-bound —
+    // stable wall clock, unlike the threaded pipeline) over a fixed-size
+    // ledger until ≥0.5 s has elapsed. The arm sizes change with
+    // --quick; this run never does.
+    let (kernel, pids) = noisy_kernel();
+    let guard = run_arm(kernel, pids, 8, FaultPlan::none(), false, None);
+    let mut audits = 0u64;
+    let t0 = Instant::now();
+    while t0.elapsed().as_secs_f64() < 0.5 {
+        guard
+            .hierarchy
+            .conservation()
+            .expect("guard ledger conserves");
+        audits += guard.ticks as u64;
+    }
+    let guard_audits_per_s = audits as f64 / t0.elapsed().as_secs_f64();
+
+    section("conservation audit (every arm, every tick)");
+    row("noisy arm ticks audited", noisy.ticks);
+    row("bursty arm ticks audited", bursty.ticks);
+    row("churn arm ticks audited", churn.ticks);
+    row("control arm ticks audited", control.ticks);
+    row(
+        "bursty flushes with degraded quality",
+        format!("{degraded_flushes} (conservation held throughout)"),
+    );
+    let prom = bursty.hierarchy.ledger().len(); // ledger size == flush counter
+    row("bursty ledger flushes", prom);
+
+    section("E13 headline numbers");
+    row(
+        "noisy: gold / bronze tenant watts",
+        format!("{gold_w:.3} / {bronze_w:.3} W ({watt_skew:.2}× skew)"),
+    );
+    row("noisy MAE vs meter", format!("{:.3} W", noisy.mae_w));
+    row("bursty MAE vs meter", format!("{:.3} W", bursty.mae_w));
+    row("churn containers spawned", spawned);
+    row("churn MAE vs meter", format!("{:.3} W", churn.mae_w));
+    row("control MAE vs meter", format!("{:.3} W", control.mae_w));
+    row(
+        "churn / control error ratio",
+        format!("{error_ratio:.3}× (bound {MAX_ERROR_RATIO}×)"),
+    );
+    row("fleet tenant paths", paths.len());
+    row(
+        "fleet gold/bronze/stray watts",
+        format!(
+            "{:.2} / {:.2} / {:.2} W across {} hosts",
+            gold_fleet.power_w, bronze_fleet.power_w, stray_fleet.power_w, gold_fleet.hosts
+        ),
+    );
+    row("fleet ledger closure", format!("{fleet_closure:.2e} W"));
+    row(
+        "guard conservation audits/s",
+        format!("{guard_audits_per_s:.0}"),
+    );
+
+    let ok = watt_skew > 1.5
+        && degraded_flushes > 0
+        && error_ratio <= MAX_ERROR_RATIO
+        && gold_fleet.quality == Quality::Full
+        && gold_fleet.hosts == fleet_hosts
+        && bronze_fleet.hosts == fleet_hosts / 2
+        && !paths.is_empty();
+
+    let json_path = std::path::Path::new("BENCH_tenants.json");
+    if args.check {
+        // Regression guard: compare against the committed evidence file
+        // without rewriting it (mirrors E12's gate).
+        let recorded = std::fs::read_to_string(json_path)
+            .ok()
+            .as_deref()
+            .and_then(|t| json_number(t, "guard_audits_per_s"))
+            .unwrap_or_else(|| {
+                eprintln!("no guard_audits_per_s in BENCH_tenants.json — run e13_tenants first");
+                std::process::exit(2);
+            });
+        let floor = recorded * (1.0 - GUARD_DROP);
+        section("E13 conservation-audit regression guard");
+        row("recorded audits/s", format!("{recorded:.0}"));
+        row("measured audits/s", format!("{guard_audits_per_s:.0}"));
+        row("floor (−20 %)", format!("{floor:.0}"));
+        if guard_audits_per_s < floor {
+            println!();
+            println!("E13 guard: FAIL ({guard_audits_per_s:.0} audits/s vs floor {floor:.0})");
+            std::process::exit(1);
+        }
+        println!();
+        println!("E13 guard: PASS ({guard_audits_per_s:.0} audits/s vs floor {floor:.0})");
+    } else {
+        let mut file = std::fs::File::create(json_path).expect("evidence file");
+        writeln!(file, "{{").expect("write");
+        writeln!(file, "  \"experiment\": \"e13_tenants\",").expect("write");
+        writeln!(file, "  \"quick\": {quick},").expect("write");
+        writeln!(file, "  \"noisy_secs\": {noisy_secs},").expect("write");
+        writeln!(file, "  \"bursty_secs\": {bursty_secs},").expect("write");
+        writeln!(file, "  \"churn_chunks\": {churn_chunks},").expect("write");
+        writeln!(file, "  \"noisy_ticks_audited\": {},", noisy.ticks).expect("write");
+        writeln!(file, "  \"bursty_ticks_audited\": {},", bursty.ticks).expect("write");
+        writeln!(file, "  \"churn_ticks_audited\": {},", churn.ticks).expect("write");
+        writeln!(file, "  \"control_ticks_audited\": {},", control.ticks).expect("write");
+        writeln!(file, "  \"noisy_gold_w\": {gold_w:.4},").expect("write");
+        writeln!(file, "  \"noisy_bronze_w\": {bronze_w:.4},").expect("write");
+        writeln!(file, "  \"noisy_watt_skew\": {watt_skew:.4},").expect("write");
+        writeln!(file, "  \"noisy_mae_w\": {:.4},", noisy.mae_w).expect("write");
+        writeln!(file, "  \"bursty_mae_w\": {:.4},", bursty.mae_w).expect("write");
+        writeln!(file, "  \"bursty_degraded_flushes\": {degraded_flushes},").expect("write");
+        writeln!(file, "  \"churn_spawned\": {spawned},").expect("write");
+        writeln!(file, "  \"churn_mae_w\": {:.4},", churn.mae_w).expect("write");
+        writeln!(file, "  \"control_mae_w\": {:.4},", control.mae_w).expect("write");
+        writeln!(file, "  \"error_ratio\": {error_ratio:.4},").expect("write");
+        writeln!(file, "  \"fleet_hosts\": {fleet_hosts},").expect("write");
+        writeln!(file, "  \"fleet_ticks\": {fleet_ticks},").expect("write");
+        writeln!(file, "  \"fleet_tenant_paths\": {},", paths.len()).expect("write");
+        writeln!(file, "  \"fleet_gold_w\": {:.4},", gold_fleet.power_w).expect("write");
+        writeln!(file, "  \"fleet_bronze_w\": {:.4},", bronze_fleet.power_w).expect("write");
+        writeln!(file, "  \"fleet_stray_w\": {:.4},", stray_fleet.power_w).expect("write");
+        writeln!(file, "  \"fleet_closure_w\": {fleet_closure:.2e},").expect("write");
+        writeln!(file, "  \"guard_audits_per_s\": {guard_audits_per_s:.2},").expect("write");
+        writeln!(
+            file,
+            "  \"verdict\": \"{}\"",
+            if ok { "PASS" } else { "FAIL" }
+        )
+        .expect("write");
+        writeln!(file, "}}").expect("write");
+        println!("        wrote {}", json_path.display());
+    }
+
+    println!();
+    println!(
+        "E13 verdict: {} (skew {watt_skew:.2}x, error ratio {error_ratio:.3}x <= \
+         {MAX_ERROR_RATIO}x, {} + {} + {} + {} ticks conserved, fleet ledger closed)",
+        if ok { "CONSERVED" } else { "LEDGER LEAKS" },
+        noisy.ticks,
+        bursty.ticks,
+        churn.ticks,
+        control.ticks,
+    );
+
+    // Only deterministic metrics: the pipeline is sim-clocked and the
+    // fleet is single-threaded. The churn arm's per-tenant split is
+    // excluded — a boundary tick folded before vs after a membership
+    // re-sync lands in a different (equally conserved) leaf. The bursty
+    // arm is excluded entirely: degradation onset shifts by ±1 tick with
+    // the cross-sensor interleave (conservation holds either way).
+    let mut golden = Golden::new(if quick {
+        "e13_tenants.quick"
+    } else {
+        "e13_tenants"
+    });
+    golden.push("noisy_gold_w", gold_w);
+    golden.push("noisy_bronze_w", bronze_w);
+    golden.push("noisy_mae_w", noisy.mae_w);
+    golden.push_exact("noisy_ticks", noisy.ticks as f64);
+    golden.push_exact("churn_ticks", churn.ticks as f64);
+    golden.push_exact("control_ticks", control.ticks as f64);
+    golden.push_exact("churn_spawned", spawned as f64);
+    golden.push("churn_mae_w", churn.mae_w);
+    golden.push("control_mae_w", control.mae_w);
+    golden.push_exact("fleet_tenant_paths", paths.len() as f64);
+    golden.push("fleet_gold_w", gold_fleet.power_w);
+    golden.push("fleet_bronze_w", bronze_fleet.power_w);
+    golden.push("fleet_stray_w", stray_fleet.power_w);
+    golden.settle();
+
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -302,23 +302,37 @@ impl GroupAggregator {
             })
     }
 
+    /// Number of groups holding an open (unflushed) window — the churn
+    /// regression hook.
+    pub fn pending_windows(&self) -> usize {
+        self.window.len()
+    }
+
     fn fold(&mut self, p: &PowerReport, emit: &mut impl FnMut(AggregateReport)) {
         let Some(group) = self.membership.get(&p.pid).cloned() else {
             return;
         };
+        // A tick boundary flushes *every* stale window, not just this
+        // group's: a group whose last pid exited mid-run would otherwise
+        // hold its final window forever (the churn bug) — its flush
+        // would only arrive at shutdown, long after the group died.
+        let stale: Vec<std::sync::Arc<str>> = self
+            .window
+            .iter()
+            .filter(|(_, (ts, ..))| *ts != p.timestamp)
+            .map(|(g, _)| g.clone())
+            .collect();
+        for g in stale {
+            if let Some(done) = self.take(&g) {
+                emit(done);
+            }
+        }
         match self.window.get_mut(&group) {
-            Some((ts, acc, band, q, tr)) if *ts == p.timestamp => {
+            Some((_, acc, band, q, tr)) => {
                 *acc += p.power;
                 *band += p.band_w;
                 *q = (*q).min(p.quality);
                 *tr = (*tr).max(p.trace);
-            }
-            Some(_) => {
-                if let Some(done) = self.take(&group) {
-                    emit(done);
-                }
-                self.window
-                    .insert(group, (p.timestamp, p.power, p.band_w, p.quality, p.trace));
             }
             None => {
                 self.window

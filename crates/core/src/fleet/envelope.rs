@@ -86,9 +86,21 @@ pub struct WireFrame {
     pub interval: Nanos,
     /// Per-process rows, pid-ascending.
     pub rows: Vec<WireRow>,
+    /// Distinct cgroup node paths (empty when the host has no cgroups —
+    /// the legacy payload shape).
+    pub groups: Vec<std::sync::Arc<str>>,
+    /// Per-row index into `groups` (`u32::MAX` = ungrouped); empty when
+    /// the payload carries no group section.
+    pub group_of: Vec<u32>,
 }
 
 impl WireFrame {
+    /// The cgroup node of row `i` (`None` for ungrouped rows and for
+    /// group-less payloads).
+    pub fn group_of(&self, i: usize) -> Option<&std::sync::Arc<str>> {
+        let idx = *self.group_of.get(i)?;
+        self.groups.get(idx as usize)
+    }
     /// Materialises row `i` into a reusable scratch report in the shape
     /// shard formulas expect (HPC source, counters zipped with the
     /// fleet-wide slot layout).
@@ -199,6 +211,24 @@ pub fn encode_frame(frame: &TickFrame) -> Vec<u8> {
             put_u64(&mut out, ns.as_u64());
         }
     }
+    // Optional cgroup section — only frames from cgrouped hosts carry
+    // it, so legacy payloads stay byte-identical.
+    if frame.has_groups() {
+        let table = frame.group_table();
+        put_u16(&mut out, table.len() as u16);
+        for path in table {
+            let bytes = path.as_bytes();
+            put_u16(&mut out, bytes.len() as u16);
+            out.extend_from_slice(bytes);
+        }
+        for i in 0..frame.time_len() {
+            let idx = match frame.group_of_row(i) {
+                Some(g) => table.iter().position(|t| t == g).expect("in table") as u32,
+                None => u32::MAX,
+            };
+            put_u32(&mut out, idx);
+        }
+    }
     let sum = fnv1a64(&out);
     put_u64(&mut out, sum);
     out
@@ -242,10 +272,30 @@ pub fn decode_frame(payload: &[u8]) -> Result<WireFrame, WireError> {
             by_freq,
         });
     }
+    // Optional cgroup section (present only for cgrouped hosts): path
+    // table then one u32 group index per row (`u32::MAX` = ungrouped).
+    let mut groups = Vec::new();
+    let mut group_of = Vec::new();
+    if r.at < body.len() {
+        let n_groups = r.u16()? as usize;
+        groups.reserve(n_groups.min(4096));
+        for _ in 0..n_groups {
+            let len = r.u16()? as usize;
+            let bytes = r.take(len)?;
+            let path = std::str::from_utf8(bytes).map_err(|_| WireError::Truncated)?;
+            groups.push(std::sync::Arc::<str>::from(path));
+        }
+        group_of.reserve(n_rows.min(4096));
+        for _ in 0..n_rows {
+            group_of.push(r.u32()?);
+        }
+    }
     Ok(WireFrame {
         timestamp,
         interval,
         rows,
+        groups,
+        group_of,
     })
 }
 
@@ -339,5 +389,66 @@ mod tests {
     #[test]
     fn host_id_displays_dense() {
         assert_eq!(HostId(17).to_string(), "host-17");
+    }
+
+    fn grouped_frame() -> TickFrame {
+        let events: Arc<[Event]> = Arc::from([Event::Hardware(HwCounter::Instructions)]);
+        let mut b = FrameBuilder::new();
+        {
+            let (pids, counters) = b.hpc_columns();
+            pids.push(Pid(3));
+            counters.push(100);
+        }
+        b.push_time_row(Pid(3), Nanos(500), |_| {});
+        b.set_time_group(Some("tenant-a/svc-web"));
+        b.push_time_row(Pid(5), Nanos(40), |_| {});
+        b.set_time_group(None); // ungrouped row
+        b.push_time_row(Pid(9), Nanos(900), |_| {});
+        b.set_time_group(Some("tenant-b"));
+        b.finish(Nanos(10_000), Nanos(1_000), events, None)
+    }
+
+    #[test]
+    fn group_section_round_trips() {
+        let frame = grouped_frame();
+        let wire = decode_frame(&encode_frame(&frame)).expect("decode");
+        assert_eq!(wire.rows.len(), 3);
+        assert_eq!(wire.group_of(0).map(|g| &**g), Some("tenant-a/svc-web"));
+        assert_eq!(wire.group_of(1), None);
+        assert_eq!(wire.group_of(2).map(|g| &**g), Some("tenant-b"));
+    }
+
+    #[test]
+    fn ungrouped_payload_bytes_are_unchanged() {
+        // A frame with no group column must encode to the exact legacy
+        // shape: header + rows + checksum, nothing else. This protects
+        // golden traces recorded before the group section existed.
+        let frame = sample_frame();
+        assert!(!frame.has_groups());
+        let bytes = encode_frame(&frame);
+        let n_events = frame.events.len();
+        let mut expect = 8 + 8 + 2 + 4; // header
+        for i in 0..frame.time_len() {
+            expect += 4 + 8 + 8 * n_events + 2 + 12 * frame.freq_slice(i).len();
+        }
+        expect += 8; // checksum trailer
+        assert_eq!(bytes.len(), expect);
+        let wire = decode_frame(&bytes).expect("decode");
+        assert!(wire.groups.is_empty());
+        assert!(wire.group_of.is_empty());
+        assert_eq!(wire.group_of(0), None);
+    }
+
+    #[test]
+    fn grouped_payload_corruption_is_detected() {
+        let bytes = encode_frame(&grouped_frame());
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                decode_frame(&bad).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
     }
 }

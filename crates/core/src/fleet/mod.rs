@@ -199,6 +199,26 @@ pub struct FleetTickReport {
     pub quality: Quality,
 }
 
+/// The fleet's belief about one cgroup subtree, summed across every
+/// shard and host that attributed power at or under the queried path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetTenantEstimate {
+    /// The queried cgroup node path (e.g. `tenant-a` or
+    /// `tenant-a/svc-web`).
+    pub path: String,
+    /// Active power attributed to the subtree, watts (no idle floor —
+    /// idle belongs to each machine's root, not to any tenant).
+    pub power_w: f64,
+    /// Aggregate prediction-band half-width, watts (stale hosts widen
+    /// their contribution).
+    pub band_w: f64,
+    /// Worst per-host quality folded in: `Full` when every contributing
+    /// host is fresh, `Stale` when any is held past its deadline.
+    pub quality: Quality,
+    /// Hosts contributing to the sum.
+    pub hosts: usize,
+}
+
 struct AckInFlight {
     due: u64,
     host: HostId,
@@ -339,6 +359,52 @@ impl Fleet {
     /// Frames shed at each shard's ingest queue.
     pub fn shard_shed_by(&self) -> &[u64] {
         &self.shard_shed_by
+    }
+
+    /// Read access to one estimator shard (per-host tracks and tenant
+    /// books live there; `shard::route` maps a host to its shard).
+    pub fn shard(&self, index: usize) -> &shard::EstimatorShard {
+        &self.shards[index]
+    }
+
+    /// Every cgroup leaf path any shard currently attributes power to,
+    /// sorted. Empty when no host streams grouped frames.
+    pub fn tenant_paths(&self) -> Vec<Arc<str>> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            s.tenant_paths(&mut out);
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The fleet-wide estimate for one cgroup subtree: each host's
+    /// attribution at or under `path` summed across shards, quality
+    /// folded to the worst contributor. `None` when no host's last
+    /// applied frame carried a leaf under `path`.
+    pub fn tenant_estimate(&self, path: &str) -> Option<FleetTenantEstimate> {
+        let mut power_w = 0.0;
+        let mut band_w = 0.0;
+        let mut quality = Quality::Full;
+        let mut hosts = 0usize;
+        for h in 0..self.sources.len() {
+            let host = HostId(h as u32);
+            let s = shard::route(host, self.shards.len());
+            if let Some(est) = self.shards[s].tenant_estimate(host, self.now, path) {
+                power_w += est.power_w;
+                band_w += est.band_w;
+                quality = quality.min(est.quality);
+                hosts += 1;
+            }
+        }
+        (hosts > 0).then(|| FleetTenantEstimate {
+            path: path.to_string(),
+            power_w,
+            band_w,
+            quality,
+            hosts,
+        })
     }
 
     /// Advances the whole fleet one tick.

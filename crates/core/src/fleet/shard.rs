@@ -135,7 +135,21 @@ pub struct EstimatorShard {
     events: Arc<[Event]>,
     ingest: VecDeque<FrameEnvelope>,
     tracks: BTreeMap<u32, HostTrack>,
+    /// Per-host cgroup attribution from the last applied frame: leaf
+    /// path → (active watts, band watts). Kept beside `tracks` so
+    /// [`HostTrack`] stays `Copy`; absent for hosts whose frames carry
+    /// no group section.
+    tenant_tracks: BTreeMap<u32, Vec<(Arc<str>, f64, f64)>>,
     scratch: SensorReport,
+}
+
+/// Segment-aware "is `node` at-or-under `path`" (so `tenant-a` matches
+/// `tenant-a/svc-web` but not `tenant-ab`).
+fn under(node: &str, path: &str) -> bool {
+    node == path
+        || (node.len() > path.len()
+            && node.starts_with(path)
+            && node.as_bytes()[path.len()] == b'/')
 }
 
 impl EstimatorShard {
@@ -154,6 +168,7 @@ impl EstimatorShard {
             events,
             ingest: VecDeque::new(),
             tracks: BTreeMap::new(),
+            tenant_tracks: BTreeMap::new(),
             scratch: crate::formula::scratch_report(),
         }
     }
@@ -212,12 +227,33 @@ impl EstimatorShard {
         let was_stale = known.is_some_and(|t| t.stale);
         let mut active = 0.0;
         let mut band = 0.0;
+        let mut groups: Vec<(Arc<str>, f64, f64)> = Vec::new();
+        let grouped = !wire.groups.is_empty();
+        let ungrouped: Arc<str> = Arc::from(crate::hierarchy::UNGROUPED);
         for i in 0..wire.rows.len() {
             wire.fill_report(i, &self.events, &mut self.scratch);
             if let Some(w) = self.formula.estimate(&self.scratch) {
+                let row_band = self.formula.interval_w(&self.scratch);
                 active += w.as_f64();
-                band += self.formula.interval_w(&self.scratch);
+                band += row_band;
+                if grouped {
+                    let leaf = wire.group_of(i).unwrap_or(&ungrouped);
+                    match groups.iter_mut().find(|(g, _, _)| g == leaf) {
+                        Some(slot) => {
+                            slot.1 += w.as_f64();
+                            slot.2 += row_band;
+                        }
+                        None => groups.push((leaf.clone(), w.as_f64(), row_band)),
+                    }
+                }
             }
+        }
+        if grouped {
+            self.tenant_tracks.insert(host.0, groups);
+        } else {
+            // A host that stopped carrying cgroups must not keep stale
+            // tenant attribution on the books.
+            self.tenant_tracks.remove(&host.0);
         }
         self.tracks.insert(
             host.0,
@@ -272,6 +308,57 @@ impl EstimatorShard {
     /// The per-host track table (tests, fleet staleness accounting).
     pub fn track(&self, host: HostId) -> Option<&HostTrack> {
         self.tracks.get(&host.0)
+    }
+
+    /// This host's active power attributed at or under cgroup node
+    /// `path` (no idle floor — idle belongs to the machine root, not to
+    /// any tenant). `None` until a grouped frame from that host is
+    /// applied, and `None` when the host's last frame had no leaf under
+    /// `path` (so absent tenants never degrade a fleet roll-up);
+    /// staleness holds and widens exactly like [`estimate`].
+    pub fn tenant_estimate(&self, host: HostId, now: u64, path: &str) -> Option<HostEstimate> {
+        let t = self.tracks.get(&host.0)?;
+        let groups = self.tenant_tracks.get(&host.0)?;
+        let mut power_w = 0.0;
+        let mut band_w = 0.0;
+        let mut matched = 0usize;
+        for (g, w, b) in groups {
+            if under(g, path) {
+                power_w += w;
+                band_w += b;
+                matched += 1;
+            }
+        }
+        if matched == 0 {
+            return None;
+        }
+        let age = now.saturating_sub(t.last_update);
+        if age > self.cfg.stale_after_ticks {
+            let widened = age - self.cfg.stale_after_ticks;
+            Some(HostEstimate {
+                power_w,
+                band_w: band_w + self.cfg.widen_w_per_tick * widened as f64,
+                quality: Quality::Stale,
+            })
+        } else {
+            Some(HostEstimate {
+                power_w,
+                band_w,
+                quality: Quality::Full,
+            })
+        }
+    }
+
+    /// Every cgroup leaf path this shard currently attributes power to,
+    /// across all its hosts (deduplicated, unsorted).
+    pub fn tenant_paths(&self, out: &mut Vec<Arc<str>>) {
+        for groups in self.tenant_tracks.values() {
+            for (g, _, _) in groups {
+                if !out.iter().any(|p| p == g) {
+                    out.push(g.clone());
+                }
+            }
+        }
     }
 }
 
@@ -409,6 +496,76 @@ mod tests {
         s.process_one(8);
         s.refresh_staleness(8, &mut transitions);
         assert_eq!(transitions, vec![(HostId(3), false)]);
+    }
+
+    #[test]
+    fn tenant_attribution_follows_grouped_frames() {
+        let mut s = shard(ShardConfig {
+            stale_after_ticks: 2,
+            widen_w_per_tick: 1.0,
+            ..ShardConfig::default()
+        });
+        // Two tenants plus one ungrouped pid; formula idle 30 + 10·load.
+        let mut b = FrameBuilder::new();
+        b.push_time_row(Pid(1), Nanos::from_millis(400), |_| {});
+        b.set_time_group(Some("tenant-a/svc-web"));
+        b.push_time_row(Pid(2), Nanos::from_millis(200), |_| {});
+        b.set_time_group(Some("tenant-a/svc-db"));
+        b.push_time_row(Pid(3), Nanos::from_millis(100), |_| {});
+        b.set_time_group(Some("tenant-b"));
+        b.push_time_row(Pid(4), Nanos::from_millis(300), |_| {});
+        let frame = b.finish(
+            Nanos::from_secs(1),
+            Nanos::from_millis(1000),
+            Arc::from([] as [Event; 0]),
+            None,
+        );
+        s.ingest(FrameEnvelope {
+            host: HostId(0),
+            seq: 0,
+            sent_at: Nanos(0),
+            payload: encode_frame(&frame),
+        });
+        s.process_one(1);
+
+        // Subtree query rolls svc-web + svc-db into tenant-a.
+        let a = s.tenant_estimate(HostId(0), 1, "tenant-a").unwrap();
+        assert!(
+            (a.power_w - 6.0).abs() < 1e-9,
+            "10·(0.4+0.2), got {}",
+            a.power_w
+        );
+        assert_eq!(a.quality, Quality::Full);
+        let web = s.tenant_estimate(HostId(0), 1, "tenant-a/svc-web").unwrap();
+        assert!((web.power_w - 4.0).abs() < 1e-9);
+        let b_est = s.tenant_estimate(HostId(0), 1, "tenant-b").unwrap();
+        assert!((b_est.power_w - 1.0).abs() < 1e-9);
+        // Prefix matching is segment-aware: "tenant-" matches nothing.
+        assert!(s.tenant_estimate(HostId(0), 1, "tenant-").is_none());
+        // The ungrouped pid lands in the catch-all, so the per-host
+        // ledger closes: Σ tenants + catch-all == track − idle.
+        let misc = s
+            .tenant_estimate(HostId(0), 1, crate::hierarchy::UNGROUPED)
+            .unwrap();
+        let total = a.power_w + b_est.power_w + misc.power_w;
+        assert!(
+            (total - (s.track(HostId(0)).unwrap().power_w - 30.0)).abs() < 1e-9,
+            "no watt escapes the ledger"
+        );
+
+        // Staleness holds the tenant value and degrades quality.
+        let held = s.tenant_estimate(HostId(0), 6, "tenant-a").unwrap();
+        assert_eq!(held.quality, Quality::Stale);
+        assert!((held.power_w - a.power_w).abs() < 1e-12, "hold-over");
+        assert!(held.band_w > a.band_w, "stale bands widen");
+
+        // An ungrouped follow-up frame clears the tenant books.
+        s.ingest(envelope(0, 1, 500));
+        s.process_one(7);
+        assert!(s.tenant_estimate(HostId(0), 7, "tenant-a").is_none());
+        let mut paths = Vec::new();
+        s.tenant_paths(&mut paths);
+        assert!(paths.is_empty());
     }
 
     #[test]

@@ -47,6 +47,13 @@ pub struct FrameStorage {
     corun_pids: Vec<Pid>,
     corun: Vec<CorunSplit>,
     meter: Vec<(Nanos, Watts)>,
+    /// Distinct cgroup node paths referenced by `group_of` (empty on
+    /// hosts without cgroups — the legacy frame shape, byte-identical on
+    /// the wire).
+    group_table: Vec<Arc<str>>,
+    /// Per-*time*-row index into `group_table` ([`NO_ROW`] = ungrouped).
+    /// Either empty (no groups) or exactly `time_pids.len()` entries.
+    group_of: Vec<u32>,
 }
 
 impl FrameStorage {
@@ -60,6 +67,8 @@ impl FrameStorage {
         self.corun_pids.clear();
         self.corun.clear();
         self.meter.clear();
+        self.group_table.clear();
+        self.group_of.clear();
     }
 }
 
@@ -192,7 +201,8 @@ impl TickFrame {
     }
 
     /// Converts back to the legacy representation (lossless inverse of
-    /// [`TickFrame::from_snapshot`]).
+    /// [`TickFrame::from_snapshot`]; cgroup columns — which snapshots
+    /// never carry — are dropped).
     pub fn to_snapshot(&self) -> HostSnapshot {
         HostSnapshot {
             timestamp: self.timestamp,
@@ -286,6 +296,27 @@ impl TickFrame {
         &self.storage.meter
     }
 
+    /// Whether the frame carries cgroup attribution columns.
+    pub fn has_groups(&self) -> bool {
+        !self.storage.group_of.is_empty()
+    }
+
+    /// The distinct cgroup node paths referenced by the time rows.
+    pub fn group_table(&self) -> &[Arc<str>] {
+        &self.storage.group_table
+    }
+
+    /// The cgroup node of time row `i` (`None` for ungrouped rows and
+    /// for frames without group columns).
+    pub fn group_of_row(&self, i: usize) -> Option<&Arc<str>> {
+        let idx = *self.storage.group_of.get(i)?;
+        if idx == NO_ROW {
+            None
+        } else {
+            Some(&self.storage.group_table[idx as usize])
+        }
+    }
+
     /// Finds `pid`'s time row. `hint` is checked first: all sections are
     /// in ascending-pid order from the same tracked set, so a row's index
     /// in one section usually matches its index in another.
@@ -333,6 +364,16 @@ impl TickFrame {
             .windows(2)
             .all(|w| w[0] <= w[1] && w[1] as usize <= self.storage.freqs.len()));
         debug_assert_eq!(self.storage.corun.len(), self.storage.corun_pids.len());
+        debug_assert!(
+            self.storage.group_of.is_empty()
+                || self.storage.group_of.len() == self.storage.time_pids.len(),
+            "group column is all-or-nothing over the time rows"
+        );
+        debug_assert!(self
+            .storage
+            .group_of
+            .iter()
+            .all(|&g| g == NO_ROW || (g as usize) < self.storage.group_table.len()));
     }
 }
 
@@ -361,6 +402,8 @@ impl Clone for TickFrame {
                 corun_pids: self.storage.corun_pids.clone(),
                 corun: self.storage.corun.clone(),
                 meter: self.storage.meter.clone(),
+                group_table: self.storage.group_table.clone(),
+                group_of: self.storage.group_of.clone(),
             },
             // A clone owns fresh storage; only the original recycles.
             pool: None,
@@ -385,6 +428,8 @@ impl PartialEq for TickFrame {
             && self.storage.corun_pids == other.storage.corun_pids
             && self.storage.corun == other.storage.corun
             && self.storage.meter == other.storage.meter
+            && self.storage.group_table == other.storage.group_table
+            && self.storage.group_of == other.storage.group_of
     }
 }
 
@@ -441,6 +486,32 @@ impl FrameBuilder {
             .push(self.storage.freqs.len() as u32);
     }
 
+    /// Tags the most recently pushed time row with its cgroup node. The
+    /// group column stays entirely absent (legacy frame shape, wire
+    /// bytes unchanged) until the first `Some` path arrives; earlier and
+    /// untagged rows count as ungrouped.
+    pub fn set_time_group(&mut self, path: Option<&str>) {
+        let row = self.storage.time_pids.len();
+        debug_assert!(row > 0, "tag after push_time_row");
+        if self.storage.group_of.is_empty() && path.is_none() {
+            return;
+        }
+        let idx = match path {
+            None => NO_ROW,
+            Some(p) => match self.storage.group_table.iter().position(|g| &**g == p) {
+                Some(i) => i as u32,
+                None => {
+                    self.storage.group_table.push(Arc::from(p));
+                    (self.storage.group_table.len() - 1) as u32
+                }
+            },
+        };
+        while self.storage.group_of.len() < row - 1 {
+            self.storage.group_of.push(NO_ROW);
+        }
+        self.storage.group_of.push(idx);
+    }
+
     /// Appends one corun row.
     pub fn push_corun_row(&mut self, pid: Pid, split: CorunSplit) {
         self.storage.corun_pids.push(pid);
@@ -454,12 +525,18 @@ impl FrameBuilder {
 
     /// Seals the frame.
     pub fn finish(
-        self,
+        mut self,
         timestamp: Nanos,
         interval: Nanos,
         events: Arc<[Event]>,
         rapl_joules: Option<f64>,
     ) -> TickFrame {
+        if !self.storage.group_of.is_empty() {
+            // Rows pushed after the last tag are ungrouped.
+            self.storage
+                .group_of
+                .resize(self.storage.time_pids.len(), NO_ROW);
+        }
         TickFrame::from_storage(
             timestamp,
             interval,
@@ -807,6 +884,38 @@ mod tests {
         assert_eq!(reports[1].quality, Quality::Degraded);
         let back = PowerBatch::from_reports(Nanos(1), "f", TraceId(2), &reports);
         assert_eq!(back, b);
+    }
+
+    #[test]
+    fn group_columns_are_all_or_nothing() {
+        // No tags → legacy shape.
+        let mut b = FrameBuilder::new();
+        b.push_time_row(Pid(1), Nanos(10), |_| {});
+        b.set_time_group(None);
+        let f = b.finish(Nanos(1), Nanos(1), Arc::from([] as [Event; 0]), None);
+        assert!(!f.has_groups());
+        assert_eq!(f.group_of_row(0), None);
+
+        // A single tagged row back-fills earlier rows as ungrouped and
+        // forward-fills later ones at finish.
+        let mut b = FrameBuilder::new();
+        b.push_time_row(Pid(1), Nanos(10), |_| {});
+        b.push_time_row(Pid(2), Nanos(10), |_| {});
+        b.set_time_group(Some("tenant-a/svc-web"));
+        b.push_time_row(Pid(3), Nanos(10), |_| {});
+        b.set_time_group(Some("tenant-a/svc-web"));
+        b.push_time_row(Pid(4), Nanos(10), |_| {});
+        let f = b.finish(Nanos(1), Nanos(1), Arc::from([] as [Event; 0]), None);
+        assert!(f.has_groups());
+        assert_eq!(f.group_of_row(0), None);
+        assert_eq!(f.group_of_row(1).map(|g| &**g), Some("tenant-a/svc-web"));
+        assert_eq!(f.group_of_row(2).map(|g| &**g), Some("tenant-a/svc-web"));
+        assert_eq!(f.group_of_row(3), None);
+        assert_eq!(f.group_table().len(), 1, "paths are interned");
+        f.debug_assert_consistent();
+        // Clones and equality carry the columns.
+        let copy = f.clone();
+        assert_eq!(copy, f);
     }
 
     #[test]

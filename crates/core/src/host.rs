@@ -290,6 +290,11 @@ impl SimHost {
             b.push_time_row(pid, busy, |freqs| {
                 Self::freq_deltas_into(prev_freq, &times.utime_per_freq, freqs);
             });
+            // Hosts without cgroups never tag, so the group column stays
+            // absent and legacy frames are byte-identical on the wire.
+            if !self.kernel.cgroups().is_empty() {
+                b.set_time_group(self.kernel.cgroup_of(pid));
+            }
         }
         self.pid_scratch = pids;
 

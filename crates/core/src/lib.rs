@@ -69,6 +69,7 @@ pub mod fleet;
 pub mod formula;
 pub mod frame;
 pub mod health;
+pub mod hierarchy;
 pub mod host;
 pub mod model;
 pub mod msg;
@@ -96,6 +97,7 @@ pub mod prelude {
         AggregateBatch, FramePool, PowerBatch, SensorBatch, SensorRow, TickFrame,
     };
     pub use crate::health::{HealthConfig, ModelHealth, ModelHealthSummary};
+    pub use crate::hierarchy::{Hierarchy, HierarchyAggregator};
     pub use crate::model::learn::{learn_model, LearnConfig};
     pub use crate::model::power_model::PerFrequencyPowerModel;
     pub use crate::runtime::{PowerApi, PowerApiBuilder, RunOutcome};

@@ -231,6 +231,23 @@ impl PowerApiBuilder {
         self
     }
 
+    /// Wires a [`crate::hierarchy::HierarchyAggregator`] over the shared
+    /// `hierarchy` handle onto the power stream: one
+    /// [`Scope::Group`]-scoped report per declared cgroup node per tick,
+    /// bands widened bottom-up, with the `__ungrouped__` catch-all and
+    /// per-tick flush ledger that [`crate::hierarchy::Hierarchy::conservation`]
+    /// audits after the run.
+    #[must_use]
+    pub fn hierarchy(self, hierarchy: &crate::hierarchy::Hierarchy) -> PowerApiBuilder {
+        self.with_actor(
+            "hierarchy-aggregator",
+            Box::new(crate::hierarchy::HierarchyAggregator::new(
+                hierarchy.clone(),
+            )),
+            vec![Topic::Power],
+        )
+    }
+
     /// Plugs a custom actor into the pipeline, subscribed to the given
     /// topics — the extension point for controllers (e.g.
     /// [`CapControlActor`]) and bespoke reporters. Extra actors are

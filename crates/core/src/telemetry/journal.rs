@@ -97,11 +97,14 @@ pub enum EventKind {
     FleetTimeout,
     /// A fleet link partition window opened or closed.
     FleetPartition,
+    /// The hierarchical attribution ledger failed its conservation check
+    /// (child sums ≠ parent, or root ≠ machine aggregate).
+    HierarchyViolation,
 }
 
 impl EventKind {
     /// Every kind, for tests and exhaustive tallies.
-    pub const ALL: [EventKind; 15] = [
+    pub const ALL: [EventKind; 16] = [
         EventKind::ActorStart,
         EventKind::ActorStop,
         EventKind::ActorPanic,
@@ -117,6 +120,7 @@ impl EventKind {
         EventKind::FleetRetry,
         EventKind::FleetTimeout,
         EventKind::FleetPartition,
+        EventKind::HierarchyViolation,
     ];
 
     /// Stable kebab-case label (JSONL `kind` field).
@@ -137,6 +141,7 @@ impl EventKind {
             EventKind::FleetRetry => "fleet-retry",
             EventKind::FleetTimeout => "fleet-timeout",
             EventKind::FleetPartition => "fleet-partition",
+            EventKind::HierarchyViolation => "hierarchy-violation",
         }
     }
 
@@ -149,7 +154,9 @@ impl EventKind {
     pub fn severity(self) -> Severity {
         match self {
             EventKind::ActorStart | EventKind::ActorStop => Severity::Info,
-            EventKind::ActorPanic | EventKind::ActorEscalate => Severity::Error,
+            EventKind::ActorPanic | EventKind::ActorEscalate | EventKind::HierarchyViolation => {
+                Severity::Error
+            }
             EventKind::ActorRestart
             | EventKind::MailboxDrop
             | EventKind::FaultInjected

@@ -3,6 +3,7 @@
 //! accounting, and emits per-slice [`RunRecord`]s — the attribution stream
 //! the perf subsystem and PowerAPI sensors consume.
 
+use crate::cgroup::CGroupTree;
 use crate::governor::{CpufreqGovernor, Ondemand};
 use crate::idle::IdlePredictor;
 use crate::process::{Pid, Process, ProcessState, ThreadStats, Tid};
@@ -62,6 +63,7 @@ pub struct Kernel {
     machine: Machine,
     scheduler: Scheduler,
     groups: BTreeMap<Pid, String>,
+    cgroups: CGroupTree,
     governor: Box<dyn CpufreqGovernor>,
     idle: IdlePredictor,
     accounting: Accounting,
@@ -80,6 +82,7 @@ impl Kernel {
         Kernel {
             scheduler: Scheduler::new(cpus).with_smt(machine.topology().threads_per_core()),
             groups: BTreeMap::new(),
+            cgroups: CGroupTree::new(),
             governor: Box::new(Ondemand::new(cores)),
             idle: IdlePredictor::new(cores),
             accounting: Accounting::new(cpus),
@@ -158,6 +161,96 @@ impl Kernel {
             .collect()
     }
 
+    /// Declares a cgroup node (creating missing ancestors at default
+    /// shares) and sets its `cpu.shares`. Shares scale the CFS weight of
+    /// every thread attached at or below the node, multiplicatively
+    /// along the path.
+    pub fn cgroup_create(&mut self, path: &str, shares: u64) {
+        self.cgroups.create(path, shares);
+        self.refresh_group_weights();
+    }
+
+    /// Spawns a process inside a hierarchical cgroup node (e.g.
+    /// `tenant-a/svc-web`). The flat [`Kernel::group_of`] view sees the
+    /// full path, so legacy group plumbing keeps working; the scheduler
+    /// additionally weights the new threads by the path's shares.
+    pub fn spawn_in_cgroup(
+        &mut self,
+        name: impl Into<String>,
+        path: &str,
+        behaviors: Vec<Box<dyn TaskBehavior>>,
+    ) -> Pid {
+        let pid = self.spawn_in_group(name, path, behaviors);
+        self.cgroups.attach(pid, path);
+        self.apply_group_weight(pid);
+        pid
+    }
+
+    /// Moves an existing process into a cgroup node (declaring it if
+    /// needed), re-weighting its threads.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NoSuchProcess`] when the pid is unknown or already exited.
+    pub fn cgroup_attach(&mut self, pid: Pid, path: &str) -> Result<()> {
+        if self
+            .processes
+            .get(&pid)
+            .filter(|p| p.state() == ProcessState::Alive)
+            .is_none()
+        {
+            return Err(Error::NoSuchProcess(pid));
+        }
+        self.cgroups.attach(pid, path);
+        self.groups.insert(pid, path.to_string());
+        self.apply_group_weight(pid);
+        Ok(())
+    }
+
+    /// The cgroup node a process is attached to, if any.
+    pub fn cgroup_of(&self, pid: Pid) -> Option<&str> {
+        self.cgroups.node_of(pid).map(|n| &**n)
+    }
+
+    /// Read access to the cgroup tree (topology + memberships).
+    pub fn cgroups(&self) -> &CGroupTree {
+        &self.cgroups
+    }
+
+    /// The effective cgroup weight multiplier of a thread (diagnostics).
+    pub fn scheduler_group_weight(&self, tid: Tid) -> Option<f64> {
+        self.scheduler.group_weight_of(tid)
+    }
+
+    /// Recomputes the scheduler weight multiplier for every thread of
+    /// `pid` from its cgroup path.
+    fn apply_group_weight(&mut self, pid: Pid) {
+        let mult = self
+            .cgroups
+            .node_of(pid)
+            .map(|path| self.cgroups.weight_multiplier(path))
+            .unwrap_or(1.0);
+        let tids: Vec<Tid> = self
+            .processes
+            .get(&pid)
+            .map(|p| p.threads().to_vec())
+            .unwrap_or_default();
+        for tid in tids {
+            if self.threads.contains_key(&tid) {
+                self.scheduler.set_group_weight(tid, mult);
+            }
+        }
+    }
+
+    /// Re-applies share multipliers for every attached process — needed
+    /// after a shares change, which retroactively affects whole subtrees.
+    fn refresh_group_weights(&mut self) {
+        let pids: Vec<Pid> = self.cgroups.memberships().map(|(pid, _)| pid).collect();
+        for pid in pids {
+            self.apply_group_weight(pid);
+        }
+    }
+
     /// Restricts a thread to a CPU set (`sched_setaffinity`).
     ///
     /// # Errors
@@ -232,6 +325,7 @@ impl Kernel {
             self.scheduler.remove(tid);
             self.threads.remove(&tid);
         }
+        self.cgroups.detach(pid);
         Ok(())
     }
 
@@ -378,6 +472,7 @@ impl Kernel {
             if let Some(p) = self.processes.get_mut(&pid) {
                 p.mark_exited();
             }
+            self.cgroups.detach(pid);
         }
     }
 }
@@ -580,6 +675,71 @@ mod group_affinity_tests {
 
         k.kill(b).unwrap();
         assert_eq!(k.pids_in_group("vm-alpha"), vec![a], "dead pids drop out");
+    }
+
+    #[test]
+    fn cgroup_spawn_tracks_hierarchy_and_flat_view() {
+        let mut k = Kernel::new(presets::intel_i3_2120());
+        let w = WorkUnit::cpu_intensive(0.5);
+        k.cgroup_create("tenant-a", 2048);
+        let web = k.spawn_in_cgroup("web", "tenant-a/svc-web", vec![SteadyTask::boxed(w)]);
+        let batch = k.spawn_in_cgroup("batch", "tenant-b/svc-batch", vec![SteadyTask::boxed(w)]);
+
+        assert_eq!(k.cgroup_of(web), Some("tenant-a/svc-web"));
+        // Full path is visible through the legacy flat-group view too.
+        assert_eq!(k.group_of(web), Some("tenant-a/svc-web"));
+        assert_eq!(k.cgroups().members("tenant-a"), vec![web]);
+        // tenant-a has 2048 shares → its threads carry a 2× multiplier.
+        let tid = k.process(web).unwrap().threads()[0];
+        assert_eq!(k.scheduler_group_weight(tid), Some(2.0));
+        let tid_b = k.process(batch).unwrap().threads()[0];
+        assert_eq!(k.scheduler_group_weight(tid_b), Some(1.0));
+
+        // Raising tenant-b's shares retroactively re-weights its threads.
+        k.cgroup_create("tenant-b", 4096);
+        assert_eq!(k.scheduler_group_weight(tid_b), Some(4.0));
+
+        // Death detaches from the tree but leaves the node declared.
+        k.kill(web).unwrap();
+        assert!(k.cgroup_of(web).is_none());
+        assert!(k.cgroups().shares_of("tenant-a/svc-web").is_some());
+
+        // cgroup_attach validates liveness.
+        assert!(matches!(
+            k.cgroup_attach(web, "tenant-b"),
+            Err(Error::NoSuchProcess(_))
+        ));
+        assert!(k.cgroup_attach(batch, "tenant-a/svc-web").is_ok());
+        assert_eq!(k.cgroup_of(batch), Some("tenant-a/svc-web"));
+        assert_eq!(k.scheduler_group_weight(tid_b), Some(2.0));
+    }
+
+    #[test]
+    fn cgroup_shares_skew_contended_cpu_time() {
+        // 8 single-thread processes on 4 cpus: gold tenant (4096 shares)
+        // should accumulate ≈4× the CPU time of the bronze tenant (1024).
+        let mut k = Kernel::new(presets::intel_i3_2120());
+        k.cgroup_create("gold", 4096);
+        k.cgroup_create("bronze", 1024);
+        let w = WorkUnit::cpu_intensive(1.0);
+        let gold: Vec<Pid> = (0..4)
+            .map(|i| k.spawn_in_cgroup(format!("g{i}"), "gold/svc", vec![SteadyTask::boxed(w)]))
+            .collect();
+        let bronze: Vec<Pid> = (0..4)
+            .map(|i| k.spawn_in_cgroup(format!("b{i}"), "bronze/svc", vec![SteadyTask::boxed(w)]))
+            .collect();
+        k.run(400, MS);
+        let time_of = |pids: &[Pid], k: &Kernel| -> f64 {
+            pids.iter()
+                .map(|p| k.accounting().process(*p).map(|t| t.utime.as_secs_f64()))
+                .map(|t| t.unwrap_or(0.0))
+                .sum()
+        };
+        let ratio = time_of(&gold, &k) / time_of(&bronze, &k);
+        assert!(
+            (3.0..=5.5).contains(&ratio),
+            "4x shares should yield ~4x cpu time, got {ratio:.2}"
+        );
     }
 
     #[test]

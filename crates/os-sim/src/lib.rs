@@ -23,6 +23,7 @@
 //! assert!(report.records.iter().any(|r| r.pid == pid));
 //! ```
 
+pub mod cgroup;
 pub mod governor;
 pub mod idle;
 pub mod kernel;

@@ -16,6 +16,11 @@ pub fn nice_to_weight(nice: i32) -> f64 {
 #[derive(Debug, Clone, PartialEq)]
 struct Entity {
     weight: f64,
+    /// Hierarchical cgroup share multiplier applied on top of the nice
+    /// weight (the product of `shares/1024` along the thread's cgroup
+    /// path). Stays exactly `1.0` for threads outside any cgroup, which
+    /// keeps `weight * group_mult` bit-identical to `weight`.
+    group_mult: f64,
     vruntime: f64,
     home: usize,
     runnable: bool,
@@ -90,6 +95,7 @@ impl Scheduler {
             tid,
             Entity {
                 weight: nice_to_weight(nice),
+                group_mult: 1.0,
                 vruntime: if vmin.is_finite() { vmin } else { 0.0 },
                 home,
                 runnable: true,
@@ -187,10 +193,30 @@ impl Scheduler {
         assignment
     }
 
-    /// Charges a slice of CPU time to a thread's vruntime (weighted).
+    /// Sets the cgroup share multiplier applied on top of a thread's
+    /// nice weight. The kernel computes it as the product of
+    /// `shares/1024` along the thread's cgroup path; `1.0` (the default)
+    /// restores plain nice-weight scheduling bit-exactly.
+    pub fn set_group_weight(&mut self, tid: Tid, mult: f64) {
+        if let Some(e) = self.entities.get_mut(&tid) {
+            e.group_mult = if mult.is_finite() && mult > 0.0 {
+                mult
+            } else {
+                1.0
+            };
+        }
+    }
+
+    /// The cgroup share multiplier of a thread (for tests/diagnostics).
+    pub fn group_weight_of(&self, tid: Tid) -> Option<f64> {
+        self.entities.get(&tid).map(|e| e.group_mult)
+    }
+
+    /// Charges a slice of CPU time to a thread's vruntime (weighted by
+    /// nice and by the hierarchical cgroup shares).
     pub fn charge(&mut self, tid: Tid, dt: Nanos) {
         if let Some(e) = self.entities.get_mut(&tid) {
-            e.vruntime += dt.as_secs_f64() * 1024.0 / e.weight;
+            e.vruntime += dt.as_secs_f64() * 1024.0 / (e.weight * e.group_mult);
         }
     }
 
@@ -295,6 +321,31 @@ mod tests {
             (2.0..=4.5).contains(&ratio),
             "nice -5 should get ~3x cpu, got {ratio} ({runs:?})"
         );
+    }
+
+    #[test]
+    fn group_weight_multiplier_scales_cpu_share() {
+        let mut s = Scheduler::new(1);
+        s.add(Tid(0), 0);
+        s.add(Tid(1), 0);
+        s.set_group_weight(Tid(1), 4.0); // tenant with 4096 shares
+        let mut runs = [0u32; 2];
+        for _ in 0..500 {
+            for t in s.pick().into_iter().flatten() {
+                runs[t.0 as usize] += 1;
+                s.charge(t, MS);
+            }
+        }
+        let ratio = runs[1] as f64 / runs[0] as f64;
+        assert!(
+            (3.2..=5.0).contains(&ratio),
+            "4x shares should get ~4x cpu, got {ratio} ({runs:?})"
+        );
+        // Bogus multipliers fall back to neutral.
+        s.set_group_weight(Tid(1), 0.0);
+        assert_eq!(s.group_weight_of(Tid(1)), Some(1.0));
+        s.set_group_weight(Tid(1), f64::NAN);
+        assert_eq!(s.group_weight_of(Tid(1)), Some(1.0));
     }
 
     #[test]

@@ -186,3 +186,138 @@ fn fleet_replay_is_deterministic() {
         assert_eq!(x.hosts_stale, y.hosts_stale);
     }
 }
+
+/// Per-tenant attribution across the sharded fleet, under the same
+/// partition: a stale host's *held* frames keep the per-tenant ledger
+/// closed (tenants + `__ungrouped__` equal the summed host actives
+/// exactly), and the staleness is visible as `Quality::Stale` with a
+/// widened band — never silently served as fresh.
+#[test]
+fn stale_hosts_keep_per_tenant_sums_conserved() {
+    use powerapi_suite::powerapi::fleet::{shard, HostId};
+    use powerapi_suite::powerapi::hierarchy::UNGROUPED;
+    use powerapi_suite::powerapi::msg::Quality;
+
+    const IDLE_W: f64 = 30.0;
+    let grouped_source = |index: usize| -> Box<SimHostSource> {
+        let mut kernel = Kernel::new(presets::intel_i3_2120());
+        kernel.cgroup_create("tenant-gold", 4096);
+        kernel.cgroup_create("tenant-bronze", 1024);
+        let mut pids = vec![kernel.spawn_in_cgroup(
+            "web",
+            "tenant-gold/svc-web",
+            vec![SteadyTask::boxed(WorkUnit::cpu_intensive(
+                0.2 + 0.1 * index as f64,
+            ))],
+        )];
+        if index.is_multiple_of(2) {
+            pids.push(kernel.spawn_in_cgroup(
+                "batch",
+                "tenant-bronze/svc-batch",
+                vec![SteadyTask::boxed(WorkUnit::cpu_intensive(0.3))],
+            ));
+        }
+        pids.push(kernel.spawn(
+            format!("stray{index}"),
+            vec![SteadyTask::boxed(WorkUnit::cpu_intensive(0.1))],
+        ));
+        let mut host = SimHost::new(kernel, PAPER_EVENTS.to_vec(), 4, PowerSpyConfig::default());
+        for pid in pids {
+            host.monitor(pid).expect("monitor");
+        }
+        Box::new(SimHostSource::new(host, Nanos::from_millis(250), 4))
+    };
+
+    let fault = LinkFaultPlan::from_parts(
+        0xF1EE_7E57,
+        &LinkFaultConfig::default(),
+        vec![LinkWindow {
+            kind: LinkFaultKind::Partition,
+            start: PART_START,
+            end: PART_END,
+            host_lo: 0,
+            host_hi: 2,
+        }],
+    );
+    let cfg = FleetConfig {
+        shards: 2,
+        events: PAPER_EVENTS.to_vec(),
+        fault,
+        ..FleetConfig::default()
+    };
+    let sources = (0..HOSTS).map(|i| grouped_source(i) as _).collect();
+    let mut fleet = Fleet::new(
+        cfg,
+        &CpuLoadFormula::new(IDLE_W, 25.0),
+        sources,
+        Telemetry::new(),
+    );
+
+    // The per-tenant ledger must close at EVERY tick — partitioned hosts
+    // serve their held (stale) books, but held books still sum exactly.
+    let closure = |fleet: &Fleet| -> (f64, f64) {
+        let tenants: f64 = ["tenant-gold", "tenant-bronze", UNGROUPED]
+            .iter()
+            .filter_map(|p| fleet.tenant_estimate(p))
+            .map(|e| e.power_w)
+            .sum();
+        let hosts: f64 = (0..HOSTS)
+            .map(|h| {
+                let host = HostId(h as u32);
+                let s = shard::route(host, 2);
+                fleet
+                    .shard(s)
+                    .track(host)
+                    .map_or(0.0, |t| t.power_w - IDLE_W)
+            })
+            .sum();
+        (tenants, hosts)
+    };
+
+    let mut pre_partition_band = 0.0;
+    let mut saw_stale_tenant = false;
+    let mut stale_band = 0.0_f64;
+    for tick in 0..TICKS {
+        fleet.tick();
+        let (tenants, hosts) = closure(&fleet);
+        assert!(
+            (tenants - hosts).abs() < 1e-9,
+            "tick {tick}: per-tenant ledger leaks ({tenants} W vs {hosts} W)"
+        );
+        let gold = fleet.tenant_estimate("tenant-gold");
+        if tick == PART_START - 2 {
+            let gold = gold.as_ref().expect("gold tenant visible pre-partition");
+            assert_eq!(gold.quality, Quality::Full, "fresh before the partition");
+            pre_partition_band = gold.band_w;
+        }
+        if let Some(g) = &gold {
+            if g.quality == Quality::Stale {
+                saw_stale_tenant = true;
+                stale_band = stale_band.max(g.band_w);
+            }
+        }
+    }
+    assert!(
+        saw_stale_tenant,
+        "the partition must surface as a Stale per-tenant quality"
+    );
+    assert!(
+        stale_band > pre_partition_band,
+        "stale tenants widen the band ({stale_band:.2} W vs {pre_partition_band:.2} W)"
+    );
+
+    // After the partition heals: every tenant is Full again, visible on
+    // all the hosts that run it.
+    let gold = fleet.tenant_estimate("tenant-gold").expect("gold tenant");
+    assert_eq!(gold.quality, Quality::Full, "staleness recovers");
+    assert_eq!(gold.hosts, HOSTS, "gold runs on every host");
+    let bronze = fleet
+        .tenant_estimate("tenant-bronze")
+        .expect("bronze tenant");
+    assert_eq!(bronze.hosts, HOSTS / 2, "bronze runs on the even hosts");
+    assert!(
+        fleet.tenant_estimate("tenant-none").is_none(),
+        "unknown tenants stay absent, not zero"
+    );
+    fleet.assert_conserved();
+}

@@ -118,6 +118,8 @@ fn expected_experiments_have_snapshots() {
         "e9_model_health.quick",
         "e10_blackbox.quick",
         "e12_fleet.quick",
+        "e13_tenants",
+        "e13_tenants.quick",
     ] {
         assert!(
             names.contains(required),
@@ -147,6 +149,7 @@ fn golden_traces_match_when_requested() {
         ("e9_model_health", &["--quick", "--check"]),
         ("e10_blackbox", &["--quick", "--check"]),
         ("e12_fleet", &["--quick", "--check"]),
+        ("e13_tenants", &["--quick", "--check"]),
     ];
     for (bin, args) in runs {
         eprintln!("golden: checking {bin} {}", args.join(" "));

@@ -1,0 +1,287 @@
+//! Hierarchical tenant→service→process attribution end to end: cgroup
+//! trees in the kernel, the `HierarchyAggregator` in the middleware, and
+//! the conservation ledger that proves no watt escapes — including under
+//! container churn and degraded sensor quality.
+
+use std::sync::{Arc, Mutex};
+
+use powerapi_suite::os_sim::kernel::Kernel;
+use powerapi_suite::os_sim::process::Pid;
+use powerapi_suite::os_sim::task::SteadyTask;
+use powerapi_suite::powerapi::actor::{Actor, ActorSystem, Context};
+use powerapi_suite::powerapi::aggregator::GroupAggregator;
+use powerapi_suite::powerapi::formula::cpuload::CpuLoadFormula;
+use powerapi_suite::powerapi::formula::per_freq::PerFrequencyFormula;
+use powerapi_suite::powerapi::formula::PowerFormula;
+use powerapi_suite::powerapi::hierarchy::{Hierarchy, HierarchyAggregator, ROOT, UNGROUPED};
+use powerapi_suite::powerapi::model::power_model::PerFrequencyPowerModel;
+use powerapi_suite::powerapi::msg::{AggregateReport, Message, PowerReport, Quality, Scope, Topic};
+use powerapi_suite::powerapi::runtime::PowerApi;
+use powerapi_suite::powerapi::telemetry::TraceId;
+use powerapi_suite::powerapi::testing::wait_until;
+use powerapi_suite::simcpu::fault::{FaultKind, FaultPlan, FaultWindow};
+use powerapi_suite::simcpu::presets;
+use powerapi_suite::simcpu::units::{Nanos, Watts};
+use powerapi_suite::simcpu::workunit::WorkUnit;
+use std::time::Duration;
+
+fn paper_formula() -> PerFrequencyFormula {
+    PerFrequencyFormula::new(PerFrequencyPowerModel::paper_i3_example())
+}
+
+/// A three-level tenant→service→process tree through the full pipeline:
+/// every node gets one report per tick, parents are the bit-exact sum of
+/// their children, and the root reconciles with the machine aggregator.
+#[test]
+fn hierarchical_pipeline_conserves_every_tick() {
+    let mut kernel = Kernel::new(presets::intel_i3_2120());
+    kernel.cgroup_create("tenant-a", 4096);
+    kernel.cgroup_create("tenant-b", 1024);
+    let w1 = kernel.spawn_in_cgroup(
+        "web",
+        "tenant-a/svc-web",
+        vec![SteadyTask::boxed(WorkUnit::cpu_intensive(0.8))],
+    );
+    let w2 = kernel.spawn_in_cgroup(
+        "db",
+        "tenant-a/svc-db",
+        vec![SteadyTask::boxed(WorkUnit::memory_intensive(65_536.0, 0.5))],
+    );
+    let w3 = kernel.spawn_in_cgroup(
+        "batch",
+        "tenant-b/svc-batch",
+        vec![SteadyTask::boxed(WorkUnit::cpu_intensive(0.4))],
+    );
+    // A stray process outside every cgroup: the `__ungrouped__`
+    // catch-all must account for it.
+    let stray = kernel.spawn(
+        "stray",
+        vec![SteadyTask::boxed(WorkUnit::cpu_intensive(0.2))],
+    );
+
+    let formula = paper_formula();
+    let hierarchy = Hierarchy::new(formula.idle_w());
+    hierarchy.sync_cgroups(kernel.cgroups());
+    let mut papi = PowerApi::builder(kernel)
+        .formula(formula)
+        .report_to_memory()
+        .quantum(Nanos::from_millis(2))
+        .clock_period(Nanos::from_millis(500))
+        .hierarchy(&hierarchy)
+        .build()
+        .expect("pipeline builds");
+    for pid in [w1, w2, w3, stray] {
+        papi.monitor(pid).expect("monitor");
+    }
+    papi.run_for(Nanos::from_secs(4)).expect("run");
+    let outcome = papi.finish().expect("shutdown");
+
+    // The whole ledger holds, and the root stream reconciles with the
+    // plain machine aggregator (power above idle, windows, quality).
+    hierarchy.assert_conserved(&outcome.reports);
+    assert_eq!(hierarchy.ticks(), 8, "one audited flush per 500 ms tick");
+
+    // One report per node per tick, interior nodes included.
+    for node in [
+        "tenant-a",
+        "tenant-a/svc-web",
+        "tenant-a/svc-db",
+        "tenant-b",
+        "tenant-b/svc-batch",
+        UNGROUPED,
+        ROOT,
+    ] {
+        assert_eq!(
+            outcome.group_estimates(node).len(),
+            8,
+            "node {node} must report every tick"
+        );
+    }
+
+    // Parents are the bit-exact sum of their children at every tick.
+    let at = |node: &str, ts: Nanos| {
+        outcome
+            .reports
+            .iter()
+            .find(|r| r.timestamp == ts && matches!(&r.scope, Scope::Group(g) if &**g == node))
+            .map(|r| r.power.as_f64())
+            .unwrap_or_else(|| panic!("missing {node} at {ts:?}"))
+    };
+    for (ts, _) in outcome.group_estimates("tenant-a") {
+        let parent = at("tenant-a", ts);
+        let children = at("tenant-a/svc-web", ts) + at("tenant-a/svc-db", ts);
+        assert_eq!(
+            parent.to_bits(),
+            children.to_bits(),
+            "tenant-a at {ts:?}: {parent} W vs children {children} W"
+        );
+    }
+
+    // The stray pid's watts landed in the catch-all, not nowhere.
+    assert!(
+        outcome
+            .group_estimates(UNGROUPED)
+            .iter()
+            .any(|(_, w)| w.as_f64() > 0.0),
+        "stray process must surface under __ungrouped__"
+    );
+}
+
+/// Conservation keeps holding when fault windows knock the primary
+/// formula out and the fallback serves degraded estimates — the root's
+/// quality floor matches the machine aggregator's every tick.
+#[test]
+fn conservation_survives_degraded_quality() {
+    let mut kernel = Kernel::new(presets::intel_i3_2120());
+    kernel.cgroup_create("tenant-a", 2048);
+    let pid = kernel.spawn_in_cgroup(
+        "web",
+        "tenant-a/svc-web",
+        vec![SteadyTask::boxed(WorkUnit::cpu_intensive(0.9))],
+    );
+    let plan = FaultPlan::from_windows(vec![FaultWindow {
+        kind: FaultKind::CounterStall,
+        start: Nanos::from_secs(2),
+        end: Nanos::from_secs(60),
+        magnitude: 0.0,
+    }]);
+    let formula = paper_formula();
+    let hierarchy = Hierarchy::new(formula.idle_w());
+    hierarchy.sync_cgroups(kernel.cgroups());
+    let mut papi = PowerApi::builder(kernel)
+        .formula(formula)
+        .degrade_to(CpuLoadFormula::new(31.5, 12.0), Nanos::from_millis(1500))
+        .fault_plan(plan)
+        .report_to_memory()
+        .quantum(Nanos::from_millis(2))
+        .clock_period(Nanos::from_millis(500))
+        .hierarchy(&hierarchy)
+        .build()
+        .expect("pipeline builds");
+    papi.monitor(pid).expect("monitor");
+    papi.run_for(Nanos::from_secs(6)).expect("run");
+    let outcome = papi.finish().expect("shutdown");
+
+    hierarchy.assert_conserved(&outcome.reports);
+    let degraded = outcome
+        .reports
+        .iter()
+        .filter(|r| {
+            matches!(&r.scope, Scope::Group(g) if &**g == ROOT) && r.quality < Quality::Full
+        })
+        .count();
+    assert!(degraded > 0, "the stall must degrade some root flushes");
+}
+
+/// Captures aggregate reports published on the bus.
+struct Capture(Arc<Mutex<Vec<AggregateReport>>>);
+impl Actor for Capture {
+    fn handle(&mut self, msg: Message, _ctx: &Context) {
+        if let Message::Aggregate(a) = msg {
+            self.0.lock().expect("capture lock").push(a);
+        }
+    }
+}
+
+fn power(ts_ms: u64, pid: u32, w: f64) -> Message {
+    Message::Power(PowerReport {
+        timestamp: Nanos::from_millis(ts_ms),
+        pid: Pid(pid),
+        power: Watts(w),
+        formula: "t",
+        band_w: Watts(0.0),
+        quality: Quality::Full,
+        trace: TraceId::NONE,
+    })
+}
+
+/// The churn regression: a group whose last pid dies mid-window must be
+/// flushed at the next tick boundary — by any other group's traffic —
+/// never held until shutdown.
+#[test]
+fn dying_process_never_leaves_a_stale_group_window() {
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let mut sys = ActorSystem::new();
+    let agg = sys.spawn(
+        "groups",
+        Box::new(GroupAggregator::new(vec![
+            (Pid(1), "vm-dying"),
+            (Pid(2), "vm-survivor"),
+        ])),
+    );
+    let sink = sys.spawn("sink", Box::new(Capture(seen.clone())));
+    sys.bus().subscribe(Topic::Power, &agg);
+    sys.bus().subscribe(Topic::Aggregate, &sink);
+
+    // Tick 1: both groups active. Then pid 1 dies; tick 2 carries only
+    // the survivor.
+    sys.bus().publish(power(500, 1, 3.0));
+    sys.bus().publish(power(500, 2, 2.0));
+    sys.bus().publish(power(1000, 2, 2.5));
+
+    // vm-dying's ts=500 window must flush NOW, forced by the survivor's
+    // tick-2 report — long before shutdown.
+    let flushed = wait_until(Duration::from_secs(5), || {
+        seen.lock().expect("lock").iter().any(|a| {
+            a.timestamp == Nanos::from_millis(500)
+                && matches!(&a.scope, Scope::Group(g) if &**g == "vm-dying")
+        })
+    });
+    assert!(
+        flushed,
+        "dead group's final window lingered in the window map: {:?}",
+        seen.lock().expect("lock")
+    );
+    sys.shutdown();
+    let seen = seen.lock().expect("lock");
+    let dying: Vec<_> = seen
+        .iter()
+        .filter(|a| matches!(&a.scope, Scope::Group(g) if &**g == "vm-dying"))
+        .collect();
+    assert_eq!(dying.len(), 1, "exactly one flush for the dead group");
+    assert_eq!(dying[0].power, Watts(3.0));
+}
+
+/// Same churn law one layer up: a hierarchy leaf whose pid died flushes
+/// with the next tick and the ledger still conserves.
+#[test]
+fn dying_process_never_leaves_a_stale_hierarchy_leaf() {
+    let hierarchy = Hierarchy::new(0.0);
+    hierarchy.attach(Pid(1), "tenant-a/svc-dying");
+    hierarchy.attach(Pid(2), "tenant-b/svc-survivor");
+
+    let mut sys = ActorSystem::new();
+    let agg = sys.spawn(
+        "hierarchy",
+        Box::new(HierarchyAggregator::new(hierarchy.clone())),
+    );
+    sys.bus().subscribe(Topic::Power, &agg);
+
+    sys.bus().publish(power(500, 1, 4.0));
+    sys.bus().publish(power(500, 2, 1.0));
+    // Pid 1 dies between ticks — its reports simply stop; only the
+    // survivor speaks at tick 2. (Membership detach is the supervisor's
+    // asynchronous business and must not be needed for the flush.)
+    sys.bus().publish(power(1000, 2, 1.5));
+
+    // The ts=500 whole-tree window (including the dead leaf) must be in
+    // the ledger before shutdown, flushed by the survivor's report.
+    let flushed = wait_until(Duration::from_secs(5), || hierarchy.ticks() >= 1);
+    assert!(flushed, "tick-1 window lingered past the tick-2 boundary");
+    let first = &hierarchy.ledger()[0];
+    assert_eq!(first.ts, Nanos::from_millis(500));
+    assert_eq!(
+        first.leaves["tenant-a/svc-dying"].power_w.to_bits(),
+        4.0f64.to_bits(),
+        "the dead pid's final watts are in its leaf, not lost"
+    );
+    sys.shutdown();
+    hierarchy
+        .conservation()
+        .expect("ledger conserves after churn");
+    assert_eq!(
+        hierarchy.ticks(),
+        2,
+        "shutdown flushed the open tick-2 window"
+    );
+}

@@ -256,4 +256,77 @@ proptest! {
             prop_assert!(r.power.as_f64() >= 0.0, "no negative power under faults");
         }
     }
+
+    /// The hierarchical conservation law over random trees, shares and
+    /// fault schedules: whatever leaves processes land on (including
+    /// none — the `__ungrouped__` catch-all), whatever the scheduler
+    /// weights, and whatever faults degrade the estimates, every ledger
+    /// flush must roll up bit-exactly and the root must reconcile with
+    /// the machine aggregator.
+    #[test]
+    fn hierarchy_conservation_holds_for_random_trees(
+        assignments in prop::collection::vec((work_unit(), 0usize..5), 1..5),
+        shares_a in 256u64..8192,
+        shares_b in 256u64..8192,
+        fault_seed in 0u64..1024,
+    ) {
+        use powerapi_suite::powerapi::hierarchy::Hierarchy;
+
+        // Leaf pool: two tenants, three levels at the deepest, plus the
+        // no-cgroup slot (index 4) that must fall into the catch-all.
+        const LEAVES: [Option<&str>; 5] = [
+            Some("tenant-a/svc-web"),
+            Some("tenant-a/svc-db"),
+            Some("tenant-b/svc-api"),
+            Some("tenant-b/svc-api/shard-0"),
+            None,
+        ];
+        let duration = Nanos::from_secs(3);
+        let plan = FaultPlan::generate(
+            fault_seed,
+            duration,
+            &FaultPlanConfig {
+                min_window: Nanos::from_millis(300),
+                max_window: Nanos::from_millis(1500),
+                ..FaultPlanConfig::default()
+            },
+        );
+        let model = PerFrequencyPowerModel::paper_i3_example();
+        let mut kernel = Kernel::new(presets::intel_i3_2120());
+        kernel.cgroup_create("tenant-a", shares_a);
+        kernel.cgroup_create("tenant-b", shares_b);
+        let pids: Vec<_> = assignments
+            .iter()
+            .enumerate()
+            .map(|(i, (w, slot))| match LEAVES[*slot] {
+                Some(path) => {
+                    kernel.spawn_in_cgroup(format!("p{i}"), path, vec![SteadyTask::boxed(*w)])
+                }
+                None => kernel.spawn(format!("p{i}"), vec![SteadyTask::boxed(*w)]),
+            })
+            .collect();
+        let hierarchy = Hierarchy::new(model.idle_w());
+        hierarchy.sync_cgroups(kernel.cgroups());
+        let mut papi = PowerApi::builder(kernel)
+            .formula(PerFrequencyFormula::new(model))
+            .degrade_to(CpuLoadFormula::new(0.0, 4.0), Nanos::from_millis(600))
+            .fault_plan(plan)
+            .report_to_memory()
+            .quantum(Nanos::from_millis(5))
+            .clock_period(Nanos::from_millis(250))
+            .hierarchy(&hierarchy)
+            .build()
+            .expect("pipeline builds");
+        for &pid in &pids {
+            papi.monitor(pid).expect("monitor");
+        }
+        papi.run_for(duration).expect("run");
+        let outcome = papi.finish().expect("shutdown");
+
+        prop_assert!(hierarchy.ticks() > 0, "faults must not silence the ledger");
+        let conserved = hierarchy.conservation();
+        prop_assert!(conserved.is_ok(), "{}", conserved.unwrap_err());
+        let reconciled = hierarchy.reconcile(&outcome.reports);
+        prop_assert!(reconciled.is_ok(), "{}", reconciled.unwrap_err());
+    }
 }

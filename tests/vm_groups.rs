@@ -111,3 +111,82 @@ fn pinned_groups_respect_their_cpu_budgets() {
         }
     }
 }
+
+/// The legacy flat group path is bit-identical alongside the hierarchy:
+/// both aggregators fold the same per-actor FIFO power stream, so a
+/// hierarchy leaf must reproduce the flat `GroupAggregator`'s numbers
+/// bit-for-bit — the hierarchical upgrade cannot perturb the old path.
+#[test]
+fn hierarchy_leaves_match_flat_groups_bit_for_bit() {
+    use powerapi_suite::powerapi::formula::PowerFormula;
+    use powerapi_suite::powerapi::hierarchy::Hierarchy;
+
+    let mut kernel = Kernel::new(presets::intel_i3_2120());
+    let a = kernel.spawn_in_group(
+        "a",
+        "vm-alpha",
+        vec![SteadyTask::boxed(WorkUnit::cpu_intensive(0.9))],
+    );
+    let b = kernel.spawn_in_group(
+        "b",
+        "vm-alpha",
+        vec![SteadyTask::boxed(WorkUnit::memory_intensive(65_536.0, 0.7))],
+    );
+    let c = kernel.spawn_in_group(
+        "c",
+        "vm-beta",
+        vec![SteadyTask::boxed(WorkUnit::cpu_intensive(0.4))],
+    );
+    let membership: Vec<_> = [("vm-alpha", a), ("vm-alpha", b), ("vm-beta", c)]
+        .into_iter()
+        .map(|(g, p)| (p, g.to_string()))
+        .collect();
+
+    let formula = PerFrequencyFormula::new(PerFrequencyPowerModel::paper_i3_example());
+    // Same pids, hierarchical paths (distinct names so the two
+    // aggregators' report streams stay distinguishable).
+    let hierarchy = Hierarchy::new(formula.idle_w());
+    hierarchy.attach(a, "tenant/vm-alpha");
+    hierarchy.attach(b, "tenant/vm-alpha");
+    hierarchy.attach(c, "tenant/vm-beta");
+
+    let mut papi = PowerApi::builder(kernel)
+        .formula(formula)
+        .report_to_memory()
+        .quantum(Nanos::from_millis(2))
+        .clock_period(Nanos::from_millis(500))
+        .with_actor(
+            "vm-aggregator",
+            Box::new(GroupAggregator::new(membership)),
+            vec![Topic::Power],
+        )
+        .hierarchy(&hierarchy)
+        .build()
+        .expect("pipeline builds");
+    for pid in [a, b, c] {
+        papi.monitor(pid).expect("monitor");
+    }
+    papi.run_for(Nanos::from_secs(4)).expect("run");
+    let outcome = papi.finish().expect("shutdown");
+
+    hierarchy.assert_conserved(&outcome.reports);
+    for (flat, leaf) in [
+        ("vm-alpha", "tenant/vm-alpha"),
+        ("vm-beta", "tenant/vm-beta"),
+    ] {
+        let flat_est = outcome.group_estimates(flat);
+        let leaf_est = outcome.group_estimates(leaf);
+        assert_eq!(flat_est.len(), 8, "one flat aggregate per tick");
+        assert_eq!(flat_est.len(), leaf_est.len());
+        for ((fts, fw), (lts, lw)) in flat_est.iter().zip(&leaf_est) {
+            assert_eq!(fts, lts, "same window boundaries");
+            assert_eq!(
+                fw.as_f64().to_bits(),
+                lw.as_f64().to_bits(),
+                "{flat} at {fts:?}: flat {} W vs hierarchy leaf {} W",
+                fw.as_f64(),
+                lw.as_f64()
+            );
+        }
+    }
+}
