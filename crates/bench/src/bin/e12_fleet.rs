@@ -21,30 +21,17 @@
 //! Gate:  `... -- --check`   (golden check + frames/s regression guard)
 //! Data:  `BENCH_fleet.json` (repo root, committed as evidence)
 
-use bench_suite::{row, section, BenchArgs, Golden};
-use os_sim::kernel::Kernel;
-use os_sim::task::{PeriodicTask, SteadyTask};
-use perf_sim::events::PAPER_EVENTS;
-use powerapi::fleet::{
-    Fleet, FleetConfig, FleetStats, FrameSource, HostId, LinkFaultConfig, LinkFaultKind,
-    LinkFaultPlan, LinkWindow, ShardConfig, SimHostSource,
+use bench_suite::fleetsim::{
+    self, fleet_faults, json_number, percentile, FleetSpec, FLEET_SEED, WARMUP_TICKS,
 };
+use bench_suite::{row, section, BenchArgs, Golden};
+use powerapi::fleet::{FleetHop, FleetStats, HostId, LinkFaultPlan, ShardConfig, SloConfig};
 use powerapi::formula::per_freq::PerFrequencyFormula;
-use powerapi::host::SimHost;
 use powerapi::model::learn::{learn_model, LearnConfig};
 use powerapi::telemetry::{EventKind, Telemetry};
-use powermeter::powerspy::PowerSpyConfig;
 use simcpu::presets;
-use simcpu::units::Nanos;
-use simcpu::workunit::WorkUnit;
 use std::io::Write;
-use std::time::Instant;
 
-/// Seed for the link-fault schedule (and nothing else — per-frame fault
-/// decisions hash it with host/seq/attempt, so runs replay exactly).
-const FLEET_SEED: u64 = 0xF1EE_7005;
-/// Ticks skipped before scoring (frames in flight, tracks filling).
-const WARMUP_TICKS: usize = 5;
 /// Acceptance bound: faulty-arm MAE within this factor of clean.
 const MAX_ERROR_RATIO: f64 = 1.10;
 /// Regression-guard tolerance: fail when >20 % below the recorded value.
@@ -67,101 +54,15 @@ struct Arm {
     shard_shed: u64,
     wall_s: f64,
     telemetry: Telemetry,
-}
-
-/// The faulty arm's network: 5 % loss, light duplicate/corrupt/reorder
-/// rates, two 10-tick partition windows and a couple of single-host dark
-/// spells. The windows are pinned (not sampled) so they start after every
-/// host has reported at least once — the scenario tests hold-over on a
-/// *known* host, not cold-start blindness — and so quick and full runs
-/// hit the same relative schedule.
-fn fleet_faults(hosts: usize, ticks: u64) -> LinkFaultPlan {
-    let span = (hosts / 8).max(2) as u32;
-    let h = hosts as u32;
-    let part = |start: u64, lo: u32| LinkWindow {
-        kind: LinkFaultKind::Partition,
-        start,
-        end: start + 10,
-        host_lo: lo,
-        host_hi: (lo + span).min(h),
-    };
-    let dark = |start: u64, host: u32| LinkWindow {
-        kind: LinkFaultKind::HostDark,
-        start,
-        end: start + 3,
-        host_lo: host,
-        host_hi: host + 1,
-    };
-    LinkFaultPlan::from_parts(
-        FLEET_SEED,
-        &LinkFaultConfig {
-            drop_rate: 0.05,
-            duplicate_rate: 0.01,
-            corrupt_rate: 0.01,
-            reorder_rate: 0.02,
-            ..LinkFaultConfig::default()
-        },
-        vec![
-            part(ticks / 4, 0),
-            part(ticks / 2, span),
-            dark(ticks / 3, 2 * span),
-            dark(2 * ticks / 3, h - 1),
-        ],
-    )
-}
-
-/// One simulated host: an i3 running 1–3 steady services at loads spread
-/// deterministically across the fleet, snapshotting a [`powerapi::frame::TickFrame`]
-/// per fleet tick (four 250 ms scheduler quanta).
-fn make_source(index: usize) -> Box<dyn FrameSource> {
-    let mut kernel = Kernel::new(presets::intel_i3_2120());
-    let procs = 1 + index % 3;
-    let mut pids: Vec<_> = (0..procs)
-        .map(|p| {
-            let load = 0.15 + 0.70 * (((index * 3 + p * 5) % 11) as f64 / 10.0);
-            kernel.spawn(
-                format!("svc-{index}-{p}"),
-                vec![SteadyTask::boxed(WorkUnit::cpu_intensive(load))],
-            )
-        })
-        .collect();
-    // One duty-cycled batch job per host (periods spread across the
-    // fleet): host power genuinely moves tick to tick, so a stale
-    // hold-over costs real watts — without it the steady fleet would
-    // make frame loss literally free and the error ratio degenerate.
-    let period = Nanos::from_secs(15 + (index % 5) as u64 * 5);
-    pids.push(kernel.spawn(
-        format!("batch-{index}"),
-        vec![PeriodicTask::boxed(
-            WorkUnit::cpu_intensive(0.5),
-            period,
-            0.5,
-        )],
-    ));
-    let mut host = SimHost::new(kernel, PAPER_EVENTS.to_vec(), 4, PowerSpyConfig::default());
-    for pid in pids {
-        host.monitor(pid).expect("monitor");
-    }
-    // Pre-warm to thermal steady state (τ = 30 s, so 5τ): the fleet
-    // scenario models long-running services, and a host mid-ramp would
-    // conflate hold-over error with thermal drift the transport layer
-    // cannot see.
-    for _ in 0..150 {
-        host.step(Nanos::from_secs(1));
-    }
-    Box::new(SimHostSource::new(host, Nanos::from_millis(250), 4))
-}
-
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+    /// Per-frame journey hops (for `--dump-trace`).
+    hops: Vec<FleetHop>,
+    /// Sim-clock nanoseconds per fleet tick (for `--dump-trace`).
+    tick_ns: u64,
 }
 
 /// Runs one arm and scores it. Ends with the no-silent-loss accounting
-/// assertion: the run aborts if any frame fate went uncounted.
+/// assertion (inside [`fleetsim::run_fleet`]): the run aborts if any
+/// frame fate went uncounted.
 fn run_arm(
     hosts: usize,
     ticks: u64,
@@ -170,20 +71,19 @@ fn run_arm(
     fault: LinkFaultPlan,
     formula: &PerFrequencyFormula,
 ) -> Arm {
-    let telemetry = Telemetry::new();
-    let cfg = FleetConfig {
-        shards,
-        events: PAPER_EVENTS.to_vec(),
-        shard,
-        fault,
-        ..FleetConfig::default()
-    };
-    let sources: Vec<Box<dyn FrameSource>> = (0..hosts).map(make_source).collect();
-    let mut fleet = Fleet::new(cfg, formula, sources, telemetry.clone());
-    let started = Instant::now();
-    let reports = fleet.run(ticks);
-    let wall_s = started.elapsed().as_secs_f64();
-    fleet.assert_conserved();
+    let run = fleetsim::run_fleet(
+        FleetSpec {
+            hosts,
+            ticks,
+            shards,
+            shard,
+            fault,
+            slo: SloConfig::default(),
+        },
+        formula,
+        fleetsim::make_source,
+    );
+    let reports = &run.reports;
 
     let scored = &reports[WARMUP_TICKS.min(reports.len() - 1)..];
     let mae_w = scored
@@ -192,40 +92,28 @@ fn run_arm(
         .sum::<f64>()
         / scored.len().max(1) as f64;
 
-    let mut lags = fleet.lag_samples().to_vec();
+    let mut lags = run.fleet.lag_samples().to_vec();
     lags.sort_unstable();
     let ratios: Vec<f64> = (0..hosts)
-        .map(|h| fleet.staleness_ratio(HostId(h as u32)))
+        .map(|h| run.fleet.staleness_ratio(HostId(h as u32)))
         .collect();
     let stale_mean = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
     let stale_max = ratios.iter().fold(0.0f64, |a, &b| a.max(b));
 
     Arm {
-        stats: *fleet.stats(),
+        stats: *run.fleet.stats(),
         est_w: reports.iter().map(|r| r.estimate_w).collect(),
         mae_w,
         lag_p50: percentile(&lags, 0.50),
         lag_p99: percentile(&lags, 0.99),
         stale_mean,
         stale_max,
-        shard_shed: fleet.shard_shed_by().iter().sum(),
-        wall_s,
-        telemetry,
+        shard_shed: run.fleet.shard_shed_by().iter().sum(),
+        wall_s: run.wall_s,
+        hops: run.fleet.journeys().snapshot(),
+        tick_ns: run.fleet.tick_ns(),
+        telemetry: run.telemetry,
     }
-}
-
-/// Pulls `"key": <number>` out of flat JSON (the evidence file is written
-/// by this binary with globally unique keys, so no real parser needed).
-fn json_number(text: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\":");
-    let at = text.find(&needle)? + needle.len();
-    let rest = text[at..].trim_start();
-    let end = rest
-        .find(|c: char| {
-            c != '-' && c != '+' && c != '.' && c != 'e' && c != 'E' && !c.is_ascii_digit()
-        })
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
 }
 
 #[allow(clippy::too_many_lines)]
@@ -263,6 +151,11 @@ fn main() {
         fleet_faults(hosts, ticks),
         &formula,
     );
+    // `--dump-trace` captures the interesting arm: the faulty run's
+    // pipeline spans, journal instants and per-frame journey tracks.
+    if let Some(path) = &args.dump_trace {
+        fleetsim::dump_fleet_trace(&faulty.telemetry, &faulty.hops, faulty.tick_ns, path);
+    }
 
     println!("  [4/5] saturated arm: every host into one under-provisioned shard…");
     let saturated = run_arm(

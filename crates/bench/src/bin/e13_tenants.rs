@@ -401,9 +401,20 @@ fn main() {
         ..FleetConfig::default()
     };
     let sources: Vec<Box<dyn FrameSource>> = (0..fleet_hosts).map(fleet_source).collect();
-    let mut fleet = Fleet::new(cfg, &f, sources, powerapi::telemetry::Telemetry::disabled());
+    let fleet_telemetry = powerapi::telemetry::Telemetry::new();
+    let mut fleet = Fleet::new(cfg, &f, sources, fleet_telemetry.clone());
     fleet.run(fleet_ticks);
     fleet.assert_conserved();
+    // `--dump-trace` captures the fleet arm: journey tracks per frame
+    // plus the journal instants the cgrouped fleet emitted.
+    if let Some(path) = &args.dump_trace {
+        bench_suite::fleetsim::dump_fleet_trace(
+            &fleet_telemetry,
+            &fleet.journeys().snapshot(),
+            fleet.tick_ns(),
+            path,
+        );
+    }
     let paths = fleet.tenant_paths();
     let gold_fleet = fleet.tenant_estimate("tenant-gold").expect("gold tenant");
     let bronze_fleet = fleet

@@ -14,11 +14,22 @@
 //! prices the flight-recorder exports themselves (Chrome trace + JSONL
 //! journal dump), which run at shutdown rather than on the hot path.
 //!
+//! A second pair of arms prices the **fleet tracing plane** the same
+//! way: the E12 faulty chaos arm replayed against a disabled vs an
+//! enabled telemetry hub. The enabled hub turns on everything the
+//! observability plane adds per frame — journey-hop capture, trace
+//! propagation journaling, the latency/retransmit histograms and the
+//! SLO tracker's journal feed. Fault decisions hash only
+//! seed/host/seq/attempt, so both arms replay bit-identical fleets and
+//! the wall-time delta is pure tracing cost — held to the same < 3 %.
+//!
 //! Run: `cargo run --release -p bench-suite --bin e8_overhead`
 //! Data: `BENCH_overhead.json` (repo root, committed as evidence)
 
+use bench_suite::fleetsim::{self, fleet_faults, FleetSpec};
 use bench_suite::{row, section};
 use os_sim::kernel::Kernel;
+use powerapi::fleet::{ShardConfig, SloConfig};
 use powerapi::formula::per_freq::PerFrequencyFormula;
 use powerapi::model::learn::{learn_model, LearnConfig};
 use powerapi::model::power_model::PerFrequencyPowerModel;
@@ -35,6 +46,12 @@ use workloads::specjbb::{self, SpecJbbConfig};
 const SELF_WATTS_PER_CORE: f64 = 10.0;
 
 const RUNS_PER_ARM: usize = 3;
+
+/// Fleet-tracing arm shape: the E12 faulty chaos arm at a size whose
+/// `Fleet::run` wall time is long enough for a stable percentage.
+const FLEET_HOSTS: usize = 16;
+const FLEET_TICKS: u64 = 60;
+const FLEET_SHARDS: usize = 2;
 
 /// A sink that counts bytes but keeps nothing — the export cost is paid,
 /// the memory is not.
@@ -74,6 +91,32 @@ fn replay(
     let telemetry = papi.telemetry().clone();
     let outcome = papi.finish().expect("finish");
     (started.elapsed().as_secs_f64(), outcome, telemetry)
+}
+
+/// One replay of the fleet-tracing arm; returns `Fleet::run` wall
+/// seconds plus the journey hops and journal events the enabled arm
+/// recorded (both 0 when the hub is disabled — that's the point).
+fn fleet_replay(model: PerFrequencyPowerModel, tracing_on: bool) -> (f64, usize, u64) {
+    let spec = FleetSpec {
+        hosts: FLEET_HOSTS,
+        ticks: FLEET_TICKS,
+        shards: FLEET_SHARDS,
+        shard: ShardConfig::default(),
+        fault: fleet_faults(FLEET_HOSTS, FLEET_TICKS),
+        slo: SloConfig::default(),
+    };
+    let hub = if tracing_on {
+        Telemetry::new()
+    } else {
+        Telemetry::disabled()
+    };
+    let formula = PerFrequencyFormula::new(model);
+    let run = fleetsim::run_fleet_with(spec, &formula, fleetsim::make_source, hub);
+    (
+        run.wall_s,
+        run.fleet.journeys().len(),
+        run.telemetry.journal().emitted(),
+    )
 }
 
 fn main() {
@@ -178,9 +221,49 @@ fn main() {
         format!("{jsonl_ms:.2} ms, {} bytes", jsonl.len()),
     );
 
+    // Fleet-tracing arms: the same disabled-vs-enabled protocol over the
+    // E12 faulty chaos arm, pricing what the observability plane adds to
+    // `Fleet::run` (journeys + histograms + journal + SLO feed).
+    println!();
+    println!(
+        "  fleet-tracing arms: {FLEET_HOSTS} hosts × {FLEET_TICKS} ticks of the E12 faulty \
+         chaos arm, {RUNS_PER_ARM} runs per arm, arms interleaved…"
+    );
+    let mut fleet_off_s = Vec::new();
+    let mut fleet_on_s = Vec::new();
+    let mut fleet_hops = 0usize;
+    let mut fleet_events = 0u64;
+    for i in 0..RUNS_PER_ARM {
+        let (t_off, off_hops, off_events) = fleet_replay(model.clone(), false);
+        let (t_on, on_hops, on_events) = fleet_replay(model.clone(), true);
+        println!("        run {}: off {t_off:.3} s, on {t_on:.3} s", i + 1);
+        assert_eq!(
+            (off_hops, off_events),
+            (0, 0),
+            "a disabled hub must keep journey capture and journaling off the hot path"
+        );
+        fleet_off_s.push(t_off);
+        fleet_on_s.push(t_on);
+        fleet_hops = on_hops;
+        fleet_events = on_events;
+    }
+    let fleet_best_off = fleet_off_s.iter().cloned().fold(f64::INFINITY, f64::min);
+    let fleet_best_on = fleet_on_s.iter().cloned().fold(f64::INFINITY, f64::min);
+    let fleet_overhead_pct = (fleet_best_on - fleet_best_off) / fleet_best_off * 100.0;
+    section("fleet tracing overhead (best of each arm, Fleet::run only)");
+    row("fleet tracing off", format!("{fleet_best_off:.3} s"));
+    row(
+        "fleet tracing on (journeys+histograms+journal+SLO)",
+        format!("{fleet_best_on:.3} s"),
+    );
+    row("added wall time", format!("{fleet_overhead_pct:+.2} %"));
+    row("journey hops recorded", fleet_hops);
+    row("fleet journal events", fleet_events);
+
     let attributed = !self_trace.is_empty() && self_trace.iter().all(|(_, w)| w.0 >= 0.0);
     let staged = t.stages.iter().all(|s| s.latency.count > 0);
-    let ok = overhead_pct < 3.0 && attributed && staged;
+    let traced_fleet = fleet_hops > 0 && fleet_events > 0;
+    let ok = overhead_pct < 3.0 && fleet_overhead_pct < 3.0 && attributed && staged && traced_fleet;
 
     let json_path = std::path::Path::new("BENCH_overhead.json");
     let mut f = std::fs::File::create(json_path).expect("evidence file");
@@ -197,6 +280,13 @@ fn main() {
     writeln!(f, "  \"telemetry_on_best_s\": {best_on:.4},").expect("write");
     writeln!(f, "  \"overhead_pct\": {overhead_pct:.3},").expect("write");
     writeln!(f, "  \"budget_pct\": 3.0,").expect("write");
+    writeln!(f, "  \"fleet_hosts\": {FLEET_HOSTS},").expect("write");
+    writeln!(f, "  \"fleet_ticks\": {FLEET_TICKS},").expect("write");
+    writeln!(f, "  \"fleet_tracing_off_best_s\": {fleet_best_off:.4},").expect("write");
+    writeln!(f, "  \"fleet_tracing_on_best_s\": {fleet_best_on:.4},").expect("write");
+    writeln!(f, "  \"fleet_overhead_pct\": {fleet_overhead_pct:.3},").expect("write");
+    writeln!(f, "  \"fleet_journey_hops\": {fleet_hops},").expect("write");
+    writeln!(f, "  \"fleet_journal_events\": {fleet_events},").expect("write");
     writeln!(f, "  \"ticks_traced\": {},", t.ticks_traced).expect("write");
     writeln!(f, "  \"messages_handled\": {},", t.messages_handled).expect("write");
     writeln!(
@@ -235,8 +325,9 @@ fn main() {
 
     println!();
     println!(
-        "E8 verdict: {} (overhead {overhead_pct:+.2}% < 3%, self-attributed: {attributed}, \
-         all stages instrumented: {staged})",
+        "E8 verdict: {} (overhead {overhead_pct:+.2}% < 3%, fleet tracing \
+         {fleet_overhead_pct:+.2}% < 3%, self-attributed: {attributed}, \
+         all stages instrumented: {staged}, fleet traced: {traced_fleet})",
         if ok { "WITHIN BUDGET" } else { "OVER BUDGET" }
     );
     if !ok {

@@ -5,6 +5,7 @@
 
 pub mod args;
 pub mod chaos;
+pub mod fleetsim;
 pub mod golden;
 
 pub use args::BenchArgs;

@@ -11,6 +11,7 @@
 
 use crate::frame::TickFrame;
 use crate::msg::SensorReport;
+use crate::telemetry::TraceId;
 use os_sim::process::Pid;
 use perf_sim::events::Event;
 use simcpu::units::{MegaHertz, Nanos};
@@ -40,6 +41,17 @@ pub struct FrameEnvelope {
     /// Sim-clock timestamp of the *original* send (retransmits keep it,
     /// so end-to-end lag measures real data age).
     pub sent_at: Nanos,
+    /// The origin tick trace stamped by the producing host. Retransmits
+    /// and link-injected duplicates keep it, so every copy of a frame
+    /// joins the same causal track in the Chrome-trace export. Metadata,
+    /// not payload: link corruption never touches it and the payload
+    /// byte layout is unchanged.
+    pub trace: TraceId,
+    /// Which transmission this copy is (0 = first send, 1.. =
+    /// retransmits). Stamped by the sender at each send so the journey
+    /// log can tell retransmit paths apart; excluded from dedupe — the
+    /// (host, seq) pair still identifies the frame.
+    pub attempt: u32,
     /// The encoded frame (see [`encode_frame`]).
     pub payload: Vec<u8>,
 }

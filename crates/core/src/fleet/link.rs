@@ -96,8 +96,11 @@ impl Link {
 
     /// Transmits one envelope at fleet tick `now`. `attempt` is the
     /// retransmission ordinal (0 for the first try) — it feeds the fault
-    /// hash so a retry rerolls its fate.
+    /// hash so a retry rerolls its fate, and is stamped onto the
+    /// envelope metadata so the delivered copy names its transmission.
     pub fn send(&mut self, env: FrameEnvelope, attempt: u32, now: u64) -> SendOutcome {
+        let mut env = env;
+        env.attempt = attempt;
         let (host, seq) = (env.host, env.seq);
         debug_assert_eq!(host, self.host, "envelope routed to the wrong link");
         if self.plan.partitioned(host, now) {
@@ -118,7 +121,6 @@ impl Link {
             + self.cfg.latency_ticks.max(1)
             + jitter
             + self.plan.reorder_ticks(host, seq, attempt);
-        let mut env = env;
         if self.plan.corrupts(host, seq, attempt) {
             corrupt_payload(&mut env.payload, self.plan.hash(host, seq, attempt, 0xC0));
         }
@@ -184,6 +186,8 @@ mod tests {
             host: HostId(host),
             seq,
             sent_at: Nanos(seq * 1000),
+            trace: crate::telemetry::TraceId::NONE,
+            attempt: 0,
             payload: vec![1, 2, 3, 4, 5, 6, 7, 8, 9],
         }
     }

@@ -30,12 +30,17 @@
 pub mod envelope;
 pub mod fault;
 pub mod link;
+pub mod observe;
 pub mod retry;
 pub mod shard;
 
 pub use envelope::{decode_frame, encode_frame, FrameEnvelope, HostId, WireError, WireFrame};
 pub use fault::{LinkFaultConfig, LinkFaultKind, LinkFaultPlan, LinkWindow};
 pub use link::{Link, LinkConfig, SendOutcome};
+pub use observe::{
+    FleetHop, FrameProvenance, HopStage, JourneyLog, ProvenanceReport, SloConfig, SloTickOutcome,
+    SloTracker,
+};
 pub use retry::{Pending, RetryPolicy, SenderState};
 pub use shard::{EstimatorShard, HostEstimate, IngestOutcome, ProcessOutcome, ShardConfig};
 
@@ -43,7 +48,9 @@ use crate::formula::PowerFormula;
 use crate::frame::{FramePool, TickFrame};
 use crate::host::SimHost;
 use crate::msg::Quality;
-use crate::telemetry::{Counter, EventKind, Telemetry, TraceId};
+use crate::telemetry::{
+    Counter, EventKind, Histogram, Telemetry, TraceId, COUNT_BOUNDS, TICK_BOUNDS,
+};
 use perf_sim::events::Event;
 use simcpu::units::Nanos;
 use std::sync::Arc;
@@ -114,6 +121,9 @@ pub struct FleetConfig {
     pub shard: ShardConfig,
     /// The network fault schedule.
     pub fault: LinkFaultPlan,
+    /// The declared lag SLO (burn-rate alerts and budget accounting
+    /// journal against it; see [`observe::SloTracker`]).
+    pub slo: SloConfig,
 }
 
 impl Default for FleetConfig {
@@ -126,6 +136,7 @@ impl Default for FleetConfig {
             retry: RetryPolicy::default(),
             shard: ShardConfig::default(),
             fault: LinkFaultPlan::none(),
+            slo: SloConfig::default(),
         }
     }
 }
@@ -240,6 +251,18 @@ struct FleetMetrics {
     dropped_partition: Counter,
     dropped_queue: Counter,
     shard_shed: Vec<Counter>,
+    /// End-to-end lag (original send → applied) of every applied frame,
+    /// in fleet ticks.
+    lag: Histogram,
+    /// Transmissions each acked frame needed minus one (0 = delivered
+    /// first try).
+    retransmit_count: Histogram,
+    /// Per-host delivery age at link exit, in ticks (retransmit waits
+    /// included — this is the age of the *data*, not of one datagram).
+    link_latency: Vec<Histogram>,
+    /// Per-shard ticks a frame waited in the ingest queue before the
+    /// tick budget reached it.
+    shard_service: Vec<Histogram>,
 }
 
 /// The fleet orchestrator: owns hosts, links, senders and shards, and
@@ -262,7 +285,9 @@ pub struct Fleet {
     metrics: Option<FleetMetrics>,
     synced: FleetStats,
     delivery_scratch: Vec<FrameEnvelope>,
-    transitions_scratch: Vec<(HostId, bool)>,
+    transitions_scratch: Vec<(HostId, bool, TraceId)>,
+    journeys: JourneyLog,
+    slo: SloTracker,
 }
 
 impl Fleet {
@@ -307,9 +332,34 @@ impl Fleet {
                         reg.counter(&format!("powerapi_fleet_shard_shed_total{{shard=\"{i}\"}}"))
                     })
                     .collect(),
+                lag: reg.histogram_with_bounds("powerapi_fleet_lag_ticks", &TICK_BOUNDS),
+                retransmit_count: reg
+                    .histogram_with_bounds("powerapi_fleet_retransmit_count", &COUNT_BOUNDS),
+                link_latency: (0..hosts)
+                    .map(|h| {
+                        reg.histogram_with_bounds(
+                            &format!("powerapi_fleet_link_latency_ticks{{host=\"host-{h}\"}}"),
+                            &TICK_BOUNDS,
+                        )
+                    })
+                    .collect(),
+                shard_service: (0..shards.len())
+                    .map(|i| {
+                        reg.histogram_with_bounds(
+                            &format!("powerapi_fleet_shard_service_ticks{{shard=\"{i}\"}}"),
+                            &TICK_BOUNDS,
+                        )
+                    })
+                    .collect(),
             }
         });
         let shard_count = shards.len();
+        let slo = SloTracker::new(cfg.slo);
+        let journeys = if telemetry.enabled() {
+            JourneyLog::default()
+        } else {
+            JourneyLog::disabled()
+        };
         Fleet {
             cfg,
             plan,
@@ -328,6 +378,8 @@ impl Fleet {
             synced: FleetStats::default(),
             delivery_scratch: Vec::new(),
             transitions_scratch: Vec::new(),
+            journeys,
+            slo,
             sources,
         }
     }
@@ -335,6 +387,28 @@ impl Fleet {
     /// Number of hosts.
     pub fn hosts(&self) -> usize {
         self.sources.len()
+    }
+
+    /// The current fleet tick (0 before the first [`Fleet::tick`]).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Sim-clock nanoseconds per fleet tick (what converts journey-hop
+    /// ticks to trace timestamps; never 0).
+    pub fn tick_ns(&self) -> u64 {
+        self.cfg.tick.as_u64().max(1)
+    }
+
+    /// The per-frame journey log (hop records behind the Chrome-trace
+    /// fleet tracks).
+    pub fn journeys(&self) -> &JourneyLog {
+        &self.journeys
+    }
+
+    /// The lag SLO tracker (budget spend, burn alerts, exhaustion).
+    pub fn slo(&self) -> &SloTracker {
+        &self.slo
     }
 
     /// The frame tallies so far.
@@ -407,6 +481,54 @@ impl Fleet {
         })
     }
 
+    /// Estimate provenance: why the fleet believes its number for one
+    /// cgroup subtree at fleet tick `tick` (usually [`Fleet::now`]).
+    /// Names every contributing host frame — origin trace, sequence,
+    /// apply tick, staleness, quality and the retransmits the applied
+    /// copy needed. `None` when no host contributes under `path`. The
+    /// report round-trips exactly through
+    /// [`ProvenanceReport::to_json`] / [`ProvenanceReport::from_json`].
+    pub fn explain(&self, path: &str, tick: u64) -> Option<ProvenanceReport> {
+        let mut hosts = Vec::new();
+        let mut power_w = 0.0;
+        let mut band_w = 0.0;
+        for h in 0..self.sources.len() {
+            let host = HostId(h as u32);
+            let s = shard::route(host, self.shards.len());
+            let Some(est) = self.shards[s].tenant_estimate(host, tick, path) else {
+                continue;
+            };
+            let track = self.shards[s].track(host)?;
+            power_w += est.power_w;
+            band_w += est.band_w;
+            hosts.push(FrameProvenance {
+                host: host.0,
+                shard: s as u32,
+                trace: track.last_trace.0,
+                seq: track.last_seq,
+                applied_tick: track.last_update,
+                staleness_ticks: tick.saturating_sub(track.last_update),
+                stale: est.quality != Quality::Full,
+                quality: match est.quality {
+                    Quality::Full => "full",
+                    Quality::Degraded => "degraded",
+                    Quality::Stale => "stale",
+                }
+                .to_string(),
+                retransmits: track.last_attempt,
+                power_w: est.power_w,
+                band_w: est.band_w,
+            });
+        }
+        (!hosts.is_empty()).then(|| ProvenanceReport {
+            path: path.to_string(),
+            tick,
+            power_w,
+            band_w,
+            hosts,
+        })
+    }
+
     /// Advances the whole fleet one tick.
     pub fn tick(&mut self) -> FleetTickReport {
         self.now += 1;
@@ -414,14 +536,20 @@ impl Fleet {
         let sim_now = Nanos(now.saturating_mul(self.cfg.tick.as_u64()));
         let journal = self.telemetry.journal();
         journal.set_now(sim_now);
+        // Fleet-level events with no single frame to blame (partition
+        // windows, SLO alerts) journal on the tick's own trace.
+        let tick_trace = self.telemetry.trace_for_tick(sim_now);
 
         // 1. Acks that completed their return trip release send credits.
         let mut i = 0;
         while i < self.acks.len() {
             if self.acks[i].due <= now {
                 let ack = self.acks.swap_remove(i);
-                if self.senders[ack.host.0 as usize].ack(ack.seq) {
+                if let Some(released) = self.senders[ack.host.0 as usize].ack(ack.seq) {
                     self.stats.acked += 1;
+                    if let Some(m) = &self.metrics {
+                        m.retransmit_count.record(u64::from(released.attempt));
+                    }
                 }
             } else {
                 i += 1;
@@ -439,7 +567,7 @@ impl Fleet {
                         "{what} ticks {}..{} hosts {}..{}",
                         w.start, w.end, w.host_lo, w.host_hi
                     ),
-                    TraceId::NONE,
+                    tick_trace,
                 );
             }
         }
@@ -456,6 +584,7 @@ impl Fleet {
                     .get(&seq)
                     .expect("expired seq")
                     .clone();
+                let trace = p.env.trace;
                 if p.attempt >= self.cfg.retry.max_retries {
                     self.senders[h].pending.remove(&seq);
                     self.stats.abandoned += 1;
@@ -466,8 +595,16 @@ impl Fleet {
                             "seq {seq} abandoned after {} transmissions (budget exhausted)",
                             p.attempt + 1
                         ),
-                        TraceId::NONE,
+                        trace,
                     );
+                    self.journeys.record(FleetHop {
+                        tick: now,
+                        host,
+                        seq,
+                        trace,
+                        attempt: p.attempt,
+                        stage: HopStage::Abandon,
+                    });
                     continue;
                 }
                 let attempt = p.attempt + 1;
@@ -482,25 +619,61 @@ impl Fleet {
                     EventKind::FleetRetry,
                     &host.to_string(),
                     format!("seq {seq} retransmit, attempt {attempt}"),
-                    TraceId::NONE,
+                    trace,
                 );
-                record_send(&mut self.stats, self.links[h].send(p.env, attempt, now));
+                let stage = record_send(&mut self.stats, self.links[h].send(p.env, attempt, now));
+                self.journeys.record(FleetHop {
+                    tick: now,
+                    host,
+                    seq,
+                    trace,
+                    attempt,
+                    stage,
+                });
             }
 
             let frame = self.sources[h].produce(&self.pool);
             truth_w += self.sources[h].truth_w();
             self.stats.produced += 1;
             let payload = encode_frame(&frame);
+            let host_trace = frame.trace();
             drop(frame);
             let seq = self.senders[h].alloc_seq();
+            // The frame's causal identity: the producing host's own tick
+            // trace when its hub stamped one, else a deterministic
+            // fleet-side id unique per (host, seq) — every copy of the
+            // frame (retransmits, link duplicates) shares it.
+            let origin = if host_trace.is_traced() {
+                host_trace
+            } else {
+                TraceId(((u64::from(host.0) + 1) << 32) | (seq + 1))
+            };
             let env = FrameEnvelope {
                 host,
                 seq,
                 sent_at: sim_now,
+                trace: origin,
+                attempt: 0,
                 payload,
             };
+            self.journeys.record(FleetHop {
+                tick: now,
+                host,
+                seq,
+                trace: origin,
+                attempt: 0,
+                stage: HopStage::Produce,
+            });
             if self.plan.dark(host, now) {
                 self.stats.dark_lost += 1;
+                self.journeys.record(FleetHop {
+                    tick: now,
+                    host,
+                    seq,
+                    trace: origin,
+                    attempt: 0,
+                    stage: HopStage::HostDark,
+                });
             } else {
                 self.senders[h].backlog.push_back(env);
                 while self.senders[h].backlog.len() > self.cfg.link.sender_backlog.max(1) {
@@ -510,8 +683,16 @@ impl Fleet {
                         EventKind::FleetShed,
                         &host.to_string(),
                         format!("seq {} shed from sender backlog (no credits)", old.seq),
-                        TraceId::NONE,
+                        old.trace,
                     );
+                    self.journeys.record(FleetHop {
+                        tick: now,
+                        host,
+                        seq: old.seq,
+                        trace: old.trace,
+                        attempt: 0,
+                        stage: HopStage::SenderShed,
+                    });
                 }
             }
 
@@ -520,6 +701,7 @@ impl Fleet {
                     break;
                 };
                 let seq = env.seq;
+                let trace = env.trace;
                 let deadline = self.cfg.retry.deadline(now, 0, &self.plan, host, seq);
                 self.senders[h].pending.insert(
                     seq,
@@ -529,17 +711,30 @@ impl Fleet {
                         deadline,
                     },
                 );
-                record_send(&mut self.stats, self.links[h].send(env, 0, now));
+                let stage = record_send(&mut self.stats, self.links[h].send(env, 0, now));
+                self.journeys.record(FleetHop {
+                    tick: now,
+                    host,
+                    seq,
+                    trace,
+                    attempt: 0,
+                    stage,
+                });
             }
         }
 
         // 4. Deliveries route to their shard's bounded ingest queue.
+        let tick_ns = self.cfg.tick.as_u64().max(1);
         for h in 0..self.links.len() {
             self.delivery_scratch.clear();
             self.links[h].take_due(now, &mut self.delivery_scratch);
             for env in self.delivery_scratch.drain(..) {
+                if let Some(m) = &self.metrics {
+                    let sent_tick = env.sent_at.as_u64() / tick_ns;
+                    m.link_latency[h].record(now.saturating_sub(sent_tick));
+                }
                 let s = shard::route(env.host, self.shards.len());
-                match self.shards[s].ingest(env) {
+                match self.shards[s].ingest(env, now) {
                     IngestOutcome::Accepted => {}
                     IngestOutcome::Shed(old) => {
                         self.stats.shard_shed += 1;
@@ -548,8 +743,16 @@ impl Fleet {
                             EventKind::FleetShed,
                             &format!("shard-{s}"),
                             format!("{} seq {} shed at ingest (overflow)", old.host, old.seq),
-                            TraceId::NONE,
+                            old.trace,
                         );
+                        self.journeys.record(FleetHop {
+                            tick: now,
+                            host: old.host,
+                            seq: old.seq,
+                            trace: old.trace,
+                            attempt: old.attempt,
+                            stage: HopStage::ShardShed { shard: s as u32 },
+                        });
                     }
                 }
             }
@@ -564,18 +767,65 @@ impl Fleet {
                     break;
                 };
                 let (host, seq, ack) = match outcome {
-                    ProcessOutcome::Applied { host, seq, sent_at } => {
+                    ProcessOutcome::Applied {
+                        host,
+                        seq,
+                        sent_at,
+                        trace,
+                        attempt,
+                        queued_ticks,
+                    } => {
                         self.stats.applied += 1;
                         let sent_tick = sent_at.as_u64() / self.cfg.tick.as_u64().max(1);
-                        self.lag_ticks.push(now.saturating_sub(sent_tick));
+                        let lag = now.saturating_sub(sent_tick);
+                        self.lag_ticks.push(lag);
+                        self.slo.observe(lag);
+                        if let Some(m) = &self.metrics {
+                            m.lag.record(lag);
+                            m.shard_service[s].record(queued_ticks);
+                        }
+                        self.journeys.record(FleetHop {
+                            tick: now,
+                            host,
+                            seq,
+                            trace,
+                            attempt,
+                            stage: HopStage::Apply { shard: s as u32 },
+                        });
                         (host, seq, true)
                     }
-                    ProcessOutcome::Duplicate { host, seq } => {
+                    ProcessOutcome::Duplicate {
+                        host,
+                        seq,
+                        trace,
+                        attempt,
+                    } => {
                         self.stats.dup_discarded += 1;
+                        self.journeys.record(FleetHop {
+                            tick: now,
+                            host,
+                            seq,
+                            trace,
+                            attempt,
+                            stage: HopStage::Duplicate { shard: s as u32 },
+                        });
                         (host, seq, true)
                     }
-                    ProcessOutcome::Corrupt { host, seq } => {
+                    ProcessOutcome::Corrupt {
+                        host,
+                        seq,
+                        trace,
+                        attempt,
+                    } => {
                         self.stats.corrupt_frames += 1;
+                        self.journeys.record(FleetHop {
+                            tick: now,
+                            host,
+                            seq,
+                            trace,
+                            attempt,
+                            stage: HopStage::Corrupt { shard: s as u32 },
+                        });
                         (host, seq, false)
                     }
                 };
@@ -601,7 +851,7 @@ impl Fleet {
             self.shards[s].refresh_staleness(now, &mut t);
             self.transitions_scratch = t;
         }
-        for &(host, stale) in &self.transitions_scratch {
+        for &(host, stale, trace) in &self.transitions_scratch {
             if stale {
                 self.stats.stale_transitions += 1;
                 journal.emit(
@@ -611,7 +861,7 @@ impl Fleet {
                         "no fresh frame for {} ticks; holding last-known-good",
                         self.cfg.shard.stale_after_ticks
                     ),
-                    TraceId::NONE,
+                    trace,
                 );
             } else {
                 self.stats.recoveries += 1;
@@ -619,7 +869,7 @@ impl Fleet {
                     EventKind::QualityRecovered,
                     &host.to_string(),
                     "fresh frame applied; staleness cleared",
-                    TraceId::NONE,
+                    trace,
                 );
             }
         }
@@ -649,6 +899,38 @@ impl Fleet {
                     self.stale_ticks[h] += 1;
                 }
             }
+        }
+
+        // 7. Close the tick's SLO accounting: burn-rate alerts and the
+        //    (once-only) budget exhaustion are journal events, so they
+        //    survive into the post-mortem dump the caller writes.
+        let slo_out = self.slo.end_tick(now);
+        if let Some(violations) = slo_out.burn_alert {
+            journal.emit(
+                EventKind::SloBurnRate,
+                "fleet-lag",
+                format!(
+                    "lag > {} ticks {violations}x in the last {} ticks ({} of {} budget spent)",
+                    self.cfg.slo.lag_target_ticks,
+                    self.cfg.slo.burn_window_ticks,
+                    self.slo.total_violations().min(self.cfg.slo.error_budget),
+                    self.cfg.slo.error_budget,
+                ),
+                tick_trace,
+            );
+        }
+        if slo_out.exhausted_now {
+            journal.emit(
+                EventKind::SloBudgetExhausted,
+                "fleet-lag",
+                format!(
+                    "error budget exhausted: {} violations > budget {} over {} samples",
+                    self.slo.total_violations(),
+                    self.cfg.slo.error_budget,
+                    self.slo.total_samples(),
+                ),
+                tick_trace,
+            );
         }
 
         self.sync_metrics();
@@ -754,17 +1036,29 @@ impl Fleet {
     }
 }
 
-fn record_send(stats: &mut FleetStats, outcome: SendOutcome) {
+/// Tallies one transmission and names the journey stage it reached
+/// (entered the link, or which way it died).
+fn record_send(stats: &mut FleetStats, outcome: SendOutcome) -> HopStage {
     stats.transmissions += 1;
     match outcome {
         SendOutcome::Queued { duplicated } => {
             if duplicated {
                 stats.dup_injected += 1;
             }
+            HopStage::Send
         }
-        SendOutcome::DroppedFault => stats.dropped_fault += 1,
-        SendOutcome::DroppedPartition => stats.dropped_partition += 1,
-        SendOutcome::DroppedQueueFull => stats.dropped_queue += 1,
+        SendOutcome::DroppedFault => {
+            stats.dropped_fault += 1;
+            HopStage::DropFault
+        }
+        SendOutcome::DroppedPartition => {
+            stats.dropped_partition += 1;
+            HopStage::DropPartition
+        }
+        SendOutcome::DroppedQueueFull => {
+            stats.dropped_queue += 1;
+            HopStage::DropQueue
+        }
     }
 }
 

@@ -127,10 +127,12 @@ impl SenderState {
         self.pending.len() < self.credits as usize
     }
 
-    /// Handles an ack; returns `true` when it released a pending frame
-    /// (a late ack for an abandoned frame is a no-op).
-    pub fn ack(&mut self, seq: u64) -> bool {
-        self.pending.remove(&seq).is_some()
+    /// Handles an ack; returns the released pending entry when one was
+    /// outstanding (a late ack for an abandoned frame is a no-op). The
+    /// entry carries the transmission count, so the caller can feed the
+    /// retransmit-distribution histogram.
+    pub fn ack(&mut self, seq: u64) -> Option<Pending> {
+        self.pending.remove(&seq)
     }
 
     /// Sequence numbers whose current transmission has timed out.
@@ -153,6 +155,8 @@ mod tests {
             host: HostId(0),
             seq,
             sent_at: Nanos(seq),
+            trace: crate::telemetry::TraceId::NONE,
+            attempt: 0,
             payload: vec![0; 4],
         }
     }
@@ -207,9 +211,10 @@ mod tests {
             );
         }
         assert!(!s.may_send(), "window full consumes all credits");
-        assert!(s.ack(0), "ack releases a credit");
+        let released = s.ack(0).expect("ack releases a credit");
+        assert_eq!(released.attempt, 0, "released entry reports attempts");
         assert!(s.may_send());
-        assert!(!s.ack(0), "late duplicate ack is a no-op");
+        assert!(s.ack(0).is_none(), "late duplicate ack is a no-op");
         assert_eq!(s.expired(5), vec![1]);
         assert_eq!(s.produced(), 2);
     }

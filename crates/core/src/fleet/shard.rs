@@ -15,6 +15,7 @@ use super::envelope::{decode_frame, FrameEnvelope, HostId};
 use crate::actor::OverflowPolicy;
 use crate::formula::PowerFormula;
 use crate::msg::{Quality, SensorReport};
+use crate::telemetry::TraceId;
 use perf_sim::events::Event;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
@@ -70,7 +71,9 @@ pub enum IngestOutcome {
     Shed(FrameEnvelope),
 }
 
-/// What processing one envelope produced.
+/// What processing one envelope produced. Every variant carries the
+/// envelope's origin trace so the caller can journal the outcome on the
+/// frame's causal track.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProcessOutcome {
     /// A fresh frame was decoded and applied to the host's track.
@@ -81,6 +84,13 @@ pub enum ProcessOutcome {
         seq: u64,
         /// Sim-clock timestamp of the original send (for lag).
         sent_at: simcpu::units::Nanos,
+        /// The frame's origin tick trace.
+        trace: TraceId,
+        /// Which transmission the applied copy was (0 = first try).
+        attempt: u32,
+        /// Fleet ticks the envelope waited in the ingest queue (the
+        /// shard's service time under its per-tick budget).
+        queued_ticks: u64,
     },
     /// A duplicate or superseded frame — acked (the sender must stop
     /// retransmitting it) but not applied.
@@ -89,6 +99,10 @@ pub enum ProcessOutcome {
         host: HostId,
         /// The redundant sequence number.
         seq: u64,
+        /// The frame's origin tick trace.
+        trace: TraceId,
+        /// Which transmission the redundant copy was.
+        attempt: u32,
     },
     /// The payload failed checksum or framing — counted, not acked, so
     /// the sender's retransmission recovers the data.
@@ -97,6 +111,10 @@ pub enum ProcessOutcome {
         host: HostId,
         /// The corrupted sequence number.
         seq: u64,
+        /// The frame's origin tick trace.
+        trace: TraceId,
+        /// Which transmission the corrupted copy was.
+        attempt: u32,
     },
 }
 
@@ -113,6 +131,11 @@ pub struct HostTrack {
     pub band_w: f64,
     /// Whether the host is currently past the staleness deadline.
     pub stale: bool,
+    /// Origin trace of the last applied frame (provenance).
+    pub last_trace: TraceId,
+    /// Transmission ordinal of the applied copy (0 = first try) — how
+    /// many retransmits the applied frame needed.
+    pub last_attempt: u32,
 }
 
 /// A host estimate as the shard currently believes it.
@@ -133,7 +156,9 @@ pub struct EstimatorShard {
     cfg: ShardConfig,
     formula: Box<dyn PowerFormula>,
     events: Arc<[Event]>,
-    ingest: VecDeque<FrameEnvelope>,
+    /// (fleet tick of ingest, envelope) — the tick rides along so
+    /// processing can report how long the frame queued.
+    ingest: VecDeque<(u64, FrameEnvelope)>,
     tracks: BTreeMap<u32, HostTrack>,
     /// Per-host cgroup attribution from the last applied frame: leaf
     /// path → (active watts, band watts). Kept beside `tracks` so
@@ -183,17 +208,17 @@ impl EstimatorShard {
         self.ingest.len()
     }
 
-    /// Accepts a delivered envelope, shedding per policy when the
-    /// bounded ingest queue is full.
-    pub fn ingest(&mut self, env: FrameEnvelope) -> IngestOutcome {
+    /// Accepts a delivered envelope at fleet tick `now`, shedding per
+    /// policy when the bounded ingest queue is full.
+    pub fn ingest(&mut self, env: FrameEnvelope, now: u64) -> IngestOutcome {
         if self.ingest.len() < self.cfg.ingest_cap {
-            self.ingest.push_back(env);
+            self.ingest.push_back((now, env));
             return IngestOutcome::Accepted;
         }
         match self.cfg.overflow {
             OverflowPolicy::DropOldest => {
-                let old = self.ingest.pop_front().expect("non-empty at cap");
-                self.ingest.push_back(env);
+                let (_, old) = self.ingest.pop_front().expect("non-empty at cap");
+                self.ingest.push_back((now, env));
                 IngestOutcome::Shed(old)
             }
             // Block cannot block a simulated network ingress; tail-drop
@@ -205,12 +230,18 @@ impl EstimatorShard {
     /// Processes one queued envelope at fleet tick `now`, or `None`
     /// when the queue is empty.
     pub fn process_one(&mut self, now: u64) -> Option<ProcessOutcome> {
-        let env = self.ingest.pop_front()?;
+        let (ingested_at, env) = self.ingest.pop_front()?;
         let host = env.host;
+        let trace = env.trace;
         let wire = match decode_frame(&env.payload) {
             Ok(w) => w,
             Err(_) => {
-                return Some(ProcessOutcome::Corrupt { host, seq: env.seq });
+                return Some(ProcessOutcome::Corrupt {
+                    host,
+                    seq: env.seq,
+                    trace,
+                    attempt: env.attempt,
+                });
             }
         };
         let known = self.tracks.get(&host.0);
@@ -219,7 +250,12 @@ impl EstimatorShard {
             // (reordering) are redundant: ack so the sender stops
             // retransmitting, but keep the newer estimate.
             if env.seq <= t.last_seq {
-                return Some(ProcessOutcome::Duplicate { host, seq: env.seq });
+                return Some(ProcessOutcome::Duplicate {
+                    host,
+                    seq: env.seq,
+                    trace,
+                    attempt: env.attempt,
+                });
             }
         }
         // The staleness flag persists across the apply so the next
@@ -263,23 +299,30 @@ impl EstimatorShard {
                 power_w: self.formula.idle_w() + active,
                 band_w: band,
                 stale: was_stale,
+                last_trace: trace,
+                last_attempt: env.attempt,
             },
         );
         Some(ProcessOutcome::Applied {
             host,
             seq: env.seq,
             sent_at: env.sent_at,
+            trace,
+            attempt: env.attempt,
+            queued_ticks: now.saturating_sub(ingested_at),
         })
     }
 
     /// Re-evaluates staleness for every tracked host, appending
-    /// `(host, is_now_stale)` transitions to `out` (for journaling).
-    pub fn refresh_staleness(&mut self, now: u64, out: &mut Vec<(HostId, bool)>) {
+    /// `(host, is_now_stale, last_applied_trace)` transitions to `out`
+    /// (for journaling — the trace ties the timeout/recovery to the last
+    /// frame the shard actually saw from that host).
+    pub fn refresh_staleness(&mut self, now: u64, out: &mut Vec<(HostId, bool, TraceId)>) {
         for (&h, t) in self.tracks.iter_mut() {
             let stale = now.saturating_sub(t.last_update) > self.cfg.stale_after_ticks;
             if stale != t.stale {
                 t.stale = stale;
-                out.push((HostId(h), stale));
+                out.push((HostId(h), stale, t.last_trace));
             }
         }
     }
@@ -399,6 +442,8 @@ mod tests {
             host: HostId(host),
             seq,
             sent_at: Nanos(seq * 1_000),
+            trace: TraceId(seq + 100),
+            attempt: 0,
             payload: frame_payload(busy_ms),
         }
     }
@@ -428,7 +473,7 @@ mod tests {
     fn applies_estimates_and_acks_duplicates() {
         let mut s = shard(ShardConfig::default());
         assert!(matches!(
-            s.ingest(envelope(2, 0, 500)),
+            s.ingest(envelope(2, 0, 500), 0),
             IngestOutcome::Accepted
         ));
         let out = s.process_one(1).unwrap();
@@ -438,16 +483,25 @@ mod tests {
                 host: HostId(2),
                 seq: 0,
                 sent_at: Nanos(0),
+                trace: TraceId(100),
+                attempt: 0,
+                queued_ticks: 1,
             }
         );
+        let track = s.track(HostId(2)).unwrap();
+        assert_eq!(track.last_trace, TraceId(100), "provenance sticks");
+        assert_eq!(track.last_attempt, 0);
         let est = s.estimate(HostId(2), 1).unwrap();
         assert!((est.power_w - 35.0).abs() < 1e-9, "idle 30 + 10·0.5 load");
         assert_eq!(est.quality, Quality::Full);
         // The same seq again: duplicate, estimate untouched.
-        s.ingest(envelope(2, 0, 900));
+        s.ingest(envelope(2, 0, 900), 2);
         assert!(matches!(
             s.process_one(2),
-            Some(ProcessOutcome::Duplicate { .. })
+            Some(ProcessOutcome::Duplicate {
+                trace: TraceId(100),
+                ..
+            })
         ));
         assert!((s.estimate(HostId(2), 2).unwrap().power_w - 35.0).abs() < 1e-9);
     }
@@ -458,10 +512,13 @@ mod tests {
         let mut env = envelope(1, 0, 500);
         let mid = env.payload.len() / 2;
         env.payload[mid] ^= 0x10;
-        s.ingest(env);
+        s.ingest(env, 0);
         assert!(matches!(
             s.process_one(1),
-            Some(ProcessOutcome::Corrupt { .. })
+            Some(ProcessOutcome::Corrupt {
+                trace: TraceId(100),
+                ..
+            })
         ));
         assert!(s.estimate(HostId(1), 1).is_none());
     }
@@ -474,7 +531,7 @@ mod tests {
             ..ShardConfig::default()
         };
         let mut s = shard(cfg);
-        s.ingest(envelope(3, 0, 1000));
+        s.ingest(envelope(3, 0, 1000), 1);
         s.process_one(1);
         let fresh = s.estimate(HostId(3), 2).unwrap();
         assert_eq!(fresh.quality, Quality::Full);
@@ -487,15 +544,15 @@ mod tests {
         );
         let mut transitions = Vec::new();
         s.refresh_staleness(6, &mut transitions);
-        assert_eq!(transitions, vec![(HostId(3), true)]);
+        assert_eq!(transitions, vec![(HostId(3), true, TraceId(100))]);
         transitions.clear();
         s.refresh_staleness(7, &mut transitions);
         assert!(transitions.is_empty(), "transition fires once");
         // A fresh frame recovers the host.
-        s.ingest(envelope(3, 1, 1000));
+        s.ingest(envelope(3, 1, 1000), 8);
         s.process_one(8);
         s.refresh_staleness(8, &mut transitions);
-        assert_eq!(transitions, vec![(HostId(3), false)]);
+        assert_eq!(transitions, vec![(HostId(3), false, TraceId(101))]);
     }
 
     #[test]
@@ -520,12 +577,17 @@ mod tests {
             Arc::from([] as [Event; 0]),
             None,
         );
-        s.ingest(FrameEnvelope {
-            host: HostId(0),
-            seq: 0,
-            sent_at: Nanos(0),
-            payload: encode_frame(&frame),
-        });
+        s.ingest(
+            FrameEnvelope {
+                host: HostId(0),
+                seq: 0,
+                sent_at: Nanos(0),
+                trace: TraceId(7),
+                attempt: 0,
+                payload: encode_frame(&frame),
+            },
+            0,
+        );
         s.process_one(1);
 
         // Subtree query rolls svc-web + svc-db into tenant-a.
@@ -560,7 +622,7 @@ mod tests {
         assert!(held.band_w > a.band_w, "stale bands widen");
 
         // An ungrouped follow-up frame clears the tenant books.
-        s.ingest(envelope(0, 1, 500));
+        s.ingest(envelope(0, 1, 500), 7);
         s.process_one(7);
         assert!(s.tenant_estimate(HostId(0), 7, "tenant-a").is_none());
         let mut paths = Vec::new();
@@ -576,9 +638,9 @@ mod tests {
             ..ShardConfig::default()
         };
         let mut s = shard(cfg);
-        s.ingest(envelope(0, 0, 100));
-        s.ingest(envelope(0, 1, 100));
-        match s.ingest(envelope(0, 2, 100)) {
+        s.ingest(envelope(0, 0, 100), 0);
+        s.ingest(envelope(0, 1, 100), 0);
+        match s.ingest(envelope(0, 2, 100), 0) {
             IngestOutcome::Shed(old) => assert_eq!(old.seq, 0, "oldest shed first"),
             IngestOutcome::Accepted => panic!("expected shed"),
         }
@@ -588,8 +650,8 @@ mod tests {
             ..ShardConfig::default()
         };
         let mut s = shard(cfg);
-        s.ingest(envelope(0, 0, 100));
-        match s.ingest(envelope(0, 1, 100)) {
+        s.ingest(envelope(0, 0, 100), 0);
+        match s.ingest(envelope(0, 1, 100), 0) {
             IngestOutcome::Shed(new) => assert_eq!(new.seq, 1, "newest shed"),
             IngestOutcome::Accepted => panic!("expected shed"),
         }

@@ -123,6 +123,12 @@ pub struct TickFrame {
     pub events: Arc<[Event]>,
     /// RAPL package energy over the interval, when supported.
     pub rapl_joules: Option<f64>,
+    /// The origin tick trace, stamped by the producing host at snapshot
+    /// time ([`TraceId::NONE`] on hosts running dark). Rides out-of-band
+    /// — never serialised into the wire payload — so fleet envelopes,
+    /// retransmits and journal events can join against the producing
+    /// host's trace spans.
+    trace: TraceId,
     storage: FrameStorage,
     pool: Option<FramePool>,
     /// Whether the searchable pid columns are ascending (the builder's
@@ -151,12 +157,25 @@ impl TickFrame {
             interval,
             events,
             rapl_joules,
+            trace: TraceId::NONE,
             storage,
             pool,
             sorted,
         };
         frame.debug_assert_consistent();
         frame
+    }
+
+    /// Stamps the frame with its origin tick trace (the producing host's
+    /// per-tick id).
+    pub fn set_trace(&mut self, trace: TraceId) {
+        self.trace = trace;
+    }
+
+    /// The origin tick trace ([`TraceId::NONE`] when the producing host
+    /// ran without telemetry).
+    pub fn trace(&self) -> TraceId {
+        self.trace
     }
 
     /// Converts a legacy snapshot (test/interop path; the runtime builds
@@ -392,6 +411,7 @@ impl Clone for TickFrame {
             interval: self.interval,
             events: self.events.clone(),
             rapl_joules: self.rapl_joules,
+            trace: self.trace,
             storage: FrameStorage {
                 hpc_pids: self.storage.hpc_pids.clone(),
                 counters: self.storage.counters.clone(),
@@ -416,6 +436,7 @@ impl PartialEq for TickFrame {
     fn eq(&self, other: &TickFrame) -> bool {
         // The pool is plumbing, not data.
         self.timestamp == other.timestamp
+            && self.trace == other.trace
             && self.interval == other.interval
             && *self.events == *other.events
             && self.rapl_joules == other.rapl_joules

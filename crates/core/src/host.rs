@@ -312,7 +312,13 @@ impl SimHost {
             d
         });
 
-        b.finish(now, interval, self.events_arc.clone(), rapl_joules)
+        let mut frame = b.finish(now, interval, self.events_arc.clone(), rapl_joules);
+        // Stamp the origin tick trace so fleet envelopes and downstream
+        // journal events can join against this host's spans. The runtime
+        // resolves the same (hub, timestamp) pair for its stage spans, so
+        // the stamp is idempotent with the in-process pipeline's ids.
+        frame.set_trace(self.telemetry.trace_for_tick(now));
+        frame
     }
 
     fn snapshot_inner(&mut self) -> HostSnapshot {

@@ -16,6 +16,7 @@
 //! a chaos schedule and checks the dump reconstructs the injected fault
 //! sequence.
 
+use crate::fleet::observe::FleetHop;
 use crate::telemetry::journal::{EventKind, JournalEvent, Severity};
 use crate::telemetry::trace::{Stage, TraceId, TraceSpan};
 use crate::telemetry::Telemetry;
@@ -25,6 +26,11 @@ use std::path::{Path, PathBuf};
 /// The Chrome-trace `tid` journal instants are emitted on (stages own
 /// tids 0–5).
 pub const JOURNAL_TID: u64 = 9;
+
+/// Chrome-trace `pid` base for fleet host tracks: host N's journey
+/// events live in process `FLEET_PID_BASE + N` (pid 1 stays the
+/// single-host pipeline).
+pub const FLEET_PID_BASE: u64 = 2;
 
 // ---------------------------------------------------------------------------
 // JSON string escaping
@@ -416,8 +422,50 @@ fn micros(ns: u64) -> String {
 /// anchor on the span's simulated tick timestamp plus the hop's wall
 /// offset, so tracks line up with simulated time at tick granularity.
 pub fn chrome_trace(spans: &[TraceSpan], events: &[JournalEvent]) -> String {
+    chrome_trace_full(spans, events, &[], 0)
+}
+
+/// [`chrome_trace`] plus fleet journey tracks: every [`FleetHop`]
+/// becomes an instant on process `FLEET_PID_BASE + host` with `tid` =
+/// the frame's sequence number, so one (pid, tid) pair *is* one frame's
+/// causal track — produce → send (per attempt) → apply/drop — and every
+/// instant's `args.trace` names the origin tick trace shared by all of
+/// the frame's copies. `fleet_tick_ns` converts hop ticks to the sim
+/// clock (0 is treated as 1).
+pub fn chrome_trace_full(
+    spans: &[TraceSpan],
+    events: &[JournalEvent],
+    fleet_hops: &[FleetHop],
+    fleet_tick_ns: u64,
+) -> String {
+    let tick_ns = fleet_tick_ns.max(1);
     let mut timed: Vec<(u64, String)> = Vec::new();
     let mut stage_used = [false; 6];
+    let mut fleet_pids: Vec<u64> = Vec::new();
+    for hop in fleet_hops {
+        let pid = FLEET_PID_BASE + u64::from(hop.host.0);
+        if !fleet_pids.contains(&pid) {
+            fleet_pids.push(pid);
+        }
+        let ts_ns = hop.tick.saturating_mul(tick_ns);
+        let shard_arg = match hop.stage.shard() {
+            Some(s) => format!(",\"shard\":{s}"),
+            None => String::new(),
+        };
+        timed.push((
+            ts_ns,
+            format!(
+                "{{\"name\":\"{}\",\"cat\":\"fleet\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{},\"ts\":{},\"args\":{{\"trace\":{},\"seq\":{},\"attempt\":{}{shard_arg}}}}}",
+                hop.stage.label(),
+                hop.seq,
+                micros(ts_ns),
+                hop.trace.0,
+                hop.seq,
+                hop.attempt
+            ),
+        ));
+    }
+    fleet_pids.sort_unstable();
     for span in spans {
         for hop in &span.hops {
             stage_used[hop.stage.index()] = true;
@@ -477,6 +525,12 @@ pub fn chrome_trace(spans: &[TraceSpan], events: &[JournalEvent]) -> String {
             "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":{JOURNAL_TID},\"ts\":0,\"args\":{{\"name\":\"journal\"}}}}"
         ));
     }
+    for pid in &fleet_pids {
+        parts.push(format!(
+            "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"ts\":0,\"args\":{{\"name\":\"fleet host-{}\"}}}}",
+            pid - FLEET_PID_BASE
+        ));
+    }
     parts.extend(timed.into_iter().map(|(_, json)| json));
     format!(
         "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{}\n]}}",
@@ -487,6 +541,21 @@ pub fn chrome_trace(spans: &[TraceSpan], events: &[JournalEvent]) -> String {
 /// [`chrome_trace`] over a hub's current spans + journal.
 pub fn chrome_trace_from(telemetry: &Telemetry) -> String {
     chrome_trace(&telemetry.tracer().spans(), &telemetry.journal().events())
+}
+
+/// [`chrome_trace_from`] plus fleet journey tracks (see
+/// [`chrome_trace_full`]) — what a fleet bench's `--dump-trace` writes.
+pub fn chrome_trace_from_fleet(
+    telemetry: &Telemetry,
+    fleet_hops: &[FleetHop],
+    fleet_tick_ns: u64,
+) -> String {
+    chrome_trace_full(
+        &telemetry.tracer().spans(),
+        &telemetry.journal().events(),
+        fleet_hops,
+        fleet_tick_ns,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -521,6 +590,21 @@ pub fn write_post_mortem(
     horizon: Nanos,
     reason: &str,
 ) -> std::io::Result<PostMortemReport> {
+    write_post_mortem_with_fleet(dir, telemetry, &[], 0, horizon, reason)
+}
+
+/// [`write_post_mortem`] with fleet journey tracks folded into
+/// `trace.json` (see [`chrome_trace_full`]) — the dump a fleet bench or
+/// an exhausted SLO budget writes. Hops before `horizon` are filtered
+/// out like events and spans.
+pub fn write_post_mortem_with_fleet(
+    dir: &Path,
+    telemetry: &Telemetry,
+    fleet_hops: &[FleetHop],
+    fleet_tick_ns: u64,
+    horizon: Nanos,
+    reason: &str,
+) -> std::io::Result<PostMortemReport> {
     std::fs::create_dir_all(dir)?;
     let events = telemetry.journal().events_since(horizon);
     let spans: Vec<TraceSpan> = telemetry
@@ -529,8 +613,14 @@ pub fn write_post_mortem(
         .into_iter()
         .filter(|s| s.tick_ts >= horizon)
         .collect();
+    let tick_ns = fleet_tick_ns.max(1);
+    let hops: Vec<FleetHop> = fleet_hops
+        .iter()
+        .filter(|h| h.tick.saturating_mul(tick_ns) >= horizon.as_u64())
+        .copied()
+        .collect();
     let jsonl = dump_jsonl(&events);
-    let trace = chrome_trace(&spans, &events);
+    let trace = chrome_trace_full(&spans, &events, &hops, fleet_tick_ns);
     let mut prom = format!(
         "# powerapi post-mortem: {reason}\n# horizon_ns: {}\n",
         horizon.as_u64()
@@ -682,6 +772,133 @@ mod tests {
         let prom = std::fs::read_to_string(dir.join("metrics.prom")).unwrap();
         assert!(prom.starts_with("# powerapi post-mortem: requested\n"));
         assert!(prom.contains("powerapi_journal_events_total"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fleet_hops_become_per_frame_tracks() {
+        use crate::fleet::observe::HopStage;
+        use crate::fleet::HostId;
+        let hop = |tick, host, seq, trace, attempt, stage| FleetHop {
+            tick,
+            host: HostId(host),
+            seq,
+            trace: TraceId(trace),
+            attempt,
+            stage,
+        };
+        let hops = vec![
+            hop(1, 0, 0, 11, 0, HopStage::Produce),
+            hop(1, 0, 0, 11, 0, HopStage::Send),
+            hop(3, 0, 0, 11, 0, HopStage::Apply { shard: 1 }),
+            hop(2, 4, 7, 12, 1, HopStage::DropFault),
+        ];
+        let text = chrome_trace_full(&[], &sample_events(), &hops, 1_000);
+        let doc = parse_json(&text).expect("valid JSON");
+        let items = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let fleet: Vec<&Json> = items
+            .iter()
+            .filter(|e| e.get("cat").and_then(Json::as_str) == Some("fleet"))
+            .collect();
+        assert_eq!(fleet.len(), 4);
+        // Host 0's frame 0: all three instants share pid 2 / tid 0 and
+        // the same origin trace — one causal track per frame journey.
+        let track: Vec<&&Json> = fleet
+            .iter()
+            .filter(|e| {
+                e.get("pid").and_then(Json::as_u64) == Some(2)
+                    && e.get("tid").and_then(Json::as_u64) == Some(0)
+            })
+            .collect();
+        assert_eq!(track.len(), 3);
+        for e in &track {
+            assert_eq!(
+                e.get("args").unwrap().get("trace").unwrap().as_u64(),
+                Some(11)
+            );
+        }
+        let names: Vec<&str> = track
+            .iter()
+            .filter_map(|e| e.get("name")?.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["produce", "send", "apply"],
+            "journey in ts order"
+        );
+        assert_eq!(
+            track[2].get("args").unwrap().get("shard").unwrap().as_u64(),
+            Some(1),
+            "apply names its shard"
+        );
+        // Host 4's drop lands on its own process, with its process_name.
+        let drop = fleet
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("drop-fault"))
+            .unwrap();
+        assert_eq!(drop.get("pid").and_then(Json::as_u64), Some(6));
+        assert_eq!(
+            drop.get("args").unwrap().get("attempt").unwrap().as_u64(),
+            Some(1)
+        );
+        let proc_names: Vec<&str> = items
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("process_name"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        assert!(proc_names.contains(&"fleet host-0"));
+        assert!(proc_names.contains(&"fleet host-4"));
+    }
+
+    #[test]
+    fn post_mortem_with_fleet_respects_horizon() {
+        use crate::fleet::observe::HopStage;
+        use crate::fleet::HostId;
+        let t = Telemetry::new();
+        let hops = vec![
+            FleetHop {
+                tick: 1,
+                host: HostId(0),
+                seq: 0,
+                trace: TraceId(5),
+                attempt: 0,
+                stage: HopStage::Produce,
+            },
+            FleetHop {
+                tick: 9,
+                host: HostId(0),
+                seq: 8,
+                trace: TraceId(6),
+                attempt: 0,
+                stage: HopStage::Produce,
+            },
+        ];
+        let dir = std::env::temp_dir().join(format!("powerapi-pmf-test-{}", std::process::id()));
+        let report = write_post_mortem_with_fleet(
+            &dir,
+            &t,
+            &hops,
+            1_000_000_000,
+            Nanos::from_secs(5),
+            "slo-budget-exhausted",
+        )
+        .expect("dump");
+        assert_eq!(report.reason, "slo-budget-exhausted");
+        let trace = std::fs::read_to_string(dir.join("trace.json")).unwrap();
+        let doc = parse_json(&trace).expect("valid JSON");
+        let fleet: Vec<&Json> = doc
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("cat").and_then(Json::as_str) == Some("fleet"))
+            .collect();
+        assert_eq!(fleet.len(), 1, "hop before the horizon is filtered");
+        assert_eq!(
+            fleet[0].get("args").unwrap().get("seq").unwrap().as_u64(),
+            Some(8)
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -100,11 +100,17 @@ pub enum EventKind {
     /// The hierarchical attribution ledger failed its conservation check
     /// (child sums ≠ parent, or root ≠ machine aggregate).
     HierarchyViolation,
+    /// A fleet lag SLO burned error budget faster than the alert
+    /// threshold over the trailing window.
+    SloBurnRate,
+    /// A fleet lag SLO spent its whole error budget; the post-mortem
+    /// dump is triggered (once) when one is configured.
+    SloBudgetExhausted,
 }
 
 impl EventKind {
     /// Every kind, for tests and exhaustive tallies.
-    pub const ALL: [EventKind; 16] = [
+    pub const ALL: [EventKind; 18] = [
         EventKind::ActorStart,
         EventKind::ActorStop,
         EventKind::ActorPanic,
@@ -121,6 +127,8 @@ impl EventKind {
         EventKind::FleetTimeout,
         EventKind::FleetPartition,
         EventKind::HierarchyViolation,
+        EventKind::SloBurnRate,
+        EventKind::SloBudgetExhausted,
     ];
 
     /// Stable kebab-case label (JSONL `kind` field).
@@ -142,6 +150,8 @@ impl EventKind {
             EventKind::FleetTimeout => "fleet-timeout",
             EventKind::FleetPartition => "fleet-partition",
             EventKind::HierarchyViolation => "hierarchy-violation",
+            EventKind::SloBurnRate => "slo-burn-rate",
+            EventKind::SloBudgetExhausted => "slo-budget-exhausted",
         }
     }
 
@@ -154,9 +164,10 @@ impl EventKind {
     pub fn severity(self) -> Severity {
         match self {
             EventKind::ActorStart | EventKind::ActorStop => Severity::Info,
-            EventKind::ActorPanic | EventKind::ActorEscalate | EventKind::HierarchyViolation => {
-                Severity::Error
-            }
+            EventKind::ActorPanic
+            | EventKind::ActorEscalate
+            | EventKind::HierarchyViolation
+            | EventKind::SloBudgetExhausted => Severity::Error,
             EventKind::ActorRestart
             | EventKind::MailboxDrop
             | EventKind::FaultInjected
@@ -167,7 +178,8 @@ impl EventKind {
             | EventKind::FleetShed
             | EventKind::FleetRetry
             | EventKind::FleetTimeout
-            | EventKind::FleetPartition => Severity::Warn,
+            | EventKind::FleetPartition
+            | EventKind::SloBurnRate => Severity::Warn,
         }
     }
 }

@@ -82,6 +82,16 @@ pub const LATENCY_BOUNDS_NS: [u64; 16] = [
     100_000_000,
 ];
 
+/// Bucket upper bounds for tick-denominated fleet lag/latency
+/// histograms: 1 tick … 128 ticks, roughly logarithmic. A frame that
+/// arrives the tick after it was sent has a lag of 1.
+pub const TICK_BOUNDS: [u64; 14] = [1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128];
+
+/// Bucket upper bounds for small-count distributions (e.g. retransmit
+/// attempts per delivered frame). Zero gets its own bucket so "delivered
+/// first try" is directly readable from the dump.
+pub const COUNT_BOUNDS: [u64; 8] = [0, 1, 2, 3, 4, 6, 8, 16];
+
 #[derive(Debug)]
 struct HistogramCore {
     bounds: &'static [u64],
@@ -99,11 +109,18 @@ pub struct Histogram(Arc<HistogramCore>);
 impl Histogram {
     /// Creates a histogram over the standard latency buckets.
     pub fn latency() -> Histogram {
+        Histogram::with_bounds(&LATENCY_BOUNDS_NS)
+    }
+
+    /// Creates a histogram over caller-chosen bucket upper bounds
+    /// (ascending; values above the last bound land in the implicit
+    /// overflow bucket). The unit is whatever the caller records —
+    /// nanoseconds, fleet ticks, attempt counts.
+    pub fn with_bounds(bounds: &'static [u64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "ascending bounds");
         Histogram(Arc::new(HistogramCore {
-            bounds: &LATENCY_BOUNDS_NS,
-            counts: (0..=LATENCY_BOUNDS_NS.len())
-                .map(|_| AtomicU64::new(0))
-                .collect(),
+            bounds,
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
             sum: AtomicU64::new(0),
             count: AtomicU64::new(0),
             max: AtomicU64::new(0),
@@ -146,6 +163,11 @@ impl Histogram {
 
     /// Quantile estimate: the upper bound of the bucket holding the
     /// `q`-th observation (the overflow bucket reports the observed max).
+    ///
+    /// An **empty** histogram has no observations to rank, so every
+    /// quantile is defined as 0 — callers that must distinguish "no
+    /// data" from "all samples were 0" check [`Histogram::count`] first
+    /// (the metrics-line and Prometheus emitters both do).
     pub fn quantile(&self, q: f64) -> u64 {
         let total = self.count();
         if total == 0 {
@@ -187,6 +209,19 @@ impl Histogram {
         };
         let _ = writeln!(out, "{base}_sum{suffix} {}", self.sum());
         let _ = writeln!(out, "{base}_count{suffix} {}", self.count());
+        // Pre-computed quantiles beside the raw buckets, so a dump is
+        // readable without a PromQL engine. Omitted while empty (an
+        // all-zero quantile row would be indistinguishable from real
+        // zero-valued samples — see `quantile`).
+        if self.count() > 0 {
+            for (q, v) in [
+                ("p50", self.quantile(0.50)),
+                ("p95", self.quantile(0.95)),
+                ("p99", self.quantile(0.99)),
+            ] {
+                let _ = writeln!(out, "{base}_{q}{suffix} {v}");
+            }
+        }
     }
 }
 
@@ -243,12 +278,20 @@ impl MetricsRegistry {
 
     /// Registers (or fetches) a latency histogram under `name`.
     pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with_bounds(name, &LATENCY_BOUNDS_NS)
+    }
+
+    /// Registers (or fetches) a histogram under `name` with explicit
+    /// bucket bounds. First registration wins: a later call with
+    /// different bounds returns the existing series unchanged (same
+    /// rule as every other re-registration in this registry).
+    pub fn histogram_with_bounds(&self, name: &str, bounds: &'static [u64]) -> Histogram {
         self.inner
             .lock()
             .expect("metrics registry")
             .histograms
             .entry(name.to_string())
-            .or_insert_with(Histogram::latency)
+            .or_insert_with(|| Histogram::with_bounds(bounds))
             .clone()
     }
 
@@ -364,6 +407,38 @@ mod tests {
         // The tail sample lives in the overflow bucket → observed max.
         assert_eq!(h.quantile(1.0), 200_000_000);
         assert!(h.mean() > 0);
+    }
+
+    #[test]
+    fn custom_bounds_histograms_and_quantile_lines() {
+        let reg = MetricsRegistry::new();
+        let lag = reg.histogram_with_bounds("powerapi_fleet_lag_ticks", &TICK_BOUNDS);
+        // Empty histograms render buckets but no quantile rows.
+        let dark = reg.render_prometheus();
+        assert!(dark.contains("powerapi_fleet_lag_ticks_bucket{le=\"1\"} 0"));
+        assert!(!dark.contains("powerapi_fleet_lag_ticks_p50"), "{dark}");
+        for v in [1, 1, 2, 2, 2, 9] {
+            lag.record(v);
+        }
+        // First registration wins: re-registering with other bounds
+        // returns the same series.
+        assert_eq!(
+            reg.histogram_with_bounds("powerapi_fleet_lag_ticks", &COUNT_BOUNDS)
+                .count(),
+            6
+        );
+        let text = reg.render_prometheus();
+        assert!(text.contains("powerapi_fleet_lag_ticks_bucket{le=\"2\"} 5"));
+        assert!(text.contains("powerapi_fleet_lag_ticks_p50 2"), "{text}");
+        assert!(text.contains("powerapi_fleet_lag_ticks_p95 12"), "{text}");
+        assert!(text.contains("powerapi_fleet_lag_ticks_p99 12"), "{text}");
+        // Count bounds give zero its own bucket.
+        let retx = Histogram::with_bounds(&COUNT_BOUNDS);
+        retx.record(0);
+        retx.record(0);
+        retx.record(3);
+        assert_eq!(retx.quantile(0.5), 0);
+        assert_eq!(retx.quantile(1.0), 3);
     }
 
     #[test]

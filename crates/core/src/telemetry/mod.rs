@@ -17,9 +17,14 @@ pub mod metrics;
 pub mod overhead;
 pub mod trace;
 
-pub use export::{chrome_trace, chrome_trace_from, dump_jsonl, parse_jsonl, PostMortemReport};
+pub use export::{
+    chrome_trace, chrome_trace_from, chrome_trace_from_fleet, chrome_trace_full, dump_jsonl,
+    parse_jsonl, write_post_mortem_with_fleet, PostMortemReport, FLEET_PID_BASE,
+};
 pub use journal::{EventKind, Journal, JournalEvent, Severity, JOURNAL_CAP};
-pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, LATENCY_BOUNDS_NS};
+pub use metrics::{
+    Counter, Gauge, Histogram, MetricsRegistry, COUNT_BOUNDS, LATENCY_BOUNDS_NS, TICK_BOUNDS,
+};
 pub use overhead::{OverheadProfiler, OverheadSummary, SELF_FORMULA, SELF_PID};
 pub use trace::{Hop, Stage, TraceId, TraceSpan, Tracer};
 
@@ -220,9 +225,17 @@ impl Telemetry {
                 h.quantile(0.95)
             );
         }
+        // Quantile trio matches the Prometheus dump's `_p50/_p95/_p99`
+        // rows; omitted while empty (see `Histogram::quantile`).
         let lag = &self.inner.tick_lag_ns;
         if lag.count() > 0 {
-            let _ = write!(out, ",\"tick_lag_p95_ns\":{}", lag.quantile(0.95));
+            let _ = write!(
+                out,
+                ",\"tick_lag_p50_ns\":{},\"tick_lag_p95_ns\":{},\"tick_lag_p99_ns\":{}",
+                lag.quantile(0.5),
+                lag.quantile(0.95),
+                lag.quantile(0.99)
+            );
         }
         // Model-health metrics, present once the residual monitor has
         // registered them (keys: model_residual_mw, model_bias_mw,
@@ -434,7 +447,9 @@ mod tests {
         assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
         assert!(line.contains("\"sim_time_s\":1.500"), "{line}");
         assert!(line.contains("\"sensor_handled\":1"), "{line}");
+        assert!(line.contains("\"tick_lag_p50_ns\":"), "{line}");
         assert!(line.contains("\"tick_lag_p95_ns\":"), "{line}");
+        assert!(line.contains("\"tick_lag_p99_ns\":"), "{line}");
         assert_eq!(line.matches('"').count() % 2, 0);
     }
 }

@@ -38,6 +38,37 @@ fn source(index: usize) -> Box<SimHostSource> {
     Box::new(SimHostSource::new(host, Nanos::from_millis(250), 4))
 }
 
+/// A cgrouped host: gold tenant everywhere, bronze on the even hosts,
+/// one stray process outside every cgroup (the catch-all contributor).
+fn grouped_source(index: usize) -> Box<SimHostSource> {
+    let mut kernel = Kernel::new(presets::intel_i3_2120());
+    kernel.cgroup_create("tenant-gold", 4096);
+    kernel.cgroup_create("tenant-bronze", 1024);
+    let mut pids = vec![kernel.spawn_in_cgroup(
+        "web",
+        "tenant-gold/svc-web",
+        vec![SteadyTask::boxed(WorkUnit::cpu_intensive(
+            0.2 + 0.1 * index as f64,
+        ))],
+    )];
+    if index.is_multiple_of(2) {
+        pids.push(kernel.spawn_in_cgroup(
+            "batch",
+            "tenant-bronze/svc-batch",
+            vec![SteadyTask::boxed(WorkUnit::cpu_intensive(0.3))],
+        ));
+    }
+    pids.push(kernel.spawn(
+        format!("stray{index}"),
+        vec![SteadyTask::boxed(WorkUnit::cpu_intensive(0.1))],
+    ));
+    let mut host = SimHost::new(kernel, PAPER_EVENTS.to_vec(), 4, PowerSpyConfig::default());
+    for pid in pids {
+        host.monitor(pid).expect("monitor");
+    }
+    Box::new(SimHostSource::new(host, Nanos::from_millis(250), 4))
+}
+
 /// Builds the shared test fleet plus a handle to its telemetry hub
 /// (`Telemetry` is an `Arc`-backed handle, so the clone observes
 /// everything the fleet records).
@@ -199,35 +230,6 @@ fn stale_hosts_keep_per_tenant_sums_conserved() {
     use powerapi_suite::powerapi::msg::Quality;
 
     const IDLE_W: f64 = 30.0;
-    let grouped_source = |index: usize| -> Box<SimHostSource> {
-        let mut kernel = Kernel::new(presets::intel_i3_2120());
-        kernel.cgroup_create("tenant-gold", 4096);
-        kernel.cgroup_create("tenant-bronze", 1024);
-        let mut pids = vec![kernel.spawn_in_cgroup(
-            "web",
-            "tenant-gold/svc-web",
-            vec![SteadyTask::boxed(WorkUnit::cpu_intensive(
-                0.2 + 0.1 * index as f64,
-            ))],
-        )];
-        if index.is_multiple_of(2) {
-            pids.push(kernel.spawn_in_cgroup(
-                "batch",
-                "tenant-bronze/svc-batch",
-                vec![SteadyTask::boxed(WorkUnit::cpu_intensive(0.3))],
-            ));
-        }
-        pids.push(kernel.spawn(
-            format!("stray{index}"),
-            vec![SteadyTask::boxed(WorkUnit::cpu_intensive(0.1))],
-        ));
-        let mut host = SimHost::new(kernel, PAPER_EVENTS.to_vec(), 4, PowerSpyConfig::default());
-        for pid in pids {
-            host.monitor(pid).expect("monitor");
-        }
-        Box::new(SimHostSource::new(host, Nanos::from_millis(250), 4))
-    };
-
     let fault = LinkFaultPlan::from_parts(
         0xF1EE_7E57,
         &LinkFaultConfig::default(),
@@ -320,4 +322,149 @@ fn stale_hosts_keep_per_tenant_sums_conserved() {
         "unknown tenants stay absent, not zero"
     );
     fleet.assert_conserved();
+}
+
+/// Source audit: fleet code must never stamp `TraceId::NONE` — every
+/// journal call and envelope carries a propagated origin trace (or the
+/// deterministic per-frame fallback). Only `#[cfg(test)]` helpers may
+/// build untraced envelopes.
+#[test]
+fn fleet_sources_never_stamp_trace_none() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/core/src/fleet");
+    let mut scanned = 0;
+    for entry in std::fs::read_dir(&dir).expect("fleet source dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+            continue;
+        }
+        scanned += 1;
+        let text = std::fs::read_to_string(&path).expect("fleet source file");
+        // Test helpers legitimately build untraced envelopes; production
+        // code stops at the first `#[cfg(test)]`.
+        let production = text.split("#[cfg(test)]").next().unwrap_or("");
+        for (i, line) in production.lines().enumerate() {
+            assert!(
+                !line.contains("TraceId::NONE"),
+                "{}:{}: fleet production code stamps TraceId::NONE — \
+                 propagate the frame's origin trace instead",
+                path.display(),
+                i + 1
+            );
+        }
+    }
+    assert!(scanned >= 6, "expected the fleet modules, found {scanned}");
+}
+
+/// Cross-host trace propagation, observed end-to-end at runtime: every
+/// fleet journal event and every journey hop carries a real trace id,
+/// and each frame's hop chain starts at `produce` and shares one origin
+/// trace across retransmits and duplicates.
+#[test]
+fn fleet_journal_and_journeys_carry_real_traces() {
+    use powerapi_suite::powerapi::fleet::HopStage;
+    use std::collections::BTreeMap;
+
+    let (mut fleet, telemetry) = faulty_fleet();
+    fleet.run(TICKS);
+
+    for event in telemetry.journal().events() {
+        if event.kind.label().starts_with("fleet-") || event.kind.label().starts_with("slo-") {
+            assert!(
+                event.trace.is_traced(),
+                "journal event {} ({}) lost its trace",
+                event.kind.label(),
+                event.subject
+            );
+        }
+    }
+
+    let mut journeys: BTreeMap<(u32, u64), Vec<_>> = BTreeMap::new();
+    for hop in fleet.journeys().hops() {
+        assert!(hop.trace.is_traced(), "journey hop without an origin trace");
+        journeys.entry((hop.host.0, hop.seq)).or_default().push(hop);
+    }
+    assert!(!journeys.is_empty(), "faulty run records journeys");
+    for ((host, seq), hops) in &journeys {
+        assert_eq!(
+            hops[0].stage,
+            HopStage::Produce,
+            "host {host} seq {seq}: journeys start at produce"
+        );
+        assert!(
+            hops.iter().all(|h| h.trace == hops[0].trace),
+            "host {host} seq {seq}: retransmits/duplicates must share the origin trace"
+        );
+    }
+    // The faulty plan provokes retransmissions, so at least one journey
+    // must contain a second transmission attempt — the chain the
+    // Chrome-trace track renders.
+    assert!(
+        journeys
+            .values()
+            .any(|hops| hops.iter().any(|h| h.attempt > 0)),
+        "some journey records a retransmission attempt"
+    );
+}
+
+/// `Fleet::explain` names the host frames behind a tenant estimate and
+/// its JSON round-trips exactly (bit-identical floats, stable key
+/// order) — the provenance contract the E14 bench leans on.
+#[test]
+fn explain_provenance_round_trips_exactly() {
+    use powerapi_suite::powerapi::fleet::ProvenanceReport;
+
+    // Provenance needs tenant books, so this fleet streams grouped
+    // frames — same fault schedule as the shared faulty fleet.
+    let fault = LinkFaultPlan::from_parts(
+        0xF1EE_7E57,
+        &LinkFaultConfig {
+            drop_rate: 0.10,
+            duplicate_rate: 0.05,
+            corrupt_rate: 0.03,
+            reorder_rate: 0.05,
+            ..LinkFaultConfig::default()
+        },
+        vec![LinkWindow {
+            kind: LinkFaultKind::Partition,
+            start: PART_START,
+            end: PART_END,
+            host_lo: 0,
+            host_hi: 2,
+        }],
+    );
+    let cfg = FleetConfig {
+        shards: 2,
+        events: PAPER_EVENTS.to_vec(),
+        fault,
+        ..FleetConfig::default()
+    };
+    let sources = (0..HOSTS).map(|i| grouped_source(i) as _).collect();
+    let mut fleet = Fleet::new(
+        cfg,
+        &CpuLoadFormula::new(30.0, 25.0),
+        sources,
+        Telemetry::new(),
+    );
+    fleet.run(TICKS);
+    let report = fleet
+        .explain("tenant-gold", fleet.now())
+        .expect("gold tenant is attributable");
+    assert_eq!(report.hosts.len(), HOSTS, "every host contributes");
+    for h in &report.hosts {
+        assert!(h.trace != 0, "provenance names the origin trace");
+        assert!(
+            matches!(h.quality.as_str(), "full" | "degraded" | "stale"),
+            "quality label is one of the three tiers"
+        );
+        assert_eq!(
+            h.staleness_ticks,
+            report.tick - h.applied_tick,
+            "staleness is derived from the applied tick"
+        );
+    }
+
+    let json = report.to_json();
+    let round = ProvenanceReport::from_json(&json).expect("provenance JSON parses");
+    assert_eq!(report, round, "parse(serialize(r)) == r, exactly");
+    assert_eq!(round.to_json(), json, "serialization is a fixed point");
 }

@@ -6,13 +6,15 @@
 use powerapi_suite::os_sim::kernel::Kernel;
 use powerapi_suite::os_sim::task::SteadyTask;
 use powerapi_suite::powerapi::actor::{Actor, Context, RestartPolicy};
+use powerapi_suite::powerapi::fleet::{FleetHop, HopStage, HostId};
 use powerapi_suite::powerapi::formula::per_freq::PerFrequencyFormula;
 use powerapi_suite::powerapi::model::power_model::PerFrequencyPowerModel;
 use powerapi_suite::powerapi::msg::{Message, Topic};
 use powerapi_suite::powerapi::runtime::PowerApi;
 use powerapi_suite::powerapi::telemetry::export::parse_json;
 use powerapi_suite::powerapi::telemetry::{
-    chrome_trace, dump_jsonl, parse_jsonl, Counter, EventKind, Journal, Stage, TraceId, Tracer,
+    chrome_trace_full, dump_jsonl, parse_jsonl, Counter, EventKind, Journal, Stage, TraceId,
+    Tracer, FLEET_PID_BASE,
 };
 use powerapi_suite::simcpu::fault::{FaultKind, FaultPlan, FaultWindow};
 use powerapi_suite::simcpu::presets;
@@ -183,18 +185,56 @@ fn hop_entries() -> impl Strategy<Value = Vec<(u64, usize, u64, u64)>> {
     )
 }
 
+/// Every journey stage, shard-carrying variants included.
+const FLEET_STAGES: [HopStage; 12] = [
+    HopStage::Produce,
+    HopStage::Send,
+    HopStage::DropFault,
+    HopStage::DropPartition,
+    HopStage::DropQueue,
+    HopStage::HostDark,
+    HopStage::SenderShed,
+    HopStage::ShardShed { shard: 3 },
+    HopStage::Apply { shard: 0 },
+    HopStage::Duplicate { shard: 1 },
+    HopStage::Corrupt { shard: 2 },
+    HopStage::Abandon,
+];
+
+/// (fleet tick, host, seq, trace id, attempt, stage index) — arbitrary
+/// multi-host journeys, causal or not; the exporter must stay valid and
+/// monotone regardless.
+fn fleet_hop_entries() -> impl Strategy<Value = Vec<(u64, u32, u64, u64, u32, usize)>> {
+    prop::collection::vec(
+        (
+            0u64..60,
+            0u32..8,
+            0u64..40,
+            1u64..1_000,
+            0u32..4,
+            0usize..FLEET_STAGES.len(),
+        ),
+        0usize..48,
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
-    /// Whatever the journal and tracer saw, the Chrome trace-event
-    /// export must (a) parse as one valid JSON document, (b) wrap a
-    /// `traceEvents` array of known phases, and (c) keep every track's
-    /// (`pid`,`tid`) timestamps non-decreasing in array order — the
-    /// property Perfetto's importer relies on.
+    /// Whatever the journal, tracer, and fleet journey log saw, the
+    /// Chrome trace-event export must (a) parse as one valid JSON
+    /// document, (b) wrap a `traceEvents` array of known phases, and
+    /// (c) keep every track's (`pid`,`tid`) timestamps non-decreasing
+    /// in array order — the property Perfetto's importer relies on.
+    /// Multi-host fleet hops land on their own pids (`FLEET_PID_BASE`
+    /// + origin host) as `cat:"fleet"` instants that carry the origin
+    /// trace/seq/attempt.
     #[test]
     fn chrome_trace_is_always_valid_json_with_monotone_tracks(
         entries in journal_entries(),
         hops in hop_entries(),
+        fleet in fleet_hop_entries(),
+        tick_ns in 1u64..2_000_000_000,
     ) {
         let journal = Journal::new(true, 4096, Counter::default(), Counter::default());
         for (k, at, subject, detail, trace) in &entries {
@@ -212,14 +252,31 @@ proptest! {
             let name: Arc<str> = Arc::from(format!("actor-{stage}"));
             tracer.record_hop(id, Stage::ALL[*stage], &name, *queue, *handle);
         }
+        let fleet_hops: Vec<FleetHop> = fleet
+            .iter()
+            .map(|&(tick, host, seq, trace, attempt, stage)| FleetHop {
+                tick,
+                host: HostId(host),
+                seq,
+                trace: TraceId(trace),
+                attempt,
+                stage: FLEET_STAGES[stage],
+            })
+            .collect();
 
-        let text = chrome_trace(&tracer.spans(), &journal.events());
+        let text = chrome_trace_full(
+            &tracer.spans(),
+            &journal.events(),
+            &fleet_hops,
+            tick_ns,
+        );
         let doc = parse_json(&text).expect("export is valid JSON");
         let items = doc
             .get("traceEvents")
             .and_then(|e| e.as_array())
             .expect("traceEvents array");
 
+        let mut fleet_instants = 0usize;
         let mut last_ts: BTreeMap<(u64, u64), f64> = BTreeMap::new();
         for item in items {
             let ph = item.get("ph").and_then(|p| p.as_str()).expect("phase");
@@ -230,6 +287,21 @@ proptest! {
             let ts = item.get("ts").and_then(|t| t.as_f64()).expect("ts");
             prop_assert!(ts >= 0.0);
             let pid = item.get("pid").and_then(|p| p.as_u64()).expect("pid");
+            if item.get("cat").and_then(|c| c.as_str()) == Some("fleet") {
+                fleet_instants += 1;
+                prop_assert_eq!(ph, "i", "fleet hops export as instants");
+                prop_assert!(
+                    pid >= FLEET_PID_BASE,
+                    "fleet tracks live above the pipeline pid, got {pid}"
+                );
+                let args = item.get("args").expect("fleet args");
+                for key in ["trace", "seq", "attempt"] {
+                    prop_assert!(
+                        args.get(key).and_then(|v| v.as_u64()).is_some(),
+                        "fleet instant missing args.{key}"
+                    );
+                }
+            }
             // `process_name` metadata has no tid; every other record does.
             let Some(tid) = item.get("tid").and_then(|t| t.as_u64()) else {
                 continue;
@@ -241,5 +313,10 @@ proptest! {
             );
             *last = ts;
         }
+        prop_assert_eq!(
+            fleet_instants,
+            fleet_hops.len(),
+            "every fleet hop appears exactly once"
+        );
     }
 }

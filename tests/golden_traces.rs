@@ -120,6 +120,8 @@ fn expected_experiments_have_snapshots() {
         "e12_fleet.quick",
         "e13_tenants",
         "e13_tenants.quick",
+        "e14_fleet_observe",
+        "e14_fleet_observe.quick",
     ] {
         assert!(
             names.contains(required),
@@ -150,6 +152,7 @@ fn golden_traces_match_when_requested() {
         ("e10_blackbox", &["--quick", "--check"]),
         ("e12_fleet", &["--quick", "--check"]),
         ("e13_tenants", &["--quick", "--check"]),
+        ("e14_fleet_observe", &["--quick", "--check"]),
     ];
     for (bin, args) in runs {
         eprintln!("golden: checking {bin} {}", args.join(" "));
