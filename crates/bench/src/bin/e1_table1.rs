@@ -3,13 +3,16 @@
 //! whole evaluation runs on. Every row is checked against the published
 //! value; the comparison machines' sheets are printed for context.
 //!
-//! Run: `cargo run --release -p bench-suite --bin e1_table1 [--check|--bless]`
+//! Run: `cargo run --release -p bench-suite --bin e1_table1 [--quick] [--check|--bless]`
+//! (`--quick` only switches the golden snapshot name — the spec sheet has
+//! no schedule to shrink.)
 
-use bench_suite::{section, Golden};
+use bench_suite::{section, BenchArgs, Golden};
 use simcpu::presets::{self, Spec};
 use simcpu::units::MegaHertz;
 
 fn main() {
+    let args = BenchArgs::parse();
     section("E1: Table 1 — Intel Core i3 2120 specifications");
     let spec = Spec::of(&presets::intel_i3_2120());
     print!("{spec}");
@@ -57,7 +60,11 @@ fn main() {
         print!("{}", Spec::of(&cfg));
     }
 
-    let mut golden = Golden::new("e1_table1");
+    let mut golden = Golden::new(if args.quick {
+        "e1_table1.quick"
+    } else {
+        "e1_table1"
+    });
     golden.push_exact("rows_checked", paper.len() as f64);
     golden.push_exact("rows_matched", f64::from(ok));
     golden.push_exact("frequency_mhz", f64::from(spec.frequency.0));

@@ -10,9 +10,11 @@
 //! machine floor, positive coefficients, cache terms dominating per-event
 //! cost, and coefficients growing with frequency (V² scaling).
 //!
-//! Run: `cargo run --release -p bench-suite --bin e2_model`
+//! Run: `cargo run --release -p bench-suite --bin e2_model [--quick] [--check|--bless]`
+//! (`--quick` learns on the quick grid at three frequencies and skips the
+//! calibration wall-clock evidence file — sub-second sweeps are noise.)
 
-use bench_suite::{row, section, Golden};
+use bench_suite::{row, section, BenchArgs, Golden};
 use powerapi::model::learn::{fit_from_samples, measure_idle_power, LearnConfig};
 use powerapi::model::sampling::collect;
 use simcpu::presets;
@@ -21,9 +23,14 @@ use std::io::Write;
 use std::time::Instant;
 
 fn main() {
+    let args = BenchArgs::parse();
     section("E2: learning the i3-2120 energy profile (Figure 1 pipeline)");
     let machine = presets::intel_i3_2120();
-    let cfg = LearnConfig::default();
+    let cfg = if args.quick {
+        LearnConfig::quick()
+    } else {
+        LearnConfig::default()
+    };
     println!(
         "  grid: {} workloads x {} frequencies x {} samples of {}",
         cfg.sampling.grid.len(),
@@ -54,14 +61,16 @@ fn main() {
         format!("{parallel_ms:.0} ms"),
     );
     row("speedup", format!("{speedup:.2}x (bit-identical output)"));
-    let bench_path = std::path::Path::new("BENCH_calibration.json");
-    let mut f = std::fs::File::create(bench_path).expect("bench json file");
-    writeln!(
-        f,
-        "{{\n  \"serial_ms\": {serial_ms:.1},\n  \"parallel_ms\": {parallel_ms:.1},\n  \"threads\": {threads},\n  \"speedup\": {speedup:.2}\n}}"
-    )
-    .expect("write bench json");
-    println!("  wrote {}", bench_path.display());
+    if !args.quick {
+        let bench_path = std::path::Path::new("BENCH_calibration.json");
+        let mut f = std::fs::File::create(bench_path).expect("bench json file");
+        writeln!(
+            f,
+            "{{\n  \"serial_ms\": {serial_ms:.1},\n  \"parallel_ms\": {parallel_ms:.1},\n  \"threads\": {threads},\n  \"speedup\": {speedup:.2}\n}}"
+        )
+        .expect("write bench json");
+        println!("  wrote {}", bench_path.display());
+    }
 
     let idle = measure_idle_power(&machine, &cfg).expect("idle measurement");
     let model = fit_from_samples(idle, &parallel_set).expect("learning pipeline");
@@ -142,7 +151,11 @@ fn main() {
 
     // Golden set: the learned model only (the sweep's wall-clock
     // milliseconds are machine-dependent and never belong here).
-    let mut golden = Golden::new("e2_model");
+    let mut golden = Golden::new(if args.quick {
+        "e2_model.quick"
+    } else {
+        "e2_model"
+    });
     golden.push("idle_w", model.idle_w());
     golden.push("coef_instructions_j", i);
     golden.push("coef_cache_references_j", r);

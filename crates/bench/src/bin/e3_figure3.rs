@@ -7,30 +7,48 @@
 //! trend as the real power consumption and exhibit a median error of
 //! 15 %").
 //!
-//! Run: `cargo run --release -p bench-suite --bin e3_figure3`
+//! Run: `cargo run --release -p bench-suite --bin e3_figure3 [--quick] [--check|--bless]`
+//! (`--quick` learns on the quick grid and replays a 300 s excerpt.)
 //! Data: `target/e3_figure3.dat` (columns: time_s meter_w estimate_w)
 
-use bench_suite::{row, score_outcome, section, Evaluation, Golden};
+use bench_suite::{row, score_outcome, section, BenchArgs, Evaluation, Golden};
 use powerapi::formula::per_freq::PerFrequencyFormula;
 use powerapi::model::learn::{learn_model, LearnConfig};
 use simcpu::presets;
+use simcpu::units::Nanos;
 
 use std::io::Write;
 use workloads::specjbb::{self, SpecJbbConfig};
 
 fn main() {
+    let args = BenchArgs::parse();
     section("E3: Figure 3 — SPECjbb2013, PowerSpy vs PowerAPI estimation");
 
     println!("  [1/3] learning the energy profile (Figure 1 pipeline)…");
-    let model = learn_model(presets::intel_i3_2120(), &LearnConfig::default()).expect("learning");
+    let learn_cfg = if args.quick {
+        LearnConfig::quick()
+    } else {
+        LearnConfig::default()
+    };
+    let model = learn_model(presets::intel_i3_2120(), &learn_cfg).expect("learning");
     println!(
         "        idle = {:.2} W, {} frequencies",
         model.idle_w(),
         model.frequencies().len()
     );
 
-    println!("  [2/3] running SPECjbb2013 for 2500 s under live estimation…");
-    let jbb = SpecJbbConfig::default();
+    let jbb = if args.quick {
+        SpecJbbConfig {
+            duration: Nanos::from_secs(300),
+            ..SpecJbbConfig::default()
+        }
+    } else {
+        SpecJbbConfig::default()
+    };
+    println!(
+        "  [2/3] running SPECjbb2013 for {} s under live estimation…",
+        jbb.duration.as_secs_f64()
+    );
     let eval = Evaluation::new(
         presets::intel_i3_2120(),
         "specjbb2013",
@@ -100,7 +118,11 @@ fn main() {
         report.median_ape,
         trend
     );
-    let mut golden = Golden::new("e3_figure3");
+    let mut golden = Golden::new(if args.quick {
+        "e3_figure3.quick"
+    } else {
+        "e3_figure3"
+    });
     golden.push_exact("aligned_samples", actual.len() as f64);
     golden.push("median_ape_pct", report.median_ape);
     golden.push("mape_pct", report.mape);

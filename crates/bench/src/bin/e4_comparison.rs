@@ -11,9 +11,11 @@
 //! The shape to reproduce: *simple architecture beats complex*, and on
 //! SMT hardware *HT-aware beats HT-oblivious*.
 //!
-//! Run: `cargo run --release -p bench-suite --bin e4_comparison`
+//! Run: `cargo run --release -p bench-suite --bin e4_comparison [--quick] [--check|--bless]`
+//! (`--quick` learns every model on the quick grid and shortens each
+//! held-out run; the *ordering* claims are schedule-independent.)
 
-use bench_suite::{row, section, Evaluation, Golden};
+use bench_suite::{row, section, BenchArgs, Evaluation, Golden};
 use os_sim::task::SteadyTask;
 use powerapi::formula::bertran::{bertran_events, BertranFormula};
 use powerapi::formula::happy::HappyFormula;
@@ -26,10 +28,18 @@ use workloads::speccpu;
 use workloads::specjbb::{self, SpecJbbConfig};
 
 fn main() {
+    let args = BenchArgs::parse();
+    let quick = args.quick;
+    let base_cfg = if quick {
+        LearnConfig::quick()
+    } else {
+        LearnConfig::default()
+    };
+
     // ------------------------------------------------------------------
     section("E4a: Bertran-style decomposable model / SPEC CPU2006 / Core 2 Duo");
     let core2 = presets::core2duo_e6600();
-    let mut cfg = LearnConfig::default();
+    let mut cfg = base_cfg.clone();
     cfg.sampling.events = bertran_events();
     cfg.sampling.slots = bertran_events().len(); // dedicated counters, as Bertran pinned them
     let model = learn_model(core2.clone(), &cfg).expect("bertran learning");
@@ -42,6 +52,11 @@ fn main() {
     println!("  {:<16} {:>10} {:>10}", "benchmark", "mape_%", "med_ape_%");
     let mut errors = Vec::new();
     for bench in speccpu::suite() {
+        let duration = if quick {
+            Nanos::from_secs(10).min(bench.duration)
+        } else {
+            bench.duration
+        };
         let eval = Evaluation {
             clock: Nanos::from_millis(500),
             events: bertran_events(),
@@ -52,7 +67,7 @@ fn main() {
                 (0..core2.topology.physical_cores())
                     .map(|_| SteadyTask::boxed(bench.work))
                     .collect(),
-                bench.duration,
+                duration,
             )
         };
         let report = eval
@@ -72,11 +87,11 @@ fn main() {
     // ------------------------------------------------------------------
     section("E4b: HaPPy HT-aware vs HT-oblivious / co-run scenarios / SMT+turbo Xeon");
     let xeon = presets::xeon_smt_turbo();
-    let cfg = LearnConfig::default();
+    let cfg = base_cfg.clone();
     let happy = learn_happy(xeon.clone(), &cfg).expect("happy learning");
     // The HT-oblivious comparator: same campaign, but solo-threads only
     // (it never learns what co-running does to power).
-    let mut obl_cfg = LearnConfig::default();
+    let mut obl_cfg = base_cfg.clone();
     obl_cfg.sampling.both_smt_levels = false;
     let oblivious = learn_model(xeon.clone(), &obl_cfg).expect("oblivious learning");
 
@@ -95,7 +110,7 @@ fn main() {
                 xeon.clone(),
                 sc.name,
                 sc.workloads.iter().map(|w| SteadyTask::boxed(*w)).collect(),
-                Nanos::from_secs(20),
+                Nanos::from_secs(if quick { 10 } else { 20 }),
             )
         };
         let aware = mk_eval()
@@ -141,9 +156,9 @@ fn main() {
     // ------------------------------------------------------------------
     section("E4c: this paper's generic-counter model / SPECjbb (short) / i3-2120");
     let i3 = presets::intel_i3_2120();
-    let generic = learn_model(i3.clone(), &LearnConfig::default()).expect("generic learning");
+    let generic = learn_model(i3.clone(), &base_cfg).expect("generic learning");
     let jbb = SpecJbbConfig {
-        duration: Nanos::from_secs(600),
+        duration: Nanos::from_secs(if quick { 120 } else { 600 }),
         ..SpecJbbConfig::default()
     };
     let report = Evaluation::new(
@@ -157,7 +172,11 @@ fn main() {
     .expect("generic evaluation");
     row("paper: median error on SPECjbb2013", "15 %");
     row(
-        "reproduction (600 s excerpt): median error",
+        format!(
+            "reproduction ({} s excerpt): median error",
+            jbb.duration.as_secs_f64()
+        )
+        .as_str(),
         format!("{:.2} %", report.median_ape),
     );
     let generic_med = report.median_ape;
@@ -190,7 +209,11 @@ fn main() {
         "E4 verdict: {} (simple-arch {bertran_avg:.1}% < HT-aware {happy_avg:.1}% < generic {generic_med:.1}%; aware beats oblivious on SMT: {happy_smt_avg:.1}% < {obl_smt_avg:.1}%)",
         if ok { "SHAPE REPRODUCED" } else { "MISMATCH" }
     );
-    let mut golden = Golden::new("e4_comparison");
+    let mut golden = Golden::new(if quick {
+        "e4_comparison.quick"
+    } else {
+        "e4_comparison"
+    });
     golden.push("bertran_avg_mape_pct", bertran_avg);
     golden.push("happy_avg_mape_pct", happy_avg);
     golden.push("oblivious_avg_mape_pct", obl_avg);

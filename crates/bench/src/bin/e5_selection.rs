@@ -11,9 +11,12 @@
 //! forward selection — and score each on workloads the calibration never
 //! saw (SPEC-CPU-like mixes and a SPECjbb excerpt).
 //!
-//! Run: `cargo run --release -p bench-suite --bin e5_selection`
+//! Run: `cargo run --release -p bench-suite --bin e5_selection [--quick] [--check|--bless]`
+//! (`--quick` keeps the extended grid — selection needs its contrast —
+//! but samples short windows at three frequencies and shortens the
+//! held-out runs.)
 
-use bench_suite::{row, section, Evaluation, Golden};
+use bench_suite::{row, section, BenchArgs, Evaluation, Golden};
 use os_sim::task::SteadyTask;
 use perf_sim::pfm::Pfm;
 use powerapi::formula::per_freq::PerFrequencyFormula;
@@ -27,22 +30,36 @@ use workloads::specjbb::{self, SpecJbbConfig};
 use workloads::stress::extended_grid;
 
 fn main() {
+    let args = BenchArgs::parse();
+    let quick = args.quick;
     section("E5: automatic counter selection (the paper's §5 proposal)");
     let machine = presets::intel_i3_2120();
     let pfm = Pfm::for_machine(&machine);
 
     // One wide calibration campaign: every available generic counter,
     // on a realistic 4-slot PMU (multiplexing included), over the
-    // extended stress grid.
+    // extended stress grid. Quick mode keeps that grid — the ranking
+    // needs its contrast — and shrinks the windows instead.
+    let base_sampling = if quick {
+        SamplingConfig::quick()
+    } else {
+        SamplingConfig::default()
+    };
     let cfg = LearnConfig {
         sampling: SamplingConfig {
             events: pfm.available_generic(),
             slots: 4,
             grid: extended_grid(),
-            ..SamplingConfig::default()
+            ..base_sampling
         },
-        ..LearnConfig::default()
+        ..if quick {
+            LearnConfig::quick()
+        } else {
+            LearnConfig::default()
+        }
     };
+    let jbb_secs = if quick { 120 } else { 300 };
+    let spec_secs = if quick { 10 } else { 20 };
     println!(
         "  sampling {} generic counters on a 4-slot PMU ({} grid points)…",
         cfg.sampling.events.len(),
@@ -80,9 +97,9 @@ fn main() {
         let projected = set.project(&events).expect("projection");
         let model = fit_from_samples(idle, &projected).expect("fit");
 
-        // Held-out 1: a 300 s SPECjbb excerpt.
+        // Held-out 1: a SPECjbb excerpt.
         let jbb = SpecJbbConfig {
-            duration: Nanos::from_secs(300),
+            duration: Nanos::from_secs(jbb_secs),
             ..SpecJbbConfig::default()
         };
         let jbb_report = Evaluation {
@@ -93,7 +110,7 @@ fn main() {
         .and_then(|o| bench_suite::score_outcome(&o))
         .expect("jbb evaluation");
 
-        // Held-out 2: three SPEC-CPU-like apps, 20 s each.
+        // Held-out 2: three SPEC-CPU-like apps, a short run each.
         let mut spec_errs = Vec::new();
         for name in ["perlbench", "mcf", "milc"] {
             let b = speccpu::by_name(name).expect("known benchmark");
@@ -106,7 +123,7 @@ fn main() {
                     (0..machine.topology.physical_cores())
                         .map(|_| SteadyTask::boxed(b.work))
                         .collect(),
-                    Nanos::from_secs(20),
+                    Nanos::from_secs(spec_secs),
                 )
             }
             .run(PerFrequencyFormula::new(model.clone()))
@@ -147,7 +164,11 @@ fn main() {
         "E5 verdict: {} (automatic selection matches or beats the fixed triple, as §5 anticipates)",
         if ok { "SHAPE REPRODUCED" } else { "MISMATCH" }
     );
-    let mut golden = Golden::new("e5_selection");
+    let mut golden = Golden::new(if quick {
+        "e5_selection.quick"
+    } else {
+        "e5_selection"
+    });
     golden.push_exact("counters_ranked", ranking.len() as f64);
     golden.push("top_rho_abs", ranking[0].1.abs());
     for (label, jbb_med, spec_avg) in &results {

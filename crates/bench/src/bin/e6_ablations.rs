@@ -8,9 +8,11 @@
 //!    exercise "the supported features" (§1);
 //! 3. **PMU slot count** — what counter multiplexing costs the estimate.
 //!
-//! Run: `cargo run --release -p bench-suite --bin e6_ablations`
+//! Run: `cargo run --release -p bench-suite --bin e6_ablations [--quick] [--check|--bless]`
+//! (`--quick` learns on the quick grid and shortens the scoring runs;
+//! each ablation's *direction* is what the verdict checks.)
 
-use bench_suite::{row, section, Evaluation, Golden};
+use bench_suite::{row, section, BenchArgs, Evaluation, Golden};
 use powerapi::formula::per_freq::PerFrequencyFormula;
 use powerapi::model::learn::{fit_from_samples, learn_model, measure_idle_power, LearnConfig};
 use powerapi::model::power_model::PerFrequencyPowerModel;
@@ -19,10 +21,10 @@ use simcpu::presets;
 use simcpu::units::{MegaHertz, Nanos};
 use workloads::specjbb::{self, SpecJbbConfig};
 
-/// Scores a model on a 300 s SPECjbb excerpt (median APE %).
-fn score(model: PerFrequencyPowerModel) -> f64 {
+/// Scores a model on a SPECjbb excerpt (median APE %).
+fn score(model: PerFrequencyPowerModel, secs: u64) -> f64 {
     let jbb = SpecJbbConfig {
-        duration: Nanos::from_secs(300),
+        duration: Nanos::from_secs(secs),
         ..SpecJbbConfig::default()
     };
     Evaluation::new(
@@ -38,8 +40,15 @@ fn score(model: PerFrequencyPowerModel) -> f64 {
 }
 
 fn main() {
+    let args = BenchArgs::parse();
+    let quick = args.quick;
+    let jbb_secs = if quick { 120 } else { 300 };
     let machine = presets::intel_i3_2120();
-    let cfg = LearnConfig::default();
+    let cfg = if quick {
+        LearnConfig::quick()
+    } else {
+        LearnConfig::default()
+    };
     let idle = measure_idle_power(&machine, &cfg).expect("idle");
     let set = collect(&machine, &cfg.sampling).expect("campaign");
 
@@ -60,8 +69,8 @@ fn main() {
             .collect(),
     };
     let global = fit_from_samples(idle, &global_set).expect("global fit");
-    let pf_err = score(per_freq.clone());
-    let g_err = score(global);
+    let pf_err = score(per_freq.clone(), jbb_secs);
+    let g_err = score(global, jbb_secs);
     row(
         "per-frequency (paper design)",
         format!("{pf_err:.2} % median"),
@@ -71,7 +80,7 @@ fn main() {
 
     // ------------------------------------------------------------------
     section("A2: SMT-aware calibration vs solo-threads-only");
-    let mut solo_cfg = LearnConfig::default();
+    let mut solo_cfg = cfg.clone();
     solo_cfg.sampling.both_smt_levels = false;
     let solo_model = learn_model(machine.clone(), &solo_cfg).expect("solo learning");
     // Isolate the SMT effect on a *cold*, fully co-run steady load (a
@@ -111,9 +120,9 @@ fn main() {
     // On the long thermally-drifting SPECjbb run the two error sources
     // interact: the solo-only model's co-run *over*-estimation partly
     // cancels the thermal *under*-estimation. Report it as a finding.
-    let solo_jbb = score(solo_model);
+    let solo_jbb = score(solo_model, jbb_secs);
     println!(
-        "  (finding: on the hot 300 s SPECjbb run, solo-only scores {solo_jbb:.1} % vs \
+        "  (finding: on the hot {jbb_secs} s SPECjbb run, solo-only scores {solo_jbb:.1} % vs \
          {pf_err:.1} % — its overestimation happens to offset thermal drift; \
          error cancellation, not model quality)"
     );
@@ -125,10 +134,11 @@ fn main() {
     // an unmultiplexed session over a SPECjbb excerpt.
     use perf_sim::events::PAPER_EVENTS;
     use perf_sim::session::PerfSession;
+    let a3_ticks: u32 = if quick { 10_000 } else { 30_000 };
     let run_sessions = |slots: usize| -> f64 {
         let mut kernel = os_sim::kernel::Kernel::new(machine.clone());
         let jbb = SpecJbbConfig {
-            duration: Nanos::from_secs(30),
+            duration: Nanos::from_secs(if quick { 10 } else { 30 }),
             ..SpecJbbConfig::default()
         };
         let pid = kernel.spawn("jbb", specjbb::tasks(&jbb));
@@ -142,7 +152,7 @@ fn main() {
             .iter()
             .map(|&e| full.open(pid, e).expect("open"))
             .collect();
-        for _ in 0..30_000 {
+        for _ in 0..a3_ticks {
             let r = kernel.tick(Nanos::from_millis(1));
             mux.observe(&r);
             full.observe(&r);
@@ -182,7 +192,11 @@ fn main() {
             "MISMATCH"
         }
     );
-    let mut golden = Golden::new("e6_ablations");
+    let mut golden = Golden::new(if quick {
+        "e6_ablations.quick"
+    } else {
+        "e6_ablations"
+    });
     golden.push("per_freq_median_ape_pct", pf_err);
     golden.push("global_median_ape_pct", g_err);
     golden.push("smt_aware_corun_mape_pct", aware_corun);

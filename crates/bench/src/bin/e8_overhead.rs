@@ -25,9 +25,14 @@
 //!
 //! Run: `cargo run --release -p bench-suite --bin e8_overhead`
 //! Data: `BENCH_overhead.json` (repo root, committed as evidence)
+//!
+//! Flags (shared [`BenchArgs`] contract): `--quick` shrinks the replay
+//! and fleet arms for CI smoke; `--check` gates against the committed
+//! evidence without rewriting it; `--dump-trace <path>` exports the
+//! instrumented run's Chrome trace; `--bless` rewrites goldens.
 
-use bench_suite::fleetsim::{self, fleet_faults, FleetSpec};
-use bench_suite::{row, section};
+use bench_suite::fleetsim::{self, fleet_faults, json_number, FleetSpec};
+use bench_suite::{dump_trace, row, section, BenchArgs, Golden};
 use os_sim::kernel::Kernel;
 use powerapi::fleet::{ShardConfig, SloConfig};
 use powerapi::formula::per_freq::PerFrequencyFormula;
@@ -45,12 +50,19 @@ use workloads::specjbb::{self, SpecJbbConfig};
 /// (only the *shape* matters here; E8 checks attribution, not accuracy).
 const SELF_WATTS_PER_CORE: f64 = 10.0;
 
-const RUNS_PER_ARM: usize = 3;
+/// The acceptance budget for added wall time, full schedule. Quick runs
+/// compare sub-second walls where scheduler noise alone is a few percent,
+/// so the smoke schedule carries a looser bar — the 3 % claim is only
+/// ever made (and committed as evidence) from the full run.
+const BUDGET_PCT: f64 = 3.0;
+const QUICK_BUDGET_PCT: f64 = 15.0;
 
-/// Fleet-tracing arm shape: the E12 faulty chaos arm at a size whose
-/// `Fleet::run` wall time is long enough for a stable percentage.
-const FLEET_HOSTS: usize = 16;
-const FLEET_TICKS: u64 = 60;
+/// Shapes per schedule: (jbb seconds, runs per arm, fleet hosts, fleet
+/// ticks). The fleet-tracing arm sizes keep `Fleet::run` long enough for
+/// a stable percentage on the full schedule; seven interleaved runs per
+/// arm let the best-of minimum shake off scheduler noise on busy hosts.
+const FULL_SHAPE: (u64, usize, usize, u64) = (600, 7, 16, 60);
+const QUICK_SHAPE: (u64, usize, usize, u64) = (120, 2, 8, 40);
 const FLEET_SHARDS: usize = 2;
 
 /// A sink that counts bytes but keeps nothing — the export cost is paid,
@@ -96,13 +108,18 @@ fn replay(
 /// One replay of the fleet-tracing arm; returns `Fleet::run` wall
 /// seconds plus the journey hops and journal events the enabled arm
 /// recorded (both 0 when the hub is disabled — that's the point).
-fn fleet_replay(model: PerFrequencyPowerModel, tracing_on: bool) -> (f64, usize, u64) {
+fn fleet_replay(
+    model: PerFrequencyPowerModel,
+    hosts: usize,
+    ticks: u64,
+    tracing_on: bool,
+) -> (f64, usize, u64) {
     let spec = FleetSpec {
-        hosts: FLEET_HOSTS,
-        ticks: FLEET_TICKS,
+        hosts,
+        ticks,
         shards: FLEET_SHARDS,
         shard: ShardConfig::default(),
-        fault: fleet_faults(FLEET_HOSTS, FLEET_TICKS),
+        fault: fleet_faults(hosts, ticks),
         slo: SloConfig::default(),
     };
     let hub = if tracing_on {
@@ -120,24 +137,38 @@ fn fleet_replay(model: PerFrequencyPowerModel, tracing_on: bool) -> (f64, usize,
 }
 
 fn main() {
-    section("E8: telemetry self-overhead on the E3 SPECjbb replay");
+    let args = BenchArgs::parse();
+    let quick = args.quick;
+    let (jbb_secs, runs_per_arm, fleet_hosts, fleet_ticks) =
+        if quick { QUICK_SHAPE } else { FULL_SHAPE };
+    let budget_pct = if quick { QUICK_BUDGET_PCT } else { BUDGET_PCT };
+    section(if quick {
+        "E8: telemetry self-overhead on the E3 SPECjbb replay (quick)"
+    } else {
+        "E8: telemetry self-overhead on the E3 SPECjbb replay"
+    });
 
     println!("  [1/3] learning the energy profile once…");
-    let model = learn_model(presets::intel_i3_2120(), &LearnConfig::default()).expect("learning");
+    let learn_cfg = if quick {
+        LearnConfig::quick()
+    } else {
+        LearnConfig::default()
+    };
+    let model = learn_model(presets::intel_i3_2120(), &learn_cfg).expect("learning");
     let jbb = SpecJbbConfig {
-        duration: Nanos::from_secs(600),
+        duration: Nanos::from_secs(jbb_secs),
         ..SpecJbbConfig::default()
     };
 
     println!(
         "  [2/3] replaying {} s of SPECjbb, {} runs per arm, arms interleaved…",
         jbb.duration.as_secs_f64(),
-        RUNS_PER_ARM
+        runs_per_arm
     );
     let mut off_s = Vec::new();
     let mut on_s = Vec::new();
     let mut last_on: Option<(RunOutcome, Telemetry)> = None;
-    for i in 0..RUNS_PER_ARM {
+    for i in 0..runs_per_arm {
         let (t_off, _, _) = replay(model.clone(), &jbb, false);
         let (t_on, outcome, hub) = replay(model.clone(), &jbb, true);
         println!("        run {}: off {t_off:.3} s, on {t_on:.3} s", i + 1);
@@ -198,6 +229,10 @@ fn main() {
     row("self power reports", self_trace.len());
     row("mean self power", format!("{self_mean_w:.4} W"));
 
+    if let Some(path) = &args.dump_trace {
+        dump_trace(&hub, path);
+    }
+
     // Flight-recorder arms: what the shutdown-time exports cost, priced
     // on the instrumented run's full span + journal set. These never run
     // on the hot path, so they report alongside the <3 % budget instead
@@ -226,16 +261,18 @@ fn main() {
     // `Fleet::run` (journeys + histograms + journal + SLO feed).
     println!();
     println!(
-        "  fleet-tracing arms: {FLEET_HOSTS} hosts × {FLEET_TICKS} ticks of the E12 faulty \
-         chaos arm, {RUNS_PER_ARM} runs per arm, arms interleaved…"
+        "  fleet-tracing arms: {fleet_hosts} hosts × {fleet_ticks} ticks of the E12 faulty \
+         chaos arm, {runs_per_arm} runs per arm, arms interleaved…"
     );
     let mut fleet_off_s = Vec::new();
     let mut fleet_on_s = Vec::new();
     let mut fleet_hops = 0usize;
     let mut fleet_events = 0u64;
-    for i in 0..RUNS_PER_ARM {
-        let (t_off, off_hops, off_events) = fleet_replay(model.clone(), false);
-        let (t_on, on_hops, on_events) = fleet_replay(model.clone(), true);
+    for i in 0..runs_per_arm {
+        let (t_off, off_hops, off_events) =
+            fleet_replay(model.clone(), fleet_hosts, fleet_ticks, false);
+        let (t_on, on_hops, on_events) =
+            fleet_replay(model.clone(), fleet_hosts, fleet_ticks, true);
         println!("        run {}: off {t_off:.3} s, on {t_on:.3} s", i + 1);
         assert_eq!(
             (off_hops, off_events),
@@ -263,73 +300,138 @@ fn main() {
     let attributed = !self_trace.is_empty() && self_trace.iter().all(|(_, w)| w.0 >= 0.0);
     let staged = t.stages.iter().all(|s| s.latency.count > 0);
     let traced_fleet = fleet_hops > 0 && fleet_events > 0;
-    let ok = overhead_pct < 3.0 && fleet_overhead_pct < 3.0 && attributed && staged && traced_fleet;
+    let ok = overhead_pct < budget_pct
+        && fleet_overhead_pct < budget_pct
+        && attributed
+        && staged
+        && traced_fleet;
 
     let json_path = std::path::Path::new("BENCH_overhead.json");
-    let mut f = std::fs::File::create(json_path).expect("evidence file");
-    writeln!(f, "{{").expect("write");
-    writeln!(f, "  \"experiment\": \"e8_overhead\",").expect("write");
-    writeln!(
-        f,
-        "  \"replay_duration_s\": {},",
-        jbb.duration.as_secs_f64()
-    )
-    .expect("write");
-    writeln!(f, "  \"runs_per_arm\": {RUNS_PER_ARM},").expect("write");
-    writeln!(f, "  \"telemetry_off_best_s\": {best_off:.4},").expect("write");
-    writeln!(f, "  \"telemetry_on_best_s\": {best_on:.4},").expect("write");
-    writeln!(f, "  \"overhead_pct\": {overhead_pct:.3},").expect("write");
-    writeln!(f, "  \"budget_pct\": 3.0,").expect("write");
-    writeln!(f, "  \"fleet_hosts\": {FLEET_HOSTS},").expect("write");
-    writeln!(f, "  \"fleet_ticks\": {FLEET_TICKS},").expect("write");
-    writeln!(f, "  \"fleet_tracing_off_best_s\": {fleet_best_off:.4},").expect("write");
-    writeln!(f, "  \"fleet_tracing_on_best_s\": {fleet_best_on:.4},").expect("write");
-    writeln!(f, "  \"fleet_overhead_pct\": {fleet_overhead_pct:.3},").expect("write");
-    writeln!(f, "  \"fleet_journey_hops\": {fleet_hops},").expect("write");
-    writeln!(f, "  \"fleet_journal_events\": {fleet_events},").expect("write");
-    writeln!(f, "  \"ticks_traced\": {},", t.ticks_traced).expect("write");
-    writeln!(f, "  \"messages_handled\": {},", t.messages_handled).expect("write");
-    writeln!(
-        f,
-        "  \"middleware_busy_ms\": {:.4},",
-        t.overhead.middleware_busy_ns as f64 / 1e6
-    )
-    .expect("write");
-    writeln!(f, "  \"stages\": {{").expect("write");
-    for (i, stage) in t.stages.iter().enumerate() {
+    if args.check {
+        // Regression gate: the committed evidence must still claim the
+        // full-schedule budget, and this run (at its own schedule's
+        // budget) must reproduce the structural claims. Never rewrites.
+        let text = std::fs::read_to_string(json_path).unwrap_or_else(|e| {
+            eprintln!("cannot read BENCH_overhead.json: {e} — run e8_overhead first");
+            std::process::exit(2);
+        });
+        let recorded_pct = json_number(&text, "overhead_pct").unwrap_or_else(|| {
+            eprintln!("no overhead_pct in BENCH_overhead.json");
+            std::process::exit(2);
+        });
+        let recorded_fleet_pct = json_number(&text, "fleet_overhead_pct").unwrap_or_else(|| {
+            eprintln!("no fleet_overhead_pct in BENCH_overhead.json");
+            std::process::exit(2);
+        });
+        let recorded_budget = json_number(&text, "budget_pct").unwrap_or(BUDGET_PCT);
+        section("E8 overhead regression guard");
+        row("recorded overhead", format!("{recorded_pct:+.3} %"));
+        row(
+            "recorded fleet overhead",
+            format!("{recorded_fleet_pct:+.3} %"),
+        );
+        row("recorded budget", format!("{recorded_budget:.1} %"));
+        row(
+            "measured overhead (this schedule)",
+            format!("{overhead_pct:+.3} %"),
+        );
+        row(
+            "measured fleet overhead (this schedule)",
+            format!("{fleet_overhead_pct:+.3} %"),
+        );
+        row("budget (this schedule)", format!("{budget_pct:.1} %"));
+        let guard_ok = recorded_pct < recorded_budget && recorded_fleet_pct < recorded_budget && ok;
+        println!();
+        if !guard_ok {
+            println!("E8 guard: FAIL");
+            std::process::exit(1);
+        }
+        println!("E8 guard: PASS");
+    } else {
+        let mut f = std::fs::File::create(json_path).expect("evidence file");
+        writeln!(f, "{{").expect("write");
+        writeln!(f, "  \"experiment\": \"e8_overhead\",").expect("write");
+        writeln!(f, "  \"quick\": {quick},").expect("write");
         writeln!(
             f,
-            "    \"{}\": {{\"count\": {}, \"p50_ns\": {}, \"p95_ns\": {}}}{}",
-            stage.stage,
-            stage.latency.count,
-            stage.latency.p50_ns,
-            stage.latency.p95_ns,
-            if i + 1 == t.stages.len() { "" } else { "," }
+            "  \"replay_duration_s\": {},",
+            jbb.duration.as_secs_f64()
         )
         .expect("write");
+        writeln!(f, "  \"runs_per_arm\": {runs_per_arm},").expect("write");
+        writeln!(f, "  \"telemetry_off_best_s\": {best_off:.4},").expect("write");
+        writeln!(f, "  \"telemetry_on_best_s\": {best_on:.4},").expect("write");
+        writeln!(f, "  \"overhead_pct\": {overhead_pct:.3},").expect("write");
+        writeln!(f, "  \"budget_pct\": {budget_pct},").expect("write");
+        writeln!(f, "  \"fleet_hosts\": {fleet_hosts},").expect("write");
+        writeln!(f, "  \"fleet_ticks\": {fleet_ticks},").expect("write");
+        writeln!(f, "  \"fleet_tracing_off_best_s\": {fleet_best_off:.4},").expect("write");
+        writeln!(f, "  \"fleet_tracing_on_best_s\": {fleet_best_on:.4},").expect("write");
+        writeln!(f, "  \"fleet_overhead_pct\": {fleet_overhead_pct:.3},").expect("write");
+        writeln!(f, "  \"fleet_journey_hops\": {fleet_hops},").expect("write");
+        writeln!(f, "  \"fleet_journal_events\": {fleet_events},").expect("write");
+        writeln!(f, "  \"ticks_traced\": {},", t.ticks_traced).expect("write");
+        writeln!(f, "  \"messages_handled\": {},", t.messages_handled).expect("write");
+        writeln!(
+            f,
+            "  \"middleware_busy_ms\": {:.4},",
+            t.overhead.middleware_busy_ns as f64 / 1e6
+        )
+        .expect("write");
+        writeln!(f, "  \"stages\": {{").expect("write");
+        for (i, stage) in t.stages.iter().enumerate() {
+            writeln!(
+                f,
+                "    \"{}\": {{\"count\": {}, \"p50_ns\": {}, \"p95_ns\": {}}}{}",
+                stage.stage,
+                stage.latency.count,
+                stage.latency.p50_ns,
+                stage.latency.p95_ns,
+                if i + 1 == t.stages.len() { "" } else { "," }
+            )
+            .expect("write");
+        }
+        writeln!(f, "  }},").expect("write");
+        writeln!(f, "  \"self_pid\": {},", SELF_PID.0).expect("write");
+        writeln!(f, "  \"self_power_reports\": {},", self_trace.len()).expect("write");
+        writeln!(f, "  \"mean_self_power_w\": {self_mean_w:.4},").expect("write");
+        writeln!(f, "  \"journal_events\": {},", hub.journal().emitted()).expect("write");
+        writeln!(f, "  \"journal_dropped\": {},", hub.journal().dropped()).expect("write");
+        writeln!(f, "  \"chrome_export_ms\": {chrome_ms:.3},").expect("write");
+        writeln!(f, "  \"chrome_export_bytes\": {},", chrome.len()).expect("write");
+        writeln!(f, "  \"jsonl_export_ms\": {jsonl_ms:.3},").expect("write");
+        writeln!(f, "  \"jsonl_export_bytes\": {},", jsonl.len()).expect("write");
+        writeln!(f, "  \"verdict\": \"{}\"", if ok { "PASS" } else { "FAIL" }).expect("write");
+        writeln!(f, "}}").expect("write");
+        println!();
+        println!("        wrote {}", json_path.display());
     }
-    writeln!(f, "  }},").expect("write");
-    writeln!(f, "  \"self_pid\": {},", SELF_PID.0).expect("write");
-    writeln!(f, "  \"self_power_reports\": {},", self_trace.len()).expect("write");
-    writeln!(f, "  \"mean_self_power_w\": {self_mean_w:.4},").expect("write");
-    writeln!(f, "  \"journal_events\": {},", hub.journal().emitted()).expect("write");
-    writeln!(f, "  \"journal_dropped\": {},", hub.journal().dropped()).expect("write");
-    writeln!(f, "  \"chrome_export_ms\": {chrome_ms:.3},").expect("write");
-    writeln!(f, "  \"chrome_export_bytes\": {},", chrome.len()).expect("write");
-    writeln!(f, "  \"jsonl_export_ms\": {jsonl_ms:.3},").expect("write");
-    writeln!(f, "  \"jsonl_export_bytes\": {},", jsonl.len()).expect("write");
-    writeln!(f, "  \"verdict\": \"{}\"", if ok { "PASS" } else { "FAIL" }).expect("write");
-    writeln!(f, "}}").expect("write");
-    println!();
-    println!("        wrote {}", json_path.display());
 
     println!();
     println!(
-        "E8 verdict: {} (overhead {overhead_pct:+.2}% < 3%, fleet tracing \
-         {fleet_overhead_pct:+.2}% < 3%, self-attributed: {attributed}, \
+        "E8 verdict: {} (overhead {overhead_pct:+.2}% < {budget_pct}%, fleet tracing \
+         {fleet_overhead_pct:+.2}% < {budget_pct}%, self-attributed: {attributed}, \
          all stages instrumented: {staged}, fleet traced: {traced_fleet})",
         if ok { "WITHIN BUDGET" } else { "OVER BUDGET" }
     );
+
+    // Wall-derived percentages never belong in a golden set; the
+    // simulation-derived shape of the instrumented run does.
+    let mut golden = Golden::new(if quick {
+        "e8_overhead.quick"
+    } else {
+        "e8_overhead"
+    });
+    golden.push_exact("ticks_traced", t.ticks_traced as f64);
+    golden.push_exact("self_power_reports", self_trace.len() as f64);
+    golden.push_exact("fleet_journey_hops", fleet_hops as f64);
+    golden.push_exact("fleet_journal_events", fleet_events as f64);
+    golden.push_tol("messages_handled", t.messages_handled as f64, 0.15);
+    golden.push_tol("journal_events", hub.journal().emitted() as f64, 0.34);
+    golden.push_exact("self_attributed", f64::from(attributed));
+    golden.push_exact("all_stages_instrumented", f64::from(staged));
+    golden.settle();
+
     if !ok {
         std::process::exit(1);
     }

@@ -14,7 +14,10 @@
 //! granularity.
 
 use crate::actor::{Actor, Context};
-use crate::msg::{Message, Scope};
+use crate::adaptive::{RateCause, RateTransition, SamplingController};
+use crate::health::ModelHealth;
+use crate::msg::{AggregateReport, Message, Quality, Scope};
+use crate::telemetry::EventKind;
 use os_sim::governor::CpufreqGovernor;
 use parking_lot::Mutex;
 use simcpu::freq::PStateTable;
@@ -192,6 +195,117 @@ impl Actor for CapControlActor {
     }
 }
 
+/// The closed-loop sampling controller's bus-side half, sitting beside
+/// the [`RecalibrationTrigger`] in the control stage: it watches every
+/// machine-scope aggregate, turns it into an in-band/breach verdict —
+/// degraded quality from the report itself, drift alarms and band exits
+/// from the shared [`ModelHealth`] view — and feeds the verdict to the
+/// [`SamplingController`]. Each transition the controller returns is
+/// journaled as [`EventKind::RateChange`] with its cause, old/new period
+/// and in-band evidence, so the flight recorder alone reconstructs the
+/// rate history. Subscribe it to [`Topic::Aggregate`].
+///
+/// [`Topic::Aggregate`]: crate::msg::Topic::Aggregate
+#[derive(Debug, Clone)]
+pub struct RateControlActor {
+    controller: SamplingController,
+    health: Option<ModelHealth>,
+    /// Alarm count at the previous verdict, so each alarm breaches once.
+    prev_alarms: u64,
+    /// The full-rate monitoring period, for journaled period arithmetic.
+    base_period: Nanos,
+}
+
+impl RateControlActor {
+    /// Creates the actor around the shared controller handle.
+    /// `base_period` is the full-rate clock period (the journal quotes
+    /// periods, not bare factors); `health` enables residual-driven
+    /// verdicts — without it only report quality and fault notes breach.
+    pub fn new(
+        controller: SamplingController,
+        health: Option<ModelHealth>,
+        base_period: Nanos,
+    ) -> RateControlActor {
+        RateControlActor {
+            controller,
+            health,
+            prev_alarms: 0,
+            base_period,
+        }
+    }
+
+    fn verdict(&mut self, report: &AggregateReport) -> Option<RateCause> {
+        if report.quality != Quality::Full {
+            return Some(RateCause::QualityDegraded);
+        }
+        if let Some(h) = &self.health {
+            let alarms = h.alarms();
+            if alarms > self.prev_alarms {
+                self.prev_alarms = alarms;
+                return Some(RateCause::DriftAlarm);
+            }
+            if h.out_of_band() {
+                return Some(RateCause::OutOfBand);
+            }
+            let guard = self.controller.guard_fraction();
+            if guard < 1.0 && h.band_fraction() >= guard {
+                return Some(RateCause::NearBand);
+            }
+        }
+        None
+    }
+
+    fn journal(&self, t: RateTransition, report: &AggregateReport, ctx: &Context) {
+        let old = Nanos(self.base_period.as_u64() * t.old_factor as u64);
+        let new = Nanos(self.base_period.as_u64() * t.new_factor as u64);
+        let detail = match t.cause {
+            RateCause::InBand => format!(
+                "backoff: period {:.3}s -> {:.3}s after {} in-band tick(s)",
+                old.as_secs_f64(),
+                new.as_secs_f64(),
+                t.inband_streak
+            ),
+            cause => format!(
+                "snap to full rate: period {:.3}s -> {:.3}s on {} (streak was {})",
+                old.as_secs_f64(),
+                new.as_secs_f64(),
+                cause.label(),
+                t.inband_streak
+            ),
+        };
+        ctx.telemetry().journal().emit_at(
+            report.timestamp,
+            EventKind::RateChange,
+            ctx.name(),
+            detail,
+            report.trace,
+        );
+    }
+
+    fn on_report(&mut self, report: &AggregateReport, ctx: &Context) {
+        let breach = self.verdict(report);
+        if let Some(t) = self.controller.observe(breach) {
+            self.journal(t, report, ctx);
+        }
+    }
+}
+
+impl Actor for RateControlActor {
+    fn handle(&mut self, msg: Message, ctx: &Context) {
+        match msg {
+            Message::Aggregate(a) if a.scope == Scope::Machine => {
+                self.on_report(&a, ctx);
+            }
+            Message::AggregateBatch(b) => {
+                for a in b.reports.iter().filter(|a| a.scope == Scope::Machine) {
+                    self.on_report(a, ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
 /// The kernel-side half: a `cpufreq` governor that walks the P-state
 /// ladder as the controller demands. All cores follow one global
 /// frequency (package-level capping, like RAPL's PL1).
@@ -317,6 +431,108 @@ mod tests {
         // Past the window: accepted again.
         assert!(t.fire(Nanos::from_secs(161)));
         assert_eq!(t.fired(), 2);
+    }
+
+    #[test]
+    fn rate_control_actor_drives_and_journals_the_controller() {
+        use crate::actor::ActorSystem;
+        use crate::adaptive::{SamplingConfig, SamplingController};
+        use crate::msg::Topic;
+        use crate::telemetry::{Telemetry, TraceId};
+        use simcpu::units::Watts;
+
+        let ctrl = SamplingController::new(SamplingConfig {
+            inband_jitter: 0,
+            ..SamplingConfig::default()
+        });
+        let telemetry = Telemetry::new();
+        let mut sys = ActorSystem::with_telemetry(telemetry.clone());
+        let r = sys.spawn(
+            "rate-control",
+            Box::new(RateControlActor::new(
+                ctrl.clone(),
+                None,
+                Nanos::from_secs(1),
+            )),
+        );
+        sys.bus().subscribe(Topic::Aggregate, &r);
+        let agg = |ts: u64, q: Quality| {
+            Message::Aggregate(AggregateReport {
+                timestamp: Nanos::from_secs(ts),
+                scope: Scope::Machine,
+                power: Watts(36.0),
+                band_w: Watts(1.0),
+                quality: q,
+                trace: TraceId::NONE,
+            })
+        };
+        // 10 in-band ticks climb the ladder twice (5 per step), then a
+        // degraded report snaps straight back to full rate.
+        for i in 1..=10 {
+            sys.bus().publish(agg(i, Quality::Full));
+        }
+        sys.bus().publish(agg(11, Quality::Degraded));
+        sys.shutdown();
+        assert_eq!(ctrl.factor(), 1, "snapped back to full rate");
+        assert_eq!(ctrl.transitions(), 3, "1→2, 2→4, 4→1");
+        assert_eq!(
+            telemetry.journal().count(EventKind::RateChange),
+            3,
+            "every transition journaled"
+        );
+    }
+
+    #[test]
+    fn near_band_guard_snaps_before_out_of_band() {
+        use crate::actor::ActorSystem;
+        use crate::adaptive::{SamplingConfig, SamplingController};
+        use crate::health::ModelHealth;
+        use crate::msg::Topic;
+        use crate::telemetry::{Telemetry, TraceId};
+        use simcpu::units::Watts;
+
+        let ctrl = SamplingController::new(SamplingConfig {
+            inband_jitter: 0,
+            ..SamplingConfig::default()
+        });
+        let health = ModelHealth::new();
+        let telemetry = Telemetry::new();
+        let mut sys = ActorSystem::with_telemetry(telemetry.clone());
+        let r = sys.spawn(
+            "rate-control",
+            Box::new(RateControlActor::new(
+                ctrl.clone(),
+                Some(health.clone()),
+                Nanos::from_secs(1),
+            )),
+        );
+        sys.bus().subscribe(Topic::Aggregate, &r);
+        let agg = |ts: u64| {
+            Message::Aggregate(AggregateReport {
+                timestamp: Nanos::from_secs(ts),
+                scope: Scope::Machine,
+                power: Watts(36.0),
+                band_w: Watts(1.0),
+                quality: Quality::Full,
+                trace: TraceId::NONE,
+            })
+        };
+        for i in 1..=6 {
+            sys.bus().publish(agg(i));
+        }
+        // The actor digests asynchronously: wait for the backoff to land
+        // before flipping the shared health state under it.
+        assert!(
+            crate::testing::wait_until(std::time::Duration::from_secs(5), || ctrl.factor() == 2),
+            "backed off on in-band residuals"
+        );
+        // Residual at 60 % of the envelope: in band (no quality downgrade,
+        // no out-of-band flag) yet past the 0.5 guard — snaps back.
+        health.record_residual(1.2, 1.2, 1.2, 2.0, false);
+        sys.bus().publish(agg(7));
+        sys.shutdown();
+        assert_eq!(ctrl.factor(), 1, "guard snapped back inside the band");
+        assert_eq!(ctrl.transitions(), 2);
     }
 
     #[test]

@@ -285,11 +285,11 @@ mod tests {
         sys.bus().publish(sensor_msg(crate::sensor::hpc::SOURCE));
         assert!(settled(1));
         // Monitor flags the residual out of band: Degraded.
-        health.record_residual(8.0, 8.0, 8.0, true);
+        health.record_residual(8.0, 8.0, 8.0, 2.0, true);
         sys.bus().publish(sensor_msg(crate::sensor::hpc::SOURCE));
         assert!(settled(2));
         // Residual returns in band: Full again.
-        health.record_residual(0.1, 0.1, 0.1, false);
+        health.record_residual(0.1, 0.1, 0.1, 2.0, false);
         sys.bus().publish(sensor_msg(crate::sensor::hpc::SOURCE));
         sys.shutdown();
         let seen = seen.lock();

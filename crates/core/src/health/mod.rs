@@ -120,6 +120,8 @@ struct HealthShared {
     out_of_band_ticks: AtomicU64,
     out_of_band: AtomicBool,
     residual_uw: AtomicI64,
+    /// Effective out-of-band envelope (band + margin) at the last pair.
+    band_uw: AtomicI64,
     bias_uw: AtomicI64,
     mae_uw: AtomicI64,
     /// `u64::MAX` = no alarm yet.
@@ -153,6 +155,7 @@ impl ModelHealth {
                 out_of_band_ticks: AtomicU64::new(0),
                 out_of_band: AtomicBool::new(false),
                 residual_uw: AtomicI64::new(0),
+                band_uw: AtomicI64::new(0),
                 bias_uw: AtomicI64::new(0),
                 mae_uw: AtomicI64::new(0),
                 first_alarm_ns: AtomicU64::new(u64::MAX),
@@ -171,16 +174,37 @@ impl ModelHealth {
         self.inner.alarms.load(Ordering::Relaxed)
     }
 
+    /// How far through the out-of-band envelope the live residual sits:
+    /// `|residual| / (band + margin)`, 0.0 before the first pair (or with
+    /// a degenerate band). 1.0 is the out-of-band threshold itself; the
+    /// sampling controller snaps back to full rate well before that, so a
+    /// stretched monitoring period never starves the drift detectors of
+    /// the residual ticks they accumulate over.
+    pub fn band_fraction(&self) -> f64 {
+        let band = self.inner.band_uw.load(Ordering::Relaxed);
+        if band <= 0 {
+            return 0.0;
+        }
+        let r = self
+            .inner
+            .residual_uw
+            .load(Ordering::Relaxed)
+            .unsigned_abs();
+        r as f64 / band as f64
+    }
+
     pub(crate) fn record_residual(
         &self,
         residual_w: f64,
         bias_w: f64,
         mae_w: f64,
+        band_eff_w: f64,
         out_of_band: bool,
     ) {
         let s = &self.inner;
         s.ticks.fetch_add(1, Ordering::Relaxed);
         s.residual_uw.store(uw(residual_w), Ordering::Relaxed);
+        s.band_uw.store(uw(band_eff_w), Ordering::Relaxed);
         s.bias_uw.store(uw(bias_w), Ordering::Relaxed);
         s.mae_uw.store(uw(mae_w), Ordering::Relaxed);
         s.out_of_band.store(out_of_band, Ordering::Relaxed);
@@ -326,9 +350,10 @@ impl ResidualMonitor {
             self.bias += a * (residual_w - self.bias);
             self.mae += a * (residual_w.abs() - self.mae);
         }
-        let out_of_band = residual_w.abs() > band_w + self.cfg.band_margin_w;
+        let band_eff = band_w + self.cfg.band_margin_w;
+        let out_of_band = residual_w.abs() > band_eff;
         self.health
-            .record_residual(residual_w, self.bias, self.mae, out_of_band);
+            .record_residual(residual_w, self.bias, self.mae, band_eff, out_of_band);
 
         let mut alarmed = false;
         if self.ticks > self.cfg.warmup_ticks {
@@ -553,7 +578,7 @@ mod tests {
     #[test]
     fn summary_roundtrips_through_shared_handle() {
         let h = ModelHealth::new();
-        h.record_residual(-1.25, -1.0, 1.1, true);
+        h.record_residual(-1.25, -1.0, 1.1, 2.0, true);
         h.record_alarm(Nanos::from_secs(42));
         let s = h.summary();
         assert_eq!(s.ticks, 1);
@@ -563,7 +588,17 @@ mod tests {
         assert!((s.bias_w + 1.0).abs() < 1e-6);
         assert_eq!(s.first_alarm_s, Some(42.0));
         assert!(h.out_of_band());
-        h.record_residual(0.0, 0.0, 0.5, false);
+        assert!((h.band_fraction() - 0.625).abs() < 1e-6, "|-1.25| / 2.0");
+        h.record_residual(0.0, 0.0, 0.5, 2.0, false);
         assert!(!h.out_of_band());
+        assert_eq!(h.band_fraction(), 0.0);
+    }
+
+    #[test]
+    fn band_fraction_degenerate_band_reads_zero() {
+        let h = ModelHealth::new();
+        assert_eq!(h.band_fraction(), 0.0, "no pairs yet");
+        h.record_residual(3.0, 3.0, 3.0, 0.0, true);
+        assert_eq!(h.band_fraction(), 0.0, "zero-width band never divides");
     }
 }

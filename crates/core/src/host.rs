@@ -102,6 +102,24 @@ impl SimHost {
         self.monitor.fault_stats()
     }
 
+    /// Voluntarily caps the perf session's PMU slot budget (adaptive
+    /// sampling sheds slots during in-band operation); `None` restores
+    /// the full budget.
+    pub fn set_slot_limit(&mut self, limit: Option<usize>) {
+        self.monitor.set_slot_limit(limit);
+    }
+
+    /// The currently effective voluntary slot cap, if any.
+    pub fn slot_limit(&self) -> Option<usize> {
+        self.monitor.slot_limit()
+    }
+
+    /// Multiplexing pressure observed by the most recent snapshot's
+    /// counter-sampling pass.
+    pub fn sampling_pressure(&self) -> perf_sim::monitor::SamplePressure {
+        self.monitor.last_pressure()
+    }
+
     /// Meter-fault tallies from the PowerSpy.
     pub fn meter_fault_stats(&self) -> powermeter::powerspy::MeterFaultStats {
         self.meter.fault_stats()

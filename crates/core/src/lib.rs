@@ -62,6 +62,7 @@
 //! ```
 
 pub mod actor;
+pub mod adaptive;
 pub mod aggregator;
 pub mod bus;
 pub mod control;
@@ -88,6 +89,9 @@ pub type Result<T> = std::result::Result<T, Error>;
 
 /// One-stop imports for typical use.
 pub mod prelude {
+    pub use crate::adaptive::{
+        RateCause, SamplingConfig, SamplingController, SelfCostLedger, SelfCostSummary,
+    };
     pub use crate::aggregator::Dimension;
     pub use crate::formula::cpuload::CpuLoadFormula;
     pub use crate::formula::happy::HappyFormula;

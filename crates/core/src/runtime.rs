@@ -27,8 +27,9 @@
 //! ```
 
 use crate::actor::{ActorSystem, RestartPolicy, ShutdownSummary, SpawnOptions};
+use crate::adaptive::{SamplingConfig, SamplingController, SelfCostLedger, SelfCostSummary};
 use crate::aggregator::{Aggregator, Dimension};
-use crate::control::RecalibrationTrigger;
+use crate::control::{RateControlActor, RecalibrationTrigger};
 use crate::formula::fallback::FallbackFormula;
 use crate::formula::{FormulaActor, PowerFormula};
 use crate::frame::FramePool;
@@ -83,6 +84,7 @@ pub struct PowerApiBuilder {
     profile_self: Option<f64>,
     telemetry_out: Option<Box<dyn Write + Send>>,
     model_health: Option<HealthConfig>,
+    adaptive: Option<SamplingConfig>,
     post_mortem_dir: Option<PathBuf>,
     post_mortem_window: Nanos,
     post_mortem_always: bool,
@@ -118,6 +120,7 @@ impl PowerApiBuilder {
             profile_self: None,
             telemetry_out: None,
             model_health: None,
+            adaptive: None,
             post_mortem_dir: None,
             post_mortem_window: Nanos::from_secs(60),
             post_mortem_always: false,
@@ -359,6 +362,21 @@ impl PowerApiBuilder {
         self
     }
 
+    /// Enables closed-loop adaptive sampling: a [`RateControlActor`]
+    /// watches the machine aggregates (plus the model-health view when
+    /// [`PowerApiBuilder::model_health`] is also on), stretches the
+    /// monitoring period by powers of two while residuals stay in band —
+    /// optionally shedding PMU slots — and snaps back to full rate the
+    /// moment a drift alarm, fault window or quality downgrade appears.
+    /// Every rate transition journals as [`EventKind::RateChange`]. Also
+    /// enables the [`SelfCostLedger`] (when telemetry is on) so the
+    /// saved sampling work is priced, not just counted.
+    #[must_use]
+    pub fn adaptive_sampling(mut self, config: SamplingConfig) -> PowerApiBuilder {
+        self.adaptive = Some(config);
+        self
+    }
+
     /// Arms the flight recorder's post-mortem dump: when the run ends in
     /// panic-escalation, a degraded shutdown, or with a latched
     /// recalibration trigger, [`PowerApi::finish`] writes the last-window
@@ -539,6 +557,31 @@ impl PowerApiBuilder {
             bus.subscribe(Topic::Meter, &r);
         }
 
+        // The rate controller sits beside it in the control stage: same
+        // aggregate stream, plus the shared health view for its verdicts.
+        let sampling = self.adaptive.map(SamplingController::new);
+        if let Some(ctrl) = &sampling {
+            let health = model_health.as_ref().map(|(_, h, _)| h.clone());
+            let r = system.spawn_with(
+                "rate-control",
+                Box::new(RateControlActor::new(
+                    ctrl.clone(),
+                    health,
+                    self.clock_period,
+                )),
+                SpawnOptions::default().stage(Stage::Control),
+            );
+            bus.subscribe(Topic::Aggregate, &r);
+        }
+
+        // The self-cost ledger prices the monitoring work itself. It
+        // rides with the self-observation features — profile_self (e8's
+        // attribution) or adaptive sampling (which trades that cost
+        // against accuracy) — and needs telemetry for the measured
+        // columns.
+        let selfcost = (telemetry.enabled() && (self.profile_self.is_some() || sampling.is_some()))
+            .then(|| SelfCostLedger::register(telemetry.registry()));
+
         // Extra actors (controllers, custom aggregators) sit between the
         // built-in pipeline and the reporters so their final flushes still
         // reach the reporters during ordered shutdown.
@@ -627,6 +670,10 @@ impl PowerApiBuilder {
             self_busy_prev: 0,
             self_wall_prev: Instant::now(),
             model_health: model_health.map(|(_, h, t)| (h, t)),
+            sampling,
+            selfcost,
+            selfcost_prev_stage: [0; 6],
+            selfcost_prev_snapshot: 0,
             post_mortem: self
                 .post_mortem_dir
                 .map(|dir| (dir, self.post_mortem_window, self.post_mortem_always)),
@@ -654,6 +701,15 @@ pub struct PowerApi {
     self_wall_prev: Instant,
     /// Shared model-health handle + recalibration hook (when enabled).
     model_health: Option<(ModelHealth, RecalibrationTrigger)>,
+    /// The adaptive sampling controller (when enabled): the runtime
+    /// reads its factor to stretch the tick boundary and shed slots.
+    sampling: Option<SamplingController>,
+    /// The self-cost ledger (when enabled): priced per tick boundary.
+    selfcost: Option<SelfCostLedger>,
+    /// Per-stage handler-ns already charged to the ledger.
+    selfcost_prev_stage: [u64; 6],
+    /// Snapshot-harvest ns already charged to the ledger.
+    selfcost_prev_snapshot: u64,
     /// Post-mortem dump config: `(dir, window, always)`.
     post_mortem: Option<(PathBuf, Nanos, bool)>,
     /// Meter fault stats at the previous tick boundary, so each boundary
@@ -739,7 +795,9 @@ impl PowerApi {
                         .record_host(t.elapsed().as_nanos() as u64);
                 }
                 let tick = if self.batched {
-                    let frame = self.host.snapshot_frame(&self.pool);
+                    let mut frame = self.host.snapshot_frame(&self.pool);
+                    frame.set_sampling_factor(self.sampling.as_ref().map_or(1, |s| s.factor()));
+                    frame.set_sampling_pressure(self.host.sampling_pressure().ratio());
                     let timestamp = frame.timestamp;
                     (Message::Frame(Arc::new(frame)), timestamp)
                 } else {
@@ -753,14 +811,18 @@ impl PowerApi {
                     // event this tick provokes carries its timestamp.
                     self.telemetry.journal().set_now(timestamp);
                 }
+                // Fault deltas relay *before* the tick publishes: the
+                // controller's fault note must happen-before the rate
+                // actor sees this tick's aggregate, so a fault window
+                // snaps the rate back on the tick that opened it.
+                self.journal_fault_deltas(timestamp);
+                let observed_before = self.sampling.as_ref().map(|s| s.observed());
                 bus.publish(msg);
-                if instrumented {
-                    self.journal_fault_deltas(timestamp);
-                }
                 if let Some(wpc) = self.profile_self.filter(|_| instrumented) {
                     self.publish_self_power(&bus, timestamp, wpc);
                 }
-                self.next_boundary += self.clock_period;
+                self.settle_selfcost_tick();
+                self.advance_boundary(observed_before);
                 batch = instrumented.then(Instant::now);
             }
         }
@@ -773,19 +835,31 @@ impl PowerApi {
     }
 
     /// Journals one `FaultInjected` event per fault kind whose counter
-    /// advanced since the previous tick boundary. The sensor substrates
-    /// (powermeter, perf-sim) cannot reach the journal themselves — they
-    /// sit below the middleware — so the runtime polls their stats and
-    /// stamps the events with the tick's trace id.
+    /// advanced since the previous tick boundary, and relays the
+    /// activity to the sampling controller (a fault window must snap the
+    /// rate back to full). The sensor substrates (powermeter, perf-sim)
+    /// cannot reach the journal themselves — they sit below the
+    /// middleware — so the runtime polls their stats and stamps the
+    /// events with the tick's trace id. The journal writes are no-ops on
+    /// a dark hub; the fault relay works either way.
     fn journal_fault_deltas(&mut self, timestamp: Nanos) {
         let meter = self.host.meter_fault_stats();
         let counters = self.host.counter_fault_stats();
         if meter == self.fault_prev_meter && counters == self.fault_prev_counters {
             return;
         }
+        let meter_deltas = meter.delta_kinds(&self.fault_prev_meter);
+        let counter_deltas = counters.delta_kinds(&self.fault_prev_counters);
+        // `emitted` advancing is normal meter throughput, not a fault —
+        // only genuine fault-kind deltas open a window for the sampler.
+        if !meter_deltas.is_empty() || !counter_deltas.is_empty() {
+            if let Some(s) = &self.sampling {
+                s.note_fault();
+            }
+        }
         let journal = self.telemetry.journal();
         let trace = self.telemetry.trace_for_tick(timestamp);
-        for (kind, n) in meter.delta_kinds(&self.fault_prev_meter) {
+        for (kind, n) in meter_deltas {
             journal.emit_at(
                 timestamp,
                 EventKind::FaultInjected,
@@ -794,7 +868,7 @@ impl PowerApi {
                 trace,
             );
         }
-        for (kind, n) in counters.delta_kinds(&self.fault_prev_counters) {
+        for (kind, n) in counter_deltas {
             journal.emit_at(
                 timestamp,
                 EventKind::FaultInjected,
@@ -805,6 +879,63 @@ impl PowerApi {
         }
         self.fault_prev_meter = meter;
         self.fault_prev_counters = counters;
+    }
+
+    /// Advances the next tick boundary by the sampling controller's
+    /// current period factor (1 when adaptive sampling is off) and
+    /// applies the configured slot shedding while backed off.
+    ///
+    /// `observed_before` is the controller's observed-tick count captured
+    /// before the tick published: the boundary waits (bounded) until the
+    /// rate actor has digested this tick's machine aggregate, so tick
+    /// T's verdict paces the T→T+1 gap deterministically instead of
+    /// landing a tick late depending on thread timing. Ticks that
+    /// publish no machine aggregate (nothing monitored) simply time out.
+    fn advance_boundary(&mut self, observed_before: Option<u64>) {
+        let factor = match (&self.sampling, observed_before) {
+            (Some(s), Some(before)) => {
+                let deadline = Instant::now() + Duration::from_millis(2);
+                while s.observed() <= before && Instant::now() < deadline {
+                    std::thread::yield_now();
+                }
+                s.factor().max(1)
+            }
+            _ => 1,
+        };
+        self.next_boundary += Nanos(self.clock_period.as_u64().saturating_mul(factor as u64));
+        if let Some(s) = &self.sampling {
+            let limit = if factor > 1 { s.shed_slots() } else { None };
+            if limit != self.host.slot_limit() {
+                self.host.set_slot_limit(limit);
+            }
+        }
+    }
+
+    /// Settles the self-cost ledger for the tick that just published:
+    /// one tick row, the harvest's counter reads priced by volume ×
+    /// multiplexing pressure, and the measured columns' deltas.
+    fn settle_selfcost_tick(&mut self) {
+        let Some(ledger) = self.selfcost.clone() else {
+            return;
+        };
+        ledger.note_tick();
+        let pressure = self.host.sampling_pressure();
+        ledger.charge_sensor_reads(pressure.reads, pressure.ratio());
+        self.settle_selfcost_measured(&ledger);
+    }
+
+    /// Charges the measured (wall-clock) columns' growth since the last
+    /// settlement: per-stage handler time and snapshot-harvest time.
+    fn settle_selfcost_measured(&mut self, ledger: &SelfCostLedger) {
+        for stage in Stage::ALL {
+            let sum = self.telemetry.stage_histogram(stage).sum();
+            let prev = &mut self.selfcost_prev_stage[stage.index()];
+            ledger.charge_stage(stage, sum.saturating_sub(*prev));
+            *prev = sum;
+        }
+        let snap = self.telemetry.overhead().snapshot_ns();
+        ledger.charge_telemetry(snap.saturating_sub(self.selfcost_prev_snapshot));
+        self.selfcost_prev_snapshot = snap;
     }
 
     /// Publishes the middleware's own consumption since the previous tick
@@ -848,6 +979,20 @@ impl PowerApi {
         self.model_health.as_ref().map(|(_, t)| t)
     }
 
+    /// The adaptive sampling controller (`None` unless the builder
+    /// enabled [`PowerApiBuilder::adaptive_sampling`]). Readable mid-run:
+    /// `factor()` is the live period multiplier.
+    pub fn sampling_controller(&self) -> Option<&SamplingController> {
+        self.sampling.as_ref()
+    }
+
+    /// The self-cost ledger (`None` unless profiling or adaptive
+    /// sampling enabled it). Fleet drivers clone this to charge their
+    /// transport cost into the `fleet` column.
+    pub fn selfcost_ledger(&self) -> Option<&SelfCostLedger> {
+        self.selfcost.as_ref()
+    }
+
     /// Stops the pipeline, drains in-flight messages, and returns every
     /// collected report (empty unless `report_to_memory` was enabled)
     /// together with the pipeline's health summary.
@@ -874,6 +1019,15 @@ impl PowerApi {
             }
             None => ModelHealthSummary::default(),
         };
+        // Settle the measured ledger columns one last time: the work
+        // between the final boundary and the drain above is cost too.
+        let selfcost = match self.selfcost.clone() {
+            Some(ledger) => {
+                self.settle_selfcost_measured(&ledger);
+                ledger.summary()
+            }
+            None => SelfCostSummary::default(),
+        };
         let flight_recorder = self.write_post_mortem(&health)?;
         Ok(RunOutcome {
             reports,
@@ -882,6 +1036,7 @@ impl PowerApi {
             health,
             telemetry: self.telemetry.summary(),
             model_health,
+            selfcost,
             flight_recorder,
         })
     }
@@ -963,6 +1118,12 @@ pub struct RunOutcome {
     /// when the builder did not enable
     /// [`PowerApiBuilder::model_health`].
     pub model_health: ModelHealthSummary,
+    /// The self-cost ledger's bottom line: what the monitoring itself
+    /// cost, per priced column (sensor reads, pipeline stages, telemetry
+    /// harvest, fleet transport). All-zero unless
+    /// [`PowerApiBuilder::profile_self`] or
+    /// [`PowerApiBuilder::adaptive_sampling`] enabled the ledger.
+    pub selfcost: SelfCostSummary,
     /// Where (and why) the flight recorder wrote a post-mortem dump —
     /// `None` unless [`PowerApiBuilder::post_mortem_to`] was armed and a
     /// dump condition held at shutdown (or `post_mortem_always` was set).
@@ -1345,6 +1506,67 @@ mod tests {
         // the stall plus the degraded tail.
         assert!(out.machine_estimates().len() >= 8);
         assert!(out.is_healthy(), "{:?}", out.health);
+    }
+
+    #[test]
+    fn adaptive_sampling_stretches_the_tick_schedule() {
+        let (kernel, pid) = busy_kernel();
+        let mut papi = PowerApi::builder(kernel)
+            .formula(paper_formula())
+            .report_to_memory()
+            .quantum(Nanos::from_millis(2))
+            .clock_period(Nanos::from_millis(500))
+            .adaptive_sampling(SamplingConfig {
+                inband_ticks: 3,
+                hysteresis_ticks: 2,
+                inband_jitter: 0,
+                shed_slots: Some(2),
+                ..SamplingConfig::default()
+            })
+            .build()
+            .unwrap();
+        papi.monitor(pid).unwrap();
+        papi.run_for(Nanos::from_secs(20)).unwrap();
+        let ctrl = papi.sampling_controller().expect("controller wired");
+        assert!(ctrl.factor() > 1, "clean run backs off");
+        assert!(papi.selfcost_ledger().is_some());
+        let out = papi.finish().unwrap();
+        let n = out.machine_estimates().len();
+        assert!(
+            (5..40).contains(&n),
+            "40 full-rate ticks shrink under backoff, got {n}"
+        );
+        // The ledger priced every tick that actually ran.
+        assert_eq!(out.selfcost.ticks as usize, n);
+        assert!(out.selfcost.sensor_reads > 0);
+        assert!(out.selfcost.sensor_read_ns > 0);
+        assert!(out.selfcost.total_ns() >= out.selfcost.sensor_read_ns);
+        assert!(out
+            .telemetry
+            .prometheus
+            .contains("powerapi_selfcost_ticks_total"));
+        // Backoff transitions were journaled.
+        assert!(out.telemetry.journal_events > 0);
+    }
+
+    #[test]
+    fn adaptive_sampling_off_leaves_ledger_and_schedule_alone() {
+        let (kernel, pid) = busy_kernel();
+        let mut papi = PowerApi::builder(kernel)
+            .formula(paper_formula())
+            .report_to_memory()
+            .quantum(Nanos::from_millis(5))
+            .clock_period(Nanos::from_millis(500))
+            .build()
+            .unwrap();
+        papi.monitor(pid).unwrap();
+        assert!(papi.sampling_controller().is_none());
+        assert!(papi.selfcost_ledger().is_none());
+        papi.run_for(Nanos::from_secs(2)).unwrap();
+        let out = papi.finish().unwrap();
+        assert_eq!(out.machine_estimates().len(), 4, "full rate");
+        assert_eq!(out.selfcost, SelfCostSummary::default());
+        assert!(!out.telemetry.prometheus.contains("powerapi_selfcost_"));
     }
 
     #[test]

@@ -27,6 +27,12 @@ use std::path::{Path, PathBuf};
 /// tids 0–5).
 pub const JOURNAL_TID: u64 = 9;
 
+/// The Chrome-trace `tid` sampling-rate transitions are emitted on:
+/// [`EventKind::RateChange`] instants get their own track so the
+/// adaptive controller's decisions read as a timeline next to the
+/// pipeline stages instead of drowning in the general journal.
+pub const RATE_TID: u64 = 10;
+
 /// Chrome-trace `pid` base for fleet host tracks: host N's journey
 /// events live in process `FLEET_PID_BASE + N` (pid 1 stays the
 /// single-host pipeline).
@@ -488,10 +494,17 @@ pub fn chrome_trace_full(
     }
     for e in events {
         let ts_ns = e.at.as_u64();
+        // Rate transitions ride a dedicated track; everything else lands
+        // on the shared journal track.
+        let tid = if e.kind == EventKind::RateChange {
+            RATE_TID
+        } else {
+            JOURNAL_TID
+        };
         timed.push((
             ts_ns,
             format!(
-                "{{\"name\":\"{}\",\"cat\":\"journal\",\"ph\":\"i\",\"s\":\"g\",\"pid\":1,\"tid\":{JOURNAL_TID},\"ts\":{},\"args\":{{\"seq\":{},\"severity\":\"{}\",\"subject\":\"{}\",\"detail\":\"{}\",\"trace\":{}}}}}",
+                "{{\"name\":\"{}\",\"cat\":\"journal\",\"ph\":\"i\",\"s\":\"g\",\"pid\":1,\"tid\":{tid},\"ts\":{},\"args\":{{\"seq\":{},\"severity\":\"{}\",\"subject\":\"{}\",\"detail\":\"{}\",\"trace\":{}}}}}",
                 e.kind.label(),
                 micros(ts_ns),
                 e.seq,
@@ -520,9 +533,14 @@ pub fn chrome_trace_full(
             ));
         }
     }
-    if !events.is_empty() {
+    if events.iter().any(|e| e.kind != EventKind::RateChange) {
         parts.push(format!(
             "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":{JOURNAL_TID},\"ts\":0,\"args\":{{\"name\":\"journal\"}}}}"
+        ));
+    }
+    if events.iter().any(|e| e.kind == EventKind::RateChange) {
+        parts.push(format!(
+            "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":{RATE_TID},\"ts\":0,\"args\":{{\"name\":\"sampling-rate\"}}}}"
         ));
     }
     for pid in &fleet_pids {
@@ -738,6 +756,45 @@ mod tests {
                 assert!(ts >= prev, "track {tid} went backwards");
             }
         }
+    }
+
+    #[test]
+    fn rate_changes_get_their_own_track() {
+        let j = Journal::new(true, 64, Counter::default(), Counter::default());
+        j.emit_at(
+            Nanos::from_secs(1),
+            EventKind::RateChange,
+            "sampling-controller",
+            "in-band backoff: period 1000000000 -> 2000000000 ns",
+            TraceId(3),
+        );
+        j.emit_at(
+            Nanos::from_secs(2),
+            EventKind::DriftAlarm,
+            "model-health",
+            "cusum",
+            TraceId(4),
+        );
+        let text = chrome_trace(&[], &j.events());
+        let doc = parse_json(&text).expect("valid JSON");
+        let items = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let rate = items
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("rate-change"))
+            .expect("rate-change instant");
+        assert_eq!(rate.get("tid").and_then(Json::as_u64), Some(RATE_TID));
+        let alarm = items
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("drift-alarm"))
+            .expect("drift-alarm instant");
+        assert_eq!(alarm.get("tid").and_then(Json::as_u64), Some(JOURNAL_TID));
+        let track_names: Vec<&str> = items
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        assert!(track_names.contains(&"sampling-rate"));
+        assert!(track_names.contains(&"journal"));
     }
 
     #[test]

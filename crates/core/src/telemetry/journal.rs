@@ -106,11 +106,15 @@ pub enum EventKind {
     /// A fleet lag SLO spent its whole error budget; the post-mortem
     /// dump is triggered (once) when one is configured.
     SloBudgetExhausted,
+    /// The adaptive sampling controller changed the monitoring rate
+    /// (backed off while residuals were in-band, or snapped back to full
+    /// rate on a drift alarm, fault window or quality downgrade).
+    RateChange,
 }
 
 impl EventKind {
     /// Every kind, for tests and exhaustive tallies.
-    pub const ALL: [EventKind; 18] = [
+    pub const ALL: [EventKind; 19] = [
         EventKind::ActorStart,
         EventKind::ActorStop,
         EventKind::ActorPanic,
@@ -129,6 +133,7 @@ impl EventKind {
         EventKind::HierarchyViolation,
         EventKind::SloBurnRate,
         EventKind::SloBudgetExhausted,
+        EventKind::RateChange,
     ];
 
     /// Stable kebab-case label (JSONL `kind` field).
@@ -152,6 +157,7 @@ impl EventKind {
             EventKind::HierarchyViolation => "hierarchy-violation",
             EventKind::SloBurnRate => "slo-burn-rate",
             EventKind::SloBudgetExhausted => "slo-budget-exhausted",
+            EventKind::RateChange => "rate-change",
         }
     }
 
@@ -163,7 +169,7 @@ impl EventKind {
     /// The severity this kind is journaled at.
     pub fn severity(self) -> Severity {
         match self {
-            EventKind::ActorStart | EventKind::ActorStop => Severity::Info,
+            EventKind::ActorStart | EventKind::ActorStop | EventKind::RateChange => Severity::Info,
             EventKind::ActorPanic
             | EventKind::ActorEscalate
             | EventKind::HierarchyViolation

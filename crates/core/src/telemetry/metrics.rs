@@ -248,6 +248,40 @@ fn split_name(full: &str) -> (&str, &str) {
     }
 }
 
+/// One-line `# HELP` text for a base name: the owning subsystem read off
+/// the name's prefix. Every family the registry renders gets a header,
+/// so a scraped dump names the layer each series belongs to without a
+/// naming-convention decoder ring.
+fn help_for(base: &str) -> &'static str {
+    const SUBSYSTEMS: [(&str, &str); 8] = [
+        (
+            "powerapi_selfcost_",
+            "self-cost ledger: the middleware pricing its own monitoring work",
+        ),
+        (
+            "powerapi_model_",
+            "model health: paired estimate/meter residuals and drift detectors",
+        ),
+        (
+            "powerapi_fleet_",
+            "fleet observability plane: frame transport between hosts and shards",
+        ),
+        (
+            "powerapi_actor_",
+            "actor runtime: per-actor mailbox and handler",
+        ),
+        ("powerapi_bus_", "event bus fan-out"),
+        ("powerapi_sensor_", "sensing substrate"),
+        ("powerapi_", "power monitoring pipeline"),
+        ("", "application-registered series"),
+    ];
+    SUBSYSTEMS
+        .iter()
+        .find(|(prefix, _)| base.starts_with(prefix))
+        .map(|(_, help)| *help)
+        .unwrap_or("application-registered series")
+}
+
 impl MetricsRegistry {
     /// Creates an empty registry.
     pub fn new() -> MetricsRegistry {
@@ -332,6 +366,7 @@ impl MetricsRegistry {
         for (name, c) in &reg.counters {
             let (base, _) = split_name(name);
             if base != last_base {
+                let _ = writeln!(out, "# HELP {base} {}", help_for(base));
                 let _ = writeln!(out, "# TYPE {base} counter");
                 last_base = base.to_string();
             }
@@ -341,6 +376,7 @@ impl MetricsRegistry {
         for (name, g) in &reg.gauges {
             let (base, _) = split_name(name);
             if base != last_base {
+                let _ = writeln!(out, "# HELP {base} {}", help_for(base));
                 let _ = writeln!(out, "# TYPE {base} gauge");
                 last_base = base.to_string();
             }
@@ -350,6 +386,7 @@ impl MetricsRegistry {
         for (name, h) in &reg.histograms {
             let (base, labels) = split_name(name);
             if base != last_base {
+                let _ = writeln!(out, "# HELP {base} {}", help_for(base));
                 let _ = writeln!(out, "# TYPE {base} histogram");
                 last_base = base.to_string();
             }
@@ -461,5 +498,27 @@ mod tests {
         assert!(text.contains("powerapi_handle_ns_bucket{actor=\"a\",le=\"500\"} 1"));
         assert!(text.contains("powerapi_handle_ns_count{actor=\"a\"} 1"));
         assert!(text.contains("le=\"+Inf\"} 1"));
+        // Every TYPE header is immediately preceded by its HELP line for
+        // the same base name, exactly once per family.
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let base = rest.split(' ').next().expect("TYPE base name");
+                let help = format!("# HELP {base} ");
+                assert!(
+                    i > 0 && lines[i - 1].starts_with(&help),
+                    "TYPE for {base} not preceded by its HELP:\n{text}"
+                );
+                assert_eq!(
+                    text.matches(help.as_str()).count(),
+                    1,
+                    "one HELP line per family:\n{text}"
+                );
+            }
+        }
+        assert!(
+            text.contains("# HELP powerapi_handled_total power monitoring pipeline"),
+            "{text}"
+        );
     }
 }

@@ -245,9 +245,22 @@ impl Telemetry {
                 let _ = write!(out, ",\"model_{key}\":{v}");
             }
         }
+        // Self-cost ledger columns ride along once registered. Label
+        // series flatten into the key (`stage_ns_total{stage="formula"}`
+        // → `stage_ns_total_formula`) so the line stays valid JSON.
         for (name, v) in self.inner.registry.counter_values() {
             if let Some(key) = name.strip_prefix("powerapi_model_") {
                 let _ = write!(out, ",\"model_{key}\":{v}");
+            } else if let Some(key) = name.strip_prefix("powerapi_selfcost_") {
+                match key.split_once('{') {
+                    Some((base, labels)) => {
+                        let value = labels.split('"').nth(1).unwrap_or("");
+                        let _ = write!(out, ",\"selfcost_{base}_{value}\":{v}");
+                    }
+                    None => {
+                        let _ = write!(out, ",\"selfcost_{key}\":{v}");
+                    }
+                }
             }
         }
         let o = self.inner.overhead.summary();
@@ -451,5 +464,22 @@ mod tests {
         assert!(line.contains("\"tick_lag_p95_ns\":"), "{line}");
         assert!(line.contains("\"tick_lag_p99_ns\":"), "{line}");
         assert_eq!(line.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn json_snapshot_flattens_selfcost_label_series() {
+        let t = Telemetry::new();
+        t.registry().counter("powerapi_selfcost_ticks_total").add(7);
+        t.registry()
+            .counter("powerapi_selfcost_stage_ns_total{stage=\"formula\"}")
+            .add(4_000);
+        let line = t.json_snapshot(Nanos::from_secs(1));
+        assert!(line.contains("\"selfcost_ticks_total\":7"), "{line}");
+        assert!(
+            line.contains("\"selfcost_stage_ns_total_formula\":4000"),
+            "label series flattened: {line}"
+        );
+        assert!(!line.contains("{stage="), "no raw labels leak: {line}");
+        assert_eq!(line.matches('"').count() % 2, 0, "valid quoting: {line}");
     }
 }

@@ -56,6 +56,12 @@ impl OverheadProfiler {
         self.handle_ns.load(Ordering::Relaxed)
     }
 
+    /// Total wall ns spent harvesting snapshots so far (the self-cost
+    /// ledger prices this as the telemetry column).
+    pub fn snapshot_ns(&self) -> u64 {
+        self.snapshot_ns.load(Ordering::Relaxed)
+    }
+
     /// Totals so far.
     pub fn summary(&self) -> OverheadSummary {
         let middleware_busy_ns = self.handle_ns.load(Ordering::Relaxed);

@@ -88,6 +88,33 @@ where
         .collect()
 }
 
+/// Multiplexing pressure observed over one sampling pass: how many
+/// counters were read and how much of their enabled time they actually
+/// spent scheduled on the PMU. `time_enabled / time_running` is the
+/// extrapolation factor the scaled values carry — the accuracy knob an
+/// adaptive sampler trades against read cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SamplePressure {
+    /// Counter reads performed by the pass.
+    pub reads: u64,
+    /// Summed `time_enabled` across the read counters.
+    pub time_enabled: simcpu::units::Nanos,
+    /// Summed `time_running` across the read counters.
+    pub time_running: simcpu::units::Nanos,
+}
+
+impl SamplePressure {
+    /// The mean extrapolation factor `time_enabled / time_running`
+    /// (≥ 1.0; exactly 1.0 when nothing multiplexed or nothing ran).
+    pub fn ratio(&self) -> f64 {
+        if self.time_running.as_u64() == 0 {
+            1.0
+        } else {
+            (self.time_enabled.as_u64() as f64 / self.time_running.as_u64() as f64).max(1.0)
+        }
+    }
+}
+
 /// Monitors a fixed event list for any number of processes.
 ///
 /// Each tracked pid keeps its counter ids *and* the previous readings
@@ -98,6 +125,7 @@ pub struct ProcessMonitor {
     session: PerfSession,
     events: Vec<Event>,
     tracked: BTreeMap<Pid, Vec<(CounterId, u64)>>,
+    last_pressure: SamplePressure,
 }
 
 impl ProcessMonitor {
@@ -107,6 +135,7 @@ impl ProcessMonitor {
             session: PerfSession::new(slots),
             events,
             tracked: BTreeMap::new(),
+            last_pressure: SamplePressure::default(),
         }
     }
 
@@ -124,6 +153,23 @@ impl ProcessMonitor {
     /// What the installed fault plan has done to the session so far.
     pub fn fault_stats(&self) -> CounterFaultStats {
         self.session.fault_stats()
+    }
+
+    /// Voluntarily caps the underlying session's PMU slot budget (see
+    /// [`PerfSession::set_slot_limit`]). `None` restores the full budget.
+    pub fn set_slot_limit(&mut self, limit: Option<usize>) {
+        self.session.set_slot_limit(limit);
+    }
+
+    /// The currently effective voluntary slot cap, if any.
+    pub fn slot_limit(&self) -> Option<usize> {
+        self.session.slot_limit()
+    }
+
+    /// Multiplexing pressure observed by the most recent
+    /// [`ProcessMonitor::sample`]/[`ProcessMonitor::sample_into`] pass.
+    pub fn last_pressure(&self) -> SamplePressure {
+        self.last_pressure
     }
 
     /// Starts monitoring a process.
@@ -170,15 +216,25 @@ impl ProcessMonitor {
     /// the interval baseline (call once per monitoring period).
     pub fn sample(&mut self) -> Vec<IntervalSample> {
         let mut out = Vec::with_capacity(self.tracked.len());
+        let mut pressure = SamplePressure::default();
         for (&pid, ids) in &mut self.tracked {
             let mut deltas = Vec::with_capacity(ids.len());
             for ((id, prev), &event) in ids.iter_mut().zip(&self.events) {
-                let now = self.session.read(*id).map(|v| v.scaled).unwrap_or(0);
+                let now = match self.session.read(*id) {
+                    Ok(v) => {
+                        pressure.reads += 1;
+                        pressure.time_enabled += v.time_enabled;
+                        pressure.time_running += v.time_running;
+                        v.scaled
+                    }
+                    Err(_) => 0,
+                };
                 let before = std::mem::replace(prev, now);
                 deltas.push((event, now.saturating_sub(before)));
             }
             out.push(IntervalSample { pid, deltas });
         }
+        self.last_pressure = pressure;
         out
     }
 
@@ -190,14 +246,24 @@ impl ProcessMonitor {
     pub fn sample_into(&mut self, pids: &mut Vec<Pid>, deltas: &mut Vec<u64>) {
         pids.reserve(self.tracked.len());
         deltas.reserve(self.tracked.len() * self.events.len());
+        let mut pressure = SamplePressure::default();
         for (&pid, ids) in &mut self.tracked {
             pids.push(pid);
             for (id, prev) in ids.iter_mut() {
-                let now = self.session.read(*id).map(|v| v.scaled).unwrap_or(0);
+                let now = match self.session.read(*id) {
+                    Ok(v) => {
+                        pressure.reads += 1;
+                        pressure.time_enabled += v.time_enabled;
+                        pressure.time_running += v.time_running;
+                        v.scaled
+                    }
+                    Err(_) => 0,
+                };
                 let before = std::mem::replace(prev, now);
                 deltas.push(now.saturating_sub(before));
             }
         }
+        self.last_pressure = pressure;
     }
 }
 
@@ -336,6 +402,41 @@ mod tests {
         let mut sorted = paths.clone();
         sorted.sort_unstable();
         assert_eq!(paths, sorted);
+    }
+
+    #[test]
+    fn sampling_records_pressure_and_slot_limit_raises_it() {
+        let mut k = Kernel::new(presets::intel_i3_2120());
+        let pid = k.spawn("app", vec![SteadyTask::boxed(WorkUnit::cpu_intensive(1.0))]);
+        let mut m = ProcessMonitor::new(4, PAPER_EVENTS.to_vec());
+        m.track(pid).unwrap();
+        assert_eq!(m.last_pressure(), SamplePressure::default());
+        for _ in 0..10 {
+            m.observe(&k.tick(MS));
+        }
+        m.sample();
+        let relaxed = m.last_pressure();
+        assert_eq!(relaxed.reads, PAPER_EVENTS.len() as u64);
+        assert!(
+            (relaxed.ratio() - 1.0).abs() < 1e-9,
+            "4 slots fit 4 solo counters: no multiplexing"
+        );
+        // Shedding slots forces multiplexing; the pressure pass sees it.
+        m.set_slot_limit(Some(2));
+        assert_eq!(m.slot_limit(), Some(2));
+        for _ in 0..20 {
+            m.observe(&k.tick(MS));
+        }
+        let mut pids = Vec::new();
+        let mut deltas = Vec::new();
+        m.sample_into(&mut pids, &mut deltas);
+        let squeezed = m.last_pressure();
+        assert_eq!(squeezed.reads, PAPER_EVENTS.len() as u64);
+        assert!(
+            squeezed.ratio() > 1.2,
+            "capped budget multiplexes, got {}",
+            squeezed.ratio()
+        );
     }
 
     #[test]

@@ -94,6 +94,9 @@ struct CounterState {
 #[derive(Debug, Clone)]
 pub struct PerfSession {
     slots: usize,
+    /// Voluntary cap on the slot budget (adaptive sampling sheds slots to
+    /// trade multiplexing pressure for read cost); `None` = full budget.
+    slot_limit: Option<usize>,
     counters: Vec<Option<CounterState>>,
     open_count: usize,
     next_id: u64,
@@ -116,6 +119,7 @@ impl PerfSession {
         assert!(slots > 0, "a pmu needs at least one counter slot");
         PerfSession {
             slots,
+            slot_limit: None,
             counters: Vec::new(),
             open_count: 0,
             next_id: 1,
@@ -148,6 +152,26 @@ impl PerfSession {
     /// What the installed fault plan has done to this session so far.
     pub fn fault_stats(&self) -> CounterFaultStats {
         self.fault_stats
+    }
+
+    /// Voluntarily caps the PMU slot budget at `limit` (≥ 1). An adaptive
+    /// sampler sheds slots during in-band operation: fewer events count
+    /// concurrently, raising multiplexing pressure but lowering the
+    /// per-tick read bill. `None` restores the full physical budget.
+    /// Composes with [`FaultKind::SlotRevocation`]: the effective budget
+    /// is the smaller of the two.
+    pub fn set_slot_limit(&mut self, limit: Option<usize>) {
+        self.slot_limit = limit.map(|l| l.clamp(1, self.slots));
+    }
+
+    /// The currently effective voluntary slot cap, if any.
+    pub fn slot_limit(&self) -> Option<usize> {
+        self.slot_limit
+    }
+
+    /// The physical PMU slot count this session was opened with.
+    pub fn slots(&self) -> usize {
+        self.slots
     }
 
     /// Opens a counter for `event` attached to process `pid`, enabled
@@ -320,6 +344,11 @@ impl PerfSession {
                 self.slots - taken
             }
             _ => self.slots,
+        };
+        // A voluntary cap composes with revocation: whichever is tighter.
+        let slot_budget = match self.slot_limit {
+            Some(limit) => slot_budget.min(limit).max(1),
+            None => slot_budget,
         };
 
         // Aggregate per pid: a multi-threaded process contributes the sum
@@ -710,6 +739,52 @@ mod tests {
             assert!(v.time_running > Nanos::ZERO);
         }
         assert_eq!(s.fault_stats().revoked_slot_ticks, 40);
+    }
+
+    #[test]
+    fn voluntary_slot_limit_forces_multiplexing_and_restores() {
+        let (mut k, pid) = busy_kernel();
+        let mut s = PerfSession::new(4);
+        let events = [
+            HwCounter::Instructions,
+            HwCounter::Cycles,
+            HwCounter::CacheReferences,
+            HwCounter::BranchInstructions,
+        ];
+        let ids: Vec<CounterId> = events
+            .iter()
+            .map(|&e| s.open(pid, Event::Hardware(e)).unwrap())
+            .collect();
+        s.set_slot_limit(Some(2));
+        assert_eq!(s.slot_limit(), Some(2));
+        for _ in 0..20 {
+            s.observe(&k.tick(MS));
+        }
+        for &id in &ids {
+            let v = s.read(id).unwrap();
+            assert!(v.time_running < v.time_enabled, "capped budget multiplexes");
+        }
+        // Lifting the cap lets all four schedule again: running catches
+        // enabled delta-for-delta from here on.
+        s.set_slot_limit(None);
+        let before: Vec<ScaledValue> = ids.iter().map(|&id| s.read(id).unwrap()).collect();
+        for _ in 0..5 {
+            s.observe(&k.tick(MS));
+        }
+        for (&id, b) in ids.iter().zip(&before) {
+            let v = s.read(id).unwrap();
+            assert_eq!(
+                v.time_running - b.time_running,
+                v.time_enabled - b.time_enabled,
+                "full budget again"
+            );
+        }
+        // The cap clamps to [1, slots].
+        s.set_slot_limit(Some(0));
+        assert_eq!(s.slot_limit(), Some(1));
+        s.set_slot_limit(Some(99));
+        assert_eq!(s.slot_limit(), Some(4));
+        assert_eq!(s.slots(), 4);
     }
 
     #[test]

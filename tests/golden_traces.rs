@@ -109,12 +109,19 @@ fn expected_experiments_have_snapshots() {
         .collect();
     for required in [
         "e1_table1",
+        "e1_table1.quick",
         "e2_model",
+        "e2_model.quick",
         "e3_figure3",
+        "e3_figure3.quick",
         "e4_comparison",
+        "e4_comparison.quick",
         "e5_selection",
+        "e5_selection.quick",
         "e6_ablations",
+        "e6_ablations.quick",
         "e7_chaos.quick",
+        "e8_overhead.quick",
         "e9_model_health.quick",
         "e10_blackbox.quick",
         "e12_fleet.quick",
@@ -122,6 +129,8 @@ fn expected_experiments_have_snapshots() {
         "e13_tenants.quick",
         "e14_fleet_observe",
         "e14_fleet_observe.quick",
+        "e15_adaptive",
+        "e15_adaptive.quick",
     ] {
         assert!(
             names.contains(required),
@@ -147,12 +156,20 @@ fn golden_traces_match_when_requested() {
         ("e4_comparison", &["--check"]),
         ("e5_selection", &["--check"]),
         ("e6_ablations", &["--check"]),
+        ("e1_table1", &["--quick", "--check"]),
+        ("e2_model", &["--quick", "--check"]),
+        ("e3_figure3", &["--quick", "--check"]),
+        ("e4_comparison", &["--quick", "--check"]),
+        ("e5_selection", &["--quick", "--check"]),
+        ("e6_ablations", &["--quick", "--check"]),
         ("e7_chaos", &["--quick", "--check"]),
+        ("e8_overhead", &["--quick", "--check"]),
         ("e9_model_health", &["--quick", "--check"]),
         ("e10_blackbox", &["--quick", "--check"]),
         ("e12_fleet", &["--quick", "--check"]),
         ("e13_tenants", &["--quick", "--check"]),
         ("e14_fleet_observe", &["--quick", "--check"]),
+        ("e15_adaptive", &["--quick", "--check"]),
     ];
     for (bin, args) in runs {
         eprintln!("golden: checking {bin} {}", args.join(" "));
